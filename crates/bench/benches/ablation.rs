@@ -1,0 +1,142 @@
+//! Ablations of the design decisions DESIGN.md calls out:
+//!
+//! * **Co-partitioning** (paper §II/§V-A): S-QUERY schedules state and
+//!   compute of the same partition together so every live-state update is a
+//!   local write. The ablation charges each write the modelled cross-node
+//!   network cost instead — what a design *without* the shared partitioner
+//!   would pay ("instead of performing remote calls for each change …
+//!   the change remains local").
+//! * **Key-level lock striping** (§VII-B): per-access key locks as
+//!   implemented vs one global map lock, under concurrent writers.
+//! * **Incremental delta sweep**: snapshot write cost as a function of the
+//!   delta ratio (the continuous version of Figure 12's three points).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squery_common::config::NetworkConfig;
+use squery_common::{PartitionId, Partitioner, SnapshotId, Value};
+use squery_storage::locks::LockStripes;
+use squery_storage::{Grid, SnapshotStore};
+use squery_tspoon::spin_for;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Local (co-partitioned) live-state writes vs writes that must cross the
+/// modelled network on every update.
+fn copartitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_copartition");
+    group.throughput(Throughput::Elements(1));
+    let grid = Grid::single_node();
+    let map = grid.map("op");
+    let value = Value::str("a-typical-state-object-payload");
+    let network = NetworkConfig::lan();
+    let wire_cost = network.transfer_delay(
+        squery_common::codec::encoded_len(&Value::Int(0))
+            + squery_common::codec::encoded_len(&value),
+    );
+
+    let mut i = 0i64;
+    group.bench_function("co_partitioned_local_put", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            map.put(Value::Int(i), value.clone());
+        })
+    });
+    let mut j = 0i64;
+    group.bench_function("remote_put_per_update", |b| {
+        b.iter(|| {
+            j = (j + 1) % 10_000;
+            // Without co-partitioning, the update crosses the network first.
+            spin_for(wire_cost);
+            map.put(Value::Int(j), value.clone());
+        })
+    });
+    group.finish();
+}
+
+/// Striped key locks vs a single global lock, 4 concurrent writers.
+fn lock_striping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lock_striping");
+    const OPS_PER_THREAD: u64 = 20_000;
+    const THREADS: u64 = 4;
+    group.throughput(Throughput::Elements(OPS_PER_THREAD * THREADS));
+    for stripes in [1usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_lock_unlock", stripes),
+            &stripes,
+            |b, &stripes| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let pool = Arc::new(LockStripes::with_stripes(stripes));
+                        let start = Instant::now();
+                        let handles: Vec<_> = (0..THREADS)
+                            .map(|t| {
+                                let pool = Arc::clone(&pool);
+                                std::thread::spawn(move || {
+                                    for k in 0..OPS_PER_THREAD {
+                                        let key = Value::Int((t * OPS_PER_THREAD + k) as i64);
+                                        let _g = pool.lock(&key);
+                                    }
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().unwrap();
+                        }
+                        total += start.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Incremental snapshot write cost as the delta ratio grows.
+fn delta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_incremental_delta");
+    const KEYS: u64 = 10_000;
+    let partitioner = Partitioner::new(271);
+    for delta_pct in [1u64, 5, 10, 25, 50, 100] {
+        let dirty = KEYS * delta_pct / 100;
+        group.throughput(Throughput::Elements(dirty.max(1)));
+        // Pre-group the delta entries by partition, as the backend does.
+        let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+        for k in 0..dirty {
+            let key = Value::Int(k as i64);
+            by_pid
+                .entry(partitioner.partition_of(&key).0)
+                .or_default()
+                .push((key, Some(Value::Int(k as i64))));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("delta_write_pct", delta_pct),
+            &delta_pct,
+            |b, _| {
+                let store = SnapshotStore::new("sweep", partitioner);
+                let mut ssid = 0u64;
+                b.iter(|| {
+                    ssid += 1;
+                    for (pid, entries) in &by_pid {
+                        store.write_partition(
+                            SnapshotId(ssid),
+                            PartitionId(*pid),
+                            entries.clone(),
+                            false,
+                        );
+                    }
+                    // Keep the chain bounded like the runtime does.
+                    if ssid.is_multiple_of(4) {
+                        store.prune_below(SnapshotId(ssid - 1));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, copartitioning, lock_striping, delta_sweep);
+criterion_main!(benches);

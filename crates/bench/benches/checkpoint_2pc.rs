@@ -1,0 +1,46 @@
+//! The snapshot 2PC path (Figures 10–12's mechanism): one complete
+//! checkpoint — marker injection, alignment, phase-1 state writes, commit,
+//! pruning — over a live job with populated state, S-QUERY vs the
+//! Jet-baseline blob path, full vs incremental.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_bench::util::{submit_monitoring, wait_for_fill};
+use squery_streaming::JobHandle;
+use std::time::Duration;
+
+fn prepared_job(state: StateConfig, orders: u64) -> (SQuery, JobHandle) {
+    let config = SQueryConfig::default().with_state(state);
+    let system = SQuery::new(config).unwrap();
+    let job = submit_monitoring(&system, orders, Some(3_000.0), 2);
+    let fill = orders + orders * 8 + (orders / 5).max(10);
+    wait_for_fill(&job, fill, Duration::from_secs(120));
+    let _ = job.checkpoint_now();
+    (system, job)
+}
+
+fn checkpoint_2pc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_2pc");
+    group.sample_size(15);
+    for orders in [1_000u64, 5_000] {
+        for (label, state) in [
+            ("squery_full", StateConfig::snapshot_only()),
+            ("squery_incremental", StateConfig::snapshot_incremental()),
+            ("jet_blob", StateConfig::jet_baseline()),
+        ] {
+            let (_system, job) = prepared_job(state, orders);
+            group.bench_with_input(
+                BenchmarkId::new(label, orders),
+                &orders,
+                |b, _| {
+                    b.iter(|| job.checkpoint_now().unwrap());
+                },
+            );
+            job.stop();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checkpoint_2pc);
+criterion_main!(benches);

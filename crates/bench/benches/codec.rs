@@ -1,0 +1,51 @@
+//! Codec micro-benchmarks: the serialization cost underlying blob snapshots
+//! (the Jet baseline) and replication traffic sizing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use squery_common::codec;
+use squery_common::schema::schema;
+use squery_common::{DataType, Value};
+
+fn rider_value() -> Value {
+    let s = schema(vec![
+        ("lat", DataType::Float),
+        ("lon", DataType::Float),
+        ("updated", DataType::Timestamp),
+    ]);
+    Value::record(
+        &s,
+        vec![
+            Value::Float(52.0123),
+            Value::Float(4.3456),
+            Value::Timestamp(1_650_000_000_000_000),
+        ],
+    )
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let v = rider_value();
+    let encoded = codec::encode(&v);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_rider_struct", |b| b.iter(|| codec::encode(&v)));
+    group.bench_function("decode_rider_struct", |b| {
+        b.iter(|| codec::decode(&encoded).unwrap())
+    });
+    group.bench_function("encoded_len_rider_struct", |b| {
+        b.iter(|| codec::encoded_len(&v))
+    });
+    group.finish();
+
+    // A 1 000-entry blob, the unit of the Jet baseline's snapshot write.
+    let entries: Vec<Value> = (0..1_000).map(|_| rider_value()).collect();
+    let blob = Value::list(entries);
+    let blob_encoded = codec::encode(&blob);
+    let mut group = c.benchmark_group("codec_blob_1000");
+    group.throughput(Throughput::Bytes(blob_encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| codec::encode(&blob)));
+    group.bench_function("decode", |b| b.iter(|| codec::decode(&blob_encoded).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The Figure 14 mechanism at the operation level: one direct-object query
+//! through S-QUERY's store-read path vs the TSpoon model's read-only
+//! transaction path, by keys selected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squery::{SQuery, SQueryConfig, StateConfig, StateView};
+use squery_bench::util::rider_state_entries;
+use squery_common::{Partitioner, Value};
+use squery_tspoon::{TspoonCluster, TspoonConfig};
+
+const TOTAL_KEYS: u64 = 20_000;
+
+fn squery_side() -> SQuery {
+    let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    let system = SQuery::new(config).unwrap();
+    let map = system.grid().map("riderlocation");
+    for (k, v) in rider_state_entries(TOTAL_KEYS) {
+        map.put(k, v);
+    }
+    system
+}
+
+fn tspoon_side() -> TspoonCluster {
+    let cluster = TspoonCluster::start(
+        TspoonConfig {
+            instances: 3,
+            txn_overhead_us: 10,
+            per_key_read_ns: 0,
+        },
+        Partitioner::new(271),
+    );
+    cluster.ingest_bulk(rider_state_entries(TOTAL_KEYS));
+    // Flush mailboxes before measuring.
+    let _ = cluster.query(&[Value::Int(0)]);
+    cluster
+}
+
+fn direct_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_object_query");
+    let system = squery_side();
+    let tspoon = tspoon_side();
+    for sel in [1usize, 10, 100, 1000] {
+        let keys: Vec<Value> = (0..sel as i64).map(Value::Int).collect();
+        group.bench_with_input(BenchmarkId::new("squery_live", sel), &sel, |b, _| {
+            b.iter(|| {
+                system
+                    .direct()
+                    .get_many("riderlocation", &keys, StateView::Live)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tspoon_txn", sel), &sel, |b, _| {
+            b.iter(|| tspoon.query(&keys).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, direct_queries);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Micro-benchmarks of the storage mechanisms behind Figures 8, 10, 12, 13:
+//! live write-through cost, full vs incremental snapshot writes, direct vs
+//! differential snapshot reads, and pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squery_common::{PartitionId, Partitioner, SnapshotId, Value};
+use squery_storage::{Grid, SnapshotStore};
+use std::collections::HashMap;
+
+/// The live-state mirror write (the per-update cost of Figure 8's "live"
+/// configurations) vs a plain HashMap insert baseline.
+fn live_write_through(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_write_through");
+    group.throughput(Throughput::Elements(1));
+
+    let grid = Grid::single_node();
+    let map = grid.map("op");
+    let mut i = 0i64;
+    group.bench_function("imap_put", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            map.put(Value::Int(i), Value::Int(i * 2));
+        })
+    });
+
+    let mut plain: HashMap<Value, Value> = HashMap::new();
+    let mut j = 0i64;
+    group.bench_function("plain_hashmap_put_baseline", |b| {
+        b.iter(|| {
+            j = (j + 1) % 10_000;
+            plain.insert(Value::Int(j), Value::Int(j * 2));
+        })
+    });
+
+    let mut k = 0i64;
+    group.bench_function("imap_get", |b| {
+        b.iter(|| {
+            k = (k + 1) % 10_000;
+            map.get(&Value::Int(k))
+        })
+    });
+    group.finish();
+}
+
+#[derive(Clone, Copy)]
+enum StoreMode {
+    /// Every version is a complete view.
+    Full,
+    /// First version full, later versions touch 10% of the keys.
+    IncrementalSmallDelta,
+    /// First version full, later versions re-touch every key (full churn) —
+    /// the worst case for the differential backwards walk.
+    IncrementalFullChurn,
+}
+
+fn filled_store(keys: u64, versions: u64, mode: StoreMode) -> SnapshotStore {
+    let partitioner = Partitioner::new(271);
+    let store = SnapshotStore::new("bench", partitioner);
+    for v in 1..=versions {
+        let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+        let full = matches!(mode, StoreMode::Full) || v == 1;
+        let key_range: Box<dyn Iterator<Item = u64>> = match (mode, full) {
+            (_, true) | (StoreMode::IncrementalFullChurn, _) => Box::new(0..keys),
+            _ => Box::new((0..keys / 10).map(move |i| (i + v * 13) % keys)),
+        };
+        for key in key_range {
+            let k = Value::Int(key as i64);
+            by_pid
+                .entry(partitioner.partition_of(&k).0)
+                .or_default()
+                .push((k, Some(Value::Int((key * v) as i64))));
+        }
+        for (pid, entries) in by_pid {
+            store.write_partition(SnapshotId(v), PartitionId(pid), entries, full);
+        }
+    }
+    store
+}
+
+/// Snapshot write cost by key count (the Figure 10 phase-1 mechanism).
+fn snapshot_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_write");
+    for keys in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(keys));
+        let partitioner = Partitioner::new(271);
+        let entries: Vec<(Value, Option<Value>)> = (0..keys)
+            .map(|k| (Value::Int(k as i64), Some(Value::Int(k as i64))))
+            .collect();
+        let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+        for (k, v) in entries {
+            by_pid
+                .entry(partitioner.partition_of(&k).0)
+                .or_default()
+                .push((k, v));
+        }
+        group.bench_with_input(BenchmarkId::new("full_per_key", keys), &keys, |b, _| {
+            let store = SnapshotStore::new("w", partitioner);
+            let mut ssid = 0u64;
+            b.iter(|| {
+                ssid += 1;
+                for (pid, entries) in &by_pid {
+                    store.write_partition(
+                        SnapshotId(ssid),
+                        PartitionId(*pid),
+                        entries.clone(),
+                        true,
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Differential read cost: resolving the latest view from a full snapshot vs
+/// from an incremental chain (the Figure 13 gap mechanism).
+fn snapshot_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_scan");
+    for keys in [1_000u64, 10_000] {
+        for (label, mode) in [
+            ("full", StoreMode::Full),
+            ("incremental_10pct_chain6", StoreMode::IncrementalSmallDelta),
+            ("incremental_churn_chain6", StoreMode::IncrementalFullChurn),
+        ] {
+            let store = filled_store(keys, 6, mode);
+            group.bench_with_input(BenchmarkId::new(label, keys), &keys, |b, _| {
+                b.iter(|| store.scan_at(SnapshotId(6)).unwrap().0.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Pruning: folding an incremental chain into a base (phase-2 work).
+fn pruning(c: &mut Criterion) {
+    c.bench_function("prune_fold_chain6_10k", |b| {
+        b.iter_with_setup(
+            || filled_store(10_000, 6, StoreMode::IncrementalSmallDelta),
+            |store| store.prune_below(SnapshotId(5)),
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    live_write_through,
+    snapshot_writes,
+    snapshot_reads,
+    pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p squery-bench --release --bin paper-figures -- all
+//! cargo run -p squery-bench --release --bin paper-figures -- fig10 fig14
+//! cargo run -p squery-bench --release --bin paper-figures -- --quick all
+//! ```
+
+use squery_bench::figures::{all, by_id, ALL_IDS};
+use squery_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if requested.is_empty() || requested.iter().any(|a| a.as_str() == "help") {
+        eprintln!("usage: paper-figures [--quick] all | <artifact>...");
+        eprintln!("artifacts: {}", ALL_IDS.join(", "));
+        std::process::exit(if requested.is_empty() { 2 } else { 0 });
+    }
+
+    println!(
+        "S-QUERY evaluation harness — scale: {}",
+        if quick { "quick (smoke)" } else { "full" }
+    );
+    if requested.iter().any(|a| a.as_str() == "all") {
+        for result in all(scale) {
+            println!("{result}");
+        }
+        return;
+    }
+    for id in requested {
+        match by_id(id, scale) {
+            Some(result) => println!("{result}"),
+            None => {
+                eprintln!("unknown artifact '{id}' (known: {})", ALL_IDS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment scaling: quick (smoke/CI) vs full (recorded run).
+
+use std::time::Duration;
+
+/// How big to run each experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Full recorded-run sizes when true; fast smoke sizes when false.
+    pub full: bool,
+}
+
+impl Scale {
+    /// The full recorded-run scale.
+    pub fn full() -> Scale {
+        Scale { full: true }
+    }
+
+    /// The smoke-test scale.
+    pub fn quick() -> Scale {
+        Scale { full: false }
+    }
+
+    /// Measurement window per latency configuration (paper: 240 s).
+    pub fn measure_duration(&self) -> Duration {
+        if self.full {
+            Duration::from_secs(10)
+        } else {
+            Duration::from_millis(1500)
+        }
+    }
+
+    /// Warmup before measuring (paper: 20 s).
+    pub fn warmup(&self) -> Duration {
+        if self.full {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_millis(300)
+        }
+    }
+
+    /// Checkpoint interval for the latency experiments (paper: 1 s).
+    pub fn checkpoint_interval(&self) -> Duration {
+        if self.full {
+            Duration::from_secs(1)
+        } else {
+            Duration::from_millis(200)
+        }
+    }
+
+    /// Unique-key counts for the snapshot/query experiments
+    /// (paper: 1 K / 10 K / 100 K).
+    pub fn key_counts(&self) -> Vec<u64> {
+        if self.full {
+            vec![1_000, 10_000, 100_000]
+        } else {
+            vec![200, 1_000]
+        }
+    }
+
+    /// NEXMark seller count (paper: 10 K).
+    pub fn sellers(&self) -> u64 {
+        if self.full {
+            10_000
+        } else {
+            500
+        }
+    }
+
+    /// Load fractions of the measured maximum for Figure 9
+    /// (stands in for the paper's 1 M / 5 M / 9 M events/s).
+    pub fn load_fractions(&self) -> Vec<f64> {
+        vec![0.2, 0.5, 0.8]
+    }
+
+    /// Checkpoints to collect per 2PC-distribution configuration.
+    pub fn checkpoints_per_config(&self) -> usize {
+        if self.full {
+            40
+        } else {
+            8
+        }
+    }
+
+    /// Queries to time per query-latency configuration.
+    pub fn queries_per_config(&self) -> usize {
+        if self.full {
+            60
+        } else {
+            20
+        }
+    }
+
+    /// Per-point duration of the Figure 14 throughput measurement.
+    pub fn direct_query_duration(&self) -> Duration {
+        if self.full {
+            Duration::from_secs(3)
+        } else {
+            Duration::from_millis(400)
+        }
+    }
+
+    /// Degrees of parallelism for Figure 15 (paper: 36/60/84 Jet threads;
+    /// scaled to in-process instance counts).
+    pub fn dops(&self) -> Vec<u32> {
+        if self.full {
+            vec![2, 4, 6]
+        } else {
+            vec![1, 2]
+        }
+    }
+
+    /// Snapshot intervals for Figure 15 (paper: 0.5 s / 1 s / 2 s).
+    pub fn fig15_intervals(&self) -> Vec<Duration> {
+        if self.full {
+            vec![
+                Duration::from_millis(500),
+                Duration::from_secs(1),
+                Duration::from_secs(2),
+            ]
+        } else {
+            vec![Duration::from_millis(200), Duration::from_millis(400)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.measure_duration() < f.measure_duration());
+        assert!(q.key_counts().iter().max() < f.key_counts().iter().max());
+        assert!(q.sellers() < f.sellers());
+        assert!(q.checkpoints_per_config() < f.checkpoints_per_config());
+    }
+
+    #[test]
+    fn full_matches_paper_key_counts() {
+        assert_eq!(Scale::full().key_counts(), vec![1_000, 10_000, 100_000]);
+        assert_eq!(Scale::full().sellers(), 10_000);
+        assert_eq!(Scale::full().fig15_intervals().len(), 3);
+    }
+}

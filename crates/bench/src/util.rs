@@ -1,0 +1,369 @@
+//! Shared experiment machinery: load runners, measurement loops, fits.
+
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_common::metrics::Histogram;
+use squery_common::Value;
+use squery_nexmark::{q6_job, NexmarkConfig};
+use squery_qcommerce::{order_monitoring_job, QCommerceConfig};
+use squery_streaming::JobHandle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Build an [`SQuery`] system for a latency/throughput run.
+pub fn system_for(state: StateConfig, interval: Option<Duration>) -> SQuery {
+    let config = SQueryConfig {
+        checkpoint_interval: interval,
+        ..SQueryConfig::default().with_state(state)
+    };
+    SQuery::new(config).expect("valid experiment config")
+}
+
+/// Submit NEXMark q6 with a total offered rate (split across its two
+/// sources), or unpaced when `rate_total` is `None`.
+pub fn submit_q6(
+    system: &SQuery,
+    sellers: u64,
+    rate_total: Option<f64>,
+    parallelism: u32,
+) -> JobHandle {
+    let cfg = NexmarkConfig {
+        sellers,
+        active_auctions: sellers * 2,
+        events_per_instance: 0,
+        rate_per_instance: rate_total.map(|r| (r / 2.0).max(1.0)),
+    };
+    system
+        .submit(q6_job(cfg, 1, parallelism))
+        .expect("q6 submits")
+}
+
+/// Run q6 under offered load and return the post-warmup latency histogram
+/// plus the achieved source throughput (events/s) over the measure window.
+pub fn q6_latency_run(
+    state: StateConfig,
+    interval: Option<Duration>,
+    sellers: u64,
+    rate_total: Option<f64>,
+    parallelism: u32,
+    warmup: Duration,
+    measure: Duration,
+) -> (Histogram, f64) {
+    let system = system_for(state, interval);
+    let mut job = submit_q6(&system, sellers, rate_total, parallelism);
+    std::thread::sleep(warmup);
+    job.reset_latency();
+    let source_before = job.source_count();
+    let t0 = Instant::now();
+    std::thread::sleep(measure);
+    let hist = job.latency();
+    let throughput = (job.source_count() - source_before) as f64 / t0.elapsed().as_secs_f64();
+    job.stop();
+    (hist, throughput)
+}
+
+/// Measure q6's maximum sustainable throughput in *source events/s*: run
+/// unpaced and count what the sources push through the backpressured DAG.
+pub fn q6_max_throughput(
+    state: StateConfig,
+    interval: Option<Duration>,
+    sellers: u64,
+    parallelism: u32,
+    warmup: Duration,
+    measure: Duration,
+) -> f64 {
+    let system = system_for(state, interval);
+    let job = submit_q6(&system, sellers, None, parallelism);
+    std::thread::sleep(warmup);
+    let before = job.source_count();
+    let t0 = Instant::now();
+    std::thread::sleep(measure);
+    let rate = (job.source_count() - before) as f64 / t0.elapsed().as_secs_f64();
+    job.stop();
+    rate
+}
+
+/// Binary-search the highest offered rate q6 sustains with a stable backlog
+/// (achieved ≥ 90 % of offered and p99 source→sink latency under 100 ms).
+///
+/// The raw unpaced maximum overstates sustainable capacity (full queues never
+/// park threads; paced production does), so offered-load experiments must
+/// calibrate against this instead.
+pub fn q6_sustainable_rate(
+    state: StateConfig,
+    interval: Option<Duration>,
+    sellers: u64,
+    parallelism: u32,
+    probe_warmup: Duration,
+    probe_measure: Duration,
+) -> f64 {
+    let mut hi = q6_max_throughput(state, interval, sellers, parallelism, probe_warmup, probe_measure);
+    let mut lo = hi * 0.05;
+    for _ in 0..5 {
+        let mid = (lo + hi) / 2.0;
+        let (hist, achieved) = q6_latency_run(
+            state,
+            interval,
+            sellers,
+            Some(mid),
+            parallelism,
+            probe_warmup,
+            probe_measure,
+        );
+        // Strict stability: production keeps up with the schedule, the body
+        // of the distribution stays in single-digit ms, and the tail is
+        // bounded — a short probe window understates backlog growth, so
+        // anything marginal must count as unstable.
+        let stable = achieved >= mid * 0.95
+            && hist.percentile(0.5) < 5_000
+            && hist.percentile(0.99) < 50_000;
+        if stable {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Safety margin: capacity drifts as operator state grows.
+    lo * 0.9
+}
+
+/// Submit the q-commerce monitoring job with `orders` unique keys at a total
+/// offered rate (split across its three sources; `None` = unpaced).
+pub fn submit_monitoring(
+    system: &SQuery,
+    orders: u64,
+    rate_total: Option<f64>,
+    parallelism: u32,
+) -> JobHandle {
+    let cfg = QCommerceConfig {
+        orders,
+        riders: (orders / 5).max(10),
+        events_per_instance: 0,
+        rate_per_instance: rate_total.map(|r| (r / 3.0).max(1.0)),
+        prefill_passes: 1,
+    };
+    system
+        .submit(order_monitoring_job(cfg, 1, parallelism))
+        .expect("monitoring submits")
+}
+
+/// Wait until every order key exists in the orderstate live/snapshot path:
+/// approximate by waiting for the source to produce a full pass.
+pub fn wait_for_fill(job: &JobHandle, events: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while job.source_count() < events {
+        assert!(Instant::now() < deadline, "fill timed out");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Drive `n` manual checkpoints with `gap` of processing between them and
+/// return (phase-1, total) 2PC latency histograms in µs.
+pub fn checkpoint_distribution(job: &JobHandle, n: usize, gap: Duration) -> (Histogram, Histogram) {
+    let before = job.checkpoint_stats().records().len();
+    for _ in 0..n {
+        std::thread::sleep(gap);
+        let _ = job.checkpoint_now();
+    }
+    let mut phase1 = Histogram::new();
+    let mut total = Histogram::new();
+    for rec in job.checkpoint_stats().records().iter().skip(before) {
+        phase1.record(rec.phase1_us);
+        total.record(rec.total_us);
+    }
+    (phase1, total)
+}
+
+/// Spawn `threads` query clients running `make_query()` in a loop until the
+/// returned stopper is invoked; returns (queries/s, per-query latency µs).
+pub struct QueryLoad {
+    stop: Arc<AtomicBool>,
+    count: Arc<AtomicU64>,
+    handles: Vec<std::thread::JoinHandle<Histogram>>,
+    started: Instant,
+}
+
+impl QueryLoad {
+    /// Start the load.
+    pub fn start<F>(threads: usize, run_query: F) -> QueryLoad
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let count = Arc::new(AtomicU64::new(0));
+        let run_query = Arc::new(run_query);
+        let handles = (0..threads)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let count = Arc::clone(&count);
+                let run_query = Arc::clone(&run_query);
+                std::thread::spawn(move || {
+                    let mut hist = Histogram::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        run_query();
+                        hist.record(t0.elapsed().as_micros() as u64);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        QueryLoad {
+            stop,
+            count,
+            handles,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stop and report `(queries_per_sec, latency_histogram)`.
+    pub fn finish(self) -> (f64, Histogram) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        self.stop.store(true, Ordering::Relaxed);
+        let mut hist = Histogram::new();
+        for h in self.handles {
+            hist.merge(&h.join().expect("query client"));
+        }
+        let qps = self.count.load(Ordering::Relaxed) as f64 / elapsed;
+        (qps, hist)
+    }
+}
+
+/// A paper-style percentile row where each reported percentile is the
+/// *median across repeated runs* — robust against the multi-ms scheduler
+/// stalls a single-vCPU host injects into any one run's tail.
+pub fn median_report_row(label: &str, runs: &[Histogram]) -> String {
+    fn median(mut xs: Vec<u64>) -> u64 {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    }
+    let ms = |us: u64| us as f64 / 1000.0;
+    let count: u64 = runs.iter().map(Histogram::count).sum();
+    format!(
+        "{label:<24} n={count:<9} 0%={:<8.2} 50%={:<8.2} 90%={:<8.2} 99%={:<8.2} 99.9%={:<8.2} 99.99%={:<8.2} max={:.2} (ms, median of {} runs)",
+        ms(median(runs.iter().map(Histogram::min).collect())),
+        ms(median(runs.iter().map(|h| h.percentile(0.50)).collect())),
+        ms(median(runs.iter().map(|h| h.percentile(0.90)).collect())),
+        ms(median(runs.iter().map(|h| h.percentile(0.99)).collect())),
+        ms(median(runs.iter().map(|h| h.percentile(0.999)).collect())),
+        ms(median(runs.iter().map(|h| h.percentile(0.9999)).collect())),
+        ms(median(runs.iter().map(Histogram::max).collect())),
+        runs.len(),
+    )
+}
+
+/// Least-squares power-law fit `y = a·x^b` via log-log regression; returns
+/// `(a, b, r_squared)` — the paper reports the R² of exactly this fit for
+/// Figure 14.
+pub fn power_law_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "fit needs at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let ln_a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|(x, y)| (y - (ln_a + b * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (ln_a.exp(), b, r2)
+}
+
+/// Least-squares linear fit `y = a + b·x`; returns `(a, b, r_squared)` —
+/// the paper reports R² > 0.96 linear trends for Figure 15.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "fit needs at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (a + b * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Preload a rider-location style state (two doubles + a timestamp, the
+/// Figure 14 state) of `keys` entries directly into a grid map/snapshot
+/// store and a TSpoon cluster.
+pub fn rider_state_entries(keys: u64) -> Vec<(Value, Value)> {
+    let schema = squery_qcommerce::events::rider_location_schema();
+    (0..keys)
+        .map(|k| {
+            (
+                Value::Int(k as i64),
+                Value::record(
+                    &schema,
+                    vec![
+                        Value::Float(52.0 + k as f64 / 1e6),
+                        Value::Float(4.3 + k as f64 / 1e6),
+                        Value::Timestamp(k as i64),
+                    ],
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_fit_recovers_parameters() {
+        let points: Vec<(f64, f64)> = [1.0f64, 10.0, 100.0, 1000.0]
+            .iter()
+            .map(|&x| (x, 50_000.0 * x.powf(-0.9)))
+            .collect();
+        let (a, b, r2) = power_law_fit(&points);
+        assert!((a - 50_000.0).abs() / 50_000.0 < 1e-6);
+        assert!((b - (-0.9)).abs() < 1e-9);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn linear_fit_recovers_parameters() {
+        let points = vec![(36.0, 8.6), (60.0, 12.0), (84.0, 19.0)];
+        let (_a, b, r2) = linear_fit(&points);
+        assert!(b > 0.0, "positive slope");
+        assert!(r2 > 0.9, "roughly linear: {r2}");
+    }
+
+    #[test]
+    fn rider_entries_have_figure14_shape() {
+        let entries = rider_state_entries(10);
+        assert_eq!(entries.len(), 10);
+        let sv = entries[3].1.as_struct().unwrap();
+        assert!(sv.field("lat").unwrap().as_f64().is_some());
+        assert!(sv.field("lon").unwrap().as_f64().is_some());
+        assert!(sv.field("updated").unwrap().as_timestamp().is_some());
+    }
+
+    #[test]
+    fn query_load_counts_queries() {
+        let load = QueryLoad::start(2, || {
+            std::thread::sleep(Duration::from_micros(100));
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let (qps, hist) = load.finish();
+        assert!(qps > 100.0, "qps={qps}");
+        assert!(hist.count() > 10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared error type for all S-QUERY crates.
+//!
+//! A single lightweight error enum keeps cross-crate APIs uniform without
+//! pulling in error-handling dependencies. Each variant carries a short
+//! human-readable message; the variant itself classifies the failure domain.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type SqResult<T> = Result<T, SqError>;
+
+/// Error raised by any S-QUERY subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// A parsed query could not be planned (unknown table/column, bad types).
+    Plan(String),
+    /// Query execution failed (type error at runtime, arithmetic, ...).
+    Exec(String),
+    /// Storage-layer failure (unknown map, partition offline, lock poisoned).
+    Storage(String),
+    /// A requested entity (snapshot id, key, operator) does not exist.
+    NotFound(String),
+    /// Binary codec failure (truncated buffer, unknown tag).
+    Codec(String),
+    /// Invalid configuration (zero partitions, bad parallelism, ...).
+    Config(String),
+    /// Stream-runtime failure (job panicked, channel closed unexpectedly).
+    Runtime(String),
+}
+
+impl SqError {
+    /// The failure-domain label used in Display output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SqError::Parse(_) => "parse",
+            SqError::Plan(_) => "plan",
+            SqError::Exec(_) => "exec",
+            SqError::Storage(_) => "storage",
+            SqError::NotFound(_) => "not-found",
+            SqError::Codec(_) => "codec",
+            SqError::Config(_) => "config",
+            SqError::Runtime(_) => "runtime",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            SqError::Parse(m)
+            | SqError::Plan(m)
+            | SqError::Exec(m)
+            | SqError::Storage(m)
+            | SqError::NotFound(m)
+            | SqError::Codec(m)
+            | SqError::Config(m)
+            | SqError::Runtime(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for SqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = SqError::Parse("unexpected token ')'".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token ')'");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token ')'");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SqError::NotFound("snapshot 9".into()),
+            SqError::NotFound("snapshot 9".into())
+        );
+        assert_ne!(
+            SqError::NotFound("snapshot 9".into()),
+            SqError::Storage("snapshot 9".into())
+        );
+    }
+
+    #[test]
+    fn kind_covers_every_variant() {
+        let variants = [
+            SqError::Parse(String::new()),
+            SqError::Plan(String::new()),
+            SqError::Exec(String::new()),
+            SqError::Storage(String::new()),
+            SqError::NotFound(String::new()),
+            SqError::Codec(String::new()),
+            SqError::Config(String::new()),
+            SqError::Runtime(String::new()),
+        ];
+        let kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
+        let mut dedup = kinds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len(), "kinds must be distinct");
+    }
+}

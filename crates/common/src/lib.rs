@@ -1,0 +1,41 @@
+//! # squery-common
+//!
+//! Shared primitives for the S-QUERY reproduction (ICDE 2022,
+//! "S-QUERY: Opening the Black Box of Internal Stream Processor State").
+//!
+//! This crate holds everything the substrates agree on:
+//!
+//! * [`value::Value`] — the dynamic value model used for stream events, operator
+//!   state objects, and SQL rows. State objects stored in the grid are usually
+//!   [`value::Value::Struct`] values, which is what lets the SQL layer see
+//!   their fields as columns (mirroring how Hazelcast IMDG exposes object
+//!   fields to its SQL engine).
+//! * [`schema::Schema`] — named, typed field lists for struct values and tables.
+//! * [`codec`] — a compact self-describing binary encoding for values, used to
+//!   size snapshots, ship replication traffic, and hash keys deterministically.
+//! * [`partition::Partitioner`] — the single hash-partitioning function shared
+//!   by the stream engine's keyed exchanges and the storage grid's partition
+//!   table. Sharing it is what makes the paper's *co-location of state and
+//!   compute* (§II, §V-A) possible: the operator instance that owns a key and
+//!   the grid partition that stores the key's live state land on the same node.
+//! * [`metrics`] — log-linear histograms with the high-percentile reporting
+//!   the paper's evaluation uses (0th–99.99th on an inverted log scale).
+//! * [`time::Clock`] — wall or manually-driven clocks so integration tests can
+//!   be deterministic.
+//! * [`error`] — the shared error type.
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod partition;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use error::{SqError, SqResult};
+pub use ids::{NodeId, OperatorId, PartitionId, SnapshotId};
+pub use partition::Partitioner;
+pub use schema::{DataType, Field, Schema};
+pub use value::Value;

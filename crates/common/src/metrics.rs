@@ -1,0 +1,386 @@
+//! Latency histograms and percentile reporting.
+//!
+//! The paper's evaluation reports latency *distributions* on an inverted log
+//! scale — 0th, 90th, 99th, 99.9th, 99.99th percentiles (Figures 8–13). This
+//! module provides a log-linear histogram (HDR-style: power-of-two buckets,
+//! each split into 32 linear sub-buckets, ≈3% relative error) that records
+//! microsecond values, merges across threads, and extracts those percentiles.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 32
+const BUCKETS: usize = 64;
+
+/// A log-linear histogram of `u64` values (conventionally microseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record `n` occurrences of a value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.counts[Self::index_of(value)] += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // bucket 0 covers [0, 32) exactly (early return above); bucket b >= 1
+        // covers [2^(b+4), 2^(b+5)) split into 32 linear sub-buckets, so the
+        // relative quantization error is bounded by 1/32.
+        let msb = 63 - value.leading_zeros();
+        let bucket = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let shift = msb - SUB_BUCKET_BITS;
+        let sub = ((value >> shift) - SUB_BUCKETS as u64) as usize;
+        bucket * SUB_BUCKETS + sub
+    }
+
+    fn value_of(index: usize) -> u64 {
+        let bucket = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if bucket == 0 {
+            return sub;
+        }
+        let shift = (bucket - 1) as u32;
+        // Upper edge of the sub-bucket: a conservative (pessimistic) estimate.
+        ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (upper-edge estimate).
+    ///
+    /// `q = 0` returns the recorded minimum; `q = 1` the recorded maximum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// The paper-style percentile row for this histogram.
+    pub fn report(&self) -> PercentileReport {
+        PercentileReport {
+            count: self.count(),
+            mean_us: self.mean(),
+            p0: self.min(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            p9999: self.percentile(0.9999),
+            max: self.max(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, min={}, max={})",
+            self.total,
+            self.min(),
+            self.max
+        )
+    }
+}
+
+/// A shareable, mutex-guarded histogram for cross-thread recording.
+#[derive(Clone, Default)]
+pub struct SharedHistogram {
+    inner: Arc<Mutex<Histogram>>,
+}
+
+impl SharedHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> SharedHistogram {
+        SharedHistogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        self.inner.lock().record(value);
+    }
+
+    /// A snapshot copy of the current histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    /// Reset to empty.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+/// The percentile set the paper's figures report, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileReport {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean in microseconds.
+    pub mean_us: f64,
+    /// Minimum (the figures' "0%" point).
+    pub p0: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// 99.99th percentile.
+    pub p9999: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl PercentileReport {
+    /// Format a figure row in milliseconds with one decimal, matching the
+    /// paper's y-axes.
+    pub fn as_ms_row(&self, label: &str) -> String {
+        fn ms(us: u64) -> f64 {
+            us as f64 / 1000.0
+        }
+        format!(
+            "{label:<24} n={:<9} 0%={:<8.2} 50%={:<8.2} 90%={:<8.2} 99%={:<8.2} 99.9%={:<8.2} 99.99%={:<8.2} max={:.2} (ms)",
+            self.count,
+            ms(self.p0),
+            ms(self.p50),
+            ms(self.p90),
+            ms(self.p99),
+            ms(self.p999),
+            ms(self.p9999),
+            ms(self.max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 31);
+        // Values below 32 land in exact buckets.
+        assert_eq!(h.percentile(0.5), 15);
+    }
+
+    #[test]
+    fn percentiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = (q * 100_000.0) as u64;
+            let est = h.percentile(q);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.05, "q={q}: est={est} exact={exact} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentile_never_exceeds_recorded_extremes() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.percentile(0.5), 1_000_003);
+        assert_eq!(h.percentile(0.9999), 1_000_003);
+        assert_eq!(h.min(), 1_000_003);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+            c.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), c.percentile(q));
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(500, 10);
+        for _ in 0..10 {
+            b.record(500);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.percentile(0.5), b.percentile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn shared_histogram_is_cloneable_and_shared() {
+        let h = SharedHistogram::new();
+        let h2 = h.clone();
+        h.record(10);
+        h2.record(20);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        h.clear();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn report_row_formats_in_ms() {
+        let mut h = Histogram::new();
+        h.record(1_500);
+        h.record(2_500);
+        let row = h.report().as_ms_row("S-Query snap");
+        assert!(row.contains("S-Query snap"), "{row}");
+        assert!(row.contains("n=2"), "{row}");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = Histogram::new();
+        h.record(123);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean(), 200.0);
+    }
+}

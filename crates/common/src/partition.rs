@@ -1,0 +1,185 @@
+//! The shared partitioning function.
+//!
+//! The paper's key optimization (§II "Colocating State & Compute", §V-A) is
+//! that *"the state store and the stream processor share the same partitioning
+//! function"*, so every live-state update stays node-local. This module is
+//! that single shared function: the stream engine's keyed exchanges and the
+//! storage grid's partition table both route through [`Partitioner`].
+//!
+//! Keys hash with FNV-1a (stable across runs, so tests can assert placement),
+//! modulo the partition count — 271 by default, Hazelcast IMDG's default.
+
+use crate::ids::PartitionId;
+use crate::value::Value;
+use std::hash::{Hash, Hasher};
+
+/// Hazelcast IMDG's default partition count, which we adopt.
+pub const DEFAULT_PARTITION_COUNT: u32 = 271;
+
+/// Deterministic key-to-partition mapping shared by compute and storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    partition_count: u32,
+}
+
+impl Partitioner {
+    /// A partitioner over `partition_count` partitions.
+    ///
+    /// Panics if `partition_count` is zero.
+    pub fn new(partition_count: u32) -> Partitioner {
+        assert!(partition_count > 0, "partition count must be positive");
+        Partitioner { partition_count }
+    }
+
+    /// The number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partition_count
+    }
+
+    /// The partition that owns `key`.
+    pub fn partition_of(&self, key: &Value) -> PartitionId {
+        PartitionId((hash_key(key) % u64::from(self.partition_count)) as u32)
+    }
+
+    /// Route a key to one of `n` downstream operator instances.
+    ///
+    /// Instances own contiguous partition ranges, so a key's instance and the
+    /// node holding its grid partition coincide when the grid uses the same
+    /// range split (see `squery-storage`'s partition table).
+    pub fn instance_of(&self, key: &Value, n: u32) -> u32 {
+        self.instance_of_partition(self.partition_of(key), n)
+    }
+
+    /// The instance (out of `n`) that owns a given partition.
+    pub fn instance_of_partition(&self, partition: PartitionId, n: u32) -> u32 {
+        assert!(n > 0, "instance count must be positive");
+        // Contiguous ranges: partitions [i*c/n, (i+1)*c/n) go to instance i.
+        let c = u64::from(self.partition_count);
+        let p = u64::from(partition.0);
+        ((p * u64::from(n)) / c) as u32
+    }
+
+    /// All partitions owned by instance `i` out of `n`.
+    pub fn partitions_of_instance(&self, i: u32, n: u32) -> Vec<PartitionId> {
+        (0..self.partition_count)
+            .map(PartitionId)
+            .filter(|p| self.instance_of_partition(*p, n) == i)
+            .collect()
+    }
+}
+
+impl Default for Partitioner {
+    fn default() -> Self {
+        Partitioner::new(DEFAULT_PARTITION_COUNT)
+    }
+}
+
+/// Stable 64-bit hash of a key value (FNV-1a through the `Hash` impl).
+pub fn hash_key(key: &Value) -> u64 {
+    let mut hasher = FnvHasher::default();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// FNV-1a, a small deterministic hasher (std's `DefaultHasher` is not
+/// guaranteed stable across releases, and placement must be reproducible).
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_in_range_and_deterministic() {
+        let p = Partitioner::default();
+        for i in 0..1000i64 {
+            let key = Value::Int(i);
+            let part = p.partition_of(&key);
+            assert!(part.0 < DEFAULT_PARTITION_COUNT);
+            assert_eq!(part, p.partition_of(&key), "must be deterministic");
+        }
+    }
+
+    #[test]
+    fn str_and_int_keys_hash_differently() {
+        // The Value hash includes a type tag, so `7` and `"7"` are distinct keys.
+        assert_ne!(hash_key(&Value::Int(7)), hash_key(&Value::str("7")));
+    }
+
+    #[test]
+    fn instances_partition_the_partition_space() {
+        let p = Partitioner::new(271);
+        for n in [1u32, 2, 3, 5, 7, 12] {
+            let mut total = 0;
+            for i in 0..n {
+                let parts = p.partitions_of_instance(i, n);
+                assert!(!parts.is_empty(), "instance {i}/{n} owns no partitions");
+                total += parts.len();
+                for part in parts {
+                    assert_eq!(p.instance_of_partition(part, n), i);
+                }
+            }
+            assert_eq!(total, 271, "partitions must be fully covered for n={n}");
+        }
+    }
+
+    #[test]
+    fn instance_ranges_are_contiguous() {
+        let p = Partitioner::new(16);
+        let assignment: Vec<u32> = (0..16)
+            .map(|i| p.instance_of_partition(PartitionId(i), 4))
+            .collect();
+        assert_eq!(assignment, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn instance_of_matches_partition_route() {
+        let p = Partitioner::default();
+        for i in 0..500i64 {
+            let key = Value::Int(i);
+            let inst = p.instance_of(&key, 7);
+            let part = p.partition_of(&key);
+            assert_eq!(inst, p.instance_of_partition(part, 7));
+        }
+    }
+
+    #[test]
+    fn keys_spread_reasonably() {
+        let p = Partitioner::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..8000i64 {
+            counts[p.partition_of(&Value::Int(i)).0 as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(c),
+                "partition {i} badly skewed: {c}/8000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_rejected() {
+        Partitioner::new(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Clocks.
+//!
+//! Latency experiments stamp every record at the source and measure at the
+//! sink; checkpoint 2PC latency is probed at three points (§IX-A). Benches
+//! need wall time; integration tests need reproducibility — [`Clock`] serves
+//! both: a wall clock anchored at creation, or a manually advanced clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    kind: ClockKind,
+}
+
+#[derive(Debug, Clone)]
+enum ClockKind {
+    Wall(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock whose zero is "now".
+    pub fn wall() -> Clock {
+        Clock {
+            kind: ClockKind::Wall(Instant::now()),
+        }
+    }
+
+    /// A manual clock starting at zero; advance it with [`Clock::advance`].
+    pub fn manual() -> Clock {
+        Clock {
+            kind: ClockKind::Manual(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Microseconds since this clock's zero point.
+    pub fn now_micros(&self) -> u64 {
+        match &self.kind {
+            ClockKind::Wall(start) => start.elapsed().as_micros() as u64,
+            ClockKind::Manual(t) => t.load(Ordering::Acquire),
+        }
+    }
+
+    /// Advance a manual clock; panics on a wall clock (advancing wall time is
+    /// always a bug).
+    pub fn advance(&self, micros: u64) {
+        match &self.kind {
+            ClockKind::Wall(_) => panic!("cannot advance a wall clock"),
+            ClockKind::Manual(t) => {
+                t.fetch_add(micros, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Whether this is a manual (test) clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.kind, ClockKind::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let c = Clock::manual();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(250);
+        assert_eq!(c.now_micros(), 250);
+        c.advance(1);
+        assert_eq!(c.now_micros(), 251);
+        assert!(c.is_manual());
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let c = Clock::manual();
+        let c2 = c.clone();
+        c.advance(10);
+        assert_eq!(c2.now_micros(), 10);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_nondecreasing() {
+        let c = Clock::wall();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+        assert!(!c.is_manual());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn advancing_wall_clock_panics() {
+        Clock::wall().advance(1);
+    }
+}

@@ -1,0 +1,540 @@
+//! The dynamic value model.
+//!
+//! Everything that flows through the reproduction — stream events, operator
+//! state objects, grid entries, SQL rows — is a [`Value`]. The paper stores
+//! "any object (e.g., complex objects in Java, Python, etc.)" as the state
+//! value (§V-B); [`Value::Struct`] is our equivalent of such an object, and it
+//! is what makes state queryable: the SQL layer maps struct fields to columns
+//! exactly like Hazelcast IMDG maps object fields.
+//!
+//! Values are cheap to clone (strings, lists, and structs are `Arc`-backed)
+//! because snapshotting clones live state wholesale every checkpoint.
+
+use crate::schema::Schema;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically typed value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (shared).
+    Str(Arc<str>),
+    /// Microseconds since the UNIX epoch (or since run start for latency
+    /// stamps — the interpretation is up to the producer).
+    Timestamp(i64),
+    /// Ordered list of values (shared).
+    List(Arc<Vec<Value>>),
+    /// A named-field record; the queryable form of an operator state object.
+    Struct(StructValue),
+    /// Opaque bytes (used for the baseline engine's blob snapshots).
+    Bytes(Arc<[u8]>),
+}
+
+/// A record value: a schema plus one value per field.
+///
+/// Schema and values are each `Arc`-shared so cloning a struct is two
+/// refcount bumps regardless of width.
+#[derive(Debug, Clone)]
+pub struct StructValue {
+    schema: Arc<Schema>,
+    values: Arc<Vec<Value>>,
+}
+
+impl StructValue {
+    /// Build a struct; panics if the value count does not match the schema.
+    pub fn new(schema: Arc<Schema>, values: Vec<Value>) -> Self {
+        assert_eq!(
+            schema.len(),
+            values.len(),
+            "struct value arity must match schema"
+        );
+        StructValue {
+            schema,
+            values: Arc::new(values),
+        }
+    }
+
+    /// The struct's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All field values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Field lookup by name; `None` if the schema has no such field.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.schema.index_of(name).map(|i| &self.values[i])
+    }
+
+    /// Field lookup by position.
+    pub fn field_at(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the struct has zero fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A copy of this struct with one field replaced.
+    pub fn with_field(&self, name: &str, value: Value) -> Option<StructValue> {
+        let idx = self.schema.index_of(name)?;
+        let mut values = self.values.as_ref().clone();
+        values[idx] = value;
+        Some(StructValue {
+            schema: Arc::clone(&self.schema),
+            values: Arc::new(values),
+        })
+    }
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for lists.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    /// Build a struct value from a schema and field values.
+    pub fn record(schema: &Arc<Schema>, values: Vec<Value>) -> Value {
+        Value::Struct(StructValue::new(Arc::clone(schema), values))
+    }
+
+    /// A short label for the runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Timestamp(_) => "timestamp",
+            Value::List(_) => "list",
+            Value::Struct(_) => "struct",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (no coercion).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (no coercion).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view (no coercion).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view (micros); integers coerce.
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Struct view.
+    pub fn as_struct(&self) -> Option<&StructValue> {
+        match self {
+            Value::Struct(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison with numeric coercion.
+    ///
+    /// Returns `None` when either side is NULL or the types are incomparable
+    /// (SQL three-valued logic: the comparison is UNKNOWN).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => Some(a.total_cmp(b)),
+            (Int(a), Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Float(a), Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Int(b)) | (Int(b), Timestamp(a)) => {
+                // Allow literal integers to compare against timestamps: the
+                // paper's queries compare timestamp columns with computed
+                // bounds.
+                Some(a.cmp(b)).map(|o| {
+                    if matches!(self, Int(_)) {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                })
+            }
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering across all values, usable as a BTree/sort key.
+    ///
+    /// Heterogeneous types order by a fixed type rank; floats use IEEE total
+    /// order. Unlike [`Value::sql_cmp`] this never returns "unknown".
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Timestamp(_) => 4,
+                Value::Str(_) => 5,
+                Value::Bytes(_) => 6,
+                Value::List(_) => 7,
+                Value::Struct(_) => 8,
+            }
+        }
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.total_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Struct(a), Struct(b)) => {
+                for (x, y) in a.values().iter().zip(b.values().iter()) {
+                    let o = x.total_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(3);
+                f.to_bits().hash(state);
+            }
+            Value::Timestamp(t) => {
+                state.write_u8(4);
+                t.hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Value::Bytes(b) => {
+                state.write_u8(6);
+                b.hash(state);
+            }
+            Value::List(l) => {
+                state.write_u8(7);
+                for v in l.iter() {
+                    v.hash(state);
+                }
+            }
+            Value::Struct(sv) => {
+                state.write_u8(8);
+                for v in sv.values() {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for StructValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+impl Eq for StructValue {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Timestamp(t) => write!(f, "ts:{t}"),
+            Value::Bytes(b) => write!(f, "0x{}", hex(b)),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Struct(sv) => {
+                write!(f, "{{")?;
+                for (i, field) in sv.schema().fields().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {}", field.name, sv.field_at(i))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn person_schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            ("name", DataType::Str),
+            ("age", DataType::Int),
+        ]))
+    }
+
+    #[test]
+    fn struct_field_access() {
+        let s = StructValue::new(person_schema(), vec![Value::str("ada"), Value::Int(36)]);
+        assert_eq!(s.field("name"), Some(&Value::str("ada")));
+        assert_eq!(s.field("age"), Some(&Value::Int(36)));
+        assert_eq!(s.field("missing"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn struct_with_field_replaces_one_value() {
+        let s = StructValue::new(person_schema(), vec![Value::str("ada"), Value::Int(36)]);
+        let s2 = s.with_field("age", Value::Int(37)).unwrap();
+        assert_eq!(s2.field("age"), Some(&Value::Int(37)));
+        assert_eq!(s.field("age"), Some(&Value::Int(36)), "original unchanged");
+        assert!(s.with_field("nope", Value::Null).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn struct_arity_mismatch_panics() {
+        StructValue::new(person_schema(), vec![Value::str("ada")]);
+    }
+
+    #[test]
+    fn sql_cmp_coerces_numerics() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::str("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn sql_cmp_timestamp_vs_int_is_symmetric() {
+        let t = Value::Timestamp(100);
+        let i = Value::Int(50);
+        assert_eq!(t.sql_cmp(&i), Some(Ordering::Greater));
+        assert_eq!(i.sql_cmp(&t), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_order_is_usable_for_sorting() {
+        let mut vals = [Value::str("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(0.5),
+            Value::str("a"),
+            Value::Int(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        // ints before floats by rank, strings last
+        assert_eq!(vals[1], Value::Int(1));
+        assert_eq!(vals[2], Value::Int(3));
+        assert_eq!(vals[5], Value::str("b"));
+    }
+
+    #[test]
+    fn equality_and_hash_agree_for_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Value::str("rider-7"), 1);
+        m.insert(Value::Int(7), 2);
+        assert_eq!(m.get(&Value::str("rider-7")), Some(&1));
+        assert_eq!(m.get(&Value::Int(7)), Some(&2));
+        assert_eq!(m.get(&Value::Int(8)), None);
+    }
+
+    #[test]
+    fn display_renders_struct() {
+        let s = Value::record(&person_schema(), vec![Value::str("ada"), Value::Int(36)]);
+        assert_eq!(s.to_string(), "{name: ada, age: 36}");
+    }
+
+    #[test]
+    fn nested_lists_compare_lexicographically() {
+        let a = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::list(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::list(vec![Value::Int(1)]);
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < nan);
+    }
+}

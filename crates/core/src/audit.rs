@@ -1,0 +1,284 @@
+//! Auditing & compliance over queryable state (paper §III).
+//!
+//! The paper argues queryable state makes streaming systems auditable:
+//! under GDPR, *"'processing' means any operation that operates on personal
+//! data … individuals also have the right to request their personal data as
+//! defined in article 15 … organizations using streaming systems need to
+//! provide even their internal state on request."*
+//!
+//! This module turns that argument into an API:
+//!
+//! * [`SubjectReport`] / [`SQuery::subject_report`] — a data-subject access
+//!   request: everything stored under a key, across every operator's live
+//!   state *and* every retained snapshot version (article 15);
+//! * [`SQuery::erase_subject`] — the right to erasure (article 17):
+//!   physically removes the key from every live map and from every retained
+//!   version of every snapshot store.
+//!
+//! Internal bookkeeping tables (names starting with `__`, e.g. the source
+//! offsets store) are excluded — they hold engine positions, not personal
+//! data.
+
+use crate::system::SQuery;
+use squery_common::{SnapshotId, SqResult, Value};
+use std::fmt;
+
+/// One operator's live-state entry for the subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveEntry {
+    /// Operator (live table) name.
+    pub operator: String,
+    /// The state object stored under the subject's key.
+    pub value: Value,
+}
+
+/// One retained snapshot version of the subject's state at one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Operator name (the store is `snapshot_<operator>`).
+    pub operator: String,
+    /// Which retained snapshot version.
+    pub ssid: SnapshotId,
+    /// The state object at that version.
+    pub value: Value,
+}
+
+/// A data-subject access report (GDPR article 15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectReport {
+    /// The subject's key.
+    pub key: Value,
+    /// Live state per operator.
+    pub live: Vec<LiveEntry>,
+    /// Snapshot history per operator per retained version, ascending ssid.
+    pub history: Vec<HistoryEntry>,
+}
+
+impl SubjectReport {
+    /// Whether the system holds any data for the subject at all.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty() && self.history.is_empty()
+    }
+}
+
+impl fmt::Display for SubjectReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "subject access report for key {}", self.key)?;
+        writeln!(f, "  live state ({} operators):", self.live.len())?;
+        for e in &self.live {
+            writeln!(f, "    {}: {}", e.operator, e.value)?;
+        }
+        writeln!(f, "  snapshot history ({} versions):", self.history.len())?;
+        for e in &self.history {
+            writeln!(f, "    {} @ {}: {}", e.operator, e.ssid, e.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of an erasure request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErasureReceipt {
+    /// Live map entries removed.
+    pub live_removed: usize,
+    /// Stored snapshot entries removed (across versions and operators).
+    pub snapshot_entries_removed: usize,
+}
+
+fn is_internal(operator: &str) -> bool {
+    operator.starts_with("__")
+}
+
+impl SQuery {
+    /// Collect everything stored under `key` across all operators' live state
+    /// and all retained snapshot versions (GDPR article 15).
+    pub fn subject_report(&self, key: &Value) -> SqResult<SubjectReport> {
+        let grid = self.grid();
+        let mut live = Vec::new();
+        for name in grid.map_names() {
+            if is_internal(&name) {
+                continue;
+            }
+            if let Some(map) = grid.get_map(&name) {
+                if let Some(value) = map.get(key) {
+                    live.push(LiveEntry {
+                        operator: name,
+                        value,
+                    });
+                }
+            }
+        }
+        let retained = grid.registry().committed_ssids();
+        let mut history = Vec::new();
+        for table in grid.snapshot_table_names() {
+            let operator = table
+                .strip_prefix("snapshot_")
+                .unwrap_or(&table)
+                .to_string();
+            if is_internal(&operator) {
+                continue;
+            }
+            let Some(store) = grid.get_snapshot_store(&operator) else {
+                continue;
+            };
+            for &ssid in &retained {
+                if let Some(value) = store.read_at(ssid, key)? {
+                    history.push(HistoryEntry {
+                        operator: operator.clone(),
+                        ssid,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(SubjectReport {
+            key: key.clone(),
+            live,
+            history,
+        })
+    }
+
+    /// Physically erase `key` from every operator's live state and from
+    /// every retained snapshot version (GDPR article 17).
+    ///
+    /// Note that a *running* job may re-create the key from future events;
+    /// erasure covers the stored state, as the paper's compliance use case
+    /// requires — stopping the upstream data flow is an application decision.
+    pub fn erase_subject(&self, key: &Value) -> SqResult<ErasureReceipt> {
+        let grid = self.grid();
+        let mut live_removed = 0;
+        for name in grid.map_names() {
+            if is_internal(&name) {
+                continue;
+            }
+            if let Some(map) = grid.get_map(&name) {
+                if map.remove(key).is_some() {
+                    live_removed += 1;
+                }
+            }
+        }
+        let mut snapshot_entries_removed = 0;
+        for table in grid.snapshot_table_names() {
+            let operator = table.strip_prefix("snapshot_").unwrap_or(&table);
+            if is_internal(operator) {
+                continue;
+            }
+            if let Some(store) = grid.get_snapshot_store(operator) {
+                snapshot_entries_removed += store.erase_key(key);
+            }
+        }
+        Ok(ErasureReceipt {
+            live_removed,
+            snapshot_entries_removed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SQueryConfig;
+
+    /// A system with two operators holding data for keys 1 and 2, live and
+    /// across two committed snapshots.
+    fn populated() -> SQuery {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let grid = system.grid();
+        for op in ["orders", "riders"] {
+            let live = grid.map(op);
+            live.put(Value::Int(1), Value::str(format!("{op}-live-1")));
+            live.put(Value::Int(2), Value::str(format!("{op}-live-2")));
+        }
+        for round in 1..=2 {
+            let ssid = grid.registry().begin().unwrap();
+            for op in ["orders", "riders"] {
+                let store = grid.snapshot_store(op);
+                for key in [1i64, 2] {
+                    store.write_partition(
+                        ssid,
+                        store.partition_of(&Value::Int(key)),
+                        vec![(
+                            Value::Int(key),
+                            Some(Value::str(format!("{op}-v{round}-{key}"))),
+                        )],
+                        true,
+                    );
+                }
+            }
+            // The offsets store is internal and must never leak into reports.
+            let offsets = grid.snapshot_store("__offsets");
+            offsets.write_partition(
+                ssid,
+                offsets.partition_of(&Value::Int(1)),
+                vec![(Value::Int(1), Some(Value::Int(999)))],
+                true,
+            );
+            grid.registry().commit(ssid).unwrap();
+        }
+        system
+    }
+
+    #[test]
+    fn subject_report_collects_live_and_history() {
+        let system = populated();
+        let report = system.subject_report(&Value::Int(1)).unwrap();
+        assert_eq!(report.live.len(), 2, "both operators hold live data");
+        assert_eq!(
+            report.history.len(),
+            4,
+            "2 operators × 2 retained versions"
+        );
+        assert!(report
+            .live
+            .iter()
+            .any(|e| e.operator == "orders" && e.value == Value::str("orders-live-1")));
+        assert!(report.history.iter().all(|e| e.operator != "__offsets"));
+        let text = report.to_string();
+        assert!(text.contains("orders-v1-1"), "{text}");
+        assert!(text.contains("riders-v2-1"), "{text}");
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn unknown_subject_yields_empty_report() {
+        let system = populated();
+        let report = system.subject_report(&Value::Int(42)).unwrap();
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn erasure_removes_subject_everywhere() {
+        let system = populated();
+        let receipt = system.erase_subject(&Value::Int(1)).unwrap();
+        assert_eq!(receipt.live_removed, 2);
+        assert_eq!(receipt.snapshot_entries_removed, 4);
+        assert!(system.subject_report(&Value::Int(1)).unwrap().is_empty());
+        // The other subject is untouched.
+        let other = system.subject_report(&Value::Int(2)).unwrap();
+        assert_eq!(other.live.len(), 2);
+        assert_eq!(other.history.len(), 4);
+        // SQL over the snapshot table confirms the erasure.
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM snapshot_orders")
+            .unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(1)));
+        // Erasing again is a no-op.
+        let receipt = system.erase_subject(&Value::Int(1)).unwrap();
+        assert_eq!(receipt.live_removed, 0);
+        assert_eq!(receipt.snapshot_entries_removed, 0);
+    }
+
+    #[test]
+    fn internal_tables_excluded_from_erasure() {
+        let system = populated();
+        system.erase_subject(&Value::Int(1)).unwrap();
+        // The engine's offset bookkeeping survives subject erasure.
+        let offsets = system.grid().get_snapshot_store("__offsets").unwrap();
+        assert_eq!(
+            offsets
+                .read_at(system.latest_snapshot().unwrap(), &Value::Int(1))
+                .unwrap(),
+            Some(Value::Int(999))
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Top-level S-QUERY configuration.
+
+use squery_common::config::ClusterConfig;
+use squery_common::{SqError, SqResult};
+use squery_storage::SnapshotMode;
+use squery_streaming::{EngineConfig, StateConfig};
+use std::time::Duration;
+
+/// Configuration of a whole S-QUERY deployment: the simulated cluster, the
+/// state mechanisms, checkpointing cadence, and snapshot retention.
+#[derive(Debug, Clone, Copy)]
+pub struct SQueryConfig {
+    /// Cluster topology (nodes, partitions, replication, network model).
+    pub cluster: ClusterConfig,
+    /// Which state mechanisms are active (the Figure 8 configurations).
+    pub state: StateConfig,
+    /// Periodic checkpoint interval; `None` = manual checkpoints only
+    /// (deterministic tests). The paper's evaluation uses 0.5–2 s.
+    pub checkpoint_interval: Option<Duration>,
+    /// Committed snapshot versions to retain (default 2, §VI-A "Snapshot
+    /// Versions": constant memory, always one queryable version).
+    pub retained_versions: usize,
+    /// Engine tuning: channel capacity between instances.
+    pub channel_capacity: usize,
+    /// Engine tuning: source batch size.
+    pub source_batch: usize,
+}
+
+impl SQueryConfig {
+    /// Single-node deployment, S-QUERY snapshot configuration, manual
+    /// checkpoints — the deterministic test/default setup.
+    pub fn default_config() -> SQueryConfig {
+        SQueryConfig {
+            cluster: ClusterConfig::single_node(),
+            state: StateConfig::snapshot_only(),
+            checkpoint_interval: None,
+            retained_versions: 2,
+            channel_capacity: 1024,
+            source_batch: 256,
+        }
+    }
+
+    /// Full S-QUERY: live write-through and queryable snapshots, 1 s
+    /// checkpoint interval (the paper's default).
+    pub fn live_and_snapshot() -> SQueryConfig {
+        SQueryConfig {
+            state: StateConfig::live_and_snapshot(),
+            checkpoint_interval: Some(Duration::from_secs(1)),
+            ..SQueryConfig::default_config()
+        }
+    }
+
+    /// Snapshot-only S-QUERY with periodic checkpoints — the configuration
+    /// the paper's evaluation focuses on.
+    pub fn snapshot_periodic(interval: Duration) -> SQueryConfig {
+        SQueryConfig {
+            checkpoint_interval: Some(interval),
+            ..SQueryConfig::default_config()
+        }
+    }
+
+    /// Incremental snapshots (§VI-A optimization).
+    pub fn incremental(mut self) -> SQueryConfig {
+        self.state.queryable_snapshots = true;
+        self.state.snapshot_mode = SnapshotMode::Incremental;
+        self
+    }
+
+    /// Use the given state-mechanism configuration.
+    pub fn with_state(mut self, state: StateConfig) -> SQueryConfig {
+        self.state = state;
+        self
+    }
+
+    /// Override retention (≥ 1).
+    pub fn with_retention(mut self, versions: usize) -> SQueryConfig {
+        self.retained_versions = versions;
+        self
+    }
+
+    /// Run on a simulated `n`-node cluster.
+    pub fn on_cluster(mut self, n: u32) -> SQueryConfig {
+        self.cluster = ClusterConfig::simulated(n);
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> SqResult<()> {
+        self.cluster.validate()?;
+        if self.retained_versions == 0 {
+            return Err(SqError::Config("retention must be at least 1".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(SqError::Config("channel capacity must be positive".into()));
+        }
+        if self.source_batch == 0 {
+            return Err(SqError::Config("source batch must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// The engine configuration this implies.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            state: self.state,
+            checkpoint_interval: self.checkpoint_interval,
+            channel_capacity: self.channel_capacity,
+            source_batch: self.source_batch,
+            ack_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl Default for SQueryConfig {
+    fn default() -> Self {
+        SQueryConfig::default_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_snapshot_only() {
+        let c = SQueryConfig::default();
+        c.validate().unwrap();
+        assert!(!c.state.live_state);
+        assert!(c.state.queryable_snapshots);
+        assert_eq!(c.retained_versions, 2);
+        assert!(c.checkpoint_interval.is_none());
+    }
+
+    #[test]
+    fn presets_compose() {
+        let c = SQueryConfig::live_and_snapshot()
+            .incremental()
+            .with_retention(5)
+            .on_cluster(3);
+        c.validate().unwrap();
+        assert!(c.state.live_state);
+        assert_eq!(c.state.snapshot_mode, SnapshotMode::Incremental);
+        assert_eq!(c.retained_versions, 5);
+        assert_eq!(c.cluster.nodes, 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = SQueryConfig {
+            retained_versions: 0,
+            ..SQueryConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SQueryConfig {
+            channel_capacity: 0,
+            ..SQueryConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SQueryConfig {
+            source_batch: 0,
+            ..SQueryConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn engine_config_mirrors_fields() {
+        let c = SQueryConfig::snapshot_periodic(Duration::from_millis(500));
+        let e = c.engine_config();
+        assert_eq!(e.checkpoint_interval, Some(Duration::from_millis(500)));
+        assert_eq!(e.state, c.state);
+        assert_eq!(e.channel_capacity, 1024);
+    }
+}

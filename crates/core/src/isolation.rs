@@ -1,0 +1,162 @@
+//! Isolation levels for state queries (paper §VII).
+//!
+//! S-QUERY offers two read paths with different guarantees:
+//!
+//! * **Live state** — read uncommitted in general: a failure rolls the
+//!   system back to the last checkpoint, so values observed live may later
+//!   "un-happen" (the dirty read of Figure 5). Absent failures, key-level
+//!   locking lifts live reads to read committed. The paper sketches (but
+//!   does not implement) two upgrades: hot-standby active replication for
+//!   failure-proof read committed, and holding key locks for a whole query
+//!   for repeatable read — rejected for its performance cost.
+//! * **Snapshot state** — snapshot isolation by construction (immutable
+//!   committed versions, atomic publication evading phantom reads), and in
+//!   fact **serializable**: live updates are serialized by design (parallel
+//!   single-threaded operators over disjoint key partitions ⇒ no concurrent
+//!   writes, no write conflicts), and a snapshot crystallizes that serial
+//!   history at one point (the Figure 6 behaviour).
+
+use crate::direct::StateView;
+use std::fmt;
+
+/// ANSI-style isolation levels, as discussed in the paper's §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// Dirty reads possible (live state across failures).
+    ReadUncommitted,
+    /// Only committed data observed (live state absent failures).
+    ReadCommitted,
+    /// Reads repeat within a transaction (not offered — would require
+    /// holding key locks for whole queries, §VII-B).
+    RepeatableRead,
+    /// Queries see one committed snapshot, immune to concurrent updates.
+    SnapshotIsolation,
+    /// Equivalent to a serial schedule (snapshot queries, §VII-B).
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// The isolation level a given state view provides.
+    ///
+    /// `assume_no_failures` reflects the paper's observation that live reads
+    /// are read committed *"if we assume no failures"* — there is then no
+    /// event that can destabilize an observed update, and key-level locking
+    /// protects individual accesses.
+    pub fn of_view(view: StateView, assume_no_failures: bool) -> IsolationLevel {
+        match view {
+            StateView::Live => {
+                if assume_no_failures {
+                    IsolationLevel::ReadCommitted
+                } else {
+                    IsolationLevel::ReadUncommitted
+                }
+            }
+            // Snapshot reads are serializable: single-writer-per-partition
+            // updates admit no write conflicts, and the snapshot is an atomic
+            // crystallization of that serial history.
+            StateView::LatestSnapshot | StateView::Snapshot(_) => IsolationLevel::Serializable,
+        }
+    }
+
+    /// Whether dirty reads are possible at this level.
+    pub fn allows_dirty_reads(self) -> bool {
+        self == IsolationLevel::ReadUncommitted
+    }
+
+    /// Whether this level guarantees a query never observes effects of
+    /// updates that commit after the query started.
+    pub fn is_snapshot_stable(self) -> bool {
+        matches!(
+            self,
+            IsolationLevel::SnapshotIsolation | IsolationLevel::Serializable
+        )
+    }
+
+    /// One-line description, for reports and docs.
+    pub fn description(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadUncommitted => {
+                "uncommitted updates observable; a failure may roll them back (dirty reads)"
+            }
+            IsolationLevel::ReadCommitted => {
+                "only committed values observed; individual accesses protected by key-level locks"
+            }
+            IsolationLevel::RepeatableRead => {
+                "reads repeat within a transaction; requires query-lifetime key locks"
+            }
+            IsolationLevel::SnapshotIsolation => {
+                "each query reads one committed snapshot, isolated from concurrent updates"
+            }
+            IsolationLevel::Serializable => {
+                "equivalent to a serial schedule; snapshot queries over single-writer state"
+            }
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IsolationLevel::ReadUncommitted => "read uncommitted",
+            IsolationLevel::ReadCommitted => "read committed",
+            IsolationLevel::RepeatableRead => "repeatable read",
+            IsolationLevel::SnapshotIsolation => "snapshot isolation",
+            IsolationLevel::Serializable => "serializable",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::SnapshotId;
+
+    #[test]
+    fn live_view_levels_depend_on_failure_assumption() {
+        assert_eq!(
+            IsolationLevel::of_view(StateView::Live, false),
+            IsolationLevel::ReadUncommitted
+        );
+        assert_eq!(
+            IsolationLevel::of_view(StateView::Live, true),
+            IsolationLevel::ReadCommitted
+        );
+    }
+
+    #[test]
+    fn snapshot_views_are_serializable() {
+        assert_eq!(
+            IsolationLevel::of_view(StateView::LatestSnapshot, false),
+            IsolationLevel::Serializable
+        );
+        assert_eq!(
+            IsolationLevel::of_view(StateView::Snapshot(SnapshotId(3)), false),
+            IsolationLevel::Serializable
+        );
+    }
+
+    #[test]
+    fn level_ordering_matches_ansi_strength() {
+        assert!(IsolationLevel::ReadUncommitted < IsolationLevel::ReadCommitted);
+        assert!(IsolationLevel::ReadCommitted < IsolationLevel::RepeatableRead);
+        assert!(IsolationLevel::RepeatableRead < IsolationLevel::SnapshotIsolation);
+        assert!(IsolationLevel::SnapshotIsolation < IsolationLevel::Serializable);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(IsolationLevel::ReadUncommitted.allows_dirty_reads());
+        assert!(!IsolationLevel::Serializable.allows_dirty_reads());
+        assert!(IsolationLevel::Serializable.is_snapshot_stable());
+        assert!(!IsolationLevel::ReadCommitted.is_snapshot_stable());
+    }
+
+    #[test]
+    fn display_and_description() {
+        assert_eq!(IsolationLevel::Serializable.to_string(), "serializable");
+        assert!(IsolationLevel::ReadUncommitted
+            .description()
+            .contains("dirty"));
+    }
+}

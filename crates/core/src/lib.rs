@@ -1,0 +1,59 @@
+//! # S-QUERY
+//!
+//! Reference implementation (reproduction) of **"S-QUERY: Opening the Black
+//! Box of Internal Stream Processor State"** (ICDE 2022): making the internal
+//! state of a distributed stream processor externally queryable, live or
+//! through consistent snapshots, at well-defined isolation levels.
+//!
+//! The architecture mirrors the paper's Figure 1:
+//!
+//! ```text
+//!   stream processor (squery-streaming)      state store (squery-storage)
+//!   ┌───────────────────────────────┐        ┌──────────────────────────┐
+//!   │ sources → stateful ops → sinks│ ─────▶ │ live maps   <operator>   │
+//!   │    marker-aligned checkpoints │ ─────▶ │ snapshots   snapshot_<op>│
+//!   └───────────────────────────────┘        │ snapshot registry (2PC)  │
+//!                                            └────────────┬─────────────┘
+//!                query system (this crate + squery-sql)   ▼
+//!                SQL interface  ·  direct object interface
+//! ```
+//!
+//! Entry point: [`SQuery`]. Configure which state mechanisms are active with
+//! [`SQueryConfig`] (live write-through, queryable full/incremental
+//! snapshots, retention), submit stream jobs, then query:
+//!
+//! ```
+//! use squery::{SQuery, SQueryConfig};
+//! use squery_common::Value;
+//!
+//! let system = SQuery::new(SQueryConfig::default()).unwrap();
+//! // Populate an operator's live state as a running job would.
+//! let map = system.grid().map("average");
+//! map.put(Value::Int(1), Value::Int(30));
+//! let result = system.query("SELECT this FROM average WHERE partitionKey = 1").unwrap();
+//! assert_eq!(result.rows()[0][0], Value::Int(30));
+//! ```
+//!
+//! The crate re-exports the substrate APIs a downstream user needs, so
+//! `squery` alone is enough to build and query a streaming application.
+
+pub mod audit;
+pub mod config;
+pub mod direct;
+pub mod isolation;
+pub mod overview;
+pub mod system;
+
+pub use audit::{ErasureReceipt, SubjectReport};
+pub use overview::SystemOverview;
+pub use config::SQueryConfig;
+pub use direct::{DirectQuery, StateView};
+pub use isolation::IsolationLevel;
+pub use system::SQuery;
+
+// Re-export the substrate surface a user programs against.
+pub use squery_sql::{ResultSet, SqlEngine};
+pub use squery_storage::{Grid, SnapshotMode};
+pub use squery_streaming::{
+    EdgeKind, EngineConfig, JobHandle, JobReport, JobSpec, StateConfig, StreamEnv,
+};

@@ -1,0 +1,181 @@
+//! System overview: the monitoring face of queryable state (paper §III).
+//!
+//! A one-call summary of everything the state store holds — per-operator
+//! live sizes, snapshot version counts and bytes, the committed snapshot
+//! window — the kind of view an operator dashboard would poll.
+
+use crate::system::SQuery;
+use squery_common::SnapshotId;
+use std::fmt;
+
+/// Summary of one operator's state footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorState {
+    /// Operator name.
+    pub operator: String,
+    /// Live entries currently held (`None` if live state is disabled).
+    pub live_entries: Option<usize>,
+    /// Approximate live bytes.
+    pub live_bytes: Option<usize>,
+    /// Retained snapshot versions in the store.
+    pub snapshot_versions: usize,
+    /// Stored snapshot entries across versions (incl. tombstones).
+    pub snapshot_entries: usize,
+    /// Approximate snapshot bytes.
+    pub snapshot_bytes: usize,
+}
+
+/// A point-in-time summary of the whole deployment's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemOverview {
+    /// Per-operator footprints, sorted by name (internal `__` tables hidden).
+    pub operators: Vec<OperatorState>,
+    /// Latest committed snapshot id.
+    pub latest_snapshot: Option<SnapshotId>,
+    /// All retained committed snapshot ids, ascending.
+    pub retained_snapshots: Vec<SnapshotId>,
+    /// Total live bytes across operators.
+    pub total_live_bytes: usize,
+    /// Total snapshot bytes across operators.
+    pub total_snapshot_bytes: usize,
+}
+
+impl fmt::Display for SystemOverview {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "state store overview — latest snapshot: {}, retained: {:?}",
+            self.latest_snapshot
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "<none>".into()),
+            self.retained_snapshots
+                .iter()
+                .map(|s| s.0)
+                .collect::<Vec<_>>()
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>12} {:>12} {:>10} {:>14} {:>14}",
+            "operator", "live entries", "live bytes", "versions", "snap entries", "snap bytes"
+        )?;
+        for op in &self.operators {
+            writeln!(
+                f,
+                "{:<20} {:>12} {:>12} {:>10} {:>14} {:>14}",
+                op.operator,
+                op.live_entries.map_or("-".into(), |n| n.to_string()),
+                op.live_bytes.map_or("-".into(), |n| n.to_string()),
+                op.snapshot_versions,
+                op.snapshot_entries,
+                op.snapshot_bytes,
+            )?;
+        }
+        write!(
+            f,
+            "total: {} live bytes, {} snapshot bytes",
+            self.total_live_bytes, self.total_snapshot_bytes
+        )
+    }
+}
+
+impl SQuery {
+    /// Collect a point-in-time overview of all operator state.
+    pub fn overview(&self) -> SystemOverview {
+        let grid = self.grid();
+        let mut names: Vec<String> = grid
+            .map_names()
+            .into_iter()
+            .chain(
+                grid.snapshot_table_names()
+                    .into_iter()
+                    .map(|t| t.strip_prefix("snapshot_").unwrap_or(&t).to_string()),
+            )
+            .filter(|n| !n.starts_with("__"))
+            .collect();
+        names.sort();
+        names.dedup();
+        let operators = names
+            .into_iter()
+            .map(|operator| {
+                let live = grid.get_map(&operator);
+                let snap = grid.get_snapshot_store(&operator);
+                let stats = snap.as_ref().map(|s| s.stats());
+                OperatorState {
+                    live_entries: live.as_ref().map(|m| m.len()),
+                    live_bytes: live.as_ref().map(|m| m.approximate_bytes()),
+                    snapshot_versions: stats.map_or(0, |s| s.retained_versions),
+                    snapshot_entries: stats.map_or(0, |s| s.stored_entries),
+                    snapshot_bytes: stats.map_or(0, |s| s.approx_bytes),
+                    operator,
+                }
+            })
+            .collect();
+        SystemOverview {
+            operators,
+            latest_snapshot: self.latest_snapshot(),
+            retained_snapshots: self.retained_snapshots(),
+            total_live_bytes: grid.total_live_bytes(),
+            total_snapshot_bytes: grid.total_snapshot_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SQueryConfig;
+    use squery_common::Value;
+
+    #[test]
+    fn overview_reports_operator_footprints() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let grid = system.grid();
+        let live = grid.map("orders");
+        live.put(Value::Int(1), Value::str("x"));
+        live.put(Value::Int(2), Value::str("y"));
+        let store = grid.snapshot_store("orders");
+        let ssid = grid.registry().begin().unwrap();
+        store.write_partition(
+            ssid,
+            store.partition_of(&Value::Int(1)),
+            vec![(Value::Int(1), Some(Value::str("x")))],
+            true,
+        );
+        grid.registry().commit(ssid).unwrap();
+        grid.snapshot_store("__offsets"); // internal: must be hidden
+
+        let overview = system.overview();
+        assert_eq!(overview.operators.len(), 1);
+        let orders = &overview.operators[0];
+        assert_eq!(orders.operator, "orders");
+        assert_eq!(orders.live_entries, Some(2));
+        assert_eq!(orders.snapshot_versions, 1);
+        assert_eq!(orders.snapshot_entries, 1);
+        assert!(orders.live_bytes.unwrap() > 0);
+        assert_eq!(overview.latest_snapshot, Some(ssid));
+        let text = overview.to_string();
+        assert!(text.contains("orders"), "{text}");
+        assert!(!text.contains("__offsets"), "{text}");
+    }
+
+    #[test]
+    fn overview_without_any_state() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let overview = system.overview();
+        assert!(overview.operators.is_empty());
+        assert!(overview.latest_snapshot.is_none());
+        assert_eq!(overview.total_live_bytes, 0);
+        assert!(overview.to_string().contains("<none>"));
+    }
+
+    #[test]
+    fn snapshot_only_operator_shows_no_live_columns() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let grid = system.grid();
+        grid.snapshot_store("avg");
+        let overview = system.overview();
+        assert_eq!(overview.operators.len(), 1);
+        assert_eq!(overview.operators[0].live_entries, None);
+        assert!(overview.to_string().contains('-'));
+    }
+}

@@ -1,0 +1,303 @@
+//! The S-QUERY system facade: stream processor + state store + query system.
+
+use crate::config::SQueryConfig;
+use crate::direct::DirectQuery;
+use squery_common::{SnapshotId, SqResult};
+use squery_sql::{GridCatalog, ResultSet, SqlEngine};
+use squery_storage::Grid;
+use squery_streaming::{JobHandle, JobSpec, StreamEnv};
+use std::sync::Arc;
+
+/// A complete S-QUERY deployment (the paper's Figure 1): a stream processor
+/// whose operators store their live and snapshot state in a partitioned KV
+/// grid, plus the query system exposing both through SQL and direct object
+/// interfaces.
+pub struct SQuery {
+    grid: Arc<Grid>,
+    env: StreamEnv,
+    sql: SqlEngine<GridCatalog>,
+    config: SQueryConfig,
+}
+
+impl SQuery {
+    /// Bring up a deployment for `config`.
+    pub fn new(config: SQueryConfig) -> SqResult<SQuery> {
+        config.validate()?;
+        let grid = Grid::new(config.cluster)?;
+        grid.registry().set_retained_versions(config.retained_versions);
+        let env = StreamEnv::new(Arc::clone(&grid), config.engine_config());
+        let sql = SqlEngine::new(GridCatalog::new(Arc::clone(&grid)));
+        Ok(SQuery {
+            grid,
+            env,
+            sql,
+            config,
+        })
+    }
+
+    /// The underlying state store.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+
+    /// The configuration this deployment runs with.
+    pub fn config(&self) -> &SQueryConfig {
+        &self.config
+    }
+
+    /// Submit a streaming job.
+    pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
+        self.env.submit(spec)
+    }
+
+    /// Run a SQL query against the live and snapshot state tables.
+    ///
+    /// Live tables are named after their operator; snapshot tables are
+    /// `snapshot_<operator>` with an extra `ssid` column defaulting to the
+    /// latest committed snapshot (paper §V).
+    pub fn query(&self, sql: &str) -> SqResult<ResultSet> {
+        self.sql.query(sql)
+    }
+
+    /// The direct object interface (point/multi-key reads, Figure 14).
+    pub fn direct(&self) -> DirectQuery {
+        DirectQuery::new(Arc::clone(&self.grid))
+    }
+
+    /// The latest committed snapshot id, if any checkpoint has completed.
+    pub fn latest_snapshot(&self) -> Option<SnapshotId> {
+        let latest = self.grid.registry().latest_committed();
+        latest.is_some().then_some(latest)
+    }
+
+    /// All committed snapshot ids currently retained (oldest first).
+    pub fn retained_snapshots(&self) -> Vec<SnapshotId> {
+        self.grid.registry().committed_ssids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::StateView;
+    use squery_common::schema::schema;
+    use squery_common::{DataType, Value};
+    use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+    use squery_streaming::dag::{SourceFactory, Stateful};
+    use squery_streaming::source::{Source, SourceStatus};
+    use squery_streaming::state::KeyedState;
+    use squery_streaming::{EdgeKind, Record, StateConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// A source whose production is gated by a shared allowance counter —
+    /// lets tests decide exactly how many records exist before/after a
+    /// checkpoint (needed for the Figure 5/6 scenarios).
+    pub struct GatedSource {
+        index: u64,
+        allowance: Arc<AtomicU64>,
+    }
+
+    impl Source for GatedSource {
+        fn next_batch(
+            &mut self,
+            max: usize,
+            _now: u64,
+            out: &mut Vec<Record>,
+        ) -> SourceStatus {
+            let allowed = self.allowance.load(Ordering::Acquire);
+            let budget = (allowed.saturating_sub(self.index)).min(max as u64);
+            if budget == 0 {
+                return SourceStatus::Idle;
+            }
+            for _ in 0..budget {
+                // A constant-keyed counter increment stream.
+                out.push(Record::new(0i64, 1i64));
+                self.index += 1;
+            }
+            SourceStatus::Active
+        }
+
+        fn offset(&self) -> Value {
+            Value::Int(self.index as i64)
+        }
+
+        fn rewind(&mut self, offset: &Value) {
+            self.index = offset.as_int().unwrap() as u64;
+        }
+    }
+
+    struct GatedFactory(Arc<AtomicU64>);
+    impl SourceFactory for GatedFactory {
+        fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+            Box::new(GatedSource {
+                index: 0,
+                allowance: Arc::clone(&self.0),
+            })
+        }
+    }
+
+    fn counter_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
+    {
+        Arc::new(FnStateful(|_, _| {
+            Box::new(FnStatefulOp(
+                |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                    let prev = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0);
+                    state.put(r.key.clone(), Value::Int(prev + 1));
+                    out.push(Record {
+                        key: r.key,
+                        value: Value::Int(prev + 1),
+                        src_ts: r.src_ts,
+                        port: 0,
+                    });
+                },
+            )) as Box<dyn Stateful>
+        }))
+    }
+
+    /// A count job over a gated source; returns (system, job, allowance).
+    fn counter_system(
+        config: SQueryConfig,
+    ) -> (SQuery, squery_streaming::JobHandle, Arc<AtomicU64>) {
+        let system = SQuery::new(config).unwrap();
+        let allowance = Arc::new(AtomicU64::new(0));
+        let mut b = JobSpec::builder("counter-job");
+        let src = b.source("src", 1, Arc::new(GatedFactory(Arc::clone(&allowance))));
+        let op = b.stateful_with_schema(
+            "count",
+            1,
+            counter_factory(),
+            schema(vec![("this", DataType::Int)]),
+        );
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(src, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        let job = system.submit(b.build().unwrap()).unwrap();
+        (system, job, allowance)
+    }
+
+    fn live_count(system: &SQuery) -> Option<i64> {
+        system
+            .direct()
+            .get("count", &Value::Int(0), StateView::Live)
+            .unwrap()
+            .and_then(|v| v.as_int())
+    }
+
+    /// The paper's Figure 5: a live-state query observes an uncommitted
+    /// value that a failure subsequently rolls back — a dirty read,
+    /// demonstrating the read-uncommitted level of live queries.
+    #[test]
+    fn figure5_live_state_dirty_read() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let (system, mut job, allowance) = counter_system(config);
+
+        // Counter reaches 4; checkpoint captures it (snapshot id 1).
+        allowance.store(4, Ordering::Release);
+        job.wait_for_sink_count(4, Duration::from_secs(10)).unwrap();
+        let ssid = job.checkpoint_now().unwrap();
+
+        // One more increment: live shows 5 (uncommitted).
+        allowance.store(5, Ordering::Release);
+        job.wait_for_sink_count(5, Duration::from_secs(10)).unwrap();
+        assert_eq!(live_count(&system), Some(5), "Figure 5b: live query sees 5");
+
+        // The job fails before the next checkpoint; recovery rolls back.
+        // Lower the gate first so the rolled-back 5th event is not instantly
+        // replayed before we can observe the restored state.
+        job.crash();
+        allowance.store(4, Ordering::Release);
+        job.recover().unwrap();
+        assert_eq!(
+            live_count(&system),
+            Some(4),
+            "Figure 5c: the earlier read of 5 was dirty"
+        );
+        // The snapshot query was and remains 4.
+        assert_eq!(
+            system
+                .direct()
+                .get("count", &Value::Int(0), StateView::Snapshot(ssid))
+                .unwrap(),
+            Some(Value::Int(4))
+        );
+        job.stop();
+    }
+
+    /// The paper's Figure 6: a query pinned to a snapshot id returns the
+    /// same value before and after a failure — serializable isolation.
+    #[test]
+    fn figure6_snapshot_queries_survive_failure() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let (system, mut job, allowance) = counter_system(config);
+
+        allowance.store(2, Ordering::Release);
+        job.wait_for_sink_count(2, Duration::from_secs(10)).unwrap();
+        let ssid = job.checkpoint_now().unwrap();
+
+        allowance.store(3, Ordering::Release);
+        job.wait_for_sink_count(3, Duration::from_secs(10)).unwrap();
+        let read_before = system
+            .direct()
+            .get("count", &Value::Int(0), StateView::Snapshot(ssid))
+            .unwrap();
+        assert_eq!(read_before, Some(Value::Int(2)), "Figure 6b");
+
+        job.crash();
+        allowance.store(2, Ordering::Release);
+        job.recover().unwrap();
+        let read_after = system
+            .direct()
+            .get("count", &Value::Int(0), StateView::Snapshot(ssid))
+            .unwrap();
+        assert_eq!(read_after, read_before, "Figure 6c: still 2");
+        job.stop();
+    }
+
+    /// End-to-end SQL over a running job's live and snapshot state.
+    #[test]
+    fn sql_over_live_and_snapshot_tables() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let (system, job, allowance) = counter_system(config);
+        allowance.store(10, Ordering::Release);
+        job.wait_for_sink_count(10, Duration::from_secs(10)).unwrap();
+        let ssid = job.checkpoint_now().unwrap();
+        allowance.store(12, Ordering::Release);
+        job.wait_for_sink_count(12, Duration::from_secs(10)).unwrap();
+
+        let live = system
+            .query("SELECT this FROM count WHERE partitionKey = 0")
+            .unwrap();
+        assert_eq!(live.rows()[0][0], Value::Int(12));
+
+        let snap = system
+            .query("SELECT this, ssid FROM snapshot_count WHERE partitionKey = 0")
+            .unwrap();
+        assert_eq!(snap.rows()[0][0], Value::Int(10));
+        assert_eq!(snap.rows()[0][1], Value::Int(ssid.0 as i64));
+        job.stop();
+    }
+
+    #[test]
+    fn retention_is_configurable_through_squery() {
+        let config = SQueryConfig::default().with_retention(3);
+        let (system, job, allowance) = counter_system(config);
+        allowance.store(1, Ordering::Release);
+        job.wait_for_sink_count(1, Duration::from_secs(10)).unwrap();
+        for _ in 0..5 {
+            job.checkpoint_now().unwrap();
+        }
+        assert_eq!(system.retained_snapshots().len(), 3);
+        assert_eq!(system.latest_snapshot(), Some(SnapshotId(5)));
+        job.stop();
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let config = SQueryConfig {
+            retained_versions: 0,
+            ..SQueryConfig::default()
+        };
+        assert!(SQuery::new(config).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Index-deterministic NEXMark event generation.
+//!
+//! Every event is a pure function of `(instance, index)`, so rewinding a
+//! source to a snapshotted offset replays the identical suffix — the
+//! determinism exactly-once recovery requires (paper §IV). Prices use a
+//! splitmix-style hash of the index as the randomness source.
+
+use squery_common::schema::{schema, Schema};
+use squery_common::{DataType, Value};
+use squery_streaming::dag::SourceFactory;
+use squery_streaming::source::{GeneratorSource, Source};
+use std::sync::Arc;
+
+/// Workload shape for the query-6 experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct NexmarkConfig {
+    /// Distinct sellers (the paper uses 10 K).
+    pub sellers: u64,
+    /// Concurrently active auctions cycled by the generator.
+    pub active_auctions: u64,
+    /// Events per source instance (0 = unbounded).
+    pub events_per_instance: u64,
+    /// Offered rate per source instance in events/s (`None` = full speed).
+    pub rate_per_instance: Option<f64>,
+}
+
+impl Default for NexmarkConfig {
+    fn default() -> Self {
+        NexmarkConfig {
+            sellers: 10_000,
+            active_auctions: 20_000,
+            events_per_instance: 0,
+            rate_per_instance: None,
+        }
+    }
+}
+
+/// Schema of auction-stream events.
+pub fn auction_schema() -> Arc<Schema> {
+    schema(vec![
+        ("auction", DataType::Int),
+        ("seller", DataType::Int),
+        ("kind", DataType::Str), // NEW | CLOSE
+        ("reserve", DataType::Float),
+    ])
+}
+
+/// Schema of bid-stream events.
+pub fn bid_schema() -> Arc<Schema> {
+    schema(vec![
+        ("auction", DataType::Int),
+        ("bidder", DataType::Int),
+        ("price", DataType::Float),
+    ])
+}
+
+/// SplitMix64: cheap, stateless pseudo-randomness from an index.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The auction owning slot `slot` (auction ids cycle over the active set).
+fn auction_of_slot(cfg: &NexmarkConfig, instance: u64, slot: u64) -> i64 {
+    ((slot.wrapping_mul(2654435761).wrapping_add(instance)) % cfg.active_auctions) as i64
+}
+
+/// The (deterministic) seller of an auction.
+pub fn seller_of_auction(cfg: &NexmarkConfig, auction: i64) -> i64 {
+    (mix(auction as u64) % cfg.sellers) as i64
+}
+
+/// Auction-stream source: alternates `NEW` and `CLOSE` events over the
+/// active-auction set; every auction that opens is closed `active_auctions`
+/// events later, so closings flow continuously.
+pub fn auction_source(cfg: NexmarkConfig, instance: u32, _total: u32) -> GeneratorSource {
+    let instance = u64::from(instance);
+    let mut src = GeneratorSource::new(cfg.events_per_instance, move |i| {
+        // Even indexes open auction slot i/2; odd indexes close slot
+        // (i/2 - active/4) — a lag that keeps a steady set of auctions open.
+        let opening = i % 2 == 0;
+        let slot = if opening {
+            i / 2
+        } else {
+            (i / 2).wrapping_sub(cfg.active_auctions / 4)
+        };
+        let auction = auction_of_slot(&cfg, instance, slot);
+        let seller = seller_of_auction(&cfg, auction);
+        let kind = if opening { "NEW" } else { "CLOSE" };
+        let reserve = 10.0 + (mix(slot ^ 0xa5a5) % 10_000) as f64 / 100.0;
+        Some(squery_streaming::Record::new(
+            auction,
+            Value::record(
+                &auction_schema(),
+                vec![
+                    Value::Int(auction),
+                    Value::Int(seller),
+                    Value::str(kind),
+                    Value::Float(reserve),
+                ],
+            ),
+        ))
+    });
+    if let Some(rate) = cfg.rate_per_instance {
+        src = src.with_rate(rate);
+    }
+    src
+}
+
+/// Bid-stream source: bids spread over the active-auction set with
+/// hash-derived prices.
+pub fn bid_source(cfg: NexmarkConfig, instance: u32, _total: u32) -> GeneratorSource {
+    let instance = u64::from(instance);
+    let mut src = GeneratorSource::new(cfg.events_per_instance, move |i| {
+        let slot = mix(i ^ (instance << 32));
+        let auction = auction_of_slot(&cfg, instance, slot % (i / 2 + 1).max(1));
+        let bidder = (mix(i ^ 0x55aa) % 1_000_000) as i64;
+        let price = 10.0 + (mix(i) % 100_000) as f64 / 100.0;
+        Some(squery_streaming::Record::new(
+            auction,
+            Value::record(
+                &bid_schema(),
+                vec![Value::Int(auction), Value::Int(bidder), Value::Float(price)],
+            ),
+        ))
+    });
+    if let Some(rate) = cfg.rate_per_instance {
+        src = src.with_rate(rate);
+    }
+    src
+}
+
+/// Factory wrapper for auction sources.
+pub struct AuctionSourceFactory(pub NexmarkConfig);
+
+impl SourceFactory for AuctionSourceFactory {
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Source> {
+        Box::new(auction_source(self.0, instance, total))
+    }
+}
+
+/// Factory wrapper for bid sources.
+pub struct BidSourceFactory(pub NexmarkConfig);
+
+impl SourceFactory for BidSourceFactory {
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Source> {
+        Box::new(bid_source(self.0, instance, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_streaming::source::Source;
+
+    fn cfg() -> NexmarkConfig {
+        NexmarkConfig {
+            sellers: 100,
+            active_auctions: 200,
+            events_per_instance: 1000,
+            rate_per_instance: None,
+        }
+    }
+
+    #[test]
+    fn generation_is_index_deterministic() {
+        let mut a = auction_source(cfg(), 0, 1);
+        let mut b = auction_source(cfg(), 0, 1);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        a.next_batch(100, 0, &mut out_a);
+        b.next_batch(100, 0, &mut out_b);
+        assert_eq!(out_a, out_b);
+        // Rewind replays identically.
+        b.rewind(&Value::Int(50));
+        let mut replay = Vec::new();
+        b.next_batch(10, 0, &mut replay);
+        assert_eq!(&out_a[50..60], &replay[..]);
+    }
+
+    #[test]
+    fn instances_produce_distinct_streams() {
+        let mut a = auction_source(cfg(), 0, 2);
+        let mut b = auction_source(cfg(), 1, 2);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        a.next_batch(50, 0, &mut out_a);
+        b.next_batch(50, 0, &mut out_b);
+        assert_ne!(out_a, out_b);
+    }
+
+    #[test]
+    fn auction_events_have_schema_fields() {
+        let mut s = auction_source(cfg(), 0, 1);
+        let mut out = Vec::new();
+        s.next_batch(10, 0, &mut out);
+        for r in &out {
+            let sv = r.value.as_struct().unwrap();
+            let kind = sv.field("kind").unwrap().as_str().unwrap();
+            assert!(kind == "NEW" || kind == "CLOSE");
+            let auction = sv.field("auction").unwrap().as_int().unwrap();
+            assert_eq!(r.key, Value::Int(auction), "keyed by auction id");
+            let seller = sv.field("seller").unwrap().as_int().unwrap();
+            assert!((0..100).contains(&seller));
+        }
+    }
+
+    #[test]
+    fn bid_events_have_positive_prices() {
+        let mut s = bid_source(cfg(), 0, 1);
+        let mut out = Vec::new();
+        s.next_batch(100, 0, &mut out);
+        assert_eq!(out.len(), 100);
+        for r in &out {
+            let sv = r.value.as_struct().unwrap();
+            let price = sv.field("price").unwrap().as_f64().unwrap();
+            assert!(price >= 10.0);
+        }
+    }
+
+    #[test]
+    fn sellers_cover_configured_range() {
+        let c = cfg();
+        let mut seen = std::collections::HashSet::new();
+        for auction in 0..200i64 {
+            seen.insert(seller_of_auction(&c, auction));
+        }
+        assert!(seen.len() > 50, "sellers should be well spread: {}", seen.len());
+        assert!(seen.iter().all(|s| (0..100).contains(s)));
+    }
+
+    #[test]
+    fn closings_eventually_cover_opened_auctions() {
+        let c = cfg();
+        let mut s = auction_source(c, 0, 1);
+        let mut out = Vec::new();
+        s.next_batch(1000, 0, &mut out);
+        let closes = out
+            .iter()
+            .filter(|r| {
+                r.value.as_struct().unwrap().field("kind").unwrap() == &Value::str("CLOSE")
+            })
+            .count();
+        assert!(closes >= 450, "roughly half the events close auctions: {closes}");
+    }
+
+    #[test]
+    fn rate_limit_applies() {
+        let mut c = cfg();
+        c.rate_per_instance = Some(1000.0);
+        let mut s = bid_source(c, 0, 1);
+        let mut out = Vec::new();
+        s.next_batch(100, 5_000, &mut out);
+        assert_eq!(out.len(), 5, "5 events due after 5ms at 1000/s");
+    }
+}

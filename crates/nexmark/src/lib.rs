@@ -1,0 +1,33 @@
+//! # squery-nexmark
+//!
+//! NEXMark workload for the S-QUERY evaluation (paper §IX-A/B/E).
+//!
+//! The paper drives its overhead and scalability experiments with query 6 of
+//! Apache Beam's NEXMark implementation: *"the job computes the average
+//! selling price for each seller in an auction from a bid and auction
+//! stream. It accumulates state for 10K auction sellers … the average selling
+//! price is taken over the last 10 auctions per seller."*
+//!
+//! This crate provides:
+//!
+//! * an index-deterministic event generator ([`generator`]) producing the
+//!   auction and bid streams (deterministic in the event index so source
+//!   rewind replays identically — the property exactly-once recovery needs);
+//! * the query-6 dataflow ([`q6`]): `bids + auctions → maxbid (keyed by
+//!   auction) → average (keyed by seller, ring buffer of the last 10 closing
+//!   prices) → sink`, with both stateful operators' state objects registered
+//!   as queryable schemas;
+//! * smaller NEXMark queries used by tests and examples (q1 currency
+//!   conversion, q2 selection).
+//!
+//! Simplification (recorded in DESIGN.md): auction closings are explicit
+//! `CLOSE` events emitted deterministically by the auction source rather
+//! than event-time window triggers — the state layout, update rate, and
+//! emitted results match query 6's semantics, which is what the latency and
+//! scalability experiments measure.
+
+pub mod generator;
+pub mod q6;
+
+pub use generator::{auction_source, bid_source, NexmarkConfig};
+pub use q6::{q6_job, Q6Vertices};

@@ -1,0 +1,27 @@
+//! # squery-qcommerce
+//!
+//! The Delivery Hero q-commerce workload of the paper's §VIII/§IX: a stream
+//! of order-delivery events ingested by a streaming job that accumulates
+//! state for **rider locations**, **order statuses**, and **order info** in
+//! three stateful operators — plus the four real monitoring queries
+//! (Queries 1–4) the paper runs against that state.
+//!
+//! The paper's data are real, anonymized order events "enriched with data
+//! generated based on the real data". We generate the synthetic equivalent:
+//! an index-deterministic event stream over the same schema — order state
+//! machine `ORDER_RECEIVED → VENDOR_ACCEPTED → NOTIFIED → ACCEPTED →
+//! PICKED_UP → LEFT_PICKUP → NEAR_CUSTOMER → DELIVERED`, per-order deadlines
+//! (some deterministically late), delivery zones, vendor categories, and
+//! rider coordinates with last-update timestamps (the "two doubles and a
+//! timestamp" state of the Figure 14 experiment).
+//!
+//! Determinism in the event index keeps exactly-once replay intact *and*
+//! lets tests compute expected query answers in closed form.
+
+pub mod events;
+pub mod pipeline;
+pub mod queries;
+
+pub use events::{QCommerceConfig, ORDER_STATES};
+pub use pipeline::{order_monitoring_job, OPERATOR_ORDER_INFO, OPERATOR_ORDER_STATE, OPERATOR_RIDER};
+pub use queries::{QUERY_1, QUERY_2, QUERY_3, QUERY_4};

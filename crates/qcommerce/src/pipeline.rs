@@ -1,0 +1,169 @@
+//! The order-monitoring streaming job (paper §VIII).
+//!
+//! Three event streams feed three stateful operators, each of which
+//! "accumulates state for rider locations, order statuses, and order
+//! information" — the operators the paper's Queries 1–4 and the Figure 14
+//! direct-object experiment read.
+
+use crate::events::{
+    order_info_schema, order_state_schema, rider_location_schema, OrderInfoSourceFactory,
+    OrderStatusSourceFactory, QCommerceConfig, RiderLocationSourceFactory,
+};
+use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+use squery_streaming::dag::Stateful;
+use squery_streaming::state::KeyedState;
+use squery_streaming::{EdgeKind, JobSpec, Record};
+use std::sync::Arc;
+
+/// Operator (and table) name for order info.
+pub const OPERATOR_ORDER_INFO: &str = "orderinfo";
+/// Operator (and table) name for order status.
+pub const OPERATOR_ORDER_STATE: &str = "orderstate";
+/// Operator (and table) name for rider locations.
+pub const OPERATOR_RIDER: &str = "riderlocation";
+
+/// A last-value operator: each event replaces the key's state object and is
+/// forwarded downstream (so sinks observe end-to-end latency).
+fn last_value_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
+{
+    Arc::new(FnStateful(|_, _| {
+        Box::new(FnStatefulOp(
+            |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                state.put(r.key.clone(), r.value.clone());
+                out.push(r);
+            },
+        )) as Box<dyn Stateful>
+    }))
+}
+
+/// Build the order-monitoring job.
+///
+/// `parallelism` applies to the three stateful operators; each source runs
+/// with `source_parallelism` instances.
+pub fn order_monitoring_job(
+    cfg: QCommerceConfig,
+    source_parallelism: u32,
+    parallelism: u32,
+) -> JobSpec {
+    let mut b = JobSpec::builder("qcommerce-monitoring");
+    let info_src = b.source(
+        "orderinfo_events",
+        source_parallelism,
+        Arc::new(OrderInfoSourceFactory(cfg)),
+    );
+    let status_src = b.source(
+        "orderstatus_events",
+        source_parallelism,
+        Arc::new(OrderStatusSourceFactory(cfg)),
+    );
+    let rider_src = b.source(
+        "riderlocation_events",
+        source_parallelism,
+        Arc::new(RiderLocationSourceFactory(cfg)),
+    );
+    let info_op = b.stateful_with_schema(
+        OPERATOR_ORDER_INFO,
+        parallelism,
+        last_value_factory(),
+        order_info_schema(),
+    );
+    let state_op = b.stateful_with_schema(
+        OPERATOR_ORDER_STATE,
+        parallelism,
+        last_value_factory(),
+        order_state_schema(),
+    );
+    let rider_op = b.stateful_with_schema(
+        OPERATOR_RIDER,
+        parallelism,
+        last_value_factory(),
+        rider_location_schema(),
+    );
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(info_src, info_op, EdgeKind::Keyed);
+    b.edge(status_src, state_op, EdgeKind::Keyed);
+    b.edge(rider_src, rider_op, EdgeKind::Keyed);
+    b.edge(info_op, sink, EdgeKind::Forward);
+    b.edge(state_op, sink, EdgeKind::Forward);
+    b.edge(rider_op, sink, EdgeKind::Forward);
+    b.build().expect("monitoring spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{final_state_of_order, ORDER_STATES};
+    use squery::{SQuery, SQueryConfig, StateConfig};
+    use squery_common::Value;
+    use std::time::Duration;
+
+    fn small_cfg() -> QCommerceConfig {
+        QCommerceConfig {
+            orders: 200,
+            riders: 50,
+            events_per_instance: 200 * ORDER_STATES.len() as u64,
+            rate_per_instance: None,
+            prefill_passes: 0,
+        }
+    }
+
+    #[test]
+    fn monitoring_job_populates_all_three_operators() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let system = SQuery::new(config).unwrap();
+        let mut job = system
+            .submit(order_monitoring_job(small_cfg(), 1, 2))
+            .unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+
+        assert_eq!(
+            system.grid().get_map(OPERATOR_ORDER_INFO).unwrap().len(),
+            200
+        );
+        assert_eq!(
+            system.grid().get_map(OPERATOR_ORDER_STATE).unwrap().len(),
+            200
+        );
+        assert_eq!(system.grid().get_map(OPERATOR_RIDER).unwrap().len(), 50);
+        job.stop();
+    }
+
+    #[test]
+    fn order_state_holds_final_states() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let system = SQuery::new(config).unwrap();
+        let mut job = system
+            .submit(order_monitoring_job(small_cfg(), 1, 1))
+            .unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+        let map = system.grid().get_map(OPERATOR_ORDER_STATE).unwrap();
+        for o in 0..200u64 {
+            let v = map.get(&Value::Int(o as i64)).unwrap();
+            let state = v.as_struct().unwrap().field("orderState").cloned();
+            assert_eq!(
+                state,
+                Some(Value::str(final_state_of_order(o))),
+                "order {o} ended in the wrong state"
+            );
+        }
+        job.stop();
+    }
+
+    #[test]
+    fn rider_state_is_two_doubles_and_a_timestamp() {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let system = SQuery::new(config).unwrap();
+        let mut job = system
+            .submit(order_monitoring_job(small_cfg(), 1, 1))
+            .unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+        let rs = system
+            .query("SELECT lat, lon, updated FROM riderlocation WHERE partitionKey = 3")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(rs.rows()[0][0].as_f64().is_some());
+        assert!(rs.rows()[0][1].as_f64().is_some());
+        assert!(rs.rows()[0][2].as_timestamp().is_some());
+        job.stop();
+    }
+}

@@ -1,0 +1,187 @@
+//! The paper's Queries 1–4, verbatim.
+//!
+//! Each captures "the need for a real-time ad-hoc view on the state of
+//! orders in the system that can guide on-the-spot business decisions"
+//! (§VIII). The SQL text is exactly the paper's listings (joins over the
+//! snapshot tables on `partitionKey`); the oracle functions compute the
+//! expected answers in closed form from the deterministic generator, which
+//! is what makes the integration tests able to verify them end to end.
+
+use crate::events::{
+    category_of_order, final_state_of_order, order_is_late, zone_of_order,
+};
+use std::collections::BTreeMap;
+
+/// Query 1: *How many orders are late (in preparation by the vendor for too
+/// long) per area?*
+pub const QUERY_1: &str = r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+JOIN "snapshot_orderstate" USING(partitionKey)
+WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP)
+GROUP BY deliveryZone;"#;
+
+/// Query 2: *How many deliveries are ready for pickup per shop category?*
+pub const QUERY_2: &str = r#"SELECT COUNT(*), vendorCategory FROM "snapshot_orderinfo"
+JOIN "snapshot_orderstate" USING(partitionKey)
+WHERE (orderState='NOTIFIED' OR orderState='ACCEPTED')
+GROUP BY vendorCategory;"#;
+
+/// Query 3: *How many deliveries are being prepared per area?*
+pub const QUERY_3: &str = r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+JOIN "snapshot_orderstate" USING(partitionKey)
+WHERE (orderState='VENDOR_ACCEPTED')
+GROUP BY deliveryZone;"#;
+
+/// Query 4: *How many deliveries are in transit per area?*
+pub const QUERY_4: &str = r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+JOIN "snapshot_orderstate" USING(partitionKey)
+WHERE orderState='PICKED_UP' OR orderState='LEFT_PICKUP' OR
+orderState='NEAR_CUSTOMER' GROUP BY deliveryZone;"#;
+
+/// All four queries with their numbers.
+pub fn all_queries() -> Vec<(u8, &'static str)> {
+    vec![(1, QUERY_1), (2, QUERY_2), (3, QUERY_3), (4, QUERY_4)]
+}
+
+/// Closed-form oracle for Query 1 over orders `0..orders` whose full
+/// progressions were ingested: late orders whose final state is
+/// VENDOR_ACCEPTED, grouped by zone.
+pub fn expected_query1(orders: u64) -> BTreeMap<&'static str, i64> {
+    let mut out = BTreeMap::new();
+    for o in 0..orders {
+        if final_state_of_order(o) == "VENDOR_ACCEPTED" && order_is_late(o) {
+            *out.entry(zone_of_order(o)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Oracle for Query 2: orders whose final state is NOTIFIED or ACCEPTED,
+/// grouped by vendor category.
+pub fn expected_query2(orders: u64) -> BTreeMap<&'static str, i64> {
+    let mut out = BTreeMap::new();
+    for o in 0..orders {
+        let s = final_state_of_order(o);
+        if s == "NOTIFIED" || s == "ACCEPTED" {
+            *out.entry(category_of_order(o)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Oracle for Query 3: orders whose final state is VENDOR_ACCEPTED, by zone.
+pub fn expected_query3(orders: u64) -> BTreeMap<&'static str, i64> {
+    let mut out = BTreeMap::new();
+    for o in 0..orders {
+        if final_state_of_order(o) == "VENDOR_ACCEPTED" {
+            *out.entry(zone_of_order(o)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Oracle for Query 4: orders in transit, by zone.
+pub fn expected_query4(orders: u64) -> BTreeMap<&'static str, i64> {
+    let mut out = BTreeMap::new();
+    for o in 0..orders {
+        let s = final_state_of_order(o);
+        if s == "PICKED_UP" || s == "LEFT_PICKUP" || s == "NEAR_CUSTOMER" {
+            *out.entry(zone_of_order(o)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::QCommerceConfig;
+    use crate::pipeline::order_monitoring_job;
+    use crate::ORDER_STATES;
+    use squery::{ResultSet, SQuery, SQueryConfig, StateConfig};
+    use std::time::Duration;
+
+    const ORDERS: u64 = 400;
+
+    fn run_monitoring() -> (SQuery, squery::JobHandle) {
+        let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+        let system = SQuery::new(config).unwrap();
+        let cfg = QCommerceConfig {
+            orders: ORDERS,
+            riders: 50,
+            events_per_instance: ORDERS * ORDER_STATES.len() as u64,
+            rate_per_instance: None,
+            prefill_passes: 0,
+        };
+        let mut job = system.submit(order_monitoring_job(cfg, 1, 2)).unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(60)).unwrap();
+        (system, job)
+    }
+
+    fn as_map(rs: &ResultSet, group_col: &str) -> BTreeMap<String, i64> {
+        let counts = rs.column("COUNT(*)").unwrap();
+        let groups = rs.column(group_col).unwrap();
+        groups
+            .iter()
+            .zip(counts)
+            .map(|(g, c)| (g.as_str().unwrap().to_string(), c.as_int().unwrap()))
+            .collect()
+    }
+
+    fn to_owned(m: BTreeMap<&'static str, i64>) -> BTreeMap<String, i64> {
+        m.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn queries_1_through_4_match_their_oracles() {
+        let (system, job) = run_monitoring();
+        let q1 = system.query(QUERY_1).unwrap();
+        assert_eq!(as_map(&q1, "deliveryZone"), to_owned(expected_query1(ORDERS)));
+        let q2 = system.query(QUERY_2).unwrap();
+        assert_eq!(
+            as_map(&q2, "vendorCategory"),
+            to_owned(expected_query2(ORDERS))
+        );
+        let q3 = system.query(QUERY_3).unwrap();
+        assert_eq!(as_map(&q3, "deliveryZone"), to_owned(expected_query3(ORDERS)));
+        let q4 = system.query(QUERY_4).unwrap();
+        assert_eq!(as_map(&q4, "deliveryZone"), to_owned(expected_query4(ORDERS)));
+        job.stop();
+    }
+
+    #[test]
+    fn query1_is_a_subset_of_query3() {
+        // Late VENDOR_ACCEPTED orders are a subset of all VENDOR_ACCEPTED.
+        let q1 = expected_query1(ORDERS);
+        let q3 = expected_query3(ORDERS);
+        for (zone, late) in &q1 {
+            assert!(late <= q3.get(zone).unwrap_or(&0));
+        }
+        let total1: i64 = q1.values().sum();
+        let total3: i64 = q3.values().sum();
+        assert!(total1 > 0 && total1 < total3);
+    }
+
+    #[test]
+    fn oracles_cover_a_sane_fraction_of_orders() {
+        let totals: Vec<i64> = [
+            expected_query1(10_000),
+            expected_query2(10_000),
+            expected_query3(10_000),
+            expected_query4(10_000),
+        ]
+        .into_iter()
+        .map(|m| m.values().sum())
+        .collect();
+        // 8 equally likely final states: q3 ≈ 1/8, q2 ≈ 2/8, q4 ≈ 3/8,
+        // q1 ≈ 1/32 of all orders.
+        assert!((200..500).contains(&totals[0]), "q1: {}", totals[0]);
+        assert!((2000..3000).contains(&totals[1]), "q2: {}", totals[1]);
+        assert!((1000..1600).contains(&totals[2]), "q3: {}", totals[2]);
+        assert!((3200..4300).contains(&totals[3]), "q4: {}", totals[3]);
+    }
+
+    #[test]
+    fn all_queries_lists_four() {
+        assert_eq!(all_queries().len(), 4);
+    }
+}

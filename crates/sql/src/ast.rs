@@ -1,0 +1,466 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use squery_common::Value;
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// The first `FROM` table.
+    pub from: TableRef,
+    /// Joined tables, in order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate (requires `GROUP BY` or aggregates).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Wildcard,
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name override.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name as written (unquoted form).
+    pub name: String,
+    /// `AS` alias; defaults to the table name during binding.
+    pub alias: Option<String>,
+}
+
+/// A join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The join condition.
+    pub condition: JoinCondition,
+}
+
+/// Join condition forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinCondition {
+    /// `USING (col, …)` — equality on shared column names, output deduped.
+    Using(Vec<String>),
+    /// `ON <expr>` — the planner requires an equality conjunction.
+    On(Expr),
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending order?
+    pub desc: bool,
+}
+
+/// Scalar and aggregate expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified: `t.col` or `col`.
+    Column {
+        /// Table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// `LOCALTIMESTAMP` — the query's start time (paper Query 1).
+    LocalTimestamp,
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation (`NOT`, `-`).
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Operand.
+        operand: Box<Expr>,
+        /// Negated form (`IS NOT NULL`).
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, …)` with literal list.
+    InList {
+        /// Tested expression.
+        operand: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// Negated form (`NOT IN`).
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        operand: Box<Expr>,
+        /// Inclusive lower bound.
+        low: Box<Expr>,
+        /// Inclusive upper bound.
+        high: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (`%` any run, `_` any one character).
+    Like {
+        /// Tested expression.
+        operand: Box<Expr>,
+        /// Pattern expression (usually a string literal).
+        pattern: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Simple-CASE operand (`CASE x WHEN 1 …`); `None` for searched CASE.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs, evaluated in order.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result; defaults to NULL.
+        else_result: Option<Box<Expr>>,
+    },
+    /// Scalar function call.
+    Func {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate function call.
+    Aggregate {
+        /// Which aggregate.
+        func: AggregateFunc,
+        /// `COUNT(*)` has no argument.
+        arg: Option<Box<Expr>>,
+    },
+}
+
+/// Supported scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Absolute value of a number.
+    Abs,
+    /// Uppercase a string.
+    Upper,
+    /// Lowercase a string.
+    Lower,
+    /// Character length of a string.
+    Length,
+    /// First non-NULL argument.
+    Coalesce,
+}
+
+impl ScalarFunc {
+    /// Resolve a (case-insensitive) function name.
+    pub fn by_name(name: &str) -> Option<ScalarFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "ABS" => Some(ScalarFunc::Abs),
+            "UPPER" => Some(ScalarFunc::Upper),
+            "LOWER" => Some(ScalarFunc::Lower),
+            "LENGTH" => Some(ScalarFunc::Length),
+            "COALESCE" => Some(ScalarFunc::Coalesce),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Length => "LENGTH",
+            ScalarFunc::Coalesce => "COALESCE",
+        }
+    }
+}
+
+/// Binary operators, loosest-binding first in the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// Equality.
+    Eq,
+    /// Inequality (`<>` or `!=`).
+    NotEq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    LtEq,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    GtEq,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Modulo.
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunc {
+    /// Row / non-null count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// Minimum by SQL ordering.
+    Min,
+    /// Maximum by SQL ordering.
+    Max,
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Whether this expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) | Expr::LocalTimestamp => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
+                operand.contains_aggregate()
+            }
+            Expr::InList { operand, list, .. } => {
+                operand.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                operand, low, high, ..
+            } => {
+                operand.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Like {
+                operand, pattern, ..
+            } => operand.contains_aggregate() || pattern.contains_aggregate(),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_result.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+        }
+    }
+
+    /// Visit every column reference in the expression.
+    pub fn visit_columns(&self, f: &mut impl FnMut(&Option<String>, &str)) {
+        match self {
+            Expr::Column { qualifier, name } => f(qualifier, name),
+            Expr::Literal(_) | Expr::LocalTimestamp => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
+                operand.visit_columns(f)
+            }
+            Expr::InList { operand, list, .. } => {
+                operand.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::Between {
+                operand, low, high, ..
+            } => {
+                operand.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::Like {
+                operand, pattern, ..
+            } => {
+                operand.visit_columns(f);
+                pattern.visit_columns(f);
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(o) = operand {
+                    o.visit_columns(f);
+                }
+                for (w, t) in branches {
+                    w.visit_columns(f);
+                    t.visit_columns(f);
+                }
+                if let Some(e) = else_result {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// A display name for an unaliased projection of this expression.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Aggregate { func, arg } => {
+                let f = match func {
+                    AggregateFunc::Count => "COUNT",
+                    AggregateFunc::Sum => "SUM",
+                    AggregateFunc::Avg => "AVG",
+                    AggregateFunc::Min => "MIN",
+                    AggregateFunc::Max => "MAX",
+                };
+                match arg {
+                    None => format!("{f}(*)"),
+                    Some(a) => format!("{f}({})", a.default_name()),
+                }
+            }
+            Expr::LocalTimestamp => "LOCALTIMESTAMP".into(),
+            Expr::Literal(v) => v.to_string(),
+            Expr::Func { func, args } => {
+                let inner: Vec<String> = args.iter().map(Expr::default_name).collect();
+                format!("{}({})", func.name(), inner.join(", "))
+            }
+            Expr::Case { .. } => "CASE".into(),
+            _ => "expr".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_the_tree() {
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Count,
+            arg: None,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            left: Box::new(Expr::lit(1i64)),
+            op: BinaryOp::Add,
+            right: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+        let inlist = Expr::InList {
+            operand: Box::new(Expr::col("x")),
+            list: vec![Expr::lit(1i64)],
+            negated: false,
+        };
+        assert!(!inlist.contains_aggregate());
+    }
+
+    #[test]
+    fn visit_columns_finds_all_references() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::And,
+            right: Box::new(Expr::IsNull {
+                operand: Box::new(Expr::Column {
+                    qualifier: Some("t".into()),
+                    name: "b".into(),
+                }),
+                negated: true,
+            }),
+        };
+        let mut seen = Vec::new();
+        e.visit_columns(&mut |q, n| seen.push((q.clone(), n.to_string())));
+        assert_eq!(
+            seen,
+            vec![(None, "a".to_string()), (Some("t".to_string()), "b".to_string())]
+        );
+    }
+
+    #[test]
+    fn default_names_are_readable() {
+        assert_eq!(Expr::col("zone").default_name(), "zone");
+        let count_star = Expr::Aggregate {
+            func: AggregateFunc::Count,
+            arg: None,
+        };
+        assert_eq!(count_star.default_name(), "COUNT(*)");
+        let sum = Expr::Aggregate {
+            func: AggregateFunc::Sum,
+            arg: Some(Box::new(Expr::col("total"))),
+        };
+        assert_eq!(sum.default_name(), "SUM(total)");
+        assert_eq!(Expr::LocalTimestamp.default_name(), "LOCALTIMESTAMP");
+    }
+}

@@ -1,0 +1,197 @@
+//! Catalog abstractions: tables, scan hints, execution context.
+
+use squery_common::schema::Schema;
+use squery_common::{SnapshotId, SqResult, Value};
+use std::sync::Arc;
+
+/// Which snapshot version(s) a snapshot-table scan should resolve.
+///
+/// Derived by the planner from the query's `ssid` predicates:
+/// * no mention of `ssid` → [`SsidMode::Latest`] (paper §II: "By default, the
+///   latest snapshot id is implied"),
+/// * `ssid = <n>` equality → [`SsidMode::Exact`],
+/// * any other `ssid` predicate (range, `IN`, …) → [`SsidMode::AllRetained`]:
+///   every retained version is scanned with its `ssid` column materialized
+///   and the predicate filters rows (the multi-version result sets of §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsidMode {
+    /// Resolve the latest committed snapshot, fixed once per query.
+    Latest,
+    /// Resolve one explicitly requested snapshot id.
+    Exact(SnapshotId),
+    /// Scan every retained committed version.
+    AllRetained,
+}
+
+/// Planner-extracted hints a table scan may exploit.
+#[derive(Debug, Clone)]
+pub struct ScanHints {
+    /// Snapshot resolution mode (ignored by live tables).
+    pub ssid: SsidMode,
+    /// Equality constraint on the key column, enabling a point read.
+    pub key_eq: Option<Value>,
+}
+
+impl Default for ScanHints {
+    fn default() -> Self {
+        ScanHints {
+            ssid: SsidMode::Latest,
+            key_eq: None,
+        }
+    }
+}
+
+/// Per-query execution context.
+///
+/// Built once per query so that every snapshot table in a join reads the
+/// *same* snapshot id — the consistency the paper's 2PC publication
+/// guarantees — and so `LOCALTIMESTAMP` is a single instant.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// The latest committed snapshot at query start, if any.
+    pub query_ssid: Option<SnapshotId>,
+    /// All retained committed snapshot ids at query start, ascending.
+    pub retained_ssids: Vec<SnapshotId>,
+    /// Microsecond timestamp for `LOCALTIMESTAMP`.
+    pub now_micros: i64,
+}
+
+impl ExecContext {
+    /// A context with no snapshots (live-only catalogs, unit tests).
+    pub fn live_only(now_micros: i64) -> ExecContext {
+        ExecContext {
+            query_ssid: None,
+            retained_ssids: Vec::new(),
+            now_micros,
+        }
+    }
+}
+
+/// A queryable table.
+pub trait Table: Send + Sync {
+    /// The table's name.
+    fn name(&self) -> &str;
+
+    /// The table's schema.
+    fn schema(&self) -> Arc<Schema>;
+
+    /// Materialize the rows visible to this scan. Row arity must match
+    /// [`Table::schema`].
+    fn scan(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>>;
+}
+
+/// A source of tables plus the snapshot metadata queries need.
+pub trait Catalog: Send + Sync {
+    /// Resolve a table by name.
+    fn table(&self, name: &str) -> Option<Arc<dyn Table>>;
+
+    /// Names of all tables (for error messages and discovery).
+    fn table_names(&self) -> Vec<String>;
+
+    /// Snapshot metadata captured at query start; live-only catalogs return
+    /// an empty context.
+    fn snapshot_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
+        (None, Vec::new())
+    }
+}
+
+/// An in-memory table for tests and examples.
+pub struct MemTable {
+    name: String,
+    schema: Arc<Schema>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl MemTable {
+    /// Build from a schema and rows; panics on arity mismatch (programming
+    /// error in test setup).
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> MemTable {
+        for r in &rows {
+            assert_eq!(r.len(), schema.len(), "row arity must match schema");
+        }
+        MemTable {
+            name: name.into(),
+            schema,
+            rows,
+        }
+    }
+}
+
+impl Table for MemTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn scan(&self, _hints: &ScanHints, _ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+        Ok(self.rows.clone())
+    }
+}
+
+/// A catalog over a fixed set of [`MemTable`]s.
+pub struct MemCatalog {
+    tables: Vec<Arc<dyn Table>>,
+}
+
+impl MemCatalog {
+    /// Build from tables.
+    pub fn new(tables: Vec<Arc<dyn Table>>) -> MemCatalog {
+        MemCatalog { tables }
+    }
+}
+
+impl Catalog for MemCatalog {
+    fn table(&self, name: &str) -> Option<Arc<dyn Table>> {
+        self.tables.iter().find(|t| t.name() == name).cloned()
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.name().to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::schema::schema;
+    use squery_common::DataType;
+
+    #[test]
+    fn mem_table_scans_its_rows() {
+        let s = schema(vec![("a", DataType::Int)]);
+        let t = MemTable::new("t", s, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let rows = t
+            .scan(&ScanHints::default(), &ExecContext::live_only(0))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mem_table_rejects_bad_rows() {
+        let s = schema(vec![("a", DataType::Int), ("b", DataType::Int)]);
+        MemTable::new("t", s, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn mem_catalog_resolves_by_name() {
+        let s = schema(vec![("a", DataType::Int)]);
+        let t: Arc<dyn Table> = Arc::new(MemTable::new("orders", s, vec![]));
+        let c = MemCatalog::new(vec![t]);
+        assert!(c.table("orders").is_some());
+        assert!(c.table("nope").is_none());
+        assert_eq!(c.table_names(), vec!["orders"]);
+        assert_eq!(c.snapshot_context(), (None, Vec::new()));
+    }
+
+    #[test]
+    fn default_hints_scan_latest() {
+        let h = ScanHints::default();
+        assert_eq!(h.ssid, SsidMode::Latest);
+        assert!(h.key_eq.is_none());
+    }
+}

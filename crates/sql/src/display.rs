@@ -1,0 +1,309 @@
+//! Pretty-printing of parsed queries back to SQL text.
+//!
+//! Useful for logging and debugging planner issues, and — because printing
+//! then re-parsing must yield the same AST — a strong property-based check
+//! on the parser itself (`tests/property_tests.rs` in the workspace root
+//! exercises it; `roundtrips` below covers the corpus).
+
+use crate::ast::{
+    AggregateFunc, BinaryOp, Expr, Join, JoinCondition, Query, SelectItem, TableRef, UnaryOp,
+};
+use squery_common::Value;
+use std::fmt;
+
+fn quote_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_');
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+fn quote_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {}", quote_ident(a))?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        for join in &self.joins {
+            write!(f, " {join}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", k.expr)?;
+                if k.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+        write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", quote_ident(&self.name))?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {}", quote_ident(a))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JOIN {}", self.table)?;
+        match &self.condition {
+            JoinCondition::Using(cols) => {
+                write!(f, " USING(")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", quote_ident(c))?;
+                }
+                write!(f, ")")
+            }
+            JoinCondition::On(e) => write!(f, " ON {e}"),
+        }
+    }
+}
+
+fn op_str(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Or => "OR",
+        BinaryOp::And => "AND",
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Mod => "%",
+    }
+}
+
+fn literal_sql(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Bool(true) => "TRUE".into(),
+        Value::Bool(false) => "FALSE".into(),
+        Value::Int(i) => {
+            if *i < 0 {
+                format!("({i})")
+            } else {
+                i.to_string()
+            }
+        }
+        Value::Float(x) => {
+            let s = if x.fract() == 0.0 && x.is_finite() {
+                format!("{x:.1}")
+            } else {
+                x.to_string()
+            };
+            if *x < 0.0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Value::Str(s) => quote_str(s),
+        // Remaining kinds have no literal syntax; show a readable stand-in
+        // (they cannot appear in parsed queries, only constructed ASTs).
+        other => format!("/*{}*/NULL", other.type_name()),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => {
+                if let Some(q) = qualifier {
+                    write!(f, "{}.{}", quote_ident(q), quote_ident(name))
+                } else {
+                    write!(f, "{}", quote_ident(name))
+                }
+            }
+            Expr::Literal(v) => write!(f, "{}", literal_sql(v)),
+            Expr::LocalTimestamp => write!(f, "LOCALTIMESTAMP"),
+            Expr::Binary { left, op, right } => {
+                write!(f, "({left} {} {right})", op_str(*op))
+            }
+            Expr::Unary { op, operand } => match op {
+                UnaryOp::Not => write!(f, "(NOT {operand})"),
+                UnaryOp::Neg => write!(f, "(- {operand})"),
+            },
+            Expr::IsNull { operand, negated } => {
+                write!(f, "({operand} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                operand,
+                list,
+                negated,
+            } => {
+                write!(f, "({operand} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between {
+                operand,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({operand} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like {
+                operand,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({operand} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Func { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Aggregate { func, arg } => {
+                let name = match func {
+                    AggregateFunc::Count => "COUNT",
+                    AggregateFunc::Sum => "SUM",
+                    AggregateFunc::Avg => "AVG",
+                    AggregateFunc::Min => "MIN",
+                    AggregateFunc::Max => "MAX",
+                };
+                match arg {
+                    None => write!(f, "{name}(*)"),
+                    Some(a) => write!(f, "{name}({a})"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+    use squery_qcommerce_corpus::*;
+
+    /// A corpus of queries covering the whole dialect; printing then
+    /// re-parsing must reproduce the identical AST.
+    mod squery_qcommerce_corpus {
+        pub const CORPUS: &[&str] = &[
+            "SELECT * FROM orders",
+            "SELECT a, b AS bee, a + b FROM t",
+            r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+               JOIN "snapshot_orderstate" USING(partitionKey)
+               WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP)
+               GROUP BY deliveryZone"#,
+            "SELECT count, total FROM snapshot_average WHERE ssid=9 AND key=2",
+            "SELECT x FROM t WHERE a BETWEEN 1 AND 10 OR b NOT LIKE 'x%'",
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+            "SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+            "SELECT ABS(a), COALESCE(a, b, 0), UPPER(z) FROM t",
+            "SELECT o.total FROM orders o JOIN info i ON o.k = i.k WHERE i.c IS NOT NULL",
+            "SELECT zone, SUM(x) AS s FROM t GROUP BY zone HAVING SUM(x) > 5 ORDER BY s DESC, zone LIMIT 3",
+            "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4)",
+            "SELECT -5, (-2.5), 'it''s', TRUE, FALSE, NULL FROM t",
+            "SELECT a FROM \"weird table\" WHERE \"odd col\" = 1",
+        ];
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in CORPUS {
+            let once = parse(sql).unwrap_or_else(|e| panic!("corpus parse failed: {e}\n{sql}"));
+            let printed = once.to_string();
+            let twice = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\noriginal: {sql}\nprinted: {printed}"));
+            assert_eq!(once, twice, "roundtrip changed the AST\nprinted: {printed}");
+        }
+    }
+
+    #[test]
+    fn printing_is_stable() {
+        // print(parse(print(q))) == print(q): printing is a fixpoint.
+        for sql in CORPUS {
+            let once = parse(sql).unwrap().to_string();
+            let twice = parse(&once).unwrap().to_string();
+            assert_eq!(once, twice);
+        }
+    }
+}

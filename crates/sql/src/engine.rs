@@ -1,0 +1,212 @@
+//! The SQL entry point and result sets.
+
+use crate::catalog::{Catalog, ExecContext};
+use crate::exec::execute;
+use crate::parser::parse;
+use crate::plan::plan;
+use squery_common::schema::Schema;
+use squery_common::time::Clock;
+use squery_common::{SqResult, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A query result: schema plus rows.
+#[derive(Clone, Debug)]
+pub struct ResultSet {
+    schema: Arc<Schema>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Build a result set (row arity is trusted to match the schema).
+    pub fn new(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet { schema, rows }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All values of the named column.
+    pub fn column(&self, name: &str) -> Option<Vec<Value>> {
+        let i = self.schema.index_of(name)?;
+        Some(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// The single value of a one-row result, by column name.
+    pub fn scalar(&self, name: &str) -> Option<&Value> {
+        if self.rows.len() != 1 {
+            return None;
+        }
+        let i = self.schema.index_of(name)?;
+        self.rows.first().map(|r| &r[i])
+    }
+
+    /// Rows sorted by total value order (handy for order-insensitive asserts).
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
+        writeln!(f, "{}", names.join(" | "))?;
+        writeln!(f, "{}", "-".repeat(names.join(" | ").len().max(4)))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        write!(f, "({} rows)", self.rows.len())
+    }
+}
+
+/// The SQL engine: parse → plan → execute against a catalog.
+pub struct SqlEngine<C: Catalog> {
+    catalog: C,
+    clock: Clock,
+}
+
+impl<C: Catalog> SqlEngine<C> {
+    /// An engine over `catalog` with a wall clock for `LOCALTIMESTAMP`.
+    pub fn new(catalog: C) -> SqlEngine<C> {
+        SqlEngine {
+            catalog,
+            clock: Clock::wall(),
+        }
+    }
+
+    /// An engine with an explicit clock (deterministic tests).
+    pub fn with_clock(catalog: C, clock: Clock) -> SqlEngine<C> {
+        SqlEngine { catalog, clock }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &C {
+        &self.catalog
+    }
+
+    /// Run one `SELECT` statement.
+    ///
+    /// The snapshot context (latest committed id + retained ids) and
+    /// `LOCALTIMESTAMP` are captured once, before execution, so every table
+    /// in the query reads one consistent snapshot.
+    pub fn query(&self, sql: &str) -> SqResult<ResultSet> {
+        let ast = parse(sql)?;
+        let physical = plan(&ast, &self.catalog)?;
+        let (query_ssid, retained_ssids) = self.catalog.snapshot_context();
+        let ctx = ExecContext {
+            query_ssid,
+            retained_ssids,
+            now_micros: self.clock.now_micros() as i64,
+        };
+        let rows = execute(&physical, &ctx)?;
+        Ok(ResultSet::new(Arc::clone(&physical.output_schema), rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemCatalog, MemTable};
+    use squery_common::schema::schema;
+    use squery_common::DataType;
+
+    fn engine() -> SqlEngine<MemCatalog> {
+        let t = schema(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")],
+            vec![Value::Int(2), Value::str("y")],
+        ];
+        SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
+            "t", t, rows,
+        ))]))
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let rs = engine().query("SELECT a FROM t WHERE b = 'y'").unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(2)]]);
+        assert_eq!(rs.len(), 1);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn column_and_scalar_accessors() {
+        let rs = engine().query("SELECT a, b FROM t").unwrap();
+        assert_eq!(
+            rs.column("a").unwrap(),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+        assert!(rs.column("nope").is_none());
+        assert!(rs.scalar("a").is_none(), "two rows: no scalar");
+        let rs = engine().query("SELECT COUNT(*) AS n FROM t").unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let rs = engine().query("SELECT a FROM t ORDER BY a").unwrap();
+        let text = rs.to_string();
+        assert!(text.contains('a'), "{text}");
+        assert!(text.contains("(2 rows)"), "{text}");
+    }
+
+    #[test]
+    fn parse_errors_bubble_up() {
+        assert!(engine().query("SELEC a FROM t").is_err());
+        assert!(engine().query("SELECT a FROM missing").is_err());
+    }
+
+    #[test]
+    fn localtimestamp_uses_engine_clock() {
+        let t = schema(vec![("a", DataType::Int)]);
+        let clock = Clock::manual();
+        clock.advance(42);
+        let e = SqlEngine::with_clock(
+            MemCatalog::new(vec![Arc::new(MemTable::new(
+                "t",
+                t,
+                vec![vec![Value::Int(1)]],
+            ))]),
+            clock,
+        );
+        let rs = e.query("SELECT LOCALTIMESTAMP AS now FROM t").unwrap();
+        assert_eq!(rs.scalar("now"), Some(&Value::Timestamp(42)));
+    }
+
+    #[test]
+    fn sorted_rows_helper() {
+        let rs = engine().query("SELECT a FROM t ORDER BY a DESC").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(2)]);
+        assert_eq!(rs.sorted_rows()[0], vec![Value::Int(1)]);
+    }
+}

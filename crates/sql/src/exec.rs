@@ -1,0 +1,521 @@
+//! Plan execution: scans → hash joins → filter → aggregation → projection →
+//! HAVING → ORDER BY → LIMIT.
+
+use crate::ast::AggregateFunc;
+use crate::catalog::ExecContext;
+use crate::plan::{AggregateNode, JoinNode, PhysicalPlan};
+use squery_common::{SqError, SqResult, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Execute a plan, producing output rows matching `plan.output_schema`.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+    // --- scans + joins ----------------------------------------------------
+    let mut rows = plan.scans[0].table.scan(&plan.scans[0].hints, ctx)?;
+    for (scan, join) in plan.scans[1..].iter().zip(plan.joins.iter()) {
+        let right_rows = scan.table.scan(&scan.hints, ctx)?;
+        rows = hash_join(rows, right_rows, join)?;
+    }
+
+    // --- filter -------------------------------------------------------------
+    if let Some(filter) = &plan.filter {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if filter.matches(&row, ctx)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // --- aggregate ----------------------------------------------------------
+    if let Some(agg) = &plan.aggregate {
+        rows = aggregate(rows, agg, ctx)?;
+    }
+
+    // --- project (+ order keys computed on the same row) ---------------------
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(plan.projections.len());
+        for p in &plan.projections {
+            out.push(p.expr.eval(row, ctx)?);
+        }
+        if let Some(h) = &plan.having {
+            if !h.matches(row, ctx)? {
+                continue;
+            }
+        }
+        let mut keys = Vec::with_capacity(plan.order_by.len());
+        for (k, _) in &plan.order_by {
+            keys.push(k.eval(row, ctx)?);
+        }
+        projected.push((keys, out));
+    }
+
+    // --- order + limit --------------------------------------------------------
+    if !plan.order_by.is_empty() {
+        projected.sort_by(|(a, _), (b, _)| {
+            for (i, (_, desc)) in plan.order_by.iter().enumerate() {
+                let ord = a[i].total_cmp(&b[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    let mut out: Vec<Vec<Value>> = projected.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit) = plan.limit {
+        out.truncate(limit as usize);
+    }
+    Ok(out)
+}
+
+/// Inner hash join. NULL keys never match (SQL semantics).
+fn hash_join(
+    left: Vec<Vec<Value>>,
+    right: Vec<Vec<Value>>,
+    join: &JoinNode,
+) -> SqResult<Vec<Vec<Value>>> {
+    // Build on the right side.
+    let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::with_capacity(right.len());
+    'rows: for row in &right {
+        let mut key = Vec::with_capacity(join.right_keys.len());
+        for &i in &join.right_keys {
+            let v = row
+                .get(i)
+                .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v.clone());
+        }
+        table.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    'probe: for lrow in &left {
+        let mut key = Vec::with_capacity(join.left_keys.len());
+        for &i in &join.left_keys {
+            let v = lrow
+                .get(i)
+                .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v.clone());
+        }
+        if let Some(matches) = table.get(&key) {
+            for rrow in matches {
+                let mut combined = lrow.clone();
+                for (i, v) in rrow.iter().enumerate() {
+                    if !join.right_drop.contains(&i) {
+                        combined.push(v.clone());
+                    }
+                }
+                out.push(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One aggregate accumulator.
+enum Acc {
+    Count(i64),
+    Sum(Option<Value>),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggregateFunc) -> Acc {
+        match func {
+            AggregateFunc::Count => Acc::Count(0),
+            AggregateFunc::Sum => Acc::Sum(None),
+            AggregateFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggregateFunc::Min => Acc::Min(None),
+            AggregateFunc::Max => Acc::Max(None),
+        }
+    }
+
+    /// Update with one input. `None` means COUNT(*) (count the row itself).
+    fn update(&mut self, value: Option<&Value>) -> SqResult<()> {
+        match self {
+            Acc::Count(n) => match value {
+                None => *n += 1,
+                Some(v) if !v.is_null() => *n += 1,
+                _ => {}
+            },
+            Acc::Sum(acc) => {
+                let Some(v) = value else {
+                    return Err(SqError::Exec("SUM requires an argument".into()));
+                };
+                if v.is_null() {
+                    return Ok(());
+                }
+                let next = match (acc.as_ref(), v) {
+                    (None, v) => numeric(v)?,
+                    (Some(Value::Int(a)), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+                    (Some(cur), v) => {
+                        let a = cur.as_f64().expect("accumulator is numeric");
+                        let b = v
+                            .as_f64()
+                            .ok_or_else(|| non_numeric("SUM", v))?;
+                        Value::Float(a + b)
+                    }
+                };
+                *acc = Some(next);
+            }
+            Acc::Avg { sum, n } => {
+                let Some(v) = value else {
+                    return Err(SqError::Exec("AVG requires an argument".into()));
+                };
+                if v.is_null() {
+                    return Ok(());
+                }
+                *sum += v.as_f64().ok_or_else(|| non_numeric("AVG", v))?;
+                *n += 1;
+            }
+            Acc::Min(acc) => {
+                let Some(v) = value else {
+                    return Err(SqError::Exec("MIN requires an argument".into()));
+                };
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match acc.as_ref() {
+                    None => true,
+                    Some(cur) => v.sql_cmp(cur) == Some(Ordering::Less),
+                };
+                if replace {
+                    *acc = Some(v.clone());
+                }
+            }
+            Acc::Max(acc) => {
+                let Some(v) = value else {
+                    return Err(SqError::Exec("MAX requires an argument".into()));
+                };
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match acc.as_ref() {
+                    None => true,
+                    Some(cur) => v.sql_cmp(cur) == Some(Ordering::Greater),
+                };
+                if replace {
+                    *acc = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum(v) => v.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn numeric(v: &Value) -> SqResult<Value> {
+    match v {
+        Value::Int(_) | Value::Float(_) => Ok(v.clone()),
+        other => Err(non_numeric("SUM", other)),
+    }
+}
+
+fn non_numeric(func: &str, v: &Value) -> SqError {
+    SqError::Exec(format!("{func} over non-numeric {}", v.type_name()))
+}
+
+/// Group rows and evaluate aggregates; output rows are
+/// `[group keys…, aggregate results…]`.
+fn aggregate(
+    rows: Vec<Vec<Value>>,
+    node: &AggregateNode,
+    ctx: &ExecContext,
+) -> SqResult<Vec<Vec<Value>>> {
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    // Stable output: remember first-seen order of groups.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in &rows {
+        let mut key = Vec::with_capacity(node.group_exprs.len());
+        for g in &node.group_exprs {
+            key.push(g.eval(row, ctx)?);
+        }
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| node.aggs.iter().map(|(f, _)| Acc::new(*f)).collect())
+            }
+        };
+        for (acc, (_, arg)) in accs.iter_mut().zip(node.aggs.iter()) {
+            match arg {
+                None => acc.update(None)?,
+                Some(expr) => {
+                    let v = expr.eval(row, ctx)?;
+                    acc.update(Some(&v))?;
+                }
+            }
+        }
+    }
+    // A global aggregate (no GROUP BY) over zero rows yields one row.
+    if node.group_exprs.is_empty() && groups.is_empty() {
+        let accs: Vec<Acc> = node.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();
+        let row: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MemCatalog, MemTable};
+    use crate::parser::parse;
+    use crate::plan::plan;
+    use squery_common::schema::{schema, KEY_COLUMN};
+    use squery_common::DataType;
+    use std::sync::Arc;
+
+    fn catalog() -> MemCatalog {
+        let orders = schema(vec![
+            (KEY_COLUMN, DataType::Any),
+            ("total", DataType::Int),
+            ("zone", DataType::Str),
+        ]);
+        let info = schema(vec![
+            (KEY_COLUMN, DataType::Any),
+            ("category", DataType::Str),
+        ]);
+        let orders_rows = vec![
+            vec![Value::Int(1), Value::Int(10), Value::str("north")],
+            vec![Value::Int(2), Value::Int(20), Value::str("north")],
+            vec![Value::Int(3), Value::Int(30), Value::str("south")],
+            vec![Value::Int(4), Value::Null, Value::str("south")],
+        ];
+        let info_rows = vec![
+            vec![Value::Int(1), Value::str("food")],
+            vec![Value::Int(2), Value::str("food")],
+            vec![Value::Int(3), Value::str("pharma")],
+            vec![Value::Int(9), Value::str("unmatched")],
+        ];
+        MemCatalog::new(vec![
+            Arc::new(MemTable::new("orders", orders, orders_rows)),
+            Arc::new(MemTable::new("info", info, info_rows)),
+        ])
+    }
+
+    fn run(sql: &str) -> Vec<Vec<Value>> {
+        let c = catalog();
+        let p = plan(&parse(sql).unwrap(), &c).unwrap();
+        execute(&p, &ExecContext::live_only(0)).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let rows = run("SELECT * FROM orders");
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let rows = run("SELECT total FROM orders WHERE zone = 'north'");
+        assert_eq!(rows, vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn null_rows_do_not_match_filters() {
+        let rows = run("SELECT partitionKey FROM orders WHERE total > 0");
+        assert_eq!(rows.len(), 3, "NULL total row filtered out");
+    }
+
+    #[test]
+    fn using_join_combines_rows() {
+        let mut rows = run(
+            "SELECT partitionKey, total, category FROM orders JOIN info USING(partitionKey)",
+        );
+        rows.sort();
+        assert_eq!(rows.len(), 3, "keys 1,2,3 match; 4 and 9 don't");
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::Int(10), Value::str("food")]
+        );
+    }
+
+    #[test]
+    fn group_by_count_and_sum() {
+        let mut rows = run("SELECT zone, COUNT(*), SUM(total) FROM orders GROUP BY zone");
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("north"), Value::Int(2), Value::Int(30)],
+                vec![Value::str("south"), Value::Int(2), Value::Int(30)],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let rows = run("SELECT COUNT(total), COUNT(*) FROM orders");
+        assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(4)]]);
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let rows = run("SELECT AVG(total), MIN(total), MAX(total) FROM orders");
+        assert_eq!(
+            rows,
+            vec![vec![Value::Float(20.0), Value::Int(10), Value::Int(30)]]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let rows = run("SELECT COUNT(*), SUM(total) FROM orders WHERE zone = 'nowhere'");
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn group_by_over_empty_input_is_empty() {
+        let rows = run("SELECT zone, COUNT(*) FROM orders WHERE zone = 'nowhere' GROUP BY zone");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let rows = run("SELECT zone, SUM(total) FROM orders GROUP BY zone HAVING SUM(total) > 25");
+        assert_eq!(rows.len(), 2);
+        let rows =
+            run("SELECT zone, COUNT(total) FROM orders GROUP BY zone HAVING COUNT(total) > 1");
+        assert_eq!(rows, vec![vec![Value::str("north"), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let rows = run("SELECT total FROM orders WHERE total IS NOT NULL ORDER BY total DESC LIMIT 2");
+        assert_eq!(rows, vec![vec![Value::Int(30)], vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn order_by_aggregate_alias() {
+        let rows = run("SELECT zone, SUM(total) AS s FROM orders GROUP BY zone ORDER BY s DESC, zone");
+        assert_eq!(rows.len(), 2);
+        // Both sums are 30; tie broken by zone ascending.
+        assert_eq!(rows[0][0], Value::str("north"));
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let rows = run("SELECT total * 2 + 1 FROM orders WHERE partitionKey = 1");
+        assert_eq!(rows, vec![vec![Value::Int(21)]]);
+    }
+
+    #[test]
+    fn expression_over_aggregates() {
+        let rows = run("SELECT SUM(total) / COUNT(total) FROM orders");
+        assert_eq!(rows, vec![vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn join_on_equality() {
+        let rows = run(
+            "SELECT o.total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey WHERE i.category = 'pharma'",
+        );
+        assert_eq!(rows, vec![vec![Value::Int(30)]]);
+    }
+
+    #[test]
+    fn between_like_and_case_evaluate() {
+        let rows = run("SELECT total FROM orders WHERE total BETWEEN 15 AND 25");
+        assert_eq!(rows, vec![vec![Value::Int(20)]]);
+        let rows = run("SELECT total FROM orders WHERE total NOT BETWEEN 15 AND 25 AND total IS NOT NULL ORDER BY total");
+        assert_eq!(rows, vec![vec![Value::Int(10)], vec![Value::Int(30)]]);
+        let rows = run("SELECT partitionKey FROM orders WHERE zone LIKE 'n%'");
+        assert_eq!(rows.len(), 2);
+        let rows = run("SELECT partitionKey FROM orders WHERE zone LIKE '_orth'");
+        assert_eq!(rows.len(), 2);
+        let rows = run(
+            "SELECT CASE WHEN total >= 30 THEN 'high' WHEN total >= 20 THEN 'mid' ELSE 'low' END AS band              FROM orders WHERE total IS NOT NULL ORDER BY total",
+        );
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("low")],
+                vec![Value::str("mid")],
+                vec![Value::str("high")],
+            ]
+        );
+        // Simple CASE desugars to equality on the operand.
+        let rows = run("SELECT CASE zone WHEN 'north' THEN 1 ELSE 0 END FROM orders ORDER BY partitionKey");
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(0)],
+                vec![Value::Int(0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_functions_evaluate() {
+        let rows = run("SELECT ABS(0 - total), UPPER(zone), LENGTH(zone), COALESCE(total, 0)                         FROM orders WHERE partitionKey = 1");
+        assert_eq!(
+            rows,
+            vec![vec![
+                Value::Int(10),
+                Value::str("NORTH"),
+                Value::Int(5),
+                Value::Int(10),
+            ]]
+        );
+        // COALESCE falls back past the NULL total of key 4.
+        let rows = run("SELECT COALESCE(total, -1) FROM orders WHERE partitionKey = 4");
+        assert_eq!(rows, vec![vec![Value::Int(-1)]]);
+        // CASE inside an aggregate argument.
+        let rows = run(
+            "SELECT SUM(CASE WHEN zone = 'north' THEN 1 ELSE 0 END) AS northers FROM orders",
+        );
+        assert_eq!(rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        // Add a NULL-keyed row via a self-join trick: orders has no NULL keys,
+        // so join totals (which include a NULL) on total = total instead.
+        let c = catalog();
+        let p = plan(
+            &parse("SELECT o.zone FROM orders o JOIN orders p ON o.total = p.total").unwrap(),
+            &c,
+        )
+        .unwrap();
+        let rows = execute(&p, &ExecContext::live_only(0)).unwrap();
+        // 3 non-null totals match themselves exactly once each.
+        assert_eq!(rows.len(), 3);
+    }
+}

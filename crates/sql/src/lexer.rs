@@ -1,0 +1,395 @@
+//! SQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers may be double-quoted (the
+//! paper's queries write `FROM "snapshot_orderinfo"`); string literals are
+//! single-quoted with `''` escaping.
+
+use squery_common::{SqError, SqResult};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(String),
+    /// Bare identifier (case preserved).
+    Ident(String),
+    /// Double-quoted identifier (case preserved, may contain anything).
+    QuotedIdent(String),
+    /// String literal.
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `;`.
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::QuotedIdent(i) => write!(f, "\"{i}\""),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::IntLit(i) => write!(f, "{i}"),
+            Token::FloatLit(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+// Aggregate function names (COUNT, SUM, …) are deliberately *not* reserved:
+// the paper's Figure 4 queries project columns literally named `count` and
+// `total`. The parser recognizes them contextually (identifier followed by a
+// parenthesis).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "JOIN", "INNER", "USING", "ON", "GROUP", "BY",
+    "ORDER", "ASC", "DESC", "LIMIT", "AS", "NULL", "TRUE", "FALSE", "IS", "IN", "HAVING",
+    "LOCALTIMESTAMP", "DISTINCT", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+];
+
+/// Tokenize `input` into a token list.
+pub fn tokenize(input: &str) -> SqResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqError::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(SqError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        // '' escapes a quote.
+                        if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(SqError::Parse("unterminated quoted identifier".into()));
+                    }
+                    if chars[i] == '"' {
+                        if i + 1 < chars.len() && chars[i + 1] == '"' {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::QuotedIdent(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let f = text
+                        .parse::<f64>()
+                        .map_err(|_| SqError::Parse(format!("bad float literal '{text}'")))?;
+                    tokens.push(Token::FloatLit(f));
+                } else {
+                    let n = text
+                        .parse::<i64>()
+                        .map_err(|_| SqError::Parse(format!("bad int literal '{text}'")))?;
+                    tokens.push(Token::IntLit(n));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word));
+                }
+            }
+            other => {
+                return Err(SqError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = tokenize("select From WHERE").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        let t = tokenize("deliveryZone partitionKey").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("deliveryZone".into()),
+                Token::Ident("partitionKey".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_and_strings() {
+        let t = tokenize(r#""snapshot_orderinfo" 'VENDOR_ACCEPTED' 'it''s'"#).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::QuotedIdent("snapshot_orderinfo".into()),
+                Token::StringLit("VENDOR_ACCEPTED".into()),
+                Token::StringLit("it's".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let t = tokenize("42 3.25 0.5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::IntLit(42),
+                Token::FloatLit(3.25),
+                Token::FloatLit(0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_including_two_char() {
+        let t = tokenize("= <> != < <= > >= + - * / %").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("SELECT -- the projection\n 1").unwrap();
+        assert_eq!(t, vec![Token::Keyword("SELECT".into()), Token::IntLit(1)]);
+    }
+
+    #[test]
+    fn paper_query_1_tokenizes() {
+        let sql = r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+            JOIN "snapshot_orderstate" USING(partitionKey)
+            WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP)
+            GROUP BY deliveryZone;"#;
+        let t = tokenize(sql).unwrap();
+        assert!(t.contains(&Token::Keyword("USING".into())));
+        assert!(t.contains(&Token::Keyword("LOCALTIMESTAMP".into())));
+        assert!(t.contains(&Token::QuotedIdent("snapshot_orderstate".into())));
+        assert_eq!(*t.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn dotted_qualified_reference() {
+        let t = tokenize("o.partitionKey").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("o".into()),
+                Token::Dot,
+                Token::Ident("partitionKey".into()),
+            ]
+        );
+    }
+}

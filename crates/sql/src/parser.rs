@@ -1,0 +1,825 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use squery_common::{SqError, SqResult, Value};
+
+/// Parse a single `SELECT` statement.
+pub fn parse(sql: &str) -> SqResult<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.eat_if(&Token::Semicolon);
+    if let Some(tok) = p.peek() {
+        return Err(SqError::Parse(format!("unexpected trailing token '{tok}'")));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> SqResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> SqResult<()> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(SqError::Parse(format!("expected '{t}', found '{got}'")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> SqResult<()> {
+        let got = self.next()?;
+        match got {
+            Token::Keyword(k) if k == kw => Ok(()),
+            other => Err(SqError::Parse(format!("expected {kw}, found '{other}'"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> SqResult<Query> {
+        self.expect_keyword("SELECT")?;
+        let items = self.parse_select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if self.eat_keyword("JOIN") {
+                joins.push(self.parse_join()?);
+            } else if inner {
+                return Err(SqError::Parse("expected JOIN after INNER".into()));
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            self.parse_expr_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = Vec::new();
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                keys.push(OrderKey { expr, desc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next()? {
+                Token::IntLit(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found '{other}'"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_items(&mut self) -> SqResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_alias()?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    /// `AS ident`, or a bare identifier alias.
+    fn parse_alias(&mut self) -> SqResult<Option<String>> {
+        if self.eat_keyword("AS") {
+            match self.next()? {
+                Token::Ident(name) | Token::QuotedIdent(name) => Ok(Some(name)),
+                other => Err(SqError::Parse(format!(
+                    "expected alias identifier, found '{other}'"
+                ))),
+            }
+        } else if let Some(Token::Ident(name)) = self.peek() {
+            let name = name.clone();
+            self.pos += 1;
+            Ok(Some(name))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> SqResult<TableRef> {
+        let name = match self.next()? {
+            Token::Ident(n) | Token::QuotedIdent(n) => n,
+            other => {
+                return Err(SqError::Parse(format!(
+                    "expected table name, found '{other}'"
+                )))
+            }
+        };
+        let alias = self.parse_alias()?;
+        Ok(TableRef { name, alias })
+    }
+
+    fn parse_join(&mut self) -> SqResult<Join> {
+        let table = self.parse_table_ref()?;
+        if self.eat_keyword("USING") {
+            self.expect(&Token::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                match self.next()? {
+                    Token::Ident(n) | Token::QuotedIdent(n) => cols.push(n),
+                    other => {
+                        return Err(SqError::Parse(format!(
+                            "expected column in USING, found '{other}'"
+                        )))
+                    }
+                }
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Join {
+                table,
+                condition: JoinCondition::Using(cols),
+            })
+        } else if self.eat_keyword("ON") {
+            let expr = self.parse_expr()?;
+            Ok(Join {
+                table,
+                condition: JoinCondition::On(expr),
+            })
+        } else {
+            Err(SqError::Parse("JOIN requires USING(...) or ON".into()))
+        }
+    }
+
+    fn parse_expr_list(&mut self) -> SqResult<Vec<Expr>> {
+        let mut list = vec![self.parse_expr()?];
+        while self.eat_if(&Token::Comma) {
+            list.push(self.parse_expr()?);
+        }
+        Ok(list)
+    }
+
+    fn parse_expr(&mut self) -> SqResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> SqResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> SqResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> SqResult<Expr> {
+        if self.eat_keyword("NOT") {
+            let operand = self.parse_not()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> SqResult<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                operand: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / BETWEEN / LIKE.
+        let negated = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT") {
+            // Only treat NOT as a negator when a postfix predicate follows.
+            let next = self.tokens.get(self.pos + 1);
+            if matches!(next, Some(Token::Keyword(k)) if k == "IN" || k == "BETWEEN" || k == "LIKE")
+            {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("IN") {
+            self.expect(&Token::LParen)?;
+            let list = self.parse_expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                operand: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                operand: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                operand: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqError::Parse(
+                "expected IN, BETWEEN or LIKE after NOT".into(),
+            ));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_additive(&mut self) -> SqResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> SqResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> SqResult<Expr> {
+        if self.eat_if(&Token::Minus) {
+            let operand = self.parse_unary()?;
+            // Constant-fold negative literals for nicer ASTs.
+            if let Expr::Literal(Value::Int(n)) = operand {
+                return Ok(Expr::Literal(Value::Int(-n)));
+            }
+            if let Expr::Literal(Value::Float(f)) = operand {
+                return Ok(Expr::Literal(Value::Float(-f)));
+            }
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> SqResult<Expr> {
+        let token = self.next()?;
+        match token {
+            Token::IntLit(n) => Ok(Expr::Literal(Value::Int(n))),
+            Token::FloatLit(f) => Ok(Expr::Literal(Value::Float(f))),
+            Token::StringLit(s) => Ok(Expr::Literal(Value::str(s))),
+            Token::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Keyword(kw) => match kw.as_str() {
+                "NULL" => Ok(Expr::Literal(Value::Null)),
+                "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
+                "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
+                "LOCALTIMESTAMP" => Ok(Expr::LocalTimestamp),
+                "CASE" => self.parse_case(),
+                other => Err(SqError::Parse(format!(
+                    "unexpected keyword '{other}' in expression"
+                ))),
+            },
+            Token::Ident(name) | Token::QuotedIdent(name) => {
+                // Aggregate call? Only when the (unquoted) name is followed by
+                // a parenthesis — `count` on its own is a plain column, as in
+                // the paper's Figure 4 (`SELECT count, total FROM average`).
+                let func = match name.to_ascii_uppercase().as_str() {
+                    "COUNT" => Some(AggregateFunc::Count),
+                    "SUM" => Some(AggregateFunc::Sum),
+                    "AVG" => Some(AggregateFunc::Avg),
+                    "MIN" => Some(AggregateFunc::Min),
+                    "MAX" => Some(AggregateFunc::Max),
+                    _ => None,
+                };
+                if func.is_none() && self.peek() == Some(&Token::LParen) {
+                    if let Some(scalar) = crate::ast::ScalarFunc::by_name(&name) {
+                        self.expect(&Token::LParen)?;
+                        let args = if self.eat_if(&Token::RParen) {
+                            Vec::new()
+                        } else {
+                            let args = self.parse_expr_list()?;
+                            self.expect(&Token::RParen)?;
+                            args
+                        };
+                        return Ok(Expr::Func { func: scalar, args });
+                    }
+                }
+                if let Some(func) = func {
+                    if self.eat_if(&Token::LParen) {
+                        if func == AggregateFunc::Count && self.eat_if(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(Expr::Aggregate { func, arg: None });
+                        }
+                        if self.eat_keyword("DISTINCT") {
+                            return Err(SqError::Parse(
+                                "DISTINCT aggregates are not supported".into(),
+                            ));
+                        }
+                        let arg = self.parse_expr()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
+                    }
+                }
+                if self.eat_if(&Token::Dot) {
+                    match self.next()? {
+                        Token::Ident(col) | Token::QuotedIdent(col) => Ok(Expr::Column {
+                            qualifier: Some(name),
+                            name: col,
+                        }),
+                        other => Err(SqError::Parse(format!(
+                            "expected column after '{name}.', found '{other}'"
+                        ))),
+                    }
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
+                }
+            }
+            other => Err(SqError::Parse(format!(
+                "unexpected token '{other}' in expression"
+            ))),
+        }
+    }
+
+    /// `CASE [operand] WHEN … THEN … [WHEN …]* [ELSE …] END`.
+    fn parse_case(&mut self) -> SqResult<Expr> {
+        let operand = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let when = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(SqError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_result = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT * FROM orders").unwrap();
+        assert_eq!(q.items, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from.name, "orders");
+        assert!(q.joins.is_empty());
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn projections_with_aliases() {
+        let q = parse("SELECT count AS c, total t, count + total FROM average").unwrap();
+        assert_eq!(q.items.len(), 3);
+        match &q.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("c")),
+            _ => panic!(),
+        }
+        match &q.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("t")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn paper_query_1_parses() {
+        let q = parse(
+            r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+               JOIN "snapshot_orderstate" USING(partitionKey)
+               WHERE (orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP)
+               GROUP BY deliveryZone;"#,
+        )
+        .unwrap();
+        assert_eq!(q.from.name, "snapshot_orderinfo");
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(
+            q.joins[0].condition,
+            JoinCondition::Using(vec!["partitionKey".into()])
+        );
+        assert_eq!(q.group_by, vec![Expr::col("deliveryZone")]);
+        assert!(q.where_clause.is_some());
+        assert_eq!(
+            q.items[0],
+            SelectItem::Expr {
+                expr: Expr::Aggregate {
+                    func: AggregateFunc::Count,
+                    arg: None
+                },
+                alias: None
+            }
+        );
+    }
+
+    #[test]
+    fn paper_query_4_or_chain_parses() {
+        let q = parse(
+            r#"SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo"
+               JOIN "snapshot_orderstate" USING(partitionKey)
+               WHERE orderState='PICKED_UP' OR orderState='LEFT_PICKUP'
+                  OR orderState='NEAR_CUSTOMER'
+               GROUP BY deliveryZone;"#,
+        )
+        .unwrap();
+        // OR is left-associative: ((a OR b) OR c).
+        match q.where_clause.unwrap() {
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
+            other => panic!("expected OR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_4_snapshot_query_parses() {
+        let q = parse("SELECT count, total FROM snapshot_average WHERE ssid=9 AND key=2").unwrap();
+        assert_eq!(q.from.name, "snapshot_average");
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
+        match &q.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    right,
+                    ..
+                } => assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. })),
+                other => panic!("expected Add at top, got {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse("SELECT * FROM t WHERE a=1 OR b=2 AND c=3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. })),
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        let q = parse("SELECT * FROM t WHERE a IS NOT NULL AND b IN (1, 2, 3)").unwrap();
+        let w = q.where_clause.unwrap();
+        let mut found_isnull = false;
+        let mut found_in = false;
+        fn walk(e: &Expr, isnull: &mut bool, inlist: &mut bool) {
+            match e {
+                Expr::IsNull { negated: true, .. } => *isnull = true,
+                Expr::InList { list, .. } => {
+                    assert_eq!(list.len(), 3);
+                    *inlist = true;
+                }
+                Expr::Binary { left, right, .. } => {
+                    walk(left, isnull, inlist);
+                    walk(right, isnull, inlist);
+                }
+                _ => {}
+            }
+        }
+        walk(&w, &mut found_isnull, &mut found_in);
+        assert!(found_isnull && found_in);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = parse("SELECT * FROM t ORDER BY a DESC, b LIMIT 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn having_clause() {
+        let q = parse("SELECT COUNT(*), zone FROM t GROUP BY zone HAVING COUNT(*) > 5").unwrap();
+        assert!(q.having.is_some());
+        assert!(q.having.unwrap().contains_aggregate());
+    }
+
+    #[test]
+    fn qualified_columns_and_on_join() {
+        let q = parse("SELECT o.total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey")
+            .unwrap();
+        assert_eq!(q.from.alias.as_deref(), Some("o"));
+        match &q.joins[0].condition {
+            JoinCondition::On(Expr::Binary {
+                op: BinaryOp::Eq, ..
+            }) => {}
+            other => panic!("expected ON equality, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse("SELECT -5, -2.5 FROM t").unwrap();
+        assert_eq!(
+            q.items[0],
+            SelectItem::Expr {
+                expr: Expr::Literal(Value::Int(-5)),
+                alias: None
+            }
+        );
+        assert_eq!(
+            q.items[1],
+            SelectItem::Expr {
+                expr: Expr::Literal(Value::Float(-2.5)),
+                alias: None
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t JOIN u").is_err(), "join needs USING/ON");
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(parse("SELECT COUNT(DISTINCT a) FROM t").is_err());
+        assert!(parse("SELECT * FROM t INNER WHERE a=1").is_err());
+    }
+
+    #[test]
+    fn between_and_like() {
+        let q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b NOT LIKE 'x%'").unwrap();
+        let w = q.where_clause.unwrap();
+        let mut saw_between = false;
+        let mut saw_like = false;
+        fn walk(e: &Expr, b: &mut bool, l: &mut bool) {
+            match e {
+                Expr::Between { negated: false, .. } => *b = true,
+                Expr::Like { negated: true, .. } => *l = true,
+                Expr::Binary { left, right, .. } => {
+                    walk(left, b, l);
+                    walk(right, b, l);
+                }
+                _ => {}
+            }
+        }
+        walk(&w, &mut saw_between, &mut saw_like);
+        assert!(saw_between && saw_like, "{w:?}");
+        assert!(parse("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2").is_ok());
+        assert!(parse("SELECT * FROM t WHERE a BETWEEN 1").is_err());
+    }
+
+    #[test]
+    fn case_expressions() {
+        let q = parse(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+        )
+        .unwrap();
+        match &q.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Case {
+                    operand: None,
+                    branches,
+                    else_result: Some(_),
+                },
+                ..
+            } => assert_eq!(branches.len(), 1),
+            other => panic!("expected searched CASE, got {other:?}"),
+        }
+        // Simple CASE with operand, no ELSE.
+        let q = parse("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t").unwrap();
+        match &q.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Case {
+                    operand: Some(_),
+                    branches,
+                    else_result: None,
+                },
+                ..
+            } => assert_eq!(branches.len(), 2),
+            other => panic!("expected simple CASE, got {other:?}"),
+        }
+        assert!(parse("SELECT CASE END FROM t").is_err(), "WHEN required");
+        assert!(parse("SELECT CASE WHEN a THEN 1 FROM t").is_err(), "END required");
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let q = parse("SELECT ABS(a), UPPER(b), COALESCE(a, b, 0) FROM t").unwrap();
+        assert_eq!(q.items.len(), 3);
+        match &q.items[2] {
+            SelectItem::Expr {
+                expr: Expr::Func { func, args },
+                ..
+            } => {
+                assert_eq!(*func, ScalarFunc::Coalesce);
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected COALESCE, got {other:?}"),
+        }
+        // An unknown name with parens is not silently a function: it errors
+        // at plan time (unknown column here at parse it's a column? it parses
+        // as aggregate/func check fails -> falls through to column + parens
+        // mismatch).
+        assert!(parse("SELECT nosuchfn(a) FROM t").is_err());
+    }
+
+    #[test]
+    fn count_star_vs_multiplication() {
+        let q = parse("SELECT COUNT(*), a * b FROM t").unwrap();
+        assert_eq!(q.items.len(), 2);
+        match &q.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Binary {
+                    op: BinaryOp::Mul, ..
+                },
+                ..
+            } => {}
+            other => panic!("expected multiplication, got {other:?}"),
+        }
+    }
+}

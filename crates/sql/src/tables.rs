@@ -1,0 +1,417 @@
+//! Grid-backed tables: live-state maps and snapshot stores as SQL tables.
+//!
+//! The mapping follows the paper's §V-B exactly:
+//!
+//! * live table `<operator>`: columns `partitionKey` + the state object's
+//!   fields (Table I);
+//! * snapshot table `snapshot_<operator>`: columns `partitionKey`, `ssid` +
+//!   the state object's fields (Table II, Figure 4).
+//!
+//! State objects that are not structs (or operators that registered no value
+//! schema) expose a single `this` column holding the raw value, mirroring
+//! how IMDG exposes non-decomposable values.
+
+use crate::catalog::{Catalog, ExecContext, ScanHints, SsidMode, Table};
+use squery_common::schema::{Field, Schema, KEY_COLUMN, SSID_COLUMN};
+use squery_common::{DataType, SnapshotId, SqError, SqResult, Value};
+use squery_storage::grid::SNAPSHOT_TABLE_PREFIX;
+use squery_storage::{Grid, IMap, SnapshotStore};
+use std::sync::Arc;
+
+/// Column name for undecomposed state objects.
+pub const THIS_COLUMN: &str = "this";
+
+fn value_fields(value_schema: Option<&Arc<Schema>>) -> Vec<Field> {
+    match value_schema {
+        Some(s) => s.fields().to_vec(),
+        None => vec![Field {
+            name: THIS_COLUMN.into(),
+            dtype: DataType::Any,
+        }],
+    }
+}
+
+/// Explode a state object into the value columns of `value_schema`.
+fn explode(value: &Value, value_schema: Option<&Arc<Schema>>) -> Vec<Value> {
+    match value_schema {
+        None => vec![value.clone()],
+        Some(schema) => match value.as_struct() {
+            Some(sv) => schema
+                .fields()
+                .iter()
+                .map(|f| sv.field(&f.name).cloned().unwrap_or(Value::Null))
+                .collect(),
+            None if schema.len() == 1 => vec![value.clone()],
+            None => vec![Value::Null; schema.len()],
+        },
+    }
+}
+
+/// A live-state map as a table.
+pub struct LiveTable {
+    map: Arc<IMap>,
+    schema: Arc<Schema>,
+}
+
+impl LiveTable {
+    /// Wrap a live map, deriving the table schema from its value schema.
+    pub fn new(map: Arc<IMap>) -> LiveTable {
+        let mut fields = vec![Field {
+            name: KEY_COLUMN.into(),
+            dtype: DataType::Any,
+        }];
+        fields.extend(value_fields(map.value_schema().as_ref()));
+        LiveTable {
+            schema: Arc::new(Schema::from_fields(fields)),
+            map,
+        }
+    }
+}
+
+impl Table for LiveTable {
+    fn name(&self) -> &str {
+        self.map.name()
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn scan(&self, hints: &ScanHints, _ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+        let value_schema = self.map.value_schema();
+        let mut rows = Vec::new();
+        if let Some(key) = &hints.key_eq {
+            if let Some(v) = self.map.get(key) {
+                let mut row = vec![key.clone()];
+                row.extend(explode(&v, value_schema.as_ref()));
+                rows.push(row);
+            }
+            return Ok(rows);
+        }
+        rows.reserve(self.map.len());
+        self.map.for_each(|k, v| {
+            let mut row = Vec::with_capacity(self.schema.len());
+            row.push(k.clone());
+            row.extend(explode(v, value_schema.as_ref()));
+            rows.push(row);
+        });
+        Ok(rows)
+    }
+}
+
+/// A snapshot store as a table.
+pub struct SnapshotTable {
+    store: Arc<SnapshotStore>,
+    schema: Arc<Schema>,
+}
+
+impl SnapshotTable {
+    /// Wrap a snapshot store, deriving the table schema from its value schema.
+    pub fn new(store: Arc<SnapshotStore>) -> SnapshotTable {
+        let mut fields = vec![
+            Field {
+                name: KEY_COLUMN.into(),
+                dtype: DataType::Any,
+            },
+            Field {
+                name: SSID_COLUMN.into(),
+                dtype: DataType::Int,
+            },
+        ];
+        fields.extend(value_fields(store.value_schema().as_ref()));
+        SnapshotTable {
+            schema: Arc::new(Schema::from_fields(fields)),
+            store,
+        }
+    }
+
+    fn resolve_ssids(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<Vec<SnapshotId>> {
+        match hints.ssid {
+            SsidMode::Latest => match ctx.query_ssid {
+                Some(s) => Ok(vec![s]),
+                None => Err(SqError::NotFound(format!(
+                    "no committed snapshot available for {}",
+                    self.store.name()
+                ))),
+            },
+            SsidMode::Exact(s) => {
+                if ctx.retained_ssids.contains(&s) {
+                    Ok(vec![s])
+                } else {
+                    Err(SqError::NotFound(format!(
+                        "snapshot {s} of {} is not committed/retained",
+                        self.store.name()
+                    )))
+                }
+            }
+            SsidMode::AllRetained => Ok(ctx.retained_ssids.clone()),
+        }
+    }
+}
+
+impl Table for SnapshotTable {
+    fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn scan(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+        let ssids = self.resolve_ssids(hints, ctx)?;
+        let value_schema = self.store.value_schema();
+        let mut rows = Vec::new();
+        if let Some(key) = &hints.key_eq {
+            for ssid in &ssids {
+                if let Some(v) = self.store.read_at(*ssid, key)? {
+                    let mut row = vec![key.clone(), Value::Int(ssid.0 as i64)];
+                    row.extend(explode(&v, value_schema.as_ref()));
+                    rows.push(row);
+                }
+            }
+            return Ok(rows);
+        }
+        for ssid in &ssids {
+            let (entries, _) = self.store.scan_at(*ssid)?;
+            rows.reserve(entries.len());
+            for (k, v) in entries {
+                let mut row = Vec::with_capacity(self.schema.len());
+                row.push(k);
+                row.push(Value::Int(ssid.0 as i64));
+                row.extend(explode(&v, value_schema.as_ref()));
+                rows.push(row);
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// Catalog over a storage grid.
+pub struct GridCatalog {
+    grid: Arc<Grid>,
+}
+
+impl GridCatalog {
+    /// Wrap a grid.
+    pub fn new(grid: Arc<Grid>) -> GridCatalog {
+        GridCatalog { grid }
+    }
+
+    /// The wrapped grid.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+}
+
+impl Catalog for GridCatalog {
+    fn table(&self, name: &str) -> Option<Arc<dyn Table>> {
+        if let Some(op) = name.strip_prefix(SNAPSHOT_TABLE_PREFIX) {
+            let store = self.grid.get_snapshot_store(op)?;
+            Some(Arc::new(SnapshotTable::new(store)))
+        } else {
+            let map = self.grid.get_map(name)?;
+            Some(Arc::new(LiveTable::new(map)))
+        }
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.grid.all_table_names()
+    }
+
+    fn snapshot_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
+        let registry = self.grid.registry();
+        let latest = registry.latest_committed();
+        let latest = latest.is_some().then_some(latest);
+        (latest, registry.committed_ssids())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SqlEngine;
+    use squery_common::schema::schema;
+    use squery_common::PartitionId;
+
+    fn avg_schema() -> Arc<Schema> {
+        schema(vec![("count", DataType::Int), ("total", DataType::Int)])
+    }
+
+    /// The paper's Figure 4 fixture: live {1:(3,30), 2:(2,20)} and snapshots
+    /// 8/9 with evolving counts.
+    fn figure4_grid() -> Arc<Grid> {
+        let grid = Grid::single_node();
+        let live = grid.map("average");
+        live.set_value_schema(avg_schema());
+        live.put(
+            Value::Int(1),
+            Value::record(&avg_schema(), vec![Value::Int(3), Value::Int(30)]),
+        );
+        live.put(
+            Value::Int(2),
+            Value::record(&avg_schema(), vec![Value::Int(2), Value::Int(20)]),
+        );
+        let store = grid.snapshot_store("average");
+        store.set_value_schema(avg_schema());
+        let write = |ssid: u64, key: i64, count: i64, total: i64| {
+            store.write_partition(
+                SnapshotId(ssid),
+                store.partition_of(&Value::Int(key)),
+                vec![(
+                    Value::Int(key),
+                    Some(Value::record(
+                        &avg_schema(),
+                        vec![Value::Int(count), Value::Int(total)],
+                    )),
+                )],
+                false,
+            );
+        };
+        // Snapshot 8: key1=(2,30), key2=(1,5); snapshot 9: key1=(3,45), key2=(2,20).
+        let s8 = grid.registry().begin().unwrap();
+        write(8, 1, 2, 30);
+        write(8, 2, 1, 5);
+        assert_eq!(s8, SnapshotId(1));
+        grid.registry().commit(s8).unwrap();
+        // Use the registry's real ids: we wrote at 8/9 manually, so instead
+        // rewrite with the registry-issued ids for consistency.
+        grid
+    }
+
+    /// A grid with registry-consistent snapshot ids.
+    fn grid_with_snapshots() -> Arc<Grid> {
+        let grid = Grid::single_node();
+        let store = grid.snapshot_store("average");
+        store.set_value_schema(avg_schema());
+        for (count, total) in [(2i64, 30i64), (3, 45)] {
+            let ssid = grid.registry().begin().unwrap();
+            store.write_partition(
+                ssid,
+                store.partition_of(&Value::Int(1)),
+                vec![(
+                    Value::Int(1),
+                    Some(Value::record(
+                        &avg_schema(),
+                        vec![Value::Int(count), Value::Int(total)],
+                    )),
+                )],
+                true,
+            );
+            grid.registry().commit(ssid).unwrap();
+        }
+        grid
+    }
+
+    #[test]
+    fn live_table_schema_and_scan() {
+        let grid = figure4_grid();
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        // The paper's Figure 4 live query.
+        let rs = engine
+            .query("SELECT count, total FROM average WHERE partitionKey = 1")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(3), Value::Int(30)]]);
+    }
+
+    #[test]
+    fn snapshot_table_defaults_to_latest_committed() {
+        let grid = grid_with_snapshots();
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let rs = engine
+            .query("SELECT count, total FROM snapshot_average")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(3), Value::Int(45)]]);
+    }
+
+    #[test]
+    fn snapshot_table_exact_ssid() {
+        let grid = grid_with_snapshots();
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let rs = engine
+            .query("SELECT count, total FROM snapshot_average WHERE ssid = 1")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(2), Value::Int(30)]]);
+        // Uncommitted / unknown ssid errors.
+        assert!(engine
+            .query("SELECT count FROM snapshot_average WHERE ssid = 99")
+            .is_err());
+    }
+
+    #[test]
+    fn snapshot_table_all_retained_versions() {
+        let grid = grid_with_snapshots();
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let rs = engine
+            .query("SELECT ssid, count FROM snapshot_average WHERE ssid >= 0 ORDER BY ssid")
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn no_committed_snapshot_is_an_error() {
+        let grid = Grid::single_node();
+        grid.snapshot_store("average");
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let err = engine.query("SELECT * FROM snapshot_average").unwrap_err();
+        assert!(matches!(err, SqError::NotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn key_point_read_on_snapshot_table() {
+        let grid = grid_with_snapshots();
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let rs = engine
+            .query("SELECT total FROM snapshot_average WHERE partitionKey = 1")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(45)]]);
+        let rs = engine
+            .query("SELECT total FROM snapshot_average WHERE partitionKey = 42")
+            .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn unregistered_value_schema_exposes_this() {
+        let grid = Grid::single_node();
+        grid.map("raw").put(Value::Int(1), Value::str("blob"));
+        let engine = SqlEngine::new(GridCatalog::new(grid));
+        let rs = engine.query("SELECT this FROM raw").unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::str("blob")]]);
+    }
+
+    #[test]
+    fn catalog_lists_grid_tables() {
+        let grid = Grid::single_node();
+        grid.map("orders");
+        grid.snapshot_store("orders");
+        let catalog = GridCatalog::new(grid);
+        assert_eq!(catalog.table_names(), vec!["orders", "snapshot_orders"]);
+        assert!(catalog.table("orders").is_some());
+        assert!(catalog.table("snapshot_orders").is_some());
+        assert!(catalog.table("snapshot_missing").is_none());
+    }
+
+    #[test]
+    fn point_read_on_partition_with_write_partition() {
+        // write_partition with an explicit pid must agree with partition_of
+        // for reads to find the key.
+        let grid = grid_with_snapshots();
+        let store = grid.get_snapshot_store("average").unwrap();
+        assert_eq!(
+            store
+                .read_at(SnapshotId(2), &Value::Int(1))
+                .unwrap()
+                .map(|v| v.as_struct().unwrap().field("total").cloned().unwrap()),
+            Some(Value::Int(45))
+        );
+        let _ = store.partition_of(&Value::Int(1));
+        let _ = PartitionId(0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The grid: this reproduction's Hazelcast IMDG.
+//!
+//! One [`Grid`] per cluster. It owns the partition table, the snapshot
+//! registry, every operator's live-state map and snapshot store, and the
+//! replication service. The stream engine and the query system both talk to
+//! the same grid — that shared state store *is* the architecture of the
+//! paper's Figure 1.
+
+use crate::imap::IMap;
+use crate::partition_table::PartitionTable;
+use crate::registry::SnapshotRegistry;
+use crate::replication::{ReplOp, Replicator};
+use crate::snapshot::SnapshotStore;
+use parking_lot::RwLock;
+use squery_common::config::ClusterConfig;
+use squery_common::{NodeId, Partitioner, SqError, SqResult, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Prefix distinguishing snapshot tables from live tables (paper §V-B).
+pub const SNAPSHOT_TABLE_PREFIX: &str = "snapshot_";
+
+/// The partitioned in-memory data grid.
+pub struct Grid {
+    config: ClusterConfig,
+    partitioner: Partitioner,
+    partition_table: PartitionTable,
+    registry: SnapshotRegistry,
+    maps: RwLock<HashMap<String, Arc<IMap>>>,
+    snapshots: RwLock<HashMap<String, Arc<SnapshotStore>>>,
+    replicator: Option<Arc<Replicator>>,
+}
+
+impl Grid {
+    /// Build a grid for `config`. Replication starts if `backup_count > 0`.
+    pub fn new(config: ClusterConfig) -> SqResult<Arc<Grid>> {
+        config.validate()?;
+        let partitioner = Partitioner::new(config.partitions);
+        let partition_table =
+            PartitionTable::new(config.partitions, config.nodes, config.backup_count)?;
+        let replicator = if config.backup_count > 0 {
+            Some(Arc::new(Replicator::start(config.network)))
+        } else {
+            None
+        };
+        Ok(Arc::new(Grid {
+            config,
+            partitioner,
+            partition_table,
+            registry: SnapshotRegistry::new(),
+            maps: RwLock::new(HashMap::new()),
+            snapshots: RwLock::new(HashMap::new()),
+            replicator,
+        }))
+    }
+
+    /// A single-node grid with defaults — the standard test fixture.
+    pub fn single_node() -> Arc<Grid> {
+        Grid::new(ClusterConfig::single_node()).expect("default config is valid")
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared partitioner (also used by the stream engine's exchanges).
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// The partition table.
+    pub fn partition_table(&self) -> &PartitionTable {
+        &self.partition_table
+    }
+
+    /// The snapshot registry (2PC commit point, retention authority).
+    pub fn registry(&self) -> &SnapshotRegistry {
+        &self.registry
+    }
+
+    /// The node currently owning `key`'s partition.
+    pub fn node_of_key(&self, key: &Value) -> NodeId {
+        self.partition_table
+            .primary_of(self.partitioner.partition_of(key))
+    }
+
+    /// Get-or-create the live-state map named `name`.
+    ///
+    /// Creation wires the replication listener when backups are enabled.
+    pub fn map(&self, name: &str) -> Arc<IMap> {
+        if let Some(m) = self.maps.read().get(name) {
+            return Arc::clone(m);
+        }
+        let mut maps = self.maps.write();
+        if let Some(m) = maps.get(name) {
+            return Arc::clone(m);
+        }
+        let map = Arc::new(IMap::new(name, self.partitioner));
+        if let Some(repl) = &self.replicator {
+            let repl = Arc::clone(repl);
+            let map_name = name.to_string();
+            map.set_write_listener(Arc::new(move |pid, key, value| {
+                let op = match value {
+                    Some(v) => ReplOp::Put {
+                        map: map_name.clone(),
+                        pid,
+                        key: key.clone(),
+                        value: v.clone(),
+                    },
+                    None => ReplOp::Remove {
+                        map: map_name.clone(),
+                        pid,
+                        key: key.clone(),
+                    },
+                };
+                repl.enqueue(op);
+            }));
+        }
+        maps.insert(name.to_string(), Arc::clone(&map));
+        map
+    }
+
+    /// The live-state map named `name`, if it exists.
+    pub fn get_map(&self, name: &str) -> Option<Arc<IMap>> {
+        self.maps.read().get(name).cloned()
+    }
+
+    /// Get-or-create the snapshot store for operator `operator_name`
+    /// (its table name becomes `snapshot_<operator_name>`).
+    pub fn snapshot_store(&self, operator_name: &str) -> Arc<SnapshotStore> {
+        if let Some(s) = self.snapshots.read().get(operator_name) {
+            return Arc::clone(s);
+        }
+        let mut stores = self.snapshots.write();
+        if let Some(s) = stores.get(operator_name) {
+            return Arc::clone(s);
+        }
+        let store = Arc::new(SnapshotStore::new(operator_name, self.partitioner));
+        stores.insert(operator_name.to_string(), Arc::clone(&store));
+        store
+    }
+
+    /// The snapshot store for operator `operator_name`, if it exists.
+    pub fn get_snapshot_store(&self, operator_name: &str) -> Option<Arc<SnapshotStore>> {
+        self.snapshots.read().get(operator_name).cloned()
+    }
+
+    /// Resolve a SQL table name: `snapshot_<op>` names a snapshot store,
+    /// anything else names a live map.
+    pub fn table_exists(&self, table: &str) -> bool {
+        match table.strip_prefix(SNAPSHOT_TABLE_PREFIX) {
+            Some(op) => self.snapshots.read().contains_key(op),
+            None => self.maps.read().contains_key(table),
+        }
+    }
+
+    /// Names of all live-state maps.
+    pub fn map_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.maps.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Table names of all snapshot stores (`snapshot_<op>`).
+    pub fn snapshot_table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .snapshots
+            .read()
+            .keys()
+            .map(|op| format!("{SNAPSHOT_TABLE_PREFIX}{op}"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Every queryable table name (live + snapshot), sorted.
+    pub fn all_table_names(&self) -> Vec<String> {
+        let mut names = self.map_names();
+        names.extend(self.snapshot_table_names());
+        names.sort();
+        names
+    }
+
+    /// Block until asynchronous replication has drained (tests/failover).
+    pub fn flush_replication(&self) {
+        if let Some(r) = &self.replicator {
+            r.flush();
+        }
+    }
+
+    /// Simulate the failure of `node`: its partitions lose their primary
+    /// live-state copies; the partition table promotes backups; with
+    /// replication enabled the promoted backups' data is restored into the
+    /// live maps. Returns the partitions that changed owner.
+    ///
+    /// (Snapshot stores are durable in this reproduction — the paper stores
+    /// them replicated in the grid, and recovery reads them back; modelling
+    /// their loss would only exercise the same promotion path again.)
+    pub fn fail_node(&self, node: NodeId) -> SqResult<Vec<squery_common::PartitionId>> {
+        if node.0 >= self.config.nodes {
+            return Err(SqError::Storage(format!("unknown node {node}")));
+        }
+        if let Some(r) = &self.replicator {
+            r.flush();
+        }
+        let promoted = self.partition_table.fail_node(node)?;
+        let maps: Vec<Arc<IMap>> = self.maps.read().values().cloned().collect();
+        for map in maps {
+            map.clear_partitions(&promoted);
+            if let Some(r) = &self.replicator {
+                let restored = r.backups_of(map.name(), &promoted);
+                map.load_silent(restored);
+            }
+        }
+        Ok(promoted)
+    }
+
+    /// Total approximate bytes of live state across maps.
+    pub fn total_live_bytes(&self) -> usize {
+        self.maps
+            .read()
+            .values()
+            .map(|m| m.approximate_bytes())
+            .sum()
+    }
+
+    /// Total approximate bytes of snapshot state across stores.
+    pub fn total_snapshot_bytes(&self) -> usize {
+        self.snapshots
+            .read()
+            .values()
+            .map(|s| s.stats().approx_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_get_or_create_is_idempotent() {
+        let g = Grid::single_node();
+        let a = g.map("average");
+        let b = g.map("average");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(g.map_names(), vec!["average"]);
+        assert!(g.get_map("average").is_some());
+        assert!(g.get_map("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_store_naming_convention() {
+        let g = Grid::single_node();
+        let s = g.snapshot_store("statefulmap");
+        assert_eq!(s.name(), "snapshot_statefulmap");
+        assert_eq!(g.snapshot_table_names(), vec!["snapshot_statefulmap"]);
+        assert!(g.table_exists("snapshot_statefulmap"));
+        assert!(!g.table_exists("snapshot_other"));
+    }
+
+    #[test]
+    fn all_table_names_combines_live_and_snapshot() {
+        let g = Grid::single_node();
+        g.map("orderinfo");
+        g.snapshot_store("orderinfo");
+        g.snapshot_store("orderstate");
+        assert_eq!(
+            g.all_table_names(),
+            vec!["orderinfo", "snapshot_orderinfo", "snapshot_orderstate"]
+        );
+    }
+
+    #[test]
+    fn node_of_key_follows_partition_table() {
+        let g = Grid::new(ClusterConfig::simulated(3)).unwrap();
+        for i in 0..100i64 {
+            let key = Value::Int(i);
+            let node = g.node_of_key(&key);
+            assert!(node.0 < 3);
+            let pid = g.partitioner().partition_of(&key);
+            assert_eq!(node, g.partition_table().primary_of(pid));
+        }
+    }
+
+    #[test]
+    fn failover_restores_live_state_from_backups() {
+        let mut config = ClusterConfig::simulated(3);
+        config.network = squery_common::config::NetworkConfig::instant();
+        let g = Grid::new(config).unwrap();
+        let m = g.map("orders");
+        for i in 0..300i64 {
+            m.put(Value::Int(i), Value::Int(i * 10));
+        }
+        g.flush_replication();
+        let victim = NodeId(0);
+        let owned_parts = g.partition_table().partitions_of(victim);
+        assert!(!owned_parts.is_empty());
+        let promoted = g.fail_node(victim).unwrap();
+        assert_eq!(promoted, owned_parts);
+        // Every key is still readable after promotion.
+        for i in 0..300i64 {
+            assert_eq!(
+                m.get(&Value::Int(i)),
+                Some(Value::Int(i * 10)),
+                "key {i} lost in failover"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_without_replication_loses_partitions() {
+        // A 1-node cluster has no backups; failing the only node is an error
+        // (no backup to promote).
+        let g = Grid::single_node();
+        g.map("m").put(Value::Int(1), Value::Int(1));
+        assert!(g.fail_node(NodeId(0)).is_err());
+        assert!(g.fail_node(NodeId(9)).is_err(), "unknown node rejected");
+    }
+
+    #[test]
+    fn byte_totals_aggregate() {
+        let g = Grid::single_node();
+        assert_eq!(g.total_live_bytes(), 0);
+        g.map("a").put(Value::Int(1), Value::str("x"));
+        g.map("b").put(Value::Int(2), Value::str("y"));
+        assert!(g.total_live_bytes() > 0);
+        let s = g.snapshot_store("a");
+        s.write_partition(
+            squery_common::SnapshotId(1),
+            g.partitioner().partition_of(&Value::Int(1)),
+            vec![(Value::Int(1), Some(Value::str("x")))],
+            true,
+        );
+        assert!(g.total_snapshot_bytes() > 0);
+    }
+
+    #[test]
+    fn registry_is_shared() {
+        let g = Grid::single_node();
+        let s = g.registry().begin().unwrap();
+        g.registry().commit(s).unwrap();
+        assert_eq!(g.registry().latest_committed(), s);
+    }
+}

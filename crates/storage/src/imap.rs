@@ -1,0 +1,375 @@
+//! `IMap`: the distributed map holding one operator's **live state**.
+//!
+//! Mirrors the paper's Table I — each entry is `key → state object`, the map
+//! is named after its operator, and it is partitioned with the shared
+//! partitioner so updates from the co-located operator instance are
+//! node-local. External queries address the map by name through the SQL or
+//! direct-object interfaces.
+//!
+//! Concurrency model: each partition's hash map sits behind a `RwLock`;
+//! per-key access additionally serializes on a striped key lock (§VII-B's
+//! key-level locking). Scans take only the partition read locks — they see a
+//! live, possibly in-motion view, which is exactly the paper's live-state
+//! semantics (read uncommitted across failures).
+
+use crate::locks::LockStripes;
+use parking_lot::RwLock;
+use squery_common::codec::encoded_len;
+use squery_common::schema::Schema;
+use squery_common::{PartitionId, Partitioner, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Callback invoked after every successful write (put/remove), used by the
+/// grid to feed asynchronous replication. Arguments: partition, key, and the
+/// new value (`None` for removals).
+pub type WriteListener = Arc<dyn Fn(PartitionId, &Value, Option<&Value>) + Send + Sync>;
+
+struct PartitionData {
+    map: RwLock<HashMap<Value, Value>>,
+    locks: LockStripes,
+}
+
+/// A partitioned, concurrently accessible `key → state object` map.
+pub struct IMap {
+    name: String,
+    partitioner: Partitioner,
+    parts: Vec<PartitionData>,
+    value_schema: RwLock<Option<Arc<Schema>>>,
+    bytes: AtomicI64,
+    write_listener: RwLock<Option<WriteListener>>,
+}
+
+impl IMap {
+    /// A new empty map named `name`, partitioned by `partitioner`.
+    pub fn new(name: impl Into<String>, partitioner: Partitioner) -> IMap {
+        let parts = (0..partitioner.partition_count())
+            .map(|_| PartitionData {
+                map: RwLock::new(HashMap::new()),
+                locks: LockStripes::new(),
+            })
+            .collect();
+        IMap {
+            name: name.into(),
+            partitioner,
+            parts,
+            value_schema: RwLock::new(None),
+            bytes: AtomicI64::new(0),
+            write_listener: RwLock::new(None),
+        }
+    }
+
+    /// The map's name (equals the owning operator's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The partitioner this map shares with the stream engine.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// The partition that owns `key`.
+    pub fn partition_of(&self, key: &Value) -> PartitionId {
+        self.partitioner.partition_of(key)
+    }
+
+    /// Register the schema of this map's state objects so the SQL layer can
+    /// expose their fields as columns.
+    pub fn set_value_schema(&self, schema: Arc<Schema>) {
+        *self.value_schema.write() = Some(schema);
+    }
+
+    /// The registered state-object schema, if any.
+    pub fn value_schema(&self) -> Option<Arc<Schema>> {
+        self.value_schema.read().clone()
+    }
+
+    /// Install the write listener (replication hook). At most one.
+    pub fn set_write_listener(&self, listener: WriteListener) {
+        *self.write_listener.write() = Some(listener);
+    }
+
+    /// Point read under the key lock.
+    pub fn get(&self, key: &Value) -> Option<Value> {
+        let part = &self.parts[self.partition_of(key).0 as usize];
+        let _k = part.locks.lock(key);
+        part.map.read().get(key).cloned()
+    }
+
+    /// Insert/overwrite under the key lock; returns the previous value.
+    pub fn put(&self, key: Value, value: Value) -> Option<Value> {
+        let pid = self.partition_of(&key);
+        let part = &self.parts[pid.0 as usize];
+        let _k = part.locks.lock(&key);
+        let delta_new = (encoded_len(&key) + encoded_len(&value)) as i64;
+        let old = part.map.write().insert(key.clone(), value.clone());
+        let delta_old = old
+            .as_ref()
+            .map(|o| (encoded_len(&key) + encoded_len(o)) as i64)
+            .unwrap_or(0);
+        self.bytes.fetch_add(delta_new - delta_old, Ordering::Relaxed);
+        if let Some(listener) = self.write_listener.read().clone() {
+            listener(pid, &key, Some(&value));
+        }
+        old
+    }
+
+    /// Remove under the key lock; returns the removed value.
+    pub fn remove(&self, key: &Value) -> Option<Value> {
+        let pid = self.partition_of(key);
+        let part = &self.parts[pid.0 as usize];
+        let _k = part.locks.lock(key);
+        let old = part.map.write().remove(key);
+        if let Some(old_v) = &old {
+            let delta = (encoded_len(key) + encoded_len(old_v)) as i64;
+            self.bytes.fetch_sub(delta, Ordering::Relaxed);
+            if let Some(listener) = self.write_listener.read().clone() {
+                listener(pid, key, None);
+            }
+        }
+        old
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        let part = &self.parts[self.partition_of(key).0 as usize];
+        part.map.read().contains_key(key)
+    }
+
+    /// Total entry count across partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.map.read().len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.map.read().is_empty())
+    }
+
+    /// Remove all entries.
+    pub fn clear(&self) {
+        for p in &self.parts {
+            p.map.write().clear();
+        }
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Approximate encoded size of all entries, in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Snapshot copy of every entry (partition read locks, taken one at a
+    /// time — a live scan, not an atomic cut).
+    pub fn entries(&self) -> Vec<(Value, Value)> {
+        let mut out = Vec::with_capacity(self.len());
+        for p in &self.parts {
+            let guard = p.map.read();
+            out.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Snapshot copy of one partition's entries.
+    pub fn entries_in_partition(&self, pid: PartitionId) -> Vec<(Value, Value)> {
+        let guard = self.parts[pid.0 as usize].map.read();
+        guard.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Visit every entry without materializing (still per-partition locked).
+    pub fn for_each(&self, mut f: impl FnMut(&Value, &Value)) {
+        for p in &self.parts {
+            let guard = p.map.read();
+            for (k, v) in guard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Read multiple keys under their key locks.
+    pub fn get_all(&self, keys: &[Value]) -> Vec<(Value, Option<Value>)> {
+        keys.iter()
+            .map(|k| (k.clone(), self.get(k)))
+            .collect()
+    }
+
+    /// Bulk-load entries without firing the write listener (recovery path:
+    /// rebuilding live state from a committed snapshot must not re-replicate).
+    pub fn load_silent(&self, entries: Vec<(Value, Value)>) {
+        for (key, value) in entries {
+            let pid = self.partition_of(&key);
+            let part = &self.parts[pid.0 as usize];
+            let delta = (encoded_len(&key) + encoded_len(&value)) as i64;
+            let old = part.map.write().insert(key.clone(), value);
+            let delta_old = old
+                .map(|o| (encoded_len(&key) + encoded_len(&o)) as i64)
+                .unwrap_or(0);
+            self.bytes.fetch_add(delta - delta_old, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry in the given partitions (node-failure simulation).
+    pub fn clear_partitions(&self, pids: &[PartitionId]) {
+        for pid in pids {
+            let part = &self.parts[pid.0 as usize];
+            let mut guard = part.map.write();
+            for (k, v) in guard.iter() {
+                let delta = (encoded_len(k) + encoded_len(v)) as i64;
+                self.bytes.fetch_sub(delta, Ordering::Relaxed);
+            }
+            guard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::schema::schema;
+    use squery_common::DataType;
+
+    fn map() -> IMap {
+        IMap::new("average", Partitioner::new(16))
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let m = map();
+        assert_eq!(m.put(Value::Int(1), Value::str("a")), None);
+        assert_eq!(m.get(&Value::Int(1)), Some(Value::str("a")));
+        assert!(m.contains_key(&Value::Int(1)));
+        assert_eq!(
+            m.put(Value::Int(1), Value::str("b")),
+            Some(Value::str("a"))
+        );
+        assert_eq!(m.remove(&Value::Int(1)), Some(Value::str("b")));
+        assert_eq!(m.get(&Value::Int(1)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn len_and_entries_span_partitions() {
+        let m = map();
+        for i in 0..100 {
+            m.put(Value::Int(i), Value::Int(i * 2));
+        }
+        assert_eq!(m.len(), 100);
+        let mut entries = m.entries();
+        entries.sort();
+        assert_eq!(entries.len(), 100);
+        assert_eq!(entries[0], (Value::Int(0), Value::Int(0)));
+        let mut seen = 0;
+        m.for_each(|_, _| seen += 1);
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_updates() {
+        let m = map();
+        assert_eq!(m.approximate_bytes(), 0);
+        m.put(Value::Int(1), Value::str("hello"));
+        let after_put = m.approximate_bytes();
+        assert!(after_put > 0);
+        m.put(Value::Int(1), Value::str("hi"));
+        assert!(m.approximate_bytes() < after_put, "smaller value shrinks");
+        m.remove(&Value::Int(1));
+        assert_eq!(m.approximate_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = map();
+        for i in 0..10 {
+            m.put(Value::Int(i), Value::Int(i));
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.approximate_bytes(), 0);
+    }
+
+    #[test]
+    fn value_schema_registration() {
+        let m = map();
+        assert!(m.value_schema().is_none());
+        let s = schema(vec![("count", DataType::Int), ("total", DataType::Int)]);
+        m.set_value_schema(Arc::clone(&s));
+        assert_eq!(m.value_schema().unwrap().as_ref(), s.as_ref());
+    }
+
+    #[test]
+    fn write_listener_sees_puts_and_removes() {
+        use parking_lot::Mutex;
+        let m = map();
+        let log: Arc<Mutex<Vec<(Value, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        m.set_write_listener(Arc::new(move |_pid, key, value| {
+            log2.lock().push((key.clone(), value.is_some()));
+        }));
+        m.put(Value::Int(5), Value::Int(50));
+        m.remove(&Value::Int(5));
+        m.remove(&Value::Int(6)); // absent: no event
+        let events = log.lock().clone();
+        assert_eq!(
+            events,
+            vec![(Value::Int(5), true), (Value::Int(5), false)]
+        );
+    }
+
+    #[test]
+    fn load_silent_skips_listener() {
+        use std::sync::atomic::AtomicUsize;
+        let m = map();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        m.set_write_listener(Arc::new(move |_, _, _| {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        }));
+        m.load_silent(vec![(Value::Int(1), Value::Int(10))]);
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(m.get(&Value::Int(1)), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn clear_partitions_drops_only_those() {
+        let m = map();
+        for i in 0..200 {
+            m.put(Value::Int(i), Value::Int(i));
+        }
+        let victim = m.partition_of(&Value::Int(0));
+        let victim_count = m.entries_in_partition(victim).len();
+        assert!(victim_count > 0);
+        m.clear_partitions(&[victim]);
+        assert_eq!(m.entries_in_partition(victim).len(), 0);
+        assert_eq!(m.len(), 200 - victim_count);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_keys() {
+        let m = Arc::new(IMap::new("mt", Partitioner::new(8)));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000i64 {
+                        m.put(Value::Int(t * 10_000 + i), Value::Int(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 4000);
+    }
+
+    #[test]
+    fn get_all_returns_hits_and_misses() {
+        let m = map();
+        m.put(Value::Int(1), Value::Int(10));
+        let res = m.get_all(&[Value::Int(1), Value::Int(2)]);
+        assert_eq!(res[0], (Value::Int(1), Some(Value::Int(10))));
+        assert_eq!(res[1], (Value::Int(2), None));
+    }
+}

@@ -1,0 +1,44 @@
+//! # squery-storage
+//!
+//! The partitioned in-memory key-value grid — this reproduction's analogue of
+//! Hazelcast IMDG, the state store S-QUERY uses (paper §VI-A).
+//!
+//! A [`grid::Grid`] hosts:
+//!
+//! * **Live-state maps** ([`imap::IMap`]) — one distributed map per stateful
+//!   operator, named after the operator (paper §V-B, Table I). The stream
+//!   engine write-throughs every state update into it; external queries read
+//!   it live. Keys hash to one of 271 partitions via the *same*
+//!   [`squery_common::Partitioner`] the engine's keyed exchange uses, so an
+//!   operator instance's updates always land in partitions whose primary
+//!   replica lives on the instance's own node (the co-partitioning
+//!   optimization of §II/§V-A).
+//! * **Snapshot stores** ([`snapshot::SnapshotStore`]) — one per operator,
+//!   named `snapshot_<operator>` (Table II), holding `(key, snapshot id) →
+//!   state object` entries. Supports full and incremental snapshots, version
+//!   retention with pruning, and the backwards differential read the paper
+//!   describes for incremental snapshots (§VI-A).
+//! * **The snapshot registry** ([`registry::SnapshotRegistry`]) — the 2PC
+//!   commit point: the latest *committed* snapshot id is published atomically
+//!   so that every query sees a consistent, fully-acknowledged snapshot
+//!   ("S-QUERY ensures that the latest snapshot is atomically acknowledged
+//!   across the distributed system", §VI-A).
+//! * **Key-level locks** ([`locks::LockStripes`]) — the mechanism behind the
+//!   read-committed guarantee for live queries absent failures (§VII-B).
+//! * **Replication** ([`replication::Replicator`]) — asynchronous backup
+//!   copies per partition; on node failure the backup is promoted, mirroring
+//!   "if a node fails, the respective operator can be scheduled on the node
+//!   holding that snapshot's replica" (§V-A).
+
+pub mod grid;
+pub mod imap;
+pub mod locks;
+pub mod partition_table;
+pub mod registry;
+pub mod replication;
+pub mod snapshot;
+
+pub use grid::Grid;
+pub use imap::IMap;
+pub use registry::SnapshotRegistry;
+pub use snapshot::{SnapshotMode, SnapshotStore};

@@ -1,0 +1,189 @@
+//! Partition-to-node placement.
+//!
+//! Assigns each of the grid's partitions a primary owner node plus
+//! `backup_count` backup nodes. Placement is *contiguous by partition range*:
+//! node `i` of `n` owns partitions `[i*P/n, (i+1)*P/n)`. This is deliberate —
+//! [`squery_common::Partitioner::instance_of_partition`] splits operator key
+//! ranges across instances with the same arithmetic, so when the scheduler
+//! puts instance `i` on node `i` the instance's live-state writes are always
+//! node-local. That is the co-partitioning contract of the paper's §II
+//! ("the system's scheduler enforces that the state and compute of the same
+//! partition are colocated").
+
+use parking_lot::RwLock;
+use squery_common::{NodeId, PartitionId, SqError, SqResult};
+
+/// Placement of one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlacement {
+    /// Primary owner.
+    pub primary: NodeId,
+    /// Backup owners, in promotion order.
+    pub backups: Vec<NodeId>,
+}
+
+/// The partition table: placement for every partition, with failover.
+pub struct PartitionTable {
+    placements: RwLock<Vec<PartitionPlacement>>,
+    nodes: u32,
+}
+
+impl PartitionTable {
+    /// Build the initial contiguous-range assignment.
+    pub fn new(partitions: u32, nodes: u32, backup_count: u32) -> SqResult<PartitionTable> {
+        if nodes == 0 {
+            return Err(SqError::Config("need at least one node".into()));
+        }
+        if backup_count >= nodes && backup_count > 0 {
+            return Err(SqError::Config(format!(
+                "backup_count {backup_count} requires more than {nodes} nodes"
+            )));
+        }
+        let placements = (0..partitions)
+            .map(|p| {
+                let primary = ((u64::from(p) * u64::from(nodes)) / u64::from(partitions)) as u32;
+                let backups = (1..=backup_count)
+                    .map(|b| NodeId((primary + b) % nodes))
+                    .collect();
+                PartitionPlacement {
+                    primary: NodeId(primary),
+                    backups,
+                }
+            })
+            .collect();
+        Ok(PartitionTable {
+            placements: RwLock::new(placements),
+            nodes,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.placements.read().len() as u32
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Current primary owner of a partition.
+    pub fn primary_of(&self, partition: PartitionId) -> NodeId {
+        self.placements.read()[partition.0 as usize].primary
+    }
+
+    /// Current backups of a partition.
+    pub fn backups_of(&self, partition: PartitionId) -> Vec<NodeId> {
+        self.placements.read()[partition.0 as usize].backups.clone()
+    }
+
+    /// All partitions whose primary is `node`.
+    pub fn partitions_of(&self, node: NodeId) -> Vec<PartitionId> {
+        self.placements
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, pl)| pl.primary == node)
+            .map(|(i, _)| PartitionId(i as u32))
+            .collect()
+    }
+
+    /// Fail a node: every partition it owned promotes its first backup to
+    /// primary (the failed node is dropped from backup lists too).
+    ///
+    /// Returns the partitions that changed primary. Errors if a partition has
+    /// no backup to promote (data loss — the caller decides how to handle it).
+    pub fn fail_node(&self, failed: NodeId) -> SqResult<Vec<PartitionId>> {
+        let mut placements = self.placements.write();
+        let mut promoted = Vec::new();
+        for (i, pl) in placements.iter_mut().enumerate() {
+            pl.backups.retain(|b| *b != failed);
+            if pl.primary == failed {
+                if pl.backups.is_empty() {
+                    return Err(SqError::Storage(format!(
+                        "partition p{i} lost its primary {failed} with no backup"
+                    )));
+                }
+                pl.primary = pl.backups.remove(0);
+                promoted.push(PartitionId(i as u32));
+            }
+        }
+        Ok(promoted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_assignment_matches_partitioner_split() {
+        use squery_common::Partitioner;
+        let table = PartitionTable::new(271, 7, 0).unwrap();
+        let p = Partitioner::new(271);
+        for part in 0..271u32 {
+            let node = table.primary_of(PartitionId(part));
+            let instance = p.instance_of_partition(PartitionId(part), 7);
+            assert_eq!(
+                node.0, instance,
+                "co-partitioning broken for partition {part}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_node_owns_partitions() {
+        let table = PartitionTable::new(271, 7, 1).unwrap();
+        for n in 0..7 {
+            let parts = table.partitions_of(NodeId(n));
+            assert!(!parts.is_empty(), "node {n} owns nothing");
+        }
+        let total: usize = (0..7).map(|n| table.partitions_of(NodeId(n)).len()).sum();
+        assert_eq!(total, 271);
+    }
+
+    #[test]
+    fn backups_are_distinct_from_primary() {
+        let table = PartitionTable::new(32, 4, 2).unwrap();
+        for p in 0..32u32 {
+            let primary = table.primary_of(PartitionId(p));
+            let backups = table.backups_of(PartitionId(p));
+            assert_eq!(backups.len(), 2);
+            assert!(!backups.contains(&primary));
+            assert_ne!(backups[0], backups[1]);
+        }
+    }
+
+    #[test]
+    fn failover_promotes_first_backup() {
+        let table = PartitionTable::new(16, 4, 1).unwrap();
+        let owned = table.partitions_of(NodeId(0));
+        let expected_backup = table.backups_of(owned[0])[0];
+        let promoted = table.fail_node(NodeId(0)).unwrap();
+        assert_eq!(promoted, owned);
+        assert_eq!(table.primary_of(owned[0]), expected_backup);
+        assert!(table.partitions_of(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn failover_without_backups_errors() {
+        let table = PartitionTable::new(8, 2, 0).unwrap();
+        assert!(table.fail_node(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn failed_node_removed_from_backup_lists() {
+        let table = PartitionTable::new(16, 4, 2).unwrap();
+        table.fail_node(NodeId(1)).unwrap();
+        for p in 0..16u32 {
+            assert_ne!(table.primary_of(PartitionId(p)), NodeId(1));
+            assert!(!table.backups_of(PartitionId(p)).contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(PartitionTable::new(8, 0, 0).is_err());
+        assert!(PartitionTable::new(8, 2, 2).is_err());
+    }
+}

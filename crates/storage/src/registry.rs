@@ -1,0 +1,289 @@
+//! The snapshot registry: the atomic commit point of the checkpoint 2PC.
+//!
+//! The paper (§VI-A): *"S-QUERY ensures that the latest snapshot is atomically
+//! acknowledged across the distributed system in order to guarantee that a
+//! query is answered from the most recent snapshot at the time the query is
+//! issued"*, and (§VII-B) the atomic flip is what evades phantom reads in the
+//! snapshot-isolation argument. Figure 1's caption is the behavioural spec:
+//! while snapshot 9 is still in progress, queries keep reading snapshot 8.
+//!
+//! The registry also owns version retention (§VI-A "Snapshot Versions"): by
+//! default the two most recent committed versions are kept — constant memory,
+//! and always at least one queryable version — and committing a new snapshot
+//! yields the prune horizon the stores should fold up to.
+
+use parking_lot::Mutex;
+use squery_common::{SnapshotId, SqError, SqResult};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of committed snapshot versions to retain.
+pub const DEFAULT_RETAINED_VERSIONS: usize = 2;
+
+/// Lifecycle and retention authority for snapshot ids.
+pub struct SnapshotRegistry {
+    latest_committed: AtomicU64,
+    next_ssid: AtomicU64,
+    in_progress: Mutex<Option<SnapshotId>>,
+    committed: Mutex<VecDeque<SnapshotId>>,
+    retained_versions: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// A fresh registry with the default retention of two versions.
+    pub fn new() -> SnapshotRegistry {
+        SnapshotRegistry::with_retention(DEFAULT_RETAINED_VERSIONS)
+    }
+
+    /// A registry retaining `versions` committed snapshots (minimum 1).
+    pub fn with_retention(versions: usize) -> SnapshotRegistry {
+        SnapshotRegistry {
+            latest_committed: AtomicU64::new(0),
+            next_ssid: AtomicU64::new(1),
+            in_progress: Mutex::new(None),
+            committed: Mutex::new(VecDeque::new()),
+            retained_versions: AtomicU64::new(versions.max(1) as u64),
+        }
+    }
+
+    /// How many committed versions are retained.
+    pub fn retained_versions(&self) -> usize {
+        self.retained_versions.load(Ordering::Relaxed) as usize
+    }
+
+    /// Change the retention window (minimum 1). Takes effect at next commit.
+    pub fn set_retained_versions(&self, versions: usize) {
+        self.retained_versions
+            .store(versions.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// The latest committed snapshot id; [`SnapshotId::NONE`] before the
+    /// first commit. This is the single atomic read every query starts from.
+    pub fn latest_committed(&self) -> SnapshotId {
+        SnapshotId(self.latest_committed.load(Ordering::Acquire))
+    }
+
+    /// The snapshot id currently being written (phase 1 underway), if any.
+    pub fn in_progress(&self) -> Option<SnapshotId> {
+        *self.in_progress.lock()
+    }
+
+    /// All currently retained committed ids, oldest first.
+    pub fn committed_ssids(&self) -> Vec<SnapshotId> {
+        self.committed.lock().iter().copied().collect()
+    }
+
+    /// Start a new checkpoint: allocates the next snapshot id and marks it in
+    /// progress. Fails if another checkpoint is already in flight (the
+    /// coordinator serializes checkpoints, like Jet).
+    pub fn begin(&self) -> SqResult<SnapshotId> {
+        let mut in_progress = self.in_progress.lock();
+        if let Some(cur) = *in_progress {
+            return Err(SqError::Storage(format!(
+                "checkpoint {cur} still in progress"
+            )));
+        }
+        let ssid = SnapshotId(self.next_ssid.fetch_add(1, Ordering::AcqRel));
+        *in_progress = Some(ssid);
+        Ok(ssid)
+    }
+
+    /// Phase 2: atomically publish `ssid` as the latest committed snapshot.
+    ///
+    /// Returns the prune horizon — the oldest id still retained — which the
+    /// caller applies to every snapshot store (`prune_below`). Fails if
+    /// `ssid` is not the in-progress checkpoint.
+    pub fn commit(&self, ssid: SnapshotId) -> SqResult<SnapshotId> {
+        let mut in_progress = self.in_progress.lock();
+        if *in_progress != Some(ssid) {
+            return Err(SqError::Storage(format!(
+                "cannot commit {ssid}: not the in-progress checkpoint"
+            )));
+        }
+        *in_progress = None;
+        let mut committed = self.committed.lock();
+        committed.push_back(ssid);
+        let retain = self.retained_versions();
+        while committed.len() > retain {
+            committed.pop_front();
+        }
+        let horizon = *committed.front().expect("just pushed");
+        // The atomic flip: concurrent readers see either the previous id or
+        // this one, never a partial state.
+        self.latest_committed.store(ssid.0, Ordering::Release);
+        Ok(horizon)
+    }
+
+    /// Abort the in-progress checkpoint (coordinator decided to give up;
+    /// callers must also `discard` the stores' phase-1 writes).
+    pub fn abort(&self, ssid: SnapshotId) -> SqResult<()> {
+        let mut in_progress = self.in_progress.lock();
+        if *in_progress != Some(ssid) {
+            return Err(SqError::Storage(format!(
+                "cannot abort {ssid}: not the in-progress checkpoint"
+            )));
+        }
+        *in_progress = None;
+        Ok(())
+    }
+
+    /// Resolve the snapshot id a query should read: an explicit requested id
+    /// (validated to be committed and retained), or the latest committed.
+    pub fn resolve_query_ssid(&self, requested: Option<SnapshotId>) -> SqResult<SnapshotId> {
+        match requested {
+            None => {
+                let latest = self.latest_committed();
+                if !latest.is_some() {
+                    return Err(SqError::NotFound(
+                        "no snapshot committed yet".into(),
+                    ));
+                }
+                Ok(latest)
+            }
+            Some(ssid) => {
+                if self.committed.lock().contains(&ssid) {
+                    Ok(ssid)
+                } else {
+                    Err(SqError::NotFound(format!(
+                        "snapshot {ssid} is not committed/retained"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl Default for SnapshotRegistry {
+    fn default() -> Self {
+        SnapshotRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn begin_commit_cycle_advances_latest() {
+        let r = SnapshotRegistry::new();
+        assert_eq!(r.latest_committed(), SnapshotId::NONE);
+        let s1 = r.begin().unwrap();
+        assert_eq!(s1, SnapshotId(1));
+        assert_eq!(r.in_progress(), Some(s1));
+        // Figure 1: while in progress, queries still see the previous state.
+        assert_eq!(r.latest_committed(), SnapshotId::NONE);
+        let horizon = r.commit(s1).unwrap();
+        assert_eq!(horizon, s1);
+        assert_eq!(r.latest_committed(), s1);
+        assert_eq!(r.in_progress(), None);
+    }
+
+    #[test]
+    fn only_one_checkpoint_in_flight() {
+        let r = SnapshotRegistry::new();
+        let s1 = r.begin().unwrap();
+        assert!(r.begin().is_err());
+        r.commit(s1).unwrap();
+        assert!(r.begin().is_ok());
+    }
+
+    #[test]
+    fn commit_requires_matching_in_progress() {
+        let r = SnapshotRegistry::new();
+        assert!(r.commit(SnapshotId(1)).is_err());
+        let s1 = r.begin().unwrap();
+        assert!(r.commit(SnapshotId(99)).is_err());
+        r.commit(s1).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_last_two_by_default() {
+        let r = SnapshotRegistry::new();
+        let mut horizons = Vec::new();
+        for _ in 0..4 {
+            let s = r.begin().unwrap();
+            horizons.push(r.commit(s).unwrap());
+        }
+        // After committing 1,2,3,4 with retention 2 the horizons were
+        // 1,1,2,3 and ids 3,4 remain.
+        assert_eq!(
+            horizons,
+            vec![SnapshotId(1), SnapshotId(1), SnapshotId(2), SnapshotId(3)]
+        );
+        assert_eq!(r.committed_ssids(), vec![SnapshotId(3), SnapshotId(4)]);
+    }
+
+    #[test]
+    fn configurable_retention() {
+        let r = SnapshotRegistry::with_retention(3);
+        for _ in 0..5 {
+            let s = r.begin().unwrap();
+            r.commit(s).unwrap();
+        }
+        assert_eq!(
+            r.committed_ssids(),
+            vec![SnapshotId(3), SnapshotId(4), SnapshotId(5)]
+        );
+        assert_eq!(r.retained_versions(), 3);
+    }
+
+    #[test]
+    fn abort_releases_in_progress_without_commit() {
+        let r = SnapshotRegistry::new();
+        let s1 = r.begin().unwrap();
+        r.abort(s1).unwrap();
+        assert_eq!(r.latest_committed(), SnapshotId::NONE);
+        assert_eq!(r.in_progress(), None);
+        // Ids are not reused after an abort.
+        let s2 = r.begin().unwrap();
+        assert_eq!(s2, SnapshotId(2));
+    }
+
+    #[test]
+    fn resolve_query_ssid_defaults_to_latest() {
+        let r = SnapshotRegistry::new();
+        assert!(r.resolve_query_ssid(None).is_err(), "nothing committed yet");
+        let s1 = r.begin().unwrap();
+        r.commit(s1).unwrap();
+        assert_eq!(r.resolve_query_ssid(None).unwrap(), s1);
+        assert_eq!(r.resolve_query_ssid(Some(s1)).unwrap(), s1);
+        assert!(r.resolve_query_ssid(Some(SnapshotId(9))).is_err());
+    }
+
+    #[test]
+    fn resolve_rejects_pruned_ids() {
+        let r = SnapshotRegistry::new();
+        for _ in 0..3 {
+            let s = r.begin().unwrap();
+            r.commit(s).unwrap();
+        }
+        assert!(r.resolve_query_ssid(Some(SnapshotId(1))).is_err());
+        assert!(r.resolve_query_ssid(Some(SnapshotId(2))).is_ok());
+    }
+
+    #[test]
+    fn publication_is_atomic_under_concurrency() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let now = r.latest_committed().0;
+                    assert!(now >= last, "latest_committed went backwards");
+                    last = now;
+                }
+            })
+        };
+        for _ in 0..100 {
+            let s = r.begin().unwrap();
+            r.commit(s).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(r.latest_committed(), SnapshotId(100));
+    }
+}

@@ -1,0 +1,250 @@
+//! Asynchronous backup replication.
+//!
+//! The paper (§V-A): *"each snapshot is first written locally and the KV
+//! store can replicate it according to its internal replication strategy"*;
+//! live-state writes are likewise local-first with the store replicating in
+//! the background. This module is that data plane: a background worker drains
+//! a queue of write ops into backup copies, charging the simulated network's
+//! transfer delay. The control plane (which node logically holds which backup)
+//! lives in [`crate::partition_table::PartitionTable`]; after a node failure
+//! the grid promotes backup data for the partitions the failed node owned.
+//!
+//! Replication is deliberately off the write hot path — enqueueing is a
+//! channel send — so enabling backups does not serialize operator progress,
+//! matching the paper's local-first design.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use squery_common::codec::encoded_len;
+use squery_common::config::NetworkConfig;
+use squery_common::{PartitionId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A replicated write operation.
+#[derive(Debug, Clone)]
+pub enum ReplOp {
+    /// Upsert of `key` in `map`'s partition `pid`.
+    Put {
+        /// Target map name.
+        map: String,
+        /// Target partition.
+        pid: PartitionId,
+        /// Entry key.
+        key: Value,
+        /// New value.
+        value: Value,
+    },
+    /// Removal of `key` from `map`'s partition `pid`.
+    Remove {
+        /// Target map name.
+        map: String,
+        /// Target partition.
+        pid: PartitionId,
+        /// Entry key.
+        key: Value,
+    },
+}
+
+type BackupData = HashMap<(String, u32), HashMap<Value, Value>>;
+
+/// Asynchronous replicator with an inspectable backup store.
+pub struct Replicator {
+    tx: Sender<ReplOp>,
+    backups: Arc<RwLock<BackupData>>,
+    pending: Arc<AtomicU64>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Replicator {
+    /// Start the replication worker. `network` charges per-op transfer delay
+    /// (instant networks charge nothing).
+    pub fn start(network: NetworkConfig) -> Replicator {
+        let (tx, rx): (Sender<ReplOp>, Receiver<ReplOp>) = unbounded();
+        let backups: Arc<RwLock<BackupData>> = Arc::new(RwLock::new(HashMap::new()));
+        let pending = Arc::new(AtomicU64::new(0));
+        let worker_backups = Arc::clone(&backups);
+        let worker_pending = Arc::clone(&pending);
+        let worker = std::thread::Builder::new()
+            .name("squery-replicator".into())
+            .spawn(move || {
+                for op in rx.iter() {
+                    if !network.is_instant() {
+                        let bytes = match &op {
+                            ReplOp::Put { key, value, .. } => {
+                                encoded_len(key) + encoded_len(value)
+                            }
+                            ReplOp::Remove { key, .. } => encoded_len(key),
+                        };
+                        std::thread::sleep(network.transfer_delay(bytes));
+                    }
+                    let mut guard = worker_backups.write();
+                    match op {
+                        ReplOp::Put {
+                            map,
+                            pid,
+                            key,
+                            value,
+                        } => {
+                            guard
+                                .entry((map, pid.0))
+                                .or_default()
+                                .insert(key, value);
+                        }
+                        ReplOp::Remove { map, pid, key } => {
+                            if let Some(part) = guard.get_mut(&(map, pid.0)) {
+                                part.remove(&key);
+                            }
+                        }
+                    }
+                    drop(guard);
+                    worker_pending.fetch_sub(1, Ordering::AcqRel);
+                }
+            })
+            .expect("spawn replicator");
+        Replicator {
+            tx,
+            backups,
+            pending,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue a replicated write; returns immediately.
+    pub fn enqueue(&self, op: ReplOp) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        // The worker only stops when the Replicator drops, so sends succeed.
+        let _ = self.tx.send(op);
+    }
+
+    /// Number of ops not yet applied to the backup store.
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Block until every enqueued op has been applied.
+    pub fn flush(&self) {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// The backup copy of `map`'s partition `pid` (what a promotion restores).
+    pub fn backup_of(&self, map: &str, pid: PartitionId) -> Vec<(Value, Value)> {
+        self.backups
+            .read()
+            .get(&(map.to_string(), pid.0))
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Backup copies for several partitions of one map.
+    pub fn backups_of(&self, map: &str, pids: &[PartitionId]) -> Vec<(Value, Value)> {
+        let mut out = Vec::new();
+        for pid in pids {
+            out.extend(self.backup_of(map, *pid));
+        }
+        out
+    }
+}
+
+impl Drop for Replicator {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's iterator.
+        drop(std::mem::replace(&mut self.tx, unbounded().0));
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(map: &str, pid: u32, key: i64, value: i64) -> ReplOp {
+        ReplOp::Put {
+            map: map.into(),
+            pid: PartitionId(pid),
+            key: Value::Int(key),
+            value: Value::Int(value),
+        }
+    }
+
+    #[test]
+    fn puts_reach_backup_store() {
+        let r = Replicator::start(NetworkConfig::instant());
+        r.enqueue(put("orders", 3, 1, 10));
+        r.enqueue(put("orders", 3, 2, 20));
+        r.flush();
+        let mut b = r.backup_of("orders", PartitionId(3));
+        b.sort();
+        assert_eq!(
+            b,
+            vec![
+                (Value::Int(1), Value::Int(10)),
+                (Value::Int(2), Value::Int(20))
+            ]
+        );
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn removes_erase_from_backup() {
+        let r = Replicator::start(NetworkConfig::instant());
+        r.enqueue(put("m", 0, 1, 10));
+        r.enqueue(ReplOp::Remove {
+            map: "m".into(),
+            pid: PartitionId(0),
+            key: Value::Int(1),
+        });
+        r.flush();
+        assert!(r.backup_of("m", PartitionId(0)).is_empty());
+    }
+
+    #[test]
+    fn later_put_wins_in_order() {
+        let r = Replicator::start(NetworkConfig::instant());
+        for v in 0..100 {
+            r.enqueue(put("m", 1, 7, v));
+        }
+        r.flush();
+        assert_eq!(
+            r.backup_of("m", PartitionId(1)),
+            vec![(Value::Int(7), Value::Int(99))]
+        );
+    }
+
+    #[test]
+    fn backups_of_gathers_multiple_partitions() {
+        let r = Replicator::start(NetworkConfig::instant());
+        r.enqueue(put("m", 0, 1, 10));
+        r.enqueue(put("m", 1, 2, 20));
+        r.enqueue(put("other", 0, 3, 30));
+        r.flush();
+        let mut all = r.backups_of("m", &[PartitionId(0), PartitionId(1)]);
+        all.sort();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], (Value::Int(2), Value::Int(20)));
+    }
+
+    #[test]
+    fn unknown_partition_is_empty() {
+        let r = Replicator::start(NetworkConfig::instant());
+        assert!(r.backup_of("nope", PartitionId(9)).is_empty());
+    }
+
+    #[test]
+    fn modelled_network_still_delivers() {
+        let net = NetworkConfig {
+            latency_us: 10,
+            bandwidth_bytes_per_sec: 1_000_000_000,
+        };
+        let r = Replicator::start(net);
+        r.enqueue(put("m", 0, 1, 1));
+        r.flush();
+        assert_eq!(r.backup_of("m", PartitionId(0)).len(), 1);
+    }
+}

@@ -1,0 +1,676 @@
+//! `SnapshotStore`: the queryable **snapshot state** of one operator.
+//!
+//! Mirrors the paper's Table II — entries are addressed by `(key, snapshot
+//! id)` and the store is named `snapshot_<operator>` (§V-B). Two snapshot
+//! modes (§VI-A):
+//!
+//! * **Full** — every checkpoint writes the operator's complete state for the
+//!   new snapshot id. Reads at a snapshot id hit exactly one version map.
+//! * **Incremental** — each checkpoint records only the keys that changed
+//!   since the previous one (plus tombstones for removals). A read "starts
+//!   from the latest snapshot of interest … and goes backwards to supplement
+//!   the query results with the latest state updates for other keys" — the
+//!   differential walk whose growing cost the paper measures in Figures 12
+//!   and 13, and which [`SnapshotStore::prune_below`] bounds by folding old
+//!   deltas into a new complete base ("S-QUERY prunes obsolete states").
+//!
+//! The store itself is version-agnostic about commit status: the snapshot
+//! registry decides which ids are committed/queryable; aborted checkpoint
+//! attempts are erased with [`SnapshotStore::discard`].
+
+use parking_lot::RwLock;
+use squery_common::codec::encoded_len;
+use squery_common::schema::Schema;
+use squery_common::{PartitionId, Partitioner, SnapshotId, SqError, SqResult, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether checkpoints record complete state or per-checkpoint deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Every checkpoint stores the operator's whole state.
+    Full,
+    /// Every checkpoint stores only changed keys (`None` = removal).
+    Incremental,
+}
+
+/// One checkpoint's worth of entries for one partition.
+struct VersionMap {
+    /// A complete view (base) rather than a delta.
+    full: bool,
+    /// `None` values are tombstones (key removed in this checkpoint).
+    entries: HashMap<Value, Option<Value>>,
+}
+
+#[derive(Default)]
+struct PartitionSnapshots {
+    versions: BTreeMap<u64, VersionMap>,
+}
+
+/// Aggregate statistics, used by the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Distinct snapshot ids currently stored (across partitions).
+    pub retained_versions: usize,
+    /// Total stored `(key, ssid)` entries including tombstones.
+    pub stored_entries: usize,
+    /// Approximate encoded bytes of all stored entries.
+    pub approx_bytes: usize,
+}
+
+/// The snapshot state store for a single stateful operator.
+pub struct SnapshotStore {
+    name: String,
+    partitioner: Partitioner,
+    parts: Vec<RwLock<PartitionSnapshots>>,
+    value_schema: RwLock<Option<Arc<Schema>>>,
+    /// Snapshot ids below this have been pruned; reads there are errors.
+    pruned_below: AtomicU64,
+    approx_bytes: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// An empty store named `snapshot_<operator>`.
+    pub fn new(operator_name: &str, partitioner: Partitioner) -> SnapshotStore {
+        SnapshotStore {
+            name: format!("snapshot_{operator_name}"),
+            partitioner,
+            parts: (0..partitioner.partition_count())
+                .map(|_| RwLock::new(PartitionSnapshots::default()))
+                .collect(),
+            value_schema: RwLock::new(None),
+            pruned_below: AtomicU64::new(0),
+            approx_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's table name (`snapshot_<operator>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register the state-object schema for SQL exposure.
+    pub fn set_value_schema(&self, schema: Arc<Schema>) {
+        *self.value_schema.write() = Some(schema);
+    }
+
+    /// The registered state-object schema, if any.
+    pub fn value_schema(&self) -> Option<Arc<Schema>> {
+        self.value_schema.read().clone()
+    }
+
+    /// The partition that owns `key` (same partitioner as the live map).
+    pub fn partition_of(&self, key: &Value) -> PartitionId {
+        self.partitioner.partition_of(key)
+    }
+
+    /// Phase-1 write: store one partition's entries for checkpoint `ssid`.
+    ///
+    /// `full` marks a complete view; otherwise the entries are a delta
+    /// against the previous checkpoint, with `None` tombstoning removals.
+    /// Writing the same `(ssid, partition)` twice replaces the first attempt
+    /// (coordinator retry).
+    pub fn write_partition(
+        &self,
+        ssid: SnapshotId,
+        pid: PartitionId,
+        entries: Vec<(Value, Option<Value>)>,
+        full: bool,
+    ) {
+        let mut bytes = 0u64;
+        let mut map = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            bytes += entry_bytes(&k, v.as_ref());
+            map.insert(k, v);
+        }
+        let mut part = self.parts[pid.0 as usize].write();
+        if let Some(old) = part.versions.insert(
+            ssid.0,
+            VersionMap {
+                full,
+                entries: map,
+            },
+        ) {
+            self.approx_bytes
+                .fetch_sub(version_bytes(&old), Ordering::Relaxed);
+        }
+        self.approx_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Erase an aborted checkpoint attempt everywhere.
+    pub fn discard(&self, ssid: SnapshotId) {
+        for part in &self.parts {
+            let mut guard = part.write();
+            if let Some(old) = guard.versions.remove(&ssid.0) {
+                self.approx_bytes
+                    .fetch_sub(version_bytes(&old), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Point read of `key` as of snapshot `ssid`.
+    ///
+    /// Walks version maps newest-first starting at `ssid`; the first map
+    /// mentioning the key decides (tombstone ⇒ `None`); a full map terminates
+    /// the walk.
+    pub fn read_at(&self, ssid: SnapshotId, key: &Value) -> SqResult<Option<Value>> {
+        self.check_not_pruned(ssid)?;
+        let part = self.parts[self.partition_of(key).0 as usize].read();
+        for (_, vm) in part.versions.range(..=ssid.0).rev() {
+            if let Some(v) = vm.entries.get(key) {
+                return Ok(v.clone());
+            }
+            if vm.full {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Scan the complete state as of snapshot `ssid`.
+    ///
+    /// This is the differential read of §VI-A: per partition, walk versions
+    /// newest-first from `ssid`, keep the first occurrence of each key, stop
+    /// at a full map. The second element of the return is the number of
+    /// version maps consulted (the "chain length" the incremental-vs-full
+    /// experiments report).
+    pub fn scan_at(&self, ssid: SnapshotId) -> SqResult<(Vec<(Value, Value)>, usize)> {
+        self.check_not_pruned(ssid)?;
+        let mut out = Vec::new();
+        let mut maps_consulted = 0usize;
+        for part in &self.parts {
+            let guard = part.read();
+            let mut seen: HashMap<&Value, ()> = HashMap::new();
+            for (_, vm) in guard.versions.range(..=ssid.0).rev() {
+                maps_consulted += 1;
+                for (k, v) in vm.entries.iter() {
+                    if seen.contains_key(k) {
+                        continue;
+                    }
+                    seen.insert(k, ());
+                    if let Some(value) = v {
+                        out.push((k.clone(), value.clone()));
+                    }
+                }
+                if vm.full {
+                    break;
+                }
+            }
+        }
+        Ok((out, maps_consulted))
+    }
+
+    /// Scan one partition's state as of `ssid` (used by recovery, which
+    /// restores each operator instance's partitions independently).
+    pub fn scan_partition_at(
+        &self,
+        ssid: SnapshotId,
+        pid: PartitionId,
+    ) -> SqResult<Vec<(Value, Value)>> {
+        self.check_not_pruned(ssid)?;
+        let guard = self.parts[pid.0 as usize].read();
+        let mut seen: HashMap<&Value, ()> = HashMap::new();
+        let mut out = Vec::new();
+        for (_, vm) in guard.versions.range(..=ssid.0).rev() {
+            for (k, v) in vm.entries.iter() {
+                if seen.contains_key(k) {
+                    continue;
+                }
+                seen.insert(k, ());
+                if let Some(value) = v {
+                    out.push((k.clone(), value.clone()));
+                }
+            }
+            if vm.full {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every `(ssid, key, value)` across a set of committed snapshot ids,
+    /// each id fully resolved. Powers SQL scans of `snapshot_<op>` without an
+    /// `ssid` predicate ("a result set can integrate the state of multiple
+    /// snapshot versions with explicit mention of each pair's version").
+    pub fn scan_versions(
+        &self,
+        ssids: &[SnapshotId],
+    ) -> SqResult<Vec<(SnapshotId, Value, Value)>> {
+        let mut out = Vec::new();
+        for &ssid in ssids {
+            let (entries, _) = self.scan_at(ssid)?;
+            out.extend(entries.into_iter().map(|(k, v)| (ssid, k, v)));
+        }
+        Ok(out)
+    }
+
+    /// Distinct snapshot ids currently stored, ascending.
+    pub fn stored_ssids(&self) -> Vec<SnapshotId> {
+        let mut ids: Vec<u64> = Vec::new();
+        for part in &self.parts {
+            for id in part.read().versions.keys() {
+                if !ids.contains(id) {
+                    ids.push(*id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.into_iter().map(SnapshotId).collect()
+    }
+
+    /// Fold every version at or below `oldest_retained` into a single
+    /// complete base at `oldest_retained`, dropping tombstones.
+    ///
+    /// Afterwards, reads at ids below `oldest_retained` fail with
+    /// [`SqError::NotFound`]; reads at or above it are unaffected. This is
+    /// the paper's pruning of obsolete states, bounding both snapshot memory
+    /// and the differential-read chain length.
+    pub fn prune_below(&self, oldest_retained: SnapshotId) {
+        for part in &self.parts {
+            let mut guard = part.write();
+            let to_fold: Vec<u64> = guard
+                .versions
+                .range(..=oldest_retained.0)
+                .map(|(id, _)| *id)
+                .collect();
+            if to_fold.len() <= 1 {
+                // Zero or one version at/below the horizon: if exactly one, it
+                // already is the base (mark it full — it has nothing older to
+                // depend on).
+                if let Some(id) = to_fold.first() {
+                    if let Some(vm) = guard.versions.get_mut(id) {
+                        vm.full = true;
+                    }
+                }
+                continue;
+            }
+            // Resolve oldest→newest so later deltas win, then drop tombstones:
+            // in a complete base an absent key means "not present".
+            let mut folded: HashMap<Value, Option<Value>> = HashMap::new();
+            for id in &to_fold {
+                let vm = guard.versions.remove(id).expect("id listed above");
+                self.approx_bytes
+                    .fetch_sub(version_bytes(&vm), Ordering::Relaxed);
+                for (k, v) in vm.entries {
+                    folded.insert(k, v);
+                }
+            }
+            folded.retain(|_, v| v.is_some());
+            let mut bytes = 0u64;
+            for (k, v) in folded.iter() {
+                bytes += entry_bytes(k, v.as_ref());
+            }
+            self.approx_bytes.fetch_add(bytes, Ordering::Relaxed);
+            guard.versions.insert(
+                oldest_retained.0,
+                VersionMap {
+                    full: true,
+                    entries: folded,
+                },
+            );
+        }
+        self.pruned_below
+            .fetch_max(oldest_retained.0, Ordering::AcqRel);
+    }
+
+    /// Physically remove every stored version of `key` (right-to-erasure
+    /// support, paper §III "Auditing and Compliance": organizations "need to
+    /// provide even their internal state on request" — and, under GDPR
+    /// article 17, to erase it). Returns how many stored entries were
+    /// removed. The key simply stops existing at every retained snapshot id.
+    pub fn erase_key(&self, key: &Value) -> usize {
+        let mut part = self.parts[self.partition_of(key).0 as usize].write();
+        let mut removed = 0;
+        for vm in part.versions.values_mut() {
+            if let Some(old) = vm.entries.remove(key) {
+                self.approx_bytes
+                    .fetch_sub(entry_bytes(key, old.as_ref()), Ordering::Relaxed);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SnapshotStats {
+        let mut stored_entries = 0usize;
+        let mut ids: Vec<u64> = Vec::new();
+        for part in &self.parts {
+            let guard = part.read();
+            for (id, vm) in guard.versions.iter() {
+                stored_entries += vm.entries.len();
+                if !ids.contains(id) {
+                    ids.push(*id);
+                }
+            }
+        }
+        SnapshotStats {
+            retained_versions: ids.len(),
+            stored_entries,
+            approx_bytes: self.approx_bytes.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    fn check_not_pruned(&self, ssid: SnapshotId) -> SqResult<()> {
+        let floor = self.pruned_below.load(Ordering::Acquire);
+        if ssid.0 < floor {
+            return Err(SqError::NotFound(format!(
+                "snapshot {ssid} of {} was pruned (oldest retained: ss{floor})",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn entry_bytes(key: &Value, value: Option<&Value>) -> u64 {
+    (encoded_len(key) + value.map(encoded_len).unwrap_or(1) + 8) as u64
+}
+
+fn version_bytes(vm: &VersionMap) -> u64 {
+    vm.entries
+        .iter()
+        .map(|(k, v)| entry_bytes(k, v.as_ref()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SnapshotStore {
+        SnapshotStore::new("orders", Partitioner::new(8))
+    }
+
+    /// Write `entries` routed to their correct partitions.
+    fn write_all(
+        s: &SnapshotStore,
+        ssid: u64,
+        entries: Vec<(Value, Option<Value>)>,
+        full: bool,
+    ) {
+        let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+        for (k, v) in entries {
+            by_pid
+                .entry(s.partition_of(&k).0)
+                .or_default()
+                .push((k, v));
+        }
+        // Even partitions not touched get an (empty) write in full mode so the
+        // version exists everywhere — mirrors what operator instances do.
+        for pid in 0..8 {
+            let e = by_pid.remove(&pid).unwrap_or_default();
+            s.write_partition(SnapshotId(ssid), PartitionId(pid), e, full);
+        }
+    }
+
+    #[test]
+    fn named_after_operator() {
+        assert_eq!(store().name(), "snapshot_orders");
+    }
+
+    #[test]
+    fn full_snapshots_read_their_own_version() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(20)))], true);
+        assert_eq!(
+            s.read_at(SnapshotId(1), &Value::Int(1)).unwrap(),
+            Some(Value::Int(10))
+        );
+        assert_eq!(
+            s.read_at(SnapshotId(2), &Value::Int(1)).unwrap(),
+            Some(Value::Int(20))
+        );
+    }
+
+    #[test]
+    fn full_map_terminates_backward_walk() {
+        let s = store();
+        // Key 2 exists only in the (full) version 1; version 2 is also full
+        // and omits it, so at ssid 2 the key is gone.
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(99))),
+            ],
+            true,
+        );
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], true);
+        assert_eq!(s.read_at(SnapshotId(2), &Value::Int(2)).unwrap(), None);
+        assert_eq!(
+            s.read_at(SnapshotId(1), &Value::Int(2)).unwrap(),
+            Some(Value::Int(99))
+        );
+    }
+
+    #[test]
+    fn incremental_walks_backwards_for_untouched_keys() {
+        let s = store();
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true, // first checkpoint is always complete
+        );
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
+        write_all(&s, 3, vec![(Value::Int(1), Some(Value::Int(12)))], false);
+        // Key 2 untouched since ssid 1: resolves through the chain.
+        assert_eq!(
+            s.read_at(SnapshotId(3), &Value::Int(2)).unwrap(),
+            Some(Value::Int(20))
+        );
+        assert_eq!(
+            s.read_at(SnapshotId(3), &Value::Int(1)).unwrap(),
+            Some(Value::Int(12))
+        );
+        assert_eq!(
+            s.read_at(SnapshotId(2), &Value::Int(1)).unwrap(),
+            Some(Value::Int(11))
+        );
+    }
+
+    #[test]
+    fn tombstones_delete_in_deltas() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        write_all(&s, 2, vec![(Value::Int(1), None)], false);
+        assert_eq!(s.read_at(SnapshotId(2), &Value::Int(1)).unwrap(), None);
+        assert_eq!(
+            s.read_at(SnapshotId(1), &Value::Int(1)).unwrap(),
+            Some(Value::Int(10))
+        );
+        let (scan, _) = s.scan_at(SnapshotId(2)).unwrap();
+        assert!(scan.is_empty());
+    }
+
+    #[test]
+    fn scan_at_resolves_differentially() {
+        let s = store();
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+                (Value::Int(3), Some(Value::Int(30))),
+            ],
+            true,
+        );
+        write_all(
+            &s,
+            2,
+            vec![
+                (Value::Int(2), Some(Value::Int(21))),
+                (Value::Int(3), None),
+            ],
+            false,
+        );
+        let (mut scan, consulted) = s.scan_at(SnapshotId(2)).unwrap();
+        scan.sort();
+        assert_eq!(
+            scan,
+            vec![
+                (Value::Int(1), Value::Int(10)),
+                (Value::Int(2), Value::Int(21)),
+            ]
+        );
+        assert!(consulted >= 8, "walked both versions across partitions");
+    }
+
+    #[test]
+    fn unknown_ssid_scans_resolve_to_older_state() {
+        // Querying a not-yet-written ssid resolves to the newest available
+        // (callers gate on the registry's committed id; the store is lenient).
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        assert_eq!(
+            s.read_at(SnapshotId(5), &Value::Int(1)).unwrap(),
+            Some(Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn discard_erases_aborted_attempt() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(99)))], false);
+        s.discard(SnapshotId(2));
+        assert_eq!(
+            s.read_at(SnapshotId(2), &Value::Int(1)).unwrap(),
+            Some(Value::Int(10)),
+            "aborted write must not be visible"
+        );
+        assert_eq!(s.stored_ssids(), vec![SnapshotId(1)]);
+    }
+
+    #[test]
+    fn prune_folds_deltas_into_base() {
+        let s = store();
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true,
+        );
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
+        write_all(&s, 3, vec![(Value::Int(2), None)], false);
+        write_all(&s, 4, vec![(Value::Int(1), Some(Value::Int(12)))], false);
+        s.prune_below(SnapshotId(3));
+        // ssid 3 must still resolve exactly as before pruning.
+        assert_eq!(
+            s.read_at(SnapshotId(3), &Value::Int(1)).unwrap(),
+            Some(Value::Int(11))
+        );
+        assert_eq!(s.read_at(SnapshotId(3), &Value::Int(2)).unwrap(), None);
+        assert_eq!(
+            s.read_at(SnapshotId(4), &Value::Int(1)).unwrap(),
+            Some(Value::Int(12))
+        );
+        // Below the horizon: gone.
+        assert!(matches!(
+            s.read_at(SnapshotId(2), &Value::Int(1)),
+            Err(SqError::NotFound(_))
+        ));
+        assert!(matches!(s.scan_at(SnapshotId(1)), Err(SqError::NotFound(_))));
+        // Only two ids remain: the folded base (3) and the delta (4).
+        assert_eq!(s.stored_ssids(), vec![SnapshotId(3), SnapshotId(4)]);
+    }
+
+    #[test]
+    fn prune_marks_single_survivor_as_base() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        write_all(&s, 2, vec![(Value::Int(2), Some(Value::Int(20)))], false);
+        s.prune_below(SnapshotId(2));
+        // After folding, a scan at 2 must still see both keys.
+        let (mut scan, _) = s.scan_at(SnapshotId(2)).unwrap();
+        scan.sort();
+        assert_eq!(scan.len(), 2);
+    }
+
+    #[test]
+    fn scan_versions_labels_rows_with_their_ssid() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
+        let rows = s
+            .scan_versions(&[SnapshotId(1), SnapshotId(2)])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&(SnapshotId(1), Value::Int(1), Value::Int(10))));
+        assert!(rows.contains(&(SnapshotId(2), Value::Int(1), Value::Int(11))));
+    }
+
+    #[test]
+    fn stats_track_entries_and_bytes() {
+        let s = store();
+        assert_eq!(s.stats().stored_entries, 0);
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true,
+        );
+        let st = s.stats();
+        assert_eq!(st.retained_versions, 1);
+        assert_eq!(st.stored_entries, 2);
+        assert!(st.approx_bytes > 0);
+        write_all(&s, 2, vec![(Value::Int(1), None)], false);
+        assert_eq!(s.stats().retained_versions, 2);
+        assert_eq!(s.stats().stored_entries, 3);
+    }
+
+    #[test]
+    fn erase_key_removes_every_version() {
+        let s = store();
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10))),
+                              (Value::Int(2), Some(Value::Int(20)))], true);
+        write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
+        let removed = s.erase_key(&Value::Int(1));
+        assert_eq!(removed, 2, "both stored versions physically removed");
+        assert_eq!(s.read_at(SnapshotId(1), &Value::Int(1)).unwrap(), None);
+        assert_eq!(s.read_at(SnapshotId(2), &Value::Int(1)).unwrap(), None);
+        // Other keys untouched.
+        assert_eq!(
+            s.read_at(SnapshotId(2), &Value::Int(2)).unwrap(),
+            Some(Value::Int(20))
+        );
+        assert_eq!(s.erase_key(&Value::Int(99)), 0);
+    }
+
+    #[test]
+    fn rewriting_same_ssid_replaces() {
+        let s = store();
+        let pid = s.partition_of(&Value::Int(1));
+        s.write_partition(
+            SnapshotId(1),
+            pid,
+            vec![(Value::Int(1), Some(Value::Int(10)))],
+            true,
+        );
+        s.write_partition(
+            SnapshotId(1),
+            pid,
+            vec![(Value::Int(1), Some(Value::Int(77)))],
+            true,
+        );
+        assert_eq!(
+            s.read_at(SnapshotId(1), &Value::Int(1)).unwrap(),
+            Some(Value::Int(77))
+        );
+        assert_eq!(s.stats().stored_entries, 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! The checkpoint coordinator: marker injection and 2PC snapshot commit.
+//!
+//! One coordinator thread per job. Each round (periodic, or manually
+//! triggered for deterministic tests):
+//!
+//! 1. **begin** — allocate the next snapshot id at the registry (probe t₀,
+//!    the paper's "before phase 1 begins");
+//! 2. **phase 1** — inject `Marker(ssid)` into every source instance and wait
+//!    for one ack per live instance: every ack means that instance has
+//!    snapshotted its state (probe t₁, "after phase 1 completes");
+//! 3. **phase 2** — atomically commit the id at the registry and prune every
+//!    snapshot store to the retention horizon (probe t₂, "after phase 2
+//!    completes").
+//!
+//! The recorded `(t₁−t₀, t₂−t₀)` pairs are exactly the snapshot-2PC latency
+//! distribution of the paper's Figures 10–12. If acks do not arrive in time
+//! (a crashed worker), the checkpoint aborts: phase-1 writes are discarded
+//! and the registry releases the id — queries keep reading the previous
+//! committed snapshot throughout, as in Figure 1.
+
+use crate::worker::{Ack, Shared, SourceCommand};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use squery_common::{SnapshotId, SqError, SqResult};
+use squery_storage::{Grid, SnapshotStore};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Timing record of one committed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// The committed snapshot id.
+    pub ssid: SnapshotId,
+    /// t₁−t₀: marker injection until the last phase-1 ack, in µs.
+    pub phase1_us: u64,
+    /// t₂−t₀: full 2PC duration including commit + pruning, in µs.
+    pub total_us: u64,
+}
+
+/// Shared, append-only log of committed checkpoints.
+#[derive(Clone, Default)]
+pub struct CheckpointStats {
+    records: Arc<Mutex<Vec<CheckpointRecord>>>,
+    aborted: Arc<Mutex<u64>>,
+}
+
+impl CheckpointStats {
+    /// A new empty log.
+    pub fn new() -> CheckpointStats {
+        CheckpointStats::default()
+    }
+
+    fn push(&self, record: CheckpointRecord) {
+        self.records.lock().push(record);
+    }
+
+    fn count_abort(&self) {
+        *self.aborted.lock() += 1;
+    }
+
+    /// All committed checkpoint timings so far.
+    pub fn records(&self) -> Vec<CheckpointRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of aborted checkpoint attempts.
+    pub fn aborted(&self) -> u64 {
+        *self.aborted.lock()
+    }
+}
+
+/// Everything one checkpoint round needs.
+pub struct CoordinatorContext {
+    /// The grid (registry + pruning targets).
+    pub grid: Arc<Grid>,
+    /// Control channels into every source instance.
+    pub source_controls: Vec<Sender<SourceCommand>>,
+    /// Phase-1 ack stream from all instances.
+    pub ack_rx: Receiver<Ack>,
+    /// Shared worker state (live-instance count, clock, poison).
+    pub shared: Arc<Shared>,
+    /// Snapshot stores this job writes (for pruning and abort-discard),
+    /// including the `__offsets` store.
+    pub stores: Vec<Arc<SnapshotStore>>,
+    /// Timing log.
+    pub stats: CheckpointStats,
+    /// How long to wait for phase-1 acks before aborting.
+    pub ack_timeout: Duration,
+}
+
+/// Run one complete checkpoint round; returns the committed id.
+pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
+    // Drain stale acks from a previously aborted round.
+    while ctx.ack_rx.try_recv().is_ok() {}
+
+    let registry = ctx.grid.registry();
+    let t0 = ctx.shared.clock.now_micros();
+    let ssid = registry.begin()?;
+    for ctl in &ctx.source_controls {
+        // A dropped source control means the job is shutting down.
+        if ctl.send(SourceCommand::Marker(ssid)).is_err() {
+            registry.abort(ssid)?;
+            return Err(SqError::Runtime("job is shutting down".into()));
+        }
+    }
+    let expected = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
+    let mut acked = 0usize;
+    let deadline = std::time::Instant::now() + ctx.ack_timeout;
+    while acked < expected {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match ctx.ack_rx.recv_timeout(remaining.min(Duration::from_millis(20))) {
+            Ok(ack) if ack.ssid == ssid => acked += 1,
+            Ok(_) => {} // stale ack from an aborted round
+            Err(_) => {
+                // Re-check: instances may have exited (lowering `expected`).
+                let live = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
+                if acked >= live {
+                    break;
+                }
+                if ctx.shared.poison.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+    }
+    let live_now = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
+    if acked < expected.min(live_now.max(acked)) && acked < expected {
+        // Not everyone acked: abort, discard phase-1 writes.
+        for store in &ctx.stores {
+            store.discard(ssid);
+        }
+        registry.abort(ssid)?;
+        ctx.stats.count_abort();
+        return Err(SqError::Runtime(format!(
+            "checkpoint {ssid} aborted: {acked}/{expected} acks"
+        )));
+    }
+    let t1 = ctx.shared.clock.now_micros();
+    // Phase 2: atomic publication + retention pruning.
+    let horizon = registry.commit(ssid)?;
+    for store in &ctx.stores {
+        store.prune_below(horizon);
+    }
+    let t2 = ctx.shared.clock.now_micros();
+    ctx.stats.push(CheckpointRecord {
+        ssid,
+        phase1_us: t1 - t0,
+        total_us: t2 - t0,
+    });
+    Ok(ssid)
+}
+
+/// Handle to the coordinator thread.
+pub struct Coordinator {
+    trigger_tx: Sender<Sender<SqResult<SnapshotId>>>,
+    stop_tx: Sender<()>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Start the coordinator; `interval = None` means manual triggering only.
+    pub fn start(ctx: CoordinatorContext, interval: Option<Duration>) -> Coordinator {
+        let (trigger_tx, trigger_rx) = unbounded::<Sender<SqResult<SnapshotId>>>();
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let thread = std::thread::Builder::new()
+            .name("squery-checkpoint-coordinator".into())
+            .spawn(move || loop {
+                let tick = interval.unwrap_or(Duration::from_secs(3600));
+                crossbeam::channel::select! {
+                    recv(stop_rx) -> _ => break,
+                    recv(trigger_rx) -> msg => {
+                        if let Ok(reply) = msg {
+                            let result = run_checkpoint(&ctx);
+                            let _ = reply.send(result);
+                        } else {
+                            break;
+                        }
+                    }
+                    default(tick) => {
+                        if interval.is_some()
+                            && !ctx.shared.poison.load(Ordering::Relaxed)
+                            && ctx.shared.live_instances.load(Ordering::Acquire) > 0
+                        {
+                            let _ = run_checkpoint(&ctx);
+                        }
+                    }
+                }
+            })
+            .expect("spawn coordinator");
+        Coordinator {
+            trigger_tx,
+            stop_tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Run a checkpoint now and wait for it to commit (or fail).
+    pub fn trigger(&self) -> SqResult<SnapshotId> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.trigger_tx
+            .send(reply_tx)
+            .map_err(|_| SqError::Runtime("coordinator stopped".into()))?;
+        reply_rx
+            .recv_timeout(Duration::from_secs(60))
+            .map_err(|_| SqError::Runtime("checkpoint trigger timed out".into()))?
+    }
+
+    /// Stop the coordinator thread (no further checkpoints).
+    pub fn stop(mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::metrics::SharedHistogram;
+    use squery_common::time::Clock;
+    use squery_common::Partitioner;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
+
+    fn context(
+        n_sources: usize,
+        live: u32,
+    ) -> (
+        CoordinatorContext,
+        Vec<Receiver<SourceCommand>>,
+        Sender<Ack>,
+    ) {
+        let grid = Grid::single_node();
+        let (ack_tx, ack_rx) = unbounded();
+        let mut controls = Vec::new();
+        let mut control_rxs = Vec::new();
+        for _ in 0..n_sources {
+            let (tx, rx) = unbounded();
+            controls.push(tx);
+            control_rxs.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            clock: Clock::wall(),
+            poison: AtomicBool::new(false),
+            ack_tx: ack_tx.clone(),
+            latency: SharedHistogram::new(),
+            sink_count: AtomicU64::new(0),
+            source_count: AtomicU64::new(0),
+            live_instances: AtomicU32::new(live),
+            exhausted_sources: AtomicU32::new(0),
+            partitioner: Partitioner::new(16),
+        });
+        let stores = vec![grid.snapshot_store("op")];
+        (
+            CoordinatorContext {
+                grid,
+                source_controls: controls,
+                ack_rx,
+                shared,
+                stores,
+                stats: CheckpointStats::new(),
+                ack_timeout: Duration::from_millis(300),
+            },
+            control_rxs,
+            ack_tx,
+        )
+    }
+
+    #[test]
+    fn checkpoint_commits_after_all_acks() {
+        let (ctx, control_rxs, ack_tx) = context(1, 2);
+        // Simulate the two instances: respond to the marker with acks.
+        let responder = std::thread::spawn(move || {
+            let cmd = control_rxs[0].recv().unwrap();
+            let SourceCommand::Marker(ssid) = cmd else {
+                panic!("expected marker")
+            };
+            ack_tx.send(Ack { ssid }).unwrap();
+            ack_tx.send(Ack { ssid }).unwrap();
+        });
+        let ssid = run_checkpoint(&ctx).unwrap();
+        responder.join().unwrap();
+        assert_eq!(ssid, SnapshotId(1));
+        assert_eq!(ctx.grid.registry().latest_committed(), ssid);
+        let records = ctx.stats.records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].total_us >= records[0].phase1_us);
+    }
+
+    #[test]
+    fn missing_acks_abort_and_discard() {
+        let (ctx, _control_rxs, ack_tx) = context(1, 2);
+        // Phase-1 write that must be discarded on abort.
+        ctx.stores[0].write_partition(
+            SnapshotId(1),
+            squery_common::PartitionId(0),
+            vec![(squery_common::Value::Int(1), Some(squery_common::Value::Int(1)))],
+            true,
+        );
+        drop(ack_tx); // nobody will ack
+        let err = run_checkpoint(&ctx).unwrap_err();
+        assert!(matches!(err, SqError::Runtime(_)), "{err}");
+        assert_eq!(ctx.grid.registry().latest_committed(), SnapshotId::NONE);
+        assert_eq!(ctx.grid.registry().in_progress(), None, "id released");
+        assert!(ctx.stores[0].stored_ssids().is_empty(), "write discarded");
+        assert_eq!(ctx.stats.aborted(), 1);
+    }
+
+    #[test]
+    fn commit_prunes_to_retention_horizon() {
+        let (ctx, control_rxs, ack_tx) = context(1, 1);
+        let responder = std::thread::spawn(move || {
+            for _ in 0..3 {
+                if let Ok(SourceCommand::Marker(ssid)) = control_rxs[0].recv() {
+                    ack_tx.send(Ack { ssid }).unwrap();
+                }
+            }
+        });
+        for _ in 0..3 {
+            run_checkpoint(&ctx).unwrap();
+        }
+        responder.join().unwrap();
+        // Default retention is 2: after committing 1,2,3 only 2,3 remain
+        // queryable.
+        assert_eq!(
+            ctx.grid.registry().committed_ssids(),
+            vec![SnapshotId(2), SnapshotId(3)]
+        );
+    }
+
+    #[test]
+    fn coordinator_thread_manual_trigger() {
+        let (ctx, control_rxs, ack_tx) = context(1, 1);
+        let stats = ctx.stats.clone();
+        let responder = std::thread::spawn(move || {
+            while let Ok(cmd) = control_rxs[0].recv() {
+                if let SourceCommand::Marker(ssid) = cmd {
+                    let _ = ack_tx.send(Ack { ssid });
+                }
+            }
+        });
+        let coordinator = Coordinator::start(ctx, None);
+        let s1 = coordinator.trigger().unwrap();
+        let s2 = coordinator.trigger().unwrap();
+        assert_eq!(s1, SnapshotId(1));
+        assert_eq!(s2, SnapshotId(2));
+        assert_eq!(stats.records().len(), 2);
+        coordinator.stop();
+        responder.join().unwrap();
+    }
+
+    #[test]
+    fn periodic_coordinator_checkpoints_on_its_own() {
+        let (ctx, control_rxs, ack_tx) = context(1, 1);
+        let grid = Arc::clone(&ctx.grid);
+        let responder = std::thread::spawn(move || {
+            while let Ok(cmd) = control_rxs[0].recv() {
+                if let SourceCommand::Marker(ssid) = cmd {
+                    let _ = ack_tx.send(Ack { ssid });
+                }
+            }
+        });
+        let coordinator = Coordinator::start(ctx, Some(Duration::from_millis(20)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while grid.registry().latest_committed().0 < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no periodic checkpoints happened"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        coordinator.stop();
+        responder.join().unwrap();
+    }
+}

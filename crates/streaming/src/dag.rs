@@ -1,0 +1,522 @@
+//! Job specification: the DAG of operators.
+//!
+//! A [`JobSpec`] lists vertices (sources, stateless transforms, stateful
+//! operators, sinks) and edges (forward or keyed). Vertex behaviour is
+//! supplied through per-instance factories so each parallel instance owns its
+//! own (Send, non-Sync) operator object, preserving the "parallel instances
+//! of single-threaded operators in disjoint state partitions" execution model
+//! the paper's serializability argument rests on (§VII-B).
+
+use crate::message::Record;
+use crate::source::Source;
+use crate::state::KeyedState;
+use squery_common::{SqError, SqResult};
+use std::sync::Arc;
+
+/// Creates one [`Source`] per source-vertex instance.
+pub trait SourceFactory: Send + Sync {
+    /// Create the source for instance `instance` of `total`.
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Source>;
+}
+
+/// A stateless transformation instance (map / filter / flat-map).
+pub trait Stateless: Send {
+    /// Process one record, emitting zero or more records into `out`.
+    fn process(&mut self, record: Record, out: &mut Vec<Record>);
+}
+
+/// Creates one [`Stateless`] per instance.
+pub trait StatelessFactory: Send + Sync {
+    /// Create the transform for instance `instance` of `total`.
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Stateless>;
+}
+
+/// A stateful operator instance; its keyed state is managed by the engine
+/// (and therefore snapshotted, restored, and — under S-QUERY — queryable).
+pub trait Stateful: Send {
+    /// Process one record with access to the operator's keyed state.
+    fn process(&mut self, record: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>);
+}
+
+/// Creates one [`Stateful`] per instance.
+pub trait StatefulFactory: Send + Sync {
+    /// Create the operator for instance `instance` of `total`.
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Stateful>;
+}
+
+/// A sink instance.
+pub trait Sink: Send {
+    /// Consume one record (latency accounting happens in the engine).
+    fn consume(&mut self, record: Record);
+}
+
+/// Creates one [`Sink`] per instance.
+pub trait SinkFactory: Send + Sync {
+    /// Create the sink for instance `instance` of `total`.
+    fn create(&self, instance: u32, total: u32) -> Box<dyn Sink>;
+}
+
+/// Vertex behaviour.
+#[derive(Clone)]
+pub enum VertexKind {
+    /// Event producer.
+    Source(Arc<dyn SourceFactory>),
+    /// Stateless transform.
+    Stateless(Arc<dyn StatelessFactory>),
+    /// Stateful keyed operator; its name names its state tables.
+    Stateful(Arc<dyn StatefulFactory>),
+    /// Event consumer.
+    Sink(Arc<dyn SinkFactory>),
+}
+
+/// One vertex of the DAG.
+#[derive(Clone)]
+pub struct VertexSpec {
+    /// Operator name — also the live map / `snapshot_<name>` table name for
+    /// stateful vertices (paper §V-B).
+    pub name: String,
+    /// Number of parallel instances.
+    pub parallelism: u32,
+    /// Behaviour.
+    pub kind: VertexKind,
+    /// Schema of the state objects (stateful vertices only). Registering it
+    /// lets the SQL layer expose the object's fields as columns.
+    pub state_schema: Option<std::sync::Arc<squery_common::Schema>>,
+}
+
+/// How records route across an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Instance `i` feeds downstream instance `i % downstream_parallelism`.
+    Forward,
+    /// Records hash-route by key with the shared partitioner.
+    Keyed,
+}
+
+/// One edge of the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Upstream vertex index.
+    pub from: usize,
+    /// Downstream vertex index.
+    pub to: usize,
+    /// Routing.
+    pub kind: EdgeKind,
+}
+
+/// A complete job description.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Job name (reporting only).
+    pub name: String,
+    /// Vertices, in topological order.
+    pub vertices: Vec<VertexSpec>,
+    /// Edges; `from < to` is required (topological listing).
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl JobSpec {
+    /// Start building a job.
+    pub fn builder(name: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            spec: JobSpec {
+                name: name.into(),
+                vertices: Vec::new(),
+                edges: Vec::new(),
+            },
+        }
+    }
+
+    /// Validate DAG structure: topological edges, sources have no inputs,
+    /// sinks no outputs, every non-source has at least one input, vertex
+    /// names unique, parallelism positive.
+    pub fn validate(&self) -> SqResult<()> {
+        if self.vertices.is_empty() {
+            return Err(SqError::Config("job has no vertices".into()));
+        }
+        let mut names = std::collections::HashSet::new();
+        for v in &self.vertices {
+            if v.parallelism == 0 {
+                return Err(SqError::Config(format!(
+                    "vertex '{}' has zero parallelism",
+                    v.name
+                )));
+            }
+            if !names.insert(v.name.as_str()) {
+                return Err(SqError::Config(format!(
+                    "duplicate vertex name '{}'",
+                    v.name
+                )));
+            }
+        }
+        for e in &self.edges {
+            if e.from >= self.vertices.len() || e.to >= self.vertices.len() {
+                return Err(SqError::Config(format!(
+                    "edge {} -> {} references unknown vertex",
+                    e.from, e.to
+                )));
+            }
+            if e.from >= e.to {
+                return Err(SqError::Config(
+                    "edges must go forward (topological vertex order, no cycles)".into(),
+                ));
+            }
+            if matches!(self.vertices[e.to].kind, VertexKind::Source(_)) {
+                return Err(SqError::Config("sources cannot have inputs".into()));
+            }
+            if matches!(self.vertices[e.from].kind, VertexKind::Sink(_)) {
+                return Err(SqError::Config("sinks cannot have outputs".into()));
+            }
+        }
+        for (i, v) in self.vertices.iter().enumerate() {
+            let has_input = self.edges.iter().any(|e| e.to == i);
+            let has_output = self.edges.iter().any(|e| e.from == i);
+            match v.kind {
+                VertexKind::Source(_) => {
+                    if !has_output {
+                        return Err(SqError::Config(format!(
+                            "source '{}' feeds nothing",
+                            v.name
+                        )));
+                    }
+                }
+                _ => {
+                    if !has_input {
+                        return Err(SqError::Config(format!(
+                            "vertex '{}' has no inputs",
+                            v.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Indexes of the source vertices.
+    pub fn source_indexes(&self) -> Vec<usize> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VertexKind::Source(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Names of the stateful vertices (the operators with queryable state).
+    pub fn stateful_names(&self) -> Vec<String> {
+        self.vertices
+            .iter()
+            .filter(|v| matches!(v.kind, VertexKind::Stateful(_)))
+            .map(|v| v.name.clone())
+            .collect()
+    }
+
+    /// Total instance count across vertices.
+    pub fn total_instances(&self) -> u32 {
+        self.vertices.iter().map(|v| v.parallelism).sum()
+    }
+
+    /// Incoming edges of a vertex, in declaration order (edge order defines
+    /// the record `port` numbering).
+    pub fn incoming(&self, vertex: usize) -> Vec<(usize, EdgeSpec)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to == vertex)
+            .map(|(i, e)| (i, *e))
+            .collect()
+    }
+
+    /// Outgoing edges of a vertex, in declaration order.
+    pub fn outgoing(&self, vertex: usize) -> Vec<(usize, EdgeSpec)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == vertex)
+            .map(|(i, e)| (i, *e))
+            .collect()
+    }
+}
+
+/// Fluent builder for [`JobSpec`].
+pub struct JobSpecBuilder {
+    spec: JobSpec,
+}
+
+impl JobSpecBuilder {
+    /// Add a vertex; returns its index for use in [`JobSpecBuilder::edge`].
+    pub fn vertex(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        kind: VertexKind,
+    ) -> usize {
+        self.spec.vertices.push(VertexSpec {
+            name: name.into(),
+            parallelism,
+            kind,
+            state_schema: None,
+        });
+        self.spec.vertices.len() - 1
+    }
+
+    /// Add a stateful vertex with a registered state-object schema (the SQL
+    /// layer then exposes the object's fields as columns).
+    pub fn stateful_with_schema(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        factory: Arc<dyn StatefulFactory>,
+        schema: std::sync::Arc<squery_common::Schema>,
+    ) -> usize {
+        let idx = self.vertex(name, parallelism, VertexKind::Stateful(factory));
+        self.spec.vertices[idx].state_schema = Some(schema);
+        idx
+    }
+
+    /// Add a source vertex.
+    pub fn source(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        factory: Arc<dyn SourceFactory>,
+    ) -> usize {
+        self.vertex(name, parallelism, VertexKind::Source(factory))
+    }
+
+    /// Add a stateless vertex.
+    pub fn stateless(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        factory: Arc<dyn StatelessFactory>,
+    ) -> usize {
+        self.vertex(name, parallelism, VertexKind::Stateless(factory))
+    }
+
+    /// Add a stateful vertex.
+    pub fn stateful(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        factory: Arc<dyn StatefulFactory>,
+    ) -> usize {
+        self.vertex(name, parallelism, VertexKind::Stateful(factory))
+    }
+
+    /// Add a sink vertex.
+    pub fn sink(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        factory: Arc<dyn SinkFactory>,
+    ) -> usize {
+        self.vertex(name, parallelism, VertexKind::Sink(factory))
+    }
+
+    /// Add an edge.
+    pub fn edge(&mut self, from: usize, to: usize, kind: EdgeKind) -> &mut Self {
+        self.spec.edges.push(EdgeSpec { from, to, kind });
+        self
+    }
+
+    /// Validate and finish.
+    pub fn build(self) -> SqResult<JobSpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// Convenience adapters turning closures into factories.
+pub mod adapters {
+    use super::*;
+
+    /// A stateless factory from a cloneable closure applied per record.
+    pub struct FnStateless<F>(pub F);
+
+    impl<F> Stateless for FnMapper<F>
+    where
+        F: FnMut(Record, &mut Vec<Record>) + Send,
+    {
+        fn process(&mut self, record: Record, out: &mut Vec<Record>) {
+            (self.0)(record, out)
+        }
+    }
+
+    /// Wrapper holding the per-instance closure.
+    pub struct FnMapper<F>(pub F);
+
+    impl<F> StatelessFactory for FnStateless<F>
+    where
+        F: Fn() -> Box<dyn Stateless> + Send + Sync,
+    {
+        fn create(&self, _instance: u32, _total: u32) -> Box<dyn Stateless> {
+            (self.0)()
+        }
+    }
+
+    /// A stateful factory from a constructor closure.
+    pub struct FnStateful<F>(pub F);
+
+    impl<F> StatefulFactory for FnStateful<F>
+    where
+        F: Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync,
+    {
+        fn create(&self, instance: u32, total: u32) -> Box<dyn Stateful> {
+            (self.0)(instance, total)
+        }
+    }
+
+    /// A stateful operator from a closure over (record, state, out).
+    pub struct FnStatefulOp<F>(pub F);
+
+    impl<F> Stateful for FnStatefulOp<F>
+    where
+        F: FnMut(Record, &mut dyn KeyedState, &mut Vec<Record>) + Send,
+    {
+        fn process(
+            &mut self,
+            record: Record,
+            state: &mut dyn KeyedState,
+            out: &mut Vec<Record>,
+        ) {
+            (self.0)(record, state, out)
+        }
+    }
+
+    /// A sink factory from a constructor closure.
+    pub struct FnSink<F>(pub F);
+
+    impl<F> SinkFactory for FnSink<F>
+    where
+        F: Fn(u32, u32) -> Box<dyn Sink> + Send + Sync,
+    {
+        fn create(&self, instance: u32, total: u32) -> Box<dyn Sink> {
+            (self.0)(instance, total)
+        }
+    }
+
+    /// A sink that drops everything (latency is still recorded by the engine).
+    pub struct NullSink;
+
+    impl Sink for NullSink {
+        fn consume(&mut self, _record: Record) {}
+    }
+
+    /// Factory for [`NullSink`].
+    pub struct NullSinkFactory;
+
+    impl SinkFactory for NullSinkFactory {
+        fn create(&self, _instance: u32, _total: u32) -> Box<dyn Sink> {
+            Box::new(NullSink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::adapters::*;
+    use super::*;
+    use crate::source::{GeneratorSource, SourceStatus};
+    
+
+    fn noop_source() -> Arc<dyn SourceFactory> {
+        struct F;
+        impl SourceFactory for F {
+            fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+                Box::new(GeneratorSource::new(0, |_| None))
+            }
+        }
+        let _ = SourceStatus::Exhausted;
+        Arc::new(F)
+    }
+
+    fn noop_stateful() -> Arc<dyn StatefulFactory> {
+        Arc::new(FnStateful(|_, _| {
+            Box::new(FnStatefulOp(
+                |_r: Record, _s: &mut dyn KeyedState, _o: &mut Vec<Record>| {},
+            )) as Box<dyn Stateful>
+        }))
+    }
+
+    fn simple_spec() -> JobSpec {
+        let mut b = JobSpec::builder("test");
+        let src = b.source("src", 2, noop_source());
+        let op = b.stateful("op", 2, noop_stateful());
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(src, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_spec_builds() {
+        let spec = simple_spec();
+        assert_eq!(spec.vertices.len(), 3);
+        assert_eq!(spec.total_instances(), 5);
+        assert_eq!(spec.source_indexes(), vec![0]);
+        assert_eq!(spec.stateful_names(), vec!["op"]);
+        assert_eq!(spec.incoming(1).len(), 1);
+        assert_eq!(spec.outgoing(1).len(), 1);
+        assert!(spec.incoming(0).is_empty());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        // Empty job.
+        assert!(JobSpec::builder("x").build().is_err());
+
+        // Backwards edge.
+        let mut b = JobSpec::builder("x");
+        let src = b.source("s", 1, noop_source());
+        let sink = b.sink("k", 1, Arc::new(NullSinkFactory));
+        b.edge(sink, src, EdgeKind::Forward);
+        assert!(b.build().is_err());
+
+        // Zero parallelism.
+        let mut b = JobSpec::builder("x");
+        let src = b.source("s", 0, noop_source());
+        let sink = b.sink("k", 1, Arc::new(NullSinkFactory));
+        b.edge(src, sink, EdgeKind::Forward);
+        assert!(b.build().is_err());
+
+        // Duplicate names.
+        let mut b = JobSpec::builder("x");
+        let src = b.source("same", 1, noop_source());
+        let sink = b.sink("same", 1, Arc::new(NullSinkFactory));
+        b.edge(src, sink, EdgeKind::Forward);
+        assert!(b.build().is_err());
+
+        // Disconnected sink.
+        let mut b = JobSpec::builder("x");
+        let src = b.source("s", 1, noop_source());
+        let sink = b.sink("k", 1, Arc::new(NullSinkFactory));
+        let sink2 = b.sink("k2", 1, Arc::new(NullSinkFactory));
+        b.edge(src, sink, EdgeKind::Forward);
+        let _ = sink2;
+        assert!(b.build().is_err());
+
+        // Source that feeds nothing.
+        let mut b = JobSpec::builder("x");
+        let _src = b.source("s", 1, noop_source());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn multi_input_ports_follow_edge_order() {
+        let mut b = JobSpec::builder("q6");
+        let bids = b.source("bids", 1, noop_source());
+        let auctions = b.source("auctions", 1, noop_source());
+        let op = b.stateful("maxbid", 2, noop_stateful());
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(bids, op, EdgeKind::Keyed);
+        b.edge(auctions, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        let spec = b.build().unwrap();
+        let incoming = spec.incoming(2);
+        assert_eq!(incoming.len(), 2);
+        assert_eq!(incoming[0].1.from, 0, "port 0 = bids");
+        assert_eq!(incoming[1].1.from, 1, "port 1 = auctions");
+    }
+}

@@ -1,0 +1,923 @@
+//! Job runtime: wiring, lifecycle, failure injection, recovery.
+//!
+//! [`StreamEnv::submit`] turns a [`JobSpec`] into running threads: one per
+//! vertex instance, channels along the edges, a checkpoint coordinator, and
+//! the state plumbing configured by [`StateConfig`] — the four configurations
+//! of the paper's Figure 8 are four values of this struct.
+//!
+//! [`JobHandle::crash`] poisons every worker (simulating a process failure
+//! with loss of all operator state); [`JobHandle::recover`] rebuilds the job
+//! from the latest committed snapshot: operator state restored from the
+//! snapshot stores, sources rewound to their snapshotted offsets — the
+//! rollback recovery of §IV that underpins both exactly-once processing and
+//! the isolation-level semantics of §VII.
+
+use crate::checkpoint::{CheckpointRecord, CheckpointStats, Coordinator, CoordinatorContext};
+use crate::dag::{JobSpec, VertexKind};
+use crate::message::Tagged;
+use crate::state::{SnapshotSink, StateBackend};
+use crate::worker::{
+    run_operator, run_source, OffsetSaver, OperatorKind, OutputPort, Shared, SourceCommand,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use squery_common::metrics::{Histogram, SharedHistogram};
+use squery_common::time::Clock;
+use squery_common::{SnapshotId, SqError, SqResult, Value};
+use squery_storage::{Grid, SnapshotMode, SnapshotStore};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The snapshot-store name holding source offsets (not a user table).
+pub const OFFSETS_STORE: &str = "__offsets";
+
+/// Which S-QUERY state mechanisms are active — the four curves of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateConfig {
+    /// Mirror every state update into the operator's live `IMap` (Table I).
+    pub live_state: bool,
+    /// Write checkpoints as queryable per-key entries (Table II) instead of
+    /// the baseline's opaque blobs.
+    pub queryable_snapshots: bool,
+    /// Full or incremental checkpoints (only meaningful when queryable).
+    pub snapshot_mode: SnapshotMode,
+}
+
+impl StateConfig {
+    /// "S-Query live+snap": both mechanisms on.
+    pub fn live_and_snapshot() -> StateConfig {
+        StateConfig {
+            live_state: true,
+            queryable_snapshots: true,
+            snapshot_mode: SnapshotMode::Full,
+        }
+    }
+
+    /// "S-Query live": live mirroring only; snapshots stay blobs.
+    pub fn live_only() -> StateConfig {
+        StateConfig {
+            live_state: true,
+            queryable_snapshots: false,
+            snapshot_mode: SnapshotMode::Full,
+        }
+    }
+
+    /// "S-Query snap": queryable snapshots only (the configuration the paper
+    /// focuses its evaluation on).
+    pub fn snapshot_only() -> StateConfig {
+        StateConfig {
+            live_state: false,
+            queryable_snapshots: true,
+            snapshot_mode: SnapshotMode::Full,
+        }
+    }
+
+    /// "S-Query snap" with incremental snapshots (§VI-A optimization).
+    pub fn snapshot_incremental() -> StateConfig {
+        StateConfig {
+            live_state: false,
+            queryable_snapshots: true,
+            snapshot_mode: SnapshotMode::Incremental,
+        }
+    }
+
+    /// Plain Jet: no live mirror, blob snapshots.
+    pub fn jet_baseline() -> StateConfig {
+        StateConfig {
+            live_state: false,
+            queryable_snapshots: false,
+            snapshot_mode: SnapshotMode::Full,
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// State mechanism configuration.
+    pub state: StateConfig,
+    /// Periodic checkpoint interval (`None` = manual triggering only).
+    pub checkpoint_interval: Option<Duration>,
+    /// Bounded channel capacity between instances (backpressure depth).
+    pub channel_capacity: usize,
+    /// Maximum records a source produces per scheduling quantum.
+    pub source_batch: usize,
+    /// Phase-1 ack timeout before a checkpoint aborts.
+    pub ack_timeout: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            state: StateConfig::snapshot_only(),
+            checkpoint_interval: Some(Duration::from_secs(1)),
+            channel_capacity: 1024,
+            source_batch: 256,
+            ack_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The execution environment: a grid plus engine configuration.
+pub struct StreamEnv {
+    grid: Arc<Grid>,
+    config: EngineConfig,
+    clock: Clock,
+}
+
+impl StreamEnv {
+    /// An environment over `grid`.
+    pub fn new(grid: Arc<Grid>, config: EngineConfig) -> StreamEnv {
+        StreamEnv {
+            grid,
+            config,
+            clock: Clock::wall(),
+        }
+    }
+
+    /// The environment's grid.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+
+    /// Submit a job; threads start immediately.
+    pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
+        spec.validate()?;
+        let stats = CheckpointStats::new();
+        let (running, shared) = build_runtime(
+            &spec,
+            &self.grid,
+            &self.config,
+            &self.clock,
+            None,
+            stats.clone(),
+        )?;
+        Ok(JobHandle {
+            spec,
+            grid: Arc::clone(&self.grid),
+            config: self.config,
+            clock: self.clock.clone(),
+            started: Instant::now(),
+            stats,
+            running: Some(running),
+            shared: Some(shared),
+            base_latency: Histogram::new(),
+            base_sink: 0,
+            base_source: 0,
+        })
+    }
+}
+
+struct Running {
+    threads: Vec<JoinHandle<()>>,
+    source_controls: Vec<Sender<SourceCommand>>,
+    coordinator: Coordinator,
+}
+
+/// Final report of a stopped job.
+#[derive(Clone)]
+pub struct JobReport {
+    /// Source-to-sink latency distribution (µs).
+    pub latency: Histogram,
+    /// Records consumed by sinks.
+    pub sink_records: u64,
+    /// Records produced by sources.
+    pub source_records: u64,
+    /// Wall-clock duration from submit to stop.
+    pub duration: Duration,
+    /// Committed checkpoint timings.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Aborted checkpoint attempts.
+    pub aborted_checkpoints: u64,
+}
+
+impl JobReport {
+    /// Mean sink throughput in records/second over the job's lifetime.
+    pub fn throughput(&self) -> f64 {
+        if self.duration.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.sink_records as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// Handle to a submitted job.
+pub struct JobHandle {
+    spec: JobSpec,
+    grid: Arc<Grid>,
+    config: EngineConfig,
+    clock: Clock,
+    started: Instant,
+    stats: CheckpointStats,
+    running: Option<Running>,
+    shared: Option<Arc<Shared>>,
+    base_latency: Histogram,
+    base_sink: u64,
+    base_source: u64,
+}
+
+impl JobHandle {
+    /// Whether worker threads are currently running.
+    pub fn is_running(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// The grid this job runs on.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+
+    /// Trigger a checkpoint now and wait for commit.
+    pub fn checkpoint_now(&self) -> SqResult<SnapshotId> {
+        match &self.running {
+            Some(r) => r.coordinator.trigger(),
+            None => Err(SqError::Runtime("job is not running".into())),
+        }
+    }
+
+    /// Checkpoint timing log.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.stats.clone()
+    }
+
+    /// Current merged latency histogram.
+    pub fn latency(&self) -> Histogram {
+        let mut h = self.base_latency.clone();
+        if let Some(s) = &self.shared {
+            h.merge(&s.latency.snapshot());
+        }
+        h
+    }
+
+    /// Records consumed by sinks so far.
+    pub fn sink_count(&self) -> u64 {
+        self.base_sink
+            + self
+                .shared
+                .as_ref()
+                .map(|s| s.sink_count.load(Ordering::Relaxed))
+                .unwrap_or(0)
+    }
+
+    /// Records produced by sources so far.
+    pub fn source_count(&self) -> u64 {
+        self.base_source
+            + self
+                .shared
+                .as_ref()
+                .map(|s| s.source_count.load(Ordering::Relaxed))
+                .unwrap_or(0)
+    }
+
+    /// Discard latency samples collected so far (typically at the end of a
+    /// warmup period, mirroring the paper's 20 s warmup before measuring).
+    pub fn reset_latency(&mut self) {
+        self.base_latency = Histogram::new();
+        if let Some(s) = &self.shared {
+            s.latency.clear();
+        }
+    }
+
+    /// Block until sinks have consumed at least `n` records (test helper).
+    pub fn wait_for_sink_count(&self, n: u64, timeout: Duration) -> SqResult<()> {
+        let deadline = Instant::now() + timeout;
+        while self.sink_count() < n {
+            if Instant::now() > deadline {
+                return Err(SqError::Runtime(format!(
+                    "timed out waiting for {n} sink records (got {})",
+                    self.sink_count()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+
+    /// Block until every source instance has exhausted its (finite) input.
+    ///
+    /// Exhausted sources stay alive to serve checkpoints, so a subsequent
+    /// [`JobHandle::checkpoint_now`] acts as a barrier behind every produced
+    /// record: when it commits, every operator has processed everything.
+    pub fn wait_sources_exhausted(&self, timeout: Duration) -> SqResult<()> {
+        let sources: u32 = self
+            .spec
+            .source_indexes()
+            .iter()
+            .map(|&i| self.spec.vertices[i].parallelism)
+            .sum();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let exhausted = self
+                .shared
+                .as_ref()
+                .map(|s| s.exhausted_sources.load(Ordering::Acquire))
+                .unwrap_or(0);
+            if exhausted >= sources {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(SqError::Runtime(format!(
+                    "timed out: {exhausted}/{sources} sources exhausted"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// [`JobHandle::wait_sources_exhausted`] followed by a checkpoint
+    /// barrier: on return, every record has been fully processed by every
+    /// operator and captured in the committed snapshot.
+    pub fn drain_and_checkpoint(&mut self, timeout: Duration) -> SqResult<SnapshotId> {
+        self.wait_sources_exhausted(timeout)?;
+        self.checkpoint_now()
+    }
+
+    /// Simulate a process failure: every worker dies, in-memory operator
+    /// state and in-flight records are lost. The grid (snapshot stores, live
+    /// maps) survives — it is the durable substrate recovery reads.
+    pub fn crash(&mut self) {
+        let Some(running) = self.running.take() else {
+            return;
+        };
+        if let Some(shared) = &self.shared {
+            shared.poison.store(true, Ordering::SeqCst);
+        }
+        running.coordinator.stop();
+        for t in running.threads {
+            let _ = t.join();
+        }
+        drop(running.source_controls);
+        self.fold_metrics();
+        // A checkpoint caught mid-flight by the crash stays in progress at
+        // the registry; release it so recovery can checkpoint again.
+        if let Some(ssid) = self.grid.registry().in_progress() {
+            for name in self.spec.stateful_names() {
+                self.grid.snapshot_store(&name).discard(ssid);
+            }
+            self.grid.snapshot_store(OFFSETS_STORE).discard(ssid);
+            let _ = self.grid.registry().abort(ssid);
+        }
+    }
+
+    /// Rebuild the job from the latest committed snapshot (rollback
+    /// recovery): operator state restored, sources rewound, live maps rebuilt
+    /// to the snapshot's contents.
+    pub fn recover(&mut self) -> SqResult<()> {
+        if self.running.is_some() {
+            return Err(SqError::Runtime("job is still running".into()));
+        }
+        let latest = self.grid.registry().latest_committed();
+        if !latest.is_some() {
+            return Err(SqError::NotFound(
+                "no committed snapshot to recover from".into(),
+            ));
+        }
+        let (running, shared) = build_runtime(
+            &self.spec,
+            &self.grid,
+            &self.config,
+            &self.clock,
+            Some(latest),
+            self.stats.clone(),
+        )?;
+        self.running = Some(running);
+        self.shared = Some(shared);
+        Ok(())
+    }
+
+    /// Graceful shutdown: stop checkpoints, drain sources, join workers,
+    /// return the final report.
+    pub fn stop(mut self) -> JobReport {
+        if let Some(running) = self.running.take() {
+            running.coordinator.stop();
+            for ctl in &running.source_controls {
+                let _ = ctl.send(SourceCommand::Stop);
+            }
+            for t in running.threads {
+                let _ = t.join();
+            }
+        }
+        self.fold_metrics();
+        JobReport {
+            latency: self.base_latency.clone(),
+            sink_records: self.base_sink,
+            source_records: self.base_source,
+            duration: self.started.elapsed(),
+            checkpoints: self.stats.records(),
+            aborted_checkpoints: self.stats.aborted(),
+        }
+    }
+
+    fn fold_metrics(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            self.base_latency.merge(&shared.latency.snapshot());
+            self.base_sink += shared.sink_count.load(Ordering::Relaxed);
+            self.base_source += shared.source_count.load(Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        if self.running.is_some() {
+            self.crash();
+        }
+    }
+}
+
+/// Build channels, state backends, and threads for one job incarnation.
+fn build_runtime(
+    spec: &JobSpec,
+    grid: &Arc<Grid>,
+    config: &EngineConfig,
+    clock: &Clock,
+    restore: Option<SnapshotId>,
+    stats: CheckpointStats,
+) -> SqResult<(Running, Arc<Shared>)> {
+    let (ack_tx, ack_rx) = unbounded();
+    let shared = Arc::new(Shared {
+        clock: clock.clone(),
+        poison: AtomicBool::new(false),
+        ack_tx,
+        latency: SharedHistogram::new(),
+        sink_count: AtomicU64::new(0),
+        source_count: AtomicU64::new(0),
+        live_instances: AtomicU32::new(spec.total_instances()),
+        exhausted_sources: AtomicU32::new(0),
+        partitioner: grid.partitioner(),
+    });
+
+    // Input channels for every non-source instance.
+    let mut input_tx: Vec<Vec<Option<Sender<Tagged>>>> = Vec::new();
+    let mut input_rx: Vec<Vec<Option<Receiver<Tagged>>>> = Vec::new();
+    for v in &spec.vertices {
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..v.parallelism {
+            if matches!(v.kind, VertexKind::Source(_)) {
+                txs.push(None);
+                rxs.push(None);
+            } else {
+                let (tx, rx) = bounded(config.channel_capacity);
+                txs.push(Some(tx));
+                rxs.push(Some(rx));
+            }
+        }
+        input_tx.push(txs);
+        input_rx.push(rxs);
+    }
+
+    // Channel-tag layout at each vertex: incoming edges in declaration order,
+    // each contributing one channel per upstream instance.
+    let tag_base = |vertex: usize, edge_index: usize| -> u32 {
+        let mut base = 0u32;
+        for (ei, e) in spec.incoming(vertex) {
+            if ei == edge_index {
+                return base;
+            }
+            base += spec.vertices[e.from].parallelism;
+        }
+        unreachable!("edge {edge_index} not incoming at vertex {vertex}")
+    };
+    let n_channels = |vertex: usize| -> u32 {
+        spec.incoming(vertex)
+            .iter()
+            .map(|(_, e)| spec.vertices[e.from].parallelism)
+            .sum()
+    };
+    let outputs = |vertex: usize, instance: u32| -> Vec<OutputPort> {
+        spec.outgoing(vertex)
+            .into_iter()
+            .map(|(edge_index, e)| {
+                let port = spec
+                    .incoming(e.to)
+                    .iter()
+                    .position(|(ei, _)| *ei == edge_index)
+                    .expect("edge is incoming at its target") as u8;
+                OutputPort {
+                    kind: e.kind,
+                    senders: input_tx[e.to]
+                        .iter()
+                        .map(|t| t.clone().expect("non-source target has inputs"))
+                        .collect(),
+                    tag: tag_base(e.to, edge_index) + instance,
+                    port,
+                }
+            })
+            .collect()
+    };
+
+    let offsets_store = grid.snapshot_store(OFFSETS_STORE);
+    let mut stores: Vec<Arc<SnapshotStore>> = vec![Arc::clone(&offsets_store)];
+    let mut threads = Vec::new();
+    let mut source_controls = Vec::new();
+
+    for (vi, v) in spec.vertices.iter().enumerate() {
+        match &v.kind {
+            VertexKind::Source(factory) => {
+                for i in 0..v.parallelism {
+                    let (ctl_tx, ctl_rx) = unbounded();
+                    source_controls.push(ctl_tx);
+                    let mut source = factory.create(i, v.parallelism);
+                    let saver = OffsetSaver {
+                        store: Arc::clone(&offsets_store),
+                        key: Value::str(format!("{}#{i}", v.name)),
+                    };
+                    if let Some(ssid) = restore {
+                        if let Some(offset) = saver.load(ssid) {
+                            source.rewind(&offset);
+                        }
+                    }
+                    let outs = outputs(vi, i);
+                    let shared = Arc::clone(&shared);
+                    let batch = config.source_batch;
+                    threads.push(spawn_named(
+                        format!("{}#{i}", v.name),
+                        move || run_source(source, ctl_rx, outs, i, batch, shared, saver),
+                    ));
+                }
+            }
+            VertexKind::Stateless(factory) => {
+                for i in 0..v.parallelism {
+                    let rx = input_rx[vi][i as usize].take().expect("input channel");
+                    let op = factory.create(i, v.parallelism);
+                    let outs = outputs(vi, i);
+                    let shared = Arc::clone(&shared);
+                    let channels = n_channels(vi);
+                    threads.push(spawn_named(format!("{}#{i}", v.name), move || {
+                        run_operator(rx, channels, OperatorKind::Stateless(op), outs, i, shared)
+                    }));
+                }
+            }
+            VertexKind::Stateful(factory) => {
+                let store = grid.snapshot_store(&v.name);
+                if !stores.iter().any(|s| Arc::ptr_eq(s, &store)) {
+                    stores.push(Arc::clone(&store));
+                }
+                let live = config.state.live_state.then(|| grid.map(&v.name));
+                if let Some(schema) = &v.state_schema {
+                    store.set_value_schema(Arc::clone(schema));
+                    if let Some(l) = &live {
+                        l.set_value_schema(Arc::clone(schema));
+                    }
+                }
+                for i in 0..v.parallelism {
+                    let rx = input_rx[vi][i as usize].take().expect("input channel");
+                    let sink = if config.state.queryable_snapshots {
+                        SnapshotSink::Queryable {
+                            store: Arc::clone(&store),
+                            mode: config.state.snapshot_mode,
+                        }
+                    } else {
+                        SnapshotSink::Blob {
+                            store: Arc::clone(&store),
+                        }
+                    };
+                    let mut backend = StateBackend::new(
+                        v.name.clone(),
+                        i,
+                        v.parallelism,
+                        grid.partitioner(),
+                        live.clone(),
+                        sink,
+                    );
+                    if let Some(ssid) = restore {
+                        backend.restore(ssid)?;
+                    }
+                    let op = factory.create(i, v.parallelism);
+                    let outs = outputs(vi, i);
+                    let shared = Arc::clone(&shared);
+                    let channels = n_channels(vi);
+                    threads.push(spawn_named(format!("{}#{i}", v.name), move || {
+                        run_operator(
+                            rx,
+                            channels,
+                            OperatorKind::Stateful { op, state: backend },
+                            outs,
+                            i,
+                            shared,
+                        )
+                    }));
+                }
+            }
+            VertexKind::Sink(factory) => {
+                for i in 0..v.parallelism {
+                    let rx = input_rx[vi][i as usize].take().expect("input channel");
+                    let sink = factory.create(i, v.parallelism);
+                    let outs = outputs(vi, i);
+                    let shared = Arc::clone(&shared);
+                    let channels = n_channels(vi);
+                    threads.push(spawn_named(format!("{}#{i}", v.name), move || {
+                        run_operator(rx, channels, OperatorKind::Sink(sink), outs, i, shared)
+                    }));
+                }
+            }
+        }
+    }
+
+    let coordinator = Coordinator::start(
+        CoordinatorContext {
+            grid: Arc::clone(grid),
+            source_controls: source_controls.clone(),
+            ack_rx,
+            shared: Arc::clone(&shared),
+            stores,
+            stats,
+            ack_timeout: config.ack_timeout,
+        },
+        config.checkpoint_interval,
+    );
+
+    Ok((
+        Running {
+            threads,
+            source_controls,
+            coordinator,
+        },
+        shared,
+    ))
+}
+
+fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::adapters::{FnSink, FnStateful, FnStatefulOp, NullSinkFactory};
+    use crate::dag::{EdgeKind, Sink, SourceFactory, Stateful};
+    use crate::message::Record;
+    use crate::source::{GeneratorSource, Source};
+    use crate::state::KeyedState;
+
+    /// Source producing ints 0..limit keyed by `i % keys`.
+    struct IntSourceFactory {
+        limit: u64,
+        keys: i64,
+    }
+
+    impl SourceFactory for IntSourceFactory {
+        fn create(&self, instance: u32, total: u32) -> Box<dyn Source> {
+            // Split the range across instances by residue.
+            let keys = self.keys;
+            let limit = self.limit;
+            let (instance, total) = (instance as u64, total as u64);
+            let count = limit / total + u64::from(instance < limit % total);
+            Box::new(GeneratorSource::new(count, move |i| {
+                let n = (i * total + instance) as i64;
+                Some(Record::new(n % keys, n))
+            }))
+        }
+    }
+
+    /// Stateful op: per-key running sum, emits the new sum.
+    fn summing_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
+    {
+        Arc::new(FnStateful(|_, _| {
+            Box::new(FnStatefulOp(
+                |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                    let prev = state
+                        .get(&r.key)
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(0);
+                    let next = prev + r.value.as_int().unwrap_or(0);
+                    state.put(r.key.clone(), Value::Int(next));
+                    out.push(Record {
+                        key: r.key,
+                        value: Value::Int(next),
+                        src_ts: r.src_ts,
+                        port: 0,
+                    });
+                },
+            )) as Box<dyn Stateful>
+        }))
+    }
+
+    fn sum_job(limit: u64, keys: i64, par: u32) -> JobSpec {
+        let mut b = JobSpec::builder("sum");
+        let src = b.source("src", 1, Arc::new(IntSourceFactory { limit, keys }));
+        let op = b.stateful("sums", par, summing_factory());
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(src, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        b.build().unwrap()
+    }
+
+    fn env(state: StateConfig) -> StreamEnv {
+        let config = EngineConfig {
+            state,
+            checkpoint_interval: None,
+            ..EngineConfig::default()
+        };
+        StreamEnv::new(Grid::single_node(), config)
+    }
+
+    /// Expected per-key sums for ints 0..limit keyed by i % keys.
+    fn expected_sums(limit: i64, keys: i64) -> Vec<(Value, Value)> {
+        let mut sums = vec![0i64; keys as usize];
+        for n in 0..limit {
+            sums[(n % keys) as usize] += n;
+        }
+        sums.into_iter()
+            .enumerate()
+            .map(|(k, s)| (Value::Int(k as i64), Value::Int(s)))
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_processes_everything() {
+        let env = env(StateConfig::live_and_snapshot());
+        let mut job = env.submit(sum_job(1000, 10, 4)).unwrap();
+        job.wait_for_sink_count(1000, Duration::from_secs(20)).unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
+        // Live state holds the exact final sums.
+        let live = env.grid().get_map("sums").unwrap();
+        let mut entries = live.entries();
+        entries.sort();
+        assert_eq!(entries, expected_sums(1000, 10));
+        let report = job.stop();
+        assert_eq!(report.sink_records, 1000);
+        assert_eq!(report.source_records, 1000);
+        assert_eq!(report.latency.count(), 1000);
+    }
+
+    #[test]
+    fn checkpoint_now_produces_queryable_snapshot() {
+        let env = env(StateConfig::snapshot_only());
+        let mut job = env.submit(sum_job(500, 5, 2)).unwrap();
+        job.wait_for_sink_count(500, Duration::from_secs(20)).unwrap();
+        let ssid = job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
+        assert_eq!(env.grid().registry().latest_committed(), ssid);
+        let store = env.grid().get_snapshot_store("sums").unwrap();
+        let (mut entries, _) = store.scan_at(ssid).unwrap();
+        entries.sort();
+        assert_eq!(entries, expected_sums(500, 5));
+        let stats = job.checkpoint_stats();
+        assert_eq!(stats.records().len(), 1);
+        job.stop();
+    }
+
+    #[test]
+    fn crash_and_recover_is_exactly_once() {
+        let env = env(StateConfig::live_and_snapshot());
+        let mut job = env.submit(sum_job(20_000, 10, 2)).unwrap();
+        // Let some records through, checkpoint, let more through, crash.
+        job.wait_for_sink_count(2_000, Duration::from_secs(20)).unwrap();
+        job.checkpoint_now().unwrap();
+        job.wait_for_sink_count(5_000, Duration::from_secs(20)).unwrap();
+        job.crash();
+        assert!(!job.is_running());
+        // Recover and drain to completion (checkpoint barrier guarantees the
+        // operators applied every replayed record before we inspect state).
+        job.recover().unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+        // Exactly-once: every input contributed to the sums exactly once,
+        // even though records between the checkpoint and the crash were
+        // processed twice from the sink's point of view.
+        let live = env.grid().get_map("sums").unwrap();
+        let mut entries = live.entries();
+        entries.sort();
+        assert_eq!(entries, expected_sums(20_000, 10));
+        job.stop();
+    }
+
+    #[test]
+    fn recover_without_snapshot_fails() {
+        let env = env(StateConfig::snapshot_only());
+        let mut job = env.submit(sum_job(100, 5, 1)).unwrap();
+        job.crash();
+        assert!(matches!(job.recover(), Err(SqError::NotFound(_))));
+    }
+
+    #[test]
+    fn periodic_checkpoints_run() {
+        let config = EngineConfig {
+            state: StateConfig::snapshot_only(),
+            checkpoint_interval: Some(Duration::from_millis(25)),
+            ..EngineConfig::default()
+        };
+        let env = StreamEnv::new(Grid::single_node(), config);
+        // Unbounded source paced at 50k/s.
+        struct Paced;
+        impl SourceFactory for Paced {
+            fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+                Box::new(
+                    GeneratorSource::new(0, |i| Some(Record::new((i % 100) as i64, i as i64)))
+                        .with_rate(50_000.0),
+                )
+            }
+        }
+        let mut b = JobSpec::builder("periodic");
+        let src = b.source("src", 1, Arc::new(Paced));
+        let op = b.stateful("state", 2, summing_factory());
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(src, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        let job = env.submit(b.build().unwrap()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while env.grid().registry().latest_committed().0 < 3 {
+            assert!(Instant::now() < deadline, "periodic checkpoints stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let report = job.stop();
+        assert!(report.checkpoints.len() >= 3);
+        assert!(report.throughput() > 0.0);
+        for c in &report.checkpoints {
+            assert!(c.total_us >= c.phase1_us);
+        }
+    }
+
+    #[test]
+    fn two_input_operator_aligns_and_joins_streams() {
+        // Port 0 adds, port 1 subtracts; both keyed to the same state.
+        let env = env(StateConfig::snapshot_only());
+        struct Ints {
+            limit: u64,
+        }
+        impl SourceFactory for Ints {
+            fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+                let limit = self.limit;
+                Box::new(GeneratorSource::new(limit, |i| {
+                    Some(Record::new((i % 7) as i64, 1i64))
+                }))
+            }
+        }
+        let op_factory = Arc::new(FnStateful(|_, _| {
+            Box::new(FnStatefulOp(
+                |r: Record, state: &mut dyn KeyedState, _out: &mut Vec<Record>| {
+                    let prev = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0);
+                    let delta = if r.port == 0 { 1 } else { -1 };
+                    state.put(r.key.clone(), Value::Int(prev + delta));
+                },
+            )) as Box<dyn Stateful>
+        }));
+        let mut b = JobSpec::builder("two-input");
+        let plus = b.source("plus", 1, Arc::new(Ints { limit: 700 }));
+        let minus = b.source("minus", 1, Arc::new(Ints { limit: 350 }));
+        let op = b.stateful("balance", 2, op_factory);
+        let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+        b.edge(plus, op, EdgeKind::Keyed);
+        b.edge(minus, op, EdgeKind::Keyed);
+        b.edge(op, sink, EdgeKind::Forward);
+        let mut job = env.submit(b.build().unwrap()).unwrap();
+        let ssid = job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
+        let store = env.grid().get_snapshot_store("balance").unwrap();
+        let (entries, _) = store.scan_at(ssid).unwrap();
+        assert_eq!(entries.len(), 7);
+        for (_k, v) in entries {
+            assert_eq!(v, Value::Int(100 - 50), "700/7 pluses minus 350/7 minuses");
+        }
+        job.stop();
+    }
+
+    #[test]
+    fn sink_latency_is_recorded() {
+        use parking_lot::Mutex;
+        let env = env(StateConfig::jet_baseline());
+        let got: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        struct Collect(Arc<Mutex<Vec<i64>>>);
+        impl Sink for Collect {
+            fn consume(&mut self, r: Record) {
+                self.0.lock().push(r.value.as_int().unwrap());
+            }
+        }
+        let mut b = JobSpec::builder("latency");
+        let src = b.source(
+            "src",
+            1,
+            Arc::new(IntSourceFactory { limit: 100, keys: 100 }),
+        );
+        let sink = b.sink(
+            "sink",
+            1,
+            Arc::new(FnSink(move |_, _| {
+                Box::new(Collect(Arc::clone(&got2))) as Box<dyn Sink>
+            })),
+        );
+        b.edge(src, sink, EdgeKind::Forward);
+        let job = env.submit(b.build().unwrap()).unwrap();
+        job.wait_for_sink_count(100, Duration::from_secs(10)).unwrap();
+        let report = job.stop();
+        assert_eq!(report.latency.count(), 100);
+        assert_eq!(got.lock().len(), 100);
+    }
+
+    #[test]
+    fn jet_baseline_writes_blobs_not_queryable_entries() {
+        let env = env(StateConfig::jet_baseline());
+        let mut job = env.submit(sum_job(100, 10, 2)).unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(10)).unwrap();
+        let store = env.grid().get_snapshot_store("sums").unwrap();
+        // 2 instances → 2 blob entries, not 10 queryable key entries.
+        assert_eq!(store.stats().stored_entries, 2);
+        // And no live map was created.
+        assert!(env.grid().get_map("sums").is_none());
+        job.stop();
+    }
+}

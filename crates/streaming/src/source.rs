@@ -1,0 +1,257 @@
+//! Sources: replayable, rate-limitable event producers.
+//!
+//! A [`Source`] must be able to report and rewind its offset — that is what
+//! makes exactly-once rollback recovery possible (paper §IV: "all operators
+//! of the system roll back to the latest checkpoint and start processing
+//! input from that point onwards").
+//!
+//! [`GeneratorSource`] additionally supports *offered-load* pacing: when a
+//! rate is set, records are stamped with their scheduled emission time, so a
+//! backlogged pipeline shows the queueing delay in its sink latency instead
+//! of hiding it (no coordinated omission) — this is how the latency/throughput
+//! experiments of Figures 8, 9 and 15 drive the system.
+
+use crate::message::Record;
+use squery_common::Value;
+
+/// Result of a batch production attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// Produced something (or could have).
+    Active,
+    /// Nothing to emit right now (rate limit); try again shortly.
+    Idle,
+    /// The stream is finished; no further records will ever come.
+    Exhausted,
+}
+
+/// A replayable event producer (one instance of a source vertex).
+pub trait Source: Send {
+    /// Produce up to `max` records into `out`. `now_us` is the engine clock.
+    fn next_batch(&mut self, max: usize, now_us: u64, out: &mut Vec<Record>) -> SourceStatus;
+
+    /// The current offset, snapshotted at checkpoints.
+    fn offset(&self) -> Value;
+
+    /// Reset to a snapshotted offset (rollback recovery).
+    fn rewind(&mut self, offset: &Value);
+}
+
+/// A source driven by a generator function `index → record`.
+///
+/// The generator must be deterministic in `index` for replay to be
+/// exactly-once: after recovery the source re-produces exactly the records
+/// that followed the restored offset.
+pub struct GeneratorSource {
+    index: u64,
+    limit: Option<u64>,
+    rate_per_sec: Option<f64>,
+    /// The first `prefill` events are exempt from pacing (state build-up);
+    /// the rate schedule anchors at the instant the prefill completed.
+    prefill: u64,
+    prefill_done_at: Option<u64>,
+    exhausted: bool,
+    gen: Box<dyn FnMut(u64) -> Option<Record> + Send>,
+}
+
+impl GeneratorSource {
+    /// A source emitting `gen(0), gen(1), …` until `gen` returns `None` or
+    /// `limit` records were produced (`limit = 0` means unbounded).
+    pub fn new(
+        limit: u64,
+        gen: impl FnMut(u64) -> Option<Record> + Send + 'static,
+    ) -> GeneratorSource {
+        GeneratorSource {
+            index: 0,
+            limit: (limit > 0).then_some(limit),
+            rate_per_sec: None,
+            prefill: 0,
+            prefill_done_at: None,
+            exhausted: false,
+            gen: Box::new(gen),
+        }
+    }
+
+    /// Pace this source at `events_per_sec` (per instance), stamping records
+    /// with their scheduled emission time.
+    pub fn with_rate(mut self, events_per_sec: f64) -> GeneratorSource {
+        assert!(events_per_sec > 0.0, "rate must be positive");
+        self.rate_per_sec = Some(events_per_sec);
+        self
+    }
+
+    /// Exempt the first `events` from pacing: they emit at full speed (state
+    /// build-up for the snapshot-size experiments), and the rate schedule
+    /// starts when they are done, so no catch-up burst follows.
+    pub fn with_prefill(mut self, events: u64) -> GeneratorSource {
+        self.prefill = events;
+        self
+    }
+
+    /// Records produced so far.
+    pub fn produced(&self) -> u64 {
+        self.index
+    }
+}
+
+impl Source for GeneratorSource {
+    fn next_batch(&mut self, max: usize, now_us: u64, out: &mut Vec<Record>) -> SourceStatus {
+        if self.exhausted {
+            return SourceStatus::Exhausted;
+        }
+        let mut budget = max as u64;
+        if let Some(limit) = self.limit {
+            budget = budget.min(limit.saturating_sub(self.index));
+            if budget == 0 {
+                self.exhausted = true;
+                return SourceStatus::Exhausted;
+            }
+        }
+        let pacing_anchor = if self.prefill == 0 {
+            // No prefill: the schedule anchors at clock zero, so a source
+            // started late immediately owes its backlog (offered load).
+            Some(0)
+        } else if self.index >= self.prefill {
+            Some(*self.prefill_done_at.get_or_insert(now_us))
+        } else {
+            None
+        };
+        if let (Some(rate), Some(anchor)) = (self.rate_per_sec, pacing_anchor) {
+            let elapsed = now_us.saturating_sub(anchor);
+            let scheduled_so_far =
+                self.prefill + (elapsed as f64 * rate / 1_000_000.0) as u64;
+            budget = budget.min(scheduled_so_far.saturating_sub(self.index));
+            if budget == 0 {
+                return SourceStatus::Idle;
+            }
+        }
+        for _ in 0..budget {
+            match (self.gen)(self.index) {
+                Some(mut record) => {
+                    record.src_ts = match (self.rate_per_sec, pacing_anchor) {
+                        // Scheduled emission time, not actual: queueing delay
+                        // stays visible in sink-side latency.
+                        (Some(rate), Some(anchor)) => {
+                            anchor
+                                + ((self.index - self.prefill) as f64 * 1_000_000.0 / rate)
+                                    as u64
+                        }
+                        _ => now_us,
+                    };
+                    out.push(record);
+                    self.index += 1;
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if self.exhausted && out.is_empty() {
+            SourceStatus::Exhausted
+        } else {
+            SourceStatus::Active
+        }
+    }
+
+    fn offset(&self) -> Value {
+        Value::Int(self.index as i64)
+    }
+
+    fn rewind(&mut self, offset: &Value) {
+        self.index = offset.as_int().expect("generator offset is an integer") as u64;
+        self.exhausted = false;
+    }
+}
+
+/// A source over a fixed record list (deterministic tests).
+pub fn vec_source(records: Vec<Record>) -> GeneratorSource {
+    GeneratorSource::new(0, move |i| records.get(i as usize).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_source(limit: u64) -> GeneratorSource {
+        GeneratorSource::new(limit, |i| Some(Record::new(i as i64, i as i64)))
+    }
+
+    #[test]
+    fn produces_until_limit() {
+        let mut s = int_source(5);
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(3, 0, &mut out), SourceStatus::Active);
+        assert_eq!(out.len(), 3);
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Active);
+        assert_eq!(out.len(), 5);
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Exhausted);
+        assert_eq!(s.produced(), 5);
+    }
+
+    #[test]
+    fn generator_none_exhausts() {
+        let mut s = vec_source(vec![Record::new(1i64, 1i64)]);
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Active);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Exhausted);
+    }
+
+    #[test]
+    fn offset_and_rewind_replay_identically() {
+        let mut s = int_source(0);
+        let mut first = Vec::new();
+        s.next_batch(10, 0, &mut first);
+        let offset_after_4 = Value::Int(4);
+        s.rewind(&offset_after_4);
+        assert_eq!(s.offset(), Value::Int(4));
+        let mut replay = Vec::new();
+        s.next_batch(3, 0, &mut replay);
+        assert_eq!(replay[0].key, first[4].key, "replay resumes at offset");
+        assert_eq!(replay[2].key, first[6].key);
+    }
+
+    #[test]
+    fn rate_limits_by_elapsed_time() {
+        // 1000 events/s: at t=10ms, 10 events are due.
+        let mut s = int_source(0).with_rate(1000.0);
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(100, 0, &mut out), SourceStatus::Idle);
+        assert!(out.is_empty());
+        assert_eq!(s.next_batch(100, 10_000, &mut out), SourceStatus::Active);
+        assert_eq!(out.len(), 10);
+        // Stamps are the scheduled times: 0ms, 1ms, 2ms, ...
+        assert_eq!(out[0].src_ts, 0);
+        assert_eq!(out[1].src_ts, 1_000);
+        assert_eq!(out[9].src_ts, 9_000);
+        // Nothing more due at the same instant.
+        assert_eq!(s.next_batch(100, 10_000, &mut out), SourceStatus::Idle);
+    }
+
+    #[test]
+    fn unpaced_records_stamped_with_now() {
+        let mut s = int_source(1);
+        let mut out = Vec::new();
+        s.next_batch(1, 777, &mut out);
+        assert_eq!(out[0].src_ts, 777);
+    }
+
+    #[test]
+    fn rewound_exhausted_source_resumes() {
+        let mut s = int_source(3);
+        let mut out = Vec::new();
+        s.next_batch(10, 0, &mut out);
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Exhausted);
+        s.rewind(&Value::Int(1));
+        out.clear();
+        assert_eq!(s.next_batch(10, 0, &mut out), SourceStatus::Active);
+        assert_eq!(out.len(), 2, "replays records 1 and 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        int_source(0).with_rate(0.0);
+    }
+}

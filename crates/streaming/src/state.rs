@@ -1,0 +1,507 @@
+//! Keyed operator state and its backends.
+//!
+//! A stateful operator sees its state as a [`KeyedState`] map. The engine
+//! wraps it in a [`StateBackend`] that implements the configurations the
+//! paper evaluates (Figure 8):
+//!
+//! * **live write-through** — every update is mirrored into the operator's
+//!   grid `IMap` (Table I), making the *live state* externally queryable;
+//!   the mirroring cost is exactly the live-state overhead of Figure 8;
+//! * **queryable snapshots** — at each checkpoint the backend writes per-key
+//!   entries into the operator's `snapshot_<name>` store (Table II), either
+//!   the full state or only the keys dirtied since the previous checkpoint
+//!   (incremental, §VI-A);
+//! * **blob snapshots** — the plain-Jet baseline: the whole state serializes
+//!   into one opaque byte blob ("Formerly, snapshot state in the KV store was
+//!   a mere blob structure"). Cheap to write, impossible to query.
+//!
+//! The backend also restores state from a committed snapshot during rollback
+//! recovery, rebuilding the live map for its own partitions.
+
+use bytes::{BufMut, BytesMut};
+use squery_common::codec;
+use squery_common::{Partitioner, SnapshotId, SqError, SqResult, Value};
+use squery_storage::{IMap, SnapshotMode, SnapshotStore};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The keyed-state view an operator programs against.
+pub trait KeyedState {
+    /// Read the state object for `key`.
+    fn get(&self, key: &Value) -> Option<Value>;
+    /// Insert or overwrite the state object for `key`.
+    fn put(&mut self, key: Value, value: Value);
+    /// Remove `key`'s state object.
+    fn remove(&mut self, key: &Value) -> Option<Value>;
+    /// Number of keys held.
+    fn len(&self) -> usize;
+    /// Whether no keys are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Where checkpoints write this operator's state.
+pub enum SnapshotSink {
+    /// No checkpointing (ephemeral state).
+    None,
+    /// Queryable per-key entries (S-QUERY).
+    Queryable {
+        /// The operator's snapshot store.
+        store: Arc<SnapshotStore>,
+        /// Full or incremental checkpoints.
+        mode: SnapshotMode,
+    },
+    /// One opaque blob per instance (the plain-Jet baseline).
+    Blob {
+        /// The store holding the blob entries.
+        store: Arc<SnapshotStore>,
+    },
+}
+
+/// The engine-managed state of one stateful-operator instance.
+pub struct StateBackend {
+    name: String,
+    instance: u32,
+    total: u32,
+    partitioner: Partitioner,
+    local: HashMap<Value, Value>,
+    /// Keys changed (put or removed) since the last checkpoint.
+    dirty: HashSet<Value>,
+    live: Option<Arc<IMap>>,
+    sink: SnapshotSink,
+    /// First checkpoint after (re)start writes a complete view even in
+    /// incremental mode, so every chain has a base.
+    has_snapshotted: bool,
+}
+
+impl StateBackend {
+    /// A backend for instance `instance` of `total` of operator `name`.
+    pub fn new(
+        name: impl Into<String>,
+        instance: u32,
+        total: u32,
+        partitioner: Partitioner,
+        live: Option<Arc<IMap>>,
+        sink: SnapshotSink,
+    ) -> StateBackend {
+        StateBackend {
+            name: name.into(),
+            instance,
+            total,
+            partitioner,
+            local: HashMap::new(),
+            dirty: HashSet::new(),
+            live,
+            sink,
+            has_snapshotted: false,
+        }
+    }
+
+    /// The operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid partitions this instance owns.
+    pub fn owned_partitions(&self) -> Vec<squery_common::PartitionId> {
+        self.partitioner
+            .partitions_of_instance(self.instance, self.total)
+    }
+
+    /// Write this instance's state for checkpoint `ssid` (phase 1).
+    pub fn snapshot(&mut self, ssid: SnapshotId) -> SqResult<()> {
+        match &self.sink {
+            SnapshotSink::None => {}
+            SnapshotSink::Queryable { store, mode } => {
+                let full =
+                    !self.has_snapshotted || matches!(mode, SnapshotMode::Full);
+                if full {
+                    // Complete view: write every owned partition, including
+                    // empty ones, so the version exists store-wide.
+                    let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+                    for pid in self.owned_partitions() {
+                        by_pid.insert(pid.0, Vec::new());
+                    }
+                    for (k, v) in &self.local {
+                        by_pid
+                            .entry(self.partitioner.partition_of(k).0)
+                            .or_default()
+                            .push((k.clone(), Some(v.clone())));
+                    }
+                    for (pid, entries) in by_pid {
+                        store.write_partition(
+                            ssid,
+                            squery_common::PartitionId(pid),
+                            entries,
+                            true,
+                        );
+                    }
+                } else {
+                    // Delta: only dirty keys; absent in `local` ⇒ tombstone.
+                    let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+                    for pid in self.owned_partitions() {
+                        by_pid.insert(pid.0, Vec::new());
+                    }
+                    for k in &self.dirty {
+                        by_pid
+                            .entry(self.partitioner.partition_of(k).0)
+                            .or_default()
+                            .push((k.clone(), self.local.get(k).cloned()));
+                    }
+                    for (pid, entries) in by_pid {
+                        store.write_partition(
+                            ssid,
+                            squery_common::PartitionId(pid),
+                            entries,
+                            false,
+                        );
+                    }
+                }
+            }
+            SnapshotSink::Blob { store } => {
+                let blob = encode_blob(&self.local);
+                let key = blob_key(&self.name, self.instance);
+                let pid = self.partitioner.partition_of(&key);
+                store.write_partition(ssid, pid, vec![(key, Some(blob))], true);
+            }
+        }
+        self.dirty.clear();
+        self.has_snapshotted = true;
+        Ok(())
+    }
+
+    /// Restore this instance's state from committed snapshot `ssid`
+    /// (rollback recovery), rebuilding the live map for owned partitions.
+    pub fn restore(&mut self, ssid: SnapshotId) -> SqResult<()> {
+        self.local.clear();
+        self.dirty.clear();
+        self.has_snapshotted = false;
+        match &self.sink {
+            SnapshotSink::None => {
+                return Err(SqError::Runtime(format!(
+                    "operator '{}' has no snapshot sink to restore from",
+                    self.name
+                )))
+            }
+            SnapshotSink::Queryable { store, .. } => {
+                for pid in self.owned_partitions() {
+                    for (k, v) in store.scan_partition_at(ssid, pid)? {
+                        self.local.insert(k, v);
+                    }
+                }
+            }
+            SnapshotSink::Blob { store } => {
+                let key = blob_key(&self.name, self.instance);
+                if let Some(blob) = store.read_at(ssid, &key)? {
+                    self.local = decode_blob(&blob)?;
+                }
+            }
+        }
+        if let Some(live) = &self.live {
+            live.clear_partitions(&self.owned_partitions());
+            live.load_silent(
+                self.local
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Number of dirty keys (drives incremental-snapshot cost; test hook).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Iterate the local entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, &Value)> {
+        self.local.iter()
+    }
+}
+
+impl KeyedState for StateBackend {
+    fn get(&self, key: &Value) -> Option<Value> {
+        self.local.get(key).cloned()
+    }
+
+    fn put(&mut self, key: Value, value: Value) {
+        if let Some(live) = &self.live {
+            live.put(key.clone(), value.clone());
+        }
+        self.dirty.insert(key.clone());
+        self.local.insert(key, value);
+    }
+
+    fn remove(&mut self, key: &Value) -> Option<Value> {
+        if let Some(live) = &self.live {
+            live.remove(key);
+        }
+        let old = self.local.remove(key);
+        if old.is_some() {
+            self.dirty.insert(key.clone());
+        }
+        old
+    }
+
+    fn len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+fn blob_key(name: &str, instance: u32) -> Value {
+    Value::str(format!("__blob_{name}_{instance}"))
+}
+
+fn encode_blob(entries: &HashMap<Value, Value>) -> Value {
+    let mut buf = BytesMut::with_capacity(entries.len() * 32 + 8);
+    buf.put_u64(entries.len() as u64);
+    for (k, v) in entries {
+        codec::encode_into(k, &mut buf);
+        codec::encode_into(v, &mut buf);
+    }
+    Value::Bytes(Arc::from(&buf[..]))
+}
+
+fn decode_blob(blob: &Value) -> SqResult<HashMap<Value, Value>> {
+    let Value::Bytes(bytes) = blob else {
+        return Err(SqError::Codec("blob snapshot is not bytes".into()));
+    };
+    let mut buf: &[u8] = bytes;
+    if buf.len() < 8 {
+        return Err(SqError::Codec("blob snapshot truncated".into()));
+    }
+    let n = u64::from_be_bytes(buf[..8].try_into().expect("checked length"));
+    buf = &buf[8..];
+    let mut out = HashMap::with_capacity(n as usize);
+    for _ in 0..n {
+        let k = codec::decode_from(&mut buf)?;
+        let v = codec::decode_from(&mut buf)?;
+        out.insert(k, v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_storage::Grid;
+
+    fn partitioner() -> Partitioner {
+        Partitioner::new(16)
+    }
+
+    fn queryable_backend(mode: SnapshotMode, grid: &Arc<Grid>) -> StateBackend {
+        StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            None,
+            SnapshotSink::Queryable {
+                store: grid.snapshot_store("op"),
+                mode,
+            },
+        )
+    }
+
+    #[test]
+    fn keyed_state_basics() {
+        let mut b = StateBackend::new("op", 0, 1, partitioner(), None, SnapshotSink::None);
+        assert!(b.is_empty());
+        b.put(Value::Int(1), Value::Int(10));
+        assert_eq!(b.get(&Value::Int(1)), Some(Value::Int(10)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.remove(&Value::Int(1)), Some(Value::Int(10)));
+        assert_eq!(b.remove(&Value::Int(1)), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn live_write_through_mirrors_updates() {
+        let grid = Grid::single_node();
+        let live = grid.map("op");
+        let mut b = StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            Some(Arc::clone(&live)),
+            SnapshotSink::None,
+        );
+        b.put(Value::Int(1), Value::Int(10));
+        assert_eq!(live.get(&Value::Int(1)), Some(Value::Int(10)));
+        b.put(Value::Int(1), Value::Int(11));
+        assert_eq!(live.get(&Value::Int(1)), Some(Value::Int(11)));
+        b.remove(&Value::Int(1));
+        assert_eq!(live.get(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn full_snapshot_writes_complete_view() {
+        let grid = Grid::single_node();
+        let mut b = queryable_backend(SnapshotMode::Full, &grid);
+        b.put(Value::Int(1), Value::Int(10));
+        b.put(Value::Int(2), Value::Int(20));
+        b.snapshot(SnapshotId(1)).unwrap();
+        b.remove(&Value::Int(2));
+        b.snapshot(SnapshotId(2)).unwrap();
+        let store = grid.get_snapshot_store("op").unwrap();
+        let (mut s1, _) = store.scan_at(SnapshotId(1)).unwrap();
+        s1.sort();
+        assert_eq!(s1.len(), 2);
+        let (s2, _) = store.scan_at(SnapshotId(2)).unwrap();
+        assert_eq!(s2, vec![(Value::Int(1), Value::Int(10))]);
+    }
+
+    #[test]
+    fn incremental_snapshot_writes_only_dirty_keys() {
+        let grid = Grid::single_node();
+        let mut b = queryable_backend(SnapshotMode::Incremental, &grid);
+        for i in 0..10i64 {
+            b.put(Value::Int(i), Value::Int(i));
+        }
+        b.snapshot(SnapshotId(1)).unwrap(); // first: complete
+        assert_eq!(b.dirty_len(), 0);
+        b.put(Value::Int(3), Value::Int(333));
+        b.remove(&Value::Int(4));
+        assert_eq!(b.dirty_len(), 2);
+        b.snapshot(SnapshotId(2)).unwrap();
+        let store = grid.get_snapshot_store("op").unwrap();
+        // Only the two dirty keys were stored at ssid 2 (12 entries total).
+        assert_eq!(store.stats().stored_entries, 12);
+        // Differential resolution still yields the complete view.
+        let (s2, _) = store.scan_at(SnapshotId(2)).unwrap();
+        assert_eq!(s2.len(), 9, "10 keys minus 1 removed");
+        assert!(s2.contains(&(Value::Int(3), Value::Int(333))));
+        assert!(s2.contains(&(Value::Int(0), Value::Int(0))));
+        assert!(!s2.iter().any(|(k, _)| *k == Value::Int(4)));
+    }
+
+    #[test]
+    fn queryable_restore_roundtrips() {
+        let grid = Grid::single_node();
+        let mut b = queryable_backend(SnapshotMode::Incremental, &grid);
+        for i in 0..50i64 {
+            b.put(Value::Int(i), Value::Int(i * 2));
+        }
+        b.snapshot(SnapshotId(1)).unwrap();
+        b.put(Value::Int(0), Value::Int(999));
+        b.snapshot(SnapshotId(2)).unwrap();
+
+        let mut restored = queryable_backend(SnapshotMode::Incremental, &grid);
+        restored.restore(SnapshotId(2)).unwrap();
+        assert_eq!(restored.len(), 50);
+        assert_eq!(restored.get(&Value::Int(0)), Some(Value::Int(999)));
+        // Restoring the older snapshot rolls the update back.
+        restored.restore(SnapshotId(1)).unwrap();
+        assert_eq!(restored.get(&Value::Int(0)), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn restore_rebuilds_live_map() {
+        let grid = Grid::single_node();
+        let live = grid.map("op");
+        let store = grid.snapshot_store("op");
+        let mut b = StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            Some(Arc::clone(&live)),
+            SnapshotSink::Queryable {
+                store,
+                mode: SnapshotMode::Full,
+            },
+        );
+        b.put(Value::Int(1), Value::Int(10));
+        b.snapshot(SnapshotId(1)).unwrap();
+        b.put(Value::Int(1), Value::Int(99)); // dirty live state
+        assert_eq!(live.get(&Value::Int(1)), Some(Value::Int(99)));
+        b.restore(SnapshotId(1)).unwrap();
+        // The paper's Figure 5c: after recovery the live state shows the
+        // snapshot value again — the pre-failure read was a dirty read.
+        assert_eq!(live.get(&Value::Int(1)), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn blob_snapshot_roundtrips() {
+        let grid = Grid::single_node();
+        let store = grid.snapshot_store("op");
+        let mut b = StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            None,
+            SnapshotSink::Blob {
+                store: Arc::clone(&store),
+            },
+        );
+        for i in 0..20i64 {
+            b.put(Value::Int(i), Value::str(format!("v{i}")));
+        }
+        b.snapshot(SnapshotId(1)).unwrap();
+        // One blob entry, not 20 queryable entries.
+        assert_eq!(store.stats().stored_entries, 1);
+        let mut restored = StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            None,
+            SnapshotSink::Blob { store },
+        );
+        restored.restore(SnapshotId(1)).unwrap();
+        assert_eq!(restored.len(), 20);
+        assert_eq!(restored.get(&Value::Int(7)), Some(Value::str("v7")));
+    }
+
+    #[test]
+    fn restore_without_sink_errors() {
+        let mut b = StateBackend::new("op", 0, 1, partitioner(), None, SnapshotSink::None);
+        assert!(b.restore(SnapshotId(1)).is_err());
+    }
+
+    #[test]
+    fn multi_instance_backends_cover_disjoint_partitions() {
+        let grid = Grid::single_node();
+        let store = grid.snapshot_store("op");
+        let mut backends: Vec<StateBackend> = (0..4)
+            .map(|i| {
+                StateBackend::new(
+                    "op",
+                    i,
+                    4,
+                    grid.partitioner(),
+                    None,
+                    SnapshotSink::Queryable {
+                        store: Arc::clone(&store),
+                        mode: SnapshotMode::Full,
+                    },
+                )
+            })
+            .collect();
+        // Route each key to its owning instance, as the keyed exchange would.
+        for i in 0..200i64 {
+            let key = Value::Int(i);
+            let owner = grid.partitioner().instance_of(&key, 4);
+            backends[owner as usize].put(key, Value::Int(i));
+        }
+        for b in &mut backends {
+            b.snapshot(SnapshotId(1)).unwrap();
+        }
+        let (all, _) = store.scan_at(SnapshotId(1)).unwrap();
+        assert_eq!(all.len(), 200, "instances cover all partitions exactly once");
+        // Restore each instance and check disjoint coverage.
+        let total: usize = backends
+            .iter_mut()
+            .map(|b| {
+                b.restore(SnapshotId(1)).unwrap();
+                b.len()
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,508 @@
+//! Instance workers: the per-thread execution loops.
+//!
+//! Every vertex instance runs on its own thread. Source workers pull batches
+//! from their [`crate::source::Source`] and poll a control channel for
+//! checkpoint markers and stop commands; operator workers consume a single
+//! tagged input queue and implement the marker-alignment protocol of the
+//! paper's Figure 3: once a channel delivers the marker for the in-flight
+//! checkpoint, its subsequent records are buffered until every channel has
+//! delivered (or reached end-of-stream); then the state snapshot is written
+//! (phase 1), the ack goes to the coordinator, the marker is forwarded, and
+//! the buffered records are replayed. This is what makes the written
+//! snapshots *consistent* and the recovery exactly-once.
+
+use crate::dag::{EdgeKind, Sink, Stateful, Stateless};
+use crate::message::{Item, Record, Tagged};
+use crate::source::{Source, SourceStatus};
+use crate::state::StateBackend;
+use crossbeam::channel::{Receiver, Sender};
+use squery_common::metrics::SharedHistogram;
+use squery_common::time::Clock;
+use squery_common::{Partitioner, SnapshotId, Value};
+use squery_storage::SnapshotStore;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A phase-1 acknowledgement from one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Ack {
+    /// The checkpoint being acknowledged.
+    pub ssid: SnapshotId,
+}
+
+/// Commands the coordinator/runtime sends to source instances.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceCommand {
+    /// Begin checkpoint: snapshot the offset, ack, forward the marker.
+    Marker(SnapshotId),
+    /// Finish: emit end-of-stream and exit.
+    Stop,
+}
+
+/// State shared by all workers of one job.
+pub struct Shared {
+    /// Engine clock (latency stamps, 2PC probes).
+    pub clock: Clock,
+    /// Set to force-crash every worker (failure injection).
+    pub poison: AtomicBool,
+    /// Phase-1 ack channel into the coordinator.
+    pub ack_tx: Sender<Ack>,
+    /// Source-to-sink latency across all sink instances.
+    pub latency: SharedHistogram,
+    /// Records consumed by sinks.
+    pub sink_count: AtomicU64,
+    /// Records produced by sources.
+    pub source_count: AtomicU64,
+    /// Instances currently running (coordinator's expected ack count).
+    pub live_instances: AtomicU32,
+    /// Source instances that have exhausted their input.
+    pub exhausted_sources: AtomicU32,
+    /// The shared partitioner (keyed routing).
+    pub partitioner: Partitioner,
+}
+
+impl Shared {
+    fn ack(&self, ssid: SnapshotId) {
+        let _ = self.ack_tx.send(Ack { ssid });
+    }
+
+    fn poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
+    }
+}
+
+/// One output edge of an instance.
+pub struct OutputPort {
+    /// Routing mode.
+    pub kind: EdgeKind,
+    /// Senders to every downstream instance of the edge.
+    pub senders: Vec<Sender<Tagged>>,
+    /// The channel tag this instance's items carry at the receiver.
+    pub tag: u32,
+    /// The input-port number of this edge at the receiving vertex.
+    pub port: u8,
+}
+
+/// Saves one source instance's offset into the offsets snapshot store.
+pub struct OffsetSaver {
+    /// The `__offsets` store.
+    pub store: Arc<SnapshotStore>,
+    /// This instance's offset key (`"<vertex>#<instance>"`).
+    pub key: Value,
+}
+
+impl OffsetSaver {
+    /// Phase-1 write of the current offset.
+    pub fn save(&self, ssid: SnapshotId, offset: Value) {
+        let pid = self.store.partition_of(&self.key);
+        self.store
+            .write_partition(ssid, pid, vec![(self.key.clone(), Some(offset))], true);
+    }
+
+    /// Read back the offset stored at `ssid`, if any.
+    pub fn load(&self, ssid: SnapshotId) -> Option<Value> {
+        self.store.read_at(ssid, &self.key).ok().flatten()
+    }
+}
+
+/// Route one record along every output port; returns false if a downstream
+/// channel is gone (job shutting down or crashed).
+fn route_record(
+    record: &Record,
+    outs: &[OutputPort],
+    my_instance: u32,
+    partitioner: &Partitioner,
+) -> bool {
+    for out in outs {
+        let n = out.senders.len() as u32;
+        let idx = match out.kind {
+            EdgeKind::Forward => my_instance % n,
+            EdgeKind::Keyed => partitioner.instance_of(&record.key, n),
+        };
+        let mut r = record.clone();
+        r.port = out.port;
+        if out.senders[idx as usize]
+            .send(Tagged {
+                from: out.tag,
+                item: Item::Record(r),
+            })
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Broadcast a marker or Eos to every downstream instance of every port.
+fn broadcast(item: &Item, outs: &[OutputPort]) {
+    for out in outs {
+        for sender in &out.senders {
+            let _ = sender.send(Tagged {
+                from: out.tag,
+                item: item.clone(),
+            });
+        }
+    }
+}
+
+/// The source-instance loop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_source(
+    mut source: Box<dyn Source>,
+    control: Receiver<SourceCommand>,
+    outs: Vec<OutputPort>,
+    my_instance: u32,
+    batch_size: usize,
+    shared: Arc<Shared>,
+    offsets: OffsetSaver,
+) {
+    let partitioner = shared.partitioner;
+    let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
+    let mut exhausted = false;
+    loop {
+        if shared.poisoned() {
+            break;
+        }
+        // Control first: markers must not wait behind data production.
+        match control.try_recv() {
+            Ok(SourceCommand::Marker(ssid)) => {
+                offsets.save(ssid, source.offset());
+                shared.ack(ssid);
+                broadcast(&Item::Marker(ssid), &outs);
+                continue;
+            }
+            Ok(SourceCommand::Stop) => {
+                broadcast(&Item::Eos, &outs);
+                break;
+            }
+            Err(_) => {}
+        }
+        if exhausted {
+            // Keep serving control (checkpoints must still complete) but stop
+            // producing. Block on control to avoid spinning.
+            match control.recv_timeout(Duration::from_millis(20)) {
+                Ok(SourceCommand::Marker(ssid)) => {
+                    offsets.save(ssid, source.offset());
+                    shared.ack(ssid);
+                    broadcast(&Item::Marker(ssid), &outs);
+                }
+                Ok(SourceCommand::Stop) => {
+                    broadcast(&Item::Eos, &outs);
+                    break;
+                }
+                Err(_) => {}
+            }
+            continue;
+        }
+        batch.clear();
+        let status = source.next_batch(batch_size, shared.clock.now_micros(), &mut batch);
+        shared
+            .source_count
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for record in &batch {
+            if !route_record(record, &outs, my_instance, &partitioner) {
+                shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+        }
+        match status {
+            SourceStatus::Exhausted => {
+                // Stay alive and keep serving checkpoints: Eos flows only on
+                // an explicit Stop, so a finished input does not tear down
+                // the (possibly still busy) downstream operators, and a
+                // triggered checkpoint can still act as a barrier behind
+                // every produced record.
+                exhausted = true;
+                shared.exhausted_sources.fetch_add(1, Ordering::AcqRel);
+            }
+            SourceStatus::Idle => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            SourceStatus::Active => {}
+        }
+    }
+    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// What an operator worker runs.
+pub enum OperatorKind {
+    /// Stateless transform.
+    Stateless(Box<dyn Stateless>),
+    /// Stateful operator plus its engine-managed state.
+    Stateful {
+        /// User logic.
+        op: Box<dyn Stateful>,
+        /// Engine-managed keyed state (snapshotting, write-through).
+        state: StateBackend,
+    },
+    /// Terminal consumer; the worker records sink latency around it.
+    Sink(Box<dyn Sink>),
+}
+
+/// The operator/sink-instance loop with marker alignment.
+pub fn run_operator(
+    rx: Receiver<Tagged>,
+    n_channels: u32,
+    mut kind: OperatorKind,
+    outs: Vec<OutputPort>,
+    my_instance: u32,
+    shared: Arc<Shared>,
+) {
+    let partitioner = shared.partitioner;
+    let mut aligned: HashSet<u32> = HashSet::new();
+    let mut eos: HashSet<u32> = HashSet::new();
+    let mut pending_marker: Option<SnapshotId> = None;
+    let mut buffer: Vec<Record> = Vec::new();
+    let mut out_buf: Vec<Record> = Vec::new();
+
+    let process = |record: Record,
+                       kind: &mut OperatorKind,
+                       out_buf: &mut Vec<Record>,
+                       shared: &Shared|
+     -> bool {
+        out_buf.clear();
+        match kind {
+            OperatorKind::Stateless(op) => op.process(record, out_buf),
+            OperatorKind::Stateful { op, state } => op.process(record, state, out_buf),
+            OperatorKind::Sink(sink) => {
+                let now = shared.clock.now_micros();
+                shared.latency.record(now.saturating_sub(record.src_ts));
+                shared.sink_count.fetch_add(1, Ordering::Relaxed);
+                sink.consume(record);
+            }
+        }
+        for r in out_buf.iter() {
+            if !route_record(r, &outs, my_instance, &partitioner) {
+                return false;
+            }
+        }
+        true
+    };
+
+    'outer: loop {
+        if shared.poisoned() {
+            break;
+        }
+        let tagged = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(t) => t,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        };
+        match tagged.item {
+            Item::Record(record) => {
+                if pending_marker.is_some() && aligned.contains(&tagged.from) {
+                    // Figure 3a: this channel already delivered the marker;
+                    // its records belong to the next checkpoint epoch.
+                    buffer.push(record);
+                } else if !process(record, &mut kind, &mut out_buf, &shared) {
+                    break;
+                }
+            }
+            Item::Marker(ssid) => {
+                aligned.insert(tagged.from);
+                pending_marker = Some(ssid);
+                if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
+                    >= n_channels as usize
+                {
+                    // Figure 3b/3c: all channels aligned — snapshot, ack,
+                    // forward, resume.
+                    if let OperatorKind::Stateful { state, .. } = &mut kind {
+                        if state.snapshot(ssid).is_err() {
+                            break;
+                        }
+                    }
+                    shared.ack(ssid);
+                    broadcast(&Item::Marker(ssid), &outs);
+                    pending_marker = None;
+                    aligned.clear();
+                    for record in buffer.drain(..) {
+                        if !process(record, &mut kind, &mut out_buf, &shared) {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            Item::Eos => {
+                eos.insert(tagged.from);
+                // An Eos channel counts as aligned for any pending marker.
+                if let Some(ssid) = pending_marker {
+                    if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
+                        >= n_channels as usize
+                    {
+                        if let OperatorKind::Stateful { state, .. } = &mut kind {
+                            if state.snapshot(ssid).is_err() {
+                                break;
+                            }
+                        }
+                        shared.ack(ssid);
+                        broadcast(&Item::Marker(ssid), &outs);
+                        pending_marker = None;
+                        aligned.clear();
+                        for record in buffer.drain(..) {
+                            if !process(record, &mut kind, &mut out_buf, &shared) {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                if eos.len() >= n_channels as usize {
+                    broadcast(&Item::Eos, &outs);
+                    break;
+                }
+            }
+        }
+    }
+    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn shared() -> (Arc<Shared>, Receiver<Ack>) {
+        let (ack_tx, ack_rx) = unbounded();
+        (
+            Arc::new(Shared {
+                clock: Clock::manual(),
+                poison: AtomicBool::new(false),
+                ack_tx,
+                latency: SharedHistogram::new(),
+                sink_count: AtomicU64::new(0),
+                source_count: AtomicU64::new(0),
+                live_instances: AtomicU32::new(1),
+                exhausted_sources: AtomicU32::new(0),
+                partitioner: Partitioner::new(16),
+            }),
+            ack_rx,
+        )
+    }
+
+    /// A sink worker with two input channels must align markers: records
+    /// arriving on an already-aligned channel wait until the other channel's
+    /// marker arrives.
+    #[test]
+    fn marker_alignment_buffers_post_marker_records() {
+        let (shared, ack_rx) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        use parking_lot::Mutex;
+        let seen: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        struct CollectSink(Arc<Mutex<Vec<i64>>>);
+        impl Sink for CollectSink {
+            fn consume(&mut self, r: Record) {
+                self.0.lock().push(r.key.as_int().unwrap());
+            }
+        }
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                run_operator(
+                    rx,
+                    2,
+                    OperatorKind::Sink(Box::new(CollectSink(seen2))),
+                    vec![],
+                    0,
+                    shared,
+                )
+            })
+        };
+        let rec = |from: u32, k: i64| Tagged {
+            from,
+            item: Item::Record(Record::new(k, 0i64)),
+        };
+        let marker = |from: u32| Tagged {
+            from,
+            item: Item::Marker(SnapshotId(1)),
+        };
+        // Channel 0: r1, marker, r3 (r3 must wait). Channel 1: r2, marker.
+        tx.send(rec(0, 1)).unwrap();
+        tx.send(marker(0)).unwrap();
+        tx.send(rec(0, 3)).unwrap();
+        tx.send(rec(1, 2)).unwrap();
+        tx.send(marker(1)).unwrap();
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Eos,
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Eos,
+        })
+        .unwrap();
+        worker.join().unwrap();
+        let order = seen.lock().clone();
+        assert_eq!(order, vec![1, 2, 3], "r3 processed only after alignment");
+        let ack = ack_rx.try_recv().unwrap();
+        assert_eq!(ack.ssid, SnapshotId(1));
+        assert_eq!(shared.sink_count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn eos_channel_counts_as_aligned() {
+        let (shared, ack_rx) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                run_operator(rx, 2, OperatorKind::Sink(Box::new(Null)), vec![], 0, shared)
+            })
+        };
+        // Channel 1 ends before the checkpoint; channel 0's marker alone
+        // must complete it.
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Eos,
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Marker(SnapshotId(7)),
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Eos,
+        })
+        .unwrap();
+        worker.join().unwrap();
+        assert_eq!(ack_rx.try_recv().unwrap().ssid, SnapshotId(7));
+    }
+
+    #[test]
+    fn poison_stops_worker() {
+        let (shared, _ack) = shared();
+        let (_tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        shared.poison.store(true, Ordering::Relaxed);
+        let s2 = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            run_operator(rx, 1, OperatorKind::Sink(Box::new(Null)), vec![], 0, s2)
+        });
+        worker.join().unwrap();
+        assert_eq!(shared.live_instances.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn offset_saver_roundtrip() {
+        let grid = squery_storage::Grid::single_node();
+        let saver = OffsetSaver {
+            store: grid.snapshot_store("__offsets"),
+            key: Value::str("src#0"),
+        };
+        saver.save(SnapshotId(1), Value::Int(42));
+        assert_eq!(saver.load(SnapshotId(1)), Some(Value::Int(42)));
+        assert_eq!(saver.load(SnapshotId(2)), Some(Value::Int(42)));
+    }
+}

@@ -1,0 +1,107 @@
+//! Debugging with time travel: watching state mutate across snapshots.
+//!
+//! The paper's §III ("Debugging"): *"if there is also the option of
+//! switching between specific versions of the state, one would also be able
+//! to see how the state mutates over time. This is an invaluable capability
+//! for debugging complex streaming systems."*
+//!
+//! This demo retains several snapshot versions, keeps checkpointing a
+//! running counter job, and then inspects one key's history across versions
+//! with a single multi-version SQL query (`WHERE ssid >= 0` scans every
+//! retained version, each row labelled with its snapshot id).
+//!
+//! Run with: `cargo run --example debugging_time_travel`
+
+use squery::{SQuery, SQueryConfig, StateConfig, StateView};
+use squery_common::schema::schema;
+use squery_common::{DataType, Value};
+use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+use squery_streaming::dag::{SourceFactory, Stateful};
+use squery_streaming::source::{GeneratorSource, Source};
+use squery_streaming::state::KeyedState;
+use squery_streaming::{EdgeKind, JobSpec, Record};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // Retain 5 snapshot versions instead of the default 2 (§VI-A: "If
+    // maintaining more versions ... is important to an application, S-QUERY
+    // can be configured to preserve many versions").
+    let mut config = SQueryConfig::default().with_retention(5);
+    config.state = StateConfig::live_and_snapshot();
+    let system = SQuery::new(config).expect("bring up S-QUERY");
+
+    struct Ticks;
+    impl SourceFactory for Ticks {
+        fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+            // 2 000 paced events/s over 4 keys.
+            Box::new(
+                GeneratorSource::new(0, |i| Some(Record::new((i % 4) as i64, 1i64)))
+                    .with_rate(2_000.0),
+            )
+        }
+    }
+    let counter = Arc::new(FnStateful(|_, _| {
+        Box::new(FnStatefulOp(
+            |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                let n = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0) + 1;
+                state.put(r.key.clone(), Value::Int(n));
+                out.push(Record {
+                    key: r.key,
+                    value: Value::Int(n),
+                    src_ts: r.src_ts,
+                    port: 0,
+                });
+            },
+        )) as Box<dyn Stateful>
+    }));
+    let mut b = JobSpec::builder("time-travel");
+    let src = b.source("ticks", 1, Arc::new(Ticks));
+    let op = b.stateful_with_schema("tally", 1, counter, schema(vec![("this", DataType::Int)]));
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(src, op, EdgeKind::Keyed);
+    b.edge(op, sink, EdgeKind::Forward);
+    let job = system.submit(b.build().unwrap()).expect("submit");
+
+    // Take five checkpoints while the job keeps counting.
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(120));
+        job.checkpoint_now().expect("checkpoint");
+    }
+    println!(
+        "retained snapshot versions: {:?}\n",
+        system.retained_snapshots()
+    );
+
+    // Time travel: key 0's value across every retained version, one query.
+    let history = system
+        .query(
+            "SELECT ssid, this AS counter FROM snapshot_tally \
+             WHERE ssid >= 0 AND partitionKey = 0 ORDER BY ssid",
+        )
+        .expect("history query");
+    println!("history of key 0 across snapshots (state mutating over time):\n{history}\n");
+
+    // Debug check: the counter must be non-decreasing across versions.
+    let counters: Vec<i64> = history
+        .column("counter")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert!(
+        counters.windows(2).all(|w| w[0] <= w[1]),
+        "a decreasing counter would be the bug this view exists to catch"
+    );
+    println!("invariant verified: counter is monotone across versions {counters:?}");
+
+    // Pinpoint one historical version via the direct interface too.
+    let oldest = system.retained_snapshots()[0];
+    let at_oldest = system
+        .direct()
+        .get("tally", &Value::Int(0), StateView::Snapshot(oldest))
+        .unwrap();
+    println!("direct read at the oldest retained version {oldest}: {at_oldest:?}");
+
+    job.stop();
+}

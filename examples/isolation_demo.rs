@@ -1,0 +1,140 @@
+//! Isolation levels, live: the paper's Figures 5 and 6 as a runnable demo.
+//!
+//! A counting operator processes a gated stream so we control exactly how
+//! many events exist on each side of a checkpoint. We then observe:
+//!
+//! * **Figure 5 (read uncommitted)** — a live query reads 5, the job fails,
+//!   and after recovery the counter is 4 again: the read was dirty.
+//! * **Figure 6 (serializable)** — a query pinned to a snapshot id reads the
+//!   same value before and after the failure.
+//!
+//! Run with: `cargo run --example isolation_demo`
+
+use squery::{IsolationLevel, SQuery, SQueryConfig, StateConfig, StateView};
+use squery_common::schema::schema;
+use squery_common::{DataType, Value};
+use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+use squery_streaming::dag::{SourceFactory, Stateful};
+use squery_streaming::source::{Source, SourceStatus};
+use squery_streaming::state::KeyedState;
+use squery_streaming::{EdgeKind, JobSpec, Record};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A source whose output is gated by a shared allowance, so the demo decides
+/// exactly when each event exists.
+struct GatedSource {
+    index: u64,
+    allowance: Arc<AtomicU64>,
+}
+
+impl Source for GatedSource {
+    fn next_batch(&mut self, max: usize, _now: u64, out: &mut Vec<Record>) -> SourceStatus {
+        let allowed = self.allowance.load(Ordering::Acquire);
+        let budget = allowed.saturating_sub(self.index).min(max as u64);
+        if budget == 0 {
+            return SourceStatus::Idle;
+        }
+        for _ in 0..budget {
+            out.push(Record::new(0i64, 1i64));
+            self.index += 1;
+        }
+        SourceStatus::Active
+    }
+    fn offset(&self) -> Value {
+        Value::Int(self.index as i64)
+    }
+    fn rewind(&mut self, offset: &Value) {
+        self.index = offset.as_int().unwrap() as u64;
+    }
+}
+
+struct GatedFactory(Arc<AtomicU64>);
+impl SourceFactory for GatedFactory {
+    fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+        Box::new(GatedSource {
+            index: 0,
+            allowance: Arc::clone(&self.0),
+        })
+    }
+}
+
+fn main() {
+    let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    let system = SQuery::new(config).expect("bring up S-QUERY");
+    let allowance = Arc::new(AtomicU64::new(0));
+
+    let counter = Arc::new(FnStateful(|_, _| {
+        Box::new(FnStatefulOp(
+            |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                let n = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0) + 1;
+                state.put(r.key.clone(), Value::Int(n));
+                out.push(Record {
+                    key: r.key,
+                    value: Value::Int(n),
+                    src_ts: r.src_ts,
+                    port: 0,
+                });
+            },
+        )) as Box<dyn Stateful>
+    }));
+    let mut b = JobSpec::builder("count-demo");
+    let src = b.source("events", 1, Arc::new(GatedFactory(Arc::clone(&allowance))));
+    let op = b.stateful_with_schema("count", 1, counter, schema(vec![("this", DataType::Int)]));
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(src, op, EdgeKind::Keyed);
+    b.edge(op, sink, EdgeKind::Forward);
+    let mut job = system.submit(b.build().unwrap()).expect("submit");
+
+    let live = |system: &SQuery| {
+        system
+            .direct()
+            .get("count", &Value::Int(0), StateView::Live)
+            .unwrap()
+            .and_then(|v| v.as_int())
+            .unwrap_or(0)
+    };
+
+    println!(
+        "live view isolation:    {} — {}",
+        IsolationLevel::of_view(StateView::Live, false),
+        IsolationLevel::of_view(StateView::Live, false).description()
+    );
+    println!(
+        "snapshot view isolation: {} — {}\n",
+        IsolationLevel::of_view(StateView::LatestSnapshot, false),
+        IsolationLevel::of_view(StateView::LatestSnapshot, false).description()
+    );
+
+    // ---- Figure 5: dirty read on the live state -------------------------
+    allowance.store(4, Ordering::Release);
+    job.wait_for_sink_count(4, Duration::from_secs(10)).unwrap();
+    let ssid = job.checkpoint_now().expect("checkpoint");
+    println!("Fig 5a: counter = {}, snapshot {ssid} taken", live(&system));
+
+    allowance.store(5, Ordering::Release);
+    job.wait_for_sink_count(5, Duration::from_secs(10)).unwrap();
+    let dirty = live(&system);
+    println!("Fig 5b: live query returns {dirty}   <-- not yet committed anywhere");
+
+    job.crash();
+    // Lower the gate so the rolled-back 5th event is not instantly replayed
+    // before we can observe the restored state.
+    allowance.store(4, Ordering::Release);
+    job.recover().expect("recover from snapshot");
+    println!(
+        "Fig 5c: job failed & recovered; live query now returns {} — the read of {dirty} was a DIRTY READ\n",
+        live(&system)
+    );
+
+    // ---- Figure 6: snapshot queries are immune to the failure -----------
+    let pinned = system
+        .direct()
+        .get("count", &Value::Int(0), StateView::Snapshot(ssid))
+        .unwrap();
+    println!("Fig 6: query pinned to snapshot {ssid} returns {pinned:?} — before and after the failure, always");
+    assert_eq!(pinned, Some(Value::Int(4)));
+
+    job.stop();
+}

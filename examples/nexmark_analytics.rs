@@ -1,0 +1,68 @@
+//! Ad-hoc analytics over NEXMark query 6's internal state.
+//!
+//! The paper's §III ("Simplifying Streaming Topologies") argues that with
+//! queryable state you do not need a new streaming job for every ad-hoc
+//! question — you query the existing operators' state. This example runs the
+//! q6 job (average selling price per seller) and then answers questions q6
+//! itself never emits: top sellers, price distribution, seller coverage —
+//! all straight from the `average` and `maxbid` operator state.
+//!
+//! Run with: `cargo run --example nexmark_analytics`
+
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_nexmark::{q6_job, NexmarkConfig};
+use std::time::Duration;
+
+fn main() {
+    let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    let system = SQuery::new(config).expect("bring up S-QUERY");
+
+    let cfg = NexmarkConfig {
+        sellers: 1_000,
+        active_auctions: 2_000,
+        events_per_instance: 40_000,
+        rate_per_instance: None,
+    };
+    let mut job = system.submit(q6_job(cfg, 1, 2)).expect("submit q6");
+    let ssid = job
+        .drain_and_checkpoint(Duration::from_secs(60))
+        .expect("drain the auction streams");
+    println!("q6 ran to completion; snapshot {ssid} committed\n");
+
+    // Q: which sellers command the highest average selling price?
+    let top = system
+        .query(
+            "SELECT partitionKey AS seller, average, count FROM average \
+             ORDER BY average DESC LIMIT 5",
+        )
+        .expect("top sellers");
+    println!("top sellers by average selling price (live state):\n{top}\n");
+
+    // Q: what does the selling-price distribution look like?
+    let stats = system
+        .query(
+            "SELECT COUNT(*) AS sellers, AVG(average) AS mean_price, \
+             MIN(average) AS min_price, MAX(average) AS max_price FROM snapshot_average",
+        )
+        .expect("distribution");
+    println!("price distribution over the committed snapshot:\n{stats}\n");
+
+    // Q: how many sellers have a full 10-auction window already?
+    let full_windows = system
+        .query("SELECT COUNT(*) AS full_windows FROM average WHERE count = 10")
+        .expect("full windows");
+    println!("sellers with a full last-10 window:\n{full_windows}\n");
+
+    // Q: join live state across operators — currently open auctions per
+    // seller with their running average (the join capability §VI-A adds).
+    let join = system
+        .query(
+            "SELECT a.partitionKey AS seller, COUNT(*) AS open_auctions, MAX(m.best) AS best_open \
+             FROM average a JOIN maxbid m ON a.partitionKey = m.seller \
+             GROUP BY a.partitionKey ORDER BY open_auctions DESC LIMIT 5",
+        )
+        .expect("cross-operator join");
+    println!("open auctions per seller (join of two operators' live state):\n{join}");
+
+    job.stop();
+}

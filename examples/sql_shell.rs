@@ -1,0 +1,75 @@
+//! An interactive SQL shell over a live S-QUERY deployment.
+//!
+//! Starts the q-commerce monitoring job with periodic checkpoints, then
+//! reads SQL statements from stdin (one per line; `\t` lists tables, `\o`
+//! prints the state-store overview, `\q` quits) and prints result tables —
+//! the "database view of the processing state" experience of the paper's
+//! introduction.
+//!
+//! Run with: `cargo run --example sql_shell`
+//! (pipe queries in non-interactively: `echo "SELECT ..." | cargo run --example sql_shell`)
+
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_qcommerce::{order_monitoring_job, QCommerceConfig};
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+fn main() {
+    let config = SQueryConfig {
+        checkpoint_interval: Some(Duration::from_millis(500)),
+        ..SQueryConfig::default().with_state(StateConfig::live_and_snapshot())
+    };
+    let system = SQuery::new(config).expect("bring up S-QUERY");
+    let cfg = QCommerceConfig {
+        orders: 1_000,
+        riders: 200,
+        events_per_instance: 0,          // unbounded: the state keeps churning
+        rate_per_instance: Some(2_000.0), // gently, so the shell stays snappy
+        prefill_passes: 1,
+    };
+    let job = system
+        .submit(order_monitoring_job(cfg, 1, 2))
+        .expect("submit monitoring job");
+
+    // Wait for the first committed snapshot so snapshot_* tables answer.
+    while system.latest_snapshot().is_none() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    eprintln!("S-QUERY SQL shell — tables: \\t, overview: \\o, quit: \\q");
+    eprintln!("try:  SELECT orderState, COUNT(*) FROM orderstate GROUP BY orderState;");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("squery> ");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "exit" | "quit" => break,
+            "\\t" => {
+                for t in system.grid().all_table_names() {
+                    writeln!(out, "{t}").unwrap();
+                }
+            }
+            "\\o" => {
+                writeln!(out, "{}", system.overview()).unwrap();
+            }
+            sql => match system.query(sql) {
+                Ok(result) => writeln!(out, "{result}").unwrap(),
+                Err(e) => eprintln!("error: {e}"),
+            },
+        }
+        out.flush().unwrap();
+    }
+    job.stop();
+    eprintln!("bye");
+}

@@ -1,0 +1,28 @@
+//! Reproduction package for **S-QUERY: Opening the Black Box of Internal
+//! Stream Processor State** (ICDE 2022).
+//!
+//! This crate is the workspace's integration surface: it hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`),
+//! and re-exports the workspace's public API for convenience.
+//!
+//! Start with `examples/quickstart.rs`, then see the `squery` crate docs for
+//! the system's architecture.
+
+pub use squery::{
+    DirectQuery, Grid, IsolationLevel, JobHandle, JobSpec, ResultSet, SQuery, SQueryConfig,
+    SnapshotMode, StateConfig, StateView,
+};
+pub use squery_common::{SnapshotId, Value};
+
+/// Workspace version, surfaced for examples.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_compose() {
+        let system = crate::SQuery::new(crate::SQueryConfig::default()).unwrap();
+        assert!(system.latest_snapshot().is_none());
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Whole-system integration: NEXMark q6 under periodic checkpoints with
+//! concurrent SQL and direct-object query load — all interfaces at once,
+//! the way the paper's scalability experiment drives the system.
+
+mod common;
+
+use squery::{SQuery, SQueryConfig, StateConfig, StateView};
+use squery_common::Value;
+use squery_nexmark::{q6_job, NexmarkConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn q6_system(interval: Option<Duration>) -> (Arc<SQuery>, squery::JobHandle) {
+    let mut config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    config.checkpoint_interval = interval;
+    let system = Arc::new(SQuery::new(config).unwrap());
+    let cfg = NexmarkConfig {
+        sellers: 300,
+        active_auctions: 600,
+        events_per_instance: 0,
+        rate_per_instance: Some(5_000.0),
+    };
+    let job = system.submit(q6_job(cfg, 1, 2)).unwrap();
+    (system, job)
+}
+
+/// Queries from multiple interfaces run concurrently with processing and
+/// periodic checkpoints, without errors, torn reads, or stalls.
+#[test]
+fn concurrent_queries_during_periodic_checkpoints() {
+    let (system, job) = q6_system(Some(Duration::from_millis(100)));
+    // Wait for the first committed snapshot.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while system.latest_snapshot().is_none() {
+        assert!(Instant::now() < deadline, "no checkpoint committed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sql_worker = {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut runs = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let rs = system
+                    .query("SELECT COUNT(*) AS n, AVG(average) AS m FROM snapshot_average")
+                    .expect("snapshot query always succeeds once one is committed");
+                assert_eq!(rs.len(), 1);
+                runs += 1;
+            }
+            runs
+        })
+    };
+    let direct_worker = {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut runs = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Live point reads under key locks.
+                let _ = system
+                    .direct()
+                    .get("average", &Value::Int((runs % 300) as i64), StateView::Live)
+                    .expect("live reads never fail");
+                runs += 1;
+            }
+            runs
+        })
+    };
+
+    std::thread::sleep(Duration::from_secs(2));
+    stop.store(true, Ordering::Relaxed);
+    let sql_runs = sql_worker.join().unwrap();
+    let direct_runs = direct_worker.join().unwrap();
+    assert!(sql_runs > 5, "SQL queries made progress: {sql_runs}");
+    assert!(direct_runs > 100, "direct reads made progress: {direct_runs}");
+
+    let report = job.stop();
+    assert!(
+        report.checkpoints.len() >= 3,
+        "periodic checkpoints kept committing under query load: {}",
+        report.checkpoints.len()
+    );
+    assert!(report.sink_records > 0);
+}
+
+/// Snapshot-table aggregates are internally consistent: within one query the
+/// join of a snapshot table with itself over the shared snapshot id can
+/// never produce mismatched values.
+#[test]
+fn snapshot_self_consistency_under_load() {
+    let (system, job) = q6_system(Some(Duration::from_millis(80)));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while system.latest_snapshot().is_none() {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for _ in 0..30 {
+        // a and b scan the same table; with one ssid per query every key
+        // joins itself exactly once with equal values.
+        let rs = system
+            .query(
+                "SELECT COUNT(*) AS mismatches FROM snapshot_average a \
+                 JOIN snapshot_average b USING(partitionKey) WHERE a.count <> b.count",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.scalar("mismatches"),
+            Some(&Value::Int(0)),
+            "a query must never observe two different versions"
+        );
+    }
+    job.stop();
+}
+
+/// Disabling mechanisms works end to end: in jet-baseline mode there are no
+/// queryable tables, and snapshot-only mode has no live tables.
+#[test]
+fn state_mechanisms_toggle_visibility() {
+    // Jet baseline: no live map, blob snapshots (not SQL-queryable columns).
+    let config = SQueryConfig::default().with_state(StateConfig::jet_baseline());
+    let system = SQuery::new(config).unwrap();
+    let cfg = NexmarkConfig {
+        sellers: 50,
+        active_auctions: 100,
+        events_per_instance: 2_000,
+        rate_per_instance: None,
+    };
+    let mut job = system.submit(q6_job(cfg, 1, 1)).unwrap();
+    job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+    assert!(
+        system.query("SELECT * FROM average").is_err(),
+        "no live table in the baseline"
+    );
+    job.stop();
+
+    // Snapshot-only: snapshot tables answer, live tables absent.
+    let config = SQueryConfig::default().with_state(StateConfig::snapshot_only());
+    let system = SQuery::new(config).unwrap();
+    let mut job = system.submit(q6_job(cfg, 1, 1)).unwrap();
+    job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+    assert!(system.query("SELECT * FROM average").is_err());
+    let rs = system
+        .query("SELECT COUNT(*) AS n FROM snapshot_average")
+        .unwrap();
+    assert!(rs.scalar("n").unwrap().as_int().unwrap() > 0);
+    job.stop();
+}

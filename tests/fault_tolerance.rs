@@ -1,0 +1,168 @@
+//! Fault-tolerance integration tests: crash/recover cycles, exactly-once
+//! accounting, checkpoint aborts, and grid-node failover.
+
+mod common;
+
+use common::{advance, gated_counter_system};
+use squery::{StateConfig, StateView};
+use squery_common::config::{ClusterConfig, NetworkConfig};
+use squery_common::{NodeId, Value};
+use squery_storage::Grid;
+
+/// Exactly-once across repeated crash/recover cycles: after every recovery
+/// the per-key counts equal the number of events released, regardless of
+/// where the crashes fell relative to checkpoints.
+#[test]
+fn repeated_crashes_preserve_exactly_once_counts() {
+    let (system, mut job, allowance) =
+        gated_counter_system(StateConfig::live_and_snapshot(), 5, 2);
+    let mut released = 0u64;
+    for round in 1..=4u64 {
+        released += 50 * round;
+        advance(&job, &allowance, released);
+        job.checkpoint_now().unwrap();
+        if round % 2 == 0 {
+            // Release more events, crash before the next checkpoint, recover.
+            released += 17;
+            advance(&job, &allowance, released);
+            job.crash();
+            job.recover().unwrap();
+            // The 17 extra events replay from the snapshot's source offset.
+            job.wait_for_sink_count(released, std::time::Duration::from_secs(30))
+                .ok(); // sink count includes pre-crash deliveries; state is the oracle
+            job.checkpoint_now().unwrap();
+        }
+    }
+    // Total per-key counts must equal the number of released events.
+    let rs = system.query("SELECT SUM(this) AS total FROM count").unwrap();
+    assert_eq!(
+        rs.scalar("total"),
+        Some(&Value::Int(released as i64)),
+        "state must count every event exactly once"
+    );
+    job.stop();
+}
+
+/// Recovery restores each key to its snapshot value, not to zero and not to
+/// the dirty pre-crash value.
+#[test]
+fn recovery_restores_per_key_values() {
+    let (system, mut job, allowance) =
+        gated_counter_system(StateConfig::live_and_snapshot(), 10, 2);
+    advance(&job, &allowance, 100); // each key at 10
+    let ssid = job.checkpoint_now().unwrap();
+    advance(&job, &allowance, 150); // each key at 15 (dirty)
+    job.crash();
+    job.recover().unwrap();
+    for k in 0..10i64 {
+        assert_eq!(
+            system
+                .direct()
+                .get("count", &Value::Int(k), StateView::Snapshot(ssid))
+                .unwrap(),
+            Some(Value::Int(10))
+        );
+    }
+    // After recovery the source replays events 100..150 exactly once.
+    job.wait_for_sink_count(150, std::time::Duration::from_secs(30))
+        .ok();
+    job.checkpoint_now().unwrap();
+    let rs = system.query("SELECT SUM(this) AS total FROM count").unwrap();
+    assert_eq!(rs.scalar("total"), Some(&Value::Int(150)));
+    job.stop();
+}
+
+/// A crash while a checkpoint is mid-flight aborts it cleanly: the id is
+/// released, phase-1 writes are discarded, and the previous snapshot stays
+/// the queryable one.
+#[test]
+fn crash_mid_checkpoint_aborts_cleanly() {
+    let (system, mut job, allowance) =
+        gated_counter_system(StateConfig::live_and_snapshot(), 2, 1);
+    advance(&job, &allowance, 10);
+    let s1 = job.checkpoint_now().unwrap();
+    advance(&job, &allowance, 20);
+    job.crash(); // any in-flight checkpoint is aborted by crash()
+    assert_eq!(system.latest_snapshot(), Some(s1));
+    assert_eq!(system.grid().registry().in_progress(), None);
+    job.recover().unwrap();
+    let s2 = job.checkpoint_now().unwrap();
+    assert!(s2 > s1, "checkpointing resumes after recovery");
+    job.stop();
+}
+
+/// Stopping a job right after recovery yields a coherent report.
+#[test]
+fn stop_after_recovery_reports_merged_metrics() {
+    let (_system, mut job, allowance) =
+        gated_counter_system(StateConfig::live_and_snapshot(), 2, 1);
+    advance(&job, &allowance, 30);
+    job.checkpoint_now().unwrap();
+    job.crash();
+    job.recover().unwrap();
+    let report = job.stop();
+    assert!(report.sink_records >= 30);
+    assert!(report.latency.count() >= 30);
+    assert!(!report.checkpoints.is_empty());
+}
+
+/// Grid-level failover: with replication enabled, failing a node promotes
+/// backups and loses no live-state data (paper §V-A).
+#[test]
+fn grid_node_failover_preserves_live_state() {
+    let config = ClusterConfig {
+        nodes: 3,
+        partitions: 271,
+        backup_count: 1,
+        network: NetworkConfig::instant(),
+    };
+    let grid = Grid::new(config).unwrap();
+    let map = grid.map("orders");
+    for i in 0..1_000i64 {
+        map.put(Value::Int(i), Value::Int(i * 7));
+    }
+    grid.flush_replication();
+    // Fail two of the three nodes in sequence.
+    grid.fail_node(NodeId(2)).unwrap();
+    for i in 0..1_000i64 {
+        assert_eq!(map.get(&Value::Int(i)), Some(Value::Int(i * 7)));
+    }
+    // Note: after the first failure some partitions have no remaining
+    // backups (the failed node held them); a second failure of the node
+    // now holding them as sole owner would error — verify that safety too.
+    let second = grid.fail_node(NodeId(1));
+    match second {
+        Ok(_) => {
+            for i in 0..1_000i64 {
+                assert_eq!(map.get(&Value::Int(i)), Some(Value::Int(i * 7)));
+            }
+        }
+        Err(e) => {
+            // Data loss was detected and reported, never silent.
+            assert!(e.to_string().contains("no backup"), "{e}");
+        }
+    }
+}
+
+/// Checkpoints keep committing after sources exhaust (the operators must
+/// still be alive to serve them).
+#[test]
+fn checkpoints_survive_source_exhaustion() {
+    let (system, job, allowance) = gated_counter_system(StateConfig::live_and_snapshot(), 2, 1);
+    advance(&job, &allowance, 10);
+    let s1 = job.checkpoint_now().unwrap();
+    let s2 = job.checkpoint_now().unwrap();
+    let s3 = job.checkpoint_now().unwrap();
+    assert!(s1 < s2 && s2 < s3);
+    // All three resolve the same state.
+    for ssid in [s2, s3] {
+        let rs = system
+            .query(&format!(
+                "SELECT SUM(this) AS total FROM snapshot_count WHERE ssid = {}",
+                ssid.0
+            ))
+            .unwrap();
+        assert_eq!(rs.scalar("total"), Some(&Value::Int(10)));
+    }
+    job.stop();
+}

@@ -1,0 +1,348 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: codec roundtrips, snapshot-store differential reads vs a
+//! model, partitioner coverage, histogram percentile bounds, SQL arithmetic
+//! vs native evaluation, and the total order on values.
+
+use proptest::prelude::*;
+use squery_common::codec;
+use squery_common::metrics::Histogram;
+use squery_common::schema::{schema, Schema};
+use squery_common::{DataType, PartitionId, Partitioner, SnapshotId, Value};
+use squery_storage::SnapshotStore;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------- strategies -------------------------------------------------------
+
+fn leaf_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<i64>().prop_map(Value::Timestamp),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::str),
+        proptest::collection::vec(any::<u8>(), 0..32)
+            .prop_map(|b| Value::Bytes(Arc::from(&b[..]))),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    leaf_value().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
+            proptest::collection::vec(inner, 1..5).prop_map(|vals| {
+                let fields: Vec<(String, DataType)> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("f{i}"), codec::infer_dtype(v)))
+                    .collect();
+                let schema = Arc::new(Schema::new(fields));
+                Value::record(&schema, vals)
+            }),
+        ]
+    })
+}
+
+fn key_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..64).prop_map(Value::Int),
+        "[a-z]{1,6}".prop_map(Value::str),
+    ]
+}
+
+// ---------- codec -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity, and encoded_len is exact.
+    #[test]
+    fn codec_roundtrips_arbitrary_values(v in value_strategy()) {
+        let bytes = codec::encode(&v);
+        prop_assert_eq!(bytes.len(), codec::encoded_len(&v));
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it errors or succeeds.
+    #[test]
+    fn codec_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = codec::decode(&bytes);
+    }
+}
+
+// ---------- partitioner ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key maps into range, deterministically, and the instance that
+    /// owns the key's partition is the instance the exchange routes to.
+    #[test]
+    fn partitioner_routing_is_consistent(
+        keys in proptest::collection::vec(key_strategy(), 1..50),
+        parts in 1u32..512,
+        n in 1u32..16,
+    ) {
+        let p = Partitioner::new(parts);
+        for key in &keys {
+            let pid = p.partition_of(key);
+            prop_assert!(pid.0 < parts);
+            prop_assert_eq!(pid, p.partition_of(key));
+            let inst = p.instance_of(key, n);
+            prop_assert_eq!(inst, p.instance_of_partition(pid, n));
+            prop_assert!(inst < n);
+        }
+        // Instances partition the partition space exactly.
+        let total: usize = (0..n).map(|i| p.partitions_of_instance(i, n).len()).sum();
+        prop_assert_eq!(total, parts as usize);
+    }
+}
+
+// ---------- snapshot store vs model ----------------------------------------------
+
+/// One checkpoint's worth of changes.
+type Delta = Vec<(u8, Option<i32>)>;
+
+fn delta_strategy() -> impl Strategy<Value = Vec<Delta>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<u8>(), proptest::option::of(any::<i32>())), 0..12),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The store's differential read at every snapshot id equals a model
+    /// that applies the deltas to a plain map — including after pruning.
+    #[test]
+    fn snapshot_store_matches_model(deltas in delta_strategy(), prune_at in 0usize..8) {
+        let partitioner = Partitioner::new(16);
+        let store = SnapshotStore::new("model", partitioner);
+        let mut model: HashMap<Value, Value> = HashMap::new();
+        let mut views: Vec<HashMap<Value, Value>> = Vec::new();
+
+        for (i, delta) in deltas.iter().enumerate() {
+            let ssid = SnapshotId(i as u64 + 1);
+            // Apply to the model.
+            for (k, v) in delta {
+                let key = Value::Int(*k as i64);
+                match v {
+                    Some(x) => { model.insert(key, Value::Int(*x as i64)); }
+                    None => { model.remove(&key); }
+                }
+            }
+            views.push(model.clone());
+            // Write to the store: first checkpoint full, later ones deltas.
+            let full = i == 0;
+            let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
+            for pid in 0..16 {
+                by_pid.insert(pid, Vec::new());
+            }
+            if full {
+                for (k, v) in &model {
+                    by_pid.entry(partitioner.partition_of(k).0).or_default()
+                        .push((k.clone(), Some(v.clone())));
+                }
+            } else {
+                // Dedup: the last write per key within the delta wins.
+                let mut latest: HashMap<Value, Option<Value>> = HashMap::new();
+                for (k, v) in delta {
+                    latest.insert(Value::Int(*k as i64), v.map(|x| Value::Int(x as i64)));
+                }
+                for (k, v) in latest {
+                    by_pid.entry(partitioner.partition_of(&k).0).or_default().push((k, v));
+                }
+            }
+            for (pid, entries) in by_pid {
+                store.write_partition(ssid, PartitionId(pid), entries, full);
+            }
+        }
+
+        // Every version resolves to its model view.
+        for (i, view) in views.iter().enumerate() {
+            let ssid = SnapshotId(i as u64 + 1);
+            let (scan, _) = store.scan_at(ssid).unwrap();
+            let got: HashMap<Value, Value> = scan.into_iter().collect();
+            prop_assert_eq!(&got, view, "mismatch at {}", ssid);
+        }
+
+        // Prune to an arbitrary horizon; surviving versions still match.
+        let horizon = (prune_at % deltas.len()) as u64 + 1;
+        store.prune_below(SnapshotId(horizon));
+        for (i, view) in views.iter().enumerate() {
+            let ssid = SnapshotId(i as u64 + 1);
+            if ssid.0 < horizon {
+                prop_assert!(store.scan_at(ssid).is_err(), "pruned id must error");
+            } else {
+                let (scan, _) = store.scan_at(ssid).unwrap();
+                let got: HashMap<Value, Value> = scan.into_iter().collect();
+                prop_assert_eq!(&got, view, "post-prune mismatch at {}", ssid);
+            }
+        }
+    }
+}
+
+// ---------- histogram -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Percentiles are bounded by the recorded extremes, monotone in q, and
+    /// within the quantization error of the exact answer.
+    #[test]
+    fn histogram_percentiles_are_sound(values in proptest::collection::vec(0u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.percentile(q);
+            prop_assert!(est >= h.min() && est <= h.max());
+            prop_assert!(est >= last, "percentile must be monotone in q");
+            last = est;
+            // Mirror the histogram's own rank convention (ceil(q·n), 1-based)
+            // so only bucket quantization separates est from exact.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            // Log-linear buckets: ≤ ~6.25% relative error above 32.
+            if exact > 32 {
+                let err = (est as f64 - exact as f64).abs() / exact as f64;
+                prop_assert!(err < 0.08, "q={} est={} exact={}", q, est, exact);
+            }
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+}
+
+// ---------- SQL arithmetic vs native ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Integer arithmetic evaluated by the SQL engine equals native Rust
+    /// (wrapping) arithmetic for + - *.
+    #[test]
+    fn sql_arithmetic_matches_native(a in -10_000i64..10_000, b in -10_000i64..10_000, op in 0u8..3) {
+        use squery_sql::catalog::{MemCatalog, MemTable};
+        use squery_sql::SqlEngine;
+        let (sym, expected) = match op {
+            0 => ("+", a.wrapping_add(b)),
+            1 => ("-", a.wrapping_sub(b)),
+            _ => ("*", a.wrapping_mul(b)),
+        };
+        let t = schema(vec![("x", DataType::Int)]);
+        let engine = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
+            "t", t, vec![vec![Value::Int(0)]],
+        ))]));
+        // Negative literals need parenthesization in the second operand.
+        let sql = format!("SELECT {a} {sym} ({b}) AS r FROM t");
+        let rs = engine.query(&sql).unwrap();
+        prop_assert_eq!(rs.scalar("r"), Some(&Value::Int(expected)));
+    }
+
+    /// WHERE-clause comparisons agree with native ordering on integers.
+    #[test]
+    fn sql_comparisons_match_native(a in -1000i64..1000, b in -1000i64..1000) {
+        use squery_sql::catalog::{MemCatalog, MemTable};
+        use squery_sql::SqlEngine;
+        let t = schema(vec![("x", DataType::Int)]);
+        let engine = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
+            "t", t, vec![vec![Value::Int(a)]],
+        ))]));
+        for (sym, holds) in [
+            ("<", a < b),
+            ("<=", a <= b),
+            (">", a > b),
+            (">=", a >= b),
+            ("=", a == b),
+            ("<>", a != b),
+        ] {
+            let rs = engine
+                .query(&format!("SELECT x FROM t WHERE x {sym} ({b})"))
+                .unwrap();
+            prop_assert_eq!(rs.len() == 1, holds, "{} {} {}", a, sym, b);
+        }
+    }
+}
+
+// ---------- LIKE matcher vs oracle ------------------------------------------------------
+
+/// Reference implementation: straightforward recursion.
+fn like_oracle(text: &[char], pattern: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('%', rest)) => {
+            (0..=text.len()).any(|skip| like_oracle(&text[skip..], rest))
+        }
+        Some(('_', rest)) => match text.split_first() {
+            Some((_, t_rest)) => like_oracle(t_rest, rest),
+            None => false,
+        },
+        Some((c, rest)) => match text.split_first() {
+            Some((t, t_rest)) if t == c => like_oracle(t_rest, rest),
+            _ => false,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The iterative backtracking matcher agrees with the recursive oracle
+    /// on arbitrary short texts and patterns.
+    #[test]
+    fn like_matches_oracle(text in "[ab%_]{0,10}", pattern in "[ab%_]{0,8}") {
+        let t: Vec<char> = text.chars().collect();
+        let p: Vec<char> = pattern.chars().collect();
+        prop_assert_eq!(
+            squery_sql::expr::like_match(&text, &pattern),
+            like_oracle(&t, &p),
+            "text={:?} pattern={:?}", text, pattern
+        );
+    }
+}
+
+// ---------- value total order ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The value ordering is a strict total order usable for sorting: it is
+    /// antisymmetric and sorting is stable under resorting.
+    #[test]
+    fn value_total_order_is_consistent(values in proptest::collection::vec(value_strategy(), 2..20)) {
+        use std::cmp::Ordering;
+        for a in &values {
+            prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &values {
+                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+        }
+        let mut sorted = values.clone();
+        sorted.sort();
+        let mut resorted = sorted.clone();
+        resorted.sort();
+        prop_assert_eq!(sorted, resorted);
+    }
+
+    /// Hash agrees with equality (HashMap-key safety).
+    #[test]
+    fn value_hash_agrees_with_eq(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut hasher = DefaultHasher::new();
+            v.hash(&mut hasher);
+            hasher.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+}
