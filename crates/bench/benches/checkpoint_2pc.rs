@@ -29,13 +29,9 @@ fn checkpoint_2pc(c: &mut Criterion) {
             ("jet_blob", StateConfig::jet_baseline()),
         ] {
             let (_system, job) = prepared_job(state, orders);
-            group.bench_with_input(
-                BenchmarkId::new(label, orders),
-                &orders,
-                |b, _| {
-                    b.iter(|| job.checkpoint_now().unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, orders), &orders, |b, _| {
+                b.iter(|| job.checkpoint_now().unwrap());
+            });
             job.stop();
         }
     }

@@ -43,7 +43,9 @@ fn codec_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec_blob_1000");
     group.throughput(Throughput::Bytes(blob_encoded.len() as u64));
     group.bench_function("encode", |b| b.iter(|| codec::encode(&blob)));
-    group.bench_function("decode", |b| b.iter(|| codec::decode(&blob_encoded).unwrap()));
+    group.bench_function("decode", |b| {
+        b.iter(|| codec::decode(&blob_encoded).unwrap())
+    });
     group.finish();
 }
 

@@ -4,19 +4,51 @@
 //! cargo run -p squery-bench --release --bin paper-figures -- all
 //! cargo run -p squery-bench --release --bin paper-figures -- fig10 fig14
 //! cargo run -p squery-bench --release --bin paper-figures -- --quick all
+//! cargo run -p squery-bench --release --bin paper-figures -- --telemetry-json telemetry.json
 //! ```
 
 use squery_bench::figures::{all, by_id, ALL_IDS};
+use squery_bench::util::telemetry_dump;
 use squery_bench::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut args = std::env::args().skip(1);
+    let mut quick = false;
+    let mut telemetry_json: Option<String> = None;
+    let mut requested: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--telemetry-json" => match args.next() {
+                Some(path) => telemetry_json = Some(path),
+                None => {
+                    eprintln!("--telemetry-json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+            artifact => requested.push(artifact.to_string()),
+        }
+    }
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if let Some(path) = &telemetry_json {
+        // Run a small instrumented workload and dump the engine telemetry:
+        // `<path>` gets the JSON, `<path>.prom` the Prometheus text format.
+        let (json, prom) = telemetry_dump();
+        std::fs::write(path, json).expect("write telemetry json");
+        std::fs::write(format!("{path}.prom"), prom).expect("write telemetry prom");
+        println!("telemetry dump written to {path} (+ {path}.prom)");
+        if requested.is_empty() {
+            return;
+        }
+    }
 
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "help") {
-        eprintln!("usage: paper-figures [--quick] all | <artifact>...");
+        eprintln!("usage: paper-figures [--quick] [--telemetry-json <path>] all | <artifact>...");
         eprintln!("artifacts: {}", ALL_IDS.join(", "));
         std::process::exit(if requested.is_empty() { 2 } else { 0 });
     }
@@ -32,7 +64,7 @@ fn main() {
         return;
     }
     for id in requested {
-        match by_id(id, scale) {
+        match by_id(&id, scale) {
             Some(result) => println!("{result}"),
             None => {
                 eprintln!("unknown artifact '{id}' (known: {})", ALL_IDS.join(", "));

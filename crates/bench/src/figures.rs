@@ -7,8 +7,8 @@
 
 use crate::scale::Scale;
 use crate::util::{
-    self, checkpoint_distribution, linear_fit, power_law_fit, q6_latency_run,
-    rider_state_entries, submit_monitoring, system_for, QueryLoad,
+    self, checkpoint_distribution, linear_fit, power_law_fit, q6_latency_run, rider_state_entries,
+    submit_monitoring, system_for, QueryLoad,
 };
 use squery::{SQuery, SQueryConfig, StateConfig, StateView};
 use squery_common::metrics::Histogram;
@@ -256,7 +256,11 @@ pub fn fig12(scale: Scale) -> FigureResult {
         let system = SQuery::new(config).expect("config");
         let delta_keys = ((keys as f64 * delta) as u64).max(1);
         // Source: one full pass (prefilled), then cycle over the delta set.
-        let spec = delta_job_spec(keys, delta_keys, if scale.full { 20_000.0 } else { 5_000.0 });
+        let spec = delta_job_spec(
+            keys,
+            delta_keys,
+            if scale.full { 20_000.0 } else { 5_000.0 },
+        );
         let job = system.submit(spec).expect("submit");
         util::wait_for_fill(&job, keys, Duration::from_secs(120));
         let _ = job.checkpoint_now(); // base
@@ -275,7 +279,11 @@ pub fn fig12(scale: Scale) -> FigureResult {
             delta,
         );
     }
-    run("Full snapshot".to_string(), StateConfig::snapshot_only(), 1.0);
+    run(
+        "Full snapshot".to_string(),
+        StateConfig::snapshot_only(),
+        1.0,
+    );
     FigureResult {
         id: "fig12",
         title: "Snapshot 2PC latency, incremental (by delta ratio) vs full",
@@ -367,11 +375,7 @@ pub fn fig13(scale: Scale) -> FigureResult {
                 .expect("submit");
             let total_events = 3 * keys * 8 * PASSES;
             for pass in 1..=6u64 {
-                util::wait_for_fill(
-                    &job,
-                    total_events * pass / PASSES,
-                    Duration::from_secs(300),
-                );
+                util::wait_for_fill(&job, total_events * pass / PASSES, Duration::from_secs(300));
                 let _ = job.checkpoint_now();
             }
             // Quiesce: finish the input, take the final barrier checkpoint,
@@ -434,10 +438,7 @@ pub fn fig14(scale: Scale) -> FigureResult {
         rider_map.put(k, v);
     }
     // TSpoon side: same state ingested through the operator mailboxes.
-    let tspoon = Arc::new(TspoonCluster::start(
-        FIG14_TSPOON,
-        Partitioner::new(271),
-    ));
+    let tspoon = Arc::new(TspoonCluster::start(FIG14_TSPOON, Partitioner::new(271)));
     tspoon.ingest_bulk(rider_state_entries(total_keys as u64));
     // Ensure ingestion finished before measuring (queries serialize behind
     // events, so one query per instance flushes the mailboxes).

@@ -97,7 +97,14 @@ pub fn q6_sustainable_rate(
     probe_warmup: Duration,
     probe_measure: Duration,
 ) -> f64 {
-    let mut hi = q6_max_throughput(state, interval, sellers, parallelism, probe_warmup, probe_measure);
+    let mut hi = q6_max_throughput(
+        state,
+        interval,
+        sellers,
+        parallelism,
+        probe_warmup,
+        probe_measure,
+    );
     let mut lo = hi * 0.05;
     for _ in 0..5 {
         let mid = (lo + hi) / 2.0;
@@ -125,6 +132,30 @@ pub fn q6_sustainable_rate(
     }
     // Safety margin: capacity drifts as operator state grows.
     lo * 0.9
+}
+
+/// Run a small fully-instrumented q6 workload (drain + checkpoint + a SQL
+/// query over the sys tables) and return the engine telemetry as
+/// `(json, prometheus)` dumps — the raw observability artifact behind the
+/// `--telemetry-json` flag of `paper-figures`.
+pub fn telemetry_dump() -> (String, String) {
+    let system = system_for(StateConfig::live_and_snapshot(), None);
+    let cfg = NexmarkConfig {
+        sellers: 100,
+        active_auctions: 200,
+        events_per_instance: 10_000,
+        rate_per_instance: None,
+    };
+    let mut job = system.submit(q6_job(cfg, 1, 2)).expect("q6 submits");
+    job.drain_and_checkpoint(Duration::from_secs(60))
+        .expect("q6 drains");
+    // Exercise the query path so query metrics/events appear in the dump.
+    system
+        .query("SELECT COUNT(*) AS n FROM sys_operators")
+        .expect("sys query runs");
+    job.stop();
+    let registry = system.telemetry();
+    (registry.render_json(), registry.render_prometheus())
 }
 
 /// Submit the q-commerce monitoring job with `orders` unique keys at a total
@@ -258,10 +289,7 @@ pub fn median_report_row(label: &str, runs: &[Histogram]) -> String {
 /// Figure 14.
 pub fn power_law_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     assert!(points.len() >= 2, "fit needs at least two points");
-    let logs: Vec<(f64, f64)> = points
-        .iter()
-        .map(|(x, y)| (x.ln(), y.ln()))
-        .collect();
+    let logs: Vec<(f64, f64)> = points.iter().map(|(x, y)| (x.ln(), y.ln())).collect();
     let n = logs.len() as f64;
     let sx: f64 = logs.iter().map(|(x, _)| x).sum();
     let sy: f64 = logs.iter().map(|(_, y)| y).sum();
@@ -271,11 +299,12 @@ pub fn power_law_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let ln_a = (sy - b * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = logs
-        .iter()
-        .map(|(x, y)| (y - (ln_a + b * x)).powi(2))
-        .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = logs.iter().map(|(x, y)| (y - (ln_a + b * x)).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (ln_a.exp(), b, r2)
 }
 
@@ -292,11 +321,12 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let a = (sy - b * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|(x, y)| (y - (a + b * x)).powi(2))
-        .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = points.iter().map(|(x, y)| (y - (a + b * x)).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 

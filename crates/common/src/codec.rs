@@ -91,8 +91,7 @@ pub fn encoded_len(value: &Value) -> usize {
         Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
         Value::Timestamp(t) => 1 + varint_len(zigzag(*t)),
         Value::List(items) => {
-            1 + varint_len(items.len() as u64)
-                + items.iter().map(encoded_len).sum::<usize>()
+            1 + varint_len(items.len() as u64) + items.iter().map(encoded_len).sum::<usize>()
         }
         Value::Struct(sv) => {
             let mut n = 1 + varint_len(sv.len() as u64);

@@ -2,7 +2,6 @@
 
 use crate::error::{SqError, SqResult};
 use crate::partition::DEFAULT_PARTITION_COUNT;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Topology and placement of the simulated cluster.
@@ -11,7 +10,7 @@ use std::time::Duration;
 /// all "nodes" inside one process; a node is a placement domain that owns a
 /// contiguous slice of grid partitions and hosts the operator instances whose
 /// key ranges map to those partitions (the co-partitioning contract of §V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of simulated nodes.
     pub nodes: u32,
@@ -81,7 +80,7 @@ impl Default for ClusterConfig {
 /// in the reproduction can charge a latency plus a bandwidth-proportional
 /// delay so that co-partitioning (local writes) retains its advantage over a
 /// naive remote-write design. Tests default to an instant network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
     /// One-way latency charged per remote operation, in microseconds.
     pub latency_us: u64,

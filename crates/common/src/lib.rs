@@ -20,6 +20,10 @@
 //!   the grid partition that stores the key's live state land on the same node.
 //! * [`metrics`] — log-linear histograms with the high-percentile reporting
 //!   the paper's evaluation uses (0th–99.99th on an inverted log scale).
+//! * [`telemetry`] — the engine-wide [`telemetry::MetricsRegistry`] of
+//!   counters/gauges/histograms plus the bounded [`telemetry::EventLog`] of
+//!   structured engine events; the backing store for the `sys_*` SQL tables
+//!   and the Prometheus/JSON exports.
 //! * [`time::Clock`] — wall or manually-driven clocks so integration tests can
 //!   be deterministic.
 //! * [`error`] — the shared error type.
@@ -31,6 +35,7 @@ pub mod ids;
 pub mod metrics;
 pub mod partition;
 pub mod schema;
+pub mod telemetry;
 pub mod time;
 pub mod value;
 

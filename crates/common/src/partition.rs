@@ -148,7 +148,10 @@ mod tests {
         let assignment: Vec<u32> = (0..16)
             .map(|i| p.instance_of_partition(PartitionId(i), 4))
             .collect();
-        assert_eq!(assignment, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(
+            assignment,
+            vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+        );
     }
 
     #[test]

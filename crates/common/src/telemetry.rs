@@ -1,0 +1,721 @@
+//! Engine telemetry: a unified metrics registry and structured event log.
+//!
+//! S-QUERY's thesis is that a stream processor's internal *state* should not
+//! be a black box; this module applies the same standard to the engine's own
+//! *internals*. Every layer (storage grid, stream workers, checkpoint
+//! coordinator, SQL engine) records into one cloneable [`MetricsRegistry`]:
+//!
+//! * **counters** — monotonically increasing `u64`s (records in/out, state
+//!   updates, rows scanned), lock-free atomics;
+//! * **gauges** — instantaneous `i64`s (live entries, snapshot bytes),
+//!   lock-free atomics;
+//! * **histograms** — [`SharedHistogram`]s of microsecond latencies
+//!   (live-mirror writes, lock waits, query phases, 2PC phases);
+//! * **events** — a bounded [`EventLog`] ring buffer of structured
+//!   [`EngineEvent`]s (checkpoint phase transitions, worker lifecycle,
+//!   recovery, lock contention, query start/finish) with sequence numbers
+//!   and monotonic timestamps.
+//!
+//! The registry is the backing store for the `sys_*` SQL tables (the paper's
+//! §III monitoring use-case applied to the engine itself) and for the
+//! Prometheus/JSON exports used by the benchmark harness.
+
+use crate::metrics::{Histogram, SharedHistogram};
+use crate::time::Clock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default capacity of the event ring buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A metric's identity: name plus sorted `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Metric name, e.g. `records_in`.
+    pub name: String,
+    /// Label pairs, e.g. `[("operator", "maxbid")]`, kept sorted.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key, sorting the labels for a canonical identity.
+    pub fn new(name: impl Into<String>, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.into(),
+            labels,
+        }
+    }
+
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Prometheus-style rendering: `name{k="v",...}` (no braces when
+    /// label-free).
+    pub fn render(&self) -> String {
+        let name = sanitize_metric_name(&self.name);
+        if self.labels.is_empty() {
+            return name;
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label(v)))
+            .collect();
+        format!("{}{{{}}}", name, labels.join(","))
+    }
+}
+
+fn sanitize_metric_name(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A monotonically increasing counter (lock-free).
+#[derive(Clone, Default, Debug)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (lock-free, signed).
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add to the gauge (negative deltas decrement).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// What happened, for [`EngineEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Checkpoint round began (phase 1 markers injected).
+    CheckpointBegin,
+    /// All phase-1 acks received.
+    CheckpointPhase1,
+    /// Snapshot id committed at the registry (phase 2 done).
+    CheckpointCommitted,
+    /// Checkpoint round aborted (missing acks).
+    CheckpointAborted,
+    /// A worker thread started.
+    WorkerStarted,
+    /// A worker thread exited.
+    WorkerStopped,
+    /// A job was submitted.
+    JobSubmitted,
+    /// A job stopped.
+    JobStopped,
+    /// Rollback recovery restored a committed snapshot.
+    Recovery,
+    /// A stripe lock was contended beyond the reporting threshold.
+    LockContention,
+    /// A marker-alignment stall exceeded the reporting threshold.
+    AlignmentStall,
+    /// A SQL query started executing.
+    QueryStarted,
+    /// A SQL query finished.
+    QueryFinished,
+}
+
+impl EventKind {
+    /// Stable string form (the `kind` column of `sys_events`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::CheckpointBegin => "checkpoint_begin",
+            EventKind::CheckpointPhase1 => "checkpoint_phase1",
+            EventKind::CheckpointCommitted => "checkpoint_committed",
+            EventKind::CheckpointAborted => "checkpoint_aborted",
+            EventKind::WorkerStarted => "worker_started",
+            EventKind::WorkerStopped => "worker_stopped",
+            EventKind::JobSubmitted => "job_submitted",
+            EventKind::JobStopped => "job_stopped",
+            EventKind::Recovery => "recovery",
+            EventKind::LockContention => "lock_contention",
+            EventKind::AlignmentStall => "alignment_stall",
+            EventKind::QueryStarted => "query_started",
+            EventKind::QueryFinished => "query_finished",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured engine event.
+#[derive(Debug, Clone)]
+pub struct EngineEvent {
+    /// Monotonic sequence number (gap-free across the whole log's life;
+    /// reveals ring-buffer overwrites).
+    pub seq: u64,
+    /// Monotonic timestamp (µs on the registry's clock).
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The operator / store / query source involved, when applicable.
+    pub operator: Option<String>,
+    /// The snapshot id involved, when applicable.
+    pub ssid: Option<u64>,
+    /// Duration of the phase the event closes, when applicable.
+    pub duration_us: Option<u64>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`EngineEvent`]s.
+///
+/// Recording is O(1); when full, the oldest event is overwritten (sequence
+/// numbers keep counting, so consumers can detect the gap).
+#[derive(Clone)]
+pub struct EventLog {
+    ring: Arc<Mutex<VecDeque<EngineEvent>>>,
+    capacity: usize,
+    seq: Arc<AtomicU64>,
+    clock: Clock,
+}
+
+impl EventLog {
+    /// An event log holding at most `capacity` events.
+    pub fn new(capacity: usize, clock: Clock) -> EventLog {
+        EventLog {
+            ring: Arc::new(Mutex::new(VecDeque::with_capacity(capacity.max(1)))),
+            capacity: capacity.max(1),
+            seq: Arc::new(AtomicU64::new(0)),
+            clock,
+        }
+    }
+
+    /// Append an event; returns its sequence number.
+    pub fn record(
+        &self,
+        kind: EventKind,
+        operator: Option<&str>,
+        ssid: Option<u64>,
+        duration_us: Option<u64>,
+        detail: impl Into<String>,
+    ) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = EngineEvent {
+            seq,
+            at_us: self.clock.now_micros(),
+            kind,
+            operator: operator.map(str::to_string),
+            ssid,
+            duration_us,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+        seq
+    }
+
+    /// The retained events, oldest first (sequence-ordered).
+    pub fn snapshot(&self) -> Vec<EngineEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (≥ retained count).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+struct RegistryInner {
+    counters: RwLock<BTreeMap<MetricKey, Counter>>,
+    gauges: RwLock<BTreeMap<MetricKey, Gauge>>,
+    histograms: RwLock<BTreeMap<MetricKey, SharedHistogram>>,
+    events: EventLog,
+    clock: Clock,
+}
+
+/// The unified, cloneable telemetry registry.
+///
+/// Clones share state; handing a clone to every layer is how the engine
+/// builds one coherent picture of itself. Metric handles ([`Counter`],
+/// [`Gauge`], [`SharedHistogram`]) are cheap to clone and record without
+/// touching the registry's maps again, so hot paths pay one atomic (or one
+/// short mutex for histograms) per observation.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry on a wall clock with the default event capacity.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_clock(Clock::wall())
+    }
+
+    /// A registry stamping events with `clock` (manual clocks make event
+    /// timestamps deterministic in tests).
+    pub fn with_clock(clock: Clock) -> MetricsRegistry {
+        MetricsRegistry::with_capacity(DEFAULT_EVENT_CAPACITY, clock)
+    }
+
+    /// A registry with an explicit event-ring capacity.
+    pub fn with_capacity(event_capacity: usize, clock: Clock) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                events: EventLog::new(event_capacity, clock.clone()),
+                clock,
+            }),
+        }
+    }
+
+    /// The registry's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(c) = self.inner.counters.read().get(&key) {
+            return c.clone();
+        }
+        self.inner.counters.write().entry(key).or_default().clone()
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(g) = self.inner.gauges.read().get(&key) {
+            return g.clone();
+        }
+        self.inner.gauges.write().entry(key).or_default().clone()
+    }
+
+    /// Get or create the histogram `name{labels}` (values in µs by
+    /// convention).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> SharedHistogram {
+        let key = MetricKey::new(name, labels);
+        if let Some(h) = self.inner.histograms.read().get(&key) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// Append a structured event; returns its sequence number.
+    pub fn event(
+        &self,
+        kind: EventKind,
+        operator: Option<&str>,
+        ssid: Option<u64>,
+        duration_us: Option<u64>,
+        detail: impl Into<String>,
+    ) -> u64 {
+        self.inner
+            .events
+            .record(kind, operator, ssid, duration_us, detail)
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.inner.events
+    }
+
+    /// The current value of counter `name{labels}` without creating it.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.inner.counters.read().get(&key).map(Counter::get)
+    }
+
+    /// The current value of gauge `name{labels}` without creating it.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let key = MetricKey::new(name, labels);
+        self.inner.gauges.read().get(&key).map(Gauge::get)
+    }
+
+    /// Snapshot of every counter, sorted by key.
+    pub fn counters(&self) -> Vec<(MetricKey, u64)> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, sorted by key.
+    pub fn gauges(&self) -> Vec<(MetricKey, i64)> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, sorted by key.
+    pub fn histograms(&self) -> Vec<(MetricKey, Histogram)> {
+        self.inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Prometheus text exposition: one `name{labels} value` line per sample.
+    ///
+    /// Histograms export as summaries: `<name>_count`, `<name>_sum`, and
+    /// `quantile`-labelled percentile lines, all in the same line grammar.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.counters() {
+            out.push_str(&format!("{} {}\n", key.render(), value));
+        }
+        for (key, value) in self.gauges() {
+            out.push_str(&format!("{} {}\n", key.render(), value));
+        }
+        for (key, hist) in self.histograms() {
+            let base = MetricKey {
+                name: format!("{}_count", key.name),
+                labels: key.labels.clone(),
+            };
+            out.push_str(&format!("{} {}\n", base.render(), hist.count()));
+            let sum = MetricKey {
+                name: format!("{}_sum", key.name),
+                labels: key.labels.clone(),
+            };
+            out.push_str(&format!(
+                "{} {}\n",
+                sum.render(),
+                (hist.mean() * hist.count() as f64).round() as u64
+            ));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                let mut labels = key.labels.clone();
+                labels.push(("quantile".to_string(), label.to_string()));
+                labels.sort();
+                let qkey = MetricKey {
+                    name: key.name.clone(),
+                    labels,
+                };
+                out.push_str(&format!("{} {}\n", qkey.render(), hist.percentile(q)));
+            }
+        }
+        out
+    }
+
+    /// JSON dump of all metrics and retained events (hand-rendered; the
+    /// build vendors no serialization dependency).
+    pub fn render_json(&self) -> String {
+        fn jstr(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn jlabels(key: &MetricKey) -> String {
+            let pairs: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{}:{}", jstr(k), jstr(v)))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let counters: Vec<String> = self
+            .counters()
+            .into_iter()
+            .map(|(k, v)| {
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"value\":{}}}",
+                    jstr(&k.name),
+                    jlabels(&k),
+                    v
+                )
+            })
+            .collect();
+        parts.push(format!("\"counters\":[{}]", counters.join(",")));
+        let gauges: Vec<String> = self
+            .gauges()
+            .into_iter()
+            .map(|(k, v)| {
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"value\":{}}}",
+                    jstr(&k.name),
+                    jlabels(&k),
+                    v
+                )
+            })
+            .collect();
+        parts.push(format!("\"gauges\":[{}]", gauges.join(",")));
+        let hists: Vec<String> = self
+            .histograms()
+            .into_iter()
+            .map(|(k, h)| {
+                format!(
+                    "{{\"name\":{},\"labels\":{},\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+                    jstr(&k.name),
+                    jlabels(&k),
+                    h.count(),
+                    h.mean(),
+                    h.percentile(0.5),
+                    h.percentile(0.9),
+                    h.percentile(0.99),
+                    h.percentile(0.999),
+                    h.max()
+                )
+            })
+            .collect();
+        parts.push(format!("\"histograms\":[{}]", hists.join(",")));
+        let events: Vec<String> = self
+            .events()
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                format!(
+                    "{{\"seq\":{},\"at_us\":{},\"kind\":{},\"operator\":{},\"ssid\":{},\"duration_us\":{},\"detail\":{}}}",
+                    e.seq,
+                    e.at_us,
+                    jstr(e.kind.as_str()),
+                    e.operator.as_deref().map(jstr).unwrap_or_else(|| "null".into()),
+                    e.ssid.map(|s| s.to_string()).unwrap_or_else(|| "null".into()),
+                    e.duration_us
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "null".into()),
+                    jstr(&e.detail)
+                )
+            })
+            .collect();
+        parts.push(format!("\"events\":[{}]", events.join(",")));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Measure the wall-clock duration of `f` in microseconds and record it.
+pub fn time_us<T>(hist: &SharedHistogram, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    hist.record(t0.elapsed().as_micros() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("records_in", &[("operator", "maxbid")]);
+        let b = reg.clone().counter("records_in", &[("operator", "maxbid")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let other = reg.counter("records_in", &[("operator", "average")]);
+        assert_eq!(other.get(), 0, "different labels, different counter");
+    }
+
+    #[test]
+    fn parallel_counter_increments_are_exact() {
+        let reg = MetricsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                thread::spawn(move || {
+                    let c = reg.counter("hits", &[]);
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits", &[]).get(), 80_000);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("live_entries", &[("table", "op")]);
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn event_ring_wraps_and_keeps_sequence_order() {
+        let log = EventLog::new(4, Clock::manual());
+        for i in 0..10u64 {
+            log.record(EventKind::WorkerStarted, None, Some(i), None, "");
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 4, "ring keeps only the last 4");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order kept");
+        assert_eq!(log.total_recorded(), 10);
+    }
+
+    #[test]
+    fn event_timestamps_follow_the_clock() {
+        let clock = Clock::manual();
+        let reg = MetricsRegistry::with_clock(clock.clone());
+        reg.event(EventKind::QueryStarted, Some("q"), None, None, "");
+        clock.advance(500);
+        reg.event(EventKind::QueryFinished, Some("q"), None, Some(500), "");
+        let events = reg.events().snapshot();
+        assert_eq!(events[0].at_us, 0);
+        assert_eq!(events[1].at_us, 500);
+        assert_eq!(events[1].duration_us, Some(500));
+    }
+
+    #[test]
+    fn prometheus_lines_parse_as_name_value() {
+        let reg = MetricsRegistry::new();
+        reg.counter("records_in", &[("operator", "maxbid")]).add(7);
+        reg.gauge("live_bytes", &[]).set(1024);
+        let h = reg.histogram("query_exec_us", &[("source", "sql")]);
+        h.record(100);
+        h.record(200);
+        let text = reg.render_prometheus();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            // Grammar: `name[{k="v",...}] value`.
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "numeric value: {line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "metric name: {line}"
+            );
+            if let Some(rest) = series.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(rest.starts_with('{') && rest.ends_with('}'), "{line}");
+                }
+            }
+        }
+        assert!(text.contains("records_in{operator=\"maxbid\"} 7"));
+        assert!(text.contains("query_exec_us_count{source=\"sql\"} 2"));
+    }
+
+    #[test]
+    fn json_dump_has_all_sections() {
+        let reg = MetricsRegistry::with_clock(Clock::manual());
+        reg.counter("c", &[]).inc();
+        reg.gauge("g", &[]).set(-5);
+        reg.histogram("h", &[]).record(10);
+        reg.event(
+            EventKind::Recovery,
+            Some("op\"x"),
+            Some(3),
+            None,
+            "line1\nline2",
+        );
+        let json = reg.render_json();
+        for section in [
+            "\"counters\":[",
+            "\"gauges\":[",
+            "\"histograms\":[",
+            "\"events\":[",
+        ] {
+            assert!(json.contains(section), "{json}");
+        }
+        assert!(json.contains("\\n"), "newline escaped: {json}");
+        assert!(json.contains("op\\\"x"), "quote escaped: {json}");
+    }
+
+    #[test]
+    fn time_us_records_into_histogram() {
+        let h = SharedHistogram::new();
+        let out = time_us(&h, || 42);
+        assert_eq!(out, 42);
+        assert_eq!(h.snapshot().count(), 1);
+    }
+}

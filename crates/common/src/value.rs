@@ -491,12 +491,14 @@ mod tests {
 
     #[test]
     fn total_order_is_usable_for_sorting() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Int(3),
             Value::Null,
             Value::Float(0.5),
             Value::str("a"),
-            Value::Int(1)];
+            Value::Int(1),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         // ints before floats by rank, strings last

@@ -223,11 +223,7 @@ mod tests {
         let system = populated();
         let report = system.subject_report(&Value::Int(1)).unwrap();
         assert_eq!(report.live.len(), 2, "both operators hold live data");
-        assert_eq!(
-            report.history.len(),
-            4,
-            "2 operators × 2 retained versions"
-        );
+        assert_eq!(report.history.len(), 4, "2 operators × 2 retained versions");
         assert!(report
             .live
             .iter()

@@ -36,9 +36,7 @@ impl DirectQuery {
     fn resolve(&self, view: StateView) -> SqResult<Option<SnapshotId>> {
         match view {
             StateView::Live => Ok(None),
-            StateView::LatestSnapshot => {
-                Ok(Some(self.grid.registry().resolve_query_ssid(None)?))
-            }
+            StateView::LatestSnapshot => Ok(Some(self.grid.registry().resolve_query_ssid(None)?)),
             StateView::Snapshot(ssid) => {
                 Ok(Some(self.grid.registry().resolve_query_ssid(Some(ssid))?))
             }
@@ -156,8 +154,12 @@ mod tests {
             "snapshot sees the committed value"
         );
         assert_eq!(
-            dq.get("counter", &Value::Int(1), StateView::Snapshot(SnapshotId(1)))
-                .unwrap(),
+            dq.get(
+                "counter",
+                &Value::Int(1),
+                StateView::Snapshot(SnapshotId(1))
+            )
+            .unwrap(),
             Some(Value::Int(4))
         );
     }
@@ -167,11 +169,7 @@ mod tests {
         let grid = grid_with_state();
         let dq = DirectQuery::new(grid);
         let live = dq
-            .get_many(
-                "counter",
-                &[Value::Int(1), Value::Int(9)],
-                StateView::Live,
-            )
+            .get_many("counter", &[Value::Int(1), Value::Int(9)], StateView::Live)
             .unwrap();
         assert_eq!(live[0].1, Some(Value::Int(5)));
         assert_eq!(live[1].1, None);
@@ -211,7 +209,11 @@ mod tests {
     fn uncommitted_snapshot_errors() {
         let dq = DirectQuery::new(grid_with_state());
         assert!(dq
-            .get("counter", &Value::Int(1), StateView::Snapshot(SnapshotId(99)))
+            .get(
+                "counter",
+                &Value::Int(1),
+                StateView::Snapshot(SnapshotId(99))
+            )
             .is_err());
     }
 

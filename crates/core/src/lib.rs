@@ -42,13 +42,14 @@ pub mod config;
 pub mod direct;
 pub mod isolation;
 pub mod overview;
+pub mod systables;
 pub mod system;
 
 pub use audit::{ErasureReceipt, SubjectReport};
-pub use overview::SystemOverview;
 pub use config::SQueryConfig;
 pub use direct::{DirectQuery, StateView};
 pub use isolation::IsolationLevel;
+pub use overview::SystemOverview;
 pub use system::SQuery;
 
 // Re-export the substrate surface a user programs against.

@@ -1,0 +1,397 @@
+//! The `sys_*` tables: engine internals exposed through the SQL surface.
+//!
+//! The paper opens operator *state* to queries; this module applies the same
+//! idea to the engine's own telemetry. Five virtual tables are registered in
+//! every [`SQuery`](crate::SQuery) deployment's catalog and recompute their
+//! rows on every scan:
+//!
+//! | table             | one row per…                         |
+//! |-------------------|---------------------------------------|
+//! | `sys_metrics`     | metric (counter, gauge, or histogram) |
+//! | `sys_events`      | retained engine event                 |
+//! | `sys_operators`   | operator (state + record counters)    |
+//! | `sys_checkpoints` | committed checkpoint round, per job   |
+//! | `sys_snapshots`   | retained snapshot version, per store  |
+//!
+//! Because they are ordinary [`Table`]s, sys tables compose with the full
+//! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
+//! with the regular state tables.
+
+use parking_lot::Mutex;
+use squery_common::schema::{schema, Schema};
+use squery_common::telemetry::MetricsRegistry;
+use squery_common::{DataType, Value};
+use squery_sql::{GridCatalog, SysTable, Table};
+use squery_storage::Grid;
+use squery_streaming::checkpoint::CheckpointStats;
+use std::sync::Arc;
+
+/// Per-job checkpoint logs, shared between [`crate::SQuery`] and the
+/// `sys_checkpoints` provider. Jobs are appended at submit time.
+pub(crate) type JobLog = Arc<Mutex<Vec<(String, CheckpointStats)>>>;
+
+fn opt_str(v: Option<&str>) -> Value {
+    v.map(Value::str).unwrap_or(Value::Null)
+}
+
+fn opt_u64(v: Option<u64>) -> Value {
+    v.map(|n| Value::Int(n as i64)).unwrap_or(Value::Null)
+}
+
+/// The operator a metric belongs to, from whichever label the subsystem used.
+fn metric_operator(key: &squery_common::telemetry::MetricKey) -> Value {
+    opt_str(
+        key.label("operator")
+            .or_else(|| key.label("map"))
+            .or_else(|| key.label("store")),
+    )
+}
+
+fn sys_metrics_schema() -> Arc<Schema> {
+    schema(vec![
+        ("name", DataType::Str),
+        ("kind", DataType::Str),
+        ("operator", DataType::Str),
+        ("value", DataType::Int),
+        ("count", DataType::Int),
+        ("p50_us", DataType::Int),
+        ("p90_us", DataType::Int),
+        ("p99_us", DataType::Int),
+        ("max_us", DataType::Int),
+    ])
+}
+
+fn sys_metrics_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for (key, value) in registry.counters() {
+        rows.push(vec![
+            Value::str(&key.name),
+            Value::str("counter"),
+            metric_operator(&key),
+            Value::Int(value as i64),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]);
+    }
+    for (key, value) in registry.gauges() {
+        rows.push(vec![
+            Value::str(&key.name),
+            Value::str("gauge"),
+            metric_operator(&key),
+            Value::Int(value),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]);
+    }
+    for (key, hist) in registry.histograms() {
+        rows.push(vec![
+            Value::str(&key.name),
+            Value::str("histogram"),
+            metric_operator(&key),
+            Value::Null,
+            Value::Int(hist.count() as i64),
+            Value::Int(hist.percentile(0.50) as i64),
+            Value::Int(hist.percentile(0.90) as i64),
+            Value::Int(hist.percentile(0.99) as i64),
+            Value::Int(hist.max() as i64),
+        ]);
+    }
+    rows
+}
+
+fn sys_events_schema() -> Arc<Schema> {
+    schema(vec![
+        ("seq", DataType::Int),
+        ("at_us", DataType::Int),
+        ("kind", DataType::Str),
+        ("operator", DataType::Str),
+        ("ssid", DataType::Int),
+        ("duration_us", DataType::Int),
+        ("detail", DataType::Str),
+    ])
+}
+
+fn sys_events_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
+    registry
+        .events()
+        .snapshot()
+        .into_iter()
+        .map(|ev| {
+            vec![
+                Value::Int(ev.seq as i64),
+                Value::Int(ev.at_us as i64),
+                Value::str(ev.kind.as_str()),
+                opt_str(ev.operator.as_deref()),
+                opt_u64(ev.ssid),
+                opt_u64(ev.duration_us),
+                Value::str(&ev.detail),
+            ]
+        })
+        .collect()
+}
+
+fn sys_operators_schema() -> Arc<Schema> {
+    schema(vec![
+        ("operator", DataType::Str),
+        ("live_entries", DataType::Int),
+        ("live_bytes", DataType::Int),
+        ("snapshot_versions", DataType::Int),
+        ("snapshot_entries", DataType::Int),
+        ("snapshot_bytes", DataType::Int),
+        ("records_in", DataType::Int),
+        ("records_out", DataType::Int),
+        ("state_updates", DataType::Int),
+    ])
+}
+
+fn sys_operators_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let registry = grid.telemetry();
+    // Union of operators holding state and operators only known through
+    // their worker counters (sources and sinks have no maps).
+    let mut names: Vec<String> = grid
+        .map_names()
+        .into_iter()
+        .chain(
+            grid.snapshot_table_names()
+                .into_iter()
+                .map(|t| t.strip_prefix("snapshot_").unwrap_or(&t).to_string()),
+        )
+        .chain(registry.counters().into_iter().filter_map(|(k, _)| {
+            (k.name == "operator_records_in_total")
+                .then(|| k.label("operator").map(str::to_string))
+                .flatten()
+        }))
+        .filter(|n| !n.starts_with("__"))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|operator| {
+            let live = grid.get_map(&operator);
+            let stats = grid.get_snapshot_store(&operator).map(|s| s.stats());
+            let labels = [("operator", operator.as_str())];
+            let counter = |name: &str| opt_u64(registry.counter_value(name, &labels));
+            vec![
+                Value::str(&operator),
+                live.as_ref()
+                    .map(|m| Value::Int(m.len() as i64))
+                    .unwrap_or(Value::Null),
+                live.as_ref()
+                    .map(|m| Value::Int(m.approximate_bytes() as i64))
+                    .unwrap_or(Value::Null),
+                Value::Int(stats.as_ref().map_or(0, |s| s.retained_versions) as i64),
+                Value::Int(stats.as_ref().map_or(0, |s| s.stored_entries) as i64),
+                Value::Int(stats.as_ref().map_or(0, |s| s.approx_bytes) as i64),
+                counter("operator_records_in_total"),
+                counter("operator_records_out_total"),
+                counter("state_updates_total"),
+            ]
+        })
+        .collect()
+}
+
+fn sys_checkpoints_schema() -> Arc<Schema> {
+    schema(vec![
+        ("job", DataType::Str),
+        ("ssid", DataType::Int),
+        ("began_at_us", DataType::Int),
+        ("phase1_us", DataType::Int),
+        ("total_us", DataType::Int),
+    ])
+}
+
+fn sys_checkpoints_rows(jobs: &JobLog) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for (job, stats) in jobs.lock().iter() {
+        for r in stats.records() {
+            rows.push(vec![
+                Value::str(job),
+                Value::Int(r.ssid.0 as i64),
+                Value::Int(r.began_at_us as i64),
+                Value::Int(r.phase1_us as i64),
+                Value::Int(r.total_us as i64),
+            ]);
+        }
+    }
+    rows
+}
+
+fn sys_snapshots_schema() -> Arc<Schema> {
+    schema(vec![
+        ("store", DataType::Str),
+        ("ssid", DataType::Int),
+        ("entries", DataType::Int),
+        ("bytes", DataType::Int),
+        ("committed", DataType::Int),
+    ])
+}
+
+fn sys_snapshots_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let committed = grid.registry().committed_ssids();
+    let mut rows = Vec::new();
+    for table in grid.snapshot_table_names() {
+        let op = table.strip_prefix("snapshot_").unwrap_or(&table);
+        if op.starts_with("__") {
+            continue;
+        }
+        let Some(store) = grid.get_snapshot_store(op) else {
+            continue;
+        };
+        for (ssid, entries, bytes) in store.version_stats() {
+            rows.push(vec![
+                Value::str(&table),
+                Value::Int(ssid.0 as i64),
+                Value::Int(entries as i64),
+                Value::Int(bytes as i64),
+                Value::Int(committed.contains(&ssid) as i64),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Register the five `sys_*` tables in `catalog`.
+pub(crate) fn register_sys_tables(catalog: &GridCatalog, grid: Arc<Grid>, jobs: JobLog) {
+    let metric_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_metrics",
+        sys_metrics_schema(),
+        Arc::new(move || sys_metrics_rows(metric_grid.telemetry())),
+    )) as Arc<dyn Table>);
+    let event_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_events",
+        sys_events_schema(),
+        Arc::new(move || sys_events_rows(event_grid.telemetry())),
+    )));
+    let op_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_operators",
+        sys_operators_schema(),
+        Arc::new(move || sys_operators_rows(&op_grid)),
+    )));
+    catalog.register(Arc::new(SysTable::new(
+        "sys_checkpoints",
+        sys_checkpoints_schema(),
+        Arc::new(move || sys_checkpoints_rows(&jobs)),
+    )));
+    catalog.register(Arc::new(SysTable::new(
+        "sys_snapshots",
+        sys_snapshots_schema(),
+        Arc::new(move || sys_snapshots_rows(&grid)),
+    )));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SQueryConfig;
+    use crate::system::SQuery;
+    use squery_common::SnapshotId;
+
+    fn populated_system() -> SQuery {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let grid = system.grid();
+        let live = grid.map("orders");
+        live.put(Value::Int(1), Value::str("x"));
+        live.put(Value::Int(2), Value::str("y"));
+        let store = grid.snapshot_store("orders");
+        let ssid = grid.registry().begin().unwrap();
+        store.write_partition(
+            ssid,
+            store.partition_of(&Value::Int(1)),
+            vec![(Value::Int(1), Some(Value::str("x")))],
+            true,
+        );
+        grid.registry().commit(ssid).unwrap();
+        system
+    }
+
+    #[test]
+    fn sys_metrics_reports_live_counters() {
+        let system = populated_system();
+        let rs = system
+            .query("SELECT value FROM sys_metrics WHERE name = 'map_writes_total'")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(2)]]);
+        // Histograms expose percentiles, not a scalar value.
+        let rs = system
+            .query(
+                "SELECT count FROM sys_metrics \
+                 WHERE name = 'map_write_us' AND kind = 'histogram'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn sys_operators_matches_overview() {
+        let system = populated_system();
+        let rs = system
+            .query(
+                "SELECT live_entries, snapshot_versions FROM sys_operators \
+                 WHERE operator = 'orders'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(2), Value::Int(1)]]);
+        let overview = system.overview();
+        assert_eq!(overview.operators[0].live_entries, Some(2));
+    }
+
+    #[test]
+    fn sys_snapshots_lists_versions_with_commit_flag() {
+        let system = populated_system();
+        let rs = system
+            .query(
+                "SELECT store, ssid, committed FROM sys_snapshots \
+                 WHERE entries > 0",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[vec![
+                Value::str("snapshot_orders"),
+                Value::Int(1),
+                Value::Int(1)
+            ]]
+        );
+        let _ = SnapshotId(1);
+    }
+
+    #[test]
+    fn sys_events_capture_queries_against_the_engine() {
+        let system = populated_system();
+        // The metrics query itself lands in the event log, so a second
+        // query over sys_events can observe the first.
+        system
+            .query("SELECT name FROM sys_metrics LIMIT 1")
+            .unwrap();
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_events WHERE kind = 'query_started'")
+            .unwrap();
+        assert!(
+            rs.scalar("n").unwrap().as_int().unwrap() >= 1,
+            "prior query_started event visible"
+        );
+    }
+
+    #[test]
+    fn sys_tables_are_listed_in_the_catalog() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_checkpoints")
+            .unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(0)), "no jobs yet");
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_events")
+            .unwrap();
+        assert!(rs.scalar("n").unwrap().as_int().unwrap() >= 0);
+    }
+}

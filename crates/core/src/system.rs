@@ -2,6 +2,9 @@
 
 use crate::config::SQueryConfig;
 use crate::direct::DirectQuery;
+use crate::systables::{register_sys_tables, JobLog};
+use parking_lot::Mutex;
+use squery_common::telemetry::MetricsRegistry;
 use squery_common::{SnapshotId, SqResult};
 use squery_sql::{GridCatalog, ResultSet, SqlEngine};
 use squery_storage::Grid;
@@ -17,6 +20,7 @@ pub struct SQuery {
     env: StreamEnv,
     sql: SqlEngine<GridCatalog>,
     config: SQueryConfig,
+    jobs: JobLog,
 }
 
 impl SQuery {
@@ -24,14 +28,19 @@ impl SQuery {
     pub fn new(config: SQueryConfig) -> SqResult<SQuery> {
         config.validate()?;
         let grid = Grid::new(config.cluster)?;
-        grid.registry().set_retained_versions(config.retained_versions);
+        grid.registry()
+            .set_retained_versions(config.retained_versions);
         let env = StreamEnv::new(Arc::clone(&grid), config.engine_config());
-        let sql = SqlEngine::new(GridCatalog::new(Arc::clone(&grid)));
+        let jobs: JobLog = Arc::new(Mutex::new(Vec::new()));
+        let catalog = GridCatalog::new(Arc::clone(&grid));
+        register_sys_tables(&catalog, Arc::clone(&grid), Arc::clone(&jobs));
+        let sql = SqlEngine::new(catalog).with_telemetry(grid.telemetry());
         Ok(SQuery {
             grid,
             env,
             sql,
             config,
+            jobs,
         })
     }
 
@@ -40,14 +49,24 @@ impl SQuery {
         &self.grid
     }
 
+    /// The engine-wide metrics/event registry (also behind `sys_metrics`
+    /// and `sys_events`).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        self.grid.telemetry()
+    }
+
     /// The configuration this deployment runs with.
     pub fn config(&self) -> &SQueryConfig {
         &self.config
     }
 
-    /// Submit a streaming job.
+    /// Submit a streaming job. The job's checkpoint log is retained for
+    /// `sys_checkpoints`.
     pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
-        self.env.submit(spec)
+        let name = spec.name.clone();
+        let handle = self.env.submit(spec)?;
+        self.jobs.lock().push((name, handle.checkpoint_stats()));
+        Ok(handle)
     }
 
     /// Run a SQL query against the live and snapshot state tables.
@@ -99,12 +118,7 @@ mod tests {
     }
 
     impl Source for GatedSource {
-        fn next_batch(
-            &mut self,
-            max: usize,
-            _now: u64,
-            out: &mut Vec<Record>,
-        ) -> SourceStatus {
+        fn next_batch(&mut self, max: usize, _now: u64, out: &mut Vec<Record>) -> SourceStatus {
             let allowed = self.allowance.load(Ordering::Acquire);
             let budget = (allowed.saturating_sub(self.index)).min(max as u64);
             if budget == 0 {
@@ -137,8 +151,7 @@ mod tests {
         }
     }
 
-    fn counter_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
-    {
+    fn counter_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>> {
         Arc::new(FnStateful(|_, _| {
             Box::new(FnStatefulOp(
                 |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
@@ -260,10 +273,12 @@ mod tests {
         let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
         let (system, job, allowance) = counter_system(config);
         allowance.store(10, Ordering::Release);
-        job.wait_for_sink_count(10, Duration::from_secs(10)).unwrap();
+        job.wait_for_sink_count(10, Duration::from_secs(10))
+            .unwrap();
         let ssid = job.checkpoint_now().unwrap();
         allowance.store(12, Ordering::Release);
-        job.wait_for_sink_count(12, Duration::from_secs(10)).unwrap();
+        job.wait_for_sink_count(12, Duration::from_secs(10))
+            .unwrap();
 
         let live = system
             .query("SELECT this FROM count WHERE partitionKey = 0")

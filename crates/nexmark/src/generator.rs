@@ -225,7 +225,11 @@ mod tests {
         for auction in 0..200i64 {
             seen.insert(seller_of_auction(&c, auction));
         }
-        assert!(seen.len() > 50, "sellers should be well spread: {}", seen.len());
+        assert!(
+            seen.len() > 50,
+            "sellers should be well spread: {}",
+            seen.len()
+        );
         assert!(seen.iter().all(|s| (0..100).contains(s)));
     }
 
@@ -237,11 +241,12 @@ mod tests {
         s.next_batch(1000, 0, &mut out);
         let closes = out
             .iter()
-            .filter(|r| {
-                r.value.as_struct().unwrap().field("kind").unwrap() == &Value::str("CLOSE")
-            })
+            .filter(|r| r.value.as_struct().unwrap().field("kind").unwrap() == &Value::str("CLOSE"))
             .count();
-        assert!(closes >= 450, "roughly half the events close auctions: {closes}");
+        assert!(
+            closes >= 450,
+            "roughly half the events close auctions: {closes}"
+        );
     }
 
     #[test]

@@ -319,7 +319,8 @@ mod tests {
         let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
         let system = SQuery::new(config).unwrap();
         let mut job = system.submit(q6_job(small_cfg(), 1, 2)).unwrap();
-        job.wait_for_sink_count(200, Duration::from_secs(30)).unwrap();
+        job.wait_for_sink_count(200, Duration::from_secs(30))
+            .unwrap();
         let mid = job.checkpoint_now().unwrap();
         job.crash();
         // While crashed, nothing processes: the snapshot at `mid` is what

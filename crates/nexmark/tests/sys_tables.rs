@@ -1,0 +1,201 @@
+//! End-to-end observability test: a live NEXMark Q6 job, then every `sys_*`
+//! table queried through the SQL engine, cross-checked against the engine's
+//! own counters and the Prometheus export.
+
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_common::Value;
+use squery_nexmark::generator::NexmarkConfig;
+use squery_nexmark::q6::q6_job;
+use std::time::Duration;
+
+fn small_cfg() -> NexmarkConfig {
+    NexmarkConfig {
+        sellers: 50,
+        active_auctions: 100,
+        events_per_instance: 5_000,
+        rate_per_instance: None,
+    }
+}
+
+/// One drained-and-checkpointed Q6 run shared by all assertions.
+fn run_q6() -> SQuery {
+    let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    let system = SQuery::new(config).unwrap();
+    let mut job = system.submit(q6_job(small_cfg(), 1, 2)).unwrap();
+    job.drain_and_checkpoint(Duration::from_secs(30)).unwrap();
+    job.stop();
+    system
+}
+
+#[test]
+fn sys_tables_observe_a_live_q6_job() {
+    let system = run_q6();
+
+    // --- sys_operators: filter by operator name -------------------------
+    let rs = system
+        .query(
+            "SELECT records_in, records_out, state_updates FROM sys_operators \
+             WHERE operator = 'maxbid'",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    let records_in = rs.rows()[0][0].as_int().unwrap();
+    let state_updates = rs.rows()[0][2].as_int().unwrap();
+    // Both sources feed maxbid: 2 instances × 5 000 events.
+    assert_eq!(records_in, 10_000, "maxbid consumed every generated event");
+    assert!(state_updates > 0, "maxbid updated keyed state");
+
+    // Counter agreement with the registry itself.
+    assert_eq!(
+        system
+            .telemetry()
+            .counter_value("operator_records_in_total", &[("operator", "maxbid")]),
+        Some(records_in as u64)
+    );
+
+    // Sources appear too, even though they hold no state.
+    let rs = system
+        .query("SELECT records_out FROM sys_operators WHERE operator = 'bids'")
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(5_000));
+
+    // --- sys_operators self-join: compare two operators in one query ----
+    let rs = system
+        .query(
+            "SELECT a.records_in, b.records_in FROM sys_operators a \
+             JOIN sys_operators b ON a.state_updates = b.state_updates \
+             WHERE a.operator = 'maxbid' AND b.operator = 'maxbid'",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1, "self-join finds the row again");
+    assert_eq!(rs.rows()[0][0], rs.rows()[0][1]);
+
+    // --- sys_operators vs overview() ------------------------------------
+    let overview = system.overview();
+    let rs = system
+        .query(
+            "SELECT operator, live_entries FROM sys_operators \
+             WHERE live_entries IS NOT NULL ORDER BY operator",
+        )
+        .unwrap();
+    let from_overview: Vec<(String, i64)> = overview
+        .operators
+        .iter()
+        .filter_map(|o| o.live_entries.map(|n| (o.operator.clone(), n as i64)))
+        .collect();
+    let from_sql: Vec<(String, i64)> = rs
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(from_sql, from_overview);
+
+    // --- sys_checkpoints -------------------------------------------------
+    let rs = system
+        .query(
+            "SELECT job, ssid, began_at_us, phase1_us, total_us FROM sys_checkpoints \
+             ORDER BY ssid",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1, "one committed checkpoint");
+    assert_eq!(rs.rows()[0][0], Value::str("nexmark-q6"));
+    assert_eq!(rs.rows()[0][1], Value::Int(1));
+    assert!(rs.rows()[0][2].as_int().unwrap() > 0, "began_at_us set");
+    let phase1 = rs.rows()[0][3].as_int().unwrap();
+    let total = rs.rows()[0][4].as_int().unwrap();
+    assert!(total >= phase1, "2PC total includes phase 1");
+
+    // --- sys_snapshots ----------------------------------------------------
+    let rs = system
+        .query(
+            "SELECT store, entries FROM sys_snapshots \
+             WHERE committed = 1 AND entries > 0 ORDER BY store",
+        )
+        .unwrap();
+    let stores: Vec<&Value> = rs.rows().iter().map(|r| &r[0]).collect();
+    assert_eq!(
+        stores,
+        vec![
+            &Value::str("snapshot_average"),
+            &Value::str("snapshot_maxbid")
+        ],
+        "both stateful operators captured state at ssid 1"
+    );
+
+    // --- sys_metrics ------------------------------------------------------
+    let rs = system
+        .query(
+            "SELECT value FROM sys_metrics \
+             WHERE name = 'operator_records_in_total' AND operator = 'maxbid'",
+        )
+        .unwrap();
+    assert_eq!(rs.rows(), &[vec![Value::Int(records_in)]]);
+    let rs = system
+        .query(
+            "SELECT count, p50_us, p99_us FROM sys_metrics \
+             WHERE name = 'checkpoint_total_us'",
+        )
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(1));
+    assert!(rs.rows()[0][2].as_int().unwrap() >= rs.rows()[0][1].as_int().unwrap());
+
+    // --- sys_events -------------------------------------------------------
+    let rs = system
+        .query(
+            "SELECT COUNT(*) AS n FROM sys_events \
+             WHERE kind = 'checkpoint_committed' AND ssid = 1",
+        )
+        .unwrap();
+    assert_eq!(rs.scalar("n"), Some(&Value::Int(1)));
+    let rs = system
+        .query("SELECT COUNT(*) AS n FROM sys_events WHERE kind = 'worker_started'")
+        .unwrap();
+    // 2 sources + 2×maxbid + 2×average + 1 sink = 7 worker instances.
+    assert_eq!(rs.scalar("n"), Some(&Value::Int(7)));
+}
+
+#[test]
+fn prometheus_export_parses_line_by_line() {
+    let system = run_q6();
+    let text = system.telemetry().render_prometheus();
+    assert!(!text.is_empty());
+    let mut seen = 0;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Every sample line is `name{labels} value` or `name value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value separator: {line}"));
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in: {line}"
+        );
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in: {line}"
+        );
+        if name_end < series.len() {
+            assert!(series.ends_with('}'), "unbalanced label braces in: {line}");
+        }
+        seen += 1;
+    }
+    assert!(
+        seen > 20,
+        "expected a substantial export, got {seen} samples"
+    );
+    // The workload's key series are present.
+    for needle in [
+        "operator_records_in_total{operator=\"maxbid\"}",
+        "checkpoint_total_us",
+        "map_writes_total",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in export");
+    }
+}

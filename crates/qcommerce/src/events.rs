@@ -164,10 +164,7 @@ pub fn order_status_event(o: u64, k: usize) -> Record {
         o as i64,
         Value::record(
             &order_state_schema(),
-            vec![
-                Value::str(ORDER_STATES[step]),
-                Value::Timestamp(deadline),
-            ],
+            vec![Value::str(ORDER_STATES[step]), Value::Timestamp(deadline)],
         ),
     )
 }

@@ -23,5 +23,7 @@ pub mod pipeline;
 pub mod queries;
 
 pub use events::{QCommerceConfig, ORDER_STATES};
-pub use pipeline::{order_monitoring_job, OPERATOR_ORDER_INFO, OPERATOR_ORDER_STATE, OPERATOR_RIDER};
+pub use pipeline::{
+    order_monitoring_job, OPERATOR_ORDER_INFO, OPERATOR_ORDER_STATE, OPERATOR_RIDER,
+};
 pub use queries::{QUERY_1, QUERY_2, QUERY_3, QUERY_4};

@@ -24,8 +24,7 @@ pub const OPERATOR_RIDER: &str = "riderlocation";
 
 /// A last-value operator: each event replaces the key's state object and is
 /// forwarded downstream (so sinks observe end-to-end latency).
-fn last_value_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
-{
+fn last_value_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>> {
     Arc::new(FnStateful(|_, _| {
         Box::new(FnStatefulOp(
             |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {

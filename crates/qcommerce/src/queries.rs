@@ -7,9 +7,7 @@
 //! expected answers in closed form from the deterministic generator, which
 //! is what makes the integration tests able to verify them end to end.
 
-use crate::events::{
-    category_of_order, final_state_of_order, order_is_late, zone_of_order,
-};
+use crate::events::{category_of_order, final_state_of_order, order_is_late, zone_of_order};
 use std::collections::BTreeMap;
 
 /// Query 1: *How many orders are late (in preparation by the vendor for too
@@ -135,16 +133,25 @@ mod tests {
     fn queries_1_through_4_match_their_oracles() {
         let (system, job) = run_monitoring();
         let q1 = system.query(QUERY_1).unwrap();
-        assert_eq!(as_map(&q1, "deliveryZone"), to_owned(expected_query1(ORDERS)));
+        assert_eq!(
+            as_map(&q1, "deliveryZone"),
+            to_owned(expected_query1(ORDERS))
+        );
         let q2 = system.query(QUERY_2).unwrap();
         assert_eq!(
             as_map(&q2, "vendorCategory"),
             to_owned(expected_query2(ORDERS))
         );
         let q3 = system.query(QUERY_3).unwrap();
-        assert_eq!(as_map(&q3, "deliveryZone"), to_owned(expected_query3(ORDERS)));
+        assert_eq!(
+            as_map(&q3, "deliveryZone"),
+            to_owned(expected_query3(ORDERS))
+        );
         let q4 = system.query(QUERY_4).unwrap();
-        assert_eq!(as_map(&q4, "deliveryZone"), to_owned(expected_query4(ORDERS)));
+        assert_eq!(
+            as_map(&q4, "deliveryZone"),
+            to_owned(expected_query4(ORDERS))
+        );
         job.stop();
     }
 

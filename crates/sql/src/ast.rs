@@ -321,9 +321,7 @@ impl Expr {
                 left.visit_columns(f);
                 right.visit_columns(f);
             }
-            Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
-                operand.visit_columns(f)
-            }
+            Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => operand.visit_columns(f),
             Expr::InList { operand, list, .. } => {
                 operand.visit_columns(f);
                 for e in list {
@@ -444,7 +442,10 @@ mod tests {
         e.visit_columns(&mut |q, n| seen.push((q.clone(), n.to_string())));
         assert_eq!(
             seen,
-            vec![(None, "a".to_string()), (Some("t".to_string()), "b".to_string())]
+            vec![
+                (None, "a".to_string()),
+                (Some("t".to_string()), "b".to_string())
+            ]
         );
     }
 

@@ -1,6 +1,7 @@
 //! Catalog abstractions: tables, scan hints, execution context.
 
 use squery_common::schema::Schema;
+use squery_common::telemetry::Counter;
 use squery_common::{SnapshotId, SqResult, Value};
 use std::sync::Arc;
 
@@ -54,6 +55,9 @@ pub struct ExecContext {
     pub retained_ssids: Vec<SnapshotId>,
     /// Microsecond timestamp for `LOCALTIMESTAMP`.
     pub now_micros: i64,
+    /// Telemetry counter bumped with every row a scan materializes
+    /// (`None` when the engine runs without a metrics registry).
+    pub rows_scanned: Option<Counter>,
 }
 
 impl ExecContext {
@@ -63,6 +67,7 @@ impl ExecContext {
             query_ssid: None,
             retained_ssids: Vec::new(),
             now_micros,
+            rows_scanned: None,
         }
     }
 }

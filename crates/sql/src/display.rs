@@ -13,7 +13,10 @@ use std::fmt;
 
 fn quote_ident(name: &str) -> String {
     let plain = !name.is_empty()
-        && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && name.chars().all(|c| c.is_alphanumeric() || c == '_');
     if plain {
         name.to_string()
@@ -75,7 +78,7 @@ impl fmt::Display for Query {
             }
         }
         if let Some(n) = self.limit {
-        write!(f, " LIMIT {n}")?;
+            write!(f, " LIMIT {n}")?;
         }
         Ok(())
     }
@@ -179,7 +182,11 @@ impl fmt::Display for Expr {
                 UnaryOp::Neg => write!(f, "(- {operand})"),
             },
             Expr::IsNull { operand, negated } => {
-                write!(f, "({operand} IS {}NULL)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({operand} IS {}NULL)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::InList {
                 operand,
@@ -291,8 +298,9 @@ mod tests {
         for sql in CORPUS {
             let once = parse(sql).unwrap_or_else(|e| panic!("corpus parse failed: {e}\n{sql}"));
             let printed = once.to_string();
-            let twice = parse(&printed)
-                .unwrap_or_else(|e| panic!("reparse failed: {e}\noriginal: {sql}\nprinted: {printed}"));
+            let twice = parse(&printed).unwrap_or_else(|e| {
+                panic!("reparse failed: {e}\noriginal: {sql}\nprinted: {printed}")
+            });
             assert_eq!(once, twice, "roundtrip changed the AST\nprinted: {printed}");
         }
     }

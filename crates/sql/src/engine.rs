@@ -4,11 +4,14 @@ use crate::catalog::{Catalog, ExecContext};
 use crate::exec::execute;
 use crate::parser::parse;
 use crate::plan::plan;
+use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
+use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
 use squery_common::time::Clock;
 use squery_common::{SqResult, Value};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A query result: schema plus rows.
 #[derive(Clone, Debug)]
@@ -89,10 +92,39 @@ impl fmt::Display for ResultSet {
     }
 }
 
+/// Per-engine query telemetry handles, resolved once at attach time.
+struct EngineTelemetry {
+    queries: Counter,
+    query_errors: Counter,
+    rows_scanned: Counter,
+    rows_returned: Counter,
+    parse_us: SharedHistogram,
+    plan_us: SharedHistogram,
+    exec_us: SharedHistogram,
+    registry: MetricsRegistry,
+}
+
+/// Longest SQL prefix kept in `query_started`/`query_finished` event details.
+const EVENT_SQL_PREFIX: usize = 120;
+
+fn sql_prefix(sql: &str) -> String {
+    let trimmed = sql.trim();
+    let mut end = trimmed.len().min(EVENT_SQL_PREFIX);
+    while !trimmed.is_char_boundary(end) {
+        end -= 1;
+    }
+    if end < trimmed.len() {
+        format!("{}…", &trimmed[..end])
+    } else {
+        trimmed.to_string()
+    }
+}
+
 /// The SQL engine: parse → plan → execute against a catalog.
 pub struct SqlEngine<C: Catalog> {
     catalog: C,
     clock: Clock,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl<C: Catalog> SqlEngine<C> {
@@ -101,12 +133,34 @@ impl<C: Catalog> SqlEngine<C> {
         SqlEngine {
             catalog,
             clock: Clock::wall(),
+            telemetry: None,
         }
     }
 
     /// An engine with an explicit clock (deterministic tests).
     pub fn with_clock(catalog: C, clock: Clock) -> SqlEngine<C> {
-        SqlEngine { catalog, clock }
+        SqlEngine {
+            catalog,
+            clock,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a metrics registry: per-phase latency histograms
+    /// (`query_parse_us`/`query_plan_us`/`query_exec_us`), query and row
+    /// counters, and `query_started`/`query_finished` events.
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> SqlEngine<C> {
+        self.telemetry = Some(EngineTelemetry {
+            queries: registry.counter("queries_total", &[]),
+            query_errors: registry.counter("query_errors_total", &[]),
+            rows_scanned: registry.counter("query_rows_scanned_total", &[]),
+            rows_returned: registry.counter("query_rows_returned_total", &[]),
+            parse_us: registry.histogram("query_parse_us", &[]),
+            plan_us: registry.histogram("query_plan_us", &[]),
+            exec_us: registry.histogram("query_exec_us", &[]),
+            registry: registry.clone(),
+        });
+        self
     }
 
     /// The underlying catalog.
@@ -120,15 +174,61 @@ impl<C: Catalog> SqlEngine<C> {
     /// `LOCALTIMESTAMP` are captured once, before execution, so every table
     /// in the query reads one consistent snapshot.
     pub fn query(&self, sql: &str) -> SqResult<ResultSet> {
+        match &self.telemetry {
+            None => self.run(sql, None),
+            Some(tel) => {
+                tel.queries.inc();
+                tel.registry
+                    .event(EventKind::QueryStarted, None, None, None, sql_prefix(sql));
+                let started = Instant::now();
+                let result = self.run(sql, Some(tel));
+                let elapsed = started.elapsed().as_micros() as u64;
+                match &result {
+                    Ok(rs) => {
+                        tel.rows_returned.add(rs.len() as u64);
+                        tel.registry.event(
+                            EventKind::QueryFinished,
+                            None,
+                            None,
+                            Some(elapsed),
+                            format!("{} rows", rs.len()),
+                        );
+                    }
+                    Err(e) => {
+                        tel.query_errors.inc();
+                        tel.registry.event(
+                            EventKind::QueryFinished,
+                            None,
+                            None,
+                            Some(elapsed),
+                            format!("error: {e}"),
+                        );
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    fn run(&self, sql: &str, tel: Option<&EngineTelemetry>) -> SqResult<ResultSet> {
+        let t0 = Instant::now();
         let ast = parse(sql)?;
+        let t1 = Instant::now();
         let physical = plan(&ast, &self.catalog)?;
+        let t2 = Instant::now();
         let (query_ssid, retained_ssids) = self.catalog.snapshot_context();
         let ctx = ExecContext {
             query_ssid,
             retained_ssids,
             now_micros: self.clock.now_micros() as i64,
+            rows_scanned: tel.map(|t| t.rows_scanned.clone()),
         };
         let rows = execute(&physical, &ctx)?;
+        if let Some(t) = tel {
+            t.parse_us.record((t1 - t0).as_micros() as u64);
+            t.plan_us.record((t2 - t1).as_micros() as u64);
+            t.exec_us.record(t2.elapsed().as_micros() as u64);
+        }
         Ok(ResultSet::new(Arc::clone(&physical.output_schema), rows))
     }
 }
@@ -146,9 +246,7 @@ mod tests {
             vec![Value::Int(1), Value::str("x")],
             vec![Value::Int(2), Value::str("y")],
         ];
-        SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
-            "t", t, rows,
-        ))]))
+        SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new("t", t, rows))]))
     }
 
     #[test]
@@ -162,10 +260,7 @@ mod tests {
     #[test]
     fn column_and_scalar_accessors() {
         let rs = engine().query("SELECT a, b FROM t").unwrap();
-        assert_eq!(
-            rs.column("a").unwrap(),
-            vec![Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(rs.column("a").unwrap(), vec![Value::Int(1), Value::Int(2)]);
         assert!(rs.column("nope").is_none());
         assert!(rs.scalar("a").is_none(), "two rows: no scalar");
         let rs = engine().query("SELECT COUNT(*) AS n FROM t").unwrap();
@@ -201,6 +296,73 @@ mod tests {
         );
         let rs = e.query("SELECT LOCALTIMESTAMP AS now FROM t").unwrap();
         assert_eq!(rs.scalar("now"), Some(&Value::Timestamp(42)));
+    }
+
+    #[test]
+    fn telemetry_records_phases_counters_and_events() {
+        use squery_common::telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let t = schema(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")],
+            vec![Value::Int(2), Value::str("y")],
+        ];
+        let e = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new("t", t, rows))]))
+            .with_telemetry(&registry);
+
+        let rs = e.query("SELECT a FROM t WHERE b = 'y'").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(e.query("SELECT nope FROM missing").is_err());
+
+        assert_eq!(registry.counter_value("queries_total", &[]), Some(2));
+        assert_eq!(registry.counter_value("query_errors_total", &[]), Some(1));
+        // Scan saw both base rows; only one survived the filter.
+        assert_eq!(
+            registry.counter_value("query_rows_scanned_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("query_rows_returned_total", &[]),
+            Some(1)
+        );
+        let phase_counts: Vec<u64> = registry
+            .histograms()
+            .into_iter()
+            .filter(|(k, _)| k.name.starts_with("query_"))
+            .map(|(_, h)| h.count())
+            .collect();
+        assert_eq!(phase_counts, vec![1, 1, 1], "parse/plan/exec each once");
+        let kinds: Vec<&str> = registry
+            .events()
+            .snapshot()
+            .iter()
+            .map(|ev| ev.kind.as_str())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "query_started",
+                "query_finished",
+                "query_started",
+                "query_finished"
+            ]
+        );
+        let events = registry.events().snapshot();
+        assert!(events[1].detail.contains("1 rows"), "{}", events[1].detail);
+        assert!(
+            events[3].detail.starts_with("error:"),
+            "{}",
+            events[3].detail
+        );
+    }
+
+    #[test]
+    fn event_sql_detail_is_truncated() {
+        let long = format!("SELECT a FROM t WHERE b = '{}'", "x".repeat(500));
+        let prefix = super::sql_prefix(&long);
+        assert!(prefix.chars().count() <= super::EVENT_SQL_PREFIX + 1);
+        assert!(prefix.ends_with('…'));
+        assert_eq!(super::sql_prefix("SELECT 1 FROM t"), "SELECT 1 FROM t");
     }
 
     #[test]

@@ -12,8 +12,14 @@ use std::collections::HashMap;
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
     // --- scans + joins ----------------------------------------------------
     let mut rows = plan.scans[0].table.scan(&plan.scans[0].hints, ctx)?;
+    if let Some(c) = &ctx.rows_scanned {
+        c.add(rows.len() as u64);
+    }
     for (scan, join) in plan.scans[1..].iter().zip(plan.joins.iter()) {
         let right_rows = scan.table.scan(&scan.hints, ctx)?;
+        if let Some(c) = &ctx.rows_scanned {
+            c.add(right_rows.len() as u64);
+        }
         rows = hash_join(rows, right_rows, join)?;
     }
 
@@ -160,9 +166,7 @@ impl Acc {
                     (Some(Value::Int(a)), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
                     (Some(cur), v) => {
                         let a = cur.as_f64().expect("accumulator is numeric");
-                        let b = v
-                            .as_f64()
-                            .ok_or_else(|| non_numeric("SUM", v))?;
+                        let b = v.as_f64().ok_or_else(|| non_numeric("SUM", v))?;
                         Value::Float(a + b)
                     }
                 };
@@ -354,9 +358,8 @@ mod tests {
 
     #[test]
     fn using_join_combines_rows() {
-        let mut rows = run(
-            "SELECT partitionKey, total, category FROM orders JOIN info USING(partitionKey)",
-        );
+        let mut rows =
+            run("SELECT partitionKey, total, category FROM orders JOIN info USING(partitionKey)");
         rows.sort();
         assert_eq!(rows.len(), 3, "keys 1,2,3 match; 4 and 9 don't");
         assert_eq!(
@@ -416,13 +419,15 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let rows = run("SELECT total FROM orders WHERE total IS NOT NULL ORDER BY total DESC LIMIT 2");
+        let rows =
+            run("SELECT total FROM orders WHERE total IS NOT NULL ORDER BY total DESC LIMIT 2");
         assert_eq!(rows, vec![vec![Value::Int(30)], vec![Value::Int(20)]]);
     }
 
     #[test]
     fn order_by_aggregate_alias() {
-        let rows = run("SELECT zone, SUM(total) AS s FROM orders GROUP BY zone ORDER BY s DESC, zone");
+        let rows =
+            run("SELECT zone, SUM(total) AS s FROM orders GROUP BY zone ORDER BY s DESC, zone");
         assert_eq!(rows.len(), 2);
         // Both sums are 30; tie broken by zone ascending.
         assert_eq!(rows[0][0], Value::str("north"));
@@ -470,7 +475,9 @@ mod tests {
             ]
         );
         // Simple CASE desugars to equality on the operand.
-        let rows = run("SELECT CASE zone WHEN 'north' THEN 1 ELSE 0 END FROM orders ORDER BY partitionKey");
+        let rows = run(
+            "SELECT CASE zone WHEN 'north' THEN 1 ELSE 0 END FROM orders ORDER BY partitionKey",
+        );
         assert_eq!(
             rows,
             vec![
@@ -498,9 +505,8 @@ mod tests {
         let rows = run("SELECT COALESCE(total, -1) FROM orders WHERE partitionKey = 4");
         assert_eq!(rows, vec![vec![Value::Int(-1)]]);
         // CASE inside an aggregate argument.
-        let rows = run(
-            "SELECT SUM(CASE WHEN zone = 'north' THEN 1 ELSE 0 END) AS northers FROM orders",
-        );
+        let rows =
+            run("SELECT SUM(CASE WHEN zone = 'north' THEN 1 ELSE 0 END) AS northers FROM orders");
         assert_eq!(rows, vec![vec![Value::Int(2)]]);
     }
 

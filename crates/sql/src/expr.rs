@@ -415,7 +415,9 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> SqResult<Value> {
     };
     match func {
         ScalarFunc::Abs => {
-            let [v] = args else { return Err(arity_err("1")) };
+            let [v] = args else {
+                return Err(arity_err("1"));
+            };
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
@@ -427,7 +429,9 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> SqResult<Value> {
             }
         }
         ScalarFunc::Upper | ScalarFunc::Lower => {
-            let [v] = args else { return Err(arity_err("1")) };
+            let [v] = args else {
+                return Err(arity_err("1"));
+            };
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Str(s) => Ok(Value::str(if func == ScalarFunc::Upper {
@@ -443,7 +447,9 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> SqResult<Value> {
             }
         }
         ScalarFunc::Length => {
-            let [v] = args else { return Err(arity_err("1")) };
+            let [v] = args else {
+                return Err(arity_err("1"));
+            };
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
@@ -497,15 +503,21 @@ mod tests {
     #[test]
     fn comparisons_with_coercion() {
         assert_eq!(
-            bin(lit(2i64), BinaryOp::Lt, lit(2.5)).eval(&[], &ctx()).unwrap(),
+            bin(lit(2i64), BinaryOp::Lt, lit(2.5))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            bin(lit("a"), BinaryOp::Eq, lit("a")).eval(&[], &ctx()).unwrap(),
+            bin(lit("a"), BinaryOp::Eq, lit("a"))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            bin(lit("a"), BinaryOp::GtEq, lit("b")).eval(&[], &ctx()).unwrap(),
+            bin(lit("a"), BinaryOp::GtEq, lit("b"))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -529,19 +541,27 @@ mod tests {
         let f = lit(false);
         let n = lit(Value::Null);
         assert_eq!(
-            bin(t.clone(), BinaryOp::And, n.clone()).eval(&[], &ctx()).unwrap(),
+            bin(t.clone(), BinaryOp::And, n.clone())
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            bin(f.clone(), BinaryOp::And, n.clone()).eval(&[], &ctx()).unwrap(),
+            bin(f.clone(), BinaryOp::And, n.clone())
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            bin(t.clone(), BinaryOp::Or, n.clone()).eval(&[], &ctx()).unwrap(),
+            bin(t.clone(), BinaryOp::Or, n.clone())
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            bin(n.clone(), BinaryOp::Or, f.clone()).eval(&[], &ctx()).unwrap(),
+            bin(n.clone(), BinaryOp::Or, f.clone())
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Null
         );
     }
@@ -560,38 +580,42 @@ mod tests {
     #[test]
     fn arithmetic_int_and_float() {
         assert_eq!(
-            bin(lit(7i64), BinaryOp::Add, lit(3i64)).eval(&[], &ctx()).unwrap(),
+            bin(lit(7i64), BinaryOp::Add, lit(3i64))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Int(10)
         );
         assert_eq!(
-            bin(lit(7i64), BinaryOp::Div, lit(2i64)).eval(&[], &ctx()).unwrap(),
+            bin(lit(7i64), BinaryOp::Div, lit(2i64))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
-            bin(lit(7.0), BinaryOp::Div, lit(2i64)).eval(&[], &ctx()).unwrap(),
+            bin(lit(7.0), BinaryOp::Div, lit(2i64))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Float(3.5)
         );
         assert_eq!(
-            bin(lit(7i64), BinaryOp::Mod, lit(4i64)).eval(&[], &ctx()).unwrap(),
+            bin(lit(7i64), BinaryOp::Mod, lit(4i64))
+                .eval(&[], &ctx())
+                .unwrap(),
             Value::Int(3)
         );
-        assert!(bin(lit(1i64), BinaryOp::Div, lit(0i64)).eval(&[], &ctx()).is_err());
-        assert!(bin(lit(1.0), BinaryOp::Div, lit(0.0)).eval(&[], &ctx()).is_err());
+        assert!(bin(lit(1i64), BinaryOp::Div, lit(0i64))
+            .eval(&[], &ctx())
+            .is_err());
+        assert!(bin(lit(1.0), BinaryOp::Div, lit(0.0))
+            .eval(&[], &ctx())
+            .is_err());
     }
 
     #[test]
     fn timestamp_arithmetic() {
-        let e = bin(
-            lit(Value::Timestamp(100)),
-            BinaryOp::Add,
-            lit(50i64),
-        );
+        let e = bin(lit(Value::Timestamp(100)), BinaryOp::Add, lit(50i64));
         assert_eq!(e.eval(&[], &ctx()).unwrap(), Value::Timestamp(150));
-        let e = bin(
-            lit(Value::Timestamp(100)),
-            BinaryOp::Sub,
-            lit(30i64),
-        );
+        let e = bin(lit(Value::Timestamp(100)), BinaryOp::Sub, lit(30i64));
         assert_eq!(e.eval(&[], &ctx()).unwrap(), Value::Timestamp(70));
     }
 
@@ -631,10 +655,22 @@ mod tests {
             list: vec![lit(1i64), lit(2i64)],
             negated,
         };
-        assert_eq!(make(Value::Int(2), false).eval(&[], &ctx()).unwrap(), Value::Bool(true));
-        assert_eq!(make(Value::Int(3), false).eval(&[], &ctx()).unwrap(), Value::Bool(false));
-        assert_eq!(make(Value::Int(3), true).eval(&[], &ctx()).unwrap(), Value::Bool(true));
-        assert_eq!(make(Value::Null, false).eval(&[], &ctx()).unwrap(), Value::Null);
+        assert_eq!(
+            make(Value::Int(2), false).eval(&[], &ctx()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            make(Value::Int(3), false).eval(&[], &ctx()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            make(Value::Int(3), true).eval(&[], &ctx()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            make(Value::Null, false).eval(&[], &ctx()).unwrap(),
+            Value::Null
+        );
         // NULL in the list makes a non-match unknown.
         let e = BoundExpr::InList {
             operand: Box::new(lit(3i64)),
@@ -673,11 +709,26 @@ mod tests {
             high: Box::new(lit(10i64)),
             negated: neg,
         };
-        assert_eq!(between(Value::Int(1), false).eval(&[], &ctx()).unwrap(), Value::Bool(true));
-        assert_eq!(between(Value::Int(10), false).eval(&[], &ctx()).unwrap(), Value::Bool(true));
-        assert_eq!(between(Value::Int(11), false).eval(&[], &ctx()).unwrap(), Value::Bool(false));
-        assert_eq!(between(Value::Int(11), true).eval(&[], &ctx()).unwrap(), Value::Bool(true));
-        assert_eq!(between(Value::Null, false).eval(&[], &ctx()).unwrap(), Value::Null);
+        assert_eq!(
+            between(Value::Int(1), false).eval(&[], &ctx()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            between(Value::Int(10), false).eval(&[], &ctx()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            between(Value::Int(11), false).eval(&[], &ctx()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            between(Value::Int(11), true).eval(&[], &ctx()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            between(Value::Null, false).eval(&[], &ctx()).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -701,7 +752,11 @@ mod tests {
             func: ScalarFunc::Length,
             args: vec![lit("héllo")],
         };
-        assert_eq!(f.eval(&[], &ctx()).unwrap(), Value::Int(5), "chars not bytes");
+        assert_eq!(
+            f.eval(&[], &ctx()).unwrap(),
+            Value::Int(5),
+            "chars not bytes"
+        );
     }
 
     #[test]

@@ -90,9 +90,38 @@ impl fmt::Display for Token {
 // `total`. The parser recognizes them contextually (identifier followed by a
 // parenthesis).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "JOIN", "INNER", "USING", "ON", "GROUP", "BY",
-    "ORDER", "ASC", "DESC", "LIMIT", "AS", "NULL", "TRUE", "FALSE", "IS", "IN", "HAVING",
-    "LOCALTIMESTAMP", "DISTINCT", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "JOIN",
+    "INNER",
+    "USING",
+    "ON",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "AS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "IS",
+    "IN",
+    "HAVING",
+    "LOCALTIMESTAMP",
+    "DISTINCT",
+    "BETWEEN",
+    "LIKE",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
 ];
 
 /// Tokenize `input` into a token list.

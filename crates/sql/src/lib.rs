@@ -34,8 +34,10 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod systables;
 pub mod tables;
 
 pub use catalog::{Catalog, ExecContext, ScanHints, SsidMode, Table};
 pub use engine::{ResultSet, SqlEngine};
+pub use systables::{SysRowProvider, SysTable};
 pub use tables::GridCatalog;

@@ -614,7 +614,13 @@ mod tests {
         let q = parse("SELECT count, total FROM snapshot_average WHERE ssid=9 AND key=2").unwrap();
         assert_eq!(q.from.name, "snapshot_average");
         let w = q.where_clause.unwrap();
-        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            w,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -626,7 +632,13 @@ mod tests {
                     op: BinaryOp::Add,
                     right,
                     ..
-                } => assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. })),
+                } => assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                )),
                 other => panic!("expected Add at top, got {other:?}"),
             },
             _ => panic!(),
@@ -641,7 +653,13 @@ mod tests {
                 op: BinaryOp::Or,
                 right,
                 ..
-            } => assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. })),
+            } => assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    ..
+                }
+            )),
             other => panic!("expected OR at top, got {other:?}"),
         }
     }
@@ -688,8 +706,9 @@ mod tests {
 
     #[test]
     fn qualified_columns_and_on_join() {
-        let q = parse("SELECT o.total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey")
-            .unwrap();
+        let q =
+            parse("SELECT o.total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey")
+                .unwrap();
         assert_eq!(q.from.alias.as_deref(), Some("o"));
         match &q.joins[0].condition {
             JoinCondition::On(Expr::Binary {
@@ -723,7 +742,10 @@ mod tests {
         assert!(parse("SELECT").is_err());
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM t WHERE").is_err());
-        assert!(parse("SELECT * FROM t JOIN u").is_err(), "join needs USING/ON");
+        assert!(
+            parse("SELECT * FROM t JOIN u").is_err(),
+            "join needs USING/ON"
+        );
         assert!(parse("SELECT * FROM t LIMIT x").is_err());
         assert!(parse("SELECT * FROM t extra garbage ,").is_err());
         assert!(parse("SELECT COUNT(DISTINCT a) FROM t").is_err());
@@ -755,17 +777,15 @@ mod tests {
 
     #[test]
     fn case_expressions() {
-        let q = parse(
-            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
-        )
-        .unwrap();
+        let q = parse("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t").unwrap();
         match &q.items[0] {
             SelectItem::Expr {
-                expr: Expr::Case {
-                    operand: None,
-                    branches,
-                    else_result: Some(_),
-                },
+                expr:
+                    Expr::Case {
+                        operand: None,
+                        branches,
+                        else_result: Some(_),
+                    },
                 ..
             } => assert_eq!(branches.len(), 1),
             other => panic!("expected searched CASE, got {other:?}"),
@@ -774,17 +794,21 @@ mod tests {
         let q = parse("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t").unwrap();
         match &q.items[0] {
             SelectItem::Expr {
-                expr: Expr::Case {
-                    operand: Some(_),
-                    branches,
-                    else_result: None,
-                },
+                expr:
+                    Expr::Case {
+                        operand: Some(_),
+                        branches,
+                        else_result: None,
+                    },
                 ..
             } => assert_eq!(branches.len(), 2),
             other => panic!("expected simple CASE, got {other:?}"),
         }
         assert!(parse("SELECT CASE END FROM t").is_err(), "WHEN required");
-        assert!(parse("SELECT CASE WHEN a THEN 1 FROM t").is_err(), "END required");
+        assert!(
+            parse("SELECT CASE WHEN a THEN 1 FROM t").is_err(),
+            "END required"
+        );
     }
 
     #[test]

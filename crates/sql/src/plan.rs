@@ -10,9 +10,7 @@
 //! * split aggregation from scalar projection, rewriting post-aggregate
 //!   expressions over the `[group keys… , aggregates…]` intermediate row.
 
-use crate::ast::{
-    AggregateFunc, BinaryOp, Expr, Join, JoinCondition, Query, SelectItem, TableRef,
-};
+use crate::ast::{AggregateFunc, BinaryOp, Expr, Join, JoinCondition, Query, SelectItem, TableRef};
 use crate::catalog::{Catalog, ScanHints, SsidMode, Table};
 use crate::expr::BoundExpr;
 use squery_common::schema::{Field, Schema, KEY_COLUMN, SSID_COLUMN};
@@ -114,11 +112,7 @@ impl Binder {
     }
 
     fn width(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|e| e.index + 1)
-            .max()
-            .unwrap_or(0)
+        self.entries.iter().map(|e| e.index + 1).max().unwrap_or(0)
     }
 
     /// Output fields in combined-row order (first entry per index wins).
@@ -152,7 +146,10 @@ impl Binder {
                 });
             }
         }
-        fields.into_iter().map(|f| f.expect("dense binder")).collect()
+        fields
+            .into_iter()
+            .map(|f| f.expect("dense binder"))
+            .collect()
     }
 }
 
@@ -262,7 +259,11 @@ pub fn plan(query: &Query, catalog: &dyn Catalog) -> SqResult<PhysicalPlan> {
     let aggregate;
 
     if aggregating {
-        if query.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+        if query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Wildcard))
+        {
             return Err(SqError::Plan(
                 "SELECT * cannot be combined with GROUP BY / aggregates".into(),
             ));
@@ -573,14 +574,8 @@ fn rewrite_post_agg(
     }
     match expr {
         Expr::Aggregate { func, arg } => {
-            let bound_arg = arg
-                .as_ref()
-                .map(|a| bind_scalar(a, binder))
-                .transpose()?;
-            let slot = match aggs
-                .iter()
-                .position(|(f, a)| f == func && *a == bound_arg)
-            {
+            let bound_arg = arg.as_ref().map(|a| bind_scalar(a, binder)).transpose()?;
+            let slot = match aggs.iter().position(|(f, a)| f == func && *a == bound_arg) {
                 Some(i) => i,
                 None => {
                     aggs.push((*func, bound_arg));
@@ -652,7 +647,10 @@ fn rewrite_post_agg(
         }),
         Expr::Column { qualifier, name } => Err(SqError::Plan(format!(
             "column '{}{}' must appear in GROUP BY or inside an aggregate",
-            qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default(),
+            qualifier
+                .as_ref()
+                .map(|q| format!("{q}."))
+                .unwrap_or_default(),
             name
         ))),
     }
@@ -835,8 +833,8 @@ mod tests {
 
     #[test]
     fn using_join_merges_key_column() {
-        let p = plan_sql("SELECT total, category FROM orders JOIN info USING(partitionKey)")
-            .unwrap();
+        let p =
+            plan_sql("SELECT total, category FROM orders JOIN info USING(partitionKey)").unwrap();
         assert_eq!(p.scans.len(), 2);
         assert_eq!(p.joins.len(), 1);
         assert_eq!(p.joins[0].left_keys, vec![0]);
@@ -851,10 +849,8 @@ mod tests {
 
     #[test]
     fn qualified_using_column_resolves_to_left_index() {
-        let p = plan_sql(
-            "SELECT info.partitionKey FROM orders JOIN info USING(partitionKey)",
-        )
-        .unwrap();
+        let p =
+            plan_sql("SELECT info.partitionKey FROM orders JOIN info USING(partitionKey)").unwrap();
         match p.projections[0].expr {
             BoundExpr::Column(0) => {}
             ref other => panic!("expected merged column 0, got {other:?}"),
@@ -863,15 +859,15 @@ mod tests {
 
     #[test]
     fn on_join_requires_equality() {
-        let p = plan_sql(
-            "SELECT total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey",
-        )
-        .unwrap();
+        let p =
+            plan_sql("SELECT total FROM orders o JOIN info i ON o.partitionKey = i.partitionKey")
+                .unwrap();
         assert_eq!(p.joins[0].left_keys, vec![0]);
         assert_eq!(p.joins[0].right_keys, vec![0]);
         assert!(p.joins[0].right_drop.is_empty());
-        assert!(plan_sql("SELECT total FROM orders o JOIN info i ON o.total < i.partitionKey")
-            .is_err());
+        assert!(
+            plan_sql("SELECT total FROM orders o JOIN info i ON o.total < i.partitionKey").is_err()
+        );
     }
 
     #[test]
@@ -879,9 +875,7 @@ mod tests {
         // `total` exists only in orders, fine unqualified even with a join.
         assert!(plan_sql("SELECT total FROM orders JOIN info USING(partitionKey)").is_ok());
         // partitionKey is merged by USING so it stays unambiguous.
-        assert!(
-            plan_sql("SELECT partitionKey FROM orders JOIN info USING(partitionKey)").is_ok()
-        );
+        assert!(plan_sql("SELECT partitionKey FROM orders JOIN info USING(partitionKey)").is_ok());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! System tables: virtual tables computed at scan time.
+//!
+//! A [`SysTable`] materializes its rows from a provider closure on every
+//! scan, so `SELECT * FROM sys_metrics` always reflects the engine's state
+//! *now*. Scan hints are deliberately ignored — sys tables are tiny, and the
+//! executor re-applies the full `WHERE` clause after the scan, so skipping
+//! the point-read/ssid fast paths costs nothing and keeps providers simple.
+
+use crate::catalog::{ExecContext, ScanHints, Table};
+use squery_common::schema::Schema;
+use squery_common::{SqResult, Value};
+use std::sync::Arc;
+
+/// Row source for a [`SysTable`]: called once per scan.
+pub type SysRowProvider = Arc<dyn Fn() -> Vec<Vec<Value>> + Send + Sync>;
+
+/// A virtual table whose rows are computed by a closure at scan time.
+pub struct SysTable {
+    name: String,
+    schema: Arc<Schema>,
+    provider: SysRowProvider,
+}
+
+impl SysTable {
+    /// Build a sys table. The provider must yield rows matching `schema`.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, provider: SysRowProvider) -> SysTable {
+        SysTable {
+            name: name.into(),
+            schema,
+            provider,
+        }
+    }
+}
+
+impl Table for SysTable {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    fn scan(&self, _hints: &ScanHints, _ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+        let rows = (self.provider)();
+        for r in &rows {
+            if r.len() != self.schema.len() {
+                return Err(squery_common::SqError::Exec(format!(
+                    "sys table {} produced a row of arity {} (schema has {})",
+                    self.name,
+                    r.len(),
+                    self.schema.len()
+                )));
+            }
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ScanHints;
+    use squery_common::schema::schema;
+    use squery_common::DataType;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    #[test]
+    fn sys_table_recomputes_rows_on_every_scan() {
+        let tick = Arc::new(AtomicI64::new(0));
+        let t = {
+            let tick = Arc::clone(&tick);
+            SysTable::new(
+                "sys_tick",
+                schema(vec![("n", DataType::Int)]),
+                Arc::new(move || vec![vec![Value::Int(tick.load(Ordering::SeqCst))]]),
+            )
+        };
+        let ctx = ExecContext::live_only(0);
+        assert_eq!(
+            t.scan(&ScanHints::default(), &ctx).unwrap(),
+            vec![vec![Value::Int(0)]]
+        );
+        tick.store(7, Ordering::SeqCst);
+        assert_eq!(
+            t.scan(&ScanHints::default(), &ctx).unwrap(),
+            vec![vec![Value::Int(7)]]
+        );
+        assert_eq!(t.name(), "sys_tick");
+        assert_eq!(t.schema().len(), 1);
+    }
+
+    #[test]
+    fn sys_table_rejects_arity_mismatch() {
+        let t = SysTable::new(
+            "sys_bad",
+            schema(vec![("a", DataType::Int), ("b", DataType::Int)]),
+            Arc::new(|| vec![vec![Value::Int(1)]]),
+        );
+        assert!(t
+            .scan(&ScanHints::default(), &ExecContext::live_only(0))
+            .is_err());
+    }
+}

@@ -12,10 +12,12 @@
 //! how IMDG exposes non-decomposable values.
 
 use crate::catalog::{Catalog, ExecContext, ScanHints, SsidMode, Table};
+use parking_lot::RwLock;
 use squery_common::schema::{Field, Schema, KEY_COLUMN, SSID_COLUMN};
 use squery_common::{DataType, SnapshotId, SqError, SqResult, Value};
 use squery_storage::grid::SNAPSHOT_TABLE_PREFIX;
 use squery_storage::{Grid, IMap, SnapshotStore};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Column name for undecomposed state objects.
@@ -187,25 +189,38 @@ impl Table for SnapshotTable {
     }
 }
 
-/// Catalog over a storage grid.
+/// Catalog over a storage grid, plus registered extra tables (`sys_*`).
 pub struct GridCatalog {
     grid: Arc<Grid>,
+    extras: RwLock<HashMap<String, Arc<dyn Table>>>,
 }
 
 impl GridCatalog {
     /// Wrap a grid.
     pub fn new(grid: Arc<Grid>) -> GridCatalog {
-        GridCatalog { grid }
+        GridCatalog {
+            grid,
+            extras: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The wrapped grid.
     pub fn grid(&self) -> &Arc<Grid> {
         &self.grid
     }
+
+    /// Register an extra table (e.g. a [`crate::systables::SysTable`]).
+    /// Extras shadow grid tables of the same name.
+    pub fn register(&self, table: Arc<dyn Table>) {
+        self.extras.write().insert(table.name().to_string(), table);
+    }
 }
 
 impl Catalog for GridCatalog {
     fn table(&self, name: &str) -> Option<Arc<dyn Table>> {
+        if let Some(t) = self.extras.read().get(name) {
+            return Some(Arc::clone(t));
+        }
         if let Some(op) = name.strip_prefix(SNAPSHOT_TABLE_PREFIX) {
             let store = self.grid.get_snapshot_store(op)?;
             Some(Arc::new(SnapshotTable::new(store)))
@@ -216,7 +231,11 @@ impl Catalog for GridCatalog {
     }
 
     fn table_names(&self) -> Vec<String> {
-        self.grid.all_table_names()
+        let mut names = self.grid.all_table_names();
+        names.extend(self.extras.read().keys().cloned());
+        names.sort();
+        names.dedup();
+        names
     }
 
     fn snapshot_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
@@ -396,6 +415,28 @@ mod tests {
         assert!(catalog.table("orders").is_some());
         assert!(catalog.table("snapshot_orders").is_some());
         assert!(catalog.table("snapshot_missing").is_none());
+    }
+
+    #[test]
+    fn registered_sys_tables_resolve_and_list() {
+        use crate::systables::SysTable;
+        let grid = Grid::single_node();
+        grid.map("orders");
+        let catalog = GridCatalog::new(grid);
+        catalog.register(Arc::new(SysTable::new(
+            "sys_demo",
+            schema(vec![("n", DataType::Int)]),
+            Arc::new(|| vec![vec![Value::Int(41)], vec![Value::Int(42)]]),
+        )));
+        assert_eq!(catalog.table_names(), vec!["orders", "sys_demo"]);
+        let engine = SqlEngine::new(catalog);
+        let rs = engine.query("SELECT n FROM sys_demo WHERE n > 41").unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(42)]]);
+        // Self-join over the same sys table works like any other table.
+        let rs = engine
+            .query("SELECT a.n FROM sys_demo a JOIN sys_demo b ON a.n = b.n ORDER BY a.n")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(41)], vec![Value::Int(42)]]);
     }
 
     #[test]

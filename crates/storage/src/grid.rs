@@ -13,6 +13,7 @@ use crate::replication::{ReplOp, Replicator};
 use crate::snapshot::SnapshotStore;
 use parking_lot::RwLock;
 use squery_common::config::ClusterConfig;
+use squery_common::telemetry::MetricsRegistry;
 use squery_common::{NodeId, Partitioner, SqError, SqResult, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,6 +30,7 @@ pub struct Grid {
     maps: RwLock<HashMap<String, Arc<IMap>>>,
     snapshots: RwLock<HashMap<String, Arc<SnapshotStore>>>,
     replicator: Option<Arc<Replicator>>,
+    telemetry: MetricsRegistry,
 }
 
 impl Grid {
@@ -51,6 +53,7 @@ impl Grid {
             maps: RwLock::new(HashMap::new()),
             snapshots: RwLock::new(HashMap::new()),
             replicator,
+            telemetry: MetricsRegistry::new(),
         }))
     }
 
@@ -79,6 +82,13 @@ impl Grid {
         &self.registry
     }
 
+    /// The engine-wide metrics/event registry. Every map and snapshot store
+    /// created through the grid is attached to it; the stream engine, SQL
+    /// engine, and `sys_*` tables all share this one instance.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
     /// The node currently owning `key`'s partition.
     pub fn node_of_key(&self, key: &Value) -> NodeId {
         self.partition_table
@@ -97,6 +107,7 @@ impl Grid {
             return Arc::clone(m);
         }
         let map = Arc::new(IMap::new(name, self.partitioner));
+        map.attach_telemetry(&self.telemetry);
         if let Some(repl) = &self.replicator {
             let repl = Arc::clone(repl);
             let map_name = name.to_string();
@@ -137,6 +148,7 @@ impl Grid {
             return Arc::clone(s);
         }
         let store = Arc::new(SnapshotStore::new(operator_name, self.partitioner));
+        store.attach_telemetry(&self.telemetry);
         stores.insert(operator_name.to_string(), Arc::clone(&store));
         store
     }

@@ -15,11 +15,47 @@
 use crate::locks::LockStripes;
 use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
+use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
+use squery_common::telemetry::{Counter, EventKind, Gauge, MetricsRegistry};
 use squery_common::{PartitionId, Partitioner, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Lock waits at or above this many µs also emit a `lock_contention`
+/// engine event (every wait, contended or not, lands in the histogram).
+pub const LOCK_CONTENTION_EVENT_US: u64 = 1_000;
+
+/// Per-map handles into the engine-wide [`MetricsRegistry`], resolved once
+/// at attach time so the hot path touches only atomics.
+struct MapTelemetry {
+    reads: Counter,
+    writes: Counter,
+    removes: Counter,
+    read_us: SharedHistogram,
+    write_us: SharedHistogram,
+    lock_wait_us: SharedHistogram,
+    entries: Gauge,
+    bytes: Gauge,
+    registry: MetricsRegistry,
+}
+
+impl MapTelemetry {
+    fn lock_waited(&self, map: &str, wait_us: u64) {
+        self.lock_wait_us.record(wait_us);
+        if wait_us >= LOCK_CONTENTION_EVENT_US {
+            self.registry.event(
+                EventKind::LockContention,
+                Some(map),
+                None,
+                Some(wait_us),
+                "key lock wait",
+            );
+        }
+    }
+}
 
 /// Callback invoked after every successful write (put/remove), used by the
 /// grid to feed asynchronous replication. Arguments: partition, key, and the
@@ -39,6 +75,7 @@ pub struct IMap {
     value_schema: RwLock<Option<Arc<Schema>>>,
     bytes: AtomicI64,
     write_listener: RwLock<Option<WriteListener>>,
+    telemetry: RwLock<Option<Arc<MapTelemetry>>>,
 }
 
 impl IMap {
@@ -57,7 +94,34 @@ impl IMap {
             value_schema: RwLock::new(None),
             bytes: AtomicI64::new(0),
             write_listener: RwLock::new(None),
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Wire this map into `registry`: per-operation counters and latency
+    /// histograms plus `map_entries` / `map_bytes` gauges, all labelled
+    /// `map=<name>`. Gauges are seeded from current contents so attaching
+    /// after a restore still reports the truth.
+    pub fn attach_telemetry(&self, registry: &MetricsRegistry) {
+        let labels = [("map", self.name.as_str())];
+        let tel = MapTelemetry {
+            reads: registry.counter("map_reads_total", &labels),
+            writes: registry.counter("map_writes_total", &labels),
+            removes: registry.counter("map_removes_total", &labels),
+            read_us: registry.histogram("map_read_us", &labels),
+            write_us: registry.histogram("map_write_us", &labels),
+            lock_wait_us: registry.histogram("map_lock_wait_us", &labels),
+            entries: registry.gauge("map_entries", &labels),
+            bytes: registry.gauge("map_bytes", &labels),
+            registry: registry.clone(),
+        };
+        tel.entries.set(self.len() as i64);
+        tel.bytes.set(self.bytes.load(Ordering::Relaxed));
+        *self.telemetry.write() = Some(Arc::new(tel));
+    }
+
+    fn telemetry(&self) -> Option<Arc<MapTelemetry>> {
+        self.telemetry.read().clone()
     }
 
     /// The map's name (equals the owning operator's name).
@@ -93,23 +157,43 @@ impl IMap {
 
     /// Point read under the key lock.
     pub fn get(&self, key: &Value) -> Option<Value> {
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
         let part = &self.parts[self.partition_of(key).0 as usize];
-        let _k = part.locks.lock(key);
-        part.map.read().get(key).cloned()
+        let (_k, wait_us) = part.locks.lock_timed(key);
+        let out = part.map.read().get(key).cloned();
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.reads.inc();
+            t.read_us.record(s.elapsed().as_micros() as u64);
+            t.lock_waited(&self.name, wait_us);
+        }
+        out
     }
 
     /// Insert/overwrite under the key lock; returns the previous value.
     pub fn put(&self, key: Value, value: Value) -> Option<Value> {
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
         let pid = self.partition_of(&key);
         let part = &self.parts[pid.0 as usize];
-        let _k = part.locks.lock(&key);
+        let (_k, wait_us) = part.locks.lock_timed(&key);
         let delta_new = (encoded_len(&key) + encoded_len(&value)) as i64;
         let old = part.map.write().insert(key.clone(), value.clone());
         let delta_old = old
             .as_ref()
             .map(|o| (encoded_len(&key) + encoded_len(o)) as i64)
             .unwrap_or(0);
-        self.bytes.fetch_add(delta_new - delta_old, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(delta_new - delta_old, Ordering::Relaxed);
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.writes.inc();
+            t.write_us.record(s.elapsed().as_micros() as u64);
+            t.lock_waited(&self.name, wait_us);
+            if old.is_none() {
+                t.entries.add(1);
+            }
+            t.bytes.add(delta_new - delta_old);
+        }
         if let Some(listener) = self.write_listener.read().clone() {
             listener(pid, &key, Some(&value));
         }
@@ -118,13 +202,27 @@ impl IMap {
 
     /// Remove under the key lock; returns the removed value.
     pub fn remove(&self, key: &Value) -> Option<Value> {
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
         let pid = self.partition_of(key);
         let part = &self.parts[pid.0 as usize];
-        let _k = part.locks.lock(key);
+        let (_k, wait_us) = part.locks.lock_timed(key);
         let old = part.map.write().remove(key);
+        let mut removed_bytes = 0i64;
         if let Some(old_v) = &old {
-            let delta = (encoded_len(key) + encoded_len(old_v)) as i64;
-            self.bytes.fetch_sub(delta, Ordering::Relaxed);
+            removed_bytes = (encoded_len(key) + encoded_len(old_v)) as i64;
+            self.bytes.fetch_sub(removed_bytes, Ordering::Relaxed);
+        }
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.removes.inc();
+            t.write_us.record(s.elapsed().as_micros() as u64);
+            t.lock_waited(&self.name, wait_us);
+            if old.is_some() {
+                t.entries.add(-1);
+                t.bytes.add(-removed_bytes);
+            }
+        }
+        if old.is_some() {
             if let Some(listener) = self.write_listener.read().clone() {
                 listener(pid, key, None);
             }
@@ -154,6 +252,16 @@ impl IMap {
             p.map.write().clear();
         }
         self.bytes.store(0, Ordering::Relaxed);
+        self.resync_gauges();
+    }
+
+    /// Re-seed the entry/byte gauges after a bulk mutation that bypasses the
+    /// per-key accounting (clear, silent load, partition drop).
+    fn resync_gauges(&self) {
+        if let Some(t) = self.telemetry() {
+            t.entries.set(self.len() as i64);
+            t.bytes.set(self.bytes.load(Ordering::Relaxed));
+        }
     }
 
     /// Approximate encoded size of all entries, in bytes.
@@ -190,9 +298,7 @@ impl IMap {
 
     /// Read multiple keys under their key locks.
     pub fn get_all(&self, keys: &[Value]) -> Vec<(Value, Option<Value>)> {
-        keys.iter()
-            .map(|k| (k.clone(), self.get(k)))
-            .collect()
+        keys.iter().map(|k| (k.clone(), self.get(k))).collect()
     }
 
     /// Bulk-load entries without firing the write listener (recovery path:
@@ -208,6 +314,7 @@ impl IMap {
                 .unwrap_or(0);
             self.bytes.fetch_add(delta - delta_old, Ordering::Relaxed);
         }
+        self.resync_gauges();
     }
 
     /// Drop every entry in the given partitions (node-failure simulation).
@@ -221,6 +328,7 @@ impl IMap {
             }
             guard.clear();
         }
+        self.resync_gauges();
     }
 }
 
@@ -240,10 +348,7 @@ mod tests {
         assert_eq!(m.put(Value::Int(1), Value::str("a")), None);
         assert_eq!(m.get(&Value::Int(1)), Some(Value::str("a")));
         assert!(m.contains_key(&Value::Int(1)));
-        assert_eq!(
-            m.put(Value::Int(1), Value::str("b")),
-            Some(Value::str("a"))
-        );
+        assert_eq!(m.put(Value::Int(1), Value::str("b")), Some(Value::str("a")));
         assert_eq!(m.remove(&Value::Int(1)), Some(Value::str("b")));
         assert_eq!(m.get(&Value::Int(1)), None);
         assert!(m.is_empty());
@@ -311,10 +416,7 @@ mod tests {
         m.remove(&Value::Int(5));
         m.remove(&Value::Int(6)); // absent: no event
         let events = log.lock().clone();
-        assert_eq!(
-            events,
-            vec![(Value::Int(5), true), (Value::Int(5), false)]
-        );
+        assert_eq!(events, vec![(Value::Int(5), true), (Value::Int(5), false)]);
     }
 
     #[test]
@@ -362,6 +464,31 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(m.len(), 4000);
+    }
+
+    #[test]
+    fn attached_telemetry_tracks_ops_and_gauges() {
+        use squery_common::telemetry::MetricsRegistry;
+        let m = map();
+        let reg = MetricsRegistry::new();
+        m.put(Value::Int(1), Value::Int(10)); // pre-attach write: uncounted
+        m.attach_telemetry(&reg);
+        let l = [("map", "average")];
+        assert_eq!(reg.gauge_value("map_entries", &l), Some(1), "seeded");
+        m.put(Value::Int(2), Value::Int(20));
+        m.get(&Value::Int(2));
+        m.remove(&Value::Int(1));
+        assert_eq!(reg.counter_value("map_writes_total", &l), Some(1));
+        assert_eq!(reg.counter_value("map_reads_total", &l), Some(1));
+        assert_eq!(reg.counter_value("map_removes_total", &l), Some(1));
+        assert_eq!(reg.gauge_value("map_entries", &l), Some(1));
+        assert_eq!(
+            reg.gauge_value("map_bytes", &l),
+            Some(m.approximate_bytes() as i64)
+        );
+        m.clear();
+        assert_eq!(reg.gauge_value("map_entries", &l), Some(0));
+        assert_eq!(reg.gauge_value("map_bytes", &l), Some(0));
     }
 
     #[test]

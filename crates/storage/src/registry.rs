@@ -134,9 +134,7 @@ impl SnapshotRegistry {
             None => {
                 let latest = self.latest_committed();
                 if !latest.is_some() {
-                    return Err(SqError::NotFound(
-                        "no snapshot committed yet".into(),
-                    ));
+                    return Err(SqError::NotFound("no snapshot committed yet".into()));
                 }
                 Ok(latest)
             }

@@ -73,9 +73,7 @@ impl Replicator {
                 for op in rx.iter() {
                     if !network.is_instant() {
                         let bytes = match &op {
-                            ReplOp::Put { key, value, .. } => {
-                                encoded_len(key) + encoded_len(value)
-                            }
+                            ReplOp::Put { key, value, .. } => encoded_len(key) + encoded_len(value),
                             ReplOp::Remove { key, .. } => encoded_len(key),
                         };
                         std::thread::sleep(network.transfer_delay(bytes));
@@ -88,10 +86,7 @@ impl Replicator {
                             key,
                             value,
                         } => {
-                            guard
-                                .entry((map, pid.0))
-                                .or_default()
-                                .insert(key, value);
+                            guard.entry((map, pid.0)).or_default().insert(key, value);
                         }
                         ReplOp::Remove { map, pid, key } => {
                             if let Some(part) = guard.get_mut(&(map, pid.0)) {

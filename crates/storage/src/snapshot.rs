@@ -20,11 +20,24 @@
 
 use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
+use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
+use squery_common::telemetry::{Counter, MetricsRegistry};
 use squery_common::{PartitionId, Partitioner, SnapshotId, SqError, SqResult, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-store handles into the engine-wide [`MetricsRegistry`].
+struct StoreTelemetry {
+    writes: Counter,
+    reads: Counter,
+    scans: Counter,
+    write_us: SharedHistogram,
+    read_us: SharedHistogram,
+    scan_us: SharedHistogram,
+}
 
 /// Whether checkpoints record complete state or per-checkpoint deltas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +81,7 @@ pub struct SnapshotStore {
     /// Snapshot ids below this have been pruned; reads there are errors.
     pruned_below: AtomicU64,
     approx_bytes: AtomicU64,
+    telemetry: RwLock<Option<Arc<StoreTelemetry>>>,
 }
 
 impl SnapshotStore {
@@ -82,7 +96,26 @@ impl SnapshotStore {
             value_schema: RwLock::new(None),
             pruned_below: AtomicU64::new(0),
             approx_bytes: AtomicU64::new(0),
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Wire this store into `registry`: operation counters and latency
+    /// histograms labelled `store=<name>`.
+    pub fn attach_telemetry(&self, registry: &MetricsRegistry) {
+        let labels = [("store", self.name.as_str())];
+        *self.telemetry.write() = Some(Arc::new(StoreTelemetry {
+            writes: registry.counter("snapshot_writes_total", &labels),
+            reads: registry.counter("snapshot_reads_total", &labels),
+            scans: registry.counter("snapshot_scans_total", &labels),
+            write_us: registry.histogram("snapshot_write_us", &labels),
+            read_us: registry.histogram("snapshot_read_us", &labels),
+            scan_us: registry.histogram("snapshot_scan_us", &labels),
+        }));
+    }
+
+    fn telemetry(&self) -> Option<Arc<StoreTelemetry>> {
+        self.telemetry.read().clone()
     }
 
     /// The store's table name (`snapshot_<operator>`).
@@ -118,6 +151,8 @@ impl SnapshotStore {
         entries: Vec<(Value, Option<Value>)>,
         full: bool,
     ) {
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
         let mut bytes = 0u64;
         let mut map = HashMap::with_capacity(entries.len());
         for (k, v) in entries {
@@ -125,17 +160,18 @@ impl SnapshotStore {
             map.insert(k, v);
         }
         let mut part = self.parts[pid.0 as usize].write();
-        if let Some(old) = part.versions.insert(
-            ssid.0,
-            VersionMap {
-                full,
-                entries: map,
-            },
-        ) {
+        if let Some(old) = part
+            .versions
+            .insert(ssid.0, VersionMap { full, entries: map })
+        {
             self.approx_bytes
                 .fetch_sub(version_bytes(&old), Ordering::Relaxed);
         }
         self.approx_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.writes.inc();
+            t.write_us.record(s.elapsed().as_micros() as u64);
+        }
     }
 
     /// Erase an aborted checkpoint attempt everywhere.
@@ -156,16 +192,25 @@ impl SnapshotStore {
     /// the walk.
     pub fn read_at(&self, ssid: SnapshotId, key: &Value) -> SqResult<Option<Value>> {
         self.check_not_pruned(ssid)?;
-        let part = self.parts[self.partition_of(key).0 as usize].read();
-        for (_, vm) in part.versions.range(..=ssid.0).rev() {
-            if let Some(v) = vm.entries.get(key) {
-                return Ok(v.clone());
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
+        let out = (|| {
+            let part = self.parts[self.partition_of(key).0 as usize].read();
+            for (_, vm) in part.versions.range(..=ssid.0).rev() {
+                if let Some(v) = vm.entries.get(key) {
+                    return v.clone();
+                }
+                if vm.full {
+                    return None;
+                }
             }
-            if vm.full {
-                return Ok(None);
-            }
+            None
+        })();
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.reads.inc();
+            t.read_us.record(s.elapsed().as_micros() as u64);
         }
-        Ok(None)
+        Ok(out)
     }
 
     /// Scan the complete state as of snapshot `ssid`.
@@ -177,6 +222,8 @@ impl SnapshotStore {
     /// experiments report).
     pub fn scan_at(&self, ssid: SnapshotId) -> SqResult<(Vec<(Value, Value)>, usize)> {
         self.check_not_pruned(ssid)?;
+        let tel = self.telemetry();
+        let start = tel.as_ref().map(|_| Instant::now());
         let mut out = Vec::new();
         let mut maps_consulted = 0usize;
         for part in &self.parts {
@@ -197,6 +244,10 @@ impl SnapshotStore {
                     break;
                 }
             }
+        }
+        if let (Some(t), Some(s)) = (tel.as_ref(), start) {
+            t.scans.inc();
+            t.scan_us.record(s.elapsed().as_micros() as u64);
         }
         Ok((out, maps_consulted))
     }
@@ -233,10 +284,7 @@ impl SnapshotStore {
     /// each id fully resolved. Powers SQL scans of `snapshot_<op>` without an
     /// `ssid` predicate ("a result set can integrate the state of multiple
     /// snapshot versions with explicit mention of each pair's version").
-    pub fn scan_versions(
-        &self,
-        ssids: &[SnapshotId],
-    ) -> SqResult<Vec<(SnapshotId, Value, Value)>> {
+    pub fn scan_versions(&self, ssids: &[SnapshotId]) -> SqResult<Vec<(SnapshotId, Value, Value)>> {
         let mut out = Vec::new();
         for &ssid in ssids {
             let (entries, _) = self.scan_at(ssid)?;
@@ -332,6 +380,25 @@ impl SnapshotStore {
         removed
     }
 
+    /// Per-version statistics: `(ssid, stored entries, approx bytes)` for
+    /// every snapshot id currently held, ascending. Backs the `sys_snapshots`
+    /// system table.
+    pub fn version_stats(&self) -> Vec<(SnapshotId, usize, u64)> {
+        let mut per_ssid: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+        for part in &self.parts {
+            let guard = part.read();
+            for (id, vm) in guard.versions.iter() {
+                let slot = per_ssid.entry(*id).or_insert((0, 0));
+                slot.0 += vm.entries.len();
+                slot.1 += version_bytes(vm);
+            }
+        }
+        per_ssid
+            .into_iter()
+            .map(|(id, (entries, bytes))| (SnapshotId(id), entries, bytes))
+            .collect()
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> SnapshotStats {
         let mut stored_entries = 0usize;
@@ -384,18 +451,10 @@ mod tests {
     }
 
     /// Write `entries` routed to their correct partitions.
-    fn write_all(
-        s: &SnapshotStore,
-        ssid: u64,
-        entries: Vec<(Value, Option<Value>)>,
-        full: bool,
-    ) {
+    fn write_all(s: &SnapshotStore, ssid: u64, entries: Vec<(Value, Option<Value>)>, full: bool) {
         let mut by_pid: HashMap<u32, Vec<(Value, Option<Value>)>> = HashMap::new();
         for (k, v) in entries {
-            by_pid
-                .entry(s.partition_of(&k).0)
-                .or_default()
-                .push((k, v));
+            by_pid.entry(s.partition_of(&k).0).or_default().push((k, v));
         }
         // Even partitions not touched get an (empty) write in full mode so the
         // version exists everywhere — mirrors what operator instances do.
@@ -506,10 +565,7 @@ mod tests {
         write_all(
             &s,
             2,
-            vec![
-                (Value::Int(2), Some(Value::Int(21))),
-                (Value::Int(3), None),
-            ],
+            vec![(Value::Int(2), Some(Value::Int(21))), (Value::Int(3), None)],
             false,
         );
         let (mut scan, consulted) = s.scan_at(SnapshotId(2)).unwrap();
@@ -581,7 +637,10 @@ mod tests {
             s.read_at(SnapshotId(2), &Value::Int(1)),
             Err(SqError::NotFound(_))
         ));
-        assert!(matches!(s.scan_at(SnapshotId(1)), Err(SqError::NotFound(_))));
+        assert!(matches!(
+            s.scan_at(SnapshotId(1)),
+            Err(SqError::NotFound(_))
+        ));
         // Only two ids remain: the folded base (3) and the delta (4).
         assert_eq!(s.stored_ssids(), vec![SnapshotId(3), SnapshotId(4)]);
     }
@@ -603,9 +662,7 @@ mod tests {
         let s = store();
         write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
         write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
-        let rows = s
-            .scan_versions(&[SnapshotId(1), SnapshotId(2)])
-            .unwrap();
+        let rows = s.scan_versions(&[SnapshotId(1), SnapshotId(2)]).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.contains(&(SnapshotId(1), Value::Int(1), Value::Int(10))));
         assert!(rows.contains(&(SnapshotId(2), Value::Int(1), Value::Int(11))));
@@ -634,10 +691,54 @@ mod tests {
     }
 
     #[test]
+    fn version_stats_report_per_ssid_entries_and_bytes() {
+        let s = store();
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true,
+        );
+        write_all(&s, 2, vec![(Value::Int(1), None)], false);
+        let stats = s.version_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].0, stats[0].1), (SnapshotId(1), 2));
+        assert_eq!((stats[1].0, stats[1].1), (SnapshotId(2), 1));
+        assert!(stats[0].2 > 0);
+        let total: u64 = stats.iter().map(|(_, _, b)| *b).sum();
+        assert_eq!(total as usize, s.stats().approx_bytes);
+    }
+
+    #[test]
+    fn attached_telemetry_counts_store_operations() {
+        use squery_common::telemetry::MetricsRegistry;
+        let s = store();
+        let reg = MetricsRegistry::new();
+        s.attach_telemetry(&reg);
+        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        s.read_at(SnapshotId(1), &Value::Int(1)).unwrap();
+        s.scan_at(SnapshotId(1)).unwrap();
+        let l = [("store", "snapshot_orders")];
+        assert_eq!(reg.counter_value("snapshot_writes_total", &l), Some(8));
+        assert_eq!(reg.counter_value("snapshot_reads_total", &l), Some(1));
+        assert_eq!(reg.counter_value("snapshot_scans_total", &l), Some(1));
+    }
+
+    #[test]
     fn erase_key_removes_every_version() {
         let s = store();
-        write_all(&s, 1, vec![(Value::Int(1), Some(Value::Int(10))),
-                              (Value::Int(2), Some(Value::Int(20)))], true);
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true,
+        );
         write_all(&s, 2, vec![(Value::Int(1), Some(Value::Int(11)))], false);
         let removed = s.erase_key(&Value::Int(1));
         assert_eq!(removed, 2, "both stored versions physically removed");

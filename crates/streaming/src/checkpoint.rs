@@ -21,6 +21,7 @@
 use crate::worker::{Ack, Shared, SourceCommand};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use squery_common::telemetry::EventKind;
 use squery_common::{SnapshotId, SqError, SqResult};
 use squery_storage::{Grid, SnapshotStore};
 use std::sync::atomic::Ordering;
@@ -33,6 +34,8 @@ use std::time::Duration;
 pub struct CheckpointRecord {
     /// The committed snapshot id.
     pub ssid: SnapshotId,
+    /// t₀ on the engine clock: when the round began (marker injection), in µs.
+    pub began_at_us: u64,
     /// t₁−t₀: marker injection until the last phase-1 ack, in µs.
     pub phase1_us: u64,
     /// t₂−t₀: full 2PC duration including commit + pruning, in µs.
@@ -96,8 +99,10 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     while ctx.ack_rx.try_recv().is_ok() {}
 
     let registry = ctx.grid.registry();
+    let telemetry = ctx.grid.telemetry();
     let t0 = ctx.shared.clock.now_micros();
     let ssid = registry.begin()?;
+    telemetry.event(EventKind::CheckpointBegin, None, Some(ssid.0), None, "");
     for ctl in &ctx.source_controls {
         // A dropped source control means the job is shutting down.
         if ctl.send(SourceCommand::Marker(ssid)).is_err() {
@@ -113,7 +118,10 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
         if remaining.is_zero() {
             break;
         }
-        match ctx.ack_rx.recv_timeout(remaining.min(Duration::from_millis(20))) {
+        match ctx
+            .ack_rx
+            .recv_timeout(remaining.min(Duration::from_millis(20)))
+        {
             Ok(ack) if ack.ssid == ssid => acked += 1,
             Ok(_) => {} // stale ack from an aborted round
             Err(_) => {
@@ -136,65 +144,97 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
         }
         registry.abort(ssid)?;
         ctx.stats.count_abort();
+        telemetry.event(
+            EventKind::CheckpointAborted,
+            None,
+            Some(ssid.0),
+            None,
+            format!("{acked}/{expected} acks"),
+        );
         return Err(SqError::Runtime(format!(
             "checkpoint {ssid} aborted: {acked}/{expected} acks"
         )));
     }
     let t1 = ctx.shared.clock.now_micros();
+    telemetry.event(
+        EventKind::CheckpointPhase1,
+        None,
+        Some(ssid.0),
+        Some(t1 - t0),
+        format!("{acked} acks"),
+    );
     // Phase 2: atomic publication + retention pruning.
     let horizon = registry.commit(ssid)?;
     for store in &ctx.stores {
         store.prune_below(horizon);
     }
     let t2 = ctx.shared.clock.now_micros();
+    telemetry.event(
+        EventKind::CheckpointCommitted,
+        None,
+        Some(ssid.0),
+        Some(t2 - t0),
+        "",
+    );
+    telemetry
+        .histogram("checkpoint_phase1_us", &[])
+        .record(t1 - t0);
+    telemetry
+        .histogram("checkpoint_total_us", &[])
+        .record(t2 - t0);
     ctx.stats.push(CheckpointRecord {
         ssid,
+        began_at_us: t0,
         phase1_us: t1 - t0,
         total_us: t2 - t0,
     });
     Ok(ssid)
 }
 
+/// Control messages into the coordinator thread.
+enum CoordMsg {
+    /// Run a checkpoint now; reply with the result.
+    Trigger(Sender<SqResult<SnapshotId>>),
+    /// Shut the coordinator down.
+    Stop,
+}
+
 /// Handle to the coordinator thread.
 pub struct Coordinator {
-    trigger_tx: Sender<Sender<SqResult<SnapshotId>>>,
-    stop_tx: Sender<()>,
+    control_tx: Sender<CoordMsg>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Coordinator {
     /// Start the coordinator; `interval = None` means manual triggering only.
     pub fn start(ctx: CoordinatorContext, interval: Option<Duration>) -> Coordinator {
-        let (trigger_tx, trigger_rx) = unbounded::<Sender<SqResult<SnapshotId>>>();
-        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let (control_tx, control_rx) = unbounded::<CoordMsg>();
         let thread = std::thread::Builder::new()
             .name("squery-checkpoint-coordinator".into())
-            .spawn(move || loop {
+            .spawn(move || {
                 let tick = interval.unwrap_or(Duration::from_secs(3600));
-                crossbeam::channel::select! {
-                    recv(stop_rx) -> _ => break,
-                    recv(trigger_rx) -> msg => {
-                        if let Ok(reply) = msg {
+                loop {
+                    match control_rx.recv_timeout(tick) {
+                        Ok(CoordMsg::Stop) => break,
+                        Ok(CoordMsg::Trigger(reply)) => {
                             let result = run_checkpoint(&ctx);
                             let _ = reply.send(result);
-                        } else {
-                            break;
                         }
-                    }
-                    default(tick) => {
-                        if interval.is_some()
-                            && !ctx.shared.poison.load(Ordering::Relaxed)
-                            && ctx.shared.live_instances.load(Ordering::Acquire) > 0
-                        {
-                            let _ = run_checkpoint(&ctx);
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if interval.is_some()
+                                && !ctx.shared.poison.load(Ordering::Relaxed)
+                                && ctx.shared.live_instances.load(Ordering::Acquire) > 0
+                            {
+                                let _ = run_checkpoint(&ctx);
+                            }
                         }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
                 }
             })
             .expect("spawn coordinator");
         Coordinator {
-            trigger_tx,
-            stop_tx,
+            control_tx,
             thread: Some(thread),
         }
     }
@@ -202,8 +242,8 @@ impl Coordinator {
     /// Run a checkpoint now and wait for it to commit (or fail).
     pub fn trigger(&self) -> SqResult<SnapshotId> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.trigger_tx
-            .send(reply_tx)
+        self.control_tx
+            .send(CoordMsg::Trigger(reply_tx))
             .map_err(|_| SqError::Runtime("coordinator stopped".into()))?;
         reply_rx
             .recv_timeout(Duration::from_secs(60))
@@ -212,7 +252,7 @@ impl Coordinator {
 
     /// Stop the coordinator thread (no further checkpoints).
     pub fn stop(mut self) {
-        let _ = self.stop_tx.send(());
+        let _ = self.control_tx.send(CoordMsg::Stop);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -221,7 +261,7 @@ impl Coordinator {
 
 impl Drop for Coordinator {
     fn drop(&mut self) {
-        let _ = self.stop_tx.send(());
+        let _ = self.control_tx.send(CoordMsg::Stop);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -263,6 +303,7 @@ mod tests {
             live_instances: AtomicU32::new(live),
             exhausted_sources: AtomicU32::new(0),
             partitioner: Partitioner::new(16),
+            telemetry: grid.telemetry().clone(),
         });
         let stores = vec![grid.snapshot_store("op")];
         (
@@ -299,6 +340,27 @@ mod tests {
         let records = ctx.stats.records();
         assert_eq!(records.len(), 1);
         assert!(records[0].total_us >= records[0].phase1_us);
+        assert!(
+            records[0].began_at_us > 0,
+            "wall-clock begin stamp recorded"
+        );
+        // The round leaves a begin → phase1 → committed event trail.
+        let kinds: Vec<&'static str> = ctx
+            .grid
+            .telemetry()
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.as_str())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "checkpoint_begin",
+                "checkpoint_phase1",
+                "checkpoint_committed"
+            ]
+        );
     }
 
     #[test]
@@ -308,7 +370,10 @@ mod tests {
         ctx.stores[0].write_partition(
             SnapshotId(1),
             squery_common::PartitionId(0),
-            vec![(squery_common::Value::Int(1), Some(squery_common::Value::Int(1)))],
+            vec![(
+                squery_common::Value::Int(1),
+                Some(squery_common::Value::Int(1)),
+            )],
             true,
         );
         drop(ack_tx); // nobody will ack

@@ -246,12 +246,7 @@ pub struct JobSpecBuilder {
 
 impl JobSpecBuilder {
     /// Add a vertex; returns its index for use in [`JobSpecBuilder::edge`].
-    pub fn vertex(
-        &mut self,
-        name: impl Into<String>,
-        parallelism: u32,
-        kind: VertexKind,
-    ) -> usize {
+    pub fn vertex(&mut self, name: impl Into<String>, parallelism: u32, kind: VertexKind) -> usize {
         self.spec.vertices.push(VertexSpec {
             name: name.into(),
             parallelism,
@@ -375,12 +370,7 @@ pub mod adapters {
     where
         F: FnMut(Record, &mut dyn KeyedState, &mut Vec<Record>) + Send,
     {
-        fn process(
-            &mut self,
-            record: Record,
-            state: &mut dyn KeyedState,
-            out: &mut Vec<Record>,
-        ) {
+        fn process(&mut self, record: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>) {
             (self.0)(record, state, out)
         }
     }
@@ -419,7 +409,6 @@ mod tests {
     use super::adapters::*;
     use super::*;
     use crate::source::{GeneratorSource, SourceStatus};
-    
 
     fn noop_source() -> Arc<dyn SourceFactory> {
         struct F;

@@ -73,10 +73,7 @@ mod tests {
 
     #[test]
     fn items_compare() {
-        assert_eq!(
-            Item::Marker(SnapshotId(9)),
-            Item::Marker(SnapshotId(9))
-        );
+        assert_eq!(Item::Marker(SnapshotId(9)), Item::Marker(SnapshotId(9)));
         assert_ne!(Item::Eos, Item::Marker(SnapshotId(1)));
     }
 }

@@ -18,9 +18,11 @@ use crate::message::Tagged;
 use crate::state::{SnapshotSink, StateBackend};
 use crate::worker::{
     run_operator, run_source, OffsetSaver, OperatorKind, OutputPort, Shared, SourceCommand,
+    WorkerTelemetry,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use squery_common::metrics::{Histogram, SharedHistogram};
+use squery_common::telemetry::EventKind;
 use squery_common::time::Clock;
 use squery_common::{SnapshotId, SqError, SqResult, Value};
 use squery_storage::{Grid, SnapshotMode, SnapshotStore};
@@ -144,6 +146,13 @@ impl StreamEnv {
     /// Submit a job; threads start immediately.
     pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
         spec.validate()?;
+        self.grid.telemetry().event(
+            EventKind::JobSubmitted,
+            Some(&spec.name),
+            None,
+            None,
+            format!("{} vertices", spec.vertices.len()),
+        );
         let stats = CheckpointStats::new();
         let (running, shared) = build_runtime(
             &spec,
@@ -373,6 +382,13 @@ impl JobHandle {
                 "no committed snapshot to recover from".into(),
             ));
         }
+        self.grid.telemetry().event(
+            EventKind::Recovery,
+            Some(&self.spec.name),
+            Some(latest.0),
+            None,
+            "rollback to latest committed snapshot",
+        );
         let (running, shared) = build_runtime(
             &self.spec,
             &self.grid,
@@ -399,6 +415,13 @@ impl JobHandle {
             }
         }
         self.fold_metrics();
+        self.grid.telemetry().event(
+            EventKind::JobStopped,
+            Some(&self.spec.name),
+            None,
+            Some(self.started.elapsed().as_micros() as u64),
+            "",
+        );
         JobReport {
             latency: self.base_latency.clone(),
             sink_records: self.base_sink,
@@ -446,6 +469,7 @@ fn build_runtime(
         live_instances: AtomicU32::new(spec.total_instances()),
         exhausted_sources: AtomicU32::new(0),
         partitioner: grid.partitioner(),
+        telemetry: grid.telemetry().clone(),
     });
 
     // Input channels for every non-source instance.
@@ -532,10 +556,10 @@ fn build_runtime(
                     let outs = outputs(vi, i);
                     let shared = Arc::clone(&shared);
                     let batch = config.source_batch;
-                    threads.push(spawn_named(
-                        format!("{}#{i}", v.name),
-                        move || run_source(source, ctl_rx, outs, i, batch, shared, saver),
-                    ));
+                    let tel = WorkerTelemetry::for_operator(grid.telemetry(), &v.name);
+                    threads.push(spawn_named(format!("{}#{i}", v.name), move || {
+                        run_source(source, ctl_rx, outs, i, batch, shared, saver, tel)
+                    }));
                 }
             }
             VertexKind::Stateless(factory) => {
@@ -545,8 +569,17 @@ fn build_runtime(
                     let outs = outputs(vi, i);
                     let shared = Arc::clone(&shared);
                     let channels = n_channels(vi);
+                    let tel = WorkerTelemetry::for_operator(grid.telemetry(), &v.name);
                     threads.push(spawn_named(format!("{}#{i}", v.name), move || {
-                        run_operator(rx, channels, OperatorKind::Stateless(op), outs, i, shared)
+                        run_operator(
+                            rx,
+                            channels,
+                            OperatorKind::Stateless(op),
+                            outs,
+                            i,
+                            shared,
+                            tel,
+                        )
                     }));
                 }
             }
@@ -581,7 +614,8 @@ fn build_runtime(
                         grid.partitioner(),
                         live.clone(),
                         sink,
-                    );
+                    )
+                    .with_telemetry(grid.telemetry());
                     if let Some(ssid) = restore {
                         backend.restore(ssid)?;
                     }
@@ -589,6 +623,7 @@ fn build_runtime(
                     let outs = outputs(vi, i);
                     let shared = Arc::clone(&shared);
                     let channels = n_channels(vi);
+                    let tel = WorkerTelemetry::for_operator(grid.telemetry(), &v.name);
                     threads.push(spawn_named(format!("{}#{i}", v.name), move || {
                         run_operator(
                             rx,
@@ -597,6 +632,7 @@ fn build_runtime(
                             outs,
                             i,
                             shared,
+                            tel,
                         )
                     }));
                 }
@@ -608,8 +644,9 @@ fn build_runtime(
                     let outs = outputs(vi, i);
                     let shared = Arc::clone(&shared);
                     let channels = n_channels(vi);
+                    let tel = WorkerTelemetry::for_operator(grid.telemetry(), &v.name);
                     threads.push(spawn_named(format!("{}#{i}", v.name), move || {
-                        run_operator(rx, channels, OperatorKind::Sink(sink), outs, i, shared)
+                        run_operator(rx, channels, OperatorKind::Sink(sink), outs, i, shared, tel)
                     }));
                 }
             }
@@ -676,15 +713,11 @@ mod tests {
     }
 
     /// Stateful op: per-key running sum, emits the new sum.
-    fn summing_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>>
-    {
+    fn summing_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>> {
         Arc::new(FnStateful(|_, _| {
             Box::new(FnStatefulOp(
                 |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
-                    let prev = state
-                        .get(&r.key)
-                        .and_then(|v| v.as_int())
-                        .unwrap_or(0);
+                    let prev = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0);
                     let next = prev + r.value.as_int().unwrap_or(0);
                     state.put(r.key.clone(), Value::Int(next));
                     out.push(Record {
@@ -733,7 +766,8 @@ mod tests {
     fn pipeline_processes_everything() {
         let env = env(StateConfig::live_and_snapshot());
         let mut job = env.submit(sum_job(1000, 10, 4)).unwrap();
-        job.wait_for_sink_count(1000, Duration::from_secs(20)).unwrap();
+        job.wait_for_sink_count(1000, Duration::from_secs(20))
+            .unwrap();
         job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
         // Live state holds the exact final sums.
         let live = env.grid().get_map("sums").unwrap();
@@ -750,7 +784,8 @@ mod tests {
     fn checkpoint_now_produces_queryable_snapshot() {
         let env = env(StateConfig::snapshot_only());
         let mut job = env.submit(sum_job(500, 5, 2)).unwrap();
-        job.wait_for_sink_count(500, Duration::from_secs(20)).unwrap();
+        job.wait_for_sink_count(500, Duration::from_secs(20))
+            .unwrap();
         let ssid = job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
         assert_eq!(env.grid().registry().latest_committed(), ssid);
         let store = env.grid().get_snapshot_store("sums").unwrap();
@@ -767,9 +802,11 @@ mod tests {
         let env = env(StateConfig::live_and_snapshot());
         let mut job = env.submit(sum_job(20_000, 10, 2)).unwrap();
         // Let some records through, checkpoint, let more through, crash.
-        job.wait_for_sink_count(2_000, Duration::from_secs(20)).unwrap();
+        job.wait_for_sink_count(2_000, Duration::from_secs(20))
+            .unwrap();
         job.checkpoint_now().unwrap();
-        job.wait_for_sink_count(5_000, Duration::from_secs(20)).unwrap();
+        job.wait_for_sink_count(5_000, Duration::from_secs(20))
+            .unwrap();
         job.crash();
         assert!(!job.is_running());
         // Recover and drain to completion (checkpoint barrier guarantees the
@@ -891,7 +928,10 @@ mod tests {
         let src = b.source(
             "src",
             1,
-            Arc::new(IntSourceFactory { limit: 100, keys: 100 }),
+            Arc::new(IntSourceFactory {
+                limit: 100,
+                keys: 100,
+            }),
         );
         let sink = b.sink(
             "sink",
@@ -902,7 +942,8 @@ mod tests {
         );
         b.edge(src, sink, EdgeKind::Forward);
         let job = env.submit(b.build().unwrap()).unwrap();
-        job.wait_for_sink_count(100, Duration::from_secs(10)).unwrap();
+        job.wait_for_sink_count(100, Duration::from_secs(10))
+            .unwrap();
         let report = job.stop();
         assert_eq!(report.latency.count(), 100);
         assert_eq!(got.lock().len(), 100);

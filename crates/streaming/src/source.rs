@@ -118,8 +118,7 @@ impl Source for GeneratorSource {
         };
         if let (Some(rate), Some(anchor)) = (self.rate_per_sec, pacing_anchor) {
             let elapsed = now_us.saturating_sub(anchor);
-            let scheduled_so_far =
-                self.prefill + (elapsed as f64 * rate / 1_000_000.0) as u64;
+            let scheduled_so_far = self.prefill + (elapsed as f64 * rate / 1_000_000.0) as u64;
             budget = budget.min(scheduled_so_far.saturating_sub(self.index));
             if budget == 0 {
                 return SourceStatus::Idle;
@@ -133,8 +132,7 @@ impl Source for GeneratorSource {
                         // stays visible in sink-side latency.
                         (Some(rate), Some(anchor)) => {
                             anchor
-                                + ((self.index - self.prefill) as f64 * 1_000_000.0 / rate)
-                                    as u64
+                                + ((self.index - self.prefill) as f64 * 1_000_000.0 / rate) as u64
                         }
                         _ => now_us,
                     };

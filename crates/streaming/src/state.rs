@@ -20,10 +20,23 @@
 
 use bytes::{BufMut, BytesMut};
 use squery_common::codec;
+use squery_common::metrics::SharedHistogram;
+use squery_common::telemetry::{Counter, MetricsRegistry};
 use squery_common::{Partitioner, SnapshotId, SqError, SqResult, Value};
 use squery_storage::{IMap, SnapshotMode, SnapshotStore};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-operator state-update telemetry (shared by a vertex's instances).
+struct BackendTelemetry {
+    /// Puts + removes through [`KeyedState`].
+    state_updates: Counter,
+    /// Wall time of the live-map write-through mirror, per update.
+    live_mirror_us: SharedHistogram,
+    /// Wall time of one phase-1 snapshot write.
+    snapshot_us: SharedHistogram,
+}
 
 /// The keyed-state view an operator programs against.
 pub trait KeyedState {
@@ -73,6 +86,7 @@ pub struct StateBackend {
     /// First checkpoint after (re)start writes a complete view even in
     /// incremental mode, so every chain has a base.
     has_snapshotted: bool,
+    telemetry: Option<BackendTelemetry>,
 }
 
 impl StateBackend {
@@ -95,7 +109,21 @@ impl StateBackend {
             live,
             sink,
             has_snapshotted: false,
+            telemetry: None,
         }
+    }
+
+    /// Wire this backend into `registry`: a `state_updates_total` counter
+    /// plus `state_live_mirror_us` / `state_snapshot_us` histograms, all
+    /// labelled `operator=<name>`.
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> StateBackend {
+        let labels = [("operator", self.name.as_str())];
+        self.telemetry = Some(BackendTelemetry {
+            state_updates: registry.counter("state_updates_total", &labels),
+            live_mirror_us: registry.histogram("state_live_mirror_us", &labels),
+            snapshot_us: registry.histogram("state_snapshot_us", &labels),
+        });
+        self
     }
 
     /// The operator name.
@@ -111,11 +139,11 @@ impl StateBackend {
 
     /// Write this instance's state for checkpoint `ssid` (phase 1).
     pub fn snapshot(&mut self, ssid: SnapshotId) -> SqResult<()> {
+        let start = self.telemetry.as_ref().map(|_| Instant::now());
         match &self.sink {
             SnapshotSink::None => {}
             SnapshotSink::Queryable { store, mode } => {
-                let full =
-                    !self.has_snapshotted || matches!(mode, SnapshotMode::Full);
+                let full = !self.has_snapshotted || matches!(mode, SnapshotMode::Full);
                 if full {
                     // Complete view: write every owned partition, including
                     // empty ones, so the version exists store-wide.
@@ -130,12 +158,7 @@ impl StateBackend {
                             .push((k.clone(), Some(v.clone())));
                     }
                     for (pid, entries) in by_pid {
-                        store.write_partition(
-                            ssid,
-                            squery_common::PartitionId(pid),
-                            entries,
-                            true,
-                        );
+                        store.write_partition(ssid, squery_common::PartitionId(pid), entries, true);
                     }
                 } else {
                     // Delta: only dirty keys; absent in `local` ⇒ tombstone.
@@ -168,6 +191,9 @@ impl StateBackend {
         }
         self.dirty.clear();
         self.has_snapshotted = true;
+        if let (Some(t), Some(s)) = (&self.telemetry, start) {
+            t.snapshot_us.record(s.elapsed().as_micros() as u64);
+        }
         Ok(())
     }
 
@@ -228,7 +254,14 @@ impl KeyedState for StateBackend {
 
     fn put(&mut self, key: Value, value: Value) {
         if let Some(live) = &self.live {
+            let start = self.telemetry.as_ref().map(|_| Instant::now());
             live.put(key.clone(), value.clone());
+            if let (Some(t), Some(s)) = (&self.telemetry, start) {
+                t.live_mirror_us.record(s.elapsed().as_micros() as u64);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.state_updates.inc();
         }
         self.dirty.insert(key.clone());
         self.local.insert(key, value);
@@ -236,7 +269,14 @@ impl KeyedState for StateBackend {
 
     fn remove(&mut self, key: &Value) -> Option<Value> {
         if let Some(live) = &self.live {
+            let start = self.telemetry.as_ref().map(|_| Instant::now());
             live.remove(key);
+            if let (Some(t), Some(s)) = (&self.telemetry, start) {
+                t.live_mirror_us.record(s.elapsed().as_micros() as u64);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.state_updates.inc();
         }
         let old = self.local.remove(key);
         if old.is_some() {
@@ -459,6 +499,36 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_updates_and_mirror_latency() {
+        let grid = Grid::single_node();
+        let live = grid.map("op");
+        let mut b = StateBackend::new(
+            "op",
+            0,
+            1,
+            grid.partitioner(),
+            Some(live),
+            SnapshotSink::None,
+        )
+        .with_telemetry(grid.telemetry());
+        b.put(Value::Int(1), Value::Int(10));
+        b.remove(&Value::Int(1));
+        let l = [("operator", "op")];
+        assert_eq!(
+            grid.telemetry().counter_value("state_updates_total", &l),
+            Some(2)
+        );
+        let mirror = grid
+            .telemetry()
+            .histograms()
+            .into_iter()
+            .find(|(k, _)| k.name == "state_live_mirror_us")
+            .expect("mirror histogram exists")
+            .1;
+        assert_eq!(mirror.count(), 2, "one sample per put/remove");
+    }
+
+    #[test]
     fn restore_without_sink_errors() {
         let mut b = StateBackend::new("op", 0, 1, partitioner(), None, SnapshotSink::None);
         assert!(b.restore(SnapshotId(1)).is_err());
@@ -493,7 +563,11 @@ mod tests {
             b.snapshot(SnapshotId(1)).unwrap();
         }
         let (all, _) = store.scan_at(SnapshotId(1)).unwrap();
-        assert_eq!(all.len(), 200, "instances cover all partitions exactly once");
+        assert_eq!(
+            all.len(),
+            200,
+            "instances cover all partitions exactly once"
+        );
         // Restore each instance and check disjoint coverage.
         let total: usize = backends
             .iter_mut()

@@ -17,13 +17,81 @@ use crate::source::{Source, SourceStatus};
 use crate::state::StateBackend;
 use crossbeam::channel::{Receiver, Sender};
 use squery_common::metrics::SharedHistogram;
+use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
 use squery_common::time::Clock;
 use squery_common::{Partitioner, SnapshotId, Value};
 use squery_storage::SnapshotStore;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Marker-alignment stalls at or above this many µs also emit an
+/// `alignment_stall` engine event (every stall lands in the histogram).
+pub const ALIGN_STALL_EVENT_US: u64 = 10_000;
+
+/// Per-vertex telemetry handles, shared by all instances of the vertex
+/// (counters aggregate across instances; events carry the instance in
+/// their detail).
+pub struct WorkerTelemetry {
+    /// The vertex name the handles are labelled with.
+    pub operator: String,
+    /// Records entering this vertex (for sources: none).
+    pub records_in: Counter,
+    /// Records leaving this vertex (for sinks: none).
+    pub records_out: Counter,
+    /// Time from the first marker of a checkpoint round to full alignment.
+    pub align_stall_us: SharedHistogram,
+    /// The registry, for lifecycle/stall events.
+    pub registry: MetricsRegistry,
+}
+
+impl WorkerTelemetry {
+    /// Resolve the vertex's handles out of `registry`.
+    pub fn for_operator(registry: &MetricsRegistry, operator: &str) -> WorkerTelemetry {
+        let labels = [("operator", operator)];
+        WorkerTelemetry {
+            operator: operator.to_string(),
+            records_in: registry.counter("operator_records_in_total", &labels),
+            records_out: registry.counter("operator_records_out_total", &labels),
+            align_stall_us: registry.histogram("operator_align_stall_us", &labels),
+            registry: registry.clone(),
+        }
+    }
+
+    fn started(&self, instance: u32) {
+        self.registry.event(
+            EventKind::WorkerStarted,
+            Some(&self.operator),
+            None,
+            None,
+            format!("instance {instance}"),
+        );
+    }
+
+    fn stopped(&self, instance: u32) {
+        self.registry.event(
+            EventKind::WorkerStopped,
+            Some(&self.operator),
+            None,
+            None,
+            format!("instance {instance}"),
+        );
+    }
+
+    fn aligned(&self, ssid: SnapshotId, stall_us: u64) {
+        self.align_stall_us.record(stall_us);
+        if stall_us >= ALIGN_STALL_EVENT_US {
+            self.registry.event(
+                EventKind::AlignmentStall,
+                Some(&self.operator),
+                Some(ssid.0),
+                Some(stall_us),
+                "marker alignment",
+            );
+        }
+    }
+}
 
 /// A phase-1 acknowledgement from one instance.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +129,8 @@ pub struct Shared {
     pub exhausted_sources: AtomicU32,
     /// The shared partitioner (keyed routing).
     pub partitioner: Partitioner,
+    /// The engine-wide metrics/event registry (the grid's).
+    pub telemetry: MetricsRegistry,
 }
 
 impl Shared {
@@ -158,7 +228,9 @@ pub fn run_source(
     batch_size: usize,
     shared: Arc<Shared>,
     offsets: OffsetSaver,
+    tel: WorkerTelemetry,
 ) {
+    tel.started(my_instance);
     let partitioner = shared.partitioner;
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut exhausted = false;
@@ -202,9 +274,11 @@ pub fn run_source(
         shared
             .source_count
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        tel.records_out.add(batch.len() as u64);
         for record in &batch {
             if !route_record(record, &outs, my_instance, &partitioner) {
                 shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+                tel.stopped(my_instance);
                 return;
             }
         }
@@ -225,6 +299,7 @@ pub fn run_source(
         }
     }
     shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+    tel.stopped(my_instance);
 }
 
 /// What an operator worker runs.
@@ -250,18 +325,22 @@ pub fn run_operator(
     outs: Vec<OutputPort>,
     my_instance: u32,
     shared: Arc<Shared>,
+    tel: WorkerTelemetry,
 ) {
+    tel.started(my_instance);
     let partitioner = shared.partitioner;
     let mut aligned: HashSet<u32> = HashSet::new();
     let mut eos: HashSet<u32> = HashSet::new();
     let mut pending_marker: Option<SnapshotId> = None;
+    let mut align_started: Option<Instant> = None;
     let mut buffer: Vec<Record> = Vec::new();
     let mut out_buf: Vec<Record> = Vec::new();
 
+    let tel_ref = &tel;
     let process = |record: Record,
-                       kind: &mut OperatorKind,
-                       out_buf: &mut Vec<Record>,
-                       shared: &Shared|
+                   kind: &mut OperatorKind,
+                   out_buf: &mut Vec<Record>,
+                   shared: &Shared|
      -> bool {
         out_buf.clear();
         match kind {
@@ -274,6 +353,7 @@ pub fn run_operator(
                 sink.consume(record);
             }
         }
+        tel_ref.records_out.add(out_buf.len() as u64);
         for r in out_buf.iter() {
             if !route_record(r, &outs, my_instance, &partitioner) {
                 return false;
@@ -293,6 +373,7 @@ pub fn run_operator(
         };
         match tagged.item {
             Item::Record(record) => {
+                tel.records_in.inc();
                 if pending_marker.is_some() && aligned.contains(&tagged.from) {
                     // Figure 3a: this channel already delivered the marker;
                     // its records belong to the next checkpoint epoch.
@@ -303,12 +384,18 @@ pub fn run_operator(
             }
             Item::Marker(ssid) => {
                 aligned.insert(tagged.from);
+                if pending_marker.is_none() {
+                    align_started = Some(Instant::now());
+                }
                 pending_marker = Some(ssid);
                 if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
                     >= n_channels as usize
                 {
                     // Figure 3b/3c: all channels aligned — snapshot, ack,
                     // forward, resume.
+                    if let Some(s) = align_started.take() {
+                        tel.aligned(ssid, s.elapsed().as_micros() as u64);
+                    }
                     if let OperatorKind::Stateful { state, .. } = &mut kind {
                         if state.snapshot(ssid).is_err() {
                             break;
@@ -332,6 +419,9 @@ pub fn run_operator(
                     if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
                         >= n_channels as usize
                     {
+                        if let Some(s) = align_started.take() {
+                            tel.aligned(ssid, s.elapsed().as_micros() as u64);
+                        }
                         if let OperatorKind::Stateful { state, .. } = &mut kind {
                             if state.snapshot(ssid).is_err() {
                                 break;
@@ -356,6 +446,7 @@ pub fn run_operator(
         }
     }
     shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+    tel.stopped(my_instance);
 }
 
 #[cfg(test)]
@@ -376,9 +467,14 @@ mod tests {
                 live_instances: AtomicU32::new(1),
                 exhausted_sources: AtomicU32::new(0),
                 partitioner: Partitioner::new(16),
+                telemetry: MetricsRegistry::new(),
             }),
             ack_rx,
         )
+    }
+
+    fn tel(shared: &Shared, operator: &str) -> WorkerTelemetry {
+        WorkerTelemetry::for_operator(&shared.telemetry, operator)
     }
 
     /// A sink worker with two input channels must align markers: records
@@ -399,6 +495,7 @@ mod tests {
         }
         let worker = {
             let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "collect");
             std::thread::spawn(move || {
                 run_operator(
                     rx,
@@ -407,6 +504,7 @@ mod tests {
                     vec![],
                     0,
                     shared,
+                    tel,
                 )
             })
         };
@@ -440,6 +538,32 @@ mod tests {
         let ack = ack_rx.try_recv().unwrap();
         assert_eq!(ack.ssid, SnapshotId(1));
         assert_eq!(shared.sink_count.load(Ordering::Relaxed), 3);
+        // Telemetry: 3 records in, a worker started+stopped pair, and one
+        // alignment-stall sample for the completed round.
+        let l = [("operator", "collect")];
+        assert_eq!(
+            shared
+                .telemetry
+                .counter_value("operator_records_in_total", &l),
+            Some(3)
+        );
+        let kinds: Vec<_> = shared
+            .telemetry
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.as_str().to_string())
+            .collect();
+        assert!(kinds.contains(&"worker_started".to_string()));
+        assert!(kinds.contains(&"worker_stopped".to_string()));
+        let stalls = shared
+            .telemetry
+            .histograms()
+            .into_iter()
+            .find(|(k, _)| k.name == "operator_align_stall_us")
+            .expect("stall histogram exists")
+            .1;
+        assert_eq!(stalls.count(), 1);
     }
 
     #[test]
@@ -452,8 +576,17 @@ mod tests {
         }
         let worker = {
             let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "null");
             std::thread::spawn(move || {
-                run_operator(rx, 2, OperatorKind::Sink(Box::new(Null)), vec![], 0, shared)
+                run_operator(
+                    rx,
+                    2,
+                    OperatorKind::Sink(Box::new(Null)),
+                    vec![],
+                    0,
+                    shared,
+                    tel,
+                )
             })
         };
         // Channel 1 ends before the checkpoint; channel 0's marker alone
@@ -487,8 +620,9 @@ mod tests {
         }
         shared.poison.store(true, Ordering::Relaxed);
         let s2 = Arc::clone(&shared);
+        let t2 = tel(&shared, "null");
         let worker = std::thread::spawn(move || {
-            run_operator(rx, 1, OperatorKind::Sink(Box::new(Null)), vec![], 0, s2)
+            run_operator(rx, 1, OperatorKind::Sink(Box::new(Null)), vec![], 0, s2, t2)
         });
         worker.join().unwrap();
         assert_eq!(shared.live_instances.load(Ordering::Relaxed), 0);

@@ -55,7 +55,10 @@ impl Default for TspoonConfig {
 
 enum Msg {
     /// A stream update: serialized with queries in the mailbox.
-    Event { key: Value, value: Value },
+    Event {
+        key: Value,
+        value: Value,
+    },
     /// A read-only transaction over local keys.
     Query {
         keys: Vec<Value>,

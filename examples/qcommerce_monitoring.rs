@@ -39,7 +39,10 @@ fn main() {
 
     for (n, (question, sql)) in [
         ("How many orders are late per area?", QUERY_1),
-        ("How many deliveries are ready for pickup per category?", QUERY_2),
+        (
+            "How many deliveries are ready for pickup per category?",
+            QUERY_2,
+        ),
         ("How many deliveries are being prepared per area?", QUERY_3),
         ("How many deliveries are in transit per area?", QUERY_4),
     ]
@@ -58,7 +61,10 @@ fn main() {
         .expect("rider lookup");
     println!("live rider positions (direct object interface):");
     for (rider, pos) in positions {
-        println!("  rider {rider}: {}", pos.map_or("<unknown>".into(), |p| p.to_string()));
+        println!(
+            "  rider {rider}: {}",
+            pos.map_or("<unknown>".into(), |p| p.to_string())
+        );
     }
 
     job.stop();

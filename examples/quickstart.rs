@@ -45,10 +45,13 @@ fn main() {
         let schema = Arc::clone(&avg_schema2);
         Box::new(FnStatefulOp(
             move |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
-                let (mut count, mut total) = state.get(&r.key).and_then(|v| {
-                    let sv = v.as_struct()?.clone();
-                    Some((sv.field("count")?.as_int()?, sv.field("total")?.as_int()?))
-                }).unwrap_or_default();
+                let (mut count, mut total) = state
+                    .get(&r.key)
+                    .and_then(|v| {
+                        let sv = v.as_struct()?.clone();
+                        Some((sv.field("count")?.as_int()?, sv.field("total")?.as_int()?))
+                    })
+                    .unwrap_or_default();
                 count += 1;
                 total += r.value.as_int().unwrap_or(0);
                 let average = total as f64 / count as f64;

@@ -23,7 +23,7 @@ fn main() {
     let cfg = QCommerceConfig {
         orders: 1_000,
         riders: 200,
-        events_per_instance: 0,          // unbounded: the state keeps churning
+        events_per_instance: 0, // unbounded: the state keeps churning
         rate_per_instance: Some(2_000.0), // gently, so the shell stays snappy
         prefill_passes: 1,
     };

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh [--fix]
+#   --fix   apply rustfmt instead of only checking
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    echo "==> cargo fmt"
+    cargo fmt --all
+else
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

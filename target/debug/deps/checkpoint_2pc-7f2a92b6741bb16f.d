@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_2pc-7f2a92b6741bb16f.d: crates/bench/benches/checkpoint_2pc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_2pc-7f2a92b6741bb16f.rmeta: crates/bench/benches/checkpoint_2pc.rs Cargo.toml
+
+crates/bench/benches/checkpoint_2pc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

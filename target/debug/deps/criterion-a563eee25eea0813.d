@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a563eee25eea0813.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a563eee25eea0813: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

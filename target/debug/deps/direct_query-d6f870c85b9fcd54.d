@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/direct_query-d6f870c85b9fcd54.d: crates/bench/benches/direct_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirect_query-d6f870c85b9fcd54.rmeta: crates/bench/benches/direct_query.rs Cargo.toml
+
+crates/bench/benches/direct_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

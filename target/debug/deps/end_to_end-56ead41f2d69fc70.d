@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/end_to_end-56ead41f2d69fc70.d: tests/end_to_end.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/end_to_end-56ead41f2d69fc70: tests/end_to_end.rs tests/common/mod.rs
+
+tests/end_to_end.rs:
+tests/common/mod.rs:

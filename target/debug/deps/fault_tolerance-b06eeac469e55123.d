@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fault_tolerance-b06eeac469e55123.d: tests/fault_tolerance.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/fault_tolerance-b06eeac469e55123: tests/fault_tolerance.rs tests/common/mod.rs
+
+tests/fault_tolerance.rs:
+tests/common/mod.rs:

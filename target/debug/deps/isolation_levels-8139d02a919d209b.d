@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/isolation_levels-8139d02a919d209b.d: tests/isolation_levels.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/isolation_levels-8139d02a919d209b: tests/isolation_levels.rs tests/common/mod.rs
+
+tests/isolation_levels.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/isolation_levels-aa4a10356dedfc54.d: tests/isolation_levels.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisolation_levels-aa4a10356dedfc54.rmeta: tests/isolation_levels.rs tests/common/mod.rs Cargo.toml
+
+tests/isolation_levels.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-79a4bfa2526d006a.d: crates/bench/src/bin/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-79a4bfa2526d006a.rmeta: crates/bench/src/bin/paper_figures.rs Cargo.toml
+
+crates/bench/src/bin/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

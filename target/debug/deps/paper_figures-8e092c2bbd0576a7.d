@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-8e092c2bbd0576a7.d: crates/bench/src/bin/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-8e092c2bbd0576a7.rmeta: crates/bench/src/bin/paper_figures.rs Cargo.toml
+
+crates/bench/src/bin/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_figures-8e79e73384eeefff.d: crates/bench/src/bin/paper_figures.rs
+
+/root/repo/target/debug/deps/paper_figures-8e79e73384eeefff: crates/bench/src/bin/paper_figures.rs
+
+crates/bench/src/bin/paper_figures.rs:

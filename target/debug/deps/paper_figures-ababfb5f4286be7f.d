@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_figures-ababfb5f4286be7f.d: crates/bench/src/bin/paper_figures.rs
+
+/root/repo/target/debug/deps/paper_figures-ababfb5f4286be7f: crates/bench/src/bin/paper_figures.rs
+
+crates/bench/src/bin/paper_figures.rs:

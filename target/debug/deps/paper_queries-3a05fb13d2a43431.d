@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/paper_queries-3a05fb13d2a43431.d: tests/paper_queries.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/paper_queries-3a05fb13d2a43431: tests/paper_queries.rs tests/common/mod.rs
+
+tests/paper_queries.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_queries-3e93707c8e13e41e.d: tests/paper_queries.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_queries-3e93707c8e13e41e.rmeta: tests/paper_queries.rs tests/common/mod.rs Cargo.toml
+
+tests/paper_queries.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-40dc59a13fa372a8.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-40dc59a13fa372a8: tests/property_tests.rs
+
+tests/property_tests.rs:

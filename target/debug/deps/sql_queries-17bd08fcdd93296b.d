@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_queries-17bd08fcdd93296b.d: crates/bench/benches/sql_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_queries-17bd08fcdd93296b.rmeta: crates/bench/benches/sql_queries.rs Cargo.toml
+
+crates/bench/benches/sql_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

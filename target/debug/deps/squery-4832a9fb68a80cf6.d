@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/squery-4832a9fb68a80cf6.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery-4832a9fb68a80cf6.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/isolation.rs:
+crates/core/src/overview.rs:
+crates/core/src/systables.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

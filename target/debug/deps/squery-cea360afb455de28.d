@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/squery-cea360afb455de28.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libsquery-cea360afb455de28.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libsquery-cea360afb455de28.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/isolation.rs:
+crates/core/src/overview.rs:
+crates/core/src/systables.rs:
+crates/core/src/system.rs:

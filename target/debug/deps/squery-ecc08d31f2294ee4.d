@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/squery-ecc08d31f2294ee4.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/squery-ecc08d31f2294ee4: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/isolation.rs:
+crates/core/src/overview.rs:
+crates/core/src/systables.rs:
+crates/core/src/system.rs:

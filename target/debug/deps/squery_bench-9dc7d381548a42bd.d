@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/squery_bench-9dc7d381548a42bd.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libsquery_bench-9dc7d381548a42bd.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libsquery_bench-9dc7d381548a42bd.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/util.rs:

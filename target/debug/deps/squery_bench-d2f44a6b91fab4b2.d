@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/squery_bench-d2f44a6b91fab4b2.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/squery_bench-d2f44a6b91fab4b2: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/util.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/squery_bench-ee440cce81c48759.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_bench-ee440cce81c48759.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

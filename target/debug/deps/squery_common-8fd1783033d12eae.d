@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/squery_common-8fd1783033d12eae.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/squery_common-8fd1783033d12eae: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/partition.rs:
+crates/common/src/schema.rs:
+crates/common/src/telemetry.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/squery_common-ac7992842e2079bc.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libsquery_common-ac7992842e2079bc.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libsquery_common-ac7992842e2079bc.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/partition.rs:
+crates/common/src/schema.rs:
+crates/common/src/telemetry.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

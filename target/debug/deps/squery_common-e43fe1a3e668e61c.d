@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/squery_common-e43fe1a3e668e61c.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_common-e43fe1a3e668e61c.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/partition.rs:
+crates/common/src/schema.rs:
+crates/common/src/telemetry.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

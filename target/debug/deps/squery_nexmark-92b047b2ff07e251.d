@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/squery_nexmark-92b047b2ff07e251.d: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+/root/repo/target/debug/deps/squery_nexmark-92b047b2ff07e251: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+crates/nexmark/src/lib.rs:
+crates/nexmark/src/generator.rs:
+crates/nexmark/src/q6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/squery_nexmark-a9777db76114c4e5.d: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+/root/repo/target/debug/deps/libsquery_nexmark-a9777db76114c4e5.rlib: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+/root/repo/target/debug/deps/libsquery_nexmark-a9777db76114c4e5.rmeta: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+crates/nexmark/src/lib.rs:
+crates/nexmark/src/generator.rs:
+crates/nexmark/src/q6.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/squery_nexmark-b1843af11079e83c.d: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_nexmark-b1843af11079e83c.rmeta: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs Cargo.toml
+
+crates/nexmark/src/lib.rs:
+crates/nexmark/src/generator.rs:
+crates/nexmark/src/q6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/squery_qcommerce-17ebabd3efee9b81.d: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+/root/repo/target/debug/deps/squery_qcommerce-17ebabd3efee9b81: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+crates/qcommerce/src/lib.rs:
+crates/qcommerce/src/events.rs:
+crates/qcommerce/src/pipeline.rs:
+crates/qcommerce/src/queries.rs:

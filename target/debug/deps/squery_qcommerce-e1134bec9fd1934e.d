@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/squery_qcommerce-e1134bec9fd1934e.d: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+/root/repo/target/debug/deps/libsquery_qcommerce-e1134bec9fd1934e.rlib: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+/root/repo/target/debug/deps/libsquery_qcommerce-e1134bec9fd1934e.rmeta: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+crates/qcommerce/src/lib.rs:
+crates/qcommerce/src/events.rs:
+crates/qcommerce/src/pipeline.rs:
+crates/qcommerce/src/queries.rs:

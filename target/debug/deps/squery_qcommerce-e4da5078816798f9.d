@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/squery_qcommerce-e4da5078816798f9.d: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_qcommerce-e4da5078816798f9.rmeta: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs Cargo.toml
+
+crates/qcommerce/src/lib.rs:
+crates/qcommerce/src/events.rs:
+crates/qcommerce/src/pipeline.rs:
+crates/qcommerce/src/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/squery_repro-76ad22b54a1db3f4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsquery_repro-76ad22b54a1db3f4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsquery_repro-76ad22b54a1db3f4.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

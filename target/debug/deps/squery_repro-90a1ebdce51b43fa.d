@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/squery_repro-90a1ebdce51b43fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/squery_repro-90a1ebdce51b43fa: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/squery_sql-bd1bc023dbf8ad22.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+/root/repo/target/debug/deps/libsquery_sql-bd1bc023dbf8ad22.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+/root/repo/target/debug/deps/libsquery_sql-bd1bc023dbf8ad22.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/display.rs:
+crates/sql/src/engine.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:
+crates/sql/src/systables.rs:
+crates/sql/src/tables.rs:

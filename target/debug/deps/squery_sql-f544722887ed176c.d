@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/squery_sql-f544722887ed176c.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+/root/repo/target/debug/deps/squery_sql-f544722887ed176c: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/display.rs:
+crates/sql/src/engine.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:
+crates/sql/src/systables.rs:
+crates/sql/src/tables.rs:

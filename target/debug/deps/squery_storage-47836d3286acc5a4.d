@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/squery_storage-47836d3286acc5a4.d: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_storage-47836d3286acc5a4.rmeta: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/grid.rs:
+crates/storage/src/imap.rs:
+crates/storage/src/locks.rs:
+crates/storage/src/partition_table.rs:
+crates/storage/src/registry.rs:
+crates/storage/src/replication.rs:
+crates/storage/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

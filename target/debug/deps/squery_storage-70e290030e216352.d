@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/squery_storage-70e290030e216352.d: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsquery_storage-70e290030e216352.rlib: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsquery_storage-70e290030e216352.rmeta: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/grid.rs:
+crates/storage/src/imap.rs:
+crates/storage/src/locks.rs:
+crates/storage/src/partition_table.rs:
+crates/storage/src/registry.rs:
+crates/storage/src/replication.rs:
+crates/storage/src/snapshot.rs:

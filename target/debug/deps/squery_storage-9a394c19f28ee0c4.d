@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/squery_storage-9a394c19f28ee0c4.d: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+/root/repo/target/debug/deps/squery_storage-9a394c19f28ee0c4: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/grid.rs:
+crates/storage/src/imap.rs:
+crates/storage/src/locks.rs:
+crates/storage/src/partition_table.rs:
+crates/storage/src/registry.rs:
+crates/storage/src/replication.rs:
+crates/storage/src/snapshot.rs:

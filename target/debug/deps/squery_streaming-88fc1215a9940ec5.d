@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/squery_streaming-88fc1215a9940ec5.d: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+/root/repo/target/debug/deps/squery_streaming-88fc1215a9940ec5: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+crates/streaming/src/lib.rs:
+crates/streaming/src/checkpoint.rs:
+crates/streaming/src/dag.rs:
+crates/streaming/src/message.rs:
+crates/streaming/src/runtime.rs:
+crates/streaming/src/source.rs:
+crates/streaming/src/state.rs:
+crates/streaming/src/worker.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/squery_streaming-bb1e439b3254c5c6.d: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_streaming-bb1e439b3254c5c6.rmeta: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs Cargo.toml
+
+crates/streaming/src/lib.rs:
+crates/streaming/src/checkpoint.rs:
+crates/streaming/src/dag.rs:
+crates/streaming/src/message.rs:
+crates/streaming/src/runtime.rs:
+crates/streaming/src/source.rs:
+crates/streaming/src/state.rs:
+crates/streaming/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

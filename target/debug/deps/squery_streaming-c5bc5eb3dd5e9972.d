@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/squery_streaming-c5bc5eb3dd5e9972.d: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+/root/repo/target/debug/deps/libsquery_streaming-c5bc5eb3dd5e9972.rlib: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+/root/repo/target/debug/deps/libsquery_streaming-c5bc5eb3dd5e9972.rmeta: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+crates/streaming/src/lib.rs:
+crates/streaming/src/checkpoint.rs:
+crates/streaming/src/dag.rs:
+crates/streaming/src/message.rs:
+crates/streaming/src/runtime.rs:
+crates/streaming/src/source.rs:
+crates/streaming/src/state.rs:
+crates/streaming/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/squery_tspoon-30102c723297e4cb.d: crates/tspoon/src/lib.rs
+
+/root/repo/target/debug/deps/squery_tspoon-30102c723297e4cb: crates/tspoon/src/lib.rs
+
+crates/tspoon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/squery_tspoon-596520b449d6c3c0.d: crates/tspoon/src/lib.rs
+
+/root/repo/target/debug/deps/libsquery_tspoon-596520b449d6c3c0.rlib: crates/tspoon/src/lib.rs
+
+/root/repo/target/debug/deps/libsquery_tspoon-596520b449d6c3c0.rmeta: crates/tspoon/src/lib.rs
+
+crates/tspoon/src/lib.rs:

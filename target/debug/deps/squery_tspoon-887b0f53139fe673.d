@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/squery_tspoon-887b0f53139fe673.d: crates/tspoon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsquery_tspoon-887b0f53139fe673.rmeta: crates/tspoon/src/lib.rs Cargo.toml
+
+crates/tspoon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

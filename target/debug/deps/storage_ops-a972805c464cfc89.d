@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_ops-a972805c464cfc89.d: crates/bench/benches/storage_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_ops-a972805c464cfc89.rmeta: crates/bench/benches/storage_ops.rs Cargo.toml
+
+crates/bench/benches/storage_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sys_tables-0975a64f44e6cdc3.d: crates/nexmark/tests/sys_tables.rs
+
+/root/repo/target/debug/deps/sys_tables-0975a64f44e6cdc3: crates/nexmark/tests/sys_tables.rs
+
+crates/nexmark/tests/sys_tables.rs:

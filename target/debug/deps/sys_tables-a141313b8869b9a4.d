@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sys_tables-a141313b8869b9a4.d: crates/nexmark/tests/sys_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsys_tables-a141313b8869b9a4.rmeta: crates/nexmark/tests/sys_tables.rs Cargo.toml
+
+crates/nexmark/tests/sys_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

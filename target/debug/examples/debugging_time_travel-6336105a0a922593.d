@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debugging_time_travel-6336105a0a922593.d: examples/debugging_time_travel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebugging_time_travel-6336105a0a922593.rmeta: examples/debugging_time_travel.rs Cargo.toml
+
+examples/debugging_time_travel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

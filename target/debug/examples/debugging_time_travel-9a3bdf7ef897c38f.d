@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugging_time_travel-9a3bdf7ef897c38f.d: examples/debugging_time_travel.rs
+
+/root/repo/target/debug/examples/debugging_time_travel-9a3bdf7ef897c38f: examples/debugging_time_travel.rs
+
+examples/debugging_time_travel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isolation_demo-84394f475dbe4558.d: examples/isolation_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisolation_demo-84394f475dbe4558.rmeta: examples/isolation_demo.rs Cargo.toml
+
+examples/isolation_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

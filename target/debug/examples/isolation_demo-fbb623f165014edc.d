@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isolation_demo-fbb623f165014edc.d: examples/isolation_demo.rs
+
+/root/repo/target/debug/examples/isolation_demo-fbb623f165014edc: examples/isolation_demo.rs
+
+examples/isolation_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nexmark_analytics-1d530276496806d9.d: examples/nexmark_analytics.rs
+
+/root/repo/target/debug/examples/nexmark_analytics-1d530276496806d9: examples/nexmark_analytics.rs
+
+examples/nexmark_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nexmark_analytics-cb9ab0de9323906d.d: examples/nexmark_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnexmark_analytics-cb9ab0de9323906d.rmeta: examples/nexmark_analytics.rs Cargo.toml
+
+examples/nexmark_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qcommerce_monitoring-23da08a4aef81e86.d: examples/qcommerce_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqcommerce_monitoring-23da08a4aef81e86.rmeta: examples/qcommerce_monitoring.rs Cargo.toml
+
+examples/qcommerce_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qcommerce_monitoring-f8a3c79cad2916d8.d: examples/qcommerce_monitoring.rs
+
+/root/repo/target/debug/examples/qcommerce_monitoring-f8a3c79cad2916d8: examples/qcommerce_monitoring.rs
+
+examples/qcommerce_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6c3d1567e6c25140.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6c3d1567e6c25140: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-60efbf72cfd7b775.d: examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-60efbf72cfd7b775: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_figures-2e1aaa73f6a377df.d: crates/bench/src/bin/paper_figures.rs
+
+/root/repo/target/release/deps/paper_figures-2e1aaa73f6a377df: crates/bench/src/bin/paper_figures.rs
+
+crates/bench/src/bin/paper_figures.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/squery-f8738ee18870fa73.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libsquery-f8738ee18870fa73.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libsquery-f8738ee18870fa73.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/isolation.rs crates/core/src/overview.rs crates/core/src/systables.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/isolation.rs:
+crates/core/src/overview.rs:
+crates/core/src/systables.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/squery_bench-261f37c5ea21f0e7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+/root/repo/target/release/deps/libsquery_bench-261f37c5ea21f0e7.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+/root/repo/target/release/deps/libsquery_bench-261f37c5ea21f0e7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scale.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/util.rs:

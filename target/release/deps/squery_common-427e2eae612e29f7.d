@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/squery_common-427e2eae612e29f7.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libsquery_common-427e2eae612e29f7.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libsquery_common-427e2eae612e29f7.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/partition.rs crates/common/src/schema.rs crates/common/src/telemetry.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/partition.rs:
+crates/common/src/schema.rs:
+crates/common/src/telemetry.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

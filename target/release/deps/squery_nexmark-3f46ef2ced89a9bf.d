@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/squery_nexmark-3f46ef2ced89a9bf.d: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+/root/repo/target/release/deps/libsquery_nexmark-3f46ef2ced89a9bf.rlib: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+/root/repo/target/release/deps/libsquery_nexmark-3f46ef2ced89a9bf.rmeta: crates/nexmark/src/lib.rs crates/nexmark/src/generator.rs crates/nexmark/src/q6.rs
+
+crates/nexmark/src/lib.rs:
+crates/nexmark/src/generator.rs:
+crates/nexmark/src/q6.rs:

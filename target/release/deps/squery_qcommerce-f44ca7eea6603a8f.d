@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/squery_qcommerce-f44ca7eea6603a8f.d: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+/root/repo/target/release/deps/libsquery_qcommerce-f44ca7eea6603a8f.rlib: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+/root/repo/target/release/deps/libsquery_qcommerce-f44ca7eea6603a8f.rmeta: crates/qcommerce/src/lib.rs crates/qcommerce/src/events.rs crates/qcommerce/src/pipeline.rs crates/qcommerce/src/queries.rs
+
+crates/qcommerce/src/lib.rs:
+crates/qcommerce/src/events.rs:
+crates/qcommerce/src/pipeline.rs:
+crates/qcommerce/src/queries.rs:

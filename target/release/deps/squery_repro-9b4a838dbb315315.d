@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/squery_repro-9b4a838dbb315315.d: src/lib.rs
+
+/root/repo/target/release/deps/libsquery_repro-9b4a838dbb315315.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsquery_repro-9b4a838dbb315315.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/squery_sql-6a8056f9fcfa3897.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+/root/repo/target/release/deps/libsquery_sql-6a8056f9fcfa3897.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+/root/repo/target/release/deps/libsquery_sql-6a8056f9fcfa3897.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/display.rs crates/sql/src/engine.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs crates/sql/src/systables.rs crates/sql/src/tables.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/display.rs:
+crates/sql/src/engine.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:
+crates/sql/src/systables.rs:
+crates/sql/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/squery_storage-74e8684314fea4ae.d: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+/root/repo/target/release/deps/libsquery_storage-74e8684314fea4ae.rlib: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+/root/repo/target/release/deps/libsquery_storage-74e8684314fea4ae.rmeta: crates/storage/src/lib.rs crates/storage/src/grid.rs crates/storage/src/imap.rs crates/storage/src/locks.rs crates/storage/src/partition_table.rs crates/storage/src/registry.rs crates/storage/src/replication.rs crates/storage/src/snapshot.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/grid.rs:
+crates/storage/src/imap.rs:
+crates/storage/src/locks.rs:
+crates/storage/src/partition_table.rs:
+crates/storage/src/registry.rs:
+crates/storage/src/replication.rs:
+crates/storage/src/snapshot.rs:

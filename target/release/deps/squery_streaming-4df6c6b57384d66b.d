@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/squery_streaming-4df6c6b57384d66b.d: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+/root/repo/target/release/deps/libsquery_streaming-4df6c6b57384d66b.rlib: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+/root/repo/target/release/deps/libsquery_streaming-4df6c6b57384d66b.rmeta: crates/streaming/src/lib.rs crates/streaming/src/checkpoint.rs crates/streaming/src/dag.rs crates/streaming/src/message.rs crates/streaming/src/runtime.rs crates/streaming/src/source.rs crates/streaming/src/state.rs crates/streaming/src/worker.rs
+
+crates/streaming/src/lib.rs:
+crates/streaming/src/checkpoint.rs:
+crates/streaming/src/dag.rs:
+crates/streaming/src/message.rs:
+crates/streaming/src/runtime.rs:
+crates/streaming/src/source.rs:
+crates/streaming/src/state.rs:
+crates/streaming/src/worker.rs:

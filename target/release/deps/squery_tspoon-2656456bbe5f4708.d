@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/squery_tspoon-2656456bbe5f4708.d: crates/tspoon/src/lib.rs
+
+/root/repo/target/release/deps/libsquery_tspoon-2656456bbe5f4708.rlib: crates/tspoon/src/lib.rs
+
+/root/repo/target/release/deps/libsquery_tspoon-2656456bbe5f4708.rmeta: crates/tspoon/src/lib.rs
+
+crates/tspoon/src/lib.rs:

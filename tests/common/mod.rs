@@ -106,7 +106,9 @@ pub fn gated_counter_system(
     let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
     b.edge(src, op, EdgeKind::Keyed);
     b.edge(op, sink, EdgeKind::Forward);
-    let job = system.submit(b.build().expect("valid spec")).expect("submit");
+    let job = system
+        .submit(b.build().expect("valid spec"))
+        .expect("submit");
     (system, job, allowance)
 }
 

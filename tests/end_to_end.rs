@@ -75,7 +75,10 @@ fn concurrent_queries_during_periodic_checkpoints() {
     let sql_runs = sql_worker.join().unwrap();
     let direct_runs = direct_worker.join().unwrap();
     assert!(sql_runs > 5, "SQL queries made progress: {sql_runs}");
-    assert!(direct_runs > 100, "direct reads made progress: {direct_runs}");
+    assert!(
+        direct_runs > 100,
+        "direct reads made progress: {direct_runs}"
+    );
 
     let report = job.stop();
     assert!(

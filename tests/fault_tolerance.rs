@@ -14,8 +14,7 @@ use squery_storage::Grid;
 /// where the crashes fell relative to checkpoints.
 #[test]
 fn repeated_crashes_preserve_exactly_once_counts() {
-    let (system, mut job, allowance) =
-        gated_counter_system(StateConfig::live_and_snapshot(), 5, 2);
+    let (system, mut job, allowance) = gated_counter_system(StateConfig::live_and_snapshot(), 5, 2);
     let mut released = 0u64;
     for round in 1..=4u64 {
         released += 50 * round;
@@ -34,7 +33,9 @@ fn repeated_crashes_preserve_exactly_once_counts() {
         }
     }
     // Total per-key counts must equal the number of released events.
-    let rs = system.query("SELECT SUM(this) AS total FROM count").unwrap();
+    let rs = system
+        .query("SELECT SUM(this) AS total FROM count")
+        .unwrap();
     assert_eq!(
         rs.scalar("total"),
         Some(&Value::Int(released as i64)),
@@ -67,7 +68,9 @@ fn recovery_restores_per_key_values() {
     job.wait_for_sink_count(150, std::time::Duration::from_secs(30))
         .ok();
     job.checkpoint_now().unwrap();
-    let rs = system.query("SELECT SUM(this) AS total FROM count").unwrap();
+    let rs = system
+        .query("SELECT SUM(this) AS total FROM count")
+        .unwrap();
     assert_eq!(rs.scalar("total"), Some(&Value::Int(150)));
     job.stop();
 }
@@ -77,8 +80,7 @@ fn recovery_restores_per_key_values() {
 /// the queryable one.
 #[test]
 fn crash_mid_checkpoint_aborts_cleanly() {
-    let (system, mut job, allowance) =
-        gated_counter_system(StateConfig::live_and_snapshot(), 2, 1);
+    let (system, mut job, allowance) = gated_counter_system(StateConfig::live_and_snapshot(), 2, 1);
     advance(&job, &allowance, 10);
     let s1 = job.checkpoint_now().unwrap();
     advance(&job, &allowance, 20);

@@ -28,8 +28,7 @@ fn snapshot_count(system: &squery::SQuery, key: i64, ssid: SnapshotId) -> i64 {
 /// Figure 5 end-to-end: live reads are read-uncommitted across failures.
 #[test]
 fn live_reads_are_dirty_across_failures() {
-    let (system, mut job, allowance) =
-        gated_counter_system(StateConfig::live_and_snapshot(), 1, 1);
+    let (system, mut job, allowance) = gated_counter_system(StateConfig::live_and_snapshot(), 1, 1);
     advance(&job, &allowance, 4);
     job.checkpoint_now().unwrap();
     advance(&job, &allowance, 5);
@@ -67,8 +66,7 @@ fn live_reads_without_failures_are_monotone() {
 /// concurrent updates and failures.
 #[test]
 fn snapshot_reads_are_stable_across_updates_and_failures() {
-    let (system, mut job, allowance) =
-        gated_counter_system(StateConfig::live_and_snapshot(), 1, 1);
+    let (system, mut job, allowance) = gated_counter_system(StateConfig::live_and_snapshot(), 1, 1);
     advance(&job, &allowance, 2);
     let ssid = job.checkpoint_now().unwrap();
     let first_read = snapshot_count(&system, 0, ssid);

@@ -83,10 +83,7 @@ fn snapshot_queries_ignore_concurrent_live_updates() {
     for o in 0..ORDERS as i64 {
         live.put(
             Value::Int(o),
-            Value::record(
-                &schema,
-                vec![Value::str("DELIVERED"), Value::Timestamp(0)],
-            ),
+            Value::record(&schema, vec![Value::str("DELIVERED"), Value::Timestamp(0)]),
         );
     }
     let after = result_map(&system.query(QUERY_3).unwrap(), "deliveryZone");

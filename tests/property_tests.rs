@@ -1,9 +1,12 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: codec roundtrips, snapshot-store differential reads vs a
-//! model, partitioner coverage, histogram percentile bounds, SQL arithmetic
-//! vs native evaluation, and the total order on values.
+//! Randomized property tests on the core data structures and invariants:
+//! codec roundtrips, snapshot-store differential reads vs a model,
+//! partitioner coverage, histogram percentile bounds, SQL arithmetic vs
+//! native evaluation, and the total order on values.
+//!
+//! The cases are driven by a small deterministic xorshift PRNG seeded per
+//! test, so failures reproduce exactly without an external property-testing
+//! dependency (the build environment vendors all deps locally).
 
-use proptest::prelude::*;
 use squery_common::codec;
 use squery_common::metrics::Histogram;
 use squery_common::schema::{schema, Schema};
@@ -12,113 +15,172 @@ use squery_storage::SnapshotStore;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-// ---------- strategies -------------------------------------------------------
+// ---------- deterministic generator ------------------------------------------
 
-fn leaf_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        any::<i64>().prop_map(Value::Timestamp),
-        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::str),
-        proptest::collection::vec(any::<u8>(), 0..32)
-            .prop_map(|b| Value::Bytes(Arc::from(&b[..]))),
-    ]
+/// xorshift64* — tiny, fast, and deterministic across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo) as u64) as i64)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn ascii_string(&mut self, alphabet: &[u8], max_len: usize) -> String {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char)
+            .collect()
+    }
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    leaf_value().prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
-            proptest::collection::vec(inner, 1..5).prop_map(|vals| {
-                let fields: Vec<(String, DataType)> = vals
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| (format!("f{i}"), codec::infer_dtype(v)))
-                    .collect();
-                let schema = Arc::new(Schema::new(fields));
-                Value::record(&schema, vals)
-            }),
-        ]
-    })
+fn leaf_value(rng: &mut Rng) -> Value {
+    match rng.below(7) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::Float(f64::from_bits(rng.next_u64() & !(0x7ff << 52)) * 1e3),
+        4 => Value::Timestamp(rng.next_u64() as i64),
+        5 => Value::str(rng.ascii_string(b"abcXYZ09 _-", 24)),
+        _ => {
+            let len = rng.below(32) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            Value::Bytes(Arc::from(&bytes[..]))
+        }
+    }
 }
 
-fn key_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..64).prop_map(Value::Int),
-        "[a-z]{1,6}".prop_map(Value::str),
-    ]
+fn arbitrary_value(rng: &mut Rng, depth: u32) -> Value {
+    if depth == 0 || rng.below(3) == 0 {
+        return leaf_value(rng);
+    }
+    if rng.bool() {
+        let n = rng.below(6) as usize;
+        Value::list((0..n).map(|_| arbitrary_value(rng, depth - 1)).collect())
+    } else {
+        let n = 1 + rng.below(4) as usize;
+        let vals: Vec<Value> = (0..n).map(|_| arbitrary_value(rng, depth - 1)).collect();
+        let fields: Vec<(String, DataType)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("f{i}"), codec::infer_dtype(v)))
+            .collect();
+        let schema = Arc::new(Schema::new(fields));
+        Value::record(&schema, vals)
+    }
+}
+
+fn arbitrary_key(rng: &mut Rng) -> Value {
+    if rng.bool() {
+        Value::Int(rng.range_i64(0, 64))
+    } else {
+        let s = rng.ascii_string(b"abcdefghij", 6);
+        Value::str(if s.is_empty() { "k".into() } else { s })
+    }
 }
 
 // ---------- codec -------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// encode → decode is the identity, and encoded_len is exact.
-    #[test]
-    fn codec_roundtrips_arbitrary_values(v in value_strategy()) {
+/// encode → decode is the identity, and encoded_len is exact.
+#[test]
+fn codec_roundtrips_arbitrary_values() {
+    let mut rng = Rng::new(0xC0DE_C0DE);
+    for _ in 0..256 {
+        let v = arbitrary_value(&mut rng, 3);
         let bytes = codec::encode(&v);
-        prop_assert_eq!(bytes.len(), codec::encoded_len(&v));
+        assert_eq!(bytes.len(), codec::encoded_len(&v), "encoded_len for {v:?}");
         let back = codec::decode(&bytes).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v);
     }
+}
 
-    /// Decoding never panics on arbitrary bytes — it errors or succeeds.
-    #[test]
-    fn codec_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Decoding never panics on arbitrary bytes — it errors or succeeds.
+#[test]
+fn codec_decode_is_total() {
+    let mut rng = Rng::new(0xDEAD_BEEF);
+    for _ in 0..512 {
+        let len = rng.below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = codec::decode(&bytes);
     }
 }
 
 // ---------- partitioner ---------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every key maps into range, deterministically, and the instance that
-    /// owns the key's partition is the instance the exchange routes to.
-    #[test]
-    fn partitioner_routing_is_consistent(
-        keys in proptest::collection::vec(key_strategy(), 1..50),
-        parts in 1u32..512,
-        n in 1u32..16,
-    ) {
+/// Every key maps into range, deterministically, and the instance that owns
+/// the key's partition is the instance the exchange routes to.
+#[test]
+fn partitioner_routing_is_consistent() {
+    let mut rng = Rng::new(0x9A27_1271);
+    for _ in 0..64 {
+        let parts = 1 + rng.below(511) as u32;
+        let n = 1 + rng.below(15) as u32;
         let p = Partitioner::new(parts);
+        let keys: Vec<Value> = (0..1 + rng.below(49))
+            .map(|_| arbitrary_key(&mut rng))
+            .collect();
         for key in &keys {
             let pid = p.partition_of(key);
-            prop_assert!(pid.0 < parts);
-            prop_assert_eq!(pid, p.partition_of(key));
+            assert!(pid.0 < parts);
+            assert_eq!(pid, p.partition_of(key));
             let inst = p.instance_of(key, n);
-            prop_assert_eq!(inst, p.instance_of_partition(pid, n));
-            prop_assert!(inst < n);
+            assert_eq!(inst, p.instance_of_partition(pid, n));
+            assert!(inst < n);
         }
         // Instances partition the partition space exactly.
         let total: usize = (0..n).map(|i| p.partitions_of_instance(i, n).len()).sum();
-        prop_assert_eq!(total, parts as usize);
+        assert_eq!(total, parts as usize);
     }
 }
 
 // ---------- snapshot store vs model ----------------------------------------------
 
-/// One checkpoint's worth of changes.
-type Delta = Vec<(u8, Option<i32>)>;
+/// The store's differential read at every snapshot id equals a model that
+/// applies the deltas to a plain map — including after pruning.
+#[test]
+fn snapshot_store_matches_model() {
+    let mut rng = Rng::new(0x5A5A_1111);
+    for case in 0..128 {
+        let rounds = 1 + rng.below(7) as usize;
+        let deltas: Vec<Vec<(u8, Option<i32>)>> = (0..rounds)
+            .map(|_| {
+                (0..rng.below(12))
+                    .map(|_| {
+                        (
+                            rng.next_u64() as u8,
+                            if rng.bool() {
+                                Some(rng.next_u64() as i32)
+                            } else {
+                                None
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
 
-fn delta_strategy() -> impl Strategy<Value = Vec<Delta>> {
-    proptest::collection::vec(
-        proptest::collection::vec((any::<u8>(), proptest::option::of(any::<i32>())), 0..12),
-        1..8,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The store's differential read at every snapshot id equals a model
-    /// that applies the deltas to a plain map — including after pruning.
-    #[test]
-    fn snapshot_store_matches_model(deltas in delta_strategy(), prune_at in 0usize..8) {
         let partitioner = Partitioner::new(16);
         let store = SnapshotStore::new("model", partitioner);
         let mut model: HashMap<Value, Value> = HashMap::new();
@@ -126,12 +188,15 @@ proptest! {
 
         for (i, delta) in deltas.iter().enumerate() {
             let ssid = SnapshotId(i as u64 + 1);
-            // Apply to the model.
             for (k, v) in delta {
                 let key = Value::Int(*k as i64);
                 match v {
-                    Some(x) => { model.insert(key, Value::Int(*x as i64)); }
-                    None => { model.remove(&key); }
+                    Some(x) => {
+                        model.insert(key, Value::Int(*x as i64));
+                    }
+                    None => {
+                        model.remove(&key);
+                    }
                 }
             }
             views.push(model.clone());
@@ -143,7 +208,9 @@ proptest! {
             }
             if full {
                 for (k, v) in &model {
-                    by_pid.entry(partitioner.partition_of(k).0).or_default()
+                    by_pid
+                        .entry(partitioner.partition_of(k).0)
+                        .or_default()
                         .push((k.clone(), Some(v.clone())));
                 }
             } else {
@@ -153,7 +220,10 @@ proptest! {
                     latest.insert(Value::Int(*k as i64), v.map(|x| Value::Int(x as i64)));
                 }
                 for (k, v) in latest {
-                    by_pid.entry(partitioner.partition_of(&k).0).or_default().push((k, v));
+                    by_pid
+                        .entry(partitioner.partition_of(&k).0)
+                        .or_default()
+                        .push((k, v));
                 }
             }
             for (pid, entries) in by_pid {
@@ -166,20 +236,20 @@ proptest! {
             let ssid = SnapshotId(i as u64 + 1);
             let (scan, _) = store.scan_at(ssid).unwrap();
             let got: HashMap<Value, Value> = scan.into_iter().collect();
-            prop_assert_eq!(&got, view, "mismatch at {}", ssid);
+            assert_eq!(&got, view, "case {case}: mismatch at {ssid}");
         }
 
         // Prune to an arbitrary horizon; surviving versions still match.
-        let horizon = (prune_at % deltas.len()) as u64 + 1;
+        let horizon = rng.below(deltas.len() as u64) + 1;
         store.prune_below(SnapshotId(horizon));
         for (i, view) in views.iter().enumerate() {
             let ssid = SnapshotId(i as u64 + 1);
             if ssid.0 < horizon {
-                prop_assert!(store.scan_at(ssid).is_err(), "pruned id must error");
+                assert!(store.scan_at(ssid).is_err(), "pruned id must error");
             } else {
                 let (scan, _) = store.scan_at(ssid).unwrap();
                 let got: HashMap<Value, Value> = scan.into_iter().collect();
-                prop_assert_eq!(&got, view, "post-prune mismatch at {}", ssid);
+                assert_eq!(&got, view, "case {case}: post-prune mismatch at {ssid}");
             }
         }
     }
@@ -187,13 +257,14 @@ proptest! {
 
 // ---------- histogram -------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Percentiles are bounded by the recorded extremes, monotone in q, and
-    /// within the quantization error of the exact answer.
-    #[test]
-    fn histogram_percentiles_are_sound(values in proptest::collection::vec(0u64..10_000_000, 1..500)) {
+/// Percentiles are bounded by the recorded extremes, monotone in q, and
+/// within the quantization error of the exact answer.
+#[test]
+fn histogram_percentiles_are_sound() {
+    let mut rng = Rng::new(0x4157_0611);
+    for _ in 0..128 {
+        let n = 1 + rng.below(499) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.below(10_000_000)).collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -203,8 +274,8 @@ proptest! {
         let mut last = 0;
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
             let est = h.percentile(q);
-            prop_assert!(est >= h.min() && est <= h.max());
-            prop_assert!(est >= last, "percentile must be monotone in q");
+            assert!(est >= h.min() && est <= h.max());
+            assert!(est >= last, "percentile must be monotone in q");
             last = est;
             // Mirror the histogram's own rank convention (ceil(q·n), 1-based)
             // so only bucket quantization separates est from exact.
@@ -213,47 +284,57 @@ proptest! {
             // Log-linear buckets: ≤ ~6.25% relative error above 32.
             if exact > 32 {
                 let err = (est as f64 - exact as f64).abs() / exact as f64;
-                prop_assert!(err < 0.08, "q={} est={} exact={}", q, est, exact);
+                assert!(err < 0.08, "q={q} est={est} exact={exact}");
             }
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
     }
 }
 
 // ---------- SQL arithmetic vs native ------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Integer arithmetic evaluated by the SQL engine equals native Rust
-    /// (wrapping) arithmetic for + - *.
-    #[test]
-    fn sql_arithmetic_matches_native(a in -10_000i64..10_000, b in -10_000i64..10_000, op in 0u8..3) {
-        use squery_sql::catalog::{MemCatalog, MemTable};
-        use squery_sql::SqlEngine;
-        let (sym, expected) = match op {
+/// Integer arithmetic evaluated by the SQL engine equals native Rust
+/// (wrapping) arithmetic for + - *.
+#[test]
+fn sql_arithmetic_matches_native() {
+    use squery_sql::catalog::{MemCatalog, MemTable};
+    use squery_sql::SqlEngine;
+    let mut rng = Rng::new(0x0501_AB1E);
+    let t = schema(vec![("x", DataType::Int)]);
+    let engine = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
+        "t",
+        t,
+        vec![vec![Value::Int(0)]],
+    ))]));
+    for _ in 0..128 {
+        let a = rng.range_i64(-10_000, 10_000);
+        let b = rng.range_i64(-10_000, 10_000);
+        let (sym, expected) = match rng.below(3) {
             0 => ("+", a.wrapping_add(b)),
             1 => ("-", a.wrapping_sub(b)),
             _ => ("*", a.wrapping_mul(b)),
         };
-        let t = schema(vec![("x", DataType::Int)]);
-        let engine = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
-            "t", t, vec![vec![Value::Int(0)]],
-        ))]));
         // Negative literals need parenthesization in the second operand.
         let sql = format!("SELECT {a} {sym} ({b}) AS r FROM t");
         let rs = engine.query(&sql).unwrap();
-        prop_assert_eq!(rs.scalar("r"), Some(&Value::Int(expected)));
+        assert_eq!(rs.scalar("r"), Some(&Value::Int(expected)), "{sql}");
     }
+}
 
-    /// WHERE-clause comparisons agree with native ordering on integers.
-    #[test]
-    fn sql_comparisons_match_native(a in -1000i64..1000, b in -1000i64..1000) {
-        use squery_sql::catalog::{MemCatalog, MemTable};
-        use squery_sql::SqlEngine;
+/// WHERE-clause comparisons agree with native ordering on integers.
+#[test]
+fn sql_comparisons_match_native() {
+    use squery_sql::catalog::{MemCatalog, MemTable};
+    use squery_sql::SqlEngine;
+    let mut rng = Rng::new(0xC0A1_77E5);
+    for _ in 0..64 {
+        let a = rng.range_i64(-1000, 1000);
+        let b = rng.range_i64(-1000, 1000);
         let t = schema(vec![("x", DataType::Int)]);
         let engine = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new(
-            "t", t, vec![vec![Value::Int(a)]],
+            "t",
+            t,
+            vec![vec![Value::Int(a)]],
         ))]));
         for (sym, holds) in [
             ("<", a < b),
@@ -266,7 +347,7 @@ proptest! {
             let rs = engine
                 .query(&format!("SELECT x FROM t WHERE x {sym} ({b})"))
                 .unwrap();
-            prop_assert_eq!(rs.len() == 1, holds, "{} {} {}", a, sym, b);
+            assert_eq!(rs.len() == 1, holds, "{a} {sym} {b}");
         }
     }
 }
@@ -277,9 +358,7 @@ proptest! {
 fn like_oracle(text: &[char], pattern: &[char]) -> bool {
     match pattern.split_first() {
         None => text.is_empty(),
-        Some(('%', rest)) => {
-            (0..=text.len()).any(|skip| like_oracle(&text[skip..], rest))
-        }
+        Some(('%', rest)) => (0..=text.len()).any(|skip| like_oracle(&text[skip..], rest)),
         Some(('_', rest)) => match text.split_first() {
             Some((_, t_rest)) => like_oracle(t_rest, rest),
             None => false,
@@ -291,58 +370,69 @@ fn like_oracle(text: &[char], pattern: &[char]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The iterative backtracking matcher agrees with the recursive oracle
-    /// on arbitrary short texts and patterns.
-    #[test]
-    fn like_matches_oracle(text in "[ab%_]{0,10}", pattern in "[ab%_]{0,8}") {
+/// The iterative backtracking matcher agrees with the recursive oracle on
+/// arbitrary short texts and patterns.
+#[test]
+fn like_matches_oracle() {
+    let mut rng = Rng::new(0x11CE_CAFE);
+    for _ in 0..512 {
+        let text = rng.ascii_string(b"ab%_", 10);
+        let pattern = rng.ascii_string(b"ab%_", 8);
         let t: Vec<char> = text.chars().collect();
         let p: Vec<char> = pattern.chars().collect();
-        prop_assert_eq!(
+        assert_eq!(
             squery_sql::expr::like_match(&text, &pattern),
             like_oracle(&t, &p),
-            "text={:?} pattern={:?}", text, pattern
+            "text={text:?} pattern={pattern:?}"
         );
     }
 }
 
 // ---------- value total order ----------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The value ordering is a strict total order usable for sorting: it is
-    /// antisymmetric and sorting is stable under resorting.
-    #[test]
-    fn value_total_order_is_consistent(values in proptest::collection::vec(value_strategy(), 2..20)) {
-        use std::cmp::Ordering;
+/// The value ordering is a strict total order usable for sorting: it is
+/// antisymmetric and sorting is stable under resorting.
+#[test]
+fn value_total_order_is_consistent() {
+    use std::cmp::Ordering;
+    let mut rng = Rng::new(0x0D0E_0007);
+    for _ in 0..64 {
+        let n = 2 + rng.below(18) as usize;
+        let values: Vec<Value> = (0..n).map(|_| arbitrary_value(&mut rng, 3)).collect();
         for a in &values {
-            prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
             for b in &values {
-                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
             }
         }
         let mut sorted = values.clone();
         sorted.sort();
         let mut resorted = sorted.clone();
         resorted.sort();
-        prop_assert_eq!(sorted, resorted);
+        assert_eq!(sorted, resorted);
     }
+}
 
-    /// Hash agrees with equality (HashMap-key safety).
-    #[test]
-    fn value_hash_agrees_with_eq(a in value_strategy(), b in value_strategy()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        fn h(v: &Value) -> u64 {
-            let mut hasher = DefaultHasher::new();
-            v.hash(&mut hasher);
-            hasher.finish()
-        }
+/// Hash agrees with equality (HashMap-key safety).
+#[test]
+fn value_hash_agrees_with_eq() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    fn h(v: &Value) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        v.hash(&mut hasher);
+        hasher.finish()
+    }
+    let mut rng = Rng::new(0x4A54_0001);
+    for _ in 0..256 {
+        let a = arbitrary_value(&mut rng, 2);
+        let b = if rng.bool() {
+            a.clone()
+        } else {
+            arbitrary_value(&mut rng, 2)
+        };
         if a == b {
-            prop_assert_eq!(h(&a), h(&b));
+            assert_eq!(h(&a), h(&b));
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Vendored offline shim exposing the subset of the `bytes` crate this
+//! workspace uses: a growable [`BytesMut`] write buffer (big-endian
+//! integer puts, `Deref<Target = [u8]>`) and a [`Buf`] read trait
+//! implemented for `&[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer backed by `Vec<u8>`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no bytes are written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Consume the buffer into its backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side operations (big-endian, matching the real crate's defaults).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Read-side operations over an advancing cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read a big-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain (as in the real crate).
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer underflow reading u64");
+        let (head, tail) = self.split_at(8);
+        let v = u64::from_be_bytes(head.try_into().expect("checked length"));
+        *self = tail;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_slice(b"ab");
+        assert_eq!(buf.len(), 11);
+        let mut r: &[u8] = &buf[1..9];
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(&buf[9..], b"ab");
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.put_u8(2);
+        assert_eq!(&buf[..], &[2]);
+    }
+}

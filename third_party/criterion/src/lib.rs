@@ -1,0 +1,260 @@
+//! Vendored offline shim exposing the subset of `criterion`'s API the
+//! workspace benches use. The statistical machinery of the real crate is
+//! replaced by a plain adaptive timing loop (warm up, then run enough
+//! iterations to fill a short measurement window and report the mean),
+//! so `cargo bench` still compiles, runs every bench target, and prints
+//! one comparable number per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation printed alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    fn new(measure_window: Duration) -> Bencher {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measure_window,
+        }
+    }
+
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed calls.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let window = self.measure_window;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    /// Time `routine` on fresh inputs produced (untimed) by `setup`.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let window = self.measure_window;
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        // Bound by wall time too: setup may dominate.
+        while measured < window && wall.elapsed() < window * 4 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters.max(1);
+    }
+
+    /// Let the routine time itself: it receives an iteration count and
+    /// returns the elapsed time for exactly that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 10u64;
+        self.total = routine(iters);
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(b) => {
+                let per_sec = b as f64 * self.iters as f64 / self.total.as_secs_f64();
+                format!("  {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(e) => {
+                let per_sec = e as f64 * self.iters as f64 / self.total.as_secs_f64();
+                format!("  {per_sec:.0} elem/s")
+            }
+        });
+        println!(
+            "bench: {name:<48} {ns:>12.1} ns/iter ({} iters){}",
+            self.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// The bench context handed to every `criterion_group!` function.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_window: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_window);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's timing loop is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure_window);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Run a parameterized benchmark inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.measure_window);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a bench group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            measure_window: Duration::from_millis(5),
+        };
+        smoke(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+}
