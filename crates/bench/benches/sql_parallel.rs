@@ -1,0 +1,78 @@
+//! Partition-parallel SQL execution: Query 1 (join + group-by over snapshot
+//! state) and a full snapshot scan, swept over degrees of parallelism.
+//!
+//! The interesting comparison is `dop=1` (the sequential executor) vs
+//! `dop=4` on the 100K-key population — the acceptance shape for the
+//! parallel execution layer. On single-core hosts the dop>1 numbers mostly
+//! measure coordination overhead; the result-equality assertion still holds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_qcommerce::events::{order_info_event, order_status_event};
+use squery_qcommerce::QUERY_1;
+
+/// An S-QUERY system whose orderinfo/orderstate snapshot state is populated
+/// for `orders` keys (written directly, no job, for bench setup speed).
+fn populated_system(orders: u64) -> SQuery {
+    let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    let system = SQuery::new(config).unwrap();
+    let grid = system.grid();
+    let info_store = grid.snapshot_store("orderinfo");
+    let state_store = grid.snapshot_store("orderstate");
+    info_store.set_value_schema(squery_qcommerce::events::order_info_schema());
+    state_store.set_value_schema(squery_qcommerce::events::order_state_schema());
+    let ssid = grid.registry().begin().unwrap();
+    for pid in 0..grid.partitioner().partition_count() {
+        info_store.write_partition(ssid, squery_common::PartitionId(pid), vec![], true);
+        state_store.write_partition(ssid, squery_common::PartitionId(pid), vec![], true);
+    }
+    for o in 0..orders {
+        let info = order_info_event(o);
+        let status = order_status_event(o, 7);
+        info_store.write_partition(
+            ssid,
+            info_store.partition_of(&info.key),
+            vec![(info.key, Some(info.value))],
+            true,
+        );
+        state_store.write_partition(
+            ssid,
+            state_store.partition_of(&status.key),
+            vec![(status.key, Some(status.value))],
+            true,
+        );
+    }
+    grid.registry().commit(ssid).unwrap();
+    system
+}
+
+fn query1_dop_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_parallel_query1_100k");
+    group.sample_size(10);
+    let system = populated_system(100_000);
+    let baseline = system.query_with_dop(QUERY_1, 1).unwrap().sorted_rows();
+    for dop in [1usize, 2, 4, 8] {
+        let rows = system.query_with_dop(QUERY_1, dop).unwrap().sorted_rows();
+        assert_eq!(rows, baseline, "dop {dop} must match sequential results");
+        group.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &dop| {
+            b.iter(|| system.query_with_dop(QUERY_1, dop).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn snapshot_scan_dop_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_parallel_scan_aggregate_100k");
+    group.sample_size(10);
+    let system = populated_system(100_000);
+    let sql = "SELECT deliveryZone, COUNT(*) FROM snapshot_orderinfo GROUP BY deliveryZone";
+    for dop in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(dop), &dop, |b, &dop| {
+            b.iter(|| system.query_with_dop(sql, dop).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query1_dop_sweep, snapshot_scan_dop_sweep);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! cargo run -p squery-bench --release --bin paper-figures -- fig10 fig14
 //! cargo run -p squery-bench --release --bin paper-figures -- --quick all
 //! cargo run -p squery-bench --release --bin paper-figures -- --telemetry-json telemetry.json
+//! cargo run -p squery-bench --release --bin paper-figures -- --quick --dop 4 fig13
 //! ```
 
 use squery_bench::figures::{all, by_id, ALL_IDS};
@@ -14,11 +15,19 @@ use squery_bench::Scale;
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut quick = false;
+    let mut dop = 1usize;
     let mut telemetry_json: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--dop" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => dop = n,
+                _ => {
+                    eprintln!("--dop requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--telemetry-json" => match args.next() {
                 Some(path) => telemetry_json = Some(path),
                 None => {
@@ -33,7 +42,7 @@ fn main() {
             artifact => requested.push(artifact.to_string()),
         }
     }
-    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let scale = if quick { Scale::quick() } else { Scale::full() }.with_dop(dop);
 
     if let Some(path) = &telemetry_json {
         // Run a small instrumented workload and dump the engine telemetry:
@@ -48,7 +57,9 @@ fn main() {
     }
 
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "help") {
-        eprintln!("usage: paper-figures [--quick] [--telemetry-json <path>] all | <artifact>...");
+        eprintln!(
+            "usage: paper-figures [--quick] [--dop <n>] [--telemetry-json <path>] all | <artifact>..."
+        );
         eprintln!("artifacts: {}", ALL_IDS.join(", "));
         std::process::exit(if requested.is_empty() { 2 } else { 0 });
     }

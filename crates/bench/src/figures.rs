@@ -45,6 +45,21 @@ fn ms_row(label: &str, hist: &Histogram) -> String {
     hist.report().as_ms_row(label)
 }
 
+/// A stable fingerprint of a sorted result set, printed in fig13's
+/// `result-check` lines so CI can diff runs at different `--dop` values.
+fn rows_fingerprint(rows: &[Vec<Value>]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = squery_common::partition::FnvHasher::default();
+    for row in rows {
+        for v in row {
+            h.write(v.to_string().as_bytes());
+            h.write_u8(0x1f);
+        }
+        h.write_u8(0x1e);
+    }
+    h.finish()
+}
+
 /// Table III: the paper's hardware vs this reproduction's substitution.
 pub fn table3(_scale: Scale) -> FigureResult {
     let cpus = std::thread::available_parallelism()
@@ -345,6 +360,12 @@ fn delta_job_spec(keys: u64, delta_keys: u64, rate: f64) -> squery::JobSpec {
 
 /// Figure 13: SQL query (Query 1) latency over incremental vs full
 /// snapshots at 1K/10K/100K keys; also reports snapshot-id resolution time.
+///
+/// With `scale.dop > 1` each configuration is additionally timed at that
+/// degree of parallelism, the parallel result is asserted row-for-row equal
+/// to the sequential one, and a deterministic `result-check` line (keyed on
+/// the *sequential* result only) is emitted so CI can diff two runs at
+/// different `--dop` values.
 pub fn fig13(scale: Scale) -> FigureResult {
     let mut lines = vec![format!(
         "workload: q-commerce monitoring, one full key-space churn between checkpoints, \
@@ -352,6 +373,10 @@ pub fn fig13(scale: Scale) -> FigureResult {
          measured after sources quiesce",
         scale.queries_per_config()
     )];
+    let mut dops = vec![1usize];
+    if scale.dop > 1 {
+        dops.push(scale.dop);
+    }
     // 7 passes of every source over its key space; checkpoint at each pass
     // boundary so each incremental delta is a full churn — the regime where
     // the differential backwards walk has real work to do.
@@ -382,21 +407,44 @@ pub fn fig13(scale: Scale) -> FigureResult {
             // then measure pure query latency without processing contention.
             job.drain_and_checkpoint(Duration::from_secs(300))
                 .expect("drain");
-            let mut hist = Histogram::new();
-            let mut ssid_hist = Histogram::new();
-            for _ in 0..scale.queries_per_config() {
-                let t0 = Instant::now();
-                let _ = system.latest_snapshot();
-                ssid_hist.record(t0.elapsed().as_micros() as u64);
-                let t1 = Instant::now();
-                system.query(QUERY_1).expect("query 1 runs");
-                hist.record(t1.elapsed().as_micros() as u64);
-            }
+            let baseline = system.query(QUERY_1).expect("query 1 runs").sorted_rows();
             lines.push(format!(
-                "{} [ssid lookup p50={}µs]",
-                ms_row(&format!("{label} {keys} keys"), &hist),
-                ssid_hist.percentile(0.5)
+                "result-check {label} {keys} keys rows={} fnv={:016x}",
+                baseline.len(),
+                rows_fingerprint(&baseline)
             ));
+            for &dop in &dops {
+                if dop > 1 {
+                    let parallel = system
+                        .query_with_dop(QUERY_1, dop)
+                        .expect("query 1 runs in parallel")
+                        .sorted_rows();
+                    assert_eq!(
+                        parallel, baseline,
+                        "dop {dop} result diverges from sequential ({label} {keys} keys)"
+                    );
+                }
+                let mut hist = Histogram::new();
+                let mut ssid_hist = Histogram::new();
+                for _ in 0..scale.queries_per_config() {
+                    let t0 = Instant::now();
+                    let _ = system.latest_snapshot();
+                    ssid_hist.record(t0.elapsed().as_micros() as u64);
+                    let t1 = Instant::now();
+                    system.query_with_dop(QUERY_1, dop).expect("query 1 runs");
+                    hist.record(t1.elapsed().as_micros() as u64);
+                }
+                let row_label = if dop == 1 {
+                    format!("{label} {keys} keys")
+                } else {
+                    format!("{label} {keys} keys dop={dop}")
+                };
+                lines.push(format!(
+                    "{} [ssid lookup p50={}µs]",
+                    ms_row(&row_label, &hist),
+                    ssid_hist.percentile(0.5)
+                ));
+            }
             job.stop();
         }
     }

@@ -7,17 +7,30 @@ use std::time::Duration;
 pub struct Scale {
     /// Full recorded-run sizes when true; fast smoke sizes when false.
     pub full: bool,
+    /// Degree of SQL query parallelism for fig13's dop sweep (1 = the
+    /// sequential baseline only).
+    pub dop: usize,
 }
 
 impl Scale {
     /// The full recorded-run scale.
     pub fn full() -> Scale {
-        Scale { full: true }
+        Scale { full: true, dop: 1 }
     }
 
     /// The smoke-test scale.
     pub fn quick() -> Scale {
-        Scale { full: false }
+        Scale {
+            full: false,
+            dop: 1,
+        }
+    }
+
+    /// The same scale with fig13 additionally sweeping this degree of
+    /// query parallelism.
+    pub fn with_dop(mut self, dop: usize) -> Scale {
+        self.dop = dop.max(1);
+        self
     }
 
     /// Measurement window per latency configuration (paper: 240 s).

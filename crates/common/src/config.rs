@@ -74,6 +74,75 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Default smallest row-chunk a parallel query worker will claim when a
+/// table scan has no partition structure to slice on.
+pub const DEFAULT_MIN_MORSEL_ROWS: usize = 256;
+
+/// Degree of parallelism for query execution.
+///
+/// `degree = 1` is today's sequential executor, bit-for-bit. Higher degrees
+/// run partition-parallel scans, join builds, and partial aggregation on
+/// scoped worker threads; results are merged deterministically so every
+/// degree returns row-for-row identical output (see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads per query (1 = sequential execution).
+    pub degree: usize,
+    /// Smallest row chunk claimed per worker for unsliceable scans.
+    pub min_morsel_rows: usize,
+}
+
+impl Parallelism {
+    /// Sequential execution — the default, preserving existing behavior.
+    pub fn sequential() -> Parallelism {
+        Parallelism {
+            degree: 1,
+            min_morsel_rows: DEFAULT_MIN_MORSEL_ROWS,
+        }
+    }
+
+    /// A fixed degree (clamped to at least 1).
+    pub fn of(degree: usize) -> Parallelism {
+        Parallelism {
+            degree: degree.max(1),
+            min_morsel_rows: DEFAULT_MIN_MORSEL_ROWS,
+        }
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Parallelism {
+        Parallelism::of(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Whether this configuration actually spawns workers.
+    pub fn is_parallel(&self) -> bool {
+        self.degree > 1
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> SqResult<()> {
+        if self.degree == 0 {
+            return Err(SqError::Config(
+                "parallelism degree must be at least 1".into(),
+            ));
+        }
+        if self.min_morsel_rows == 0 {
+            return Err(SqError::Config("min morsel rows must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
 /// Cross-node network model.
 ///
 /// The paper's cluster has a 10 Gbit/s network (Table III); remote operations
@@ -154,6 +223,27 @@ mod tests {
         let mut c = ClusterConfig::simulated(2);
         c.backup_count = 2;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_defaults_sequential_and_validates() {
+        let p = Parallelism::default();
+        assert_eq!(p.degree, 1);
+        assert!(!p.is_parallel());
+        p.validate().unwrap();
+        assert_eq!(Parallelism::of(0).degree, 1, "clamped");
+        assert!(Parallelism::of(4).is_parallel());
+        assert!(Parallelism::auto().degree >= 1);
+        let bad = Parallelism {
+            degree: 0,
+            min_morsel_rows: 1,
+        };
+        assert!(bad.validate().is_err());
+        let bad = Parallelism {
+            degree: 2,
+            min_morsel_rows: 0,
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

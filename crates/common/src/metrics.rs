@@ -194,6 +194,12 @@ pub struct SharedHistogram {
     inner: Arc<Mutex<Histogram>>,
 }
 
+impl fmt::Debug for SharedHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared{:?}", self.inner.lock())
+    }
+}
+
 impl SharedHistogram {
     /// An empty shared histogram.
     pub fn new() -> SharedHistogram {

@@ -1,6 +1,6 @@
 //! Top-level S-QUERY configuration.
 
-use squery_common::config::ClusterConfig;
+use squery_common::config::{ClusterConfig, Parallelism};
 use squery_common::{SqError, SqResult};
 use squery_storage::SnapshotMode;
 use squery_streaming::{EngineConfig, StateConfig};
@@ -24,6 +24,9 @@ pub struct SQueryConfig {
     pub channel_capacity: usize,
     /// Engine tuning: source batch size.
     pub source_batch: usize,
+    /// Degree of parallelism for SQL queries and direct multi-key reads
+    /// (default sequential; `Parallelism::auto()` uses all cores).
+    pub query_parallelism: Parallelism,
 }
 
 impl SQueryConfig {
@@ -37,6 +40,7 @@ impl SQueryConfig {
             retained_versions: 2,
             channel_capacity: 1024,
             source_batch: 256,
+            query_parallelism: Parallelism::sequential(),
         }
     }
 
@@ -84,6 +88,12 @@ impl SQueryConfig {
         self
     }
 
+    /// Run SQL queries and direct multi-key reads with this parallelism.
+    pub fn with_query_parallelism(mut self, parallelism: Parallelism) -> SQueryConfig {
+        self.query_parallelism = parallelism;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> SqResult<()> {
         self.cluster.validate()?;
@@ -96,6 +106,7 @@ impl SQueryConfig {
         if self.source_batch == 0 {
             return Err(SqError::Config("source batch must be positive".into()));
         }
+        self.query_parallelism.validate()?;
         Ok(())
     }
 
@@ -161,6 +172,22 @@ mod tests {
             ..SQueryConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = SQueryConfig {
+            query_parallelism: Parallelism {
+                degree: 0,
+                min_morsel_rows: 1,
+            },
+            ..SQueryConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn query_parallelism_builder() {
+        let c = SQueryConfig::default().with_query_parallelism(Parallelism::of(4));
+        c.validate().unwrap();
+        assert_eq!(c.query_parallelism.degree, 4);
+        assert!(c.query_parallelism.is_parallel());
     }
 
     #[test]

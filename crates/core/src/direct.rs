@@ -6,8 +6,11 @@
 //! under its key lock); snapshot reads resolve a committed snapshot id at
 //! the registry and read the immutable version data.
 
+use parking_lot::Mutex;
+use squery_common::config::Parallelism;
 use squery_common::{SnapshotId, SqError, SqResult, Value};
 use squery_storage::Grid;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which state a direct read observes.
@@ -25,12 +28,23 @@ pub enum StateView {
 #[derive(Clone)]
 pub struct DirectQuery {
     grid: Arc<Grid>,
+    parallelism: Parallelism,
 }
 
 impl DirectQuery {
-    /// A direct-query handle over `grid`.
+    /// A direct-query handle over `grid` (sequential reads).
     pub fn new(grid: Arc<Grid>) -> DirectQuery {
-        DirectQuery { grid }
+        DirectQuery {
+            grid,
+            parallelism: Parallelism::sequential(),
+        }
+    }
+
+    /// The same handle with multi-key reads fanning out over worker threads,
+    /// one claimable unit per grid partition.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> DirectQuery {
+        self.parallelism = parallelism;
+        self
     }
 
     fn resolve(&self, view: StateView) -> SqResult<Option<SnapshotId>> {
@@ -63,6 +77,10 @@ impl DirectQuery {
 
     /// Read several keys in one call; the snapshot id (for snapshot views)
     /// is resolved once, so all keys come from the same version.
+    ///
+    /// With a parallel handle ([`DirectQuery::with_parallelism`]) the keys
+    /// are grouped by grid partition and workers claim one partition group
+    /// at a time; results come back in input order either way.
     pub fn get_many(
         &self,
         operator: &str,
@@ -74,17 +92,81 @@ impl DirectQuery {
                 let map = self.grid.get_map(operator).ok_or_else(|| {
                     SqError::NotFound(format!("no live state for operator '{operator}'"))
                 })?;
-                Ok(map.get_all(keys))
+                if self.parallelism.is_parallel() && keys.len() > 1 {
+                    self.get_many_parallel(keys, |k| Ok(map.get(k)))
+                } else {
+                    Ok(map.get_all(keys))
+                }
             }
             Some(ssid) => {
                 let store = self.grid.get_snapshot_store(operator).ok_or_else(|| {
                     SqError::NotFound(format!("no snapshot state for operator '{operator}'"))
                 })?;
-                keys.iter()
-                    .map(|k| Ok((k.clone(), store.read_at(ssid, k)?)))
-                    .collect()
+                if self.parallelism.is_parallel() && keys.len() > 1 {
+                    self.get_many_parallel(keys, |k| store.read_at(ssid, k))
+                } else {
+                    keys.iter()
+                        .map(|k| Ok((k.clone(), store.read_at(ssid, k)?)))
+                        .collect()
+                }
             }
         }
+    }
+
+    /// Partition-grouped fan-out for multi-key reads: group key indices by
+    /// grid partition, let workers claim whole groups from an atomic cursor,
+    /// and scatter the values back into input order.
+    fn get_many_parallel(
+        &self,
+        keys: &[Value],
+        read: impl Fn(&Value) -> SqResult<Option<Value>> + Sync,
+    ) -> SqResult<Vec<(Value, Option<Value>)>> {
+        let partitioner = self.grid.partitioner();
+        let mut by_partition = vec![Vec::new(); partitioner.partition_count() as usize];
+        for (i, key) in keys.iter().enumerate() {
+            by_partition[partitioner.partition_of(key).0 as usize].push(i);
+        }
+        let groups: Vec<Vec<usize>> = by_partition.into_iter().filter(|g| !g.is_empty()).collect();
+        let cursor = AtomicUsize::new(0);
+        let first_error: Mutex<Option<SqError>> = Mutex::new(None);
+        let results: Mutex<Vec<Option<Option<Value>>>> = Mutex::new(vec![None; keys.len()]);
+        let workers = self.parallelism.degree.min(groups.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let g = cursor.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() || first_error.lock().is_some() {
+                        return;
+                    }
+                    let mut local = Vec::with_capacity(groups[g].len());
+                    for &i in &groups[g] {
+                        match read(&keys[i]) {
+                            Ok(v) => local.push((i, v)),
+                            Err(e) => {
+                                let mut guard = first_error.lock();
+                                if guard.is_none() {
+                                    *guard = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                    let mut out = results.lock();
+                    for (i, v) in local {
+                        out[i] = Some(v);
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        Ok(results
+            .into_inner()
+            .into_iter()
+            .zip(keys.iter())
+            .map(|(v, k)| (k.clone(), v.expect("every key read")))
+            .collect())
     }
 
     /// Read an operator's complete state (the "total state" retrieval of the
@@ -237,5 +319,24 @@ mod tests {
     fn latest_snapshot_reports_id() {
         let dq = DirectQuery::new(grid_with_state());
         assert_eq!(dq.latest_snapshot(), Some(SnapshotId(1)));
+    }
+
+    #[test]
+    fn parallel_get_many_matches_sequential() {
+        use squery_common::config::Parallelism;
+        let grid = grid_with_state();
+        let sequential = DirectQuery::new(Arc::clone(&grid));
+        let parallel = DirectQuery::new(grid).with_parallelism(Parallelism::of(4));
+        // Mix of hits and misses, spread across partitions, with a repeat.
+        let keys: Vec<Value> = (0..64).map(Value::Int).chain([Value::Int(1)]).collect();
+        for view in [StateView::Live, StateView::LatestSnapshot] {
+            let a = sequential.get_many("counter", &keys, view).unwrap();
+            let b = parallel.get_many("counter", &keys, view).unwrap();
+            assert_eq!(a, b, "{view:?}");
+        }
+        // Errors still surface (pruned/unknown snapshot id).
+        assert!(parallel
+            .get_many("counter", &keys, StateView::Snapshot(SnapshotId(99)))
+            .is_err());
     }
 }

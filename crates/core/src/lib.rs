@@ -53,6 +53,7 @@ pub use overview::SystemOverview;
 pub use system::SQuery;
 
 // Re-export the substrate surface a user programs against.
+pub use squery_common::config::Parallelism;
 pub use squery_sql::{ResultSet, SqlEngine};
 pub use squery_storage::{Grid, SnapshotMode};
 pub use squery_streaming::{

@@ -34,7 +34,9 @@ impl SQuery {
         let jobs: JobLog = Arc::new(Mutex::new(Vec::new()));
         let catalog = GridCatalog::new(Arc::clone(&grid));
         register_sys_tables(&catalog, Arc::clone(&grid), Arc::clone(&jobs));
-        let sql = SqlEngine::new(catalog).with_telemetry(grid.telemetry());
+        let sql = SqlEngine::new(catalog)
+            .with_telemetry(grid.telemetry())
+            .with_parallelism(config.query_parallelism);
         Ok(SQuery {
             grid,
             env,
@@ -78,9 +80,16 @@ impl SQuery {
         self.sql.query(sql)
     }
 
+    /// Run a SQL query with an explicit degree of parallelism, overriding
+    /// the configured `query_parallelism` for this query only.
+    pub fn query_with_dop(&self, sql: &str, dop: usize) -> SqResult<ResultSet> {
+        self.sql.query_with_dop(sql, dop)
+    }
+
     /// The direct object interface (point/multi-key reads, Figure 14).
+    /// Multi-key reads inherit the configured `query_parallelism`.
     pub fn direct(&self) -> DirectQuery {
-        DirectQuery::new(Arc::clone(&self.grid))
+        DirectQuery::new(Arc::clone(&self.grid)).with_parallelism(self.config.query_parallelism)
     }
 
     /// The latest committed snapshot id, if any checkpoint has completed.

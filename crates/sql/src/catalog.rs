@@ -1,5 +1,7 @@
 //! Catalog abstractions: tables, scan hints, execution context.
 
+use squery_common::config::Parallelism;
+use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::Counter;
 use squery_common::{SnapshotId, SqResult, Value};
@@ -58,6 +60,11 @@ pub struct ExecContext {
     /// Telemetry counter bumped with every row a scan materializes
     /// (`None` when the engine runs without a metrics registry).
     pub rows_scanned: Option<Counter>,
+    /// Degree of parallelism for this query (1 = sequential execution).
+    pub parallelism: Parallelism,
+    /// Per-worker slice-scan latency histogram (`sql_worker_scan_us`),
+    /// recorded once per claimed slice by parallel workers.
+    pub worker_scan_us: Option<SharedHistogram>,
 }
 
 impl ExecContext {
@@ -68,8 +75,45 @@ impl ExecContext {
             retained_ssids: Vec::new(),
             now_micros,
             rows_scanned: None,
+            parallelism: Parallelism::sequential(),
+            worker_scan_us: None,
         }
     }
+
+    /// The same context with a different degree of parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> ExecContext {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+/// The partition-sliced form of a table scan.
+///
+/// Partitioned tables return [`TableSlices::Sliced`] so parallel workers can
+/// claim independent slices; tables without exploitable structure (sys
+/// tables, point reads, test tables) return everything at once. Sequential
+/// execution treats both uniformly by concatenating slices in slice order —
+/// which is exactly what the parallel merge reproduces, so the two paths
+/// return row-for-row identical output by construction.
+pub enum TableSlices {
+    /// All rows materialized in one piece.
+    Whole(Vec<Vec<Value>>),
+    /// Independently scannable slices (usually one per grid partition).
+    Sliced(Arc<dyn ScanSlices>),
+}
+
+/// A set of independently scannable slices of one table scan.
+///
+/// Implementations must be safe to call from several threads at once and
+/// must resolve *all* per-query state (notably snapshot ids) before
+/// construction, so every worker reads the same pinned snapshot.
+pub trait ScanSlices: Send + Sync {
+    /// Number of slices. Slice order is the table's canonical row order:
+    /// concatenating `scan_slice(0..slice_count())` equals a sequential scan.
+    fn slice_count(&self) -> u32;
+
+    /// Materialize one slice's rows.
+    fn scan_slice(&self, slice: u32) -> SqResult<Vec<Vec<Value>>>;
 }
 
 /// A queryable table.
@@ -83,6 +127,14 @@ pub trait Table: Send + Sync {
     /// Materialize the rows visible to this scan. Row arity must match
     /// [`Table::schema`].
     fn scan(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>>;
+
+    /// Partition-aware scan entry point for parallel execution.
+    ///
+    /// The default materializes the whole scan as one slice; partitioned
+    /// tables override it to expose per-partition slices.
+    fn scan_partitions(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<TableSlices> {
+        Ok(TableSlices::Whole(self.scan(hints, ctx)?))
+    }
 }
 
 /// A source of tables plus the snapshot metadata queries need.

@@ -4,6 +4,7 @@ use crate::catalog::{Catalog, ExecContext};
 use crate::exec::execute;
 use crate::parser::parse;
 use crate::plan::plan;
+use squery_common::config::Parallelism;
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
@@ -101,6 +102,8 @@ struct EngineTelemetry {
     parse_us: SharedHistogram,
     plan_us: SharedHistogram,
     exec_us: SharedHistogram,
+    parallel_workers: SharedHistogram,
+    worker_scan_us: SharedHistogram,
     registry: MetricsRegistry,
 }
 
@@ -125,6 +128,7 @@ pub struct SqlEngine<C: Catalog> {
     catalog: C,
     clock: Clock,
     telemetry: Option<EngineTelemetry>,
+    parallelism: Parallelism,
 }
 
 impl<C: Catalog> SqlEngine<C> {
@@ -134,6 +138,7 @@ impl<C: Catalog> SqlEngine<C> {
             catalog,
             clock: Clock::wall(),
             telemetry: None,
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -143,7 +148,20 @@ impl<C: Catalog> SqlEngine<C> {
             catalog,
             clock,
             telemetry: None,
+            parallelism: Parallelism::sequential(),
         }
+    }
+
+    /// Set the default degree of parallelism for every query this engine
+    /// runs (overridable per query via [`SqlEngine::query_with_dop`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SqlEngine<C> {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The engine's default parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Attach a metrics registry: per-phase latency histograms
@@ -158,6 +176,8 @@ impl<C: Catalog> SqlEngine<C> {
             parse_us: registry.histogram("query_parse_us", &[]),
             plan_us: registry.histogram("query_plan_us", &[]),
             exec_us: registry.histogram("query_exec_us", &[]),
+            parallel_workers: registry.histogram("sql_parallel_workers", &[]),
+            worker_scan_us: registry.histogram("sql_worker_scan_us", &[]),
             registry: registry.clone(),
         });
         self
@@ -174,14 +194,32 @@ impl<C: Catalog> SqlEngine<C> {
     /// `LOCALTIMESTAMP` are captured once, before execution, so every table
     /// in the query reads one consistent snapshot.
     pub fn query(&self, sql: &str) -> SqResult<ResultSet> {
+        self.query_at(sql, self.parallelism)
+    }
+
+    /// Run one `SELECT` with an explicit degree of parallelism, overriding
+    /// the engine default for this query only. `dop == 1` is sequential
+    /// execution; the morsel size is inherited from the engine default.
+    pub fn query_with_dop(&self, sql: &str, dop: usize) -> SqResult<ResultSet> {
+        self.query_at(
+            sql,
+            Parallelism {
+                degree: dop.max(1),
+                ..self.parallelism
+            },
+        )
+    }
+
+    fn query_at(&self, sql: &str, parallelism: Parallelism) -> SqResult<ResultSet> {
         match &self.telemetry {
-            None => self.run(sql, None),
+            None => self.run(sql, None, parallelism),
             Some(tel) => {
                 tel.queries.inc();
+                tel.parallel_workers.record(parallelism.degree as u64);
                 tel.registry
                     .event(EventKind::QueryStarted, None, None, None, sql_prefix(sql));
                 let started = Instant::now();
-                let result = self.run(sql, Some(tel));
+                let result = self.run(sql, Some(tel), parallelism);
                 let elapsed = started.elapsed().as_micros() as u64;
                 match &result {
                     Ok(rs) => {
@@ -210,7 +248,12 @@ impl<C: Catalog> SqlEngine<C> {
         }
     }
 
-    fn run(&self, sql: &str, tel: Option<&EngineTelemetry>) -> SqResult<ResultSet> {
+    fn run(
+        &self,
+        sql: &str,
+        tel: Option<&EngineTelemetry>,
+        parallelism: Parallelism,
+    ) -> SqResult<ResultSet> {
         let t0 = Instant::now();
         let ast = parse(sql)?;
         let t1 = Instant::now();
@@ -222,6 +265,8 @@ impl<C: Catalog> SqlEngine<C> {
             retained_ssids,
             now_micros: self.clock.now_micros() as i64,
             rows_scanned: tel.map(|t| t.rows_scanned.clone()),
+            parallelism,
+            worker_scan_us: tel.map(|t| t.worker_scan_us.clone()),
         };
         let rows = execute(&physical, &ctx)?;
         if let Some(t) = tel {

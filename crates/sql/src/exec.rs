@@ -1,15 +1,41 @@
 //! Plan execution: scans → hash joins → filter → aggregation → projection →
 //! HAVING → ORDER BY → LIMIT.
+//!
+//! Two drivers share one set of operators:
+//!
+//! * the **sequential** path (`parallelism.degree == 1`) materializes each
+//!   scan whole and folds it — today's behavior, unchanged;
+//! * the **parallel** path runs a morsel-style driver on scoped worker
+//!   threads: workers claim partition slices (or row chunks of unsliceable
+//!   scans) from an atomic cursor, run scan → join probe → filter → partial
+//!   aggregation per slice, and the coordinator merges partial states in
+//!   slice order. Because slice order is each table's canonical row order
+//!   and all merges preserve it, both paths return row-for-row identical
+//!   output; ORDER BY/LIMIT always run post-merge on the complete result
+//!   (see DESIGN.md §5).
 
 use crate::ast::AggregateFunc;
-use crate::catalog::ExecContext;
+use crate::catalog::{ExecContext, TableSlices};
 use crate::plan::{AggregateNode, JoinNode, PhysicalPlan};
+use parking_lot::Mutex;
+use squery_common::partition::FnvHasher;
 use squery_common::{SqError, SqResult, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 /// Execute a plan, producing output rows matching `plan.output_schema`.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+    if ctx.parallelism.is_parallel() {
+        execute_parallel(plan, ctx)
+    } else {
+        execute_sequential(plan, ctx)
+    }
+}
+
+fn execute_sequential(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
     // --- scans + joins ----------------------------------------------------
     let mut rows = plan.scans[0].table.scan(&plan.scans[0].hints, ctx)?;
     if let Some(c) = &ctx.rows_scanned {
@@ -39,9 +65,19 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value
         rows = aggregate(rows, agg, ctx)?;
     }
 
-    // --- project (+ order keys computed on the same row) ---------------------
+    let projected = project_rows(plan, ctx, &rows)?;
+    Ok(sort_and_limit(plan, projected))
+}
+
+/// Project each row (plus HAVING and ORDER BY key evaluation on the same
+/// source row) into `(order keys, output row)` pairs.
+fn project_rows(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    rows: &[Vec<Value>],
+) -> SqResult<Vec<(Vec<Value>, Vec<Value>)>> {
     let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
-    for row in &rows {
+    for row in rows {
         let mut out = Vec::with_capacity(plan.projections.len());
         for p in &plan.projections {
             out.push(p.expr.eval(row, ctx)?);
@@ -57,8 +93,14 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value
         }
         projected.push((keys, out));
     }
+    Ok(projected)
+}
 
-    // --- order + limit --------------------------------------------------------
+/// Sort (stable, so equal keys keep their input order) and apply LIMIT.
+fn sort_and_limit(
+    plan: &PhysicalPlan,
+    mut projected: Vec<(Vec<Value>, Vec<Value>)>,
+) -> Vec<Vec<Value>> {
     if !plan.order_by.is_empty() {
         projected.sort_by(|(a, _), (b, _)| {
             for (i, (_, desc)) in plan.order_by.iter().enumerate() {
@@ -74,6 +116,305 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value
     let mut out: Vec<Vec<Value>> = projected.into_iter().map(|(_, r)| r).collect();
     if let Some(limit) = plan.limit {
         out.truncate(limit as usize);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parallel driver
+// ---------------------------------------------------------------------------
+
+/// Run the plan with `ctx.parallelism.degree` scoped worker threads.
+fn execute_parallel(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+    // Resolve every scan's slices up front: snapshot tables capture their
+    // resolved ssids here, from the one pinned query context, so all workers
+    // read the same committed version(s).
+    let base = plan.scans[0]
+        .table
+        .scan_partitions(&plan.scans[0].hints, ctx)?;
+    let mut join_tables = Vec::with_capacity(plan.joins.len());
+    for (scan, join) in plan.scans[1..].iter().zip(plan.joins.iter()) {
+        let slices = scan.table.scan_partitions(&scan.hints, ctx)?;
+        join_tables.push(build_join_table(&slices, join, ctx)?);
+    }
+
+    match &plan.aggregate {
+        Some(node) => {
+            // Per-worker partial aggregation; coordinator merges in slice
+            // order so first-seen group order matches the sequential fold.
+            let partials = parallel_scan(&base, ctx, |rows, _unit| {
+                let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
+                let mut partial = PartialAgg::new();
+                accumulate(&joined, node, ctx, &mut partial)?;
+                Ok(partial)
+            })?;
+            let mut merged = PartialAgg::new();
+            for partial in partials {
+                merged.merge(partial)?;
+            }
+            let rows = finish_groups(merged, node);
+            let projected = project_rows(plan, ctx, &rows)?;
+            Ok(sort_and_limit(plan, projected))
+        }
+        None => {
+            // Filter + projection run per slice; the coordinator only
+            // concatenates, sorts (stable, post-merge), and limits.
+            let chunks = parallel_scan(&base, ctx, |rows, _unit| {
+                let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
+                project_rows(plan, ctx, &joined)
+            })?;
+            let projected: Vec<(Vec<Value>, Vec<Value>)> = chunks.into_iter().flatten().collect();
+            Ok(sort_and_limit(plan, projected))
+        }
+    }
+}
+
+/// One claimable unit of base-scan work.
+enum Unit {
+    /// A table slice (usually one grid partition).
+    Slice(u32),
+    /// A row range of a whole-materialized scan (morsel chunking).
+    Range(usize, usize),
+}
+
+/// Morsel driver: workers claim units from an atomic cursor, map each unit's
+/// rows through `f`, and the results come back **in unit order** — the
+/// ordering contract every deterministic merge above relies on.
+fn parallel_scan<R: Send>(
+    slices: &TableSlices,
+    ctx: &ExecContext,
+    f: impl Fn(&[Vec<Value>], usize) -> SqResult<R> + Sync,
+) -> SqResult<Vec<R>> {
+    let dop = ctx.parallelism.degree;
+    let (units, whole_rows): (Vec<Unit>, Option<&Vec<Vec<Value>>>) = match slices {
+        TableSlices::Sliced(s) => ((0..s.slice_count()).map(Unit::Slice).collect(), None),
+        TableSlices::Whole(rows) => {
+            let n = rows.len();
+            let chunk = ctx
+                .parallelism
+                .min_morsel_rows
+                .max(n.div_ceil(dop * 4))
+                .max(1);
+            let mut units = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                units.push(Unit::Range(start, end));
+                start = end;
+            }
+            (units, Some(rows))
+        }
+    };
+    let n_units = units.len();
+    if n_units == 0 {
+        return Ok(Vec::new());
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<SqError>> = Mutex::new(None);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n_units).map(|_| None).collect());
+    let workers = dop.min(n_units);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(AtomicOrdering::Relaxed) {
+                    return;
+                }
+                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= n_units {
+                    return;
+                }
+                let out = (|| -> SqResult<R> {
+                    match units[i] {
+                        Unit::Slice(s) => {
+                            let TableSlices::Sliced(sl) = slices else {
+                                unreachable!("slice units imply sliced scan")
+                            };
+                            let started = ctx.worker_scan_us.as_ref().map(|_| Instant::now());
+                            let rows = sl.scan_slice(s)?;
+                            if let (Some(h), Some(t0)) = (&ctx.worker_scan_us, started) {
+                                h.record(t0.elapsed().as_micros() as u64);
+                            }
+                            if let Some(c) = &ctx.rows_scanned {
+                                c.add(rows.len() as u64);
+                            }
+                            f(&rows, i)
+                        }
+                        Unit::Range(a, b) => {
+                            let rows = &whole_rows.expect("range units imply whole rows")[a..b];
+                            if let Some(c) = &ctx.rows_scanned {
+                                c.add(rows.len() as u64);
+                            }
+                            f(rows, i)
+                        }
+                    }
+                })();
+                match out {
+                    Ok(r) => results.lock()[i] = Some(r),
+                    Err(e) => {
+                        failed.store(true, AtomicOrdering::Relaxed);
+                        let mut g = first_error.lock();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every unit completed"))
+        .collect())
+}
+
+/// One shard of the in-progress join build: key → `(row seq, row)` matches.
+type BuildShard = Mutex<HashMap<Vec<Value>, Vec<(u64, Vec<Value>)>>>;
+/// `(key, global row sequence, row)` bucketed locally before shard insertion.
+type BuildEntry = (Vec<Value>, u64, Vec<Value>);
+
+/// A frozen, shard-partitioned join build table.
+struct FrozenJoinTable {
+    shards: Vec<HashMap<Vec<Value>, Vec<Vec<Value>>>>,
+    mask: u64,
+}
+
+impl FrozenJoinTable {
+    fn get(&self, key: &[Value]) -> Option<&Vec<Vec<Value>>> {
+        self.shards[(shard_hash(key) & self.mask) as usize].get(key)
+    }
+}
+
+fn shard_hash(key: &[Value]) -> u64 {
+    let mut h = FnvHasher::default();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Build one join's hash table in parallel: workers insert into key-sharded
+/// mutexed maps; after the scan barrier the shards are frozen and each key's
+/// match list is ordered by global row sequence, so probe output order is
+/// identical to the sequential single-threaded build.
+fn build_join_table(
+    slices: &TableSlices,
+    join: &JoinNode,
+    ctx: &ExecContext,
+) -> SqResult<FrozenJoinTable> {
+    let shard_count = (ctx.parallelism.degree * 4).next_power_of_two();
+    let mask = shard_count as u64 - 1;
+    let shards: Vec<BuildShard> = (0..shard_count)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect();
+    parallel_scan(slices, ctx, |rows, unit| {
+        // Bucket locally first so each shard lock is taken at most once per
+        // unit.
+        let mut local: Vec<Vec<BuildEntry>> = vec![Vec::new(); shard_count];
+        'rows: for (i, row) in rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(join.right_keys.len());
+            for &k in &join.right_keys {
+                let v = row
+                    .get(k)
+                    .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
+            }
+            let seq = ((unit as u64) << 32) | i as u64;
+            let shard = (shard_hash(&key) & mask) as usize;
+            local[shard].push((key, seq, row.clone()));
+        }
+        for (shard, entries) in local.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut guard = shards[shard].lock();
+            for (key, seq, row) in entries {
+                guard.entry(key).or_default().push((seq, row));
+            }
+        }
+        Ok(())
+    })?;
+    let shards = shards
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .into_iter()
+                .map(|(k, mut v)| {
+                    v.sort_unstable_by_key(|(seq, _)| *seq);
+                    (k, v.into_iter().map(|(_, r)| r).collect())
+                })
+                .collect()
+        })
+        .collect();
+    Ok(FrozenJoinTable { shards, mask })
+}
+
+/// Probe one slice's rows through every join table, then apply the filter.
+fn probe_and_filter(
+    plan: &PhysicalPlan,
+    join_tables: &[FrozenJoinTable],
+    ctx: &ExecContext,
+    rows: &[Vec<Value>],
+) -> SqResult<Vec<Vec<Value>>> {
+    let mut current = if join_tables.is_empty() {
+        rows.to_vec()
+    } else {
+        let mut current = probe_step(rows, &join_tables[0], &plan.joins[0])?;
+        for (table, join) in join_tables[1..].iter().zip(&plan.joins[1..]) {
+            current = probe_step(&current, table, join)?;
+        }
+        current
+    };
+    if let Some(filter) = &plan.filter {
+        let mut kept = Vec::with_capacity(current.len());
+        for row in current {
+            if filter.matches(&row, ctx)? {
+                kept.push(row);
+            }
+        }
+        current = kept;
+    }
+    Ok(current)
+}
+
+/// One probe pass; same semantics as [`hash_join`]'s probe (NULL keys never
+/// match, `right_drop` columns dropped).
+fn probe_step(
+    left: &[Vec<Value>],
+    table: &FrozenJoinTable,
+    join: &JoinNode,
+) -> SqResult<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    'probe: for lrow in left {
+        let mut key = Vec::with_capacity(join.left_keys.len());
+        for &i in &join.left_keys {
+            let v = lrow
+                .get(i)
+                .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v.clone());
+        }
+        if let Some(matches) = table.get(&key) {
+            for rrow in matches {
+                let mut combined = lrow.clone();
+                for (i, v) in rrow.iter().enumerate() {
+                    if !join.right_drop.contains(&i) {
+                        combined.push(v.clone());
+                    }
+                }
+                out.push(combined);
+            }
+        }
     }
     Ok(out)
 }
@@ -216,6 +557,68 @@ impl Acc {
         Ok(())
     }
 
+    /// Fold another partial accumulator of the same shape into this one.
+    ///
+    /// Merge order follows slice order, mirroring the row order the
+    /// sequential fold sees, so type promotion (Int→Float SUM) and
+    /// incomparable-type MIN/MAX tie-breaks resolve identically.
+    fn merge(&mut self, other: Acc) -> SqResult<()> {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::Sum(a), Acc::Sum(b)) => {
+                if let Some(v) = b {
+                    let next = match a.take() {
+                        None => v,
+                        Some(Value::Int(x)) => match v {
+                            Value::Int(y) => Value::Int(x.wrapping_add(y)),
+                            other => Value::Float(
+                                x as f64 + other.as_f64().expect("accumulator is numeric"),
+                            ),
+                        },
+                        Some(cur) => {
+                            let x = cur.as_f64().expect("accumulator is numeric");
+                            let y = v.as_f64().expect("accumulator is numeric");
+                            Value::Float(x + y)
+                        }
+                    };
+                    *a = Some(next);
+                }
+            }
+            (Acc::Avg { sum: s, n }, Acc::Avg { sum: os, n: on }) => {
+                *s += os;
+                *n += on;
+            }
+            (Acc::Min(a), Acc::Min(b)) => {
+                if let Some(v) = b {
+                    let replace = match a.as_ref() {
+                        None => true,
+                        Some(cur) => v.sql_cmp(cur) == Some(Ordering::Less),
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(a), Acc::Max(b)) => {
+                if let Some(v) = b {
+                    let replace = match a.as_ref() {
+                        None => true,
+                        Some(cur) => v.sql_cmp(cur) == Some(Ordering::Greater),
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            _ => {
+                return Err(SqError::Exec(
+                    "mismatched aggregate accumulators in merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
@@ -243,26 +646,60 @@ fn non_numeric(func: &str, v: &Value) -> SqError {
     SqError::Exec(format!("{func} over non-numeric {}", v.type_name()))
 }
 
-/// Group rows and evaluate aggregates; output rows are
-/// `[group keys…, aggregate results…]`.
-fn aggregate(
-    rows: Vec<Vec<Value>>,
+/// A partial (unfinished) aggregation state: per-group accumulators plus the
+/// first-seen order of groups for stable output.
+struct PartialAgg {
+    groups: HashMap<Vec<Value>, Vec<Acc>>,
+    order: Vec<Vec<Value>>,
+}
+
+impl PartialAgg {
+    fn new() -> PartialAgg {
+        PartialAgg {
+            groups: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Fold another partial state into this one, preserving first-seen group
+    /// order across the two (self's groups first, then other's new groups).
+    fn merge(&mut self, mut other: PartialAgg) -> SqResult<()> {
+        for key in other.order {
+            let accs = other.groups.remove(&key).expect("group recorded");
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(accs) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    self.order.push(key.clone());
+                    self.groups.insert(key, accs);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fold rows into the partial aggregation state.
+fn accumulate(
+    rows: &[Vec<Value>],
     node: &AggregateNode,
     ctx: &ExecContext,
-) -> SqResult<Vec<Vec<Value>>> {
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    // Stable output: remember first-seen order of groups.
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in &rows {
+    partial: &mut PartialAgg,
+) -> SqResult<()> {
+    for row in rows {
         let mut key = Vec::with_capacity(node.group_exprs.len());
         for g in &node.group_exprs {
             key.push(g.eval(row, ctx)?);
         }
-        let accs = match groups.get_mut(&key) {
+        let accs = match partial.groups.get_mut(&key) {
             Some(a) => a,
             None => {
-                order.push(key.clone());
-                groups
+                partial.order.push(key.clone());
+                partial
+                    .groups
                     .entry(key.clone())
                     .or_insert_with(|| node.aggs.iter().map(|(f, _)| Acc::new(*f)).collect())
             }
@@ -277,20 +714,38 @@ fn aggregate(
             }
         }
     }
+    Ok(())
+}
+
+/// Finish accumulators into output rows `[group keys…, aggregate results…]`
+/// in first-seen group order.
+fn finish_groups(mut partial: PartialAgg, node: &AggregateNode) -> Vec<Vec<Value>> {
     // A global aggregate (no GROUP BY) over zero rows yields one row.
-    if node.group_exprs.is_empty() && groups.is_empty() {
+    if node.group_exprs.is_empty() && partial.groups.is_empty() {
         let accs: Vec<Acc> = node.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();
         let row: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
-        return Ok(vec![row]);
+        return vec![row];
     }
-    let mut out = Vec::with_capacity(groups.len());
-    for key in order {
-        let accs = groups.remove(&key).expect("group recorded");
+    let mut out = Vec::with_capacity(partial.groups.len());
+    for key in partial.order {
+        let accs = partial.groups.remove(&key).expect("group recorded");
         let mut row = key;
         row.extend(accs.into_iter().map(Acc::finish));
         out.push(row);
     }
-    Ok(out)
+    out
+}
+
+/// Group rows and evaluate aggregates; output rows are
+/// `[group keys…, aggregate results…]`.
+fn aggregate(
+    rows: Vec<Vec<Value>>,
+    node: &AggregateNode,
+    ctx: &ExecContext,
+) -> SqResult<Vec<Vec<Value>>> {
+    let mut partial = PartialAgg::new();
+    accumulate(&rows, node, ctx, &mut partial)?;
+    Ok(finish_groups(partial, node))
 }
 
 #[cfg(test)]
@@ -299,6 +754,7 @@ mod tests {
     use crate::catalog::{MemCatalog, MemTable};
     use crate::parser::parse;
     use crate::plan::plan;
+    use squery_common::config::Parallelism;
     use squery_common::schema::{schema, KEY_COLUMN};
     use squery_common::DataType;
     use std::sync::Arc;
@@ -523,5 +979,72 @@ mod tests {
         let rows = execute(&p, &ExecContext::live_only(0)).unwrap();
         // 3 non-null totals match themselves exactly once each.
         assert_eq!(rows.len(), 3);
+    }
+
+    /// A context that forces parallel execution with one-row morsels, so even
+    /// the tiny test tables split into many units.
+    fn parallel_ctx(dop: usize) -> ExecContext {
+        ExecContext::live_only(0).with_parallelism(Parallelism {
+            degree: dop,
+            min_morsel_rows: 1,
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential_row_for_row() {
+        let queries = [
+            "SELECT * FROM orders",
+            "SELECT total FROM orders WHERE zone = 'north'",
+            "SELECT partitionKey, total, category FROM orders JOIN info USING(partitionKey)",
+            "SELECT zone, COUNT(*), SUM(total) FROM orders GROUP BY zone",
+            "SELECT AVG(total), MIN(total), MAX(total) FROM orders",
+            "SELECT COUNT(*), SUM(total) FROM orders WHERE zone = 'nowhere'",
+            "SELECT zone, SUM(total) FROM orders GROUP BY zone HAVING SUM(total) > 25",
+            "SELECT total FROM orders WHERE total IS NOT NULL ORDER BY total DESC LIMIT 2",
+            "SELECT zone, SUM(total) AS s FROM orders GROUP BY zone ORDER BY s DESC, zone",
+            "SELECT o.zone FROM orders o JOIN orders p ON o.total = p.total",
+        ];
+        let c = catalog();
+        for sql in queries {
+            let p = plan(&parse(sql).unwrap(), &c).unwrap();
+            let sequential = execute(&p, &ExecContext::live_only(0)).unwrap();
+            for dop in [2, 4, 8] {
+                let parallel = execute(&p, &parallel_ctx(dop)).unwrap();
+                assert_eq!(parallel, sequential, "dop {dop}: {sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_propagates_first_worker_error() {
+        let c = catalog();
+        // Division by a value that is zero for one row errors at eval time.
+        let p = plan(
+            &parse("SELECT 1 / (total - 10) FROM orders WHERE total IS NOT NULL").unwrap(),
+            &c,
+        )
+        .unwrap();
+        assert!(execute(&p, &ExecContext::live_only(0)).is_err());
+        assert!(execute(&p, &parallel_ctx(4)).is_err());
+    }
+
+    #[test]
+    fn parallel_sum_promotes_like_sequential() {
+        // Mixed Int/Float SUM: the merged accumulator must promote to Float
+        // exactly when the sequential fold does.
+        let s = schema(vec![("v", DataType::Any)]);
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.5)],
+            vec![Value::Int(3)],
+            vec![Value::Int(4)],
+        ];
+        let c = MemCatalog::new(vec![Arc::new(MemTable::new("t", s, rows))]);
+        let p = plan(&parse("SELECT SUM(v) FROM t").unwrap(), &c).unwrap();
+        let sequential = execute(&p, &ExecContext::live_only(0)).unwrap();
+        assert_eq!(sequential, vec![vec![Value::Float(10.5)]]);
+        for dop in [2, 4] {
+            assert_eq!(execute(&p, &parallel_ctx(dop)).unwrap(), sequential);
+        }
     }
 }

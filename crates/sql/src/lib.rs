@@ -37,7 +37,8 @@ pub mod plan;
 pub mod systables;
 pub mod tables;
 
-pub use catalog::{Catalog, ExecContext, ScanHints, SsidMode, Table};
+pub use catalog::{Catalog, ExecContext, ScanHints, ScanSlices, SsidMode, Table, TableSlices};
 pub use engine::{ResultSet, SqlEngine};
+pub use squery_common::config::Parallelism;
 pub use systables::{SysRowProvider, SysTable};
 pub use tables::GridCatalog;

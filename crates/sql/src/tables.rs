@@ -11,10 +11,10 @@
 //! schema) expose a single `this` column holding the raw value, mirroring
 //! how IMDG exposes non-decomposable values.
 
-use crate::catalog::{Catalog, ExecContext, ScanHints, SsidMode, Table};
+use crate::catalog::{Catalog, ExecContext, ScanHints, ScanSlices, SsidMode, Table, TableSlices};
 use parking_lot::RwLock;
 use squery_common::schema::{Field, Schema, KEY_COLUMN, SSID_COLUMN};
-use squery_common::{DataType, SnapshotId, SqError, SqResult, Value};
+use squery_common::{DataType, PartitionId, SnapshotId, SqError, SqResult, Value};
 use squery_storage::grid::SNAPSHOT_TABLE_PREFIX;
 use squery_storage::{Grid, IMap, SnapshotStore};
 use std::collections::HashMap;
@@ -95,6 +95,44 @@ impl Table for LiveTable {
             let mut row = Vec::with_capacity(self.schema.len());
             row.push(k.clone());
             row.extend(explode(v, value_schema.as_ref()));
+            rows.push(row);
+        });
+        Ok(rows)
+    }
+
+    fn scan_partitions(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<TableSlices> {
+        if hints.key_eq.is_some() {
+            // Point reads touch one partition; nothing to parallelize.
+            return Ok(TableSlices::Whole(self.scan(hints, ctx)?));
+        }
+        Ok(TableSlices::Sliced(Arc::new(LiveSlices {
+            map: Arc::clone(&self.map),
+            schema: Arc::clone(&self.schema),
+            value_schema: self.map.value_schema(),
+        })))
+    }
+}
+
+/// One slice per grid partition of a live map. Slice order is partition
+/// order, matching [`IMap::for_each`], so slice concatenation equals the
+/// sequential scan.
+struct LiveSlices {
+    map: Arc<IMap>,
+    schema: Arc<Schema>,
+    value_schema: Option<Arc<Schema>>,
+}
+
+impl ScanSlices for LiveSlices {
+    fn slice_count(&self) -> u32 {
+        self.map.partitioner().partition_count()
+    }
+
+    fn scan_slice(&self, slice: u32) -> SqResult<Vec<Vec<Value>>> {
+        let mut rows = Vec::new();
+        self.map.for_each_in_partition(PartitionId(slice), |k, v| {
+            let mut row = Vec::with_capacity(self.schema.len());
+            row.push(k.clone());
+            row.extend(explode(v, self.value_schema.as_ref()));
             rows.push(row);
         });
         Ok(rows)
@@ -187,6 +225,55 @@ impl Table for SnapshotTable {
         }
         Ok(rows)
     }
+
+    fn scan_partitions(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<TableSlices> {
+        if hints.key_eq.is_some() {
+            return Ok(TableSlices::Whole(self.scan(hints, ctx)?));
+        }
+        // Snapshot ids resolve here, once, from the pinned query context —
+        // every worker then scans the same committed version(s).
+        let ssids = self.resolve_ssids(hints, ctx)?;
+        Ok(TableSlices::Sliced(Arc::new(SnapshotSlices {
+            store: Arc::clone(&self.store),
+            schema: Arc::clone(&self.schema),
+            value_schema: self.store.value_schema(),
+            parts: self.store.partition_count(),
+            ssids,
+        })))
+    }
+}
+
+/// Slices of a snapshot scan: ssid-major, partition-minor — the same
+/// `(ssid, partition)` order the sequential `scan`/`scan_at` path walks, so
+/// slice concatenation reproduces its row order exactly.
+struct SnapshotSlices {
+    store: Arc<SnapshotStore>,
+    schema: Arc<Schema>,
+    value_schema: Option<Arc<Schema>>,
+    parts: u32,
+    /// Pre-resolved committed ids (the query's pinned snapshot context).
+    ssids: Vec<SnapshotId>,
+}
+
+impl ScanSlices for SnapshotSlices {
+    fn slice_count(&self) -> u32 {
+        self.ssids.len() as u32 * self.parts
+    }
+
+    fn scan_slice(&self, slice: u32) -> SqResult<Vec<Vec<Value>>> {
+        let ssid = self.ssids[(slice / self.parts) as usize];
+        let pid = PartitionId(slice % self.parts);
+        let entries = self.store.scan_partition_at(ssid, pid)?;
+        let mut rows = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            let mut row = Vec::with_capacity(self.schema.len());
+            row.push(k);
+            row.push(Value::Int(ssid.0 as i64));
+            row.extend(explode(&v, self.value_schema.as_ref()));
+            rows.push(row);
+        }
+        Ok(rows)
+    }
 }
 
 /// Catalog over a storage grid, plus registered extra tables (`sys_*`).
@@ -239,10 +326,10 @@ impl Catalog for GridCatalog {
     }
 
     fn snapshot_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
-        let registry = self.grid.registry();
-        let latest = registry.latest_committed();
-        let latest = latest.is_some().then_some(latest);
-        (latest, registry.committed_ssids())
+        // One atomic registry read: reading `latest_committed()` and
+        // `committed_ssids()` separately would let a checkpoint commit in
+        // between, handing joined scans of one query different ssids.
+        self.grid.registry().query_context()
     }
 }
 
@@ -437,6 +524,59 @@ mod tests {
             .query("SELECT a.n FROM sys_demo a JOIN sys_demo b ON a.n = b.n ORDER BY a.n")
             .unwrap();
         assert_eq!(rs.rows(), &[vec![Value::Int(41)], vec![Value::Int(42)]]);
+    }
+
+    #[test]
+    fn slices_concatenate_to_the_sequential_scan() {
+        let hints = ScanHints::default();
+        // Live table: one slice per partition, partition order.
+        let grid = figure4_grid();
+        let live = LiveTable::new(grid.get_map("average").unwrap());
+        let ctx = ExecContext::live_only(0);
+        let seq = live.scan(&hints, &ctx).unwrap();
+        let TableSlices::Sliced(slices) = live.scan_partitions(&hints, &ctx).unwrap() else {
+            panic!("live table should slice");
+        };
+        let mut concat = Vec::new();
+        for i in 0..slices.slice_count() {
+            concat.extend(slices.scan_slice(i).unwrap());
+        }
+        assert_eq!(concat, seq);
+
+        // Snapshot table with two retained versions: ssid-major slice order.
+        let grid = grid_with_snapshots();
+        let snap = SnapshotTable::new(grid.get_snapshot_store("average").unwrap());
+        let (latest, retained) = grid.registry().query_context();
+        let ctx = ExecContext {
+            query_ssid: latest,
+            retained_ssids: retained,
+            ..ExecContext::live_only(0)
+        };
+        let all_hints = ScanHints {
+            ssid: SsidMode::AllRetained,
+            ..ScanHints::default()
+        };
+        for h in [&hints, &all_hints] {
+            let seq = snap.scan(h, &ctx).unwrap();
+            let TableSlices::Sliced(slices) = snap.scan_partitions(h, &ctx).unwrap() else {
+                panic!("snapshot table should slice");
+            };
+            let mut concat = Vec::new();
+            for i in 0..slices.slice_count() {
+                concat.extend(slices.scan_slice(i).unwrap());
+            }
+            assert_eq!(concat, seq);
+        }
+
+        // Point reads collapse to a single whole slice.
+        let point = ScanHints {
+            key_eq: Some(Value::Int(1)),
+            ..ScanHints::default()
+        };
+        assert!(matches!(
+            snap.scan_partitions(&point, &ctx).unwrap(),
+            TableSlices::Whole(_)
+        ));
     }
 
     #[test]

@@ -296,6 +296,17 @@ impl IMap {
         }
     }
 
+    /// Visit one partition's entries without materializing — the scan entry
+    /// point partition-parallel query workers slice on. Takes only that
+    /// partition's read lock, so workers on distinct partitions never
+    /// contend.
+    pub fn for_each_in_partition(&self, pid: PartitionId, mut f: impl FnMut(&Value, &Value)) {
+        let guard = self.parts[pid.0 as usize].map.read();
+        for (k, v) in guard.iter() {
+            f(k, v);
+        }
+    }
+
     /// Read multiple keys under their key locks.
     pub fn get_all(&self, keys: &[Value]) -> Vec<(Value, Option<Value>)> {
         keys.iter().map(|k| (k.clone(), self.get(k))).collect()
@@ -445,6 +456,26 @@ mod tests {
         m.clear_partitions(&[victim]);
         assert_eq!(m.entries_in_partition(victim).len(), 0);
         assert_eq!(m.len(), 200 - victim_count);
+    }
+
+    #[test]
+    fn per_partition_visits_cover_the_whole_map() {
+        let m = map();
+        for i in 0..100 {
+            m.put(Value::Int(i), Value::Int(i * 2));
+        }
+        let mut seen = 0usize;
+        for pid in 0..m.partitioner().partition_count() {
+            let mut in_part = 0usize;
+            m.for_each_in_partition(PartitionId(pid), |k, v| {
+                assert_eq!(m.partition_of(k), PartitionId(pid));
+                assert_eq!(v.as_int(), k.as_int().map(|i| i * 2));
+                in_part += 1;
+            });
+            assert_eq!(in_part, m.entries_in_partition(PartitionId(pid)).len());
+            seen += in_part;
+        }
+        assert_eq!(seen, 100);
     }
 
     #[test]

@@ -73,6 +73,22 @@ impl SnapshotRegistry {
         self.committed.lock().iter().copied().collect()
     }
 
+    /// The full snapshot context a query pins at start: the latest committed
+    /// id (`None` before the first commit) plus every retained committed id,
+    /// oldest first — read under **one** lock acquisition.
+    ///
+    /// Reading `latest_committed()` and `committed_ssids()` separately leaves
+    /// a window where a checkpoint commits in between, so two scans of one
+    /// query could resolve different ids. This method is the race-free read
+    /// every query should start from.
+    pub fn query_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
+        let committed = self.committed.lock();
+        (
+            committed.back().copied(),
+            committed.iter().copied().collect(),
+        )
+    }
+
     /// Start a new checkpoint: allocates the next snapshot id and marks it in
     /// progress. Fails if another checkpoint is already in flight (the
     /// coordinator serializes checkpoints, like Jet).
@@ -258,6 +274,55 @@ mod tests {
         }
         assert!(r.resolve_query_ssid(Some(SnapshotId(1))).is_err());
         assert!(r.resolve_query_ssid(Some(SnapshotId(2))).is_ok());
+    }
+
+    #[test]
+    fn query_context_is_internally_consistent() {
+        let r = SnapshotRegistry::new();
+        assert_eq!(r.query_context(), (None, vec![]));
+        for _ in 0..3 {
+            let s = r.begin().unwrap();
+            r.commit(s).unwrap();
+        }
+        let (latest, retained) = r.query_context();
+        assert_eq!(latest, Some(SnapshotId(3)));
+        assert_eq!(retained, vec![SnapshotId(2), SnapshotId(3)]);
+        assert_eq!(
+            latest,
+            retained.last().copied(),
+            "latest is always retained"
+        );
+    }
+
+    /// The mid-query-checkpoint race the SQL layer must not see: the latest
+    /// id returned by `query_context` is always a member of the retained set
+    /// returned by the *same* call, even while commits are racing.
+    #[test]
+    fn query_context_atomic_under_concurrent_commits() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (latest, retained) = r.query_context();
+                    if let Some(latest) = latest {
+                        assert!(
+                            retained.contains(&latest),
+                            "latest {latest} missing from retained {retained:?}"
+                        );
+                        assert_eq!(retained.last(), Some(&latest));
+                    }
+                }
+            })
+        };
+        for _ in 0..200 {
+            let s = r.begin().unwrap();
+            r.commit(s).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
     }
 
     #[test]

@@ -138,6 +138,11 @@ impl SnapshotStore {
         self.partitioner.partition_of(key)
     }
 
+    /// Number of partitions (partition-parallel scans slice on this).
+    pub fn partition_count(&self) -> u32 {
+        self.partitioner.partition_count()
+    }
+
     /// Phase-1 write: store one partition's entries for checkpoint `ssid`.
     ///
     /// `full` marks a complete view; otherwise the entries are a delta

@@ -1,22 +1,60 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh [--fix]
-#   --fix   apply rustfmt instead of only checking
+# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test]
+#   --fix         apply rustfmt instead of only checking
+#   --only STEP   run a single step (what the CI jobs call)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--fix" ]]; then
-    echo "==> cargo fmt"
-    cargo fmt --all
-else
-    echo "==> cargo fmt --check"
-    cargo fmt --all -- --check
-fi
+fix=0
+only=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --fix) fix=1; shift ;;
+        --only)
+            only="${2:-}"
+            if [[ -z "$only" ]]; then
+                echo "--only requires an argument: fmt|clippy|test" >&2
+                exit 2
+            fi
+            shift 2
+            ;;
+        *)
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test])" >&2
+            exit 2
+            ;;
+    esac
+done
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_fmt() {
+    if [[ "$fix" == 1 ]]; then
+        echo "==> cargo fmt"
+        cargo fmt --all
+    else
+        echo "==> cargo fmt --check"
+        cargo fmt --all -- --check
+    fi
+}
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+run_clippy() {
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+}
+
+case "$only" in
+    "") run_fmt; run_clippy; run_test ;;
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    *)
+        echo "unknown step '$only' (known: fmt, clippy, test)" >&2
+        exit 2
+        ;;
+esac
 
 echo "All checks passed."
