@@ -28,6 +28,9 @@ pub enum SqError {
     Config(String),
     /// Stream-runtime failure (job panicked, channel closed unexpectedly).
     Runtime(String),
+    /// A worker thread died (panicked) and the job needs recovery before it
+    /// can make progress again.
+    WorkerDied(String),
 }
 
 impl SqError {
@@ -42,6 +45,7 @@ impl SqError {
             SqError::Codec(_) => "codec",
             SqError::Config(_) => "config",
             SqError::Runtime(_) => "runtime",
+            SqError::WorkerDied(_) => "worker-died",
         }
     }
 
@@ -55,7 +59,8 @@ impl SqError {
             | SqError::NotFound(m)
             | SqError::Codec(m)
             | SqError::Config(m)
-            | SqError::Runtime(m) => m,
+            | SqError::Runtime(m)
+            | SqError::WorkerDied(m) => m,
         }
     }
 }
@@ -103,6 +108,7 @@ mod tests {
             SqError::Codec(String::new()),
             SqError::Config(String::new()),
             SqError::Runtime(String::new()),
+            SqError::WorkerDied(String::new()),
         ];
         let kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         let mut dedup = kinds.clone();

@@ -26,11 +26,15 @@
 //!   and the Prometheus/JSON exports.
 //! * [`time::Clock`] — wall or manually-driven clocks so integration tests can
 //!   be deterministic.
+//! * [`fault`] — deterministic, seeded fault injection: the [`fault::FaultPlan`]
+//!   / [`fault::FaultInjector`] the engine's injection points consult, plus the
+//!   hand-rolled [`fault::SplitMix64`] PRNG and jittered-backoff helper.
 //! * [`error`] — the shared error type.
 
 pub mod codec;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod partition;

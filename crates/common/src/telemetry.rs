@@ -169,6 +169,16 @@ pub enum EventKind {
     QueryStarted,
     /// A SQL query finished.
     QueryFinished,
+    /// A planned fault fired at an injection point.
+    FaultInjected,
+    /// A worker thread panicked (the unwind was caught).
+    WorkerPanicked,
+    /// An aborted checkpoint round is being retried with backoff.
+    CheckpointRetried,
+    /// The supervisor is restarting the job (crash + rollback recovery).
+    SupervisorRestart,
+    /// The supervisor exhausted its restart budget and gave up.
+    SupervisorGaveUp,
 }
 
 impl EventKind {
@@ -188,6 +198,11 @@ impl EventKind {
             EventKind::AlignmentStall => "alignment_stall",
             EventKind::QueryStarted => "query_started",
             EventKind::QueryFinished => "query_finished",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::WorkerPanicked => "worker_panicked",
+            EventKind::CheckpointRetried => "checkpoint_retried",
+            EventKind::SupervisorRestart => "supervisor_restart",
+            EventKind::SupervisorGaveUp => "supervisor_gave_up",
         }
     }
 }

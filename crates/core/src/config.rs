@@ -27,6 +27,13 @@ pub struct SQueryConfig {
     /// Degree of parallelism for SQL queries and direct multi-key reads
     /// (default sequential; `Parallelism::auto()` uses all cores).
     pub query_parallelism: Parallelism,
+    /// Phase-1 ack timeout before a checkpoint round aborts.
+    pub ack_timeout: Duration,
+    /// In-place retries of an aborted checkpoint round before the error
+    /// surfaces (the supervisor handles anything beyond that).
+    pub checkpoint_retries: u32,
+    /// Base backoff between checkpoint retries (exponential, jittered).
+    pub retry_backoff: Duration,
 }
 
 impl SQueryConfig {
@@ -41,6 +48,9 @@ impl SQueryConfig {
             channel_capacity: 1024,
             source_batch: 256,
             query_parallelism: Parallelism::sequential(),
+            ack_timeout: Duration::from_secs(10),
+            checkpoint_retries: 0,
+            retry_backoff: Duration::from_millis(50),
         }
     }
 
@@ -94,6 +104,20 @@ impl SQueryConfig {
         self
     }
 
+    /// Abort checkpoint rounds whose phase-1 acks take longer than this.
+    pub fn with_ack_timeout(mut self, timeout: Duration) -> SQueryConfig {
+        self.ack_timeout = timeout;
+        self
+    }
+
+    /// Retry aborted checkpoint rounds `retries` times with `backoff` base
+    /// delay before surfacing the error.
+    pub fn with_checkpoint_retries(mut self, retries: u32, backoff: Duration) -> SQueryConfig {
+        self.checkpoint_retries = retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> SqResult<()> {
         self.cluster.validate()?;
@@ -117,7 +141,9 @@ impl SQueryConfig {
             checkpoint_interval: self.checkpoint_interval,
             channel_capacity: self.channel_capacity,
             source_batch: self.source_batch,
-            ack_timeout: Duration::from_secs(10),
+            ack_timeout: self.ack_timeout,
+            checkpoint_retries: self.checkpoint_retries,
+            retry_backoff: self.retry_backoff,
         }
     }
 }
@@ -197,5 +223,12 @@ mod tests {
         assert_eq!(e.checkpoint_interval, Some(Duration::from_millis(500)));
         assert_eq!(e.state, c.state);
         assert_eq!(e.channel_capacity, 1024);
+        let c = c
+            .with_ack_timeout(Duration::from_millis(200))
+            .with_checkpoint_retries(3, Duration::from_millis(10));
+        let e = c.engine_config();
+        assert_eq!(e.ack_timeout, Duration::from_millis(200));
+        assert_eq!(e.checkpoint_retries, 3);
+        assert_eq!(e.retry_backoff, Duration::from_millis(10));
     }
 }

@@ -1,0 +1,219 @@
+//! Fault-tolerance invariant checkers.
+//!
+//! Each checker returns `Err` with a descriptive message instead of
+//! panicking, so the same functions serve `#[test]`s (via `.unwrap()`),
+//! the chaos soak binary (which counts failures per seed), and ad-hoc
+//! debugging. They verify the three guarantees the paper's recovery design
+//! rests on:
+//!
+//! * **exactly-once state effect** — after a drain barrier, operator state
+//!   equals what a single fault-free pass over the input would produce, no
+//!   matter how many crashes and replays happened in between (§IV);
+//! * **snapshot-id monotonicity** — committed snapshot ids only ever grow;
+//!   an aborted round may burn an id but can never publish out of order;
+//! * **live ≡ snapshot equivalence** — after a final checkpoint barrier,
+//!   the live map and the committed snapshot hold identical rows (the
+//!   premise that makes both query paths of Figure 1 interchangeable).
+
+use squery_common::fault::FaultInjector;
+use squery_common::telemetry::{EventKind, MetricsRegistry};
+use squery_common::{SnapshotId, SqError, SqResult, Value};
+use squery_storage::Grid;
+
+/// Sorted live-map entries of `operator` (the canonical state view).
+fn sorted_live(grid: &Grid, operator: &str) -> SqResult<Vec<(Value, Value)>> {
+    let map = grid
+        .get_map(operator)
+        .ok_or_else(|| SqError::NotFound(format!("no live map for operator {operator}")))?;
+    let mut entries = map.entries();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Exactly-once: `operator`'s live state equals `expected` row for row.
+///
+/// Call only behind a drain barrier (all input produced and a checkpoint
+/// committed after it) — mid-flight state is legitimately partial.
+pub fn check_exactly_once(
+    grid: &Grid,
+    operator: &str,
+    expected: &[(Value, Value)],
+) -> SqResult<()> {
+    let got = sorted_live(grid, operator)?;
+    let mut want = expected.to_vec();
+    want.sort();
+    if got != want {
+        return Err(SqError::Runtime(format!(
+            "exactly-once violated for {operator}: expected {} rows, got {} ({})",
+            want.len(),
+            got.len(),
+            diff_summary(&want, &got),
+        )));
+    }
+    Ok(())
+}
+
+/// Committed snapshot ids in the event log are strictly increasing.
+pub fn check_snapshot_monotonic(telemetry: &MetricsRegistry) -> SqResult<()> {
+    let committed: Vec<u64> = telemetry
+        .events()
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == EventKind::CheckpointCommitted)
+        .filter_map(|e| e.ssid)
+        .collect();
+    for pair in committed.windows(2) {
+        if pair[1] <= pair[0] {
+            return Err(SqError::Runtime(format!(
+                "snapshot ids not monotonic: {} committed after {}",
+                pair[1], pair[0]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Live map and the snapshot at `ssid` hold identical rows.
+///
+/// Valid behind the same barrier as [`check_exactly_once`]: the snapshot
+/// must be the *last* committed one with no records processed since.
+pub fn check_live_matches_snapshot(grid: &Grid, operator: &str, ssid: SnapshotId) -> SqResult<()> {
+    let live = sorted_live(grid, operator)?;
+    let store = grid
+        .get_snapshot_store(operator)
+        .ok_or_else(|| SqError::NotFound(format!("no snapshot store for {operator}")))?;
+    let (mut snap, _) = store.scan_at(ssid)?;
+    snap.sort();
+    if live != snap {
+        return Err(SqError::Runtime(format!(
+            "live/snapshot divergence for {operator} at snapshot {ssid}: \
+             live has {} rows, snapshot has {} ({})",
+            live.len(),
+            snap.len(),
+            diff_summary(&snap, &live),
+        )));
+    }
+    Ok(())
+}
+
+/// Every fired fault has a terminal outcome — nothing is left `pending`
+/// once the run has converged.
+pub fn check_faults_resolved(injector: &FaultInjector) -> SqResult<()> {
+    let pending: Vec<String> = injector
+        .records()
+        .into_iter()
+        .filter(|r| r.outcome == "pending")
+        .map(|r| format!("#{} {}/{}", r.seq, r.point.as_str(), r.action.as_str()))
+        .collect();
+    if !pending.is_empty() {
+        return Err(SqError::Runtime(format!(
+            "{} fault(s) never resolved: {}",
+            pending.len(),
+            pending.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// First few rows present in exactly one of the two sorted sets.
+fn diff_summary(want: &[(Value, Value)], got: &[(Value, Value)]) -> String {
+    let mut diffs = Vec::new();
+    for e in want {
+        if !got.contains(e) {
+            diffs.push(format!("missing {e:?}"));
+        }
+    }
+    for e in got {
+        if !want.contains(e) {
+            diffs.push(format!("extra {e:?}"));
+        }
+    }
+    diffs.truncate(4);
+    if diffs.is_empty() {
+        "rows reordered".into()
+    } else {
+        diffs.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+    use squery_common::PartitionId;
+
+    fn grid_with_state() -> std::sync::Arc<Grid> {
+        let grid = Grid::single_node();
+        let map = grid.map("op");
+        map.put(Value::Int(1), Value::Int(10));
+        map.put(Value::Int(2), Value::Int(20));
+        grid
+    }
+
+    #[test]
+    fn exactly_once_accepts_matching_state() {
+        let grid = grid_with_state();
+        let expected = vec![
+            (Value::Int(1), Value::Int(10)),
+            (Value::Int(2), Value::Int(20)),
+        ];
+        check_exactly_once(&grid, "op", &expected).unwrap();
+        let wrong = vec![(Value::Int(1), Value::Int(11))];
+        let err = check_exactly_once(&grid, "op", &wrong).unwrap_err();
+        assert!(err.to_string().contains("exactly-once violated"), "{err}");
+    }
+
+    #[test]
+    fn live_snapshot_equivalence_detects_divergence() {
+        let grid = grid_with_state();
+        let store = grid.snapshot_store("op");
+        let ssid = grid.registry().begin().unwrap();
+        store.write_partition(
+            ssid,
+            PartitionId(0),
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+            ],
+            true,
+        );
+        grid.registry().commit(ssid).unwrap();
+        check_live_matches_snapshot(&grid, "op", ssid).unwrap();
+        grid.map("op").put(Value::Int(3), Value::Int(30));
+        let err = check_live_matches_snapshot(&grid, "op", ssid).unwrap_err();
+        assert!(err.to_string().contains("divergence"), "{err}");
+    }
+
+    #[test]
+    fn monotonicity_holds_over_registry_commits() {
+        let grid = grid_with_state();
+        for _ in 0..3 {
+            let ssid = grid.registry().begin().unwrap();
+            grid.telemetry()
+                .event(EventKind::CheckpointCommitted, None, Some(ssid.0), None, "");
+            grid.registry().commit(ssid).unwrap();
+        }
+        check_snapshot_monotonic(grid.telemetry()).unwrap();
+        // A fabricated out-of-order commit event trips the checker.
+        grid.telemetry()
+            .event(EventKind::CheckpointCommitted, None, Some(1), None, "");
+        assert!(check_snapshot_monotonic(grid.telemetry()).is_err());
+    }
+
+    #[test]
+    fn unresolved_faults_are_reported() {
+        let plan = FaultPlan::new(1).with(FaultSpec {
+            point: InjectionPoint::Phase2Commit,
+            action: FaultAction::FailCommit,
+            trigger: FaultTrigger::default(),
+            once: true,
+        });
+        let injector = FaultInjector::new(plan);
+        check_faults_resolved(&injector).unwrap();
+        injector.on_phase2(1);
+        let err = check_faults_resolved(&injector).unwrap_err();
+        assert!(err.to_string().contains("never resolved"), "{err}");
+        injector.resolve_pending("recovered");
+        check_faults_resolved(&injector).unwrap();
+    }
+}

@@ -38,14 +38,17 @@
 //! `squery` alone is enough to build and query a streaming application.
 
 pub mod audit;
+pub mod chaos;
 pub mod config;
 pub mod direct;
+pub mod invariants;
 pub mod isolation;
 pub mod overview;
 pub mod systables;
 pub mod system;
 
 pub use audit::{ErasureReceipt, SubjectReport};
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use config::SQueryConfig;
 pub use direct::{DirectQuery, StateView};
 pub use isolation::IsolationLevel;
@@ -57,5 +60,6 @@ pub use squery_common::config::Parallelism;
 pub use squery_sql::{ResultSet, SqlEngine};
 pub use squery_storage::{Grid, SnapshotMode};
 pub use squery_streaming::{
-    EdgeKind, EngineConfig, JobHandle, JobReport, JobSpec, StateConfig, StreamEnv,
+    EdgeKind, EngineConfig, JobHandle, JobReport, JobSpec, RestartPolicy, StateConfig, StreamEnv,
+    SupervisedJob, SupervisorStatus,
 };

@@ -1,7 +1,7 @@
 //! The `sys_*` tables: engine internals exposed through the SQL surface.
 //!
 //! The paper opens operator *state* to queries; this module applies the same
-//! idea to the engine's own telemetry. Five virtual tables are registered in
+//! idea to the engine's own telemetry. Six virtual tables are registered in
 //! every [`SQuery`](crate::SQuery) deployment's catalog and recompute their
 //! rows on every scan:
 //!
@@ -12,6 +12,7 @@
 //! | `sys_operators`   | operator (state + record counters)    |
 //! | `sys_checkpoints` | committed checkpoint round, per job   |
 //! | `sys_snapshots`   | retained snapshot version, per store  |
+//! | `sys_faults`      | injected fault, with recovery outcome |
 //!
 //! Because they are ordinary [`Table`]s, sys tables compose with the full
 //! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
@@ -257,7 +258,50 @@ fn sys_snapshots_rows(grid: &Grid) -> Vec<Vec<Value>> {
     rows
 }
 
-/// Register the five `sys_*` tables in `catalog`.
+fn sys_faults_schema() -> Arc<Schema> {
+    schema(vec![
+        ("seq", DataType::Int),
+        ("at_us", DataType::Int),
+        ("point", DataType::Str),
+        ("action", DataType::Str),
+        ("operator", DataType::Str),
+        ("instance", DataType::Int),
+        ("ssid", DataType::Int),
+        ("partition", DataType::Int),
+        ("outcome", DataType::Str),
+        ("detail", DataType::Str),
+    ])
+}
+
+fn sys_faults_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let Some(injector) = grid.fault_injector() else {
+        return Vec::new();
+    };
+    injector
+        .records()
+        .into_iter()
+        .map(|r| {
+            vec![
+                Value::Int(r.seq as i64),
+                Value::Int(r.at_us as i64),
+                Value::str(r.point.as_str()),
+                Value::str(r.action.as_str()),
+                opt_str(r.operator.as_deref()),
+                r.instance
+                    .map(|i| Value::Int(i as i64))
+                    .unwrap_or(Value::Null),
+                opt_u64(r.ssid),
+                r.partition
+                    .map(|p| Value::Int(p as i64))
+                    .unwrap_or(Value::Null),
+                Value::str(&r.outcome),
+                Value::str(&r.detail),
+            ]
+        })
+        .collect()
+}
+
+/// Register the six `sys_*` tables in `catalog`.
 pub(crate) fn register_sys_tables(catalog: &GridCatalog, grid: Arc<Grid>, jobs: JobLog) {
     let metric_grid = Arc::clone(&grid);
     catalog.register(Arc::new(SysTable::new(
@@ -281,6 +325,12 @@ pub(crate) fn register_sys_tables(catalog: &GridCatalog, grid: Arc<Grid>, jobs: 
         "sys_checkpoints",
         sys_checkpoints_schema(),
         Arc::new(move || sys_checkpoints_rows(&jobs)),
+    )));
+    let fault_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_faults",
+        sys_faults_schema(),
+        Arc::new(move || sys_faults_rows(&fault_grid)),
     )));
     catalog.register(Arc::new(SysTable::new(
         "sys_snapshots",

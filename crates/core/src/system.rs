@@ -4,11 +4,12 @@ use crate::config::SQueryConfig;
 use crate::direct::DirectQuery;
 use crate::systables::{register_sys_tables, JobLog};
 use parking_lot::Mutex;
+use squery_common::fault::{FaultInjector, FaultPlan};
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::{SnapshotId, SqResult};
 use squery_sql::{GridCatalog, ResultSet, SqlEngine};
 use squery_storage::Grid;
-use squery_streaming::{JobHandle, JobSpec, StreamEnv};
+use squery_streaming::{JobHandle, JobSpec, RestartPolicy, StreamEnv, SupervisedJob};
 use std::sync::Arc;
 
 /// A complete S-QUERY deployment (the paper's Figure 1): a stream processor
@@ -69,6 +70,27 @@ impl SQuery {
         let handle = self.env.submit(spec)?;
         self.jobs.lock().push((name, handle.checkpoint_stats()));
         Ok(handle)
+    }
+
+    /// Submit a streaming job under supervision: worker deaths and killed
+    /// coordinators are detected and recovered automatically per `policy`,
+    /// while queries keep serving the last committed snapshot.
+    pub fn submit_supervised(
+        &self,
+        spec: JobSpec,
+        policy: RestartPolicy,
+    ) -> SqResult<SupervisedJob> {
+        Ok(SupervisedJob::supervise(self.submit(spec)?, policy))
+    }
+
+    /// Arm a deterministic fault plan. Jobs submitted *after* this call
+    /// thread the injector through their workers; the checkpoint
+    /// coordinator, replicator, and node-failure paths consult it
+    /// immediately. Every firing lands in `sys_faults`.
+    pub fn inject_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let injector = Arc::new(FaultInjector::new(plan));
+        self.grid.attach_fault_injector(Arc::clone(&injector));
+        injector
     }
 
     /// Run a SQL query against the live and snapshot state tables.

@@ -1,0 +1,131 @@
+//! Chaos soak: seeded fault plans against the supervised counting workload.
+//!
+//! Fifty seeds, split into blocks of ten so the harness runs them on
+//! parallel test threads. Every seed samples its own [`FaultPlan`] (worker
+//! panics at record counts, post-ack kills, dropped phase-1 acks, failed
+//! phase-2 commits, coordinator kills, plus benign stalls and delays) and
+//! [`squery::chaos::run_seed`] fails the test unless, after supervised
+//! recovery:
+//!
+//! * the per-key counts equal a fault-free pass (exactly-once),
+//! * committed snapshot ids stayed strictly monotonic,
+//! * the live map matches the final committed snapshot row for row,
+//! * every fired fault reached a terminal outcome, and
+//! * `sys_faults` agrees with the injector's log.
+
+use squery::chaos::{run_plan, run_seed, ChaosConfig};
+use squery_common::fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+
+fn soak(seeds: std::ops::RangeInclusive<u64>) {
+    let cfg = ChaosConfig::default();
+    let mut fired = 0usize;
+    let mut restarts = 0u32;
+    for seed in seeds {
+        let report = run_seed(&cfg, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        fired += report.faults.len();
+        restarts += report.restarts;
+    }
+    eprintln!("soak block: {fired} faults fired, {restarts} supervisor restarts");
+}
+
+#[test]
+fn soak_seeds_01_to_10() {
+    soak(1..=10);
+}
+
+#[test]
+fn soak_seeds_11_to_20() {
+    soak(11..=20);
+}
+
+#[test]
+fn soak_seeds_21_to_30() {
+    soak(21..=30);
+}
+
+#[test]
+fn soak_seeds_31_to_40() {
+    soak(31..=40);
+}
+
+#[test]
+fn soak_seeds_41_to_50() {
+    soak(41..=50);
+}
+
+/// The acceptance scenario, end to end: a fixed plan kills a worker after
+/// it acks checkpoint phase 1 (between phases 1 and 2), the supervisor
+/// recovers without any manual `recover()` call, and two full runs of the
+/// same plan produce byte-identical state and fault logs.
+#[test]
+fn fixed_seed_worker_kill_between_phases_is_byte_identical() {
+    let cfg = ChaosConfig::default();
+    let plan = || {
+        FaultPlan::new(7).with(FaultSpec {
+            point: InjectionPoint::WorkerPostAck,
+            action: FaultAction::PanicWorker,
+            trigger: FaultTrigger {
+                at_ssid: Some(2),
+                operator: Some("count".into()),
+                instance: Some(1),
+                ..FaultTrigger::default()
+            },
+            once: true,
+        })
+    };
+    let a = run_plan(&cfg, plan()).unwrap();
+    let b = run_plan(&cfg, plan()).unwrap();
+    assert_eq!(a.fingerprint, b.fingerprint, "reruns diverged");
+    assert!(a.restarts >= 1, "supervisor never had to act");
+    assert_eq!(a.faults.len(), 1, "exactly the planned fault fired");
+    assert_eq!(a.faults[0].outcome, "recovered");
+}
+
+/// Seeds with a crash point in every checkpoint phase: a record-count
+/// worker panic (mid-round), a dropped phase-1 ack (abort + retry), and a
+/// failed phase-2 commit, all in one plan.
+#[test]
+fn crash_points_across_all_checkpoint_phases_in_one_run() {
+    let cfg = ChaosConfig::default();
+    let plan = FaultPlan::new(13)
+        .with(FaultSpec {
+            point: InjectionPoint::WorkerRecord,
+            action: FaultAction::PanicWorker,
+            trigger: FaultTrigger {
+                at_record: Some(9),
+                operator: Some("count".into()),
+                instance: Some(0),
+                ..FaultTrigger::default()
+            },
+            once: true,
+        })
+        .with(FaultSpec {
+            point: InjectionPoint::Phase1Ack,
+            action: FaultAction::DropAck,
+            trigger: FaultTrigger {
+                at_ssid: Some(2),
+                ..FaultTrigger::default()
+            },
+            once: true,
+        })
+        .with(FaultSpec {
+            point: InjectionPoint::Phase2Commit,
+            action: FaultAction::FailCommit,
+            trigger: FaultTrigger {
+                at_ssid: Some(4),
+                ..FaultTrigger::default()
+            },
+            once: true,
+        });
+    let report = run_plan(&cfg, plan).unwrap();
+    assert!(
+        report.faults.len() >= 2,
+        "expected several phases hit, got {:?}",
+        report.faults
+    );
+    assert!(
+        report.faults.iter().all(|f| f.outcome != "pending"),
+        "unresolved faults: {:?}",
+        report.faults
+    );
+}

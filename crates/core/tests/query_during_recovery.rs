@@ -1,0 +1,283 @@
+//! Queries stay on committed data while the supervisor recovers a crashed
+//! job: a reader thread hammers the pinned-ssid SQL path and the direct
+//! `get_many` path through a worker kill + rollback + replay, asserting
+//! every single read is row-for-row identical to the pre-crash baseline
+//! (pinned reads) or sums to a committed total (latest-snapshot reads) —
+//! no torn or partially-recovered state is ever visible.
+
+use squery::{RestartPolicy, SQuery, SQueryConfig, StateConfig, StateView};
+use squery_common::fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+use squery_common::schema::schema;
+use squery_common::{DataType, Value};
+use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+use squery_streaming::dag::{SourceFactory, Stateful};
+use squery_streaming::source::{Source, SourceStatus};
+use squery_streaming::state::KeyedState;
+use squery_streaming::{EdgeKind, JobSpec, Record};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEYS: i64 = 5;
+const ROUND: u64 = 60;
+
+/// Allowance-gated keyed source: emits record `i` with key `i % KEYS`
+/// while `i < allowance`, and replays deterministically after rewind.
+struct GatedSource {
+    index: u64,
+    allowance: Arc<AtomicU64>,
+}
+
+impl Source for GatedSource {
+    fn next_batch(&mut self, max: usize, _now_us: u64, out: &mut Vec<Record>) -> SourceStatus {
+        let allowed = self.allowance.load(Ordering::Acquire);
+        let budget = allowed.saturating_sub(self.index).min(max as u64);
+        if budget == 0 {
+            return SourceStatus::Idle;
+        }
+        for _ in 0..budget {
+            out.push(Record::new((self.index as i64) % KEYS, 1i64));
+            self.index += 1;
+        }
+        SourceStatus::Active
+    }
+
+    fn offset(&self) -> Value {
+        Value::Int(self.index as i64)
+    }
+
+    fn rewind(&mut self, offset: &Value) {
+        self.index = offset.as_int().expect("int offset") as u64;
+    }
+}
+
+struct GatedFactory {
+    allowance: Arc<AtomicU64>,
+}
+
+impl SourceFactory for GatedFactory {
+    fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+        Box::new(GatedSource {
+            index: 0,
+            allowance: Arc::clone(&self.allowance),
+        })
+    }
+}
+
+fn counting_job(allowance: &Arc<AtomicU64>) -> JobSpec {
+    let mut b = JobSpec::builder("recovery-count");
+    let src = b.source(
+        "src",
+        1,
+        Arc::new(GatedFactory {
+            allowance: Arc::clone(allowance),
+        }),
+    );
+    let factory = Arc::new(FnStateful(|_, _| {
+        Box::new(FnStatefulOp(
+            |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                let next = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0) + 1;
+                state.put(r.key.clone(), Value::Int(next));
+                out.push(Record {
+                    key: r.key,
+                    value: Value::Int(next),
+                    src_ts: r.src_ts,
+                    port: 0,
+                });
+            },
+        )) as Box<dyn Stateful>
+    }));
+    let op = b.stateful_with_schema("count", 2, factory, schema(vec![("this", DataType::Int)]));
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(src, op, EdgeKind::Keyed);
+    b.edge(op, sink, EdgeKind::Forward);
+    b.build().unwrap()
+}
+
+/// Sum of the live per-key counts = distinct records reflected in state.
+fn live_sum(system: &SQuery) -> i64 {
+    system
+        .grid()
+        .get_map("count")
+        .map(|m| {
+            m.entries()
+                .iter()
+                .filter_map(|(_, v)| v.as_int())
+                .sum::<i64>()
+        })
+        .unwrap_or(0)
+}
+
+fn sorted_rows(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut sorted = rows.to_vec();
+    sorted.sort();
+    sorted
+}
+
+#[test]
+fn pinned_queries_are_stable_through_supervised_recovery() {
+    let system = Arc::new(
+        SQuery::new(
+            SQueryConfig::default()
+                .with_state(StateConfig::live_and_snapshot())
+                .with_retention(4) // the pinned baseline must never be pruned
+                .with_ack_timeout(Duration::from_millis(250))
+                .with_checkpoint_retries(2, Duration::from_millis(2)),
+        )
+        .unwrap(),
+    );
+    // A worker dies between checkpoint phases 1 and 2 of the second round.
+    let injector = system.inject_faults(FaultPlan::new(0).with(FaultSpec {
+        point: InjectionPoint::WorkerPostAck,
+        action: FaultAction::PanicWorker,
+        trigger: FaultTrigger {
+            at_ssid: Some(2),
+            operator: Some("count".into()),
+            instance: Some(0),
+            ..FaultTrigger::default()
+        },
+        once: true,
+    }));
+    let allowance = Arc::new(AtomicU64::new(0));
+    let job = system
+        .submit_supervised(
+            counting_job(&allowance),
+            RestartPolicy {
+                max_restarts: 5,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(50),
+                poll_interval: Duration::from_millis(2),
+                jitter_seed: 3,
+            },
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+
+    // Round 1: feed, drain, checkpoint — this snapshot is the baseline the
+    // pinned readers must keep seeing unchanged through the crash.
+    allowance.store(ROUND, Ordering::Release);
+    while live_sum(&system) < ROUND as i64 {
+        assert!(Instant::now() < deadline, "round 1 never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    job.with_job(|j| j.checkpoint_now()).unwrap();
+    let pinned = system.latest_snapshot().expect("round 1 committed");
+    let sql = format!(
+        "SELECT partitionKey, this FROM snapshot_count WHERE ssid = {}",
+        pinned.0
+    );
+    let baseline_sql = sorted_rows(system.query(&sql).unwrap().rows());
+    let all_keys: Vec<Value> = (0..KEYS).map(Value::Int).collect();
+    let baseline_direct = system
+        .direct()
+        .get_many("count", &all_keys, StateView::Snapshot(pinned))
+        .unwrap();
+    assert_eq!(baseline_sql.len(), KEYS as usize);
+
+    // Readers hammer both query paths while the crash and recovery happen.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&stop);
+            let sql = sql.clone();
+            let baseline_sql = baseline_sql.clone();
+            let baseline_direct = baseline_direct.clone();
+            let all_keys = all_keys.clone();
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let rows = sorted_rows(system.query(&sql).unwrap().rows());
+                    assert_eq!(rows, baseline_sql, "pinned SQL read changed mid-recovery");
+                    let direct = system
+                        .direct()
+                        .get_many("count", &all_keys, StateView::Snapshot(pinned))
+                        .unwrap();
+                    assert_eq!(direct, baseline_direct, "pinned direct read changed");
+                    // Latest-snapshot reads may move forward, but only ever
+                    // to another *committed* snapshot: the counts must sum
+                    // to a full round, never a torn intermediate.
+                    let latest = system
+                        .direct()
+                        .get_many("count", &all_keys, StateView::LatestSnapshot)
+                        .unwrap();
+                    let sum: i64 = latest
+                        .iter()
+                        .filter_map(|(_, v)| v.as_ref()?.as_int())
+                        .sum();
+                    assert!(
+                        sum % ROUND as i64 == 0 && sum > 0,
+                        "latest-snapshot read saw a torn total of {sum}"
+                    );
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Round 2: feed and drain, then trigger checkpoint 2 — the planned
+    // fault kills a worker right after its phase-1 ack. Whether or not
+    // phase 2 still commits that round, the supervisor must notice the
+    // dead worker, roll back, and replay with no manual recover() call.
+    allowance.store(2 * ROUND, Ordering::Release);
+    while live_sum(&system) < 2 * ROUND as i64 {
+        assert!(Instant::now() < deadline, "round 2 never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = job.with_job(|j| j.checkpoint_now()); // fires the fault
+    loop {
+        assert!(!job.status().gave_up, "supervisor gave up");
+        assert!(Instant::now() < deadline, "recovery never converged");
+        if job.status().restarts >= 1 && live_sum(&system) >= 2 * ROUND as i64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Replay is complete and no records remain, so a clean checkpoint of
+    // the full two rounds must commit (retrying while the fresh workers
+    // settle in).
+    loop {
+        assert!(Instant::now() < deadline, "post-recovery checkpoint failed");
+        if job.with_job(|j| j.checkpoint_now()).is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    stop.store(true, Ordering::Release);
+    let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(reads > 0, "readers never ran during the recovery window");
+
+    assert!(job.status().restarts >= 1, "fault never triggered recovery");
+    let fired = injector.records();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].outcome, "recovered");
+
+    // After recovery the new snapshot holds both rounds, and the pinned one
+    // still holds exactly round 1.
+    let final_sql = sorted_rows(system.query(&sql).unwrap().rows());
+    assert_eq!(
+        final_sql, baseline_sql,
+        "pinned snapshot changed after recovery"
+    );
+    let latest = system.latest_snapshot().unwrap();
+    assert!(latest > pinned, "recovery must commit a newer snapshot");
+    let latest_rows = system
+        .query(&format!(
+            "SELECT partitionKey, this FROM snapshot_count WHERE ssid = {}",
+            latest.0
+        ))
+        .unwrap();
+    let total: i64 = latest_rows
+        .rows()
+        .iter()
+        .filter_map(|r| r[1].as_int())
+        .sum();
+    assert_eq!(
+        total,
+        2 * ROUND as i64,
+        "final snapshot reflects both rounds"
+    );
+    job.stop();
+}

@@ -13,6 +13,7 @@ use crate::replication::{ReplOp, Replicator};
 use crate::snapshot::SnapshotStore;
 use parking_lot::RwLock;
 use squery_common::config::ClusterConfig;
+use squery_common::fault::FaultInjector;
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::{NodeId, Partitioner, SqError, SqResult, Value};
 use std::collections::HashMap;
@@ -31,6 +32,7 @@ pub struct Grid {
     snapshots: RwLock<HashMap<String, Arc<SnapshotStore>>>,
     replicator: Option<Arc<Replicator>>,
     telemetry: MetricsRegistry,
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl Grid {
@@ -54,6 +56,7 @@ impl Grid {
             snapshots: RwLock::new(HashMap::new()),
             replicator,
             telemetry: MetricsRegistry::new(),
+            faults: RwLock::new(None),
         }))
     }
 
@@ -87,6 +90,21 @@ impl Grid {
     /// engine, and `sys_*` tables all share this one instance.
     pub fn telemetry(&self) -> &MetricsRegistry {
         &self.telemetry
+    }
+
+    /// Attach a fault injector. The grid is the rendezvous point: the
+    /// stream engine, the replicator, and the `sys_faults` table all reach
+    /// the injector through here, so one attach covers every subsystem.
+    pub fn attach_fault_injector(&self, injector: Arc<FaultInjector>) {
+        if let Some(r) = &self.replicator {
+            r.set_fault_injector(Arc::clone(&injector));
+        }
+        *self.faults.write() = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults.read().clone()
     }
 
     /// The node currently owning `key`'s partition.
@@ -225,6 +243,9 @@ impl Grid {
                 map.load_silent(restored);
             }
         }
+        if let Some(injector) = self.fault_injector() {
+            injector.on_node_loss(node.0, promoted.len());
+        }
         Ok(promoted)
     }
 
@@ -346,6 +367,23 @@ mod tests {
             true,
         );
         assert!(g.total_snapshot_bytes() > 0);
+    }
+
+    #[test]
+    fn fail_node_records_node_loss_fault() {
+        use squery_common::fault::{FaultInjector, FaultPlan, InjectionPoint};
+        let mut config = ClusterConfig::simulated(3);
+        config.network = squery_common::config::NetworkConfig::instant();
+        let g = Grid::new(config).unwrap();
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(0)));
+        g.attach_fault_injector(Arc::clone(&injector));
+        g.map("m").put(Value::Int(1), Value::Int(1));
+        let promoted = g.fail_node(NodeId(1)).unwrap();
+        let records = injector.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].point, InjectionPoint::NodeLoss);
+        assert_eq!(records[0].outcome, format!("promoted_{}", promoted.len()));
+        assert!(g.fault_injector().is_some());
     }
 
     #[test]

@@ -17,11 +17,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
 use squery_common::config::NetworkConfig;
+use squery_common::fault::{FaultAction, FaultInjector};
 use squery_common::{PartitionId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A replicated write operation.
 #[derive(Debug, Clone)]
@@ -55,6 +57,10 @@ pub struct Replicator {
     tx: Sender<ReplOp>,
     backups: Arc<RwLock<BackupData>>,
     pending: Arc<AtomicU64>,
+    /// Fault injector slot, shared with the worker thread. The replicator
+    /// starts inside `Grid::new`, before any injector can be attached, so
+    /// the slot is settable after the fact.
+    faults: Arc<RwLock<Option<Arc<FaultInjector>>>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -65,8 +71,10 @@ impl Replicator {
         let (tx, rx): (Sender<ReplOp>, Receiver<ReplOp>) = unbounded();
         let backups: Arc<RwLock<BackupData>> = Arc::new(RwLock::new(HashMap::new()));
         let pending = Arc::new(AtomicU64::new(0));
+        let faults: Arc<RwLock<Option<Arc<FaultInjector>>>> = Arc::new(RwLock::new(None));
         let worker_backups = Arc::clone(&backups);
         let worker_pending = Arc::clone(&pending);
+        let worker_faults = Arc::clone(&faults);
         let worker = std::thread::Builder::new()
             .name("squery-replicator".into())
             .spawn(move || {
@@ -77,6 +85,19 @@ impl Replicator {
                             ReplOp::Remove { key, .. } => encoded_len(key),
                         };
                         std::thread::sleep(network.transfer_delay(bytes));
+                    }
+                    let injector = worker_faults.read().clone();
+                    if let Some(injector) = injector {
+                        let pid = match &op {
+                            ReplOp::Put { pid, .. } | ReplOp::Remove { pid, .. } => pid.0,
+                        };
+                        if let Some(FaultAction::DelayReplication { micros }) =
+                            injector.on_replication_op(pid)
+                        {
+                            // Backlog spike: the queue keeps growing while
+                            // this op sits on the wire.
+                            std::thread::sleep(Duration::from_micros(micros));
+                        }
                     }
                     let mut guard = worker_backups.write();
                     match op {
@@ -103,8 +124,15 @@ impl Replicator {
             tx,
             backups,
             pending,
+            faults,
             worker: Some(worker),
         }
+    }
+
+    /// Attach a fault injector; subsequent backup writes consult it for
+    /// `DelayReplication` faults.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = Some(injector);
     }
 
     /// Enqueue a replicated write; returns immediately.
@@ -229,6 +257,31 @@ mod tests {
     fn unknown_partition_is_empty() {
         let r = Replicator::start(NetworkConfig::instant());
         assert!(r.backup_of("nope", PartitionId(9)).is_empty());
+    }
+
+    #[test]
+    fn injected_replication_delay_backs_up_the_queue() {
+        use squery_common::fault::{FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+        let r = Replicator::start(NetworkConfig::instant());
+        let plan = FaultPlan::new(0).with(FaultSpec {
+            point: InjectionPoint::Replication,
+            action: FaultAction::DelayReplication { micros: 20_000 },
+            trigger: FaultTrigger::default(),
+            once: true,
+        });
+        let injector = Arc::new(FaultInjector::new(plan));
+        r.set_fault_injector(Arc::clone(&injector));
+        let start = std::time::Instant::now();
+        for v in 0..10 {
+            r.enqueue(put("m", 0, v, v));
+        }
+        r.flush();
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "the delayed op held the queue"
+        );
+        assert_eq!(injector.fired(), 1, "`once` fault fires a single time");
+        assert_eq!(r.backup_of("m", PartitionId(0)).len(), 10, "all ops land");
     }
 
     #[test]

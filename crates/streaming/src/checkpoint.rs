@@ -21,6 +21,7 @@
 use crate::worker::{Ack, Shared, SourceCommand};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use squery_common::fault::{backoff_with_jitter, FaultAction};
 use squery_common::telemetry::EventKind;
 use squery_common::{SnapshotId, SqError, SqResult};
 use squery_storage::{Grid, SnapshotStore};
@@ -91,6 +92,42 @@ pub struct CoordinatorContext {
     pub stats: CheckpointStats,
     /// How long to wait for phase-1 acks before aborting.
     pub ack_timeout: Duration,
+    /// How many times an aborted round is retried with backoff before the
+    /// error surfaces (0 = the pre-supervision behaviour).
+    pub retries: u32,
+    /// Base backoff between retries (exponential, jittered).
+    pub retry_backoff: Duration,
+}
+
+/// Funnel for *every* early exit of [`run_checkpoint`]: discard phase-1
+/// writes from all stores, release the registry id, count and log the
+/// abort. The registry abort is tolerant — a concurrent `crash()` may have
+/// already released the id — so an aborted round can never wedge the next
+/// `begin()`.
+fn abort_round(ctx: &CoordinatorContext, ssid: SnapshotId, reason: &str) -> SqError {
+    for store in &ctx.stores {
+        store.discard(ssid);
+    }
+    if let Err(e) = ctx.grid.registry().abort(ssid) {
+        // Already released by a racing crash/abort — log, don't fail: the
+        // invariant we need (nothing left in-progress under this id) holds.
+        ctx.grid.telemetry().event(
+            EventKind::CheckpointAborted,
+            None,
+            Some(ssid.0),
+            None,
+            format!("registry already released: {e}"),
+        );
+    }
+    ctx.stats.count_abort();
+    ctx.grid.telemetry().event(
+        EventKind::CheckpointAborted,
+        None,
+        Some(ssid.0),
+        None,
+        reason.to_string(),
+    );
+    SqError::Runtime(format!("checkpoint {ssid} aborted: {reason}"))
 }
 
 /// Run one complete checkpoint round; returns the committed id.
@@ -100,18 +137,19 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
 
     let registry = ctx.grid.registry();
     let telemetry = ctx.grid.telemetry();
+    let injector = ctx.grid.fault_injector();
     let t0 = ctx.shared.clock.now_micros();
     let ssid = registry.begin()?;
     telemetry.event(EventKind::CheckpointBegin, None, Some(ssid.0), None, "");
     for ctl in &ctx.source_controls {
         // A dropped source control means the job is shutting down.
         if ctl.send(SourceCommand::Marker(ssid)).is_err() {
-            registry.abort(ssid)?;
-            return Err(SqError::Runtime("job is shutting down".into()));
+            return Err(abort_round(ctx, ssid, "job is shutting down"));
         }
     }
     let expected = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
     let mut acked = 0usize;
+    let mut ack_ordinal = 0u32;
     let deadline = std::time::Instant::now() + ctx.ack_timeout;
     while acked < expected {
         let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -122,9 +160,28 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
             .ack_rx
             .recv_timeout(remaining.min(Duration::from_millis(20)))
         {
-            Ok(ack) if ack.ssid == ssid => acked += 1,
+            Ok(ack) if ack.ssid == ssid => {
+                let action = injector
+                    .as_ref()
+                    .and_then(|i| i.on_phase1_ack(ssid.0, ack_ordinal));
+                ack_ordinal += 1;
+                match action {
+                    // Lost on the wire: the instance snapshotted, but the
+                    // coordinator never learns — the round times out.
+                    Some(FaultAction::DropAck) => continue,
+                    Some(FaultAction::DelayAck { micros }) => {
+                        std::thread::sleep(Duration::from_micros(micros));
+                        acked += 1;
+                    }
+                    _ => acked += 1,
+                }
+            }
             Ok(_) => {} // stale ack from an aborted round
             Err(_) => {
+                // A panicked worker can never ack: stop waiting right away.
+                if ctx.shared.dead_workers.load(Ordering::Acquire) > 0 {
+                    break;
+                }
                 // Re-check: instances may have exited (lowering `expected`).
                 let live = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
                 if acked >= live {
@@ -136,24 +193,23 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
             }
         }
     }
+    // A worker *death* (as opposed to a graceful exit during shutdown)
+    // makes the round unsalvageable: instances downstream of the dead one
+    // tear down without snapshotting, so committing whatever acks arrived
+    // would publish a torn snapshot — exactly the state recovery would
+    // then restore. Abort and leave the last committed snapshot in place.
+    let dead = ctx.shared.dead_workers.load(Ordering::Acquire);
+    if acked < expected && dead > 0 {
+        return Err(abort_round(
+            ctx,
+            ssid,
+            &format!("{acked}/{expected} acks, {dead} dead worker(s)"),
+        ));
+    }
     let live_now = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
     if acked < expected.min(live_now.max(acked)) && acked < expected {
         // Not everyone acked: abort, discard phase-1 writes.
-        for store in &ctx.stores {
-            store.discard(ssid);
-        }
-        registry.abort(ssid)?;
-        ctx.stats.count_abort();
-        telemetry.event(
-            EventKind::CheckpointAborted,
-            None,
-            Some(ssid.0),
-            None,
-            format!("{acked}/{expected} acks"),
-        );
-        return Err(SqError::Runtime(format!(
-            "checkpoint {ssid} aborted: {acked}/{expected} acks"
-        )));
+        return Err(abort_round(ctx, ssid, &format!("{acked}/{expected} acks")));
     }
     let t1 = ctx.shared.clock.now_micros();
     telemetry.event(
@@ -163,8 +219,29 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
         Some(t1 - t0),
         format!("{acked} acks"),
     );
+    // The window between phases: phase-1 writes are durable but the id is
+    // not yet published. Faults here are the interesting 2PC crash points.
+    if let Some(injector) = &injector {
+        match injector.on_phase2(ssid.0) {
+            Some(FaultAction::FailCommit) => {
+                return Err(abort_round(ctx, ssid, "injected commit failure"));
+            }
+            Some(FaultAction::KillCoordinator) => {
+                ctx.shared.coordinator_dead.store(true, Ordering::SeqCst);
+                return Err(abort_round(
+                    ctx,
+                    ssid,
+                    "injected coordinator kill between phases",
+                ));
+            }
+            _ => {}
+        }
+    }
     // Phase 2: atomic publication + retention pruning.
-    let horizon = registry.commit(ssid)?;
+    let horizon = match registry.commit(ssid) {
+        Ok(h) => h,
+        Err(e) => return Err(abort_round(ctx, ssid, &format!("commit failed: {e}"))),
+    };
     for store in &ctx.stores {
         store.prune_below(horizon);
     }
@@ -189,6 +266,58 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
         total_us: t2 - t0,
     });
     Ok(ssid)
+}
+
+/// Run a checkpoint round, retrying aborted rounds with exponential
+/// backoff + jitter up to `ctx.retries` extra attempts.
+///
+/// Retrying is pointless once a worker has died, the coordinator has been
+/// killed, or the job is poisoned — those need the supervisor's full
+/// rollback recovery, not another marker round — so such errors surface
+/// immediately.
+pub fn run_checkpoint_with_retry(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
+    let telemetry = ctx.grid.telemetry();
+    let mut attempt = 0u32;
+    loop {
+        match run_checkpoint(ctx) {
+            Ok(ssid) => {
+                if attempt > 0 {
+                    if let Some(injector) = ctx.grid.fault_injector() {
+                        injector.resolve_pending("recovered_by_retry");
+                    }
+                }
+                return Ok(ssid);
+            }
+            Err(e) => {
+                let unrecoverable = ctx.shared.poison.load(Ordering::Relaxed)
+                    || ctx.shared.coordinator_dead.load(Ordering::SeqCst)
+                    || ctx.shared.dead_workers.load(Ordering::Acquire) > 0;
+                if unrecoverable || attempt >= ctx.retries {
+                    return Err(e);
+                }
+                telemetry.counter("checkpoint_retries_total", &[]).inc();
+                telemetry.event(
+                    EventKind::CheckpointRetried,
+                    None,
+                    None,
+                    None,
+                    format!("attempt {} failed: {e}", attempt + 1),
+                );
+                let seed = ctx
+                    .grid
+                    .fault_injector()
+                    .map(|i| i.seed())
+                    .unwrap_or_default();
+                std::thread::sleep(backoff_with_jitter(
+                    ctx.retry_backoff,
+                    attempt,
+                    ctx.retry_backoff * 20,
+                    seed ^ u64::from(attempt),
+                ));
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Control messages into the coordinator thread.
@@ -217,15 +346,16 @@ impl Coordinator {
                     match control_rx.recv_timeout(tick) {
                         Ok(CoordMsg::Stop) => break,
                         Ok(CoordMsg::Trigger(reply)) => {
-                            let result = run_checkpoint(&ctx);
+                            let result = run_checkpoint_with_retry(&ctx);
                             let _ = reply.send(result);
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                             if interval.is_some()
                                 && !ctx.shared.poison.load(Ordering::Relaxed)
+                                && !ctx.shared.coordinator_dead.load(Ordering::SeqCst)
                                 && ctx.shared.live_instances.load(Ordering::Acquire) > 0
                             {
-                                let _ = run_checkpoint(&ctx);
+                                let _ = run_checkpoint_with_retry(&ctx);
                             }
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -304,6 +434,10 @@ mod tests {
             exhausted_sources: AtomicU32::new(0),
             partitioner: Partitioner::new(16),
             telemetry: grid.telemetry().clone(),
+            faults: grid.fault_injector(),
+            dead_workers: AtomicU32::new(0),
+            coordinator_dead: AtomicBool::new(false),
+            failure: Mutex::new(None),
         });
         let stores = vec![grid.snapshot_store("op")];
         (
@@ -315,6 +449,8 @@ mod tests {
                 stores,
                 stats: CheckpointStats::new(),
                 ack_timeout: Duration::from_millis(300),
+                retries: 0,
+                retry_backoff: Duration::from_millis(5),
             },
             control_rxs,
             ack_tx,
@@ -385,6 +521,36 @@ mod tests {
         assert_eq!(ctx.stats.aborted(), 1);
     }
 
+    /// A worker death mid-round must abort even though the dying cascade
+    /// also drops `live_instances` below the ack count — committing the
+    /// partial phase-1 writes would publish a torn snapshot that recovery
+    /// then restores (losing every record since the previous checkpoint).
+    #[test]
+    fn worker_death_mid_round_aborts_instead_of_committing_torn_snapshot() {
+        let (ctx, control_rxs, ack_tx) = context(1, 4);
+        let shared = Arc::clone(&ctx.shared);
+        let responder = std::thread::spawn(move || {
+            let SourceCommand::Marker(ssid) = control_rxs[0].recv().unwrap() else {
+                panic!("expected marker")
+            };
+            // The source acks (and saves a partial phase-1 write), then
+            // panics; everything downstream tears down without acking.
+            ack_tx.send(Ack { ssid }).unwrap();
+            shared.dead_workers.fetch_add(1, Ordering::AcqRel);
+            shared.live_instances.store(0, Ordering::Release);
+        });
+        let err = run_checkpoint(&ctx).unwrap_err();
+        responder.join().unwrap();
+        assert!(err.to_string().contains("dead worker"), "{err}");
+        assert_eq!(
+            ctx.grid.registry().latest_committed(),
+            SnapshotId::NONE,
+            "torn round must not publish"
+        );
+        assert_eq!(ctx.grid.registry().in_progress(), None, "id released");
+        assert_eq!(ctx.stats.aborted(), 1);
+    }
+
     #[test]
     fn commit_prunes_to_retention_horizon() {
         let (ctx, control_rxs, ack_tx) = context(1, 1);
@@ -425,6 +591,105 @@ mod tests {
         assert_eq!(s2, SnapshotId(2));
         assert_eq!(stats.records().len(), 2);
         coordinator.stop();
+        responder.join().unwrap();
+    }
+
+    #[test]
+    fn marker_send_failure_discards_and_releases_registry() {
+        let (ctx, control_rxs, _ack_tx) = context(1, 1);
+        // Phase-1 write that must not survive the abort.
+        ctx.stores[0].write_partition(
+            SnapshotId(1),
+            squery_common::PartitionId(0),
+            vec![(
+                squery_common::Value::Int(1),
+                Some(squery_common::Value::Int(1)),
+            )],
+            true,
+        );
+        drop(control_rxs); // marker send now fails: "job is shutting down"
+        let err = run_checkpoint(&ctx).unwrap_err();
+        assert!(err.to_string().contains("shutting down"), "{err}");
+        assert_eq!(ctx.grid.registry().in_progress(), None, "id released");
+        assert!(ctx.stores[0].stored_ssids().is_empty(), "write discarded");
+        assert_eq!(ctx.stats.aborted(), 1, "abort counted on this path too");
+    }
+
+    #[test]
+    fn injected_ack_drop_aborts_then_retry_commits() {
+        use squery_common::fault::{
+            FaultInjector, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint,
+        };
+        let (mut ctx, control_rxs, ack_tx) = context(1, 1);
+        ctx.retries = 2;
+        let plan = FaultPlan::new(7).with(FaultSpec {
+            point: InjectionPoint::Phase1Ack,
+            action: FaultAction::DropAck,
+            trigger: FaultTrigger::default(),
+            once: true,
+        });
+        ctx.grid
+            .attach_fault_injector(Arc::new(FaultInjector::new(plan)));
+        let responder = std::thread::spawn(move || {
+            while let Ok(cmd) = control_rxs[0].recv() {
+                if let SourceCommand::Marker(ssid) = cmd {
+                    let _ = ack_tx.send(Ack { ssid });
+                }
+            }
+        });
+        // Round 1 loses its only ack and times out; the retry commits.
+        let ssid = run_checkpoint_with_retry(&ctx).unwrap();
+        assert_eq!(ssid, SnapshotId(2), "first id burned by the abort");
+        assert_eq!(ctx.stats.aborted(), 1);
+        assert_eq!(
+            ctx.grid
+                .telemetry()
+                .counter_value("checkpoint_retries_total", &[]),
+            Some(1)
+        );
+        let records = ctx.grid.fault_injector().unwrap().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].outcome, "recovered_by_retry");
+        drop(ctx);
+        responder.join().unwrap();
+    }
+
+    #[test]
+    fn injected_coordinator_kill_aborts_without_retry() {
+        use squery_common::fault::{
+            FaultInjector, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint,
+        };
+        let (mut ctx, control_rxs, ack_tx) = context(1, 1);
+        ctx.retries = 3;
+        let plan = FaultPlan::new(9).with(FaultSpec {
+            point: InjectionPoint::Phase2Commit,
+            action: FaultAction::KillCoordinator,
+            trigger: FaultTrigger::default(),
+            once: true,
+        });
+        ctx.grid
+            .attach_fault_injector(Arc::new(FaultInjector::new(plan)));
+        let responder = std::thread::spawn(move || {
+            while let Ok(cmd) = control_rxs[0].recv() {
+                if let SourceCommand::Marker(ssid) = cmd {
+                    let _ = ack_tx.send(Ack { ssid });
+                }
+            }
+        });
+        let err = run_checkpoint_with_retry(&ctx).unwrap_err();
+        assert!(err.to_string().contains("coordinator kill"), "{err}");
+        assert!(ctx.shared.coordinator_dead.load(Ordering::SeqCst));
+        // A dead coordinator must not be retried in-place — that's the
+        // supervisor's job.
+        assert_eq!(
+            ctx.grid
+                .telemetry()
+                .counter_value("checkpoint_retries_total", &[]),
+            None
+        );
+        assert_eq!(ctx.grid.registry().latest_committed(), SnapshotId::NONE);
+        assert_eq!(ctx.grid.registry().in_progress(), None);
+        drop(ctx);
         responder.join().unwrap();
     }
 

@@ -28,6 +28,13 @@
 //!   time (avoiding coordinated omission under offered load); sinks record
 //!   source-to-sink latency into shared histograms, the measurement of
 //!   Figures 8 and 9.
+//! * **Supervised recovery** ([`runtime::SupervisedJob`]): a monitor thread
+//!   detects dead workers and killed coordinators and re-runs rollback
+//!   recovery under a bounded restart policy with exponential backoff —
+//!   queries keep serving the last committed snapshot throughout. Faults can
+//!   be injected deterministically via
+//!   [`squery_common::fault::FaultInjector`] hooks threaded through the
+//!   workers and the coordinator.
 
 pub mod checkpoint;
 pub mod dag;
@@ -39,5 +46,8 @@ pub mod worker;
 
 pub use dag::{EdgeKind, JobSpec, VertexKind, VertexSpec};
 pub use message::{Item, Record};
-pub use runtime::{EngineConfig, JobHandle, JobReport, StateConfig, StreamEnv};
+pub use runtime::{
+    EngineConfig, JobHandle, JobReport, RestartPolicy, StateConfig, StreamEnv, SupervisedJob,
+    SupervisorStatus,
+};
 pub use source::{GeneratorSource, SourceStatus};

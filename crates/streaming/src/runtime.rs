@@ -21,6 +21,8 @@ use crate::worker::{
     WorkerTelemetry,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use squery_common::fault::backoff_with_jitter;
 use squery_common::metrics::{Histogram, SharedHistogram};
 use squery_common::telemetry::EventKind;
 use squery_common::time::Clock;
@@ -107,6 +109,11 @@ pub struct EngineConfig {
     pub source_batch: usize,
     /// Phase-1 ack timeout before a checkpoint aborts.
     pub ack_timeout: Duration,
+    /// How many times the coordinator retries an aborted checkpoint round
+    /// in place (with exponential backoff) before the error surfaces.
+    pub checkpoint_retries: u32,
+    /// Base backoff between checkpoint retries.
+    pub retry_backoff: Duration,
 }
 
 impl Default for EngineConfig {
@@ -117,6 +124,8 @@ impl Default for EngineConfig {
             channel_capacity: 1024,
             source_batch: 256,
             ack_timeout: Duration::from_secs(10),
+            checkpoint_retries: 0,
+            retry_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -175,6 +184,17 @@ impl StreamEnv {
             base_sink: 0,
             base_source: 0,
         })
+    }
+
+    /// Submit a job and put it under a supervisor: worker deaths and
+    /// coordinator kills are detected and recovered automatically under
+    /// `policy`.
+    pub fn submit_supervised(
+        &self,
+        spec: JobSpec,
+        policy: RestartPolicy,
+    ) -> SqResult<SupervisedJob> {
+        Ok(SupervisedJob::supervise(self.submit(spec)?, policy))
     }
 }
 
@@ -292,6 +312,11 @@ impl JobHandle {
     pub fn wait_for_sink_count(&self, n: u64, timeout: Duration) -> SqResult<()> {
         let deadline = Instant::now() + timeout;
         while self.sink_count() < n {
+            // A dead worker means the count may never arrive — fail fast
+            // instead of spinning until the timeout.
+            if let Some(msg) = self.worker_failure() {
+                return Err(SqError::WorkerDied(msg));
+            }
             if Instant::now() > deadline {
                 return Err(SqError::Runtime(format!(
                     "timed out waiting for {n} sink records (got {})",
@@ -301,6 +326,23 @@ impl JobHandle {
             std::thread::sleep(Duration::from_millis(1));
         }
         Ok(())
+    }
+
+    /// Whether this incarnation needs supervisor attention: a worker thread
+    /// has panicked, the coordinator was killed, or the job is not running
+    /// at all.
+    pub fn needs_recovery(&self) -> bool {
+        let Some(shared) = &self.shared else {
+            return true;
+        };
+        self.running.is_none()
+            || shared.dead_workers.load(Ordering::Acquire) > 0
+            || shared.coordinator_dead.load(Ordering::SeqCst)
+    }
+
+    /// First worker-panic message of this incarnation, if any.
+    pub fn worker_failure(&self) -> Option<String> {
+        self.shared.as_ref().and_then(|s| s.worker_failure())
     }
 
     /// Block until every source instance has exhausted its (finite) input.
@@ -402,9 +444,53 @@ impl JobHandle {
         Ok(())
     }
 
+    /// [`JobHandle::recover`] when a committed snapshot exists; otherwise
+    /// roll back to the *initial* state: clear any read-uncommitted live-map
+    /// writes the dead incarnation left behind and rebuild from scratch.
+    ///
+    /// This is what a supervisor needs when a fault strikes before the first
+    /// checkpoint ever commits — plain `recover()` would return `NotFound`.
+    pub fn recover_or_restart(&mut self) -> SqResult<()> {
+        if self.running.is_some() {
+            return Err(SqError::Runtime("job is still running".into()));
+        }
+        if self.grid.registry().latest_committed().is_some() {
+            return self.recover();
+        }
+        if self.config.state.live_state {
+            for name in self.spec.stateful_names() {
+                if let Some(map) = self.grid.get_map(&name) {
+                    map.clear();
+                }
+            }
+        }
+        self.grid.telemetry().event(
+            EventKind::Recovery,
+            Some(&self.spec.name),
+            None,
+            None,
+            "no committed snapshot; restart from initial state",
+        );
+        let (running, shared) = build_runtime(
+            &self.spec,
+            &self.grid,
+            &self.config,
+            &self.clock,
+            None,
+            self.stats.clone(),
+        )?;
+        self.running = Some(running);
+        self.shared = Some(shared);
+        Ok(())
+    }
+
     /// Graceful shutdown: stop checkpoints, drain sources, join workers,
     /// return the final report.
     pub fn stop(mut self) -> JobReport {
+        self.stop_in_place()
+    }
+
+    fn stop_in_place(&mut self) -> JobReport {
         if let Some(running) = self.running.take() {
             running.coordinator.stop();
             for ctl in &running.source_controls {
@@ -449,6 +535,231 @@ impl Drop for JobHandle {
     }
 }
 
+/// Bounded-restart policy for a [`SupervisedJob`].
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Total restart budget over the supervised job's lifetime (it does not
+    /// reset after a successful recovery — a crash-looping job gives up).
+    pub max_restarts: u32,
+    /// Base delay before the first restart; doubles per restart.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// How often the monitor thread checks job health.
+    pub poll_interval: Duration,
+    /// Seed for backoff jitter (deterministic for a fixed seed).
+    pub jitter_seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 5,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(5),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// What the supervisor has done so far.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorStatus {
+    /// Restarts performed (successful or not).
+    pub restarts: u32,
+    /// The restart budget is exhausted; the job stays down.
+    pub gave_up: bool,
+    /// Most recent failure message (worker panic or recovery error).
+    pub last_error: Option<String>,
+}
+
+/// A [`JobHandle`] watched by a monitor thread that detects dead workers and
+/// killed coordinators, then crashes and recovers the job under a bounded
+/// exponential-backoff [`RestartPolicy`] — no manual
+/// [`JobHandle::recover`] call needed.
+///
+/// Queries are isolated from all of this: SQL and direct reads go through
+/// the grid (registry + stores), never through the job lock, so throughout
+/// detection, backoff, and recovery they keep serving the last *committed*
+/// snapshot.
+pub struct SupervisedJob {
+    job: Arc<Mutex<JobHandle>>,
+    stats: CheckpointStats,
+    stop_flag: Arc<AtomicBool>,
+    status: Arc<Mutex<SupervisorStatus>>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl SupervisedJob {
+    /// Put `job` under supervision.
+    pub fn supervise(job: JobHandle, policy: RestartPolicy) -> SupervisedJob {
+        let grid = Arc::clone(job.grid());
+        let stats = job.checkpoint_stats();
+        let job = Arc::new(Mutex::new(job));
+        let stop_flag = Arc::new(AtomicBool::new(false));
+        let status = Arc::new(Mutex::new(SupervisorStatus::default()));
+        let monitor_job = Arc::clone(&job);
+        let monitor_stop = Arc::clone(&stop_flag);
+        let monitor_status = Arc::clone(&status);
+        let monitor = std::thread::Builder::new()
+            .name("squery-supervisor".into())
+            .spawn(move || {
+                while !monitor_stop.load(Ordering::Acquire) {
+                    std::thread::sleep(policy.poll_interval);
+                    let (needs, failure) = {
+                        let j = monitor_job.lock();
+                        (j.needs_recovery(), j.worker_failure())
+                    };
+                    if !needs {
+                        continue;
+                    }
+                    let attempt = monitor_status.lock().restarts;
+                    if attempt >= policy.max_restarts {
+                        {
+                            let mut st = monitor_status.lock();
+                            st.gave_up = true;
+                            if st.last_error.is_none() {
+                                st.last_error = failure;
+                            }
+                        }
+                        grid.telemetry().event(
+                            EventKind::SupervisorGaveUp,
+                            None,
+                            None,
+                            None,
+                            format!("restart budget of {} exhausted", policy.max_restarts),
+                        );
+                        // Take the job fully down (joins every remaining
+                        // worker) before resolving its faults.
+                        monitor_job.lock().crash();
+                        if let Some(injector) = grid.fault_injector() {
+                            injector.resolve_pending("gave_up");
+                        }
+                        break;
+                    }
+                    grid.telemetry()
+                        .counter("supervisor_restarts_total", &[])
+                        .inc();
+                    grid.telemetry().event(
+                        EventKind::SupervisorRestart,
+                        None,
+                        None,
+                        None,
+                        failure.clone().unwrap_or_else(|| "job not running".into()),
+                    );
+                    std::thread::sleep(backoff_with_jitter(
+                        policy.base_backoff,
+                        attempt,
+                        policy.max_backoff,
+                        policy.jitter_seed ^ u64::from(attempt),
+                    ));
+                    if monitor_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let began = Instant::now();
+                    let result = {
+                        let mut j = monitor_job.lock();
+                        j.crash();
+                        // Between crash() (old workers joined) and the
+                        // rebuild (new workers not yet spawned), exactly the
+                        // dead incarnation's faults are pending — resolve
+                        // them here so a fresh fault in the next incarnation
+                        // can't be mislabeled.
+                        if let Some(injector) = grid.fault_injector() {
+                            injector.resolve_pending("recovered");
+                        }
+                        j.recover_or_restart()
+                    };
+                    {
+                        let mut st = monitor_status.lock();
+                        st.restarts += 1;
+                        match &result {
+                            Ok(()) => st.last_error = failure,
+                            Err(e) => st.last_error = Some(e.to_string()),
+                        }
+                    }
+                    if result.is_ok() {
+                        grid.telemetry()
+                            .histogram("recovery_duration_us", &[])
+                            .record(began.elapsed().as_micros() as u64);
+                    }
+                }
+            })
+            .expect("spawn supervisor");
+        SupervisedJob {
+            job,
+            stats,
+            stop_flag,
+            status,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Run `f` against the underlying job handle.
+    ///
+    /// Held only briefly by the monitor except while a recovery is actually
+    /// in flight — queries don't come through here.
+    pub fn with_job<R>(&self, f: impl FnOnce(&mut JobHandle) -> R) -> R {
+        f(&mut self.job.lock())
+    }
+
+    /// Supervisor bookkeeping so far.
+    pub fn status(&self) -> SupervisorStatus {
+        self.status.lock().clone()
+    }
+
+    /// Checkpoint timing log (survives restarts).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.stats.clone()
+    }
+
+    /// Whether the job is currently running and needs no attention.
+    pub fn is_healthy(&self) -> bool {
+        !self.status.lock().gave_up && !self.job.lock().needs_recovery()
+    }
+
+    /// Block until the supervisor has the job running cleanly (or give-up /
+    /// timeout).
+    pub fn wait_healthy(&self, timeout: Duration) -> SqResult<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.status.lock().gave_up {
+                return Err(SqError::Runtime("supervisor gave up".into()));
+            }
+            if self.is_healthy() {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(SqError::Runtime(
+                    "timed out waiting for supervised recovery".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn halt_monitor(&mut self) {
+        self.stop_flag.store(true, Ordering::Release);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+    }
+
+    /// Stop supervision and the job; return the final report.
+    pub fn stop(mut self) -> JobReport {
+        self.halt_monitor();
+        self.job.lock().stop_in_place()
+    }
+}
+
+impl Drop for SupervisedJob {
+    fn drop(&mut self) {
+        // The inner JobHandle's own Drop crashes the job.
+        self.halt_monitor();
+    }
+}
+
 /// Build channels, state backends, and threads for one job incarnation.
 fn build_runtime(
     spec: &JobSpec,
@@ -470,6 +781,10 @@ fn build_runtime(
         exhausted_sources: AtomicU32::new(0),
         partitioner: grid.partitioner(),
         telemetry: grid.telemetry().clone(),
+        faults: grid.fault_injector(),
+        dead_workers: AtomicU32::new(0),
+        coordinator_dead: AtomicBool::new(false),
+        failure: parking_lot::Mutex::new(None),
     });
 
     // Input channels for every non-source instance.
@@ -662,6 +977,8 @@ fn build_runtime(
             stores,
             stats,
             ack_timeout: config.ack_timeout,
+            retries: config.checkpoint_retries,
+            retry_backoff: config.retry_backoff,
         },
         config.checkpoint_interval,
     );
@@ -947,6 +1264,131 @@ mod tests {
         let report = job.stop();
         assert_eq!(report.latency.count(), 100);
         assert_eq!(got.lock().len(), 100);
+    }
+
+    fn panic_plan(at_record: u64, once: bool) -> squery_common::fault::FaultPlan {
+        use squery_common::fault::*;
+        FaultPlan::new(11).with(FaultSpec {
+            point: InjectionPoint::WorkerRecord,
+            action: FaultAction::PanicWorker,
+            trigger: FaultTrigger {
+                at_record: Some(at_record),
+                operator: Some("sums".into()),
+                ..FaultTrigger::default()
+            },
+            once,
+        })
+    }
+
+    #[test]
+    fn supervisor_restarts_panicked_job_and_reaches_exact_sums() {
+        use squery_common::fault::FaultInjector;
+        let grid = Grid::single_node();
+        grid.attach_fault_injector(Arc::new(FaultInjector::new(panic_plan(50, true))));
+        let config = EngineConfig {
+            state: StateConfig::live_and_snapshot(),
+            checkpoint_interval: None,
+            ..EngineConfig::default()
+        };
+        let env = StreamEnv::new(Arc::clone(&grid), config);
+        let policy = RestartPolicy {
+            max_restarts: 3,
+            base_backoff: Duration::from_millis(2),
+            poll_interval: Duration::from_millis(2),
+            jitter_seed: 1,
+            ..RestartPolicy::default()
+        };
+        let job = env.submit_supervised(sum_job(2000, 10, 2), policy).unwrap();
+        // The injected panic fires once; the supervisor restarts the job
+        // from the initial state (no snapshot committed yet) and it reruns
+        // to completion — no manual recover() anywhere.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while job.status().restarts < 1 {
+            assert!(Instant::now() < deadline, "supervisor never restarted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        job.wait_healthy(Duration::from_secs(20)).unwrap();
+        job.with_job(|j| j.drain_and_checkpoint(Duration::from_secs(20)))
+            .unwrap();
+        let live = grid.get_map("sums").unwrap();
+        let mut entries = live.entries();
+        entries.sort();
+        assert_eq!(entries, expected_sums(2000, 10));
+        let status = job.status();
+        assert_eq!(status.restarts, 1);
+        assert!(!status.gave_up);
+        assert!(status.last_error.unwrap().contains("injected fault"));
+        assert_eq!(
+            grid.telemetry()
+                .counter_value("supervisor_restarts_total", &[]),
+            Some(1)
+        );
+        let fault_log = grid.fault_injector().unwrap().records();
+        assert_eq!(fault_log.len(), 1);
+        assert_eq!(fault_log[0].outcome, "recovered");
+        job.stop();
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_restart_budget() {
+        use squery_common::fault::FaultInjector;
+        let grid = Grid::single_node();
+        // `once: false`: the worker re-panics at the same record after every
+        // restart — a crash loop the budget must bound.
+        grid.attach_fault_injector(Arc::new(FaultInjector::new(panic_plan(10, false))));
+        let config = EngineConfig {
+            state: StateConfig::live_and_snapshot(),
+            checkpoint_interval: None,
+            ..EngineConfig::default()
+        };
+        let env = StreamEnv::new(Arc::clone(&grid), config);
+        let policy = RestartPolicy {
+            max_restarts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            poll_interval: Duration::from_millis(2),
+            jitter_seed: 2,
+        };
+        let job = env.submit_supervised(sum_job(2000, 10, 2), policy).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !job.status().gave_up {
+            assert!(Instant::now() < deadline, "supervisor never gave up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let status = job.status();
+        assert_eq!(status.restarts, 2, "budget is total, not per-incident");
+        let events: Vec<String> = grid
+            .telemetry()
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.as_str().to_string())
+            .collect();
+        assert!(events.iter().any(|k| k == "supervisor_gave_up"));
+        let fault_log = grid.fault_injector().unwrap().records();
+        assert_eq!(fault_log.last().unwrap().outcome, "gave_up");
+        job.stop();
+    }
+
+    #[test]
+    fn wait_for_sink_count_fails_fast_on_worker_death() {
+        use squery_common::fault::FaultInjector;
+        let grid = Grid::single_node();
+        grid.attach_fault_injector(Arc::new(FaultInjector::new(panic_plan(5, true))));
+        let config = EngineConfig {
+            state: StateConfig::live_and_snapshot(),
+            checkpoint_interval: None,
+            ..EngineConfig::default()
+        };
+        let env = StreamEnv::new(Arc::clone(&grid), config);
+        // Unsupervised: the panic must surface as WorkerDied, not a hang
+        // until the (long) timeout.
+        let job = env.submit(sum_job(2000, 1, 1)).unwrap();
+        let err = job
+            .wait_for_sink_count(2000, Duration::from_secs(30))
+            .unwrap_err();
+        assert!(matches!(err, SqError::WorkerDied(_)), "{err}");
+        assert!(err.to_string().contains("sums#0"), "{err}");
     }
 
     #[test]

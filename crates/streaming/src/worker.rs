@@ -16,12 +16,15 @@ use crate::message::{Item, Record, Tagged};
 use crate::source::{Source, SourceStatus};
 use crate::state::StateBackend;
 use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use squery_common::fault::{FaultAction, FaultInjector};
 use squery_common::metrics::SharedHistogram;
 use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
 use squery_common::time::Clock;
 use squery_common::{Partitioner, SnapshotId, Value};
 use squery_storage::SnapshotStore;
 use std::collections::HashSet;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,6 +134,16 @@ pub struct Shared {
     pub partitioner: Partitioner,
     /// The engine-wide metrics/event registry (the grid's).
     pub telemetry: MetricsRegistry,
+    /// The attached fault injector, if any (cheap `None` check otherwise).
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Workers whose panic was caught. Non-zero means the job cannot make
+    /// progress and needs supervised recovery.
+    pub dead_workers: AtomicU32,
+    /// Set when the checkpoint coordinator was (fault-)killed between
+    /// phases; it stops serving until recovery rebuilds it.
+    pub coordinator_dead: AtomicBool,
+    /// The first caught panic message (`worker_failure`).
+    pub failure: Mutex<Option<String>>,
 }
 
 impl Shared {
@@ -140,6 +153,79 @@ impl Shared {
 
     fn poisoned(&self) -> bool {
         self.poison.load(Ordering::Relaxed)
+    }
+
+    /// Record a caught worker panic. Key locks and channel senders were
+    /// already released by the unwind itself (parking_lot guards unlock on
+    /// drop); this makes the death *observable* so `wait_for_sink_count`
+    /// and the supervisor stop waiting on a worker that will never run.
+    fn note_worker_panic(&self, operator: &str, instance: u32, msg: &str) {
+        self.dead_workers.fetch_add(1, Ordering::AcqRel);
+        let mut failure = self.failure.lock();
+        if failure.is_none() {
+            *failure = Some(format!("{operator}#{instance}: {msg}"));
+        }
+        drop(failure);
+        self.telemetry.counter("worker_panics_total", &[]).inc();
+        self.telemetry.event(
+            EventKind::WorkerPanicked,
+            Some(operator),
+            None,
+            None,
+            format!("instance {instance}: {msg}"),
+        );
+    }
+
+    /// The first caught panic message, if any worker died.
+    pub fn worker_failure(&self) -> Option<String> {
+        self.failure.lock().clone()
+    }
+
+    /// Fault hook: about to process the worker's `nth` record. A planned
+    /// `PanicWorker` fault panics here so it exercises the *real* unwind
+    /// path; a `StallWorker` sleeps in-line.
+    fn worker_record_fault(&self, operator: &str, instance: u32, nth: u64) {
+        let Some(injector) = &self.faults else { return };
+        match injector.on_worker_record(operator, instance, nth) {
+            Some(FaultAction::PanicWorker) => {
+                self.fault_event(operator, None, format!("panic at record {nth}"));
+                panic!("injected fault: worker panic at record {nth}");
+            }
+            Some(FaultAction::StallWorker { micros }) => {
+                self.fault_event(operator, None, format!("stall {micros}us at record {nth}"));
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            _ => {}
+        }
+    }
+
+    /// Fault hook: the worker just acked phase 1 of `ssid` — the window
+    /// between checkpoint phase 1 and phase 2.
+    fn post_ack_fault(&self, operator: &str, instance: u32, ssid: SnapshotId) {
+        let Some(injector) = &self.faults else { return };
+        if let Some(FaultAction::PanicWorker) =
+            injector.on_worker_post_ack(operator, instance, ssid.0)
+        {
+            self.fault_event(operator, Some(ssid.0), "killed after phase-1 ack".into());
+            panic!("injected fault: worker killed between phases of checkpoint {ssid}");
+        }
+    }
+
+    fn fault_event(&self, operator: &str, ssid: Option<u64>, detail: String) {
+        self.telemetry
+            .event(EventKind::FaultInjected, Some(operator), ssid, None, detail);
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` panics the engine and
+/// the injector raise; anything else gets a generic label).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -218,10 +304,13 @@ fn broadcast(item: &Item, outs: &[OutputPort]) {
     }
 }
 
-/// The source-instance loop.
+/// The source-instance worker. The production loop runs under
+/// `catch_unwind` so a panicking source (organic or injected) cannot leave
+/// the job hanging: the death is recorded on [`Shared`] and the live count
+/// still drops exactly once.
 #[allow(clippy::too_many_arguments)]
 pub fn run_source(
-    mut source: Box<dyn Source>,
+    source: Box<dyn Source>,
     control: Receiver<SourceCommand>,
     outs: Vec<OutputPort>,
     my_instance: u32,
@@ -231,9 +320,40 @@ pub fn run_source(
     tel: WorkerTelemetry,
 ) {
     tel.started(my_instance);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        source_loop(
+            source,
+            control,
+            outs,
+            my_instance,
+            batch_size,
+            &shared,
+            offsets,
+            &tel,
+        )
+    }));
+    if let Err(payload) = result {
+        shared.note_worker_panic(&tel.operator, my_instance, &panic_text(payload));
+    }
+    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+    tel.stopped(my_instance);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn source_loop(
+    mut source: Box<dyn Source>,
+    control: Receiver<SourceCommand>,
+    outs: Vec<OutputPort>,
+    my_instance: u32,
+    batch_size: usize,
+    shared: &Shared,
+    offsets: OffsetSaver,
+    tel: &WorkerTelemetry,
+) {
     let partitioner = shared.partitioner;
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut exhausted = false;
+    let mut produced: u64 = 0;
     loop {
         if shared.poisoned() {
             break;
@@ -243,6 +363,7 @@ pub fn run_source(
             Ok(SourceCommand::Marker(ssid)) => {
                 offsets.save(ssid, source.offset());
                 shared.ack(ssid);
+                shared.post_ack_fault(&tel.operator, my_instance, ssid);
                 broadcast(&Item::Marker(ssid), &outs);
                 continue;
             }
@@ -259,6 +380,7 @@ pub fn run_source(
                 Ok(SourceCommand::Marker(ssid)) => {
                     offsets.save(ssid, source.offset());
                     shared.ack(ssid);
+                    shared.post_ack_fault(&tel.operator, my_instance, ssid);
                     broadcast(&Item::Marker(ssid), &outs);
                 }
                 Ok(SourceCommand::Stop) => {
@@ -276,9 +398,9 @@ pub fn run_source(
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         tel.records_out.add(batch.len() as u64);
         for record in &batch {
+            produced += 1;
+            shared.worker_record_fault(&tel.operator, my_instance, produced);
             if !route_record(record, &outs, my_instance, &partitioner) {
-                shared.live_instances.fetch_sub(1, Ordering::AcqRel);
-                tel.stopped(my_instance);
                 return;
             }
         }
@@ -298,8 +420,6 @@ pub fn run_source(
             SourceStatus::Active => {}
         }
     }
-    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
-    tel.stopped(my_instance);
 }
 
 /// What an operator worker runs.
@@ -317,17 +437,40 @@ pub enum OperatorKind {
     Sink(Box<dyn Sink>),
 }
 
-/// The operator/sink-instance loop with marker alignment.
+/// The operator/sink-instance worker with marker alignment. Like
+/// [`run_source`], the loop runs under `catch_unwind`: a panicking operator
+/// releases its key locks and channels via the unwind itself (parking_lot
+/// guards and crossbeam senders unlock/close on drop), and the caught death
+/// is surfaced on [`Shared`] instead of leaving the job wedged.
 pub fn run_operator(
     rx: Receiver<Tagged>,
     n_channels: u32,
-    mut kind: OperatorKind,
+    kind: OperatorKind,
     outs: Vec<OutputPort>,
     my_instance: u32,
     shared: Arc<Shared>,
     tel: WorkerTelemetry,
 ) {
     tel.started(my_instance);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        operator_loop(rx, n_channels, kind, outs, my_instance, &shared, &tel)
+    }));
+    if let Err(payload) = result {
+        shared.note_worker_panic(&tel.operator, my_instance, &panic_text(payload));
+    }
+    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
+    tel.stopped(my_instance);
+}
+
+fn operator_loop(
+    rx: Receiver<Tagged>,
+    n_channels: u32,
+    mut kind: OperatorKind,
+    outs: Vec<OutputPort>,
+    my_instance: u32,
+    shared: &Shared,
+    tel: &WorkerTelemetry,
+) {
     let partitioner = shared.partitioner;
     let mut aligned: HashSet<u32> = HashSet::new();
     let mut eos: HashSet<u32> = HashSet::new();
@@ -335,8 +478,9 @@ pub fn run_operator(
     let mut align_started: Option<Instant> = None;
     let mut buffer: Vec<Record> = Vec::new();
     let mut out_buf: Vec<Record> = Vec::new();
+    let mut received: u64 = 0;
 
-    let tel_ref = &tel;
+    let tel_ref = tel;
     let process = |record: Record,
                    kind: &mut OperatorKind,
                    out_buf: &mut Vec<Record>,
@@ -374,11 +518,13 @@ pub fn run_operator(
         match tagged.item {
             Item::Record(record) => {
                 tel.records_in.inc();
+                received += 1;
+                shared.worker_record_fault(&tel.operator, my_instance, received);
                 if pending_marker.is_some() && aligned.contains(&tagged.from) {
                     // Figure 3a: this channel already delivered the marker;
                     // its records belong to the next checkpoint epoch.
                     buffer.push(record);
-                } else if !process(record, &mut kind, &mut out_buf, &shared) {
+                } else if !process(record, &mut kind, &mut out_buf, shared) {
                     break;
                 }
             }
@@ -402,11 +548,12 @@ pub fn run_operator(
                         }
                     }
                     shared.ack(ssid);
+                    shared.post_ack_fault(&tel.operator, my_instance, ssid);
                     broadcast(&Item::Marker(ssid), &outs);
                     pending_marker = None;
                     aligned.clear();
                     for record in buffer.drain(..) {
-                        if !process(record, &mut kind, &mut out_buf, &shared) {
+                        if !process(record, &mut kind, &mut out_buf, shared) {
                             break 'outer;
                         }
                     }
@@ -428,11 +575,12 @@ pub fn run_operator(
                             }
                         }
                         shared.ack(ssid);
+                        shared.post_ack_fault(&tel.operator, my_instance, ssid);
                         broadcast(&Item::Marker(ssid), &outs);
                         pending_marker = None;
                         aligned.clear();
                         for record in buffer.drain(..) {
-                            if !process(record, &mut kind, &mut out_buf, &shared) {
+                            if !process(record, &mut kind, &mut out_buf, shared) {
                                 break 'outer;
                             }
                         }
@@ -445,8 +593,6 @@ pub fn run_operator(
             }
         }
     }
-    shared.live_instances.fetch_sub(1, Ordering::AcqRel);
-    tel.stopped(my_instance);
 }
 
 #[cfg(test)]
@@ -468,6 +614,10 @@ mod tests {
                 exhausted_sources: AtomicU32::new(0),
                 partitioner: Partitioner::new(16),
                 telemetry: MetricsRegistry::new(),
+                faults: None,
+                dead_workers: AtomicU32::new(0),
+                coordinator_dead: AtomicBool::new(false),
+                failure: Mutex::new(None),
             }),
             ack_rx,
         )
@@ -626,6 +776,111 @@ mod tests {
         });
         worker.join().unwrap();
         assert_eq!(shared.live_instances.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panicking_sink_is_caught_and_flagged() {
+        let (shared, _ack) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        struct ExplodingSink;
+        impl Sink for ExplodingSink {
+            fn consume(&mut self, _r: Record) {
+                panic!("sink exploded");
+            }
+        }
+        let s2 = Arc::clone(&shared);
+        let t2 = tel(&shared, "boom");
+        let worker = std::thread::spawn(move || {
+            run_operator(
+                rx,
+                1,
+                OperatorKind::Sink(Box::new(ExplodingSink)),
+                vec![],
+                0,
+                s2,
+                t2,
+            )
+        });
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Record(Record::new(1i64, 1i64)),
+        })
+        .unwrap();
+        // The worker thread itself must NOT propagate the panic: join
+        // succeeds, the death is flagged, and the live count still dropped.
+        worker.join().expect("unwind was caught inside the worker");
+        assert_eq!(shared.dead_workers.load(Ordering::Acquire), 1);
+        assert_eq!(shared.live_instances.load(Ordering::Acquire), 0);
+        let failure = shared.worker_failure().expect("failure recorded");
+        assert!(failure.contains("boom#0"), "names the instance: {failure}");
+        assert!(failure.contains("sink exploded"));
+        let kinds: Vec<_> = shared
+            .telemetry
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.as_str().to_string())
+            .collect();
+        assert!(kinds.contains(&"worker_panicked".to_string()));
+    }
+
+    #[test]
+    fn injected_record_fault_panics_worker_deterministically() {
+        use squery_common::fault::{
+            FaultAction, FaultInjector, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint,
+        };
+        let (ack_tx, _ack_rx) = unbounded();
+        let plan = FaultPlan::new(7).with(FaultSpec {
+            point: InjectionPoint::WorkerRecord,
+            action: FaultAction::PanicWorker,
+            trigger: FaultTrigger {
+                at_record: Some(3),
+                operator: Some("victim".into()),
+                ..FaultTrigger::default()
+            },
+            once: true,
+        });
+        let injector = Arc::new(FaultInjector::new(plan));
+        let shared = Arc::new(Shared {
+            clock: Clock::manual(),
+            poison: AtomicBool::new(false),
+            ack_tx,
+            latency: SharedHistogram::new(),
+            sink_count: AtomicU64::new(0),
+            source_count: AtomicU64::new(0),
+            live_instances: AtomicU32::new(1),
+            exhausted_sources: AtomicU32::new(0),
+            partitioner: Partitioner::new(16),
+            telemetry: MetricsRegistry::new(),
+            faults: Some(Arc::clone(&injector)),
+            dead_workers: AtomicU32::new(0),
+            coordinator_dead: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        });
+        let (tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        let s2 = Arc::clone(&shared);
+        let t2 = tel(&shared, "victim");
+        let worker = std::thread::spawn(move || {
+            run_operator(rx, 1, OperatorKind::Sink(Box::new(Null)), vec![], 0, s2, t2)
+        });
+        for k in 0..5i64 {
+            let _ = tx.send(Tagged {
+                from: 0,
+                item: Item::Record(Record::new(k, 0i64)),
+            });
+        }
+        worker.join().unwrap();
+        // Records 1 and 2 were consumed; the fault fired at the 3rd.
+        assert_eq!(shared.sink_count.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.dead_workers.load(Ordering::Acquire), 1);
+        let records = injector.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].point, InjectionPoint::WorkerRecord);
+        assert_eq!(records[0].operator.as_deref(), Some("victim"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test]
+# Local CI gate: formatting, lints, the full test suite, and the chaos soak.
+# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos]
 #   --fix         apply rustfmt instead of only checking
 #   --only STEP   run a single step (what the CI jobs call)
 set -euo pipefail
@@ -14,13 +14,13 @@ while [[ $# -gt 0 ]]; do
         --only)
             only="${2:-}"
             if [[ -z "$only" ]]; then
-                echo "--only requires an argument: fmt|clippy|test" >&2
+                echo "--only requires an argument: fmt|clippy|test|chaos" >&2
                 exit 2
             fi
             shift 2
             ;;
         *)
-            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test])" >&2
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos])" >&2
             exit 2
             ;;
     esac
@@ -46,13 +46,22 @@ run_test() {
     cargo test --workspace -q
 }
 
+run_chaos() {
+    # Fixed seed range inside a fixed time budget: a deterministic soak of
+    # the fault-injection + supervised-recovery path (~60 s ceiling).
+    echo "==> chaos soak (100 seeds, 60 s budget)"
+    cargo run --release -q -p squery-bench --bin chaos -- \
+        --seeds 100 --base-seed 1 --time-budget-secs 60
+}
+
 case "$only" in
     "") run_fmt; run_clippy; run_test ;;
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    chaos) run_chaos ;;
     *)
-        echo "unknown step '$only' (known: fmt, clippy, test)" >&2
+        echo "unknown step '$only' (known: fmt, clippy, test, chaos)" >&2
         exit 2
         ;;
 esac
