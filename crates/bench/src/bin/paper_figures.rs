@@ -5,11 +5,12 @@
 //! cargo run -p squery-bench --release --bin paper-figures -- fig10 fig14
 //! cargo run -p squery-bench --release --bin paper-figures -- --quick all
 //! cargo run -p squery-bench --release --bin paper-figures -- --telemetry-json telemetry.json
+//! cargo run -p squery-bench --release --bin paper-figures -- --quick --dop 4 --trace-json trace.json
 //! cargo run -p squery-bench --release --bin paper-figures -- --quick --dop 4 fig13
 //! ```
 
 use squery_bench::figures::{all, by_id, ALL_IDS};
-use squery_bench::util::telemetry_dump;
+use squery_bench::util::{telemetry_dump, trace_dump};
 use squery_bench::Scale;
 
 fn main() {
@@ -17,6 +18,7 @@ fn main() {
     let mut quick = false;
     let mut dop = 1usize;
     let mut telemetry_json: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -32,6 +34,13 @@ fn main() {
                 Some(path) => telemetry_json = Some(path),
                 None => {
                     eprintln!("--telemetry-json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-json" => match args.next() {
+                Some(path) => trace_json = Some(path),
+                None => {
+                    eprintln!("--trace-json requires a path");
                     std::process::exit(2);
                 }
             },
@@ -51,6 +60,18 @@ fn main() {
         std::fs::write(path, json).expect("write telemetry json");
         std::fs::write(format!("{path}.prom"), prom).expect("write telemetry prom");
         println!("telemetry dump written to {path} (+ {path}.prom)");
+        if requested.is_empty() && trace_json.is_none() {
+            return;
+        }
+    }
+
+    if let Some(path) = &trace_json {
+        // Run a traced fig13-style workload (checkpoint round + Query 1 at
+        // the requested dop) and export the spans as Chrome trace-event
+        // JSON, loadable in chrome://tracing or Perfetto.
+        let json = trace_dump(dop);
+        std::fs::write(path, json).expect("write trace json");
+        println!("chrome trace written to {path}");
         if requested.is_empty() {
             return;
         }
@@ -58,7 +79,7 @@ fn main() {
 
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "help") {
         eprintln!(
-            "usage: paper-figures [--quick] [--dop <n>] [--telemetry-json <path>] all | <artifact>..."
+            "usage: paper-figures [--quick] [--dop <n>] [--telemetry-json <path>] [--trace-json <path>] all | <artifact>..."
         );
         eprintln!("artifacts: {}", ALL_IDS.join(", "));
         std::process::exit(if requested.is_empty() { 2 } else { 0 });

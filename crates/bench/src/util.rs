@@ -158,6 +158,37 @@ pub fn telemetry_dump() -> (String, String) {
     (registry.render_json(), registry.render_prometheus())
 }
 
+/// Run a small fully-traced fig13-style workload — fill the q-commerce
+/// monitoring state, drive one checkpoint round (phase-1/phase-2 spans nest
+/// under the round root), then run Query 1 at `dop` — and return the span
+/// log rendered as Chrome trace-event JSON (loadable in `chrome://tracing`
+/// or Perfetto). The artifact behind the `--trace-json` flag of
+/// `paper-figures`.
+pub fn trace_dump(dop: usize) -> String {
+    use squery_common::trace::render_chrome_trace;
+    let config = SQueryConfig::default()
+        .with_state(StateConfig::live_and_snapshot())
+        .with_tracing(true);
+    let system = SQuery::new(config).expect("valid trace config");
+    let cfg = QCommerceConfig {
+        orders: 200,
+        riders: 40,
+        events_per_instance: 2_000,
+        rate_per_instance: None,
+        prefill_passes: 0,
+    };
+    let mut job = system
+        .submit(order_monitoring_job(cfg, 1, 2))
+        .expect("monitoring submits");
+    job.drain_and_checkpoint(Duration::from_secs(120))
+        .expect("traced checkpoint round");
+    system
+        .query_with_dop(squery_qcommerce::QUERY_1, dop)
+        .expect("query 1 runs");
+    job.stop();
+    render_chrome_trace(&system.telemetry().spans().snapshot())
+}
+
 /// Submit the q-commerce monitoring job with `orders` unique keys at a total
 /// offered rate (split across its three sources; `None` = unpaced).
 pub fn submit_monitoring(

@@ -24,6 +24,10 @@
 //!   counters/gauges/histograms plus the bounded [`telemetry::EventLog`] of
 //!   structured engine events; the backing store for the `sys_*` SQL tables
 //!   and the Prometheus/JSON exports.
+//! * [`trace`] — structured span tracing: the lock-sharded
+//!   [`trace::SpanCollector`] of `Span { id, parent, kind, labels, start_us,
+//!   end_us }` trees behind `sys_spans`, `EXPLAIN ANALYZE`, and the Chrome
+//!   trace-event export.
 //! * [`time::Clock`] — wall or manually-driven clocks so integration tests can
 //!   be deterministic.
 //! * [`fault`] — deterministic, seeded fault injection: the [`fault::FaultPlan`]
@@ -41,6 +45,7 @@ pub mod partition;
 pub mod schema;
 pub mod telemetry;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use error::{SqError, SqResult};

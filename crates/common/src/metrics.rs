@@ -421,6 +421,65 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_are_monotonic_in_q() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(x % 1_000_000);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| h.percentile(q)).collect();
+        for w in values.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be non-decreasing: {values:?}");
+        }
+        assert_eq!(values[0], h.min());
+        assert_eq!(*values.last().unwrap(), h.max());
+    }
+
+    #[test]
+    fn p95_of_uniform_distribution_is_accurate() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let est = h.percentile(0.95);
+        let err = (est as f64 - 9_500.0).abs() / 9_500.0;
+        assert!(err < 0.05, "p95 est={est} err={err}");
+    }
+
+    #[test]
+    fn quantile_of_point_mass_is_the_point() {
+        let mut h = Histogram::new();
+        h.record_n(777, 1_000);
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let est = h.percentile(q);
+            // 777 sits above the linear range; the midpoint estimate must
+            // stay within one sub-bucket (≈3% relative error).
+            let err = (est as f64 - 777.0).abs() / 777.0;
+            assert!(err <= 1.0 / 32.0, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn skewed_tail_pulls_high_quantiles_only() {
+        let mut h = Histogram::new();
+        h.record_n(100, 99); // 99% of mass at ~100µs
+        h.record(1_000_000); // one 1s outlier
+        assert!(h.percentile(0.5) < 150);
+        assert!(h.percentile(0.95) < 150);
+        assert_eq!(h.percentile(1.0), 1_000_000);
+        // The outlier is the 100th of 100 samples: p≥0.995 reaches it.
+        assert!(h.percentile(0.999) >= 900_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn out_of_range_quantile_panics() {
+        Histogram::new().percentile(1.5);
+    }
+
+    #[test]
     fn value_of_is_midpoint_not_upper_edge() {
         // 96 sits in bucket 2 (range [64, 128), sub-bucket width 2): the
         // sub-bucket holding 96 is [96, 98) with midpoint 97 — the old

@@ -22,6 +22,7 @@
 
 use crate::metrics::{Histogram, SharedHistogram};
 use crate::time::Clock;
+use crate::trace::SpanCollector;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -304,6 +305,7 @@ struct RegistryInner {
     gauges: RwLock<BTreeMap<MetricKey, Gauge>>,
     histograms: RwLock<BTreeMap<MetricKey, SharedHistogram>>,
     events: EventLog,
+    spans: SpanCollector,
     clock: Clock,
 }
 
@@ -345,9 +347,16 @@ impl MetricsRegistry {
                 gauges: RwLock::new(BTreeMap::new()),
                 histograms: RwLock::new(BTreeMap::new()),
                 events: EventLog::new(event_capacity, clock.clone()),
+                spans: SpanCollector::new(clock.clone()),
                 clock,
             }),
         }
+    }
+
+    /// The span collector (disabled until
+    /// [`SpanCollector::set_enabled`](crate::trace::SpanCollector::set_enabled)).
+    pub fn spans(&self) -> &SpanCollector {
+        &self.inner.spans
     }
 
     /// The registry's clock.
@@ -476,7 +485,13 @@ impl MetricsRegistry {
                 sum.render(),
                 (hist.mean() * hist.count() as f64).round() as u64
             ));
-            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+            for (q, label) in [
+                (0.5, "0.5"),
+                (0.9, "0.9"),
+                (0.95, "0.95"),
+                (0.99, "0.99"),
+                (0.999, "0.999"),
+            ] {
                 let mut labels = key.labels.clone();
                 labels.push(("quantile".to_string(), label.to_string()));
                 labels.sort();
@@ -550,13 +565,14 @@ impl MetricsRegistry {
             .into_iter()
             .map(|(k, h)| {
                 format!(
-                    "{{\"name\":{},\"labels\":{},\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+                    "{{\"name\":{},\"labels\":{},\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p90_us\":{},\"p95_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
                     jstr(&k.name),
                     jlabels(&k),
                     h.count(),
                     h.mean(),
                     h.percentile(0.5),
                     h.percentile(0.9),
+                    h.percentile(0.95),
                     h.percentile(0.99),
                     h.percentile(0.999),
                     h.max()
@@ -724,6 +740,35 @@ mod tests {
         }
         assert!(json.contains("\\n"), "newline escaped: {json}");
         assert!(json.contains("op\\\"x"), "quote escaped: {json}");
+    }
+
+    #[test]
+    fn exports_carry_p50_p95_p99_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("query_exec_us", &[]);
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        let prom = reg.render_prometheus();
+        for q in ["0.5", "0.9", "0.95", "0.99", "0.999"] {
+            assert!(
+                prom.contains(&format!("query_exec_us{{quantile=\"{q}\"}}")),
+                "missing quantile {q}:\n{prom}"
+            );
+        }
+        let json = reg.render_json();
+        for field in ["\"p50_us\":", "\"p90_us\":", "\"p95_us\":", "\"p99_us\":"] {
+            assert!(json.contains(field), "missing {field}: {json}");
+        }
+    }
+
+    #[test]
+    fn registry_exposes_a_shared_span_collector() {
+        let reg = MetricsRegistry::with_clock(Clock::manual());
+        assert!(!reg.spans().is_enabled(), "disabled by default");
+        reg.spans().set_enabled(true);
+        drop(reg.clone().spans().start("query"));
+        assert_eq!(reg.spans().snapshot().len(), 1, "clones share spans");
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct SQueryConfig {
     pub checkpoint_retries: u32,
     /// Base backoff between checkpoint retries (exponential, jittered).
     pub retry_backoff: Duration,
+    /// Capacity of the telemetry event ring (`sys_events` retention).
+    pub event_capacity: usize,
+    /// Collect spans for every query, checkpoint round, and recovery
+    /// (`sys_spans`, Chrome-trace export). Off by default; `EXPLAIN
+    /// ANALYZE` profiles its own query regardless.
+    pub tracing: bool,
 }
 
 impl SQueryConfig {
@@ -51,6 +57,8 @@ impl SQueryConfig {
             ack_timeout: Duration::from_secs(10),
             checkpoint_retries: 0,
             retry_backoff: Duration::from_millis(50),
+            event_capacity: squery_common::telemetry::DEFAULT_EVENT_CAPACITY,
+            tracing: false,
         }
     }
 
@@ -118,6 +126,18 @@ impl SQueryConfig {
         self
     }
 
+    /// Retain up to `capacity` engine events in the telemetry ring (≥ 1).
+    pub fn with_event_capacity(mut self, capacity: usize) -> SQueryConfig {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Enable (or disable) span tracing for the whole deployment.
+    pub fn with_tracing(mut self, on: bool) -> SQueryConfig {
+        self.tracing = on;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> SqResult<()> {
         self.cluster.validate()?;
@@ -129,6 +149,9 @@ impl SQueryConfig {
         }
         if self.source_batch == 0 {
             return Err(SqError::Config("source batch must be positive".into()));
+        }
+        if self.event_capacity == 0 {
+            return Err(SqError::Config("event capacity must be positive".into()));
         }
         self.query_parallelism.validate()?;
         Ok(())
@@ -205,6 +228,22 @@ mod tests {
             },
             ..SQueryConfig::default()
         };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn event_capacity_and_tracing_builders() {
+        let c = SQueryConfig::default();
+        assert_eq!(
+            c.event_capacity,
+            squery_common::telemetry::DEFAULT_EVENT_CAPACITY
+        );
+        assert!(!c.tracing);
+        let c = c.with_event_capacity(16).with_tracing(true);
+        c.validate().unwrap();
+        assert_eq!(c.event_capacity, 16);
+        assert!(c.tracing);
+        let c = c.with_event_capacity(0);
         assert!(c.validate().is_err());
     }
 

@@ -1,7 +1,7 @@
 //! The `sys_*` tables: engine internals exposed through the SQL surface.
 //!
 //! The paper opens operator *state* to queries; this module applies the same
-//! idea to the engine's own telemetry. Six virtual tables are registered in
+//! idea to the engine's own telemetry. Eight virtual tables are registered in
 //! every [`SQuery`](crate::SQuery) deployment's catalog and recompute their
 //! rows on every scan:
 //!
@@ -13,6 +13,8 @@
 //! | `sys_checkpoints` | committed checkpoint round, per job   |
 //! | `sys_snapshots`   | retained snapshot version, per store  |
 //! | `sys_faults`      | injected fault, with recovery outcome |
+//! | `sys_spans`       | recorded trace span                   |
+//! | `sys_query_log`   | completed (or failed) SQL query       |
 //!
 //! Because they are ordinary [`Table`]s, sys tables compose with the full
 //! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
@@ -22,7 +24,7 @@ use parking_lot::Mutex;
 use squery_common::schema::{schema, Schema};
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::{DataType, Value};
-use squery_sql::{GridCatalog, SysTable, Table};
+use squery_sql::{GridCatalog, QueryLog, SysTable, Table};
 use squery_storage::Grid;
 use squery_streaming::checkpoint::CheckpointStats;
 use std::sync::Arc;
@@ -301,8 +303,84 @@ fn sys_faults_rows(grid: &Grid) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// Register the six `sys_*` tables in `catalog`.
-pub(crate) fn register_sys_tables(catalog: &GridCatalog, grid: Arc<Grid>, jobs: JobLog) {
+fn sys_spans_schema() -> Arc<Schema> {
+    schema(vec![
+        ("id", DataType::Int),
+        ("parent", DataType::Int),
+        ("kind", DataType::Str),
+        ("operator", DataType::Str),
+        ("start_us", DataType::Int),
+        ("end_us", DataType::Int),
+        ("duration_us", DataType::Int),
+        ("labels", DataType::Str),
+    ])
+}
+
+fn sys_spans_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
+    registry
+        .spans()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            vec![
+                Value::Int(s.id as i64),
+                s.parent
+                    .map(|p| Value::Int(p as i64))
+                    .unwrap_or(Value::Null),
+                Value::str(s.kind),
+                opt_str(s.label("operator")),
+                Value::Int(s.start_us as i64),
+                Value::Int(s.end_us as i64),
+                Value::Int(s.duration_us() as i64),
+                Value::str(labels.join(",")),
+            ]
+        })
+        .collect()
+}
+
+fn sys_query_log_schema() -> Arc<Schema> {
+    schema(vec![
+        ("seq", DataType::Int),
+        ("sql", DataType::Str),
+        ("status", DataType::Str),
+        ("rows", DataType::Int),
+        ("parse_us", DataType::Int),
+        ("plan_us", DataType::Int),
+        ("exec_us", DataType::Int),
+        ("total_us", DataType::Int),
+        ("dop", DataType::Int),
+        ("started_at_us", DataType::Int),
+    ])
+}
+
+fn sys_query_log_rows(log: &QueryLog) -> Vec<Vec<Value>> {
+    log.snapshot()
+        .into_iter()
+        .map(|e| {
+            vec![
+                Value::Int(e.seq as i64),
+                Value::str(&e.sql),
+                Value::str(&e.status),
+                Value::Int(e.rows as i64),
+                Value::Int(e.parse_us as i64),
+                Value::Int(e.plan_us as i64),
+                Value::Int(e.exec_us as i64),
+                Value::Int(e.total_us as i64),
+                Value::Int(e.dop as i64),
+                Value::Int(e.started_at_us as i64),
+            ]
+        })
+        .collect()
+}
+
+/// Register the eight `sys_*` tables in `catalog`.
+pub(crate) fn register_sys_tables(
+    catalog: &GridCatalog,
+    grid: Arc<Grid>,
+    jobs: JobLog,
+    query_log: QueryLog,
+) {
     let metric_grid = Arc::clone(&grid);
     catalog.register(Arc::new(SysTable::new(
         "sys_metrics",
@@ -331,6 +409,17 @@ pub(crate) fn register_sys_tables(catalog: &GridCatalog, grid: Arc<Grid>, jobs: 
         "sys_faults",
         sys_faults_schema(),
         Arc::new(move || sys_faults_rows(&fault_grid)),
+    )));
+    let span_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_spans",
+        sys_spans_schema(),
+        Arc::new(move || sys_spans_rows(span_grid.telemetry())),
+    )));
+    catalog.register(Arc::new(SysTable::new(
+        "sys_query_log",
+        sys_query_log_schema(),
+        Arc::new(move || sys_query_log_rows(&query_log)),
     )));
     catalog.register(Arc::new(SysTable::new(
         "sys_snapshots",
@@ -430,6 +519,66 @@ mod tests {
             rs.scalar("n").unwrap().as_int().unwrap() >= 1,
             "prior query_started event visible"
         );
+    }
+
+    #[test]
+    fn sys_query_log_records_engine_queries() {
+        let system = populated_system();
+        system
+            .query("SELECT name FROM sys_metrics LIMIT 1")
+            .unwrap();
+        assert!(system.query("SELECT nope FROM orders").is_err());
+        let rs = system
+            .query("SELECT seq, sql, status, rows, dop FROM sys_query_log ORDER BY seq")
+            .unwrap();
+        assert_eq!(
+            rs.rows()[0][1],
+            Value::str("SELECT name FROM sys_metrics LIMIT 1")
+        );
+        assert_eq!(rs.rows()[0][2], Value::str("ok"));
+        assert_eq!(rs.rows()[0][3], Value::Int(1));
+        assert!(
+            rs.rows()[1][2].to_string().starts_with("error:"),
+            "{:?}",
+            rs.rows()[1]
+        );
+    }
+
+    #[test]
+    fn sys_spans_exposes_explain_analyze_profiles() {
+        let system = populated_system();
+        assert!(!system.config().tracing, "untraced deployment");
+        let rs = system
+            .query("EXPLAIN ANALYZE SELECT partitionKey FROM orders")
+            .unwrap();
+        assert!(
+            rs.rows()
+                .iter()
+                .any(|r| r[0].to_string().contains("rows=2")),
+            "{rs}"
+        );
+        // The forced profile landed in sys_spans: one query root, its scan
+        // child nested under it.
+        let root = system
+            .query("SELECT id FROM sys_spans WHERE kind = 'query'")
+            .unwrap();
+        let root_id = root.rows()[0][0].clone();
+        let child = system
+            .query("SELECT parent, duration_us FROM sys_spans WHERE kind = 'scan'")
+            .unwrap();
+        assert_eq!(child.rows()[0][0], root_id);
+    }
+
+    #[test]
+    fn traced_deployment_spans_every_query() {
+        let system = SQuery::new(SQueryConfig::default().with_tracing(true)).unwrap();
+        system
+            .query("SELECT COUNT(*) AS n FROM sys_events")
+            .unwrap();
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_spans WHERE kind = 'query'")
+            .unwrap();
+        assert!(rs.scalar("n").unwrap().as_int().unwrap() >= 1);
     }
 
     #[test]

@@ -6,8 +6,9 @@ use crate::systables::{register_sys_tables, JobLog};
 use parking_lot::Mutex;
 use squery_common::fault::{FaultInjector, FaultPlan};
 use squery_common::telemetry::MetricsRegistry;
+use squery_common::time::Clock;
 use squery_common::{SnapshotId, SqResult};
-use squery_sql::{GridCatalog, ResultSet, SqlEngine};
+use squery_sql::{GridCatalog, QueryLog, ResultSet, SqlEngine};
 use squery_storage::Grid;
 use squery_streaming::{JobHandle, JobSpec, RestartPolicy, StreamEnv, SupervisedJob};
 use std::sync::Arc;
@@ -22,28 +23,39 @@ pub struct SQuery {
     sql: SqlEngine<GridCatalog>,
     config: SQueryConfig,
     jobs: JobLog,
+    query_log: QueryLog,
 }
 
 impl SQuery {
     /// Bring up a deployment for `config`.
     pub fn new(config: SQueryConfig) -> SqResult<SQuery> {
         config.validate()?;
-        let grid = Grid::new(config.cluster)?;
+        let telemetry = MetricsRegistry::with_capacity(config.event_capacity, Clock::wall());
+        telemetry.spans().set_enabled(config.tracing);
+        let grid = Grid::new_with_telemetry(config.cluster, telemetry)?;
         grid.registry()
             .set_retained_versions(config.retained_versions);
         let env = StreamEnv::new(Arc::clone(&grid), config.engine_config());
         let jobs: JobLog = Arc::new(Mutex::new(Vec::new()));
+        let query_log = QueryLog::default();
         let catalog = GridCatalog::new(Arc::clone(&grid));
-        register_sys_tables(&catalog, Arc::clone(&grid), Arc::clone(&jobs));
+        register_sys_tables(
+            &catalog,
+            Arc::clone(&grid),
+            Arc::clone(&jobs),
+            query_log.clone(),
+        );
         let sql = SqlEngine::new(catalog)
             .with_telemetry(grid.telemetry())
-            .with_parallelism(config.query_parallelism);
+            .with_parallelism(config.query_parallelism)
+            .with_query_log(query_log.clone());
         Ok(SQuery {
             grid,
             env,
             sql,
             config,
             jobs,
+            query_log,
         })
     }
 
@@ -56,6 +68,11 @@ impl SQuery {
     /// and `sys_events`).
     pub fn telemetry(&self) -> &MetricsRegistry {
         self.grid.telemetry()
+    }
+
+    /// The per-query log (also behind `sys_query_log`).
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
     }
 
     /// The configuration this deployment runs with.

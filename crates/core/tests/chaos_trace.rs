@@ -1,0 +1,241 @@
+//! Chaos + tracing integration: every injected fault that forced a
+//! supervised recovery must leave a matching `recovery` span in
+//! `sys_spans`, so an operator can correlate `sys_faults` with the trace
+//! timeline after the fact.
+
+use squery::{RestartPolicy, SQuery, SQueryConfig, StateConfig};
+use squery_common::fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+use squery_common::schema::schema;
+use squery_common::{DataType, Value};
+use squery_streaming::dag::adapters::{FnStateful, FnStatefulOp, NullSinkFactory};
+use squery_streaming::dag::{SourceFactory, Stateful};
+use squery_streaming::source::{Source, SourceStatus};
+use squery_streaming::state::KeyedState;
+use squery_streaming::{EdgeKind, JobSpec, Record};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEYS: i64 = 5;
+const ROUND: u64 = 60;
+const ROUNDS: u64 = 3;
+
+/// Allowance-gated keyed source; replays deterministically after rewind.
+struct GatedSource {
+    index: u64,
+    allowance: Arc<AtomicU64>,
+}
+
+impl Source for GatedSource {
+    fn next_batch(&mut self, max: usize, _now_us: u64, out: &mut Vec<Record>) -> SourceStatus {
+        let allowed = self.allowance.load(Ordering::Acquire);
+        let budget = allowed.saturating_sub(self.index).min(max as u64);
+        if budget == 0 {
+            return SourceStatus::Idle;
+        }
+        for _ in 0..budget {
+            out.push(Record::new((self.index as i64) % KEYS, 1i64));
+            self.index += 1;
+        }
+        SourceStatus::Active
+    }
+
+    fn offset(&self) -> Value {
+        Value::Int(self.index as i64)
+    }
+
+    fn rewind(&mut self, offset: &Value) {
+        self.index = offset.as_int().expect("int offset") as u64;
+    }
+}
+
+struct GatedFactory {
+    allowance: Arc<AtomicU64>,
+}
+
+impl SourceFactory for GatedFactory {
+    fn create(&self, _i: u32, _n: u32) -> Box<dyn Source> {
+        Box::new(GatedSource {
+            index: 0,
+            allowance: Arc::clone(&self.allowance),
+        })
+    }
+}
+
+fn counting_job(allowance: &Arc<AtomicU64>) -> JobSpec {
+    let mut b = JobSpec::builder("trace-chaos");
+    let src = b.source(
+        "src",
+        1,
+        Arc::new(GatedFactory {
+            allowance: Arc::clone(allowance),
+        }),
+    );
+    let factory = Arc::new(FnStateful(|_, _| {
+        Box::new(FnStatefulOp(
+            |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
+                let next = state.get(&r.key).and_then(|v| v.as_int()).unwrap_or(0) + 1;
+                state.put(r.key.clone(), Value::Int(next));
+                out.push(Record {
+                    key: r.key,
+                    value: Value::Int(next),
+                    src_ts: r.src_ts,
+                    port: 0,
+                });
+            },
+        )) as Box<dyn Stateful>
+    }));
+    let op = b.stateful_with_schema("count", 2, factory, schema(vec![("this", DataType::Int)]));
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(src, op, EdgeKind::Keyed);
+    b.edge(op, sink, EdgeKind::Forward);
+    b.build().unwrap()
+}
+
+fn live_sum(system: &SQuery) -> i64 {
+    system
+        .grid()
+        .get_map("count")
+        .map(|m| {
+            m.entries()
+                .iter()
+                .filter_map(|(_, v)| v.as_int())
+                .sum::<i64>()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn every_recovered_fault_has_a_matching_recovery_span_in_sys_spans() {
+    let system = SQuery::new(
+        SQueryConfig::default()
+            .with_state(StateConfig::live_and_snapshot())
+            .with_tracing(true)
+            .with_ack_timeout(Duration::from_millis(250))
+            .with_checkpoint_retries(3, Duration::from_millis(2)),
+    )
+    .unwrap();
+    // Two worker panics: one mid-round at a record count, one between
+    // checkpoint phases 1 and 2. Both force a supervised rollback.
+    let injector = system.inject_faults(
+        FaultPlan::new(11)
+            .with(FaultSpec {
+                point: InjectionPoint::WorkerRecord,
+                action: FaultAction::PanicWorker,
+                trigger: FaultTrigger {
+                    at_record: Some(25),
+                    operator: Some("count".into()),
+                    instance: Some(1),
+                    ..FaultTrigger::default()
+                },
+                once: true,
+            })
+            .with(FaultSpec {
+                point: InjectionPoint::WorkerPostAck,
+                action: FaultAction::PanicWorker,
+                trigger: FaultTrigger {
+                    at_ssid: Some(2),
+                    operator: Some("count".into()),
+                    instance: Some(0),
+                    ..FaultTrigger::default()
+                },
+                once: true,
+            }),
+    );
+    let allowance = Arc::new(AtomicU64::new(0));
+    let job = system
+        .submit_supervised(
+            counting_job(&allowance),
+            RestartPolicy {
+                max_restarts: 8,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(50),
+                poll_interval: Duration::from_millis(2),
+                jitter_seed: 11,
+            },
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+
+    // Feed in rounds with a checkpoint after each so both ssid- and
+    // record-triggered faults fire, retrying checkpoints that land in a
+    // recovery window.
+    for round in 1..=ROUNDS {
+        let released = round * ROUND;
+        allowance.store(released, Ordering::Release);
+        while live_sum(&system) < released as i64 {
+            assert!(!job.status().gave_up, "supervisor gave up");
+            assert!(Instant::now() < deadline, "round {round} never drained");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        loop {
+            assert!(Instant::now() < deadline, "round {round} checkpoint failed");
+            if job.with_job(|j| j.checkpoint_now()).is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Settle: every fired fault must reach a terminal outcome.
+    loop {
+        assert!(!job.status().gave_up, "supervisor gave up");
+        assert!(Instant::now() < deadline, "faults never resolved");
+        let fired = injector.records();
+        if fired.len() >= 2 && fired.iter().all(|f| f.outcome != "pending") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let fired = injector.records();
+    let recovered = fired.iter().filter(|f| f.outcome == "recovered").count();
+    let by_retry = fired
+        .iter()
+        .filter(|f| f.outcome == "recovered_by_retry")
+        .count();
+    assert!(
+        recovered >= 1,
+        "no fault recovered via supervisor: {fired:?}"
+    );
+
+    // Every supervisor-recovered fault has a matching rollback `recovery`
+    // span, and every retry-recovered fault a `checkpoint_retry` span.
+    let recovery_spans = system
+        .query("SELECT id FROM sys_spans WHERE kind = 'recovery'")
+        .unwrap()
+        .rows()
+        .len();
+    assert!(
+        recovery_spans >= recovered,
+        "{recovered} recovered faults but only {recovery_spans} recovery spans"
+    );
+    let retry_spans = system
+        .query("SELECT id FROM sys_spans WHERE kind = 'checkpoint_retry'")
+        .unwrap()
+        .rows()
+        .len();
+    assert!(
+        retry_spans >= by_retry,
+        "{by_retry} retry-recovered faults but only {retry_spans} retry spans"
+    );
+    // The rollback spans carry the job and mode labels the operator joins
+    // against sys_faults.
+    let labelled = system
+        .query("SELECT labels FROM sys_spans WHERE kind = 'recovery'")
+        .unwrap();
+    for row in labelled.rows() {
+        let labels = row[0].as_str().unwrap();
+        assert!(labels.contains("job=trace-chaos"), "labels: {labels}");
+        assert!(labels.contains("mode="), "labels: {labels}");
+    }
+    // sys_faults agrees with the injector, so the two tables can be joined.
+    let sys_faults = system
+        .query("SELECT COUNT(*) AS n FROM sys_faults")
+        .unwrap()
+        .scalar("n")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(sys_faults, fired.len() as i64);
+    job.stop();
+}

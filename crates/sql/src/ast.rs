@@ -2,6 +2,23 @@
 
 use squery_common::Value;
 
+/// A parsed top-level statement: a plain `SELECT`, or an `EXPLAIN` /
+/// `EXPLAIN ANALYZE` wrapper around one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain `SELECT` query.
+    Select(Query),
+    /// `EXPLAIN [ANALYZE] <select>` — render the physical plan; with
+    /// `ANALYZE`, execute the query and annotate each node with measured
+    /// rows, wall time, and claimed slices.
+    Explain {
+        /// Execute and profile (`EXPLAIN ANALYZE`) instead of plan-only.
+        analyze: bool,
+        /// The wrapped query.
+        query: Query,
+    },
+}
+
 /// A parsed `SELECT` query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {

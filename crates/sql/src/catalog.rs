@@ -1,10 +1,14 @@
 //! Catalog abstractions: tables, scan hints, execution context.
 
+use parking_lot::Mutex;
 use squery_common::config::Parallelism;
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::Counter;
+use squery_common::trace::{SpanCollector, SpanGuard};
 use squery_common::{SnapshotId, SqResult, Value};
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which snapshot version(s) a snapshot-table scan should resolve.
@@ -65,6 +69,9 @@ pub struct ExecContext {
     /// Per-worker slice-scan latency histogram (`sql_worker_scan_us`),
     /// recorded once per claimed slice by parallel workers.
     pub worker_scan_us: Option<SharedHistogram>,
+    /// Span/per-node-statistics sink, present when the query is traced
+    /// (collector enabled) or profiled (`EXPLAIN ANALYZE`).
+    pub trace: Option<ExecTrace>,
 }
 
 impl ExecContext {
@@ -77,6 +84,7 @@ impl ExecContext {
             rows_scanned: None,
             parallelism: Parallelism::sequential(),
             worker_scan_us: None,
+            trace: None,
         }
     }
 
@@ -84,6 +92,99 @@ impl ExecContext {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> ExecContext {
         self.parallelism = parallelism;
         self
+    }
+}
+
+/// Aggregated execution statistics for one plan node.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Rows the node produced (scans: rows materialized).
+    pub rows: u64,
+    /// Wall time spent in the node, summed over its spans (parallel nodes
+    /// sum per-slice work, so this can exceed elapsed query time).
+    pub wall_us: u64,
+    /// Parallel slices claimed (0 for purely sequential nodes).
+    pub slices: u64,
+}
+
+struct ExecTraceInner {
+    collector: SpanCollector,
+    root: u64,
+    forced: bool,
+    stats: Mutex<BTreeMap<String, NodeStat>>,
+}
+
+/// Per-query tracing: a handle every executor stage uses to open child
+/// spans under the query's root span and fold per-node statistics
+/// (`EXPLAIN ANALYZE`'s row counts, slices, and wall time).
+///
+/// Cloneable and thread-safe: parallel workers record concurrently.
+#[derive(Clone)]
+pub struct ExecTrace {
+    inner: Arc<ExecTraceInner>,
+}
+
+impl fmt::Debug for ExecTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecTrace(root={})", self.inner.root)
+    }
+}
+
+impl ExecTrace {
+    /// A trace rooted at span `root` in `collector`. With `forced`, child
+    /// spans record even while the collector is disabled (`EXPLAIN
+    /// ANALYZE` on an untraced deployment).
+    pub fn new(collector: SpanCollector, root: u64, forced: bool) -> ExecTrace {
+        ExecTrace {
+            inner: Arc::new(ExecTraceInner {
+                collector,
+                root,
+                forced,
+                stats: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The query's root span id.
+    pub fn root(&self) -> u64 {
+        self.inner.root
+    }
+
+    /// Open a span directly under the query root.
+    pub fn span(&self, kind: &'static str) -> SpanGuard {
+        self.span_under(kind, self.inner.root)
+    }
+
+    /// Open a span under an explicit parent span.
+    pub fn span_under(&self, kind: &'static str, parent: u64) -> SpanGuard {
+        if self.inner.forced {
+            self.inner.collector.forced(kind, Some(parent))
+        } else {
+            self.inner.collector.child(kind, parent)
+        }
+    }
+
+    /// Close a node's span (labelling it with `rows`) and fold its duration
+    /// plus the given counts into the node's statistics.
+    pub fn close_node(&self, key: &str, mut guard: SpanGuard, rows: u64, slices: u64) {
+        guard.label("rows", rows);
+        let wall_us = guard.finish().map_or(0, |s| s.duration_us());
+        self.add(key, rows, wall_us, slices);
+    }
+
+    /// Fold counts into a node's statistics without a span.
+    pub fn add(&self, key: &str, rows: u64, wall_us: u64, slices: u64) {
+        let mut stats = self.inner.stats.lock();
+        let entry = stats.entry(key.to_string()).or_default();
+        entry.rows += rows;
+        entry.wall_us += wall_us;
+        entry.slices += slices;
+    }
+
+    /// The node statistics accumulated so far, keyed by plan-node key
+    /// (`scan0`, `join1`, `filter`, `aggregate`, `sort`, …).
+    pub fn stats(&self) -> BTreeMap<String, NodeStat> {
+        self.inner.stats.lock().clone()
     }
 }
 

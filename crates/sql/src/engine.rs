@@ -1,15 +1,20 @@
 //! The SQL entry point and result sets.
 
-use crate::catalog::{Catalog, ExecContext};
+use crate::ast::Statement;
+use crate::catalog::{Catalog, ExecContext, ExecTrace};
 use crate::exec::execute;
-use crate::parser::parse;
+use crate::explain::{render_plan, render_plan_analyzed};
+use crate::parser::parse_statement;
 use crate::plan::plan;
+use parking_lot::Mutex;
 use squery_common::config::Parallelism;
 use squery_common::metrics::SharedHistogram;
-use squery_common::schema::Schema;
+use squery_common::schema::{schema, Schema};
 use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
 use squery_common::time::Clock;
-use squery_common::{SqResult, Value};
+use squery_common::trace::SpanCollector;
+use squery_common::{DataType, SqResult, Value};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,6 +98,82 @@ impl fmt::Display for ResultSet {
     }
 }
 
+/// Default number of entries the query log retains.
+pub const DEFAULT_QUERY_LOG_CAPACITY: usize = 1024;
+
+/// One completed (or failed) query, as exposed by `sys_query_log`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Monotonic sequence number (assigned at record time).
+    pub seq: u64,
+    /// SQL text, truncated to the event prefix length.
+    pub sql: String,
+    /// `"ok"` or `"error: …"`.
+    pub status: String,
+    /// Result rows (0 on error).
+    pub rows: u64,
+    /// Parse phase wall time.
+    pub parse_us: u64,
+    /// Plan phase wall time.
+    pub plan_us: u64,
+    /// Execute phase wall time (0 on error or plain `EXPLAIN`).
+    pub exec_us: u64,
+    /// End-to-end wall time inside the engine.
+    pub total_us: u64,
+    /// Degree of parallelism the query ran with.
+    pub dop: u64,
+    /// Engine-clock microsecond timestamp at query start.
+    pub started_at_us: u64,
+}
+
+struct QueryLogState {
+    next_seq: u64,
+    capacity: usize,
+    entries: VecDeque<QueryLogEntry>,
+}
+
+/// A bounded, shareable ring of per-query records — the backing store of the
+/// `sys_query_log` virtual table. Oldest entries are evicted at capacity.
+#[derive(Clone)]
+pub struct QueryLog {
+    inner: Arc<Mutex<QueryLogState>>,
+}
+
+impl QueryLog {
+    /// A log retaining up to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> QueryLog {
+        QueryLog {
+            inner: Arc::new(Mutex::new(QueryLogState {
+                next_seq: 0,
+                capacity: capacity.max(1),
+                entries: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Record one query, assigning its sequence number.
+    pub fn record(&self, mut entry: QueryLogEntry) {
+        let mut state = self.inner.lock();
+        entry.seq = state.next_seq;
+        state.next_seq += 1;
+        if state.entries.len() == state.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(entry);
+    }
+
+    /// All retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<QueryLogEntry> {
+        self.inner.lock().entries.iter().cloned().collect()
+    }
+}
+
+impl Default for QueryLog {
+    fn default() -> Self {
+        QueryLog::new(DEFAULT_QUERY_LOG_CAPACITY)
+    }
+}
+
 /// Per-engine query telemetry handles, resolved once at attach time.
 struct EngineTelemetry {
     queries: Counter,
@@ -129,6 +210,7 @@ pub struct SqlEngine<C: Catalog> {
     clock: Clock,
     telemetry: Option<EngineTelemetry>,
     parallelism: Parallelism,
+    query_log: Option<QueryLog>,
 }
 
 impl<C: Catalog> SqlEngine<C> {
@@ -139,6 +221,7 @@ impl<C: Catalog> SqlEngine<C> {
             clock: Clock::wall(),
             telemetry: None,
             parallelism: Parallelism::sequential(),
+            query_log: None,
         }
     }
 
@@ -149,7 +232,14 @@ impl<C: Catalog> SqlEngine<C> {
             clock,
             telemetry: None,
             parallelism: Parallelism::sequential(),
+            query_log: None,
         }
+    }
+
+    /// Record every query (including failures) into `log`.
+    pub fn with_query_log(mut self, log: QueryLog) -> SqlEngine<C> {
+        self.query_log = Some(log);
+        self
     }
 
     /// Set the default degree of parallelism for every query this engine
@@ -254,11 +344,84 @@ impl<C: Catalog> SqlEngine<C> {
         tel: Option<&EngineTelemetry>,
         parallelism: Parallelism,
     ) -> SqResult<ResultSet> {
+        let started_at_us = self.clock.now_micros();
         let t0 = Instant::now();
-        let ast = parse(sql)?;
+        let mut phases = Phases::default();
+        let result = self.run_statement(sql, tel, parallelism, &mut phases);
+        if let Some(log) = &self.query_log {
+            let (status, rows) = match &result {
+                Ok(rs) => ("ok".to_string(), rs.len() as u64),
+                Err(e) => (format!("error: {e}"), 0),
+            };
+            log.record(QueryLogEntry {
+                seq: 0,
+                sql: sql_prefix(sql),
+                status,
+                rows,
+                parse_us: phases.parse_us,
+                plan_us: phases.plan_us,
+                exec_us: phases.exec_us,
+                total_us: t0.elapsed().as_micros() as u64,
+                dop: parallelism.degree as u64,
+                started_at_us,
+            });
+        }
+        result
+    }
+
+    fn run_statement(
+        &self,
+        sql: &str,
+        tel: Option<&EngineTelemetry>,
+        parallelism: Parallelism,
+        phases: &mut Phases,
+    ) -> SqResult<ResultSet> {
+        let t0 = Instant::now();
+        let stmt = parse_statement(sql)?;
         let t1 = Instant::now();
+        phases.parse_us = (t1 - t0).as_micros() as u64;
+        let (explain, analyze, ast) = match stmt {
+            Statement::Select(q) => (false, false, q),
+            Statement::Explain { analyze, query } => (true, analyze, query),
+        };
         let physical = plan(&ast, &self.catalog)?;
         let t2 = Instant::now();
+        phases.plan_us = (t2 - t1).as_micros() as u64;
+
+        if explain && !analyze {
+            if let Some(t) = tel {
+                t.parse_us.record(phases.parse_us);
+                t.plan_us.record(phases.plan_us);
+                t.exec_us.record(0);
+            }
+            return Ok(plan_result(render_plan(&physical)));
+        }
+
+        // A traced query (collector enabled) gets a root "query" span; an
+        // `EXPLAIN ANALYZE` gets a *forced* one that records even while the
+        // deployment is untraced — into the shared collector when the engine
+        // has telemetry (so `sys_spans` sees the profile), else a throwaway.
+        let trace_root = if analyze {
+            let collector = tel
+                .map(|t| t.registry.spans().clone())
+                .unwrap_or_else(|| SpanCollector::new(self.clock.clone()));
+            let mut root = collector.forced("query", None);
+            root.label("sql", sql_prefix(sql));
+            root.label("dop", parallelism.degree);
+            let id = root.id().expect("forced span is active");
+            Some((ExecTrace::new(collector, id, true), root))
+        } else {
+            tel.map(|t| t.registry.spans().clone())
+                .filter(|c| c.is_enabled())
+                .and_then(|collector| {
+                    let mut root = collector.start("query");
+                    root.label("sql", sql_prefix(sql));
+                    root.label("dop", parallelism.degree);
+                    root.id()
+                        .map(|id| (ExecTrace::new(collector, id, false), root))
+                })
+        };
+
         let (query_ssid, retained_ssids) = self.catalog.snapshot_context();
         let ctx = ExecContext {
             query_ssid,
@@ -267,15 +430,48 @@ impl<C: Catalog> SqlEngine<C> {
             rows_scanned: tel.map(|t| t.rows_scanned.clone()),
             parallelism,
             worker_scan_us: tel.map(|t| t.worker_scan_us.clone()),
+            trace: trace_root.as_ref().map(|(t, _)| t.clone()),
         };
-        let rows = execute(&physical, &ctx)?;
+        let exec_result = execute(&physical, &ctx);
+        phases.exec_us = t2.elapsed().as_micros() as u64;
+        let rows = match exec_result {
+            Ok(rows) => rows,
+            Err(e) => {
+                if let Some((_, mut root)) = trace_root {
+                    root.label("error", &e);
+                }
+                return Err(e);
+            }
+        };
         if let Some(t) = tel {
-            t.parse_us.record((t1 - t0).as_micros() as u64);
-            t.plan_us.record((t2 - t1).as_micros() as u64);
-            t.exec_us.record(t2.elapsed().as_micros() as u64);
+            t.parse_us.record(phases.parse_us);
+            t.plan_us.record(phases.plan_us);
+            t.exec_us.record(phases.exec_us);
+        }
+        if let Some((trace, mut root)) = trace_root {
+            root.label("rows", rows.len());
+            drop(root);
+            if analyze {
+                return Ok(plan_result(render_plan_analyzed(&physical, &trace.stats())));
+            }
         }
         Ok(ResultSet::new(Arc::clone(&physical.output_schema), rows))
     }
+}
+
+/// Per-query phase timings, captured for the query log.
+#[derive(Default)]
+struct Phases {
+    parse_us: u64,
+    plan_us: u64,
+    exec_us: u64,
+}
+
+/// An `EXPLAIN` result: one `plan` text column, one row per plan line.
+fn plan_result(lines: Vec<String>) -> ResultSet {
+    let schema = schema(vec![("plan", DataType::Str)]);
+    let rows = lines.into_iter().map(|l| vec![Value::str(l)]).collect();
+    ResultSet::new(schema, rows)
 }
 
 #[cfg(test)]
@@ -415,5 +611,116 @@ mod tests {
         let rs = engine().query("SELECT a FROM t ORDER BY a DESC").unwrap();
         assert_eq!(rs.rows()[0], vec![Value::Int(2)]);
         assert_eq!(rs.sorted_rows()[0], vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn explain_renders_plan_without_executing() {
+        use squery_common::telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let t = schema(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![vec![Value::Int(1), Value::str("x")]];
+        let e = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new("t", t, rows))]))
+            .with_telemetry(&registry);
+        let rs = e.query("EXPLAIN SELECT a FROM t WHERE b = 'x'").unwrap();
+        assert_eq!(rs.schema().fields()[0].name, "plan");
+        let lines: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+        assert!(lines[0].contains("Project [a]"), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("Filter")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("Scan t")), "{lines:?}");
+        // Plan-only: nothing was scanned.
+        assert_eq!(
+            registry.counter_value("query_rows_scanned_total", &[]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn explain_analyze_annotates_nodes_and_records_spans() {
+        use squery_common::telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        assert!(!registry.spans().is_enabled(), "tracing off by default");
+        let t = schema(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")],
+            vec![Value::Int(2), Value::str("y")],
+        ];
+        let e = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new("t", t, rows))]))
+            .with_telemetry(&registry);
+        let rs = e
+            .query("EXPLAIN ANALYZE SELECT a FROM t WHERE b = 'y'")
+            .unwrap();
+        let lines: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+        let scan = lines.iter().find(|l| l.contains("Scan t")).unwrap();
+        assert!(scan.contains("rows=2"), "{scan}");
+        let filter = lines.iter().find(|l| l.contains("Filter")).unwrap();
+        assert!(filter.contains("rows=1"), "{filter}");
+
+        // Forced spans landed in the shared (disabled) collector, and the
+        // reported wall time is exactly the scan span's duration.
+        let spans = registry.spans().snapshot();
+        let root = spans.iter().find(|s| s.kind == "query").unwrap();
+        let scan_span = spans
+            .iter()
+            .find(|s| s.kind == "scan" && s.label("node") == Some("scan0"))
+            .unwrap();
+        assert_eq!(scan_span.parent, Some(root.id));
+        assert!(
+            scan.contains(&format!("wall={}us", scan_span.duration_us())),
+            "{scan} vs span {}us",
+            scan_span.duration_us()
+        );
+    }
+
+    #[test]
+    fn explain_analyze_works_without_telemetry() {
+        let rs = engine()
+            .query("EXPLAIN ANALYZE SELECT a, b FROM t ORDER BY a LIMIT 1")
+            .unwrap();
+        let lines: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+        assert!(lines[0].contains("Sort (keys: 1, limit: 1)"), "{lines:?}");
+        assert!(lines[0].contains("rows=1"), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("Scan t (rows=2")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn enabled_collector_traces_plain_queries() {
+        use squery_common::telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        registry.spans().set_enabled(true);
+        let t = schema(vec![("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![vec![Value::Int(1), Value::str("x")]];
+        let e = SqlEngine::new(MemCatalog::new(vec![Arc::new(MemTable::new("t", t, rows))]))
+            .with_telemetry(&registry);
+        e.query("SELECT a FROM t").unwrap();
+        let spans = registry.spans().snapshot();
+        let root = spans.iter().find(|s| s.kind == "query").unwrap();
+        assert_eq!(root.label("dop"), Some("1"));
+        assert_eq!(root.label("rows"), Some("1"));
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == "scan" && s.parent == Some(root.id)));
+    }
+
+    #[test]
+    fn query_log_records_successes_and_failures() {
+        let log = QueryLog::new(2);
+        let e = engine().with_query_log(log.clone());
+        e.query("SELECT a FROM t").unwrap();
+        assert!(e.query("SELECT nope FROM t").is_err());
+        e.query("SELECT b FROM t WHERE a = 2").unwrap();
+        // Capacity 2: the first entry was evicted.
+        let entries = log.snapshot();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 1);
+        assert!(entries[0].status.starts_with("error:"), "{:?}", entries[0]);
+        assert_eq!(entries[0].rows, 0);
+        assert_eq!(entries[1].seq, 2);
+        assert_eq!(entries[1].status, "ok");
+        assert_eq!(entries[1].rows, 1);
+        assert_eq!(entries[1].dop, 1);
+        assert_eq!(entries[1].sql, "SELECT b FROM t WHERE a = 2");
     }
 }

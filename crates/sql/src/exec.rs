@@ -15,16 +15,43 @@
 //!   (see DESIGN.md §5).
 
 use crate::ast::AggregateFunc;
-use crate::catalog::{ExecContext, TableSlices};
+use crate::catalog::{ExecContext, ExecTrace, TableSlices};
 use crate::plan::{AggregateNode, JoinNode, PhysicalPlan};
 use parking_lot::Mutex;
 use squery_common::partition::FnvHasher;
+use squery_common::trace::SpanGuard;
 use squery_common::{SqError, SqResult, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::time::Instant;
+
+/// An open span + statistics slot for one plan node. `None` when the query
+/// is untraced, so the instrumentation below is a single `Option` check.
+struct NodeTimer<'a> {
+    trace: &'a ExecTrace,
+    key: String,
+    guard: SpanGuard,
+}
+
+impl NodeTimer<'_> {
+    /// Close the node's span and fold `rows`/`slices` plus the span's own
+    /// duration into the node's statistics.
+    fn close(self, rows: u64, slices: u64) {
+        self.trace.close_node(&self.key, self.guard, rows, slices);
+    }
+}
+
+/// Open a `kind` span for plan node `key` (labelled with the key), if the
+/// query is traced.
+fn start_node<'a>(ctx: &'a ExecContext, kind: &'static str, key: String) -> Option<NodeTimer<'a>> {
+    ctx.trace.as_ref().map(|trace| {
+        let mut guard = trace.span(kind);
+        guard.label("node", &key);
+        NodeTimer { trace, key, guard }
+    })
+}
 
 /// Execute a plan, producing output rows matching `plan.output_schema`.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
@@ -37,20 +64,33 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value
 
 fn execute_sequential(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
     // --- scans + joins ----------------------------------------------------
+    let timer = start_node(ctx, "scan", "scan0".into());
     let mut rows = plan.scans[0].table.scan(&plan.scans[0].hints, ctx)?;
+    if let Some(t) = timer {
+        t.close(rows.len() as u64, 0);
+    }
     if let Some(c) = &ctx.rows_scanned {
         c.add(rows.len() as u64);
     }
-    for (scan, join) in plan.scans[1..].iter().zip(plan.joins.iter()) {
+    for (i, (scan, join)) in plan.scans[1..].iter().zip(plan.joins.iter()).enumerate() {
+        let timer = start_node(ctx, "scan", format!("scan{}", i + 1));
         let right_rows = scan.table.scan(&scan.hints, ctx)?;
+        if let Some(t) = timer {
+            t.close(right_rows.len() as u64, 0);
+        }
         if let Some(c) = &ctx.rows_scanned {
             c.add(right_rows.len() as u64);
         }
+        let timer = start_node(ctx, "join", format!("join{i}"));
         rows = hash_join(rows, right_rows, join)?;
+        if let Some(t) = timer {
+            t.close(rows.len() as u64, 0);
+        }
     }
 
     // --- filter -------------------------------------------------------------
     if let Some(filter) = &plan.filter {
+        let timer = start_node(ctx, "filter", "filter".into());
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
             if filter.matches(&row, ctx)? {
@@ -58,15 +98,22 @@ fn execute_sequential(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Ve
             }
         }
         rows = kept;
+        if let Some(t) = timer {
+            t.close(rows.len() as u64, 0);
+        }
     }
 
     // --- aggregate ----------------------------------------------------------
     if let Some(agg) = &plan.aggregate {
+        let timer = start_node(ctx, "aggregate", "aggregate".into());
         rows = aggregate(rows, agg, ctx)?;
+        if let Some(t) = timer {
+            t.close(rows.len() as u64, 0);
+        }
     }
 
     let projected = project_rows(plan, ctx, &rows)?;
-    Ok(sort_and_limit(plan, projected))
+    Ok(finish_output(plan, ctx, projected))
 }
 
 /// Project each row (plus HAVING and ORDER BY key evaluation on the same
@@ -94,6 +141,25 @@ fn project_rows(
         projected.push((keys, out));
     }
     Ok(projected)
+}
+
+/// Sort + limit the merged projection, timing the `sort` node when the plan
+/// orders.
+fn finish_output(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    projected: Vec<(Vec<Value>, Vec<Value>)>,
+) -> Vec<Vec<Value>> {
+    let timer = if plan.order_by.is_empty() {
+        None
+    } else {
+        start_node(ctx, "sort", "sort".into())
+    };
+    let out = sort_and_limit(plan, projected);
+    if let Some(t) = timer {
+        t.close(out.len() as u64, 0);
+    }
+    out
 }
 
 /// Sort (stable, so equal keys keep their input order) and apply LIMIT.
@@ -133,38 +199,47 @@ fn execute_parallel(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<
         .table
         .scan_partitions(&plan.scans[0].hints, ctx)?;
     let mut join_tables = Vec::with_capacity(plan.joins.len());
-    for (scan, join) in plan.scans[1..].iter().zip(plan.joins.iter()) {
+    for (i, (scan, join)) in plan.scans[1..].iter().zip(plan.joins.iter()).enumerate() {
         let slices = scan.table.scan_partitions(&scan.hints, ctx)?;
-        join_tables.push(build_join_table(&slices, join, ctx)?);
+        let timer = start_node(ctx, "join_build", format!("join{i}"));
+        let table = build_join_table(&slices, join, ctx, &format!("scan{}", i + 1))?;
+        if let Some(t) = timer {
+            t.close(0, 0);
+        }
+        join_tables.push(table);
     }
 
     match &plan.aggregate {
         Some(node) => {
             // Per-worker partial aggregation; coordinator merges in slice
             // order so first-seen group order matches the sequential fold.
-            let partials = parallel_scan(&base, ctx, |rows, _unit| {
+            let partials = parallel_scan(&base, ctx, "scan0", |rows, _unit| {
                 let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
                 let mut partial = PartialAgg::new();
                 accumulate(&joined, node, ctx, &mut partial)?;
                 Ok(partial)
             })?;
+            let timer = start_node(ctx, "aggregate", "aggregate".into());
             let mut merged = PartialAgg::new();
             for partial in partials {
                 merged.merge(partial)?;
             }
             let rows = finish_groups(merged, node);
+            if let Some(t) = timer {
+                t.close(rows.len() as u64, 0);
+            }
             let projected = project_rows(plan, ctx, &rows)?;
-            Ok(sort_and_limit(plan, projected))
+            Ok(finish_output(plan, ctx, projected))
         }
         None => {
             // Filter + projection run per slice; the coordinator only
             // concatenates, sorts (stable, post-merge), and limits.
-            let chunks = parallel_scan(&base, ctx, |rows, _unit| {
+            let chunks = parallel_scan(&base, ctx, "scan0", |rows, _unit| {
                 let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
                 project_rows(plan, ctx, &joined)
             })?;
             let projected: Vec<(Vec<Value>, Vec<Value>)> = chunks.into_iter().flatten().collect();
-            Ok(sort_and_limit(plan, projected))
+            Ok(finish_output(plan, ctx, projected))
         }
     }
 }
@@ -180,9 +255,13 @@ enum Unit {
 /// Morsel driver: workers claim units from an atomic cursor, map each unit's
 /// rows through `f`, and the results come back **in unit order** — the
 /// ordering contract every deterministic merge above relies on.
+///
+/// Traced queries open one `slice` span per claimed unit, folding the slice's
+/// scanned rows (and one claimed slice) into plan node `node`'s statistics.
 fn parallel_scan<R: Send>(
     slices: &TableSlices,
     ctx: &ExecContext,
+    node: &str,
     f: impl Fn(&[Vec<Value>], usize) -> SqResult<R> + Sync,
 ) -> SqResult<Vec<R>> {
     let dop = ctx.parallelism.degree;
@@ -225,7 +304,9 @@ fn parallel_scan<R: Send>(
                     return;
                 }
                 let out = (|| -> SqResult<R> {
-                    match units[i] {
+                    let timer = start_node(ctx, "slice", node.to_string());
+                    let scanned;
+                    let result = match units[i] {
                         Unit::Slice(s) => {
                             let TableSlices::Sliced(sl) = slices else {
                                 unreachable!("slice units imply sliced scan")
@@ -238,6 +319,7 @@ fn parallel_scan<R: Send>(
                             if let Some(c) = &ctx.rows_scanned {
                                 c.add(rows.len() as u64);
                             }
+                            scanned = rows.len() as u64;
                             f(&rows, i)
                         }
                         Unit::Range(a, b) => {
@@ -245,9 +327,15 @@ fn parallel_scan<R: Send>(
                             if let Some(c) = &ctx.rows_scanned {
                                 c.add(rows.len() as u64);
                             }
+                            scanned = rows.len() as u64;
                             f(rows, i)
                         }
+                    };
+                    if let Some(mut t) = timer {
+                        t.guard.label("unit", i);
+                        t.close(scanned, 1);
                     }
+                    result
                 })();
                 match out {
                     Ok(r) => results.lock()[i] = Some(r),
@@ -306,13 +394,14 @@ fn build_join_table(
     slices: &TableSlices,
     join: &JoinNode,
     ctx: &ExecContext,
+    scan_key: &str,
 ) -> SqResult<FrozenJoinTable> {
     let shard_count = (ctx.parallelism.degree * 4).next_power_of_two();
     let mask = shard_count as u64 - 1;
     let shards: Vec<BuildShard> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
-    parallel_scan(slices, ctx, |rows, unit| {
+    parallel_scan(slices, ctx, scan_key, |rows, unit| {
         // Bucket locally first so each shard lock is taken at most once per
         // unit.
         let mut local: Vec<Vec<BuildEntry>> = vec![Vec::new(); shard_count];
@@ -368,8 +457,14 @@ fn probe_and_filter(
         rows.to_vec()
     } else {
         let mut current = probe_step(rows, &join_tables[0], &plan.joins[0])?;
-        for (table, join) in join_tables[1..].iter().zip(&plan.joins[1..]) {
+        if let Some(t) = &ctx.trace {
+            t.add("join0", current.len() as u64, 0, 0);
+        }
+        for (i, (table, join)) in join_tables[1..].iter().zip(&plan.joins[1..]).enumerate() {
             current = probe_step(&current, table, join)?;
+            if let Some(t) = &ctx.trace {
+                t.add(&format!("join{}", i + 1), current.len() as u64, 0, 0);
+            }
         }
         current
     };
@@ -381,6 +476,9 @@ fn probe_and_filter(
             }
         }
         current = kept;
+        if let Some(t) = &ctx.trace {
+            t.add("filter", current.len() as u64, 0, 0);
+        }
     }
     Ok(current)
 }

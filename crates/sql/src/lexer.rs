@@ -90,6 +90,8 @@ impl fmt::Display for Token {
 // `total`. The parser recognizes them contextually (identifier followed by a
 // parenthesis).
 const KEYWORDS: &[&str] = &[
+    "EXPLAIN",
+    "ANALYZE",
     "SELECT",
     "FROM",
     "WHERE",

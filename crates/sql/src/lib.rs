@@ -24,12 +24,17 @@
 //! scans default to the latest committed snapshot id, resolved **once per
 //! query** so a multi-table join reads one consistent snapshot — the
 //! serializable-isolation path of the paper's §VII-B.
+//!
+//! `EXPLAIN <select>` renders the physical plan tree ([`explain`]);
+//! `EXPLAIN ANALYZE <select>` executes the query under a forced trace and
+//! annotates each node with measured rows, wall time, and claimed slices.
 
 pub mod ast;
 pub mod catalog;
 pub mod display;
 pub mod engine;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
@@ -37,8 +42,10 @@ pub mod plan;
 pub mod systables;
 pub mod tables;
 
-pub use catalog::{Catalog, ExecContext, ScanHints, ScanSlices, SsidMode, Table, TableSlices};
-pub use engine::{ResultSet, SqlEngine};
+pub use catalog::{
+    Catalog, ExecContext, ExecTrace, NodeStat, ScanHints, ScanSlices, SsidMode, Table, TableSlices,
+};
+pub use engine::{QueryLog, QueryLogEntry, ResultSet, SqlEngine};
 pub use squery_common::config::Parallelism;
 pub use systables::{SysRowProvider, SysTable};
 pub use tables::GridCatalog;

@@ -6,14 +6,30 @@ use squery_common::{SqError, SqResult, Value};
 
 /// Parse a single `SELECT` statement.
 pub fn parse(sql: &str) -> SqResult<Query> {
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(q),
+        Statement::Explain { .. } => Err(SqError::Parse(
+            "EXPLAIN is a statement, not a query; use the engine's query entry point".into(),
+        )),
+    }
+}
+
+/// Parse a top-level statement: `SELECT …` or `EXPLAIN [ANALYZE] SELECT …`.
+pub fn parse_statement(sql: &str) -> SqResult<Statement> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
+    let explain = p.eat_keyword("EXPLAIN");
+    let analyze = explain && p.eat_keyword("ANALYZE");
     let q = p.parse_query()?;
     p.eat_if(&Token::Semicolon);
     if let Some(tok) = p.peek() {
         return Err(SqError::Parse(format!("unexpected trailing token '{tok}'")));
     }
-    Ok(q)
+    Ok(if explain {
+        Statement::Explain { analyze, query: q }
+    } else {
+        Statement::Select(q)
+    })
 }
 
 struct Parser {

@@ -38,6 +38,16 @@ pub struct Grid {
 impl Grid {
     /// Build a grid for `config`. Replication starts if `backup_count > 0`.
     pub fn new(config: ClusterConfig) -> SqResult<Arc<Grid>> {
+        Grid::new_with_telemetry(config, MetricsRegistry::new())
+    }
+
+    /// Build a grid recording into a caller-provided telemetry registry
+    /// (how `SQueryConfig` controls the event-ring capacity and span
+    /// tracing: build the registry, then hand it to the grid).
+    pub fn new_with_telemetry(
+        config: ClusterConfig,
+        telemetry: MetricsRegistry,
+    ) -> SqResult<Arc<Grid>> {
         config.validate()?;
         let partitioner = Partitioner::new(config.partitions);
         let partition_table =
@@ -55,7 +65,7 @@ impl Grid {
             maps: RwLock::new(HashMap::new()),
             snapshots: RwLock::new(HashMap::new()),
             replicator,
-            telemetry: MetricsRegistry::new(),
+            telemetry,
             faults: RwLock::new(None),
         }))
     }

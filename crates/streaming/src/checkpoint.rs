@@ -23,6 +23,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use squery_common::fault::{backoff_with_jitter, FaultAction};
 use squery_common::telemetry::EventKind;
+use squery_common::trace::{SpanCollector, SpanGuard};
 use squery_common::{SnapshotId, SqError, SqResult};
 use squery_storage::{Grid, SnapshotStore};
 use std::sync::atomic::Ordering;
@@ -99,12 +100,55 @@ pub struct CoordinatorContext {
     pub retry_backoff: Duration,
 }
 
+/// RAII wrapper around a round's `checkpoint_round` root span. Publishes
+/// the root id as the collector's *current round* so worker threads can
+/// parent their marker-alignment spans under it, and clears the publication
+/// on every exit path (the root span itself files when the inner guard
+/// drops, after the clear). Inert when tracing is disabled.
+struct RoundSpan {
+    collector: SpanCollector,
+    guard: SpanGuard,
+}
+
+impl RoundSpan {
+    fn begin(collector: &SpanCollector, ssid: SnapshotId) -> RoundSpan {
+        let mut guard = collector.start("checkpoint_round");
+        guard.label("ssid", ssid.0);
+        collector.set_current_round(guard.id());
+        RoundSpan {
+            collector: collector.clone(),
+            guard,
+        }
+    }
+
+    /// A phase span nested under the round root (inert when the root is).
+    fn child(&self, kind: &'static str) -> SpanGuard {
+        match self.guard.id() {
+            Some(id) => self.collector.child(kind, id),
+            None => SpanGuard::inert(),
+        }
+    }
+}
+
+impl Drop for RoundSpan {
+    fn drop(&mut self) {
+        self.collector.set_current_round(None);
+    }
+}
+
 /// Funnel for *every* early exit of [`run_checkpoint`]: discard phase-1
 /// writes from all stores, release the registry id, count and log the
 /// abort. The registry abort is tolerant — a concurrent `crash()` may have
 /// already released the id — so an aborted round can never wedge the next
 /// `begin()`.
 fn abort_round(ctx: &CoordinatorContext, ssid: SnapshotId, reason: &str) -> SqError {
+    let spans = ctx.grid.telemetry().spans();
+    let mut abort_span = match spans.current_round() {
+        Some(root) => spans.child("checkpoint_abort", root),
+        None => spans.start("checkpoint_abort"),
+    };
+    abort_span.label("ssid", ssid.0);
+    abort_span.label("reason", reason);
     for store in &ctx.stores {
         store.discard(ssid);
     }
@@ -140,6 +184,8 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     let injector = ctx.grid.fault_injector();
     let t0 = ctx.shared.clock.now_micros();
     let ssid = registry.begin()?;
+    let round = RoundSpan::begin(telemetry.spans(), ssid);
+    let mut phase1_span = round.child("checkpoint_phase1");
     telemetry.event(EventKind::CheckpointBegin, None, Some(ssid.0), None, "");
     for ctl in &ctx.source_controls {
         // A dropped source control means the job is shutting down.
@@ -212,6 +258,9 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
         return Err(abort_round(ctx, ssid, &format!("{acked}/{expected} acks")));
     }
     let t1 = ctx.shared.clock.now_micros();
+    phase1_span.label("acks", acked);
+    drop(phase1_span);
+    let mut phase2_span = round.child("checkpoint_phase2");
     telemetry.event(
         EventKind::CheckpointPhase1,
         None,
@@ -245,6 +294,8 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     for store in &ctx.stores {
         store.prune_below(horizon);
     }
+    phase2_span.label("horizon", horizon.0);
+    drop(phase2_span);
     let t2 = ctx.shared.clock.now_micros();
     telemetry.event(
         EventKind::CheckpointCommitted,
@@ -303,6 +354,11 @@ pub fn run_checkpoint_with_retry(ctx: &CoordinatorContext) -> SqResult<SnapshotI
                     None,
                     format!("attempt {} failed: {e}", attempt + 1),
                 );
+                // The retry span covers the backoff wait before the next
+                // attempt (the attempt itself records its own round span).
+                let mut retry_span = telemetry.spans().start("checkpoint_retry");
+                retry_span.label("attempt", attempt + 1);
+                retry_span.label("error", &e);
                 let seed = ctx
                     .grid
                     .fault_injector()
@@ -314,6 +370,7 @@ pub fn run_checkpoint_with_retry(ctx: &CoordinatorContext) -> SqResult<SnapshotI
                     ctx.retry_backoff * 20,
                     seed ^ u64::from(attempt),
                 ));
+                drop(retry_span);
                 attempt += 1;
             }
         }
@@ -497,6 +554,103 @@ mod tests {
                 "checkpoint_committed"
             ]
         );
+    }
+
+    #[test]
+    fn traced_round_nests_phases_under_the_round_root() {
+        let (ctx, control_rxs, ack_tx) = context(1, 1);
+        ctx.grid.telemetry().spans().set_enabled(true);
+        let responder = std::thread::spawn(move || {
+            let SourceCommand::Marker(ssid) = control_rxs[0].recv().unwrap() else {
+                panic!("expected marker")
+            };
+            ack_tx.send(Ack { ssid }).unwrap();
+        });
+        run_checkpoint(&ctx).unwrap();
+        responder.join().unwrap();
+        let spans = ctx.grid.telemetry().spans().snapshot();
+        let root = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_round")
+            .expect("round root span");
+        assert_eq!(root.label("ssid"), Some("1"));
+        assert_eq!(root.parent, None);
+        let p1 = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_phase1")
+            .expect("phase1 span");
+        assert_eq!(p1.parent, Some(root.id));
+        assert_eq!(p1.label("acks"), Some("1"));
+        let p2 = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_phase2")
+            .expect("phase2 span");
+        assert_eq!(p2.parent, Some(root.id));
+        assert!(p2.start_us >= p1.end_us, "phases do not overlap");
+        // The round publication is cleared once the round is over.
+        assert_eq!(ctx.grid.telemetry().spans().current_round(), None);
+    }
+
+    #[test]
+    fn traced_abort_span_parents_under_the_failed_round() {
+        let (ctx, _control_rxs, ack_tx) = context(1, 1);
+        ctx.grid.telemetry().spans().set_enabled(true);
+        drop(ack_tx); // nobody will ack: the round times out and aborts
+        run_checkpoint(&ctx).unwrap_err();
+        let spans = ctx.grid.telemetry().spans().snapshot();
+        let root = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_round")
+            .expect("round root span");
+        let abort = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_abort")
+            .expect("abort span");
+        assert_eq!(abort.parent, Some(root.id));
+        assert_eq!(abort.label("reason"), Some("0/1 acks"));
+        assert_eq!(ctx.grid.telemetry().spans().current_round(), None);
+    }
+
+    #[test]
+    fn retried_round_records_a_retry_span() {
+        use squery_common::fault::{
+            FaultInjector, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint,
+        };
+        let (mut ctx, control_rxs, ack_tx) = context(1, 1);
+        ctx.retries = 2;
+        ctx.grid.telemetry().spans().set_enabled(true);
+        let plan = FaultPlan::new(7).with(FaultSpec {
+            point: InjectionPoint::Phase1Ack,
+            action: FaultAction::DropAck,
+            trigger: FaultTrigger::default(),
+            once: true,
+        });
+        ctx.grid
+            .attach_fault_injector(Arc::new(FaultInjector::new(plan)));
+        let responder = std::thread::spawn(move || {
+            while let Ok(cmd) = control_rxs[0].recv() {
+                if let SourceCommand::Marker(ssid) = cmd {
+                    let _ = ack_tx.send(Ack { ssid });
+                }
+            }
+        });
+        run_checkpoint_with_retry(&ctx).unwrap();
+        let spans = ctx.grid.telemetry().spans().snapshot();
+        let retry = spans
+            .iter()
+            .find(|s| s.kind == "checkpoint_retry")
+            .expect("retry span");
+        assert_eq!(retry.label("attempt"), Some("1"));
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.kind == "checkpoint_round")
+                .count(),
+            2,
+            "one aborted round, one committed round"
+        );
+        drop(ctx);
+        responder.join().unwrap();
     }
 
     #[test]

@@ -431,6 +431,10 @@ impl JobHandle {
             None,
             "rollback to latest committed snapshot",
         );
+        let mut span = self.grid.telemetry().spans().start("recovery");
+        span.label("job", &self.spec.name);
+        span.label("mode", "rollback");
+        span.label("ssid", latest.0);
         let (running, shared) = build_runtime(
             &self.spec,
             &self.grid,
@@ -471,6 +475,9 @@ impl JobHandle {
             None,
             "no committed snapshot; restart from initial state",
         );
+        let mut span = self.grid.telemetry().spans().start("recovery");
+        span.label("job", &self.spec.name);
+        span.label("mode", "restart");
         let (running, shared) = build_runtime(
             &self.spec,
             &self.grid,
@@ -648,6 +655,11 @@ impl SupervisedJob {
                         None,
                         failure.clone().unwrap_or_else(|| "job not running".into()),
                     );
+                    let mut restart_span = grid.telemetry().spans().start("supervisor_restart");
+                    restart_span.label("attempt", attempt + 1);
+                    if let Some(f) = &failure {
+                        restart_span.label("failure", f);
+                    }
                     std::thread::sleep(backoff_with_jitter(
                         policy.base_backoff,
                         attempt,
@@ -1137,6 +1149,31 @@ mod tests {
         let mut entries = live.entries();
         entries.sort();
         assert_eq!(entries, expected_sums(20_000, 10));
+        job.stop();
+    }
+
+    #[test]
+    fn recovery_records_a_span_when_tracing_enabled() {
+        let env = env(StateConfig::live_and_snapshot());
+        env.grid().telemetry().spans().set_enabled(true);
+        let mut job = env.submit(sum_job(500, 5, 2)).unwrap();
+        job.wait_for_sink_count(500, Duration::from_secs(20))
+            .unwrap();
+        job.drain_and_checkpoint(Duration::from_secs(20)).unwrap();
+        job.crash();
+        job.recover().unwrap();
+        let spans = env.grid().telemetry().spans().snapshot();
+        let rec = spans
+            .iter()
+            .find(|s| s.kind == "recovery")
+            .expect("recovery span");
+        assert_eq!(rec.label("mode"), Some("rollback"));
+        assert_eq!(rec.label("job"), Some("sum"));
+        assert_eq!(rec.label("ssid"), Some("1"));
+        // The traced checkpoint round also left its phase spans behind.
+        assert!(spans.iter().any(|s| s.kind == "checkpoint_round"));
+        assert!(spans.iter().any(|s| s.kind == "snapshot_write"));
+        assert!(spans.iter().any(|s| s.kind == "mirror_write"));
         job.stop();
     }
 

@@ -22,6 +22,7 @@ use bytes::{BufMut, BytesMut};
 use squery_common::codec;
 use squery_common::metrics::SharedHistogram;
 use squery_common::telemetry::{Counter, MetricsRegistry};
+use squery_common::trace::{SpanCollector, SpanGuard};
 use squery_common::{Partitioner, SnapshotId, SqError, SqResult, Value};
 use squery_storage::{IMap, SnapshotMode, SnapshotStore};
 use std::collections::{HashMap, HashSet};
@@ -36,6 +37,8 @@ struct BackendTelemetry {
     live_mirror_us: SharedHistogram,
     /// Wall time of one phase-1 snapshot write.
     snapshot_us: SharedHistogram,
+    /// The registry's span collector (`mirror_write` spans).
+    spans: SpanCollector,
 }
 
 /// The keyed-state view an operator programs against.
@@ -122,8 +125,22 @@ impl StateBackend {
             state_updates: registry.counter("state_updates_total", &labels),
             live_mirror_us: registry.histogram("state_live_mirror_us", &labels),
             snapshot_us: registry.histogram("state_snapshot_us", &labels),
+            spans: registry.spans().clone(),
         });
         self
+    }
+
+    /// A `mirror_write` span for one live write-through. Inert when the
+    /// backend has no telemetry or tracing is disabled.
+    fn mirror_span(&self) -> SpanGuard {
+        match &self.telemetry {
+            Some(t) => {
+                let mut g = t.spans.start("mirror_write");
+                g.label("operator", &self.name);
+                g
+            }
+            None => SpanGuard::inert(),
+        }
     }
 
     /// The operator name.
@@ -255,7 +272,9 @@ impl KeyedState for StateBackend {
     fn put(&mut self, key: Value, value: Value) {
         if let Some(live) = &self.live {
             let start = self.telemetry.as_ref().map(|_| Instant::now());
+            let span = self.mirror_span();
             live.put(key.clone(), value.clone());
+            drop(span);
             if let (Some(t), Some(s)) = (&self.telemetry, start) {
                 t.live_mirror_us.record(s.elapsed().as_micros() as u64);
             }
@@ -270,7 +289,9 @@ impl KeyedState for StateBackend {
     fn remove(&mut self, key: &Value) -> Option<Value> {
         if let Some(live) = &self.live {
             let start = self.telemetry.as_ref().map(|_| Instant::now());
+            let span = self.mirror_span();
             live.remove(key);
+            drop(span);
             if let (Some(t), Some(s)) = (&self.telemetry, start) {
                 t.live_mirror_us.record(s.elapsed().as_micros() as u64);
             }

@@ -21,6 +21,7 @@ use squery_common::fault::{FaultAction, FaultInjector};
 use squery_common::metrics::SharedHistogram;
 use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
 use squery_common::time::Clock;
+use squery_common::trace::SpanGuard;
 use squery_common::{Partitioner, SnapshotId, Value};
 use squery_storage::SnapshotStore;
 use std::collections::HashSet;
@@ -217,6 +218,17 @@ impl Shared {
     }
 }
 
+/// Start a span parented under the in-flight checkpoint round when the
+/// coordinator has published one (the round root lives on the coordinator
+/// thread), else a root span. Inert when tracing is disabled.
+fn span_under_round(shared: &Shared, kind: &'static str) -> SpanGuard {
+    let collector = shared.telemetry.spans();
+    match collector.current_round() {
+        Some(round) => collector.child(kind, round),
+        None => collector.start(kind),
+    }
+}
+
 /// Render a caught panic payload (the `&str`/`String` panics the engine and
 /// the injector raise; anything else gets a generic label).
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -397,6 +409,16 @@ fn source_loop(
             .source_count
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         tel.records_out.add(batch.len() as u64);
+        let mut batch_span = if batch.is_empty() {
+            SpanGuard::inert()
+        } else {
+            shared.telemetry.spans().start("batch")
+        };
+        if batch_span.is_active() {
+            batch_span.label("operator", &tel.operator);
+            batch_span.label("instance", my_instance);
+            batch_span.label("records", batch.len());
+        }
         for record in &batch {
             produced += 1;
             shared.worker_record_fault(&tel.operator, my_instance, produced);
@@ -404,6 +426,7 @@ fn source_loop(
                 return;
             }
         }
+        drop(batch_span);
         match status {
             SourceStatus::Exhausted => {
                 // Stay alive and keep serving checkpoints: Eos flows only on
@@ -476,6 +499,7 @@ fn operator_loop(
     let mut eos: HashSet<u32> = HashSet::new();
     let mut pending_marker: Option<SnapshotId> = None;
     let mut align_started: Option<Instant> = None;
+    let mut align_span: Option<SpanGuard> = None;
     let mut buffer: Vec<Record> = Vec::new();
     let mut out_buf: Vec<Record> = Vec::new();
     let mut received: u64 = 0;
@@ -532,6 +556,11 @@ fn operator_loop(
                 aligned.insert(tagged.from);
                 if pending_marker.is_none() {
                     align_started = Some(Instant::now());
+                    let mut span = span_under_round(shared, "marker_align");
+                    span.label("operator", &tel.operator);
+                    span.label("instance", my_instance);
+                    span.label("ssid", ssid.0);
+                    align_span = Some(span);
                 }
                 pending_marker = Some(ssid);
                 if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
@@ -542,7 +571,11 @@ fn operator_loop(
                     if let Some(s) = align_started.take() {
                         tel.aligned(ssid, s.elapsed().as_micros() as u64);
                     }
+                    drop(align_span.take());
                     if let OperatorKind::Stateful { state, .. } = &mut kind {
+                        let mut snap = span_under_round(shared, "snapshot_write");
+                        snap.label("operator", &tel.operator);
+                        snap.label("ssid", ssid.0);
                         if state.snapshot(ssid).is_err() {
                             break;
                         }
@@ -569,7 +602,11 @@ fn operator_loop(
                         if let Some(s) = align_started.take() {
                             tel.aligned(ssid, s.elapsed().as_micros() as u64);
                         }
+                        drop(align_span.take());
                         if let OperatorKind::Stateful { state, .. } = &mut kind {
+                            let mut snap = span_under_round(shared, "snapshot_write");
+                            snap.label("operator", &tel.operator);
+                            snap.label("ssid", ssid.0);
                             if state.snapshot(ssid).is_err() {
                                 break;
                             }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the full test suite, and the chaos soak.
-# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos]
+# Local CI gate: formatting, lints, the full test suite, the chaos soak,
+# and the trace-export smoke.
+# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos|trace]
 #   --fix         apply rustfmt instead of only checking
 #   --only STEP   run a single step (what the CI jobs call)
 set -euo pipefail
@@ -14,13 +15,13 @@ while [[ $# -gt 0 ]]; do
         --only)
             only="${2:-}"
             if [[ -z "$only" ]]; then
-                echo "--only requires an argument: fmt|clippy|test|chaos" >&2
+                echo "--only requires an argument: fmt|clippy|test|chaos|trace" >&2
                 exit 2
             fi
             shift 2
             ;;
         *)
-            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos])" >&2
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos|trace])" >&2
             exit 2
             ;;
     esac
@@ -54,14 +55,55 @@ run_chaos() {
         --seeds 100 --base-seed 1 --time-budget-secs 60
 }
 
+run_trace() {
+    # Trace-export smoke: run a traced fig13-style query round at dop 4,
+    # export the span log as Chrome trace-event JSON, and validate that the
+    # file parses and the checkpoint phase-1/phase-2 spans nest under their
+    # round's root span.
+    local out="${TRACE_JSON:-target/trace.json}"
+    echo "==> trace smoke (fig13 workload, dop 4, -> $out)"
+    mkdir -p "$(dirname "$out")"
+    cargo run --release -q -p squery-bench --bin paper-figures -- \
+        --quick --dop 4 --trace-json "$out"
+    python3 - "$out" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+events = json.load(open(path))["traceEvents"]
+assert events, "trace export is empty"
+for e in events:
+    for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+        assert field in e, f"event missing {field}: {e}"
+by_kind = {}
+for e in events:
+    by_kind.setdefault(e["name"], []).append(e)
+for kind in ("checkpoint_round", "checkpoint_phase1", "checkpoint_phase2", "query"):
+    assert by_kind.get(kind), f"no {kind} spans in the trace"
+rounds = by_kind["checkpoint_round"]
+for phase in by_kind["checkpoint_phase1"] + by_kind["checkpoint_phase2"]:
+    parents = [
+        r for r in rounds
+        if r["tid"] == phase["tid"]
+        and r["ts"] <= phase["ts"]
+        and phase["ts"] + phase["dur"] <= r["ts"] + r["dur"]
+    ]
+    assert parents, f"phase span does not nest under a round: {phase}"
+print(
+    f"trace OK: {len(events)} spans, {len(rounds)} checkpoint round(s), "
+    f"phases nested"
+)
+EOF
+}
+
 case "$only" in
     "") run_fmt; run_clippy; run_test ;;
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     chaos) run_chaos ;;
+    trace) run_trace ;;
     *)
-        echo "unknown step '$only' (known: fmt, clippy, test, chaos)" >&2
+        echo "unknown step '$only' (known: fmt, clippy, test, chaos, trace)" >&2
         exit 2
         ;;
 esac
