@@ -285,7 +285,12 @@ impl QueryLoad {
         self.stop.store(true, Ordering::Relaxed);
         let mut hist = Histogram::new();
         for h in self.handles {
-            hist.merge(&h.join().expect("query client"));
+            // A client thread that panicked contributes no samples; the run
+            // still reports whatever the surviving clients measured.
+            match h.join() {
+                Ok(client_hist) => hist.merge(&client_hist),
+                Err(_) => eprintln!("warning: query client thread panicked; samples dropped"),
+            }
         }
         let qps = self.count.load(Ordering::Relaxed) as f64 / elapsed;
         (qps, hist)

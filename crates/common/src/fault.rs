@@ -507,6 +507,7 @@ impl FaultInjector {
     /// took over (record-only — the loss itself is driven by the caller).
     pub fn on_node_loss(&self, node: u32, promoted: usize) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::FaultState);
         self.log.lock().push(FaultRecord {
             seq,
             at_us: self.started.elapsed().as_micros() as u64,
@@ -526,6 +527,7 @@ impl FaultInjector {
         point: InjectionPoint,
         matches: impl Fn(&FaultTrigger) -> bool,
     ) -> Option<FaultAction> {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::FaultState);
         let mut armed = self.armed.lock();
         for a in armed.iter_mut() {
             if a.spec.point != point || (a.spec.once && a.fired > 0) {
@@ -551,6 +553,7 @@ impl FaultInjector {
         detail: String,
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::FaultState);
         self.log.lock().push(FaultRecord {
             seq,
             at_us: self.started.elapsed().as_micros() as u64,
@@ -571,6 +574,7 @@ impl FaultInjector {
 
     /// Snapshot of every fired fault, in firing order.
     pub fn records(&self) -> Vec<FaultRecord> {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::FaultState);
         self.log.lock().clone()
     }
 
@@ -583,6 +587,7 @@ impl FaultInjector {
     /// checkpoint retry loop and the supervisor once recovery settles).
     /// Returns how many records were resolved.
     pub fn resolve_pending(&self, outcome: &str) -> usize {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::FaultState);
         let mut log = self.log.lock();
         let mut n = 0;
         for r in log.iter_mut() {

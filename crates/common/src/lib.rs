@@ -33,6 +33,12 @@
 //! * [`fault`] — deterministic, seeded fault injection: the [`fault::FaultPlan`]
 //!   / [`fault::FaultInjector`] the engine's injection points consult, plus the
 //!   hand-rolled [`fault::SplitMix64`] PRNG and jittered-backoff helper.
+//! * [`lockorder`] — the runtime lock-order validator: a thread-local stack of
+//!   held [`lockorder::LockClass`]es that panics (and records a violation) on
+//!   any acquisition contradicting the canonical order `squery-lint` proves
+//!   statically. Off by default; `SQUERY_LOCK_ORDER=1` arms it.
+//! * [`names`] — the registry of every metric, span, and event name the
+//!   engine may emit; `squery-lint` SQ003 keeps call sites honest against it.
 //! * [`error`] — the shared error type.
 
 pub mod codec;
@@ -40,7 +46,9 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod lockorder;
 pub mod metrics;
+pub mod names;
 pub mod partition;
 pub mod schema;
 pub mod telemetry;

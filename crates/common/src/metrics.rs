@@ -208,11 +208,13 @@ impl SharedHistogram {
 
     /// Record one value.
     pub fn record(&self, value: u64) {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::Histogram);
         self.inner.lock().record(value);
     }
 
     /// A snapshot copy of the current histogram.
     pub fn snapshot(&self) -> Histogram {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::Histogram);
         self.inner.lock().clone()
     }
 

@@ -1,0 +1,177 @@
+//! Central registry of every telemetry identifier the engine emits.
+//!
+//! `squery-lint` (check SQ003) rejects any metric, span, or event name used in
+//! non-test code that is not listed here, so `sys_metrics` / `sys_spans` /
+//! `sys_events` rows and the DESIGN.md documentation cannot silently drift
+//! from what the code actually records. Adding a new instrument is a
+//! two-line change: register the name below, then use it at the call site.
+//!
+//! All three tables are kept sorted and duplicate-free (enforced by unit
+//! tests) so the lint can binary-search them and diffs stay reviewable.
+
+/// Counter, gauge, and histogram names accepted by
+/// `MetricsRegistry::{counter,gauge,histogram}` and their `_value` readers.
+pub const METRIC_NAMES: &[&str] = &[
+    "checkpoint_phase1_us",
+    "checkpoint_retries_total",
+    "checkpoint_total_us",
+    "map_bytes",
+    "map_entries",
+    "map_lock_wait_us",
+    "map_read_us",
+    "map_reads_total",
+    "map_removes_total",
+    "map_write_us",
+    "map_writes_total",
+    "operator_align_stall_us",
+    "operator_records_in_total",
+    "operator_records_out_total",
+    "queries_total",
+    "query_errors_total",
+    "query_exec_us",
+    "query_parse_us",
+    "query_plan_us",
+    "query_rows_returned_total",
+    "query_rows_scanned_total",
+    "recovery_duration_us",
+    "snapshot_read_us",
+    "snapshot_reads_total",
+    "snapshot_scan_us",
+    "snapshot_scans_total",
+    "snapshot_write_us",
+    "snapshot_writes_total",
+    "sql_parallel_workers",
+    "sql_worker_scan_us",
+    "state_live_mirror_us",
+    "state_snapshot_us",
+    "state_updates_total",
+    "supervisor_restarts_total",
+    "worker_panics_total",
+];
+
+/// Span kinds accepted by `SpanCollector::{start,forced,child}` and the
+/// streaming layer's `span_under_round` / SQL executor's `start_node`.
+pub const SPAN_KINDS: &[&str] = &[
+    "aggregate",
+    "batch",
+    "checkpoint_abort",
+    "checkpoint_phase1",
+    "checkpoint_phase2",
+    "checkpoint_retry",
+    "checkpoint_round",
+    "filter",
+    "join",
+    "join_build",
+    "marker_align",
+    "mirror_write",
+    "query",
+    "recovery",
+    "scan",
+    "slice",
+    "snapshot_write",
+    "sort",
+    "supervisor_restart",
+];
+
+/// Event kinds surfaced through `sys_events`; must stay a superset of
+/// `EventKind::as_str` (enforced by a unit test).
+pub const EVENT_KINDS: &[&str] = &[
+    "alignment_stall",
+    "checkpoint_aborted",
+    "checkpoint_begin",
+    "checkpoint_committed",
+    "checkpoint_phase1",
+    "checkpoint_retried",
+    "fault_injected",
+    "job_stopped",
+    "job_submitted",
+    "lock_contention",
+    "query_finished",
+    "query_started",
+    "recovery",
+    "supervisor_gave_up",
+    "supervisor_restart",
+    "worker_panicked",
+    "worker_started",
+    "worker_stopped",
+];
+
+/// True if `name` is a registered metric name.
+pub fn is_metric(name: &str) -> bool {
+    METRIC_NAMES.binary_search(&name).is_ok()
+}
+
+/// True if `kind` is a registered span kind.
+pub fn is_span_kind(kind: &str) -> bool {
+    SPAN_KINDS.binary_search(&kind).is_ok()
+}
+
+/// True if `kind` is a registered event kind.
+pub fn is_event_kind(kind: &str) -> bool {
+    EVENT_KINDS.binary_search(&kind).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::EventKind;
+
+    fn assert_sorted_unique(table: &[&str], what: &str) {
+        for pair in table.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "{what} must be sorted and duplicate-free: {:?} >= {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn tables_are_sorted_and_unique() {
+        assert_sorted_unique(METRIC_NAMES, "METRIC_NAMES");
+        assert_sorted_unique(SPAN_KINDS, "SPAN_KINDS");
+        assert_sorted_unique(EVENT_KINDS, "EVENT_KINDS");
+    }
+
+    #[test]
+    fn every_event_kind_variant_is_registered() {
+        let variants = [
+            EventKind::CheckpointBegin,
+            EventKind::CheckpointPhase1,
+            EventKind::CheckpointCommitted,
+            EventKind::CheckpointAborted,
+            EventKind::WorkerStarted,
+            EventKind::WorkerStopped,
+            EventKind::JobSubmitted,
+            EventKind::JobStopped,
+            EventKind::Recovery,
+            EventKind::LockContention,
+            EventKind::AlignmentStall,
+            EventKind::QueryStarted,
+            EventKind::QueryFinished,
+            EventKind::FaultInjected,
+            EventKind::WorkerPanicked,
+            EventKind::CheckpointRetried,
+            EventKind::SupervisorRestart,
+            EventKind::SupervisorGaveUp,
+        ];
+        for v in variants {
+            assert!(
+                is_event_kind(v.as_str()),
+                "EventKind::{v:?} ({}) missing from EVENT_KINDS",
+                v.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn lookups_hit_and_miss() {
+        assert!(is_metric("map_reads_total"));
+        assert!(!is_metric("bogus_metric"));
+        assert!(is_span_kind("checkpoint_round"));
+        assert!(!is_span_kind("bogus_span"));
+        assert!(is_event_kind("recovery"));
+        assert!(!is_event_kind("bogus_event"));
+    }
+}

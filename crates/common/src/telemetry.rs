@@ -276,6 +276,7 @@ impl EventLog {
             duration_us,
             detail: detail.into(),
         };
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::EventRing);
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
@@ -286,6 +287,7 @@ impl EventLog {
 
     /// The retained events, oldest first (sequence-ordered).
     pub fn snapshot(&self) -> Vec<EngineEvent> {
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::EventRing);
         self.ring.lock().iter().cloned().collect()
     }
 
@@ -367,6 +369,7 @@ impl MetricsRegistry {
     /// Get or create the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::Telemetry);
         if let Some(c) = self.inner.counters.read().get(&key) {
             return c.clone();
         }
@@ -376,6 +379,7 @@ impl MetricsRegistry {
     /// Get or create the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = MetricKey::new(name, labels);
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::Telemetry);
         if let Some(g) = self.inner.gauges.read().get(&key) {
             return g.clone();
         }
@@ -386,6 +390,7 @@ impl MetricsRegistry {
     /// convention).
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> SharedHistogram {
         let key = MetricKey::new(name, labels);
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::Telemetry);
         if let Some(h) = self.inner.histograms.read().get(&key) {
             return h.clone();
         }

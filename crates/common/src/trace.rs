@@ -180,6 +180,7 @@ impl SpanCollector {
     pub fn snapshot(&self) -> Vec<Span> {
         let mut all = Vec::new();
         for shard in &self.inner.shards {
+            let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::SpanShard);
             all.extend(shard.lock().iter().cloned());
         }
         all.sort_by_key(|s| (s.start_us, s.id));
@@ -189,12 +190,14 @@ impl SpanCollector {
     /// Drop every retained span (the eviction counter is kept).
     pub fn clear(&self) {
         for shard in &self.inner.shards {
+            let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::SpanShard);
             shard.lock().clear();
         }
     }
 
     fn push(&self, span: Span) {
         let shard = &self.inner.shards[(span.id as usize) % SHARDS];
+        let _lo = crate::lockorder::acquired(crate::lockorder::LockClass::SpanShard);
         let mut ring = shard.lock();
         if ring.len() >= self.inner.shard_capacity {
             ring.pop_front();

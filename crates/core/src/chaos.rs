@@ -344,6 +344,7 @@ pub fn run_plan(cfg: &ChaosConfig, plan: FaultPlan) -> SqResult<ChaosReport> {
     invariants::check_live_matches_snapshot(grid, "count", latest)?;
     invariants::check_snapshot_monotonic(grid.telemetry())?;
     invariants::check_faults_resolved(&injector)?;
+    invariants::check_lock_order_clean()?;
 
     // The SQL surface must agree with the injector's own log.
     let sys_rows = system

@@ -16,6 +16,7 @@
 //!   premise that makes both query paths of Figure 1 interchangeable).
 
 use squery_common::fault::FaultInjector;
+use squery_common::lockorder;
 use squery_common::telemetry::{EventKind, MetricsRegistry};
 use squery_common::{SnapshotId, SqError, SqResult, Value};
 use squery_storage::Grid;
@@ -113,6 +114,27 @@ pub fn check_faults_resolved(injector: &FaultInjector) -> SqResult<()> {
         )));
     }
     Ok(())
+}
+
+/// The runtime lock-order tracker (armed via `SQUERY_LOCK_ORDER=1` or
+/// `lockorder::set_enabled(true)`) recorded no rank inversions. Drains the
+/// global violation list so each chaos seed is judged on its own
+/// acquisitions; violations that panicked inside a supervised worker (and
+/// were swallowed by its `catch_unwind`) still show up here.
+pub fn check_lock_order_clean() -> SqResult<()> {
+    let violations = lockorder::take_violations();
+    if violations.is_empty() {
+        return Ok(());
+    }
+    Err(SqError::Runtime(format!(
+        "lock-order tracker recorded {} violation(s): {}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    )))
 }
 
 /// First few rows present in exactly one of the two sorted sets.

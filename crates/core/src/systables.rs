@@ -21,6 +21,7 @@
 //! with the regular state tables.
 
 use parking_lot::Mutex;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::schema::{schema, Schema};
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::{DataType, Value};
@@ -212,6 +213,7 @@ fn sys_checkpoints_schema() -> Arc<Schema> {
 
 fn sys_checkpoints_rows(jobs: &JobLog) -> Vec<Vec<Value>> {
     let mut rows = Vec::new();
+    let _lo = lockorder::acquired(LockClass::CoreJobs);
     for (job, stats) in jobs.lock().iter() {
         for r in stats.records() {
             rows.push(vec![

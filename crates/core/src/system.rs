@@ -5,6 +5,7 @@ use crate::direct::DirectQuery;
 use crate::systables::{register_sys_tables, JobLog};
 use parking_lot::Mutex;
 use squery_common::fault::{FaultInjector, FaultPlan};
+use squery_common::lockorder::{self, LockClass};
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::time::Clock;
 use squery_common::{SnapshotId, SqResult};
@@ -85,6 +86,7 @@ impl SQuery {
     pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
         let name = spec.name.clone();
         let handle = self.env.submit(spec)?;
+        let _lo = lockorder::acquired(LockClass::CoreJobs);
         self.jobs.lock().push((name, handle.checkpoint_stats()));
         Ok(handle)
     }

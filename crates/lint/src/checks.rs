@@ -1,0 +1,422 @@
+//! The four analysis passes (SQ001–SQ004) over extracted file info.
+
+use crate::diag::{Code, Diagnostic};
+use crate::extract::{in_test_region, FileInfo, FunctionInfo, METRIC_NAME_FNS};
+use crate::scanner::Scanned;
+use squery_common::lockorder::LockClass;
+use squery_common::names;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+
+/// One file, fully scanned and extracted, ready for the checks.
+pub struct LintedFile {
+    pub path: PathBuf,
+    pub scanned: Scanned,
+    pub info: FileInfo,
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl LintedFile {
+    fn in_tests(&self, line: u32) -> bool {
+        in_test_region(&self.test_ranges, line)
+    }
+}
+
+/// Run every check over the file set.
+pub fn run_all(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(check_lock_order(files));
+    diags.extend(check_panic_hygiene(files));
+    diags.extend(check_telemetry_names(files));
+    diags.extend(check_unsafe_audit(files));
+    diags.sort_by(|a, b| {
+        (a.code, &a.file, a.line, &a.message).cmp(&(b.code, &b.file, b.line, &b.message))
+    });
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// SQ001: inter-procedural lock-order analysis
+// ---------------------------------------------------------------------------
+
+/// How a function comes to hold a lock class (for evidence paths).
+#[derive(Debug, Clone)]
+enum Reach {
+    Direct {
+        file: PathBuf,
+        line: u32,
+    },
+    Via {
+        callee: String,
+        line: u32,
+        file: PathBuf,
+    },
+}
+
+/// Evidence for one lock-order edge A→B.
+#[derive(Debug, Clone)]
+struct EdgeEvidence {
+    file: PathBuf,
+    function: String,
+    held_line: u32,
+    /// Steps from the held site to the acquisition of the target class.
+    path: String,
+}
+
+pub fn check_lock_order(files: &[LintedFile]) -> Vec<Diagnostic> {
+    // Non-test functions only: the lint's own tests (and the lock-order
+    // tracker's) deliberately interleave acquisitions.
+    let funcs: Vec<(&LintedFile, &FunctionInfo)> = files
+        .iter()
+        .flat_map(|f| {
+            f.info
+                .functions
+                .iter()
+                .filter(move |func| !f.in_tests(func.line))
+                .map(move |func| (f, func))
+        })
+        .collect();
+
+    // Function-name resolution: only unambiguous names propagate. Ubiquitous
+    // names (`new`, `snapshot`, `record`, …) are defined many times over the
+    // workspace; following all candidates would manufacture false cycles, so
+    // the analysis under-approximates to stay zero-false-positive.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, (_, func)) in funcs.iter().enumerate() {
+        by_name.entry(func.name.as_str()).or_default().push(idx);
+    }
+    let resolve = |name: &str| -> Option<usize> {
+        match by_name.get(name) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    };
+
+    // Fixpoint: classes each function may acquire, directly or transitively.
+    let mut reach: Vec<BTreeMap<LockClass, Reach>> = funcs
+        .iter()
+        .map(|(file, func)| {
+            let mut m = BTreeMap::new();
+            for (class, line) in &func.acquires {
+                m.entry(*class).or_insert(Reach::Direct {
+                    file: file.path.clone(),
+                    line: *line,
+                });
+            }
+            m
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..funcs.len() {
+            let (file, func) = &funcs[i];
+            for (callee, line) in &func.calls {
+                if let Some(j) = resolve(callee) {
+                    if i == j {
+                        continue;
+                    }
+                    let classes: Vec<LockClass> = reach[j].keys().copied().collect();
+                    for c in classes {
+                        if let std::collections::btree_map::Entry::Vacant(slot) = reach[i].entry(c)
+                        {
+                            slot.insert(Reach::Via {
+                                callee: callee.clone(),
+                                line: *line,
+                                file: file.path.clone(),
+                            });
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Render the step chain by which function `idx` reaches `class`.
+    let describe = |idx: usize, class: LockClass| -> String {
+        let mut out = String::new();
+        let mut cur = idx;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 32 {
+                out.push_str(" …");
+                break;
+            }
+            match reach[cur].get(&class) {
+                Some(Reach::Direct { file, line }) => {
+                    out.push_str(&format!(
+                        "acquires {} at {}:{}",
+                        class_name(class),
+                        file.display(),
+                        line
+                    ));
+                    break;
+                }
+                Some(Reach::Via { callee, line, file }) => {
+                    out.push_str(&format!(
+                        "calls {}() at {}:{} which ",
+                        callee,
+                        file.display(),
+                        line
+                    ));
+                    match resolve(callee) {
+                        Some(next) => cur = next,
+                        None => {
+                            out.push_str("(unresolved)");
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    out.push_str("(no path)");
+                    break;
+                }
+            }
+        }
+        out
+    };
+
+    // Edge set over classes, keeping the first evidence per ordered pair.
+    let mut edges: BTreeMap<(LockClass, LockClass), EdgeEvidence> = BTreeMap::new();
+    for (i, (file, func)) in funcs.iter().enumerate() {
+        for e in &func.edges {
+            edges
+                .entry((e.held, e.acquired))
+                .or_insert_with(|| EdgeEvidence {
+                    file: file.path.clone(),
+                    function: func.name.clone(),
+                    held_line: e.held_line,
+                    path: format!(
+                        "acquires {} at {}:{}",
+                        class_name(e.acquired),
+                        file.path.display(),
+                        e.acquired_line
+                    ),
+                });
+        }
+        for hc in &func.held_calls {
+            if let Some(j) = resolve(&hc.callee) {
+                if j == i {
+                    continue;
+                }
+                let classes: Vec<LockClass> = reach[j].keys().copied().collect();
+                for c in classes {
+                    if c == hc.held {
+                        continue;
+                    }
+                    edges.entry((hc.held, c)).or_insert_with(|| EdgeEvidence {
+                        file: file.path.clone(),
+                        function: func.name.clone(),
+                        held_line: hc.held_line,
+                        path: format!(
+                            "calls {}() at {}:{} which {}",
+                            hc.callee,
+                            file.path.display(),
+                            hc.call_line,
+                            describe(j, c)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the class graph; every cycle is a potential
+    // deadlock. Report each distinct cycle (by class set) once, with the
+    // evidence path for every edge on it.
+    let mut adj: BTreeMap<LockClass, Vec<LockClass>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(*a).or_default().push(*b);
+    }
+    let mut reported: BTreeSet<Vec<LockClass>> = BTreeSet::new();
+    let mut diags = Vec::new();
+    let nodes: Vec<LockClass> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![start];
+        let mut path = Vec::new();
+        find_cycles(start, &adj, &mut stack, &mut path, &mut |cycle| {
+            let mut key: Vec<LockClass> = cycle.to_vec();
+            key.sort();
+            key.dedup();
+            if !reported.insert(key) {
+                return;
+            }
+            let mut msg = format!(
+                "lock-order cycle ({}): potential deadlock",
+                cycle
+                    .iter()
+                    .map(|c| class_name(*c))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            );
+            let mut first_site: Option<(PathBuf, u32)> = None;
+            for w in cycle.windows(2) {
+                let ev = &edges[&(w[0], w[1])];
+                msg.push_str(&format!(
+                    "; path: fn {} ({}:{}) holds {} and {}",
+                    ev.function,
+                    ev.file.display(),
+                    ev.held_line,
+                    class_name(w[0]),
+                    ev.path
+                ));
+                if first_site.is_none() {
+                    first_site = Some((ev.file.clone(), ev.held_line));
+                }
+            }
+            let (file, line) = first_site.unwrap_or((PathBuf::from("<workspace>"), 0));
+            diags.push(Diagnostic {
+                code: Code::Sq001,
+                file,
+                line,
+                message: msg,
+            });
+        });
+        let _ = path;
+    }
+    diags
+}
+
+/// DFS cycle enumeration: explores simple paths from `stack[0]` and invokes
+/// `on_cycle` with `[a, …, a]` whenever the path returns to its origin.
+fn find_cycles(
+    node: LockClass,
+    adj: &BTreeMap<LockClass, Vec<LockClass>>,
+    stack: &mut Vec<LockClass>,
+    _path: &mut Vec<LockClass>,
+    on_cycle: &mut impl FnMut(&[LockClass]),
+) {
+    if let Some(nexts) = adj.get(&node) {
+        for &next in nexts {
+            if next == stack[0] {
+                let mut cycle = stack.clone();
+                cycle.push(next);
+                on_cycle(&cycle);
+            } else if !stack.contains(&next) {
+                stack.push(next);
+                find_cycles(next, adj, stack, _path, on_cycle);
+                stack.pop();
+            }
+        }
+    }
+}
+
+fn class_name(c: LockClass) -> &'static str {
+    c.name()
+}
+
+// ---------------------------------------------------------------------------
+// SQ002: panic-path hygiene
+// ---------------------------------------------------------------------------
+
+const ALLOW_PANIC: &str = "lint:allow(panic_on_poison)";
+
+pub fn check_panic_hygiene(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        for site in &f.info.panic_sites {
+            if f.in_tests(site.line) {
+                continue;
+            }
+            if f.scanned
+                .comments
+                .get(&site.line)
+                .is_some_and(|c| c.contains(ALLOW_PANIC))
+            {
+                continue;
+            }
+            diags.push(Diagnostic {
+                code: Code::Sq002,
+                file: f.path.clone(),
+                line: site.line,
+                message: format!(
+                    ".{}() on a .{}() result: a panic here originates outside the \
+                     catch_unwind recovery funnel; handle the error or annotate the \
+                     line with `// {}`",
+                    site.sink_method, site.source_method, ALLOW_PANIC
+                ),
+            });
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// SQ003: telemetry-name registry
+// ---------------------------------------------------------------------------
+
+pub fn check_telemetry_names(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        for site in &f.info.name_sites {
+            if f.in_tests(site.line) {
+                continue;
+            }
+            let (ok, table) = if METRIC_NAME_FNS.contains(&site.function.as_str()) {
+                (names::is_metric(&site.name), "METRIC_NAMES")
+            } else {
+                (names::is_span_kind(&site.name), "SPAN_KINDS")
+            };
+            if !ok {
+                diags.push(Diagnostic {
+                    code: Code::Sq003,
+                    file: f.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{} name \"{}\" (passed to {}()) is not registered in \
+                         crates/common/src/names.rs::{}",
+                        if table == "METRIC_NAMES" {
+                            "metric"
+                        } else {
+                            "span"
+                        },
+                        site.name,
+                        site.function,
+                        table
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// SQ004: unsafe audit
+// ---------------------------------------------------------------------------
+
+pub fn check_unsafe_audit(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        for site in &f.info.unsafe_sites {
+            let justified = (site.line.saturating_sub(3)..=site.line).any(|l| {
+                f.scanned
+                    .comments
+                    .get(&l)
+                    .is_some_and(|c| c.contains("SAFETY:"))
+            });
+            if !justified {
+                diags.push(Diagnostic {
+                    code: Code::Sq004,
+                    file: f.path.clone(),
+                    line: site.line,
+                    message: "`unsafe` without a `// SAFETY:` comment within the three \
+                              preceding lines"
+                        .into(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Relative path of `p` under `root`, for stable diagnostics.
+pub fn rel_path(root: &Path, p: &Path) -> PathBuf {
+    p.strip_prefix(root)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|_| p.to_path_buf())
+}

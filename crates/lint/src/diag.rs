@@ -1,0 +1,133 @@
+//! Diagnostics: stable codes, `file:line` rendering, and the `--json` form.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Stable diagnostic codes. Never renumber — scripts and suppression
+/// comments reference these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Lock-order cycle (potential deadlock).
+    Sq001,
+    /// `.unwrap()`/`.expect()` on a lock/channel/join result outside the
+    /// `// lint:allow(panic_on_poison)` allowlist.
+    Sq002,
+    /// Telemetry name not registered in `crates/common/src/names.rs`.
+    Sq003,
+    /// `unsafe` block without a `// SAFETY:` comment.
+    Sq004,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Sq001 => "SQ001",
+            Code::Sq002 => "SQ002",
+            Code::Sq003 => "SQ003",
+            Code::Sq004 => "SQ004",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub file: PathBuf,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.code,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Render findings as a JSON report (hand-rolled, like the telemetry JSON
+/// export — no serde in the workspace).
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"code\": ");
+        out.push_str(&json_str(d.code.as_str()));
+        out.push_str(", \"file\": ");
+        out.push_str(&json_str(&d.file.display().to_string()));
+        out.push_str(", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"message\": ");
+        out.push_str(&json_str(&d.message));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_code_file_line_message() {
+        let d = Diagnostic {
+            code: Code::Sq002,
+            file: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            message: "bad".into(),
+        };
+        assert_eq!(d.to_string(), "SQ002: crates/x/src/a.rs:7: bad");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let d = Diagnostic {
+            code: Code::Sq003,
+            file: PathBuf::from("a.rs"),
+            line: 1,
+            message: "name \"x\"\nnot registered".into(),
+        };
+        let j = render_json(&[d], 3);
+        assert!(j.contains("\\\"x\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+}

@@ -1,0 +1,235 @@
+//! `squery-lint`: from-scratch static analysis for the S-QUERY workspace.
+//!
+//! No external parser — a hand-rolled token scanner ([`scanner`]) feeds a
+//! per-file extraction pass ([`extract`]) that models guard lifetimes, and
+//! the checks ([`checks`]) run over the merged file set:
+//!
+//! - **SQ001** inter-procedural lock-order cycles (potential deadlocks)
+//! - **SQ002** `.unwrap()`/`.expect()` on lock/channel results outside the
+//!   `// lint:allow(panic_on_poison)` allowlist
+//! - **SQ003** telemetry names missing from `crates/common/src/names.rs`
+//! - **SQ004** `unsafe` without a `// SAFETY:` justification
+
+pub mod checks;
+pub mod diag;
+pub mod extract;
+pub mod scanner;
+
+pub use checks::LintedFile;
+pub use diag::{render_json, Code, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Scan + extract one source file. `path` is the path used in diagnostics
+/// (keep it workspace-relative for stable output).
+pub fn analyze_source(path: PathBuf, source: &str) -> LintedFile {
+    let basename = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let scanned = scanner::scan(source);
+    let test_ranges = extract::test_line_ranges(&scanned);
+    let info = extract::extract(&basename, &scanned);
+    LintedFile {
+        path,
+        scanned,
+        info,
+        test_ranges,
+    }
+}
+
+/// Lint an in-memory set of (path, source) pairs. Used by the fixture tests.
+pub fn lint_sources(sources: &[(PathBuf, String)]) -> Vec<Diagnostic> {
+    let files: Vec<LintedFile> = sources
+        .iter()
+        .map(|(p, s)| analyze_source(p.clone(), s))
+        .collect();
+    checks::run_all(&files)
+}
+
+/// Collect the workspace's own Rust sources under `root`: `src/` and every
+/// `crates/*/src/`. Vendored `third_party/` code and build output are
+/// deliberately out of scope.
+pub fn collect_rust_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let top = root.join("src");
+    if top.is_dir() {
+        walk(&top, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().map(|s| s.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("target") | Some("third_party")) {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Returns the findings and the
+/// number of files scanned.
+pub fn run_lint(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let paths = collect_rust_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let source = std::fs::read_to_string(p)?;
+        files.push(analyze_source(checks::rel_path(root, p), &source));
+    }
+    Ok((checks::run_all(&files), files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = r#"
+            pub fn get(&self) -> u32 {
+                let _lo = lockorder::acquired(LockClass::PartitionMap);
+                let g = self.map.read();
+                g.len() as u32
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("imap.rs"), src.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn unwrap_on_lock_is_flagged_and_allowlist_suppresses() {
+        let src = "pub fn f(rx: &Receiver<u32>) -> u32 { rx.recv().unwrap() }\n";
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Sq002);
+        assert_eq!(diags[0].line, 1);
+
+        let ok = "pub fn f(rx: &Receiver<u32>) -> u32 { rx.recv().unwrap() } // lint:allow(panic_on_poison)\n";
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), ok.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn intra_function_ab_ba_cycle_is_reported_once() {
+        let a = r#"
+            fn alpha(&self) {
+                let g1 = self.in_progress.lock();
+                let g2 = self.committed.lock();
+                drop(g2);
+                drop(g1);
+            }
+            fn beta(&self) {
+                let g2 = self.committed.lock();
+                let g1 = self.in_progress.lock();
+                drop(g1);
+                drop(g2);
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("registry.rs"), a.to_string())]);
+        let cycles: Vec<_> = diags.iter().filter(|d| d.code == Code::Sq001).collect();
+        assert_eq!(cycles.len(), 1, "want one cycle: {diags:?}");
+        assert!(cycles[0].message.contains("RegistryInProgress"));
+        assert!(cycles[0].message.contains("RegistryCommitted"));
+        // Both directions' evidence appears in the single report.
+        assert!(cycles[0].message.contains("fn alpha") || cycles[0].message.contains("fn beta"));
+    }
+
+    #[test]
+    fn interprocedural_cycle_is_reported() {
+        let a = r#"
+            fn commit_path(&self) {
+                let g = self.in_progress.lock();
+                self.note_commit();
+                drop(g);
+            }
+            fn note_commit(&self) {
+                let c = self.committed.lock();
+                c.push(1);
+            }
+            fn prune_path(&self) {
+                let c = self.committed.lock();
+                self.check_in_progress();
+                drop(c);
+            }
+            fn check_in_progress(&self) {
+                let g = self.in_progress.lock();
+                g.is_some();
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("registry.rs"), a.to_string())]);
+        let cycles: Vec<_> = diags.iter().filter(|d| d.code == Code::Sq001).collect();
+        assert_eq!(cycles.len(), 1, "want one cycle: {diags:?}");
+        assert!(cycles[0].message.contains("note_commit"));
+        assert!(cycles[0].message.contains("check_in_progress"));
+    }
+
+    #[test]
+    fn unregistered_metric_name_is_flagged() {
+        let src = r#"
+            fn f(reg: &Registry) {
+                reg.counter("definitely_not_registered", 1);
+                reg.counter("map_reads_total", 1);
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq003);
+        assert!(diags[0].message.contains("definitely_not_registered"));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), bad.to_string())]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Sq004);
+
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), good.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_sq002_and_sq003() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let (tx, rx) = channel();
+                    tx.send(1).unwrap();
+                    reg.counter("not_a_real_metric", 1);
+                    let _ = rx.recv().unwrap();
+                }
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

@@ -1,0 +1,72 @@
+//! `squery-lint` binary: scan the workspace's own Rust sources and report
+//! SQ001–SQ004 findings. Exit code 1 when anything is found, 2 on usage or
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: squery-lint [--root <dir>] [--json]\n\
+         \n\
+         Static analysis over the S-QUERY workspace sources (src/ and\n\
+         crates/*/src/; third_party/ and target/ are skipped):\n\
+         \n\
+           SQ001  lock-order cycles (potential deadlocks)\n\
+           SQ002  .unwrap()/.expect() on lock/channel results outside\n\
+                  the // lint:allow(panic_on_poison) allowlist\n\
+           SQ003  telemetry names missing from crates/common/src/names.rs\n\
+           SQ004  unsafe without a // SAFETY: comment\n\
+         \n\
+           --root <dir>  workspace root to scan (default: .)\n\
+           --json        machine-readable report on stdout"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--json" => json = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("squery-lint: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let (diags, files_scanned) = match squery_lint::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("squery-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", squery_lint::render_json(&diags, files_scanned));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "squery-lint: {} file(s) scanned, {} finding(s)",
+            files_scanned,
+            diags.len()
+        );
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

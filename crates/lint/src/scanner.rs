@@ -1,0 +1,408 @@
+//! Hand-rolled Rust token scanner.
+//!
+//! Same spirit as the SQL lexer in `squery-sql`: a character-level pass with
+//! no external parser dependencies. It produces the small token vocabulary
+//! the lint checks need — identifiers, string literals, punctuation — with
+//! line numbers, while correctly skipping comments (line, nested block),
+//! string/char literals, raw strings, and lifetimes. It is *not* a full Rust
+//! lexer: tokens the checks never look at (numbers, most operators) come out
+//! as `Punct` noise, which is fine because every check matches on identifier
+//! and bracket structure only.
+//!
+//! The scanner also returns the per-line comment text, because two checks
+//! read comments: `// SAFETY:` justifications (SQ004) and
+//! `// lint:allow(...)` suppressions (SQ002).
+
+use std::collections::HashMap;
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `unsafe`, names, …).
+    Ident(String),
+    /// String literal (contents, escapes left unresolved).
+    Str(String),
+    /// A single punctuation / operator character the checks care about.
+    Punct(char),
+    /// A numeric or char literal (value unused by any check).
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokenKind::Punct(p) if *p == c)
+    }
+
+    /// The string-literal contents, if this is a string token.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Scanner output: the token stream plus every comment, keyed by line.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    /// Comment text per 1-based line (concatenated if a line holds several).
+    pub comments: HashMap<u32, String>,
+}
+
+/// Tokenize `source`, recording comments on the side.
+pub fn scan(source: &str) -> Scanned {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let push_comment = |line: u32, text: &str, comments: &mut HashMap<u32, String>| {
+        let entry = comments.entry(line).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(text.trim());
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (including doc comments).
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                push_comment(line, &text, &mut out.comments);
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, nested per Rust rules.
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i.min(n)].iter().collect();
+                push_comment(start_line, &text, &mut out.comments);
+            }
+            '"' => {
+                let (lit, consumed, newlines) = scan_string(&bytes[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str(lit),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes[i..]) => {
+                let (lit, consumed, newlines, is_str) = scan_raw_or_byte(&bytes[i..]);
+                out.tokens.push(Token {
+                    kind: if is_str {
+                        TokenKind::Str(lit)
+                    } else {
+                        TokenKind::Literal
+                    },
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(&bytes[i..]) {
+                    i += 1;
+                    while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    // Lifetimes are noise to every check; no token emitted.
+                } else {
+                    let consumed = scan_char_literal(&bytes[i..]);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                    i += consumed;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.') {
+                    // Greedy number scan; `1.0e-3` minus the sign is enough —
+                    // a trailing `.` method call like `1.max(2)` ends the
+                    // number at the alphabetic char, which this loop eats.
+                    // That inaccuracy is harmless: checks never look inside
+                    // numeric context, and `.` after digits never starts a
+                    // lock-method chain.
+                    if bytes[i] == '.'
+                        && i + 1 < n
+                        && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            other => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a `"…"` string starting at `s[0] == '"'`.
+/// Returns (contents, chars consumed, newlines crossed).
+fn scan_string(s: &[char]) -> (String, usize, u32) {
+    let mut i = 1;
+    let mut newlines = 0;
+    let mut out = String::new();
+    while i < s.len() {
+        match s[i] {
+            '\\' if i + 1 < s.len() => {
+                out.push(s[i]);
+                out.push(s[i + 1]);
+                if s[i + 1] == '\n' {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1, newlines),
+            '\n' => {
+                newlines += 1;
+                out.push('\n');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i, newlines)
+}
+
+/// Does the slice start a raw string (`r"`, `r#"`), byte string (`b"`), or
+/// raw byte string (`br"`, `br#"`)?
+fn starts_raw_or_byte_string(s: &[char]) -> bool {
+    let mut i = 0;
+    if s[i] == 'b' {
+        i += 1;
+        if i < s.len() && s[i] == '\'' {
+            return true; // byte char literal b'x'
+        }
+    }
+    if i < s.len() && s[i] == 'r' {
+        i += 1;
+    }
+    while i < s.len() && s[i] == '#' {
+        i += 1;
+    }
+    i < s.len() && s[i] == '"' && (s[0] == 'r' || s[0] == 'b')
+}
+
+/// Scan a raw/byte string or byte-char literal. Returns
+/// (contents, consumed, newlines, was_string).
+fn scan_raw_or_byte(s: &[char]) -> (String, usize, u32, bool) {
+    let mut i = 0;
+    if s[i] == 'b' {
+        i += 1;
+        if i < s.len() && s[i] == '\'' {
+            let consumed = scan_char_literal(&s[i..]);
+            return (String::new(), i + consumed, 0, false);
+        }
+    }
+    let raw = i < s.len() && s[i] == 'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < s.len() && s[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < s.len() && s[i] == '"');
+    i += 1; // opening quote
+    let start = i;
+    let mut newlines = 0;
+    while i < s.len() {
+        if s[i] == '\n' {
+            newlines += 1;
+            i += 1;
+            continue;
+        }
+        if !raw && s[i] == '\\' && i + 1 < s.len() {
+            i += 2;
+            continue;
+        }
+        if s[i] == '"' {
+            // Need `hashes` trailing '#'s to close a raw string.
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < s.len() && s[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                let contents: String = s[start..i].iter().collect();
+                return (contents, j, newlines, true);
+            }
+        }
+        i += 1;
+    }
+    (s[start..].iter().collect(), s.len(), newlines, true)
+}
+
+/// Distinguish `'a` / `'static` (lifetime) from `'a'` / `'\n'` (char).
+fn is_lifetime(s: &[char]) -> bool {
+    // 'x' => char. '\…' => char. 'ident (no closing quote right after one
+    // ident char run) => lifetime.
+    if s.len() < 2 {
+        return false;
+    }
+    if s[1] == '\\' {
+        return false;
+    }
+    if !(s[1].is_alphabetic() || s[1] == '_') {
+        return false; // e.g. '1' is a char literal
+    }
+    // Find the end of the ident run; a closing quote right after makes it a
+    // char literal ('a'), anything else a lifetime ('a, 'static>).
+    let mut i = 2;
+    while i < s.len() && (s[i].is_alphanumeric() || s[i] == '_') {
+        i += 1;
+    }
+    !(i < s.len() && s[i] == '\'' && i == 2)
+}
+
+/// Consume a char literal starting at `'`; returns chars consumed.
+fn scan_char_literal(s: &[char]) -> usize {
+    let mut i = 1;
+    if i < s.len() && s[i] == '\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    while i < s.len() && s[i] != '\'' {
+        i += 1; // tolerate things like '\u{1F600}'
+    }
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let s = scan("let x = 1; // lint:allow(panic_on_poison)\n/* block */ fn f() {}");
+        assert!(s.comments[&1].contains("lint:allow(panic_on_poison)"));
+        assert!(s.comments[&2].contains("block"));
+        assert!(s.tokens.iter().all(|t| t.ident() != Some("block")));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let s = scan(r#"let a = "fn bogus() { .lock() }"; let c = 'x'; let l: &'static str = b;"#);
+        let ids =
+            idents(r#"let a = "fn bogus() { .lock() }"; let c = 'x'; let l: &'static str = b;"#);
+        assert!(!ids.contains(&"bogus".to_string()));
+        assert!(!ids.contains(&"static".to_string()), "{ids:?}");
+        assert_eq!(s.tokens.iter().filter_map(|t| t.str_lit()).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_scan() {
+        let s = scan(r##"let a = r#"has "quotes" inside"#; let b = 2;"##);
+        let lit = s.tokens.iter().find_map(|t| t.str_lit()).unwrap();
+        assert_eq!(lit, r#"has "quotes" inside"#);
+        assert!(s.tokens.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* outer /* inner */ still comment */ fn real() {}");
+        assert_eq!(ids, vec!["fn", "real"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let s = scan("let a = \"one\ntwo\";\nfn f() {}");
+        let f = s.tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        // 'a lifetime swallowed, 'a' char literal swallowed; no stray ident.
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "let", "c"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixture tests: `fixtures/good/*.rs` must produce zero findings;
+//! `fixtures/bad/*.rs` must match their `.golden` files line-for-line.
+//!
+//! Regenerate goldens with `UPDATE_GOLDEN=1 cargo test -p squery-lint`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn fixture_sources(kind: &str) -> Vec<(PathBuf, String)> {
+    let dir = fixture_dir(kind);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let src = fs::read_to_string(&p).unwrap();
+            // Diagnostics carry `bad/<name>.rs`-style paths so goldens are
+            // machine-independent.
+            let rel = PathBuf::from(kind).join(p.file_name().unwrap());
+            (rel, src)
+        })
+        .collect()
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for (path, src) in fixture_sources("good") {
+        let diags = squery_lint::lint_sources(&[(path.clone(), src)]);
+        assert!(
+            diags.is_empty(),
+            "{} should be clean, got:\n{}",
+            path.display(),
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_match_golden() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    for (path, src) in fixture_sources("bad") {
+        let diags = squery_lint::lint_sources(&[(path.clone(), src)]);
+        assert!(
+            !diags.is_empty(),
+            "{} should produce findings",
+            path.display()
+        );
+        let mut rendered = diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        rendered.push('\n');
+        let golden_path = fixture_dir("bad").join(
+            path.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .replace(".rs", ".golden"),
+        );
+        if update {
+            fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let want = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run UPDATE_GOLDEN=1 cargo test -p squery-lint",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            want,
+            "{} diverged from its golden; run UPDATE_GOLDEN=1 to regenerate",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn cycle_fixture_reports_both_paths() {
+    let sources = fixture_sources("bad");
+    let cycle = sources
+        .iter()
+        .find(|(p, _)| p.ends_with("lock_cycle.rs"))
+        .expect("lock_cycle.rs fixture");
+    let diags = squery_lint::lint_sources(std::slice::from_ref(cycle));
+    let sq001: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == squery_lint::Code::Sq001)
+        .collect();
+    assert_eq!(sq001.len(), 1, "want exactly one cycle: {diags:?}");
+    let msg = &sq001[0].message;
+    assert!(msg.contains("RegistryInProgress"), "msg: {msg}");
+    assert!(msg.contains("RegistryCommitted"), "msg: {msg}");
+    // Both directions' evidence is present: the in_progress-first path and
+    // the committed-first path.
+    assert!(msg.contains("note_commit"), "msg: {msg}");
+    assert!(msg.contains("check_in_progress"), "msg: {msg}");
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let sources = fixture_sources("bad");
+    let diags = squery_lint::lint_sources(&sources);
+    let json = squery_lint::render_json(&diags, sources.len());
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"files_scanned\": 4"));
+    for code in ["SQ001", "SQ002", "SQ003", "SQ004"] {
+        assert!(json.contains(code), "missing {code} in {json}");
+    }
+}

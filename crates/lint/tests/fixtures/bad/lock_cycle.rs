@@ -1,0 +1,33 @@
+// SQ001 fixture: a two-path inter-procedural lock-order cycle between
+// RegistryInProgress (`in_progress`) and RegistryCommitted (`committed`).
+// `commit_path` nests committed inside in_progress via `note_commit`;
+// `prune_path` nests in_progress inside committed via `check_in_progress`.
+
+pub struct Registry {
+    in_progress: Mutex<Option<u64>>,
+    committed: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn commit_path(&self) {
+        let guard = self.in_progress.lock();
+        self.note_commit();
+        drop(guard);
+    }
+
+    fn note_commit(&self) {
+        let mut committed = self.committed.lock();
+        committed.push(1);
+    }
+
+    pub fn prune_path(&self) {
+        let committed = self.committed.lock();
+        self.check_in_progress();
+        drop(committed);
+    }
+
+    fn check_in_progress(&self) {
+        let guard = self.in_progress.lock();
+        let _ = guard.is_some();
+    }
+}

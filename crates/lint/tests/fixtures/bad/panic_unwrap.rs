@@ -1,0 +1,14 @@
+// SQ002 fixture: `.unwrap()`/`.expect()` on lock/channel results with no
+// `// lint:allow(panic_on_poison)` annotation.
+
+pub fn drain(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}
+
+pub fn forward(tx: &Sender<u64>, v: u64) {
+    tx.send(v).expect("peer hung up");
+}
+
+pub fn collect(handle: JoinHandle<u64>) -> u64 {
+    handle.join().unwrap()
+}

@@ -1,0 +1,7 @@
+// SQ003 fixture: telemetry names that are not in crates/common/src/names.rs.
+
+pub fn report(reg: &Registry) {
+    reg.counter("totally_made_up_total", 1);
+    reg.gauge("map_bytes", 7); // registered -- no finding
+    let _span = reg.spans().start("unregistered_span_kind");
+}

@@ -1,0 +1,5 @@
+// SQ004 fixture: an unjustified unsafe block.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

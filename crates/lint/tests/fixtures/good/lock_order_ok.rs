@@ -1,0 +1,35 @@
+// Clean fixture: consistent lock nesting (in_progress before committed on
+// every path), block-scoped guards, and early `drop()` release.
+
+pub struct Registry {
+    in_progress: Mutex<Option<u64>>,
+    committed: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn commit_path(&self) {
+        let guard = self.in_progress.lock();
+        self.note_commit();
+        drop(guard);
+    }
+
+    fn note_commit(&self) {
+        let mut committed = self.committed.lock();
+        committed.push(1);
+    }
+
+    pub fn prune_path(&self) {
+        // The committed guard dies with this block before in_progress is
+        // taken below, so there is no committed -> in_progress edge.
+        {
+            let committed = self.committed.lock();
+            let _ = committed.len();
+        }
+        self.check_in_progress();
+    }
+
+    fn check_in_progress(&self) {
+        let guard = self.in_progress.lock();
+        let _ = guard.is_some();
+    }
+}

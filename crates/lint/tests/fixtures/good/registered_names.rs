@@ -1,0 +1,9 @@
+// Clean fixture: every telemetry name is registered in
+// crates/common/src/names.rs.
+
+pub fn report(reg: &Registry) {
+    reg.counter("map_reads_total", 1);
+    reg.gauge("map_bytes", 7);
+    reg.histogram("query_exec_us", 42);
+    let _span = reg.spans().start("query");
+}

@@ -1,0 +1,6 @@
+// Clean fixture: `unsafe` justified by a `// SAFETY:` comment.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live &u8.
+    unsafe { *p }
+}

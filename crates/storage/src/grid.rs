@@ -14,6 +14,7 @@ use crate::snapshot::SnapshotStore;
 use parking_lot::RwLock;
 use squery_common::config::ClusterConfig;
 use squery_common::fault::FaultInjector;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::telemetry::MetricsRegistry;
 use squery_common::{NodeId, Partitioner, SqError, SqResult, Value};
 use std::collections::HashMap;
@@ -109,11 +110,13 @@ impl Grid {
         if let Some(r) = &self.replicator {
             r.set_fault_injector(Arc::clone(&injector));
         }
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         *self.faults.write() = Some(injector);
     }
 
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         self.faults.read().clone()
     }
 
@@ -127,6 +130,7 @@ impl Grid {
     ///
     /// Creation wires the replication listener when backups are enabled.
     pub fn map(&self, name: &str) -> Arc<IMap> {
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         if let Some(m) = self.maps.read().get(name) {
             return Arc::clone(m);
         }
@@ -162,12 +166,14 @@ impl Grid {
 
     /// The live-state map named `name`, if it exists.
     pub fn get_map(&self, name: &str) -> Option<Arc<IMap>> {
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         self.maps.read().get(name).cloned()
     }
 
     /// Get-or-create the snapshot store for operator `operator_name`
     /// (its table name becomes `snapshot_<operator_name>`).
     pub fn snapshot_store(&self, operator_name: &str) -> Arc<SnapshotStore> {
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         if let Some(s) = self.snapshots.read().get(operator_name) {
             return Arc::clone(s);
         }
@@ -183,6 +189,7 @@ impl Grid {
 
     /// The snapshot store for operator `operator_name`, if it exists.
     pub fn get_snapshot_store(&self, operator_name: &str) -> Option<Arc<SnapshotStore>> {
+        let _lo = lockorder::acquired(LockClass::GridCatalog);
         self.snapshots.read().get(operator_name).cloned()
     }
 

@@ -15,6 +15,7 @@
 use crate::locks::LockStripes;
 use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::{Counter, EventKind, Gauge, MetricsRegistry};
@@ -161,7 +162,10 @@ impl IMap {
         let start = tel.as_ref().map(|_| Instant::now());
         let part = &self.parts[self.partition_of(key).0 as usize];
         let (_k, wait_us) = part.locks.lock_timed(key);
-        let out = part.map.read().get(key).cloned();
+        let out = {
+            let _mo = lockorder::acquired(LockClass::PartitionMap);
+            part.map.read().get(key).cloned()
+        };
         if let (Some(t), Some(s)) = (tel.as_ref(), start) {
             t.reads.inc();
             t.read_us.record(s.elapsed().as_micros() as u64);
@@ -178,7 +182,10 @@ impl IMap {
         let part = &self.parts[pid.0 as usize];
         let (_k, wait_us) = part.locks.lock_timed(&key);
         let delta_new = (encoded_len(&key) + encoded_len(&value)) as i64;
-        let old = part.map.write().insert(key.clone(), value.clone());
+        let old = {
+            let _mo = lockorder::acquired(LockClass::PartitionMap);
+            part.map.write().insert(key.clone(), value.clone())
+        };
         let delta_old = old
             .as_ref()
             .map(|o| (encoded_len(&key) + encoded_len(o)) as i64)
@@ -194,7 +201,11 @@ impl IMap {
             }
             t.bytes.add(delta_new - delta_old);
         }
-        if let Some(listener) = self.write_listener.read().clone() {
+        let listener = {
+            let _lo = lockorder::acquired(LockClass::MapMeta);
+            self.write_listener.read().clone()
+        };
+        if let Some(listener) = listener {
             listener(pid, &key, Some(&value));
         }
         old
@@ -207,7 +218,10 @@ impl IMap {
         let pid = self.partition_of(key);
         let part = &self.parts[pid.0 as usize];
         let (_k, wait_us) = part.locks.lock_timed(key);
-        let old = part.map.write().remove(key);
+        let old = {
+            let _mo = lockorder::acquired(LockClass::PartitionMap);
+            part.map.write().remove(key)
+        };
         let mut removed_bytes = 0i64;
         if let Some(old_v) = &old {
             removed_bytes = (encoded_len(key) + encoded_len(old_v)) as i64;
@@ -223,7 +237,11 @@ impl IMap {
             }
         }
         if old.is_some() {
-            if let Some(listener) = self.write_listener.read().clone() {
+            let listener = {
+                let _lo = lockorder::acquired(LockClass::MapMeta);
+                self.write_listener.read().clone()
+            };
+            if let Some(listener) = listener {
                 listener(pid, key, None);
             }
         }
@@ -274,6 +292,7 @@ impl IMap {
     pub fn entries(&self) -> Vec<(Value, Value)> {
         let mut out = Vec::with_capacity(self.len());
         for p in &self.parts {
+            let _mo = lockorder::acquired(LockClass::PartitionMap);
             let guard = p.map.read();
             out.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
         }
@@ -282,6 +301,7 @@ impl IMap {
 
     /// Snapshot copy of one partition's entries.
     pub fn entries_in_partition(&self, pid: PartitionId) -> Vec<(Value, Value)> {
+        let _mo = lockorder::acquired(LockClass::PartitionMap);
         let guard = self.parts[pid.0 as usize].map.read();
         guard.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
     }
@@ -289,6 +309,7 @@ impl IMap {
     /// Visit every entry without materializing (still per-partition locked).
     pub fn for_each(&self, mut f: impl FnMut(&Value, &Value)) {
         for p in &self.parts {
+            let _mo = lockorder::acquired(LockClass::PartitionMap);
             let guard = p.map.read();
             for (k, v) in guard.iter() {
                 f(k, v);
@@ -301,6 +322,7 @@ impl IMap {
     /// partition's read lock, so workers on distinct partitions never
     /// contend.
     pub fn for_each_in_partition(&self, pid: PartitionId, mut f: impl FnMut(&Value, &Value)) {
+        let _mo = lockorder::acquired(LockClass::PartitionMap);
         let guard = self.parts[pid.0 as usize].map.read();
         for (k, v) in guard.iter() {
             f(k, v);

@@ -9,11 +9,24 @@
 //! lock, never of the data), which preserves correctness.
 
 use parking_lot::{Mutex, MutexGuard};
+use squery_common::lockorder::{self, LockClass, LockOrderGuard};
 use squery_common::partition::hash_key;
 use squery_common::Value;
 
 /// Number of stripes per [`LockStripes`] pool. Power of two for cheap masking.
 pub const STRIPES_PER_POOL: usize = 64;
+
+/// Guard for one key stripe; the key's lock is held until this drops.
+///
+/// Carries the runtime lock-order tracking entry so the stripe counts as
+/// held (class [`LockClass::KeyStripe`]) for exactly the guard's lifetime.
+#[must_use = "the stripe unlocks immediately if the guard is dropped"]
+pub struct StripeGuard<'a> {
+    // Field order is drop order: release the stripe before retiring its
+    // lock-order entry, so the tracker never under-reports what is held.
+    _guard: MutexGuard<'a, ()>,
+    _order: LockOrderGuard,
+}
 
 /// A pool of striped key-level locks.
 pub struct LockStripes {
@@ -54,8 +67,12 @@ impl LockStripes {
     /// §VII-B: held across one read or one write, not across a whole query
     /// (that would be the repeatable-read design the paper rejects for its
     /// performance cost).
-    pub fn lock(&self, key: &Value) -> MutexGuard<'_, ()> {
-        self.stripes[self.stripe_of(key)].lock()
+    pub fn lock(&self, key: &Value) -> StripeGuard<'_> {
+        let order = lockorder::acquired(LockClass::KeyStripe);
+        StripeGuard {
+            _guard: self.stripes[self.stripe_of(key)].lock(),
+            _order: order,
+        }
     }
 
     /// Acquire the key's lock and report how long the acquisition waited.
@@ -64,19 +81,38 @@ impl LockStripes {
     /// without consulting the clock; only a contended acquisition pays for
     /// two `Instant` reads. Telemetry feeds the `*_lock_wait_us` histograms
     /// and, above a threshold, `lock_contention` engine events.
-    pub fn lock_timed(&self, key: &Value) -> (MutexGuard<'_, ()>, u64) {
+    pub fn lock_timed(&self, key: &Value) -> (StripeGuard<'_>, u64) {
+        let order = lockorder::acquired(LockClass::KeyStripe);
         let stripe = &self.stripes[self.stripe_of(key)];
         if let Some(guard) = stripe.try_lock() {
-            return (guard, 0);
+            return (
+                StripeGuard {
+                    _guard: guard,
+                    _order: order,
+                },
+                0,
+            );
         }
         let start = std::time::Instant::now();
         let guard = stripe.lock();
-        (guard, start.elapsed().as_micros() as u64)
+        (
+            StripeGuard {
+                _guard: guard,
+                _order: order,
+            },
+            start.elapsed().as_micros() as u64,
+        )
     }
 
     /// Try to acquire without blocking.
-    pub fn try_lock(&self, key: &Value) -> Option<MutexGuard<'_, ()>> {
-        self.stripes[self.stripe_of(key)].try_lock()
+    pub fn try_lock(&self, key: &Value) -> Option<StripeGuard<'_>> {
+        let order = lockorder::acquired(LockClass::KeyStripe);
+        self.stripes[self.stripe_of(key)]
+            .try_lock()
+            .map(|guard| StripeGuard {
+                _guard: guard,
+                _order: order,
+            })
     }
 
     /// Whether two keys would contend on the same stripe.

@@ -13,6 +13,7 @@
 //! yields the prune horizon the stores should fold up to.
 
 use parking_lot::Mutex;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::{SnapshotId, SqError, SqResult};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,11 +66,13 @@ impl SnapshotRegistry {
 
     /// The snapshot id currently being written (phase 1 underway), if any.
     pub fn in_progress(&self) -> Option<SnapshotId> {
+        let _lo = lockorder::acquired(LockClass::RegistryInProgress);
         *self.in_progress.lock()
     }
 
     /// All currently retained committed ids, oldest first.
     pub fn committed_ssids(&self) -> Vec<SnapshotId> {
+        let _lo = lockorder::acquired(LockClass::RegistryCommitted);
         self.committed.lock().iter().copied().collect()
     }
 
@@ -82,6 +85,7 @@ impl SnapshotRegistry {
     /// query could resolve different ids. This method is the race-free read
     /// every query should start from.
     pub fn query_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
+        let _lo = lockorder::acquired(LockClass::RegistryCommitted);
         let committed = self.committed.lock();
         (
             committed.back().copied(),
@@ -93,6 +97,7 @@ impl SnapshotRegistry {
     /// progress. Fails if another checkpoint is already in flight (the
     /// coordinator serializes checkpoints, like Jet).
     pub fn begin(&self) -> SqResult<SnapshotId> {
+        let _lo = lockorder::acquired(LockClass::RegistryInProgress);
         let mut in_progress = self.in_progress.lock();
         if let Some(cur) = *in_progress {
             return Err(SqError::Storage(format!(
@@ -110,6 +115,7 @@ impl SnapshotRegistry {
     /// caller applies to every snapshot store (`prune_below`). Fails if
     /// `ssid` is not the in-progress checkpoint.
     pub fn commit(&self, ssid: SnapshotId) -> SqResult<SnapshotId> {
+        let _lo = lockorder::acquired(LockClass::RegistryInProgress);
         let mut in_progress = self.in_progress.lock();
         if *in_progress != Some(ssid) {
             return Err(SqError::Storage(format!(
@@ -117,6 +123,8 @@ impl SnapshotRegistry {
             )));
         }
         *in_progress = None;
+        // Canonical order: `committed` nests inside `in_progress` (§9).
+        let _co = lockorder::acquired(LockClass::RegistryCommitted);
         let mut committed = self.committed.lock();
         committed.push_back(ssid);
         let retain = self.retained_versions();
@@ -133,6 +141,7 @@ impl SnapshotRegistry {
     /// Abort the in-progress checkpoint (coordinator decided to give up;
     /// callers must also `discard` the stores' phase-1 writes).
     pub fn abort(&self, ssid: SnapshotId) -> SqResult<()> {
+        let _lo = lockorder::acquired(LockClass::RegistryInProgress);
         let mut in_progress = self.in_progress.lock();
         if *in_progress != Some(ssid) {
             return Err(SqError::Storage(format!(
@@ -155,6 +164,7 @@ impl SnapshotRegistry {
                 Ok(latest)
             }
             Some(ssid) => {
+                let _lo = lockorder::acquired(LockClass::RegistryCommitted);
                 if self.committed.lock().contains(&ssid) {
                     Ok(ssid)
                 } else {

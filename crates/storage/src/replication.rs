@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
 use squery_common::config::NetworkConfig;
 use squery_common::fault::{FaultAction, FaultInjector};
+use squery_common::lockorder::{self, LockClass};
 use squery_common::{PartitionId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,7 +87,10 @@ impl Replicator {
                         };
                         std::thread::sleep(network.transfer_delay(bytes));
                     }
-                    let injector = worker_faults.read().clone();
+                    let injector = {
+                        let _lo = lockorder::acquired(LockClass::Replication);
+                        worker_faults.read().clone()
+                    };
                     if let Some(injector) = injector {
                         let pid = match &op {
                             ReplOp::Put { pid, .. } | ReplOp::Remove { pid, .. } => pid.0,
@@ -99,6 +103,7 @@ impl Replicator {
                             std::thread::sleep(Duration::from_micros(micros));
                         }
                     }
+                    let _lo = lockorder::acquired(LockClass::Replication);
                     let mut guard = worker_backups.write();
                     match op {
                         ReplOp::Put {
@@ -132,6 +137,7 @@ impl Replicator {
     /// Attach a fault injector; subsequent backup writes consult it for
     /// `DelayReplication` faults.
     pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        let _lo = lockorder::acquired(LockClass::Replication);
         *self.faults.write() = Some(injector);
     }
 

@@ -20,6 +20,7 @@
 
 use parking_lot::RwLock;
 use squery_common::codec::encoded_len;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::{Counter, MetricsRegistry};
@@ -164,6 +165,7 @@ impl SnapshotStore {
             bytes += entry_bytes(&k, v.as_ref());
             map.insert(k, v);
         }
+        let _lo = lockorder::acquired(LockClass::SnapshotPartition);
         let mut part = self.parts[pid.0 as usize].write();
         if let Some(old) = part
             .versions
@@ -182,6 +184,7 @@ impl SnapshotStore {
     /// Erase an aborted checkpoint attempt everywhere.
     pub fn discard(&self, ssid: SnapshotId) {
         for part in &self.parts {
+            let _lo = lockorder::acquired(LockClass::SnapshotPartition);
             let mut guard = part.write();
             if let Some(old) = guard.versions.remove(&ssid.0) {
                 self.approx_bytes
@@ -200,6 +203,7 @@ impl SnapshotStore {
         let tel = self.telemetry();
         let start = tel.as_ref().map(|_| Instant::now());
         let out = (|| {
+            let _lo = lockorder::acquired(LockClass::SnapshotPartition);
             let part = self.parts[self.partition_of(key).0 as usize].read();
             for (_, vm) in part.versions.range(..=ssid.0).rev() {
                 if let Some(v) = vm.entries.get(key) {
@@ -232,6 +236,7 @@ impl SnapshotStore {
         let mut out = Vec::new();
         let mut maps_consulted = 0usize;
         for part in &self.parts {
+            let _lo = lockorder::acquired(LockClass::SnapshotPartition);
             let guard = part.read();
             let mut seen: HashMap<&Value, ()> = HashMap::new();
             for (_, vm) in guard.versions.range(..=ssid.0).rev() {

@@ -22,6 +22,7 @@ use crate::worker::{Ack, Shared, SourceCommand};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use squery_common::fault::{backoff_with_jitter, FaultAction};
+use squery_common::lockorder::{self, LockClass};
 use squery_common::telemetry::EventKind;
 use squery_common::trace::{SpanCollector, SpanGuard};
 use squery_common::{SnapshotId, SqError, SqResult};
@@ -58,20 +59,25 @@ impl CheckpointStats {
     }
 
     fn push(&self, record: CheckpointRecord) {
+        let _lo = lockorder::acquired(LockClass::CheckpointStats);
         self.records.lock().push(record);
     }
 
     fn count_abort(&self) {
+        let _lo = lockorder::acquired(LockClass::CheckpointStats);
+        let _lo = lockorder::acquired(LockClass::CheckpointStats);
         *self.aborted.lock() += 1;
     }
 
     /// All committed checkpoint timings so far.
     pub fn records(&self) -> Vec<CheckpointRecord> {
+        let _lo = lockorder::acquired(LockClass::CheckpointStats);
         self.records.lock().clone()
     }
 
     /// Number of aborted checkpoint attempts.
     pub fn aborted(&self) -> u64 {
+        let _lo = lockorder::acquired(LockClass::CheckpointStats);
         *self.aborted.lock()
     }
 }

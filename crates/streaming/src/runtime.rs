@@ -23,6 +23,7 @@ use crate::worker::{
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use squery_common::fault::backoff_with_jitter;
+use squery_common::lockorder::{self, LockClass};
 use squery_common::metrics::{Histogram, SharedHistogram};
 use squery_common::telemetry::EventKind;
 use squery_common::time::Clock;
@@ -615,15 +616,20 @@ impl SupervisedJob {
                 while !monitor_stop.load(Ordering::Acquire) {
                     std::thread::sleep(policy.poll_interval);
                     let (needs, failure) = {
+                        let _lo = lockorder::acquired(LockClass::SupervisorJob);
                         let j = monitor_job.lock();
                         (j.needs_recovery(), j.worker_failure())
                     };
                     if !needs {
                         continue;
                     }
-                    let attempt = monitor_status.lock().restarts;
+                    let attempt = {
+                        let _lo = lockorder::acquired(LockClass::SupervisorStatus);
+                        monitor_status.lock().restarts
+                    };
                     if attempt >= policy.max_restarts {
                         {
+                            let _lo = lockorder::acquired(LockClass::SupervisorStatus);
                             let mut st = monitor_status.lock();
                             st.gave_up = true;
                             if st.last_error.is_none() {
@@ -639,7 +645,10 @@ impl SupervisedJob {
                         );
                         // Take the job fully down (joins every remaining
                         // worker) before resolving its faults.
-                        monitor_job.lock().crash();
+                        {
+                            let _lo = lockorder::acquired(LockClass::SupervisorJob);
+                            monitor_job.lock().crash();
+                        }
                         if let Some(injector) = grid.fault_injector() {
                             injector.resolve_pending("gave_up");
                         }
@@ -671,6 +680,7 @@ impl SupervisedJob {
                     }
                     let began = Instant::now();
                     let result = {
+                        let _lo = lockorder::acquired(LockClass::SupervisorJob);
                         let mut j = monitor_job.lock();
                         j.crash();
                         // Between crash() (old workers joined) and the
@@ -684,6 +694,7 @@ impl SupervisedJob {
                         j.recover_or_restart()
                     };
                     {
+                        let _lo = lockorder::acquired(LockClass::SupervisorStatus);
                         let mut st = monitor_status.lock();
                         st.restarts += 1;
                         match &result {
@@ -713,11 +724,13 @@ impl SupervisedJob {
     /// Held only briefly by the monitor except while a recovery is actually
     /// in flight — queries don't come through here.
     pub fn with_job<R>(&self, f: impl FnOnce(&mut JobHandle) -> R) -> R {
+        let _lo = lockorder::acquired(LockClass::SupervisorJob);
         f(&mut self.job.lock())
     }
 
     /// Supervisor bookkeeping so far.
     pub fn status(&self) -> SupervisorStatus {
+        let _lo = lockorder::acquired(LockClass::SupervisorStatus);
         self.status.lock().clone()
     }
 
@@ -728,6 +741,10 @@ impl SupervisedJob {
 
     /// Whether the job is currently running and needs no attention.
     pub fn is_healthy(&self) -> bool {
+        // Canonical order: status before job (§9); both guards are
+        // statement temporaries, so they overlap for the `&&`.
+        let _so = lockorder::acquired(LockClass::SupervisorStatus);
+        let _jo = lockorder::acquired(LockClass::SupervisorJob);
         !self.status.lock().gave_up && !self.job.lock().needs_recovery()
     }
 
@@ -736,7 +753,11 @@ impl SupervisedJob {
     pub fn wait_healthy(&self, timeout: Duration) -> SqResult<()> {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.status.lock().gave_up {
+            let gave_up = {
+                let _lo = lockorder::acquired(LockClass::SupervisorStatus);
+                self.status.lock().gave_up
+            };
+            if gave_up {
                 return Err(SqError::Runtime("supervisor gave up".into()));
             }
             if self.is_healthy() {
@@ -761,6 +782,7 @@ impl SupervisedJob {
     /// Stop supervision and the job; return the final report.
     pub fn stop(mut self) -> JobReport {
         self.halt_monitor();
+        let _lo = lockorder::acquired(LockClass::SupervisorJob);
         self.job.lock().stop_in_place()
     }
 }

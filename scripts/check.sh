@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the full test suite, the chaos soak,
-# and the trace-export smoke.
-# Usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos|trace]
+# Local CI gate: formatting, lints, static analysis, the full test suite,
+# the chaos soak, and the trace-export smoke.
+# Usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace]
 #   --fix         apply rustfmt instead of only checking
 #   --only STEP   run a single step (what the CI jobs call)
 set -euo pipefail
@@ -15,13 +15,13 @@ while [[ $# -gt 0 ]]; do
         --only)
             only="${2:-}"
             if [[ -z "$only" ]]; then
-                echo "--only requires an argument: fmt|clippy|test|chaos|trace" >&2
+                echo "--only requires an argument: fmt|clippy|lint|test|chaos|trace" >&2
                 exit 2
             fi
             shift 2
             ;;
         *)
-            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|test|chaos|trace])" >&2
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace])" >&2
             exit 2
             ;;
     esac
@@ -42,6 +42,14 @@ run_clippy() {
     cargo clippy --workspace --all-targets -- -D warnings
 }
 
+run_lint() {
+    # squery-lint: the workspace's own static analysis (SQ001 lock-order
+    # cycles, SQ002 panic hygiene, SQ003 telemetry-name registry, SQ004
+    # unsafe audit). Gate is zero findings.
+    echo "==> squery-lint"
+    cargo run --release -q -p squery-lint --bin squery-lint -- --root .
+}
+
 run_test() {
     echo "==> cargo test --workspace -q"
     cargo test --workspace -q
@@ -51,7 +59,9 @@ run_chaos() {
     # Fixed seed range inside a fixed time budget: a deterministic soak of
     # the fault-injection + supervised-recovery path (~60 s ceiling).
     echo "==> chaos soak (100 seeds, 60 s budget)"
-    cargo run --release -q -p squery-bench --bin chaos -- \
+    # SQUERY_LOCK_ORDER=1 arms the runtime lock-order tracker (DESIGN.md
+    # §9): any rank inversion fails the seed via check_lock_order_clean.
+    SQUERY_LOCK_ORDER=1 cargo run --release -q -p squery-bench --bin chaos -- \
         --seeds 100 --base-seed 1 --time-budget-secs 60
 }
 
@@ -96,14 +106,15 @@ EOF
 }
 
 case "$only" in
-    "") run_fmt; run_clippy; run_test ;;
+    "") run_fmt; run_clippy; run_lint; run_test ;;
     fmt) run_fmt ;;
     clippy) run_clippy ;;
+    lint) run_lint ;;
     test) run_test ;;
     chaos) run_chaos ;;
     trace) run_trace ;;
     *)
-        echo "unknown step '$only' (known: fmt, clippy, test, chaos, trace)" >&2
+        echo "unknown step '$only' (known: fmt, clippy, lint, test, chaos, trace)" >&2
         exit 2
         ;;
 esac
