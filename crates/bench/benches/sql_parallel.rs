@@ -10,11 +10,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use squery::{SQuery, SQueryConfig, StateConfig};
 use squery_qcommerce::events::{order_info_event, order_status_event};
 use squery_qcommerce::QUERY_1;
+use std::time::Duration;
 
 /// An S-QUERY system whose orderinfo/orderstate snapshot state is populated
 /// for `orders` keys (written directly, no job, for bench setup speed).
 fn populated_system(orders: u64) -> SQuery {
     let config = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    populated_system_with(orders, config)
+}
+
+fn populated_system_with(orders: u64, config: SQueryConfig) -> SQuery {
     let system = SQuery::new(config).unwrap();
     let grid = system.grid();
     let info_store = grid.snapshot_store("orderinfo");
@@ -74,5 +79,41 @@ fn snapshot_scan_dop_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, query1_dop_sweep, snapshot_scan_dop_sweep);
+/// The stats-subsystem overhead gate: Query 1 at DOP 4 with the background
+/// sampler armed and sampling every 10 ms vs fully off. Write-path
+/// accounting is always on; arming additionally routes every live write
+/// through the recent-key ring. The acceptance shape is the armed number
+/// within ~2% of the off number — compare the two criterion ids.
+fn stats_sampler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_parallel_stats_overhead_100k");
+    group.sample_size(10);
+    let base = SQueryConfig::default().with_state(StateConfig::live_and_snapshot());
+    for (label, interval) in [
+        ("sampler-off", None),
+        ("sampler-on-10ms", Some(Duration::from_millis(10))),
+    ] {
+        let system = populated_system_with(100_000, base.with_stats_interval(interval));
+        // Live writes on the side so the armed run exercises the ring.
+        let map = system.grid().map("orderinfo");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                map.put(
+                    squery_common::Value::Int((i % 1024) as i64),
+                    squery_common::Value::Int(i as i64),
+                );
+                i += 1;
+                system.query_with_dop(QUERY_1, 4).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    query1_dop_sweep,
+    snapshot_scan_dop_sweep,
+    stats_sampler_overhead
+);
 criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Continuous state-statistics smoke/watch driver. Wired into CI as
+//! `scripts/check.sh --only stats`.
+//!
+//! `--smoke` populates a skewed key distribution, runs sampling passes, and
+//! asserts the statistics pipeline end to end: per-partition accounting
+//! matches real scan counts at DOP 1 and 4, the planted hot key surfaces in
+//! `sys_hot_keys`, `EXPLAIN` carries catalog row estimates, and the JSON
+//! dump is well-formed. `--watch` prints the stats catalog for a few
+//! sampling rounds instead of asserting.
+//!
+//! ```text
+//! cargo run -p squery-bench --release --bin stats-watch -- --smoke
+//! cargo run -p squery-bench --release --bin stats-watch -- --smoke --json target/stats.json
+//! cargo run -p squery-bench --release --bin stats-watch -- --watch --rounds 5
+//! ```
+
+use squery::{SQuery, SQueryConfig, StateConfig};
+use squery_common::Value;
+use std::time::Duration;
+
+/// A system with a `orders` live map holding a skewed population: every
+/// 10th write hits key 0, the rest spread over `keys` distinct keys.
+fn skewed_system(writes: u64, keys: u64) -> SQuery {
+    let config = SQueryConfig::default()
+        .with_state(StateConfig::live_and_snapshot())
+        .with_stats_interval(Some(Duration::from_millis(20)))
+        .with_stats_hot_keys(16);
+    let system = SQuery::new(config).unwrap();
+    let map = system.grid().map("orders");
+    for i in 0..writes {
+        let key = if i % 10 == 0 { 0 } else { 1 + i % keys };
+        map.put(Value::Int(key as i64), Value::Int(i as i64));
+    }
+    system
+}
+
+fn count_rows(system: &SQuery, sql: &str, dop: usize) -> i64 {
+    system
+        .query_with_dop(sql, dop)
+        .unwrap()
+        .scalar("n")
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+fn smoke(json_path: Option<&str>) -> Result<(), String> {
+    let system = skewed_system(50_000, 1_000);
+    system.sample_stats_now();
+    // Hot-key evidence flows through the armed ring, so write again now
+    // that the sampler armed the maps, then sample once more.
+    let map = system.grid().map("orders");
+    for i in 0..50_000u64 {
+        let key = if i % 10 == 0 { 0 } else { 1 + i % 1_000 };
+        map.put(Value::Int(key as i64), Value::Int(i as i64));
+        if i % 2_048 == 0 {
+            // Keep the ring from overflowing between passes.
+            system.sample_stats_now();
+        }
+    }
+    system.sample_stats_now();
+
+    // 1. sys_partitions row totals equal real scan counts at DOP 1 and 4.
+    let direct = count_rows(&system, "SELECT COUNT(*) AS n FROM orders", 1);
+    for dop in [1usize, 4] {
+        let accounted = count_rows(
+            &system,
+            "SELECT SUM(rows) AS n FROM sys_partitions WHERE table = 'orders'",
+            dop,
+        );
+        if accounted != direct {
+            return Err(format!(
+                "sys_partitions rows {accounted} != scan count {direct} at dop {dop}"
+            ));
+        }
+    }
+
+    // 2. The planted hot key (10% of the stream) tops sys_hot_keys.
+    let rs = system
+        .query("SELECT key FROM sys_hot_keys WHERE table = 'orders' ORDER BY count DESC LIMIT 1")
+        .unwrap();
+    let hottest = rs.rows()[0][0].to_string();
+    if hottest != "0" {
+        return Err(format!("planted hot key not found (hottest = {hottest})"));
+    }
+
+    // 3. EXPLAIN carries a catalog row estimate on the scan node.
+    let rs = system.query("EXPLAIN SELECT this FROM orders").unwrap();
+    let explain = rs
+        .rows()
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if !explain.contains("[est_rows=") {
+        return Err(format!("EXPLAIN output lacks est_rows:\n{explain}"));
+    }
+
+    // 4. sys_state_stats reflects samples and a sane distinct estimate.
+    //    The skewed stream hits exactly `direct` distinct keys; the HLL
+    //    must land within 5% of that.
+    let rs = system
+        .query("SELECT distinct_keys, samples FROM sys_state_stats WHERE table = 'orders'")
+        .unwrap();
+    let distinct = rs.rows()[0][0].as_int().unwrap();
+    let samples = rs.rows()[0][1].as_int().unwrap();
+    if samples < 2 {
+        return Err(format!("expected >=2 samples, saw {samples}"));
+    }
+    let tolerance = direct / 20;
+    if (distinct - direct).abs() > tolerance {
+        return Err(format!(
+            "distinct-key estimate {distinct} outside {direct} ± 5%"
+        ));
+    }
+
+    // 5. The JSON dump is non-empty and structurally sound.
+    let json = system.stats().dump_json();
+    if !json.starts_with("{\"samples_total\":") || !json.contains("\"table\":\"orders\"") {
+        return Err(format!("malformed stats JSON: {json}"));
+    }
+    if let Some(path) = json_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        println!("stats JSON written to {path}");
+    }
+
+    println!(
+        "stats smoke OK: {direct} rows accounted, hot key 0 found, \
+         distinct ≈ {distinct}, {samples} samples"
+    );
+    Ok(())
+}
+
+fn watch(rounds: u64) {
+    let system = skewed_system(10_000, 100);
+    for round in 1..=rounds {
+        std::thread::sleep(Duration::from_millis(50));
+        system.sample_stats_now();
+        println!("--- round {round} ---");
+        for t in system.stats().snapshot() {
+            println!(
+                "{}: rows={} bytes={} writes={} distinct={} skew={:.2} hot_keys={}",
+                t.table,
+                t.rows,
+                t.bytes,
+                t.writes,
+                t.distinct_keys,
+                t.skew,
+                t.hot_keys.len()
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut mode = "";
+    let mut json_path: Option<String> = None;
+    let mut rounds = 3u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => mode = "smoke",
+            "--watch" => mode = "watch",
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--rounds" => {
+                rounds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--rounds requires a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: stats-watch --smoke [--json PATH] | --watch [--rounds N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    match mode {
+        "smoke" => {
+            if let Err(e) = smoke(json_path.as_deref()) {
+                eprintln!("stats smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        "watch" => watch(rounds),
+        _ => {
+            eprintln!("usage: stats-watch --smoke [--json PATH] | --watch [--rounds N]");
+            std::process::exit(2);
+        }
+    }
+}

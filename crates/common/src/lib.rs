@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod names;
 pub mod partition;
 pub mod schema;
+pub mod sketch;
 pub mod telemetry;
 pub mod time;
 pub mod trace;

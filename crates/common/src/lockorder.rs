@@ -55,6 +55,12 @@ pub enum LockClass {
     PartitionMap,
     /// `IMap` metadata (value schema, write listener, telemetry hook).
     MapMeta,
+    /// `IMap` recent-key ring feeding the heavy-hitter sketch; pushed to
+    /// from the write path while the key stripe is still held.
+    StatsRing,
+    /// Per-table sketch state (`StateStats.tables`) — HLL, SpaceSaving,
+    /// and rate baselines, taken by the sampler and catalog readers.
+    SketchState,
     /// Checkpoint coordinator statistics.
     CheckpointStats,
     /// Metrics registry instrument maps (counters/gauges/histograms).
@@ -85,12 +91,14 @@ impl LockClass {
             LockClass::KeyStripe => 9,
             LockClass::PartitionMap => 10,
             LockClass::MapMeta => 11,
-            LockClass::CheckpointStats => 12,
-            LockClass::Telemetry => 13,
-            LockClass::EventRing => 14,
-            LockClass::SpanShard => 15,
-            LockClass::Histogram => 16,
-            LockClass::FaultState => 17,
+            LockClass::StatsRing => 12,
+            LockClass::SketchState => 13,
+            LockClass::CheckpointStats => 14,
+            LockClass::Telemetry => 15,
+            LockClass::EventRing => 16,
+            LockClass::SpanShard => 17,
+            LockClass::Histogram => 18,
+            LockClass::FaultState => 19,
         }
     }
 
@@ -108,6 +116,8 @@ impl LockClass {
             LockClass::KeyStripe => "KeyStripe",
             LockClass::PartitionMap => "PartitionMap",
             LockClass::MapMeta => "MapMeta",
+            LockClass::StatsRing => "StatsRing",
+            LockClass::SketchState => "SketchState",
             LockClass::CheckpointStats => "CheckpointStats",
             LockClass::Telemetry => "Telemetry",
             LockClass::EventRing => "EventRing",

@@ -45,6 +45,13 @@ pub const METRIC_NAMES: &[&str] = &[
     "state_live_mirror_us",
     "state_snapshot_us",
     "state_updates_total",
+    "stats_distinct_keys",
+    "stats_hot_key_count",
+    "stats_remove_rate_milli",
+    "stats_sample_us",
+    "stats_samples_total",
+    "stats_skew_milli",
+    "stats_write_rate_milli",
     "supervisor_restarts_total",
     "worker_panics_total",
 ];
@@ -70,6 +77,7 @@ pub const SPAN_KINDS: &[&str] = &[
     "slice",
     "snapshot_write",
     "sort",
+    "stats_sample",
     "supervisor_restart",
 ];
 

@@ -1,0 +1,315 @@
+//! Key-distribution sketches for the state-statistics subsystem.
+//!
+//! Two small, dependency-free streaming sketches drive the stats catalog
+//! (`sys_state_stats` / `sys_hot_keys`):
+//!
+//! * [`Hll`] — an HLL-style distinct-count estimator over key hashes. With
+//!   the default 2^12 registers its standard error is ≈1.6%, comfortably
+//!   inside the 5% the tests demand at 100k keys.
+//! * [`SpaceSaving`] — the Metwally et al. top-k heavy-hitter summary: at
+//!   most `capacity` monitored keys, evicting the minimum counter. Any key
+//!   whose true frequency exceeds `total / capacity` is guaranteed to be
+//!   monitored, so a 10%-frequency hot key is always found with the
+//!   default capacity.
+//!
+//! Both consume hashes from [`key_hash`], the engine's stable FNV-1a key
+//! hash passed through a splitmix64 finalizer — FNV alone is too regular on
+//! sequential integer keys for register-indexed sketches.
+//!
+//! The sketches themselves are plain (non-thread-safe) structs; the stats
+//! catalog serializes access behind its `SketchState` lock class.
+
+use crate::partition::hash_key;
+use crate::value::Value;
+
+/// Register-count exponent: 2^12 = 4096 registers (≈1.6% standard error).
+const HLL_PRECISION: u32 = 12;
+
+/// Default number of monitored heavy-hitter keys.
+pub const DEFAULT_TOP_K: usize = 32;
+
+/// A stable, well-mixed 64-bit hash of a key value.
+///
+/// FNV-1a (shared with the partitioner, stable across runs) followed by the
+/// splitmix64 finalizer for avalanche.
+pub fn key_hash(key: &Value) -> u64 {
+    let mut z = hash_key(key).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An HLL-style distinct-count estimator.
+#[derive(Clone)]
+pub struct Hll {
+    registers: Vec<u8>,
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Hll::new()
+    }
+}
+
+impl Hll {
+    /// An empty estimator with 2^12 registers.
+    pub fn new() -> Hll {
+        Hll {
+            registers: vec![0u8; 1 << HLL_PRECISION],
+        }
+    }
+
+    /// Observe one key.
+    pub fn offer(&mut self, key: &Value) {
+        self.offer_hash(key_hash(key));
+    }
+
+    /// Observe one pre-computed [`key_hash`].
+    pub fn offer_hash(&mut self, hash: u64) {
+        let index = (hash >> (64 - HLL_PRECISION)) as usize;
+        // Rank of the first set bit in the remaining 52 bits, 1-based.
+        let remainder = hash << HLL_PRECISION;
+        let rank = (remainder.leading_zeros() as u8).min(64 - HLL_PRECISION as u8) + 1;
+        if rank > self.registers[index] {
+            self.registers[index] = rank;
+        }
+    }
+
+    /// Estimated number of distinct keys observed.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        // Bias-correction constant for m ≥ 128.
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += 1.0 / f64::from(1u32 << u32::from(r.min(63)));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range correction: linear counting over empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+}
+
+/// One monitored heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter {
+    /// The monitored key.
+    pub key: Value,
+    /// Estimated occurrence count (an overestimate by at most `error`).
+    pub count: u64,
+    /// Maximum overestimation inherited from the evicted counter.
+    pub error: u64,
+}
+
+/// The SpaceSaving top-k heavy-hitter summary.
+#[derive(Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: Vec<HeavyHitter>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A summary monitoring at most `capacity` keys (≥ 1).
+    pub fn new(capacity: usize) -> SpaceSaving {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            counters: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn offer(&mut self, key: &Value) {
+        self.total += 1;
+        if let Some(c) = self.counters.iter_mut().find(|c| &c.key == key) {
+            c.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.push(HeavyHitter {
+                key: key.clone(),
+                count: 1,
+                error: 0,
+            });
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // both estimate floor and error bound.
+        let min = self
+            .counters
+            .iter_mut()
+            .min_by_key(|c| c.count)
+            .expect("capacity >= 1");
+        min.error = min.count;
+        min.count += 1;
+        min.key = key.clone();
+    }
+
+    /// Total occurrences offered so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The monitored keys, highest estimated count first, at most `n`.
+    pub fn top(&self, n: usize) -> Vec<HeavyHitter> {
+        let mut out = self.counters.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out.truncate(n);
+        out
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.total = 0;
+    }
+}
+
+/// Skew coefficient of a partition-size distribution: the coefficient of
+/// variation (population standard deviation over mean). 0 means perfectly
+/// uniform; a single loaded partition among empty ones scores high.
+pub fn skew_coefficient(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hll_within_five_percent_at_100k_keys() {
+        let mut hll = Hll::new();
+        let n = 100_000i64;
+        for i in 0..n {
+            hll.offer(&Value::Int(i));
+        }
+        let est = hll.estimate();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "estimate {est:.0} off by {:.2}%", err * 100.0);
+    }
+
+    #[test]
+    fn hll_duplicates_do_not_inflate() {
+        let mut hll = Hll::new();
+        for _ in 0..10 {
+            for i in 0..1000i64 {
+                hll.offer(&Value::Int(i));
+            }
+        }
+        let est = hll.estimate();
+        assert!(
+            (est - 1000.0).abs() / 1000.0 < 0.1,
+            "repeated keys stayed ~1000: {est:.0}"
+        );
+    }
+
+    #[test]
+    fn hll_small_range_is_near_exact() {
+        let mut hll = Hll::new();
+        assert_eq!(hll.estimate(), 0.0);
+        for i in 0..10i64 {
+            hll.offer(&Value::Int(i));
+        }
+        let est = hll.estimate();
+        assert!((est - 10.0).abs() < 2.0, "linear counting regime: {est}");
+        hll.clear();
+        assert_eq!(hll.estimate(), 0.0);
+    }
+
+    #[test]
+    fn space_saving_finds_planted_hot_key() {
+        // 10% of a 50k stream is one hot key; the rest are 45k distinct
+        // cold keys — far beyond the sketch capacity.
+        let mut ss = SpaceSaving::new(DEFAULT_TOP_K);
+        let hot = Value::str("hot");
+        let mut cold = 0i64;
+        for i in 0..50_000u64 {
+            if i % 10 == 0 {
+                ss.offer(&hot);
+            } else {
+                ss.offer(&Value::Int(cold));
+                cold += 1;
+            }
+        }
+        assert_eq!(ss.total(), 50_000);
+        let top = ss.top(1);
+        assert_eq!(top[0].key, hot, "hot key ranked first: {top:?}");
+        // The estimate is an overestimate bounded by the recorded error.
+        assert!(top[0].count >= 5_000);
+        assert!(top[0].count - top[0].error <= 5_000);
+    }
+
+    #[test]
+    fn space_saving_exact_below_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..3 {
+            ss.offer(&Value::Int(1));
+        }
+        ss.offer(&Value::Int(2));
+        let top = ss.top(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(
+            top[0],
+            HeavyHitter {
+                key: Value::Int(1),
+                count: 3,
+                error: 0
+            }
+        );
+        assert_eq!(
+            top[1],
+            HeavyHitter {
+                key: Value::Int(2),
+                count: 1,
+                error: 0
+            }
+        );
+        ss.clear();
+        assert_eq!(ss.total(), 0);
+        assert!(ss.top(1).is_empty());
+    }
+
+    #[test]
+    fn skew_coefficient_behaviour() {
+        assert_eq!(skew_coefficient(&[]), 0.0);
+        assert_eq!(skew_coefficient(&[0, 0, 0]), 0.0);
+        assert_eq!(skew_coefficient(&[5, 5, 5, 5]), 0.0);
+        let uniform = skew_coefficient(&[10, 11, 9, 10]);
+        let skewed = skew_coefficient(&[40, 0, 0, 0]);
+        assert!(skewed > uniform, "{skewed} > {uniform}");
+        assert!(
+            (skewed - 3.0f64.sqrt()).abs() < 1e-9,
+            "CV of one-hot: {skewed}"
+        );
+    }
+}

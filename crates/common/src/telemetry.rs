@@ -80,7 +80,11 @@ impl MetricKey {
 }
 
 fn sanitize_metric_name(s: &str) -> String {
-    s.chars()
+    // Prometheus metric/label names match [a-zA-Z_:][a-zA-Z0-9_:]*; every
+    // other character (dots, dashes, spaces, ...) maps to '_', and a
+    // leading digit gets a '_' prefix.
+    let mut out: String = s
+        .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
@@ -88,11 +92,19 @@ fn sanitize_metric_name(s: &str) -> String {
                 '_'
             }
         })
-        .collect()
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 fn escape_label(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    // Prometheus exposition format: label values escape backslash, double
+    // quote, and newline.
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// A monotonically increasing counter (lock-free).
@@ -719,6 +731,31 @@ mod tests {
         }
         assert!(text.contains("records_in{operator=\"maxbid\"} 7"));
         assert!(text.contains("query_exec_us_count{source=\"sql\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_names_and_labels_are_escaped() {
+        let reg = MetricsRegistry::new();
+        // Dots/dashes/spaces in metric and label names sanitize to '_'; a
+        // leading digit gets a '_' prefix; label values escape backslash,
+        // quote, and newline.
+        reg.counter("api.request-rate", &[("shard id", "a\"b\\c\nd")])
+            .inc();
+        reg.gauge("2xx_responses", &[]).set(3);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("api_request_rate{shard_id=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("_2xx_responses 3"), "{text}");
+        for line in text.lines() {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                !name.starts_with(|c: char| c.is_ascii_digit()),
+                "name must not start with a digit: {line}"
+            );
+            assert!(!line.contains('\n'), "one sample per line: {line}");
+        }
     }
 
     #[test]

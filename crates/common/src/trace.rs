@@ -297,8 +297,10 @@ fn jstr(s: &str) -> String {
 ///
 /// Each span tree gets its own `tid` (the root ancestor's id), so the viewer
 /// stacks children under their root on one track; `args` carries the span
-/// and parent ids plus all labels. Hand-rendered — the workspace vendors no
-/// serialization crate.
+/// and parent ids plus all labels. `ph:"M"` metadata events name the process
+/// (`process_name`) and each track (`thread_name`, from the root span's
+/// kind) so the viewer shows e.g. "checkpoint_round #5" instead of a bare
+/// tid. Hand-rendered — the workspace vendors no serialization crate.
 pub fn render_chrome_trace(spans: &[Span]) -> String {
     // Resolve each span's root ancestor for track assignment.
     let parent_of: HashMap<u64, Option<u64>> = spans.iter().map(|s| (s.id, s.parent)).collect();
@@ -313,7 +315,30 @@ pub fn render_chrome_trace(spans: &[Span]) -> String {
         }
         id
     };
-    let mut events: Vec<String> = Vec::with_capacity(spans.len());
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + 1);
+    // Metadata events carry the same ts/dur/pid/tid fields as the span
+    // events so strict per-event validators accept them.
+    events.push(
+        "{\"name\":\"process_name\",\"cat\":\"squery\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"ts\":0,\"dur\":0,\"args\":{\"name\":\"squery\"}}"
+            .to_string(),
+    );
+    let kind_of: HashMap<u64, &str> = spans.iter().map(|s| (s.id, s.kind)).collect();
+    let mut named_tracks: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for s in spans {
+        let root = root_of(s.id);
+        if named_tracks.insert(root) {
+            // The root span's kind names the track; the id disambiguates
+            // repeated roots of the same kind (rounds, queries, ...).
+            let kind = kind_of.get(&root).copied().unwrap_or(s.kind);
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"cat\":\"squery\",\"ph\":\"M\",\"pid\":1,\
+                 \"tid\":{},\"ts\":0,\"dur\":0,\"args\":{{\"name\":{}}}}}",
+                root,
+                jstr(&format!("{kind} #{root}"))
+            ));
+        }
+    }
     for s in spans {
         let mut args = vec![
             format!("\"id\":{}", s.id),
@@ -448,10 +473,39 @@ mod tests {
         let json = render_chrome_trace(&c.snapshot());
         assert!(json.starts_with("{\"traceEvents\":["), "{json}");
         assert!(json.contains("\"ph\":\"X\""));
-        // All three events share the root's track id.
-        assert_eq!(json.matches(&format!("\"tid\":{root_id}")).count(), 3);
+        // All three span events share the root's track id, plus one
+        // thread_name metadata event naming that track.
+        assert_eq!(json.matches(&format!("\"tid\":{root_id}")).count(), 4);
         assert!(json.contains(&format!("\"parent\":{root_id}")));
         assert!(json.contains("\"name\":\"checkpoint_phase1\""));
+    }
+
+    #[test]
+    fn chrome_trace_names_process_and_tracks() {
+        let c = SpanCollector::new(Clock::manual());
+        c.set_enabled(true);
+        let root = c.start("checkpoint_round");
+        let root_id = root.id().unwrap();
+        drop(c.child("checkpoint_phase1", root_id));
+        drop(root);
+        drop(c.start("query"));
+        let json = render_chrome_trace(&c.snapshot());
+        assert!(
+            json.contains("\"name\":\"process_name\",\"cat\":\"squery\",\"ph\":\"M\""),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("\"name\":\"checkpoint_round #{root_id}\"")),
+            "{json}"
+        );
+        // One thread_name per track (two roots), not per span.
+        assert_eq!(
+            json.matches("\"name\":\"thread_name\"").count(),
+            2,
+            "{json}"
+        );
+        // Metadata events carry the full field set strict validators expect.
+        assert!(json.contains("\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":0"));
     }
 
     #[test]

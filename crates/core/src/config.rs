@@ -40,6 +40,14 @@ pub struct SQueryConfig {
     /// (`sys_spans`, Chrome-trace export). Off by default; `EXPLAIN
     /// ANALYZE` profiles its own query regardless.
     pub tracing: bool,
+    /// Background state-statistics sampling interval. `None` (default)
+    /// disables the sampler thread entirely — write-path accounting stays
+    /// on regardless, but sketches (distinct counts, hot keys, skew, rates)
+    /// only advance when something calls `sample_stats_now`.
+    pub stats_interval: Option<Duration>,
+    /// Heavy-hitter slots tracked per table by the SpaceSaving sketch
+    /// (`sys_hot_keys` rows per table, ≥ 1).
+    pub stats_hot_keys: usize,
 }
 
 impl SQueryConfig {
@@ -59,6 +67,8 @@ impl SQueryConfig {
             retry_backoff: Duration::from_millis(50),
             event_capacity: squery_common::telemetry::DEFAULT_EVENT_CAPACITY,
             tracing: false,
+            stats_interval: None,
+            stats_hot_keys: squery_common::sketch::DEFAULT_TOP_K,
         }
     }
 
@@ -138,6 +148,20 @@ impl SQueryConfig {
         self
     }
 
+    /// Sample state statistics (distinct counts, hot keys, skew, write
+    /// rates) in the background every `interval`; `None` disables the
+    /// sampler thread.
+    pub fn with_stats_interval(mut self, interval: Option<Duration>) -> SQueryConfig {
+        self.stats_interval = interval;
+        self
+    }
+
+    /// Track up to `k` heavy-hitter keys per table (≥ 1).
+    pub fn with_stats_hot_keys(mut self, k: usize) -> SQueryConfig {
+        self.stats_hot_keys = k;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> SqResult<()> {
         self.cluster.validate()?;
@@ -153,6 +177,11 @@ impl SQueryConfig {
         if self.event_capacity == 0 {
             return Err(SqError::Config("event capacity must be positive".into()));
         }
+        if self.stats_hot_keys == 0 {
+            return Err(SqError::Config(
+                "stats hot-key capacity must be at least 1".into(),
+            ));
+        }
         self.query_parallelism.validate()?;
         Ok(())
     }
@@ -167,6 +196,7 @@ impl SQueryConfig {
             ack_timeout: self.ack_timeout,
             checkpoint_retries: self.checkpoint_retries,
             retry_backoff: self.retry_backoff,
+            stats_interval: self.stats_interval,
         }
     }
 }
@@ -244,6 +274,25 @@ mod tests {
         assert_eq!(c.event_capacity, 16);
         assert!(c.tracing);
         let c = c.with_event_capacity(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stats_builders_and_validation() {
+        let c = SQueryConfig::default();
+        assert!(c.stats_interval.is_none());
+        assert_eq!(c.stats_hot_keys, squery_common::sketch::DEFAULT_TOP_K);
+        let c = c
+            .with_stats_interval(Some(Duration::from_millis(100)))
+            .with_stats_hot_keys(8);
+        c.validate().unwrap();
+        assert_eq!(c.stats_interval, Some(Duration::from_millis(100)));
+        assert_eq!(c.stats_hot_keys, 8);
+        assert_eq!(
+            c.engine_config().stats_interval,
+            Some(Duration::from_millis(100))
+        );
+        let c = c.with_stats_hot_keys(0);
         assert!(c.validate().is_err());
     }
 

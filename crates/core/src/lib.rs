@@ -44,6 +44,7 @@ pub mod direct;
 pub mod invariants;
 pub mod isolation;
 pub mod overview;
+pub mod stats;
 pub mod systables;
 pub mod system;
 
@@ -53,12 +54,13 @@ pub use config::SQueryConfig;
 pub use direct::{DirectQuery, StateView};
 pub use isolation::IsolationLevel;
 pub use overview::SystemOverview;
+pub use stats::StatsCatalog;
 pub use system::SQuery;
 
 // Re-export the substrate surface a user programs against.
 pub use squery_common::config::Parallelism;
 pub use squery_sql::{ResultSet, SqlEngine};
-pub use squery_storage::{Grid, SnapshotMode};
+pub use squery_storage::{Grid, PartitionStats, SnapshotMode, StateStats, TableStats};
 pub use squery_streaming::{
     EdgeKind, EngineConfig, JobHandle, JobReport, JobSpec, RestartPolicy, StateConfig, StreamEnv,
     SupervisedJob, SupervisorStatus,

@@ -1,0 +1,191 @@
+//! The stats catalog: the snapshot API over continuous state statistics.
+//!
+//! The paper opens operator state itself to queries; this module opens the
+//! *shape* of that state. The storage layer keeps cheap per-partition
+//! accounting on the write path and a background sampler maintains
+//! distinct-count / heavy-hitter sketches per table
+//! ([`squery_storage::StateStats`]). [`StatsCatalog`] is the read side:
+//! point-in-time [`TableStats`] snapshots, a JSON dump for external
+//! monitoring, and the row-estimate lookups the SQL planner uses to
+//! annotate `EXPLAIN` output (metrics are additionally exported through the
+//! regular Prometheus endpoint as `stats_*` gauges on every sample).
+
+use squery_storage::{Grid, TableStats};
+use std::sync::Arc;
+
+/// Read-side facade over the grid's continuous state statistics.
+///
+/// Cloning is cheap; all clones observe the same underlying statistics.
+#[derive(Clone)]
+pub struct StatsCatalog {
+    grid: Arc<Grid>,
+}
+
+impl StatsCatalog {
+    /// A catalog over `grid`'s statistics.
+    pub fn new(grid: Arc<Grid>) -> StatsCatalog {
+        StatsCatalog { grid }
+    }
+
+    /// Statistics for every user-visible table, sorted by name. Counter
+    /// fields (rows, bytes, writes, removes) are live; sketch fields
+    /// (distinct keys, hot keys, skew, rates) are as of the last sample.
+    pub fn snapshot(&self) -> Vec<TableStats> {
+        self.grid
+            .stats()
+            .snapshot(&self.grid)
+            .into_iter()
+            .filter(|t| !t.table.starts_with("__"))
+            .collect()
+    }
+
+    /// Statistics for one table, if it exists.
+    pub fn table(&self, name: &str) -> Option<TableStats> {
+        self.grid.stats().table(&self.grid, name)
+    }
+
+    /// Estimated live row count for `table` from write-path accounting
+    /// (exact up to in-flight relaxed updates). `None` for unknown tables.
+    pub fn estimated_rows(&self, table: &str) -> Option<u64> {
+        self.table(table).map(|t| t.rows)
+    }
+
+    /// Run one synchronous sampling pass — what the background sampler does
+    /// on its interval. Returns the number of tables sampled. Deterministic
+    /// tests use this instead of waiting on the sampler thread.
+    pub fn sample_now(&self) -> usize {
+        self.grid.arm_stats(true);
+        self.grid.stats().sample(&self.grid)
+    }
+
+    /// Total sampling passes completed (thread or [`Self::sample_now`]).
+    pub fn samples_total(&self) -> u64 {
+        self.grid.stats().samples_total()
+    }
+
+    /// Whether write-path hot-key evidence collection is armed (true when
+    /// the background sampler runs or after a `sample_now` call).
+    pub fn is_armed(&self) -> bool {
+        self.grid.stats().is_armed()
+    }
+
+    /// The whole catalog as a JSON document, for external dashboards:
+    /// `{"samples_total": N, "tables": [{...}, ...]}`.
+    pub fn dump_json(&self) -> String {
+        let tables = self.snapshot();
+        let mut out = String::with_capacity(256 + tables.len() * 256);
+        out.push_str(&format!(
+            "{{\"samples_total\":{},\"tables\":[",
+            self.samples_total()
+        ));
+        for (i, t) in tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"table\":{},\"rows\":{},\"bytes\":{},\"writes\":{},\"removes\":{},\
+                 \"write_rate_per_s\":{:.3},\"remove_rate_per_s\":{:.3},\
+                 \"distinct_keys\":{},\"skew\":{:.3},\"samples\":{},\"hot_keys\":[",
+                jstr(&t.table),
+                t.rows,
+                t.bytes,
+                t.writes,
+                t.removes,
+                t.write_rate_per_s,
+                t.remove_rate_per_s,
+                t.distinct_keys,
+                t.skew,
+                t.samples,
+            ));
+            for (j, h) in t.hot_keys.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"key\":{},\"count\":{},\"error\":{}}}",
+                    jstr(&h.key.to_string()),
+                    h.count,
+                    h.error
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SQueryConfig;
+    use crate::system::SQuery;
+    use squery_common::Value;
+
+    #[test]
+    fn catalog_reports_counts_and_sketches() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let map = system.grid().map("orders");
+        for i in 0..20 {
+            map.put(Value::Int(i % 5), Value::Int(i));
+        }
+        let stats = system.stats();
+        assert_eq!(stats.estimated_rows("orders"), Some(5));
+        assert_eq!(stats.estimated_rows("nope"), None);
+        // Sketches are empty until a sample runs.
+        assert_eq!(stats.table("orders").unwrap().distinct_keys, 0);
+        assert!(stats.sample_now() >= 1);
+        let t = stats.table("orders").unwrap();
+        assert_eq!(t.distinct_keys, 5);
+        assert_eq!(t.writes, 20);
+        assert_eq!(stats.samples_total(), 1);
+        assert!(stats.is_armed());
+    }
+
+    #[test]
+    fn dump_json_is_well_formed() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        // Hot-key evidence only flows once armed, so arm before writing.
+        system.grid().arm_stats(true);
+        let map = system.grid().map("orders");
+        map.put(Value::str("a\"b"), Value::Int(1));
+        system.stats().sample_now();
+        let json = system.stats().dump_json();
+        assert!(json.starts_with("{\"samples_total\":1,\"tables\":["));
+        assert!(json.contains("\"table\":\"orders\""), "{json}");
+        assert!(json.contains("\"rows\":1"));
+        assert!(json.contains("\"key\":\"a\\\"b\""), "escaped key: {json}");
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn internal_stores_are_hidden() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        system
+            .grid()
+            .map("__internal")
+            .put(Value::Int(1), Value::Int(1));
+        assert!(system
+            .stats()
+            .snapshot()
+            .iter()
+            .all(|t| t.table != "__internal"));
+    }
+}

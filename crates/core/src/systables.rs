@@ -1,9 +1,9 @@
 //! The `sys_*` tables: engine internals exposed through the SQL surface.
 //!
 //! The paper opens operator *state* to queries; this module applies the same
-//! idea to the engine's own telemetry. Eight virtual tables are registered in
-//! every [`SQuery`](crate::SQuery) deployment's catalog and recompute their
-//! rows on every scan:
+//! idea to the engine's own telemetry. Eleven virtual tables are registered
+//! in every [`SQuery`](crate::SQuery) deployment's catalog and recompute
+//! their rows on every scan:
 //!
 //! | table             | one row per…                         |
 //! |-------------------|---------------------------------------|
@@ -15,6 +15,9 @@
 //! | `sys_faults`      | injected fault, with recovery outcome |
 //! | `sys_spans`       | recorded trace span                   |
 //! | `sys_query_log`   | completed (or failed) SQL query       |
+//! | `sys_partitions`  | non-empty partition, live or snapshot |
+//! | `sys_state_stats` | table's state-statistics summary      |
+//! | `sys_hot_keys`    | heavy-hitter key, per table           |
 //!
 //! Because they are ordinary [`Table`]s, sys tables compose with the full
 //! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
@@ -341,6 +344,149 @@ fn sys_spans_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
         .collect()
 }
 
+fn sys_partitions_schema() -> Arc<Schema> {
+    schema(vec![
+        ("table", DataType::Str),
+        ("partition", DataType::Int),
+        ("ssid", DataType::Int),
+        ("rows", DataType::Int),
+        ("bytes", DataType::Int),
+        ("writes", DataType::Int),
+        ("removes", DataType::Int),
+    ])
+}
+
+/// One row per *non-empty* partition: live maps report write-path
+/// accounting (`ssid` NULL), snapshot stores one row per committed version
+/// with `writes`/`removes` NULL (a snapshot does not churn).
+fn sys_partitions_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for name in grid.map_names() {
+        if name.starts_with("__") {
+            continue;
+        }
+        let Some(map) = grid.get_map(&name) else {
+            continue;
+        };
+        for (pid, s) in map.partition_stats().into_iter().enumerate() {
+            if s == squery_storage::PartitionStats::default() {
+                continue;
+            }
+            rows.push(vec![
+                Value::str(&name),
+                Value::Int(pid as i64),
+                Value::Null,
+                Value::Int(s.rows as i64),
+                Value::Int(s.bytes as i64),
+                Value::Int(s.writes as i64),
+                Value::Int(s.removes as i64),
+            ]);
+        }
+    }
+    let committed = grid.registry().committed_ssids();
+    for table in grid.snapshot_table_names() {
+        let op = table.strip_prefix("snapshot_").unwrap_or(&table);
+        if op.starts_with("__") {
+            continue;
+        }
+        let Some(store) = grid.get_snapshot_store(op) else {
+            continue;
+        };
+        for &ssid in &committed {
+            let Ok(parts) = store.resolved_partition_stats(ssid) else {
+                continue;
+            };
+            for (pid, (entries, bytes)) in parts.into_iter().enumerate() {
+                if entries == 0 && bytes == 0 {
+                    continue;
+                }
+                rows.push(vec![
+                    Value::str(&table),
+                    Value::Int(pid as i64),
+                    Value::Int(ssid.0 as i64),
+                    Value::Int(entries as i64),
+                    Value::Int(bytes as i64),
+                    Value::Null,
+                    Value::Null,
+                ]);
+            }
+        }
+    }
+    rows
+}
+
+fn sys_state_stats_schema() -> Arc<Schema> {
+    schema(vec![
+        ("table", DataType::Str),
+        ("rows", DataType::Int),
+        ("bytes", DataType::Int),
+        ("writes", DataType::Int),
+        ("removes", DataType::Int),
+        ("write_rate_per_s", DataType::Float),
+        ("remove_rate_per_s", DataType::Float),
+        ("distinct_keys", DataType::Int),
+        ("skew", DataType::Float),
+        ("hot_keys", DataType::Int),
+        ("samples", DataType::Int),
+    ])
+}
+
+fn sys_state_stats_rows(stats: &crate::stats::StatsCatalog) -> Vec<Vec<Value>> {
+    stats
+        .snapshot()
+        .into_iter()
+        .map(|t| {
+            vec![
+                Value::str(&t.table),
+                Value::Int(t.rows as i64),
+                Value::Int(t.bytes as i64),
+                Value::Int(t.writes as i64),
+                Value::Int(t.removes as i64),
+                Value::Float(t.write_rate_per_s),
+                Value::Float(t.remove_rate_per_s),
+                Value::Int(t.distinct_keys as i64),
+                Value::Float(t.skew),
+                Value::Int(t.hot_keys.len() as i64),
+                Value::Int(t.samples as i64),
+            ]
+        })
+        .collect()
+}
+
+fn sys_hot_keys_schema() -> Arc<Schema> {
+    schema(vec![
+        ("table", DataType::Str),
+        ("key", DataType::Str),
+        ("count", DataType::Int),
+        ("error", DataType::Int),
+        ("share", DataType::Float),
+    ])
+}
+
+/// Heavy hitters per table, hottest first; `share` is the key's estimated
+/// fraction of all writes observed since arming, `error` the SpaceSaving
+/// overcount bound (true count ≥ count − error).
+fn sys_hot_keys_rows(stats: &crate::stats::StatsCatalog) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for t in stats.snapshot() {
+        let observed: u64 = t.hot_keys.iter().map(|h| h.count).sum();
+        for h in &t.hot_keys {
+            rows.push(vec![
+                Value::str(&t.table),
+                Value::str(h.key.to_string()),
+                Value::Int(h.count as i64),
+                Value::Int(h.error as i64),
+                Value::Float(if observed == 0 {
+                    0.0
+                } else {
+                    h.count as f64 / observed as f64
+                }),
+            ]);
+        }
+    }
+    rows
+}
+
 fn sys_query_log_schema() -> Arc<Schema> {
     schema(vec![
         ("seq", DataType::Int),
@@ -376,7 +522,7 @@ fn sys_query_log_rows(log: &QueryLog) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// Register the eight `sys_*` tables in `catalog`.
+/// Register the eleven `sys_*` tables in `catalog`.
 pub(crate) fn register_sys_tables(
     catalog: &GridCatalog,
     grid: Arc<Grid>,
@@ -422,6 +568,24 @@ pub(crate) fn register_sys_tables(
         "sys_query_log",
         sys_query_log_schema(),
         Arc::new(move || sys_query_log_rows(&query_log)),
+    )));
+    let part_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_partitions",
+        sys_partitions_schema(),
+        Arc::new(move || sys_partitions_rows(&part_grid)),
+    )));
+    let state_stats = crate::stats::StatsCatalog::new(Arc::clone(&grid));
+    catalog.register(Arc::new(SysTable::new(
+        "sys_state_stats",
+        sys_state_stats_schema(),
+        Arc::new(move || sys_state_stats_rows(&state_stats)),
+    )));
+    let hot_stats = crate::stats::StatsCatalog::new(Arc::clone(&grid));
+    catalog.register(Arc::new(SysTable::new(
+        "sys_hot_keys",
+        sys_hot_keys_schema(),
+        Arc::new(move || sys_hot_keys_rows(&hot_stats)),
     )));
     catalog.register(Arc::new(SysTable::new(
         "sys_snapshots",
@@ -581,6 +745,63 @@ mod tests {
             .query("SELECT COUNT(*) AS n FROM sys_spans WHERE kind = 'query'")
             .unwrap();
         assert!(rs.scalar("n").unwrap().as_int().unwrap() >= 1);
+    }
+
+    #[test]
+    fn sys_partitions_covers_live_and_snapshot_state() {
+        let system = populated_system();
+        // Two live keys in distinct partitions plus one snapshot entry.
+        let rs = system
+            .query(
+                "SELECT COUNT(*) AS n, SUM(rows) AS r FROM sys_partitions \
+                 WHERE table = 'orders'",
+            )
+            .unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(2)));
+        assert_eq!(rs.scalar("r"), Some(&Value::Int(2)));
+        let rs = system
+            .query(
+                "SELECT ssid, rows FROM sys_partitions \
+                 WHERE table = 'snapshot_orders'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(1), Value::Int(1)]]);
+        // Live rows carry NULL ssid.
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_partitions WHERE ssid IS NULL")
+            .unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn sys_state_stats_and_hot_keys_follow_sampling() {
+        let system = populated_system();
+        system.grid().arm_stats(true);
+        let map = system.grid().map("orders");
+        for i in 0..50 {
+            map.put(Value::Int(i % 10), Value::Int(i));
+        }
+        let rs = system
+            .query("SELECT samples FROM sys_state_stats WHERE table = 'orders'")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(0)]], "no sample yet");
+        system.sample_stats_now();
+        let rs = system
+            .query(
+                "SELECT distinct_keys, hot_keys FROM sys_state_stats \
+                 WHERE table = 'orders'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Int(10));
+        assert!(rs.rows()[0][1].as_int().unwrap() >= 1);
+        let rs = system
+            .query(
+                "SELECT table, count FROM sys_hot_keys \
+                 WHERE table = 'orders' ORDER BY count DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::str("orders"));
+        assert!(rs.rows()[0][1].as_int().unwrap() >= 5);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::SQueryConfig;
 use crate::direct::DirectQuery;
+use crate::stats::StatsCatalog;
 use crate::systables::{register_sys_tables, JobLog};
 use parking_lot::Mutex;
 use squery_common::fault::{FaultInjector, FaultPlan};
@@ -36,6 +37,7 @@ impl SQuery {
         let grid = Grid::new_with_telemetry(config.cluster, telemetry)?;
         grid.registry()
             .set_retained_versions(config.retained_versions);
+        grid.stats().set_hot_key_capacity(config.stats_hot_keys);
         let env = StreamEnv::new(Arc::clone(&grid), config.engine_config());
         let jobs: JobLog = Arc::new(Mutex::new(Vec::new()));
         let query_log = QueryLog::default();
@@ -74,6 +76,19 @@ impl SQuery {
     /// The per-query log (also behind `sys_query_log`).
     pub fn query_log(&self) -> &QueryLog {
         &self.query_log
+    }
+
+    /// The continuous state-statistics catalog (also behind
+    /// `sys_partitions`, `sys_state_stats`, and `sys_hot_keys`).
+    pub fn stats(&self) -> StatsCatalog {
+        StatsCatalog::new(Arc::clone(&self.grid))
+    }
+
+    /// Run one synchronous statistics sampling pass — for deterministic
+    /// tests and on-demand refreshes; the background sampler (enabled with
+    /// [`SQueryConfig::with_stats_interval`]) does the same on a timer.
+    pub fn sample_stats_now(&self) -> usize {
+        self.stats().sample_now()
     }
 
     /// The configuration this deployment runs with.

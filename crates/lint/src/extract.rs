@@ -129,6 +129,8 @@ pub fn lock_class_of(file_basename: &str, receiver: &str) -> Option<LockClass> {
         ("trace.rs", "shards", LockClass::SpanShard),
         ("imap.rs", "telemetry", LockClass::MapMeta),
         ("snapshot.rs", "telemetry", LockClass::MapMeta),
+        ("imap.rs", "recent_keys", LockClass::StatsRing),
+        ("stats.rs", "sketches", LockClass::SketchState),
     ];
     for (f, r, c) in qualified {
         if *f == file_basename && *r == receiver {

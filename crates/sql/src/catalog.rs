@@ -236,6 +236,14 @@ pub trait Table: Send + Sync {
     fn scan_partitions(&self, hints: &ScanHints, ctx: &ExecContext) -> SqResult<TableSlices> {
         Ok(TableSlices::Whole(self.scan(hints, ctx)?))
     }
+
+    /// Estimated row count this scan would materialize, from whatever
+    /// statistics the table keeps (the stats catalog's write-path
+    /// accounting for grid tables). `None` (the default) means no estimate
+    /// is available and `EXPLAIN` omits the annotation.
+    fn estimated_rows(&self, _hints: &ScanHints) -> Option<u64> {
+        None
+    }
 }
 
 /// A source of tables plus the snapshot metadata queries need.

@@ -101,6 +101,9 @@ fn scan_node(plan: &PhysicalPlan, i: usize) -> Node {
     if let Some(key) = &scan.hints.key_eq {
         label.push_str(&format!(" [point={key}]"));
     }
+    if let Some(est) = scan.est_rows {
+        label.push_str(&format!(" [est_rows={est}]"));
+    }
     Node::new(label, Some(format!("scan{i}")))
 }
 

@@ -25,6 +25,10 @@ pub struct ScanNode {
     pub hints: ScanHints,
     /// Column count of the table's rows.
     pub width: usize,
+    /// Catalog row estimate for this scan under its final hints
+    /// ([`Table::estimated_rows`]); `None` when the table keeps no
+    /// statistics. Rendered by `EXPLAIN` as `[est_rows=N]`.
+    pub est_rows: Option<u64>,
 }
 
 /// One hash join step, combining the accumulated left row with a scan.
@@ -180,6 +184,7 @@ pub fn plan(query: &Query, catalog: &dyn Catalog) -> SqResult<PhysicalPlan> {
         table: base,
         hints: ScanHints::default(),
         width: base_schema.len(),
+        est_rows: None,
     });
     local_binders.push((base_alias, local));
     offset += base_schema.len();
@@ -230,6 +235,7 @@ pub fn plan(query: &Query, catalog: &dyn Catalog) -> SqResult<PhysicalPlan> {
             table,
             hints: ScanHints::default(),
             width: schema.len(),
+            est_rows: None,
         });
         local_binders.push((alias, right_local));
         joins.push(node);
@@ -237,6 +243,12 @@ pub fn plan(query: &Query, catalog: &dyn Catalog) -> SqResult<PhysicalPlan> {
 
     // --- scan hints ------------------------------------------------------
     extract_hints(query, &mut scans, &local_binders);
+
+    // Row estimates come after hint extraction: a key-equality hint turns a
+    // full-scan estimate into a point-read estimate.
+    for scan in &mut scans {
+        scan.est_rows = scan.table.estimated_rows(&scan.hints);
+    }
 
     // --- filter ----------------------------------------------------------
     let filter = query

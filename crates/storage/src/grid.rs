@@ -11,6 +11,7 @@ use crate::partition_table::PartitionTable;
 use crate::registry::SnapshotRegistry;
 use crate::replication::{ReplOp, Replicator};
 use crate::snapshot::SnapshotStore;
+use crate::stats::StateStats;
 use parking_lot::RwLock;
 use squery_common::config::ClusterConfig;
 use squery_common::fault::FaultInjector;
@@ -34,6 +35,7 @@ pub struct Grid {
     replicator: Option<Arc<Replicator>>,
     telemetry: MetricsRegistry,
     faults: RwLock<Option<Arc<FaultInjector>>>,
+    stats: StateStats,
 }
 
 impl Grid {
@@ -68,6 +70,7 @@ impl Grid {
             replicator,
             telemetry,
             faults: RwLock::new(None),
+            stats: StateStats::new(),
         }))
     }
 
@@ -120,6 +123,24 @@ impl Grid {
         self.faults.read().clone()
     }
 
+    /// Continuous state statistics: always-on accounting rollups plus the
+    /// sampled key-distribution sketches.
+    pub fn stats(&self) -> &StateStats {
+        &self.stats
+    }
+
+    /// Arm or disarm stats sampling on every live map, current and future.
+    pub fn arm_stats(&self, on: bool) {
+        self.stats.set_armed(on);
+        let maps: Vec<Arc<IMap>> = {
+            let _lo = lockorder::acquired(LockClass::GridCatalog);
+            self.maps.read().values().cloned().collect()
+        };
+        for map in maps {
+            map.arm_stats(on);
+        }
+    }
+
     /// The node currently owning `key`'s partition.
     pub fn node_of_key(&self, key: &Value) -> NodeId {
         self.partition_table
@@ -140,6 +161,7 @@ impl Grid {
         }
         let map = Arc::new(IMap::new(name, self.partitioner));
         map.attach_telemetry(&self.telemetry);
+        map.arm_stats(self.stats.is_armed());
         if let Some(repl) = &self.replicator {
             let repl = Arc::clone(repl);
             let map_name = name.to_string();

@@ -13,21 +13,60 @@
 //! semantics (read uncommitted across failures).
 
 use crate::locks::LockStripes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use squery_common::codec::encoded_len;
 use squery_common::lockorder::{self, LockClass};
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::{Counter, EventKind, Gauge, MetricsRegistry};
 use squery_common::{PartitionId, Partitioner, Value};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Lock waits at or above this many µs also emit a `lock_contention`
 /// engine event (every wait, contended or not, lands in the histogram).
 pub const LOCK_CONTENTION_EVENT_US: u64 = 1_000;
+
+/// Bound on the armed recent-key ring: enough for a sampler interval's worth
+/// of hot-key evidence, small enough that an idle sampler costs nothing.
+const RECENT_KEYS_CAP: usize = 4096;
+
+/// Always-on accounting for one (table, partition): maintained with relaxed
+/// atomics on the write path, read by `sys_partitions` and the stats
+/// sampler. Counts are monotonic for `writes`/`removes` and clamped
+/// non-negative for `rows`/`bytes` (bulk clears reset them exactly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Live entry count.
+    pub rows: u64,
+    /// Approximate encoded bytes (keys + values).
+    pub bytes: u64,
+    /// Total successful puts since creation.
+    pub writes: u64,
+    /// Total successful removes since creation.
+    pub removes: u64,
+}
+
+#[derive(Default)]
+struct PartStatCounters {
+    rows: AtomicI64,
+    bytes: AtomicI64,
+    writes: AtomicU64,
+    removes: AtomicU64,
+}
+
+impl PartStatCounters {
+    fn snapshot(&self) -> PartitionStats {
+        PartitionStats {
+            rows: self.rows.load(Ordering::Relaxed).max(0) as u64,
+            bytes: self.bytes.load(Ordering::Relaxed).max(0) as u64,
+            writes: self.writes.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Per-map handles into the engine-wide [`MetricsRegistry`], resolved once
 /// at attach time so the hot path touches only atomics.
@@ -66,6 +105,7 @@ pub type WriteListener = Arc<dyn Fn(PartitionId, &Value, Option<&Value>) + Send 
 struct PartitionData {
     map: RwLock<HashMap<Value, Value>>,
     locks: LockStripes,
+    stats: PartStatCounters,
 }
 
 /// A partitioned, concurrently accessible `key → state object` map.
@@ -77,6 +117,11 @@ pub struct IMap {
     bytes: AtomicI64,
     write_listener: RwLock<Option<WriteListener>>,
     telemetry: RwLock<Option<Arc<MapTelemetry>>>,
+    // Hot-key evidence for the stats sampler: when armed, put/remove push
+    // the touched key into a bounded ring the sampler drains. One relaxed
+    // load per write when disarmed.
+    stats_armed: AtomicBool,
+    recent_keys: Mutex<VecDeque<Value>>,
 }
 
 impl IMap {
@@ -86,6 +131,7 @@ impl IMap {
             .map(|_| PartitionData {
                 map: RwLock::new(HashMap::new()),
                 locks: LockStripes::new(),
+                stats: PartStatCounters::default(),
             })
             .collect();
         IMap {
@@ -96,6 +142,8 @@ impl IMap {
             bytes: AtomicI64::new(0),
             write_listener: RwLock::new(None),
             telemetry: RwLock::new(None),
+            stats_armed: AtomicBool::new(false),
+            recent_keys: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -192,6 +240,14 @@ impl IMap {
             .unwrap_or(0);
         self.bytes
             .fetch_add(delta_new - delta_old, Ordering::Relaxed);
+        if old.is_none() {
+            part.stats.rows.fetch_add(1, Ordering::Relaxed);
+        }
+        part.stats
+            .bytes
+            .fetch_add(delta_new - delta_old, Ordering::Relaxed);
+        part.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.note_recent_key(&key);
         if let (Some(t), Some(s)) = (tel.as_ref(), start) {
             t.writes.inc();
             t.write_us.record(s.elapsed().as_micros() as u64);
@@ -226,6 +282,10 @@ impl IMap {
         if let Some(old_v) = &old {
             removed_bytes = (encoded_len(key) + encoded_len(old_v)) as i64;
             self.bytes.fetch_sub(removed_bytes, Ordering::Relaxed);
+            part.stats.rows.fetch_sub(1, Ordering::Relaxed);
+            part.stats.bytes.fetch_sub(removed_bytes, Ordering::Relaxed);
+            part.stats.removes.fetch_add(1, Ordering::Relaxed);
+            self.note_recent_key(key);
         }
         if let (Some(t), Some(s)) = (tel.as_ref(), start) {
             t.removes.inc();
@@ -267,7 +327,10 @@ impl IMap {
     /// Remove all entries.
     pub fn clear(&self) {
         for p in &self.parts {
-            p.map.write().clear();
+            let mut guard = p.map.write();
+            guard.clear();
+            p.stats.rows.store(0, Ordering::Relaxed);
+            p.stats.bytes.store(0, Ordering::Relaxed);
         }
         self.bytes.store(0, Ordering::Relaxed);
         self.resync_gauges();
@@ -342,10 +405,19 @@ impl IMap {
             let part = &self.parts[pid.0 as usize];
             let delta = (encoded_len(&key) + encoded_len(&value)) as i64;
             let old = part.map.write().insert(key.clone(), value);
+            let inserted = old.is_none();
             let delta_old = old
                 .map(|o| (encoded_len(&key) + encoded_len(&o)) as i64)
                 .unwrap_or(0);
             self.bytes.fetch_add(delta - delta_old, Ordering::Relaxed);
+            // Row/byte accounting must stay exact through recovery, but the
+            // restore is not churn: write/remove rate counters are untouched.
+            if inserted {
+                part.stats.rows.fetch_add(1, Ordering::Relaxed);
+            }
+            part.stats
+                .bytes
+                .fetch_add(delta - delta_old, Ordering::Relaxed);
         }
         self.resync_gauges();
     }
@@ -360,8 +432,49 @@ impl IMap {
                 self.bytes.fetch_sub(delta, Ordering::Relaxed);
             }
             guard.clear();
+            part.stats.rows.store(0, Ordering::Relaxed);
+            part.stats.bytes.store(0, Ordering::Relaxed);
         }
         self.resync_gauges();
+    }
+
+    /// Per-partition accounting snapshot, one entry per partition in
+    /// partition order. Relaxed reads: the row/byte/rate numbers are each
+    /// individually accurate but not an atomic cut across partitions.
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        self.parts.iter().map(|p| p.stats.snapshot()).collect()
+    }
+
+    /// Arm or disarm recent-key collection for the stats sampler.
+    pub fn arm_stats(&self, on: bool) {
+        self.stats_armed.store(on, Ordering::Relaxed);
+        if !on {
+            let _so = lockorder::acquired(LockClass::StatsRing);
+            self.recent_keys.lock().clear();
+        }
+    }
+
+    /// Whether recent-key collection is armed.
+    pub fn stats_armed(&self) -> bool {
+        self.stats_armed.load(Ordering::Relaxed)
+    }
+
+    /// Drain the armed recent-key ring (sampler-side; empty when disarmed).
+    pub fn drain_recent_keys(&self) -> Vec<Value> {
+        let _so = lockorder::acquired(LockClass::StatsRing);
+        self.recent_keys.lock().drain(..).collect()
+    }
+
+    fn note_recent_key(&self, key: &Value) {
+        if !self.stats_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let _so = lockorder::acquired(LockClass::StatsRing);
+        let mut ring = self.recent_keys.lock();
+        if ring.len() == RECENT_KEYS_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(key.clone());
     }
 }
 
@@ -542,6 +655,75 @@ mod tests {
         m.clear();
         assert_eq!(reg.gauge_value("map_entries", &l), Some(0));
         assert_eq!(reg.gauge_value("map_bytes", &l), Some(0));
+    }
+
+    #[test]
+    fn partition_stats_track_every_mutation_path() {
+        let m = map();
+        for i in 0..100 {
+            m.put(Value::Int(i), Value::Int(i));
+        }
+        let stats = m.partition_stats();
+        assert_eq!(stats.len(), m.partitioner().partition_count() as usize);
+        assert_eq!(stats.iter().map(|s| s.rows).sum::<u64>(), 100);
+        assert_eq!(stats.iter().map(|s| s.writes).sum::<u64>(), 100);
+        assert_eq!(
+            stats.iter().map(|s| s.bytes).sum::<u64>(),
+            m.approximate_bytes() as u64
+        );
+        // Rows agree with each partition's actual contents.
+        for (pid, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.rows as usize,
+                m.entries_in_partition(PartitionId(pid as u32)).len()
+            );
+        }
+        // Overwrites change bytes, not rows.
+        m.put(Value::Int(0), Value::str("wider value"));
+        let total_rows = |m: &IMap| m.partition_stats().iter().map(|s| s.rows).sum::<u64>();
+        assert_eq!(total_rows(&m), 100);
+        m.remove(&Value::Int(0));
+        assert_eq!(total_rows(&m), 99);
+        assert_eq!(
+            m.partition_stats().iter().map(|s| s.removes).sum::<u64>(),
+            1
+        );
+        // Bulk paths reset rows/bytes exactly.
+        let victim = m.partition_of(&Value::Int(1));
+        m.clear_partitions(&[victim]);
+        assert_eq!(m.partition_stats()[victim.0 as usize].rows, 0);
+        assert_eq!(m.partition_stats()[victim.0 as usize].bytes, 0);
+        m.clear();
+        assert_eq!(total_rows(&m), 0);
+        // A silent (recovery) load restores rows without counting as churn.
+        let writes_before = m.partition_stats().iter().map(|s| s.writes).sum::<u64>();
+        m.load_silent(vec![(Value::Int(7), Value::Int(70))]);
+        assert_eq!(total_rows(&m), 1);
+        assert_eq!(
+            m.partition_stats().iter().map(|s| s.writes).sum::<u64>(),
+            writes_before
+        );
+    }
+
+    #[test]
+    fn recent_key_ring_is_gated_on_arming() {
+        let m = map();
+        m.put(Value::Int(1), Value::Int(1));
+        assert!(!m.stats_armed());
+        assert!(m.drain_recent_keys().is_empty(), "disarmed: no collection");
+        m.arm_stats(true);
+        m.put(Value::Int(2), Value::Int(2));
+        m.put(Value::Int(2), Value::Int(3));
+        m.remove(&Value::Int(1));
+        let keys = m.drain_recent_keys();
+        assert_eq!(keys, vec![Value::Int(2), Value::Int(2), Value::Int(1)]);
+        assert!(m.drain_recent_keys().is_empty(), "drain empties the ring");
+        m.put(Value::Int(9), Value::Int(9));
+        m.arm_stats(false);
+        assert!(
+            m.drain_recent_keys().is_empty(),
+            "disarming clears the ring"
+        );
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub mod partition_table;
 pub mod registry;
 pub mod replication;
 pub mod snapshot;
+pub mod stats;
 
 pub use grid::Grid;
-pub use imap::IMap;
+pub use imap::{IMap, PartitionStats};
 pub use registry::SnapshotRegistry;
 pub use snapshot::{SnapshotMode, SnapshotStore};
+pub use stats::{StateStats, TableStats};

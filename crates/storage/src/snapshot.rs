@@ -390,6 +390,39 @@ impl SnapshotStore {
         removed
     }
 
+    /// Resolved per-partition `(rows, bytes)` as of snapshot `ssid`: exactly
+    /// what a scan at that id would return from each partition, including
+    /// the backward differential walk. Backs `sys_partitions` rows for
+    /// snapshot tables.
+    pub fn resolved_partition_stats(&self, ssid: SnapshotId) -> SqResult<Vec<(u64, u64)>> {
+        self.check_not_pruned(ssid)?;
+        let mut out = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            let _lo = lockorder::acquired(LockClass::SnapshotPartition);
+            let guard = part.read();
+            let mut seen: HashMap<&Value, ()> = HashMap::new();
+            let mut rows = 0u64;
+            let mut bytes = 0u64;
+            for (_, vm) in guard.versions.range(..=ssid.0).rev() {
+                for (k, v) in vm.entries.iter() {
+                    if seen.contains_key(k) {
+                        continue;
+                    }
+                    seen.insert(k, ());
+                    if let Some(value) = v {
+                        rows += 1;
+                        bytes += entry_bytes(k, Some(value));
+                    }
+                }
+                if vm.full {
+                    break;
+                }
+            }
+            out.push((rows, bytes));
+        }
+        Ok(out)
+    }
+
     /// Per-version statistics: `(ssid, stored entries, approx bytes)` for
     /// every snapshot id currently held, ascending. Backs the `sys_snapshots`
     /// system table.
@@ -720,6 +753,49 @@ mod tests {
         assert!(stats[0].2 > 0);
         let total: u64 = stats.iter().map(|(_, _, b)| *b).sum();
         assert_eq!(total as usize, s.stats().approx_bytes);
+    }
+
+    #[test]
+    fn resolved_partition_stats_match_scans() {
+        let s = store();
+        write_all(
+            &s,
+            1,
+            vec![
+                (Value::Int(1), Some(Value::Int(10))),
+                (Value::Int(2), Some(Value::Int(20))),
+                (Value::Int(3), Some(Value::Int(30))),
+            ],
+            true,
+        );
+        write_all(
+            &s,
+            2,
+            vec![(Value::Int(2), Some(Value::Int(21))), (Value::Int(3), None)],
+            false,
+        );
+        for ssid in [1u64, 2] {
+            let stats = s.resolved_partition_stats(SnapshotId(ssid)).unwrap();
+            assert_eq!(stats.len(), 8);
+            let (scan, _) = s.scan_at(SnapshotId(ssid)).unwrap();
+            assert_eq!(
+                stats.iter().map(|(r, _)| r).sum::<u64>(),
+                scan.len() as u64,
+                "ssid {ssid} totals"
+            );
+            // Per partition, rows match the per-partition resolved scan.
+            for (pid, (rows, bytes)) in stats.iter().enumerate() {
+                let part = s
+                    .scan_partition_at(SnapshotId(ssid), PartitionId(pid as u32))
+                    .unwrap();
+                assert_eq!(*rows, part.len() as u64);
+                if part.is_empty() {
+                    assert_eq!(*bytes, 0);
+                }
+            }
+        }
+        s.prune_below(SnapshotId(2));
+        assert!(s.resolved_partition_stats(SnapshotId(1)).is_err());
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Continuous state statistics: the grid-level aggregation layer.
+//!
+//! Two tiers, mirroring the tentpole split:
+//!
+//! 1. **Always-on accounting** lives in each [`crate::imap::IMap`] as
+//!    relaxed per-partition atomics (rows, bytes, write/remove totals) —
+//!    see `IMap::partition_stats`. It costs a handful of relaxed atomic
+//!    ops per write and is never switched off.
+//! 2. **Sampled sketches** live here, one [`TableSketches`] per live table
+//!    behind the `SketchState` lock: an HLL distinct-count estimator fed by
+//!    walking live partitions, a SpaceSaving heavy-hitter summary fed by
+//!    the maps' armed recent-key rings, a skew coefficient over partition
+//!    row counts, and write/remove rates from counter deltas. They update
+//!    only when [`StateStats::sample`] runs (the runtime's sampler thread,
+//!    interval from `SQueryConfig`) — when the sampler is off the only
+//!    residual cost is one relaxed load per map write.
+//!
+//! [`StateStats::snapshot`] is the read side the `StatsCatalog` in
+//! `squery-core` turns into the `sys_state_stats` / `sys_hot_keys` tables;
+//! each sample also exports per-table gauges through the grid's
+//! [`MetricsRegistry`], so Prometheus/JSON dumps carry the same numbers.
+
+use crate::grid::Grid;
+use parking_lot::Mutex;
+use squery_common::lockorder::{self, LockClass};
+use squery_common::sketch::{key_hash, skew_coefficient, HeavyHitter, Hll, SpaceSaving};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One table's sampled statistics, merged with its always-on accounting.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Live table name.
+    pub table: String,
+    /// Live entry count (sum of per-partition accounting).
+    pub rows: u64,
+    /// Approximate encoded bytes.
+    pub bytes: u64,
+    /// Total puts since map creation.
+    pub writes: u64,
+    /// Total removes since map creation.
+    pub removes: u64,
+    /// Puts per second over the last sampler interval.
+    pub write_rate_per_s: f64,
+    /// Removes per second over the last sampler interval.
+    pub remove_rate_per_s: f64,
+    /// HLL-estimated distinct keys ever written (since last reset).
+    pub distinct_keys: u64,
+    /// Partition-size skew coefficient (0 = perfectly uniform).
+    pub skew: f64,
+    /// Heavy hitters, highest estimated write count first.
+    pub hot_keys: Vec<HeavyHitter>,
+    /// Number of sampler passes that have observed this table.
+    pub samples: u64,
+}
+
+struct TableSketches {
+    hll: Hll,
+    topk: SpaceSaving,
+    skew: f64,
+    samples: u64,
+    last_writes: u64,
+    last_removes: u64,
+    last_sample: Option<Instant>,
+    write_rate_per_s: f64,
+    remove_rate_per_s: f64,
+}
+
+impl TableSketches {
+    fn new(topk_capacity: usize) -> TableSketches {
+        TableSketches {
+            hll: Hll::new(),
+            topk: SpaceSaving::new(topk_capacity),
+            skew: 0.0,
+            samples: 0,
+            last_writes: 0,
+            last_removes: 0,
+            last_sample: None,
+            write_rate_per_s: 0.0,
+            remove_rate_per_s: 0.0,
+        }
+    }
+}
+
+/// Grid-wide sketch state and sampling entry points. One per [`Grid`].
+pub struct StateStats {
+    armed: AtomicBool,
+    topk_capacity: AtomicUsize,
+    samples_total: AtomicU64,
+    sketches: Mutex<HashMap<String, TableSketches>>,
+}
+
+impl Default for StateStats {
+    fn default() -> Self {
+        StateStats::new()
+    }
+}
+
+impl StateStats {
+    /// Fresh, disarmed state with the default heavy-hitter capacity.
+    pub fn new() -> StateStats {
+        StateStats {
+            armed: AtomicBool::new(false),
+            topk_capacity: AtomicUsize::new(squery_common::sketch::DEFAULT_TOP_K),
+            samples_total: AtomicU64::new(0),
+            sketches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the sampler is armed (maps collect recent keys).
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_armed(&self, on: bool) {
+        self.armed.store(on, Ordering::Relaxed);
+    }
+
+    /// Set how many heavy hitters each table's sketch monitors. Applies to
+    /// tables first seen after the call.
+    pub fn set_hot_key_capacity(&self, capacity: usize) {
+        self.topk_capacity.store(capacity.max(1), Ordering::Relaxed);
+    }
+
+    /// Total sampler passes across all tables.
+    pub fn samples_total(&self) -> u64 {
+        self.samples_total.load(Ordering::Relaxed)
+    }
+
+    /// Run one sampler pass over every live map in `grid`: drain the
+    /// recent-key rings into the heavy-hitter sketches, walk live partitions
+    /// into the HLL estimators, refresh skew and rates, and export the
+    /// per-table gauges. Returns the number of tables sampled.
+    pub fn sample(&self, grid: &Grid) -> usize {
+        let t0 = Instant::now();
+        let span = grid.telemetry().spans().start("stats_sample");
+        let maps: Vec<_> = grid
+            .map_names()
+            .into_iter()
+            .filter_map(|n| grid.get_map(&n))
+            .collect();
+        let mut exported: Vec<TableStats> = Vec::with_capacity(maps.len());
+        for map in &maps {
+            // Gather evidence before touching the sketch lock: the ring
+            // drain takes StatsRing (rank 12) and the partition walk takes
+            // PartitionMap (rank 10), both below SketchState (rank 13).
+            let recent = map.drain_recent_keys();
+            let part_stats = map.partition_stats();
+            let mut hashes: Vec<u64> = Vec::new();
+            for pid in 0..map.partitioner().partition_count() {
+                map.for_each_in_partition(squery_common::PartitionId(pid), |k, _| {
+                    hashes.push(key_hash(k));
+                });
+            }
+            let rows_per_part: Vec<u64> = part_stats.iter().map(|s| s.rows).collect();
+            let writes: u64 = part_stats.iter().map(|s| s.writes).sum();
+            let removes: u64 = part_stats.iter().map(|s| s.removes).sum();
+            let now = Instant::now();
+            let stats = {
+                let _so = lockorder::acquired(LockClass::SketchState);
+                let mut tables = self.sketches.lock();
+                let capacity = self.topk_capacity.load(Ordering::Relaxed);
+                let sk = tables
+                    .entry(map.name().to_string())
+                    .or_insert_with(|| TableSketches::new(capacity));
+                for h in &hashes {
+                    sk.hll.offer_hash(*h);
+                }
+                for key in &recent {
+                    sk.topk.offer(key);
+                }
+                sk.skew = skew_coefficient(&rows_per_part);
+                if let Some(prev) = sk.last_sample {
+                    let dt = now.duration_since(prev).as_secs_f64().max(1e-3);
+                    sk.write_rate_per_s = writes.saturating_sub(sk.last_writes) as f64 / dt;
+                    sk.remove_rate_per_s = removes.saturating_sub(sk.last_removes) as f64 / dt;
+                }
+                sk.last_sample = Some(now);
+                sk.last_writes = writes;
+                sk.last_removes = removes;
+                sk.samples += 1;
+                self.samples_total.fetch_add(1, Ordering::Relaxed);
+                table_stats(map.name(), &part_stats, sk)
+            };
+            exported.push(stats);
+        }
+        // Gauge export outside the sketch lock (Telemetry ranks above
+        // SketchState, but there is no reason to nest).
+        let reg = grid.telemetry();
+        for s in &exported {
+            let labels = [("table", s.table.as_str())];
+            reg.gauge("stats_distinct_keys", &labels)
+                .set(s.distinct_keys as i64);
+            reg.gauge("stats_hot_key_count", &labels)
+                .set(s.hot_keys.len() as i64);
+            reg.gauge("stats_skew_milli", &labels)
+                .set((s.skew * 1000.0).round() as i64);
+            reg.gauge("stats_write_rate_milli", &labels)
+                .set((s.write_rate_per_s * 1000.0).round() as i64);
+            reg.gauge("stats_remove_rate_milli", &labels)
+                .set((s.remove_rate_per_s * 1000.0).round() as i64);
+        }
+        reg.counter("stats_samples_total", &[])
+            .add(maps.len() as u64);
+        reg.histogram("stats_sample_us", &[])
+            .record(t0.elapsed().as_micros() as u64);
+        drop(span);
+        maps.len()
+    }
+
+    /// Current statistics for every live map, sorted by name. Counter
+    /// fields (rows, bytes, writes, removes) come from the always-on
+    /// write-path accounting and are live; sketch fields are zero until the
+    /// first sampler pass covers the table.
+    pub fn snapshot(&self, grid: &Grid) -> Vec<TableStats> {
+        let mut out = Vec::new();
+        let empty = TableSketches::new(1);
+        let _so = lockorder::acquired(LockClass::SketchState);
+        let tables = self.sketches.lock();
+        for name in grid.map_names() {
+            let Some(map) = grid.get_map(&name) else {
+                continue;
+            };
+            let sk = tables.get(&name).unwrap_or(&empty);
+            out.push(table_stats(&name, &map.partition_stats(), sk));
+        }
+        drop(tables);
+        out.sort_by(|a, b| a.table.cmp(&b.table));
+        out
+    }
+
+    /// Statistics for one table, if its live map exists. Sketch fields are
+    /// zero until the first sampler pass covers the table.
+    pub fn table(&self, grid: &Grid, name: &str) -> Option<TableStats> {
+        let map = grid.get_map(name)?;
+        let _so = lockorder::acquired(LockClass::SketchState);
+        let tables = self.sketches.lock();
+        let empty = TableSketches::new(1);
+        let sk = tables.get(name).unwrap_or(&empty);
+        Some(table_stats(name, &map.partition_stats(), sk))
+    }
+
+    /// Recovery hook: supervised restarts clear and reload live maps, so
+    /// the rate baselines must re-anchor on the restored counters or the
+    /// next sample would report a phantom churn spike (or, worse, negative
+    /// deltas without the saturating math). Sketches survive — the key
+    /// population is the same state, reloaded.
+    pub fn note_recovery(&self, grid: &Grid) {
+        let _so = lockorder::acquired(LockClass::SketchState);
+        let mut tables = self.sketches.lock();
+        for (name, sk) in tables.iter_mut() {
+            let Some(map) = grid.get_map(name) else {
+                continue;
+            };
+            let part_stats = map.partition_stats();
+            sk.last_writes = part_stats.iter().map(|s| s.writes).sum();
+            sk.last_removes = part_stats.iter().map(|s| s.removes).sum();
+            sk.last_sample = None;
+            sk.write_rate_per_s = 0.0;
+            sk.remove_rate_per_s = 0.0;
+        }
+    }
+
+    /// Drop all sketch state (tests and full resets).
+    pub fn clear(&self) {
+        let _so = lockorder::acquired(LockClass::SketchState);
+        self.sketches.lock().clear();
+        self.samples_total.store(0, Ordering::Relaxed);
+    }
+}
+
+fn table_stats(
+    name: &str,
+    part_stats: &[crate::imap::PartitionStats],
+    sk: &TableSketches,
+) -> TableStats {
+    TableStats {
+        table: name.to_string(),
+        rows: part_stats.iter().map(|s| s.rows).sum(),
+        bytes: part_stats.iter().map(|s| s.bytes).sum(),
+        writes: part_stats.iter().map(|s| s.writes).sum(),
+        removes: part_stats.iter().map(|s| s.removes).sum(),
+        write_rate_per_s: sk.write_rate_per_s,
+        remove_rate_per_s: sk.remove_rate_per_s,
+        distinct_keys: sk.hll.estimate().round() as u64,
+        skew: sk.skew,
+        hot_keys: sk.topk.top(usize::MAX),
+        samples: sk.samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squery_common::Value;
+
+    fn grid_with_data() -> std::sync::Arc<Grid> {
+        let g = Grid::single_node();
+        let m = g.map("orders");
+        for i in 0..500i64 {
+            m.put(Value::Int(i), Value::Int(i * 2));
+        }
+        g
+    }
+
+    #[test]
+    fn sample_builds_sketches_and_exports_gauges() {
+        let g = grid_with_data();
+        g.arm_stats(true);
+        // Writes after arming feed the heavy-hitter ring.
+        let m = g.get_map("orders").unwrap();
+        for _ in 0..50 {
+            m.put(Value::Int(7), Value::Int(7));
+        }
+        let sampled = g.stats().sample(&g);
+        assert_eq!(sampled, 1);
+        let stats = g.stats().snapshot(&g);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.table, "orders");
+        assert_eq!(s.rows, 500);
+        let err = (s.distinct_keys as f64 - 500.0).abs() / 500.0;
+        assert!(err < 0.05, "distinct ~500, got {}", s.distinct_keys);
+        assert_eq!(s.hot_keys[0].key, Value::Int(7), "{:?}", s.hot_keys);
+        assert!(s.skew >= 0.0);
+        assert_eq!(s.samples, 1);
+        assert_eq!(g.stats().samples_total(), 1);
+        let labels = [("table", "orders")];
+        let reg = g.telemetry();
+        assert!(reg.gauge_value("stats_distinct_keys", &labels).unwrap() > 0);
+        assert!(reg.gauge_value("stats_hot_key_count", &labels).unwrap() >= 1);
+        assert_eq!(reg.counter_value("stats_samples_total", &[]), Some(1));
+    }
+
+    #[test]
+    fn rates_follow_counter_deltas_and_recovery_resets_baselines() {
+        let g = grid_with_data();
+        g.stats().sample(&g);
+        let m = g.get_map("orders").unwrap();
+        for i in 0..100i64 {
+            m.put(Value::Int(1000 + i), Value::Int(i));
+        }
+        g.stats().sample(&g);
+        let s = g.stats().table(&g, "orders").unwrap();
+        assert!(
+            s.write_rate_per_s > 0.0,
+            "second sample sees churn: {}",
+            s.write_rate_per_s
+        );
+        // After a simulated recovery reset, the next sample must not claim
+        // churn (and must never go negative).
+        g.stats().note_recovery(&g);
+        let s = g.stats().table(&g, "orders").unwrap();
+        assert_eq!(s.write_rate_per_s, 0.0);
+        g.stats().sample(&g);
+        let s = g.stats().table(&g, "orders").unwrap();
+        assert!(s.write_rate_per_s >= 0.0);
+        assert_eq!(s.rows, 600);
+    }
+
+    #[test]
+    fn disarmed_maps_collect_no_hot_keys() {
+        let g = grid_with_data();
+        assert!(!g.stats().is_armed());
+        g.stats().sample(&g);
+        let s = g.stats().table(&g, "orders").unwrap();
+        assert!(s.hot_keys.is_empty(), "{:?}", s.hot_keys);
+        // Distinct-count sampling still works: it walks live partitions.
+        assert!(s.distinct_keys > 400);
+    }
+
+    #[test]
+    fn arming_through_the_grid_reaches_existing_and_new_maps() {
+        let g = Grid::single_node();
+        let before = g.map("before");
+        g.arm_stats(true);
+        assert!(before.stats_armed(), "existing maps armed");
+        let after = g.map("after");
+        assert!(after.stats_armed(), "new maps arm on creation");
+        g.arm_stats(false);
+        assert!(!before.stats_armed());
+        assert!(!after.stats_armed());
+    }
+}

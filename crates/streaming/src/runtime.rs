@@ -115,6 +115,9 @@ pub struct EngineConfig {
     pub checkpoint_retries: u32,
     /// Base backoff between checkpoint retries.
     pub retry_backoff: Duration,
+    /// State-statistics sampler interval (`None` = sampler off; live maps
+    /// then pay only one relaxed atomic load per write).
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -127,30 +130,86 @@ impl Default for EngineConfig {
             ack_timeout: Duration::from_secs(10),
             checkpoint_retries: 0,
             retry_backoff: Duration::from_millis(50),
+            stats_interval: None,
         }
     }
 }
 
 /// The execution environment: a grid plus engine configuration.
+///
+/// When `config.stats_interval` is set, the environment owns the
+/// state-statistics sampler: a named background thread that arms the grid's
+/// recent-key collection and runs [`squery_storage::StateStats::sample`]
+/// every interval. The thread is stopped and joined when the environment
+/// drops.
 pub struct StreamEnv {
     grid: Arc<Grid>,
     config: EngineConfig,
     clock: Clock,
+    sampler: Option<StatsSampler>,
+}
+
+struct StatsSampler {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StatsSampler {
+    fn start(grid: Arc<Grid>, interval: Duration) -> StatsSampler {
+        grid.arm_stats(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = spawn_named("stats-sampler".to_string(), move || {
+            let tick = Duration::from_millis(10).min(interval);
+            let mut last = Instant::now();
+            while !stop2.load(Ordering::Relaxed) {
+                // Sleep in short slices so a dropping StreamEnv never waits
+                // a whole interval for the join.
+                std::thread::sleep(tick);
+                if last.elapsed() >= interval {
+                    grid.stats().sample(&grid);
+                    last = Instant::now();
+                }
+            }
+        });
+        StatsSampler {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for StatsSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl StreamEnv {
     /// An environment over `grid`.
     pub fn new(grid: Arc<Grid>, config: EngineConfig) -> StreamEnv {
+        let sampler = config
+            .stats_interval
+            .map(|interval| StatsSampler::start(Arc::clone(&grid), interval));
         StreamEnv {
             grid,
             config,
             clock: Clock::wall(),
+            sampler,
         }
     }
 
     /// The environment's grid.
     pub fn grid(&self) -> &Arc<Grid> {
         &self.grid
+    }
+
+    /// Whether the background stats sampler is running.
+    pub fn stats_sampler_running(&self) -> bool {
+        self.sampler.is_some()
     }
 
     /// Submit a job; threads start immediately.
@@ -706,6 +765,10 @@ impl SupervisedJob {
                         grid.telemetry()
                             .histogram("recovery_duration_us", &[])
                             .record(began.elapsed().as_micros() as u64);
+                        // Live maps were cleared and reloaded: re-anchor the
+                        // stats rate baselines so the next sampler pass does
+                        // not report the restore as churn.
+                        grid.stats().note_recovery(&grid);
                     }
                 }
             })
@@ -1111,6 +1174,39 @@ mod tests {
             .enumerate()
             .map(|(k, s)| (Value::Int(k as i64), Value::Int(s)))
             .collect()
+    }
+
+    #[test]
+    fn stats_sampler_lifecycle_follows_the_env() {
+        let grid = Grid::single_node();
+        let config = EngineConfig {
+            state: StateConfig::live_and_snapshot(),
+            checkpoint_interval: None,
+            stats_interval: Some(Duration::from_millis(5)),
+            ..EngineConfig::default()
+        };
+        let env = StreamEnv::new(Arc::clone(&grid), config);
+        assert!(env.stats_sampler_running());
+        assert!(grid.stats().is_armed(), "env arms the grid");
+        grid.map("orders").put(Value::Int(1), Value::Int(1));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while grid.stats().samples_total() == 0 {
+            assert!(Instant::now() < deadline, "sampler never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(grid.stats().table(&grid, "orders").is_some());
+        drop(env);
+        // After the drop the thread is joined: the sample count freezes.
+        let frozen = grid.stats().samples_total();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(grid.stats().samples_total(), frozen);
+    }
+
+    #[test]
+    fn sampler_disabled_by_default() {
+        let env = env(StateConfig::live_and_snapshot());
+        assert!(!env.stats_sampler_running());
+        assert!(!env.grid().stats().is_armed());
     }
 
     #[test]

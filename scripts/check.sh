@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, static analysis, the full test suite,
-# the chaos soak, and the trace-export smoke.
-# Usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace]
+# the chaos soak, the trace-export smoke, and the state-statistics smoke.
+# Usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace|stats]
 #   --fix         apply rustfmt instead of only checking
 #   --only STEP   run a single step (what the CI jobs call)
 set -euo pipefail
@@ -15,13 +15,13 @@ while [[ $# -gt 0 ]]; do
         --only)
             only="${2:-}"
             if [[ -z "$only" ]]; then
-                echo "--only requires an argument: fmt|clippy|lint|test|chaos|trace" >&2
+                echo "--only requires an argument: fmt|clippy|lint|test|chaos|trace|stats" >&2
                 exit 2
             fi
             shift 2
             ;;
         *)
-            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace])" >&2
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace|stats])" >&2
             exit 2
             ;;
     esac
@@ -105,6 +105,17 @@ print(
 EOF
 }
 
+run_stats() {
+    # State-statistics smoke: skewed population through the accounting +
+    # sampler pipeline, asserting partition counts match real scans at
+    # DOP 1/4, the planted hot key surfaces, EXPLAIN carries est_rows,
+    # and the JSON dump is well-formed.
+    local out="${STATS_JSON:-target/stats.json}"
+    echo "==> stats smoke (-> $out)"
+    cargo run --release -q -p squery-bench --bin stats-watch -- \
+        --smoke --json "$out"
+}
+
 case "$only" in
     "") run_fmt; run_clippy; run_lint; run_test ;;
     fmt) run_fmt ;;
@@ -113,8 +124,9 @@ case "$only" in
     test) run_test ;;
     chaos) run_chaos ;;
     trace) run_trace ;;
+    stats) run_stats ;;
     *)
-        echo "unknown step '$only' (known: fmt, clippy, lint, test, chaos, trace)" >&2
+        echo "unknown step '$only' (known: fmt, clippy, lint, test, chaos, trace, stats)" >&2
         exit 2
         ;;
 esac

@@ -85,7 +85,15 @@ pub fn gated_counter_system(
     keys: u64,
     parallelism: u32,
 ) -> (SQuery, JobHandle, Arc<AtomicU64>) {
-    let config = SQueryConfig::default().with_state(state);
+    gated_counter_system_with(SQueryConfig::default().with_state(state), keys, parallelism)
+}
+
+/// [`gated_counter_system`] with full control over the deployment config.
+pub fn gated_counter_system_with(
+    config: SQueryConfig,
+    keys: u64,
+    parallelism: u32,
+) -> (SQuery, JobHandle, Arc<AtomicU64>) {
     let system = SQuery::new(config).expect("bring up S-QUERY");
     let allowance = Arc::new(AtomicU64::new(0));
     let mut b = JobSpec::builder("gated-counter");

@@ -1,0 +1,217 @@
+//! Continuous state-statistics integration tests: write-path accounting vs
+//! real scans across degrees of parallelism, pinned-snapshot partition
+//! profiles, and survival of the counters through supervised recovery.
+
+mod common;
+
+use common::{advance, gated_counter_system_with};
+use squery::{RestartPolicy, SQueryConfig, StateConfig};
+use squery_common::fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger, InjectionPoint};
+use squery_common::{PartitionId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Per-partition row counts of a live map, counted by really scanning it.
+fn scanned_partition_rows(grid: &squery::Grid, map: &str) -> HashMap<i64, i64> {
+    let map = grid.get_map(map).expect("live map");
+    let mut out = HashMap::new();
+    for pid in 0..map.partitioner().partition_count() {
+        let mut n = 0i64;
+        map.for_each_in_partition(PartitionId(pid), |_, _| n += 1);
+        if n > 0 {
+            out.insert(pid as i64, n);
+        }
+    }
+    out
+}
+
+/// The accounting behind `sys_partitions` must agree, partition by
+/// partition, with what a real scan returns — at every supported degree of
+/// parallelism, for the live table and for a pinned snapshot version.
+#[test]
+fn sys_partitions_match_scan_counts_at_every_dop() {
+    let (system, job, allowance) = gated_counter_system_with(
+        SQueryConfig::default().with_state(StateConfig::live_and_snapshot()),
+        97,
+        2,
+    );
+    advance(&job, &allowance, 500);
+    let pinned = job.checkpoint_now().unwrap();
+    // More churn after the checkpoint: live and snapshot profiles diverge.
+    advance(&job, &allowance, 700);
+
+    let expected_live = scanned_partition_rows(system.grid(), "count");
+    assert!(!expected_live.is_empty(), "fixture populated partitions");
+    let expected_live_total: i64 = expected_live.values().sum();
+
+    for dop in [1usize, 4, 8] {
+        let rs = system
+            .query_with_dop(
+                "SELECT partition, rows FROM sys_partitions \
+                 WHERE table = 'count' AND ssid IS NULL",
+                dop,
+            )
+            .unwrap();
+        let accounted: HashMap<i64, i64> = rs
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            accounted, expected_live,
+            "live accounting diverged from scan at dop {dop}"
+        );
+
+        // The pinned snapshot's profile must sum to the checkpoint-time
+        // population (97 distinct keys seen by event 500).
+        let rs = system
+            .query_with_dop(
+                &format!(
+                    "SELECT SUM(rows) AS n FROM sys_partitions \
+                     WHERE table = 'snapshot_count' AND ssid = {}",
+                    pinned.0
+                ),
+                dop,
+            )
+            .unwrap();
+        assert_eq!(
+            rs.scalar("n"),
+            Some(&Value::Int(97)),
+            "pinned snapshot profile wrong at dop {dop}"
+        );
+    }
+
+    // Cross-check the catalog totals against a real COUNT(*).
+    let counted = system
+        .query("SELECT COUNT(*) AS n FROM count")
+        .unwrap()
+        .scalar("n")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(counted, expected_live_total);
+    assert_eq!(system.stats().estimated_rows("count"), Some(counted as u64));
+    job.stop();
+}
+
+/// Supervised recovery clears and reloads live maps; the accounting must
+/// come out of it matching the restored state — never negative, and with
+/// the restore itself not counted as write churn.
+#[test]
+fn stats_survive_supervised_recovery() {
+    let config = SQueryConfig::default()
+        .with_state(StateConfig::live_and_snapshot())
+        .with_stats_interval(Some(Duration::from_millis(10)));
+    let system = std::sync::Arc::new(squery::SQuery::new(config).unwrap());
+    let injector = system.inject_faults(FaultPlan::new(0).with(FaultSpec {
+        point: InjectionPoint::WorkerPostAck,
+        action: FaultAction::PanicWorker,
+        trigger: FaultTrigger {
+            at_ssid: Some(2),
+            operator: Some("count".into()),
+            instance: Some(0),
+            ..FaultTrigger::default()
+        },
+        once: true,
+    }));
+
+    let allowance = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut b = squery::JobSpec::builder("stats-recovery");
+    let src = b.source(
+        "events",
+        1,
+        std::sync::Arc::new(common::GatedFactory {
+            keys: 13,
+            allowance: std::sync::Arc::clone(&allowance),
+        }),
+    );
+    let op = b.stateful_with_schema(
+        "count",
+        2,
+        common::counter_factory(),
+        squery_common::schema::schema(vec![("this", squery_common::DataType::Int)]),
+    );
+    let sink = b.sink(
+        "sink",
+        1,
+        std::sync::Arc::new(squery_streaming::dag::adapters::NullSinkFactory),
+    );
+    b.edge(src, op, squery::EdgeKind::Keyed);
+    b.edge(op, sink, squery::EdgeKind::Forward);
+    let job = system
+        .submit_supervised(
+            b.build().unwrap(),
+            RestartPolicy {
+                max_restarts: 5,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(50),
+                poll_interval: Duration::from_millis(2),
+                jitter_seed: 7,
+            },
+        )
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+
+    let live_total = |sys: &squery::SQuery| -> i64 {
+        sys.query("SELECT SUM(this) AS n FROM count")
+            .unwrap()
+            .scalar("n")
+            .and_then(|v| v.as_int())
+            .unwrap_or(0)
+    };
+
+    // Round 1 commits; round 2's checkpoint fires the planned worker panic
+    // and the supervisor recovers on its own.
+    allowance.store(100, Ordering::Release);
+    while live_total(&system) < 100 {
+        assert!(Instant::now() < deadline, "round 1 never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    job.with_job(|j| j.checkpoint_now()).unwrap();
+    allowance.store(200, Ordering::Release);
+    while live_total(&system) < 200 {
+        assert!(Instant::now() < deadline, "round 2 never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = job.with_job(|j| j.checkpoint_now()); // fires the fault
+    while injector.records().is_empty() || job.status().restarts == 0 {
+        assert!(!job.status().gave_up, "supervisor gave up");
+        assert!(Instant::now() < deadline, "recovery never happened");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Let the replay finish: state catches back up to the full stream.
+    while live_total(&system) < 200 {
+        assert!(Instant::now() < deadline, "replay never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The accounting matches the restored reality: per-table rows equal a
+    // real scan, and nothing went negative through clear + reload.
+    let expected = scanned_partition_rows(system.grid(), "count");
+    let stats = system.stats().table("count").expect("stats for count");
+    assert_eq!(
+        stats.rows,
+        expected.values().sum::<i64>() as u64,
+        "restored accounting diverged from scan"
+    );
+    for (pid, s) in system
+        .grid()
+        .get_map("count")
+        .unwrap()
+        .partition_stats()
+        .into_iter()
+        .enumerate()
+    {
+        let scanned = expected.get(&(pid as i64)).copied().unwrap_or(0) as u64;
+        assert_eq!(s.rows, scanned, "partition {pid} rows wrong after recovery");
+    }
+    // Sampler keeps running against the recovered state without panicking,
+    // and the sketches still see the full key population.
+    let before = system.stats().samples_total();
+    system.sample_stats_now();
+    assert!(system.stats().samples_total() > before);
+    let t = system.stats().table("count").unwrap();
+    assert_eq!(t.distinct_keys, 13, "HLL exact at 13 keys");
+    job.stop();
+}
