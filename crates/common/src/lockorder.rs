@@ -48,6 +48,10 @@ pub enum LockClass {
     Replication,
     /// Per-partition snapshot store data.
     SnapshotPartition,
+    /// `SnapshotStore.exec_cache` — memoized executor structures (decoded
+    /// column batches, frozen join tables) over committed snapshots; taken
+    /// after the partition data locks are released, never inside them.
+    ExecCache,
     /// `LockStripes` — the key-level stripe a live read/write holds for
     /// read-committed isolation.
     KeyStripe,
@@ -88,17 +92,18 @@ impl LockClass {
             LockClass::PartitionTable => 6,
             LockClass::Replication => 7,
             LockClass::SnapshotPartition => 8,
-            LockClass::KeyStripe => 9,
-            LockClass::PartitionMap => 10,
-            LockClass::MapMeta => 11,
-            LockClass::StatsRing => 12,
-            LockClass::SketchState => 13,
-            LockClass::CheckpointStats => 14,
-            LockClass::Telemetry => 15,
-            LockClass::EventRing => 16,
-            LockClass::SpanShard => 17,
-            LockClass::Histogram => 18,
-            LockClass::FaultState => 19,
+            LockClass::ExecCache => 9,
+            LockClass::KeyStripe => 10,
+            LockClass::PartitionMap => 11,
+            LockClass::MapMeta => 12,
+            LockClass::StatsRing => 13,
+            LockClass::SketchState => 14,
+            LockClass::CheckpointStats => 15,
+            LockClass::Telemetry => 16,
+            LockClass::EventRing => 17,
+            LockClass::SpanShard => 18,
+            LockClass::Histogram => 19,
+            LockClass::FaultState => 20,
         }
     }
 
@@ -113,6 +118,7 @@ impl LockClass {
             LockClass::PartitionTable => "PartitionTable",
             LockClass::Replication => "Replication",
             LockClass::SnapshotPartition => "SnapshotPartition",
+            LockClass::ExecCache => "ExecCache",
             LockClass::KeyStripe => "KeyStripe",
             LockClass::PartitionMap => "PartitionMap",
             LockClass::MapMeta => "MapMeta",

@@ -142,6 +142,14 @@ impl SQuery {
         self.sql.query_with_dop(sql, dop)
     }
 
+    /// Run a SQL query with explicit parallelism and vectorized-execution
+    /// choices. `vectorized: false` forces the row engine even where the
+    /// columnar kernels apply — the equivalence tests and bench gate use
+    /// this to compare both paths over identical state.
+    pub fn query_with_opts(&self, sql: &str, dop: usize, vectorized: bool) -> SqResult<ResultSet> {
+        self.sql.query_with_opts(sql, dop, vectorized)
+    }
+
     /// The direct object interface (point/multi-key reads, Figure 14).
     /// Multi-key reads inherit the configured `query_parallelism`.
     pub fn direct(&self) -> DirectQuery {

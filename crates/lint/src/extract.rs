@@ -130,6 +130,7 @@ pub fn lock_class_of(file_basename: &str, receiver: &str) -> Option<LockClass> {
         ("imap.rs", "telemetry", LockClass::MapMeta),
         ("snapshot.rs", "telemetry", LockClass::MapMeta),
         ("imap.rs", "recent_keys", LockClass::StatsRing),
+        ("snapshot.rs", "exec_cache", LockClass::ExecCache),
         ("stats.rs", "sketches", LockClass::SketchState),
     ];
     for (f, r, c) in qualified {

@@ -1,0 +1,620 @@
+//! Columnar batches: the vectorized executor's unit of work.
+//!
+//! A [`ColumnarBatch`] holds up to [`BATCH_ROWS`] rows as fixed-width typed
+//! column vectors plus per-column validity (null) bitmaps. Batches are built
+//! at the scan boundary — either converted from row slices or, for
+//! partitioned grid tables, filled directly from storage — and flow through
+//! the type-specialized filter / aggregate / join-probe kernels in
+//! `vectorized.rs` without per-row `Value` boxing.
+//!
+//! Column typing is inferred per batch from the data itself: the first
+//! non-null value fixes the column's type, and any later value of a
+//! different type degrades the column to [`Column::Any`] (boxed `Value`s),
+//! which the kernels treat as "not kernelizable — fall back to the row
+//! engine for this batch". Reconstructing rows via [`ColumnarBatch::row_at`]
+//! always yields exactly the `Value`s that went in, so the row fallback and
+//! the kernels see identical data.
+
+use squery_common::Value;
+use std::sync::Arc;
+
+/// Target rows per batch (~cache-friendly: 1024 × 8 B = 8 KiB per column).
+pub const BATCH_ROWS: usize = 1024;
+
+/// Three-valued logic for predicate masks (SQL `WHERE` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely false.
+    False,
+    /// Definitely true (the row is selected).
+    True,
+    /// NULL (not selected, but distinct from false under NOT / OR).
+    Null,
+}
+
+/// A per-row predicate result for one batch (Kleene three-valued logic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask(pub Vec<Tri>);
+
+impl Mask {
+    /// Kleene AND, in place.
+    pub fn and(&mut self, other: &Mask) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = match (*a, *b) {
+                (Tri::False, _) | (_, Tri::False) => Tri::False,
+                (Tri::True, Tri::True) => Tri::True,
+                _ => Tri::Null,
+            };
+        }
+    }
+
+    /// Kleene OR, in place.
+    pub fn or(&mut self, other: &Mask) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = match (*a, *b) {
+                (Tri::True, _) | (_, Tri::True) => Tri::True,
+                (Tri::False, Tri::False) => Tri::False,
+                _ => Tri::Null,
+            };
+        }
+    }
+
+    /// Kleene NOT, in place.
+    pub fn not(&mut self) {
+        for a in self.0.iter_mut() {
+            *a = match *a {
+                Tri::True => Tri::False,
+                Tri::False => Tri::True,
+                Tri::Null => Tri::Null,
+            };
+        }
+    }
+
+    /// Indices of selected (`True`) rows, ascending.
+    pub fn selected(&self) -> Vec<u32> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Tri::True)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// One column of a batch. The `Vec<bool>` alongside each typed vector is the
+/// validity bitmap: `true` = the value is present, `false` = SQL NULL (the
+/// typed slot holds an arbitrary default and must not be read).
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>, Vec<bool>),
+    /// 64-bit floats.
+    Float(Vec<f64>, Vec<bool>),
+    /// Microsecond timestamps.
+    Timestamp(Vec<i64>, Vec<bool>),
+    /// Booleans.
+    Bool(Vec<bool>, Vec<bool>),
+    /// Strings (shared, so gathers are refcount bumps).
+    Str(Vec<Option<Arc<str>>>),
+    /// Mixed / unsupported types: boxed values, kernels fall back.
+    Any(Vec<Value>),
+}
+
+impl Column {
+    /// Rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v, _) | Column::Timestamp(v, _) => v.len(),
+            Column::Float(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Any(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`, reconstructed exactly as it was pushed.
+    pub fn value_at(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v, ok) => {
+                if ok[row] {
+                    Value::Int(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float(v, ok) => {
+                if ok[row] {
+                    Value::Float(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Timestamp(v, ok) => {
+                if ok[row] {
+                    Value::Timestamp(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Bool(v, ok) => {
+                if ok[row] {
+                    Value::Bool(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Str(Arc::clone(s))),
+            Column::Any(v) => v[row].clone(),
+        }
+    }
+
+    /// A new column holding `rows[i] = self[idx[i]]`.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        match self {
+            Column::Int(v, ok) => Column::Int(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                idx.iter().map(|&i| ok[i as usize]).collect(),
+            ),
+            Column::Float(v, ok) => Column::Float(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                idx.iter().map(|&i| ok[i as usize]).collect(),
+            ),
+            Column::Timestamp(v, ok) => Column::Timestamp(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                idx.iter().map(|&i| ok[i as usize]).collect(),
+            ),
+            Column::Bool(v, ok) => Column::Bool(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                idx.iter().map(|&i| ok[i as usize]).collect(),
+            ),
+            Column::Str(v) => Column::Str(idx.iter().map(|&i| v[i as usize].clone()).collect()),
+            Column::Any(v) => Column::Any(idx.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
+}
+
+/// Builds one column value-by-value, inferring the type from the first
+/// non-null value and degrading to [`Column::Any`] on the first mismatch.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    state: BuilderState,
+}
+
+#[derive(Debug)]
+enum BuilderState {
+    /// Only nulls so far (`n` of them) — type still undecided.
+    Empty(usize),
+    Int(Vec<i64>, Vec<bool>),
+    Float(Vec<f64>, Vec<bool>),
+    Timestamp(Vec<i64>, Vec<bool>),
+    Bool(Vec<bool>, Vec<bool>),
+    Str(Vec<Option<Arc<str>>>),
+    Any(Vec<Value>),
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        ColumnBuilder::new()
+    }
+}
+
+impl ColumnBuilder {
+    /// An empty builder.
+    pub fn new() -> ColumnBuilder {
+        ColumnBuilder {
+            state: BuilderState::Empty(0),
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        match &self.state {
+            BuilderState::Empty(n) => *n,
+            BuilderState::Int(v, _) | BuilderState::Timestamp(v, _) => v.len(),
+            BuilderState::Float(v, _) => v.len(),
+            BuilderState::Bool(v, _) => v.len(),
+            BuilderState::Str(v) => v.len(),
+            BuilderState::Any(v) => v.len(),
+        }
+    }
+
+    /// True if nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, value: &Value) {
+        // Fast paths: the value matches the column's current type.
+        match (&mut self.state, value) {
+            (BuilderState::Empty(n), Value::Null) => {
+                *n += 1;
+                return;
+            }
+            (BuilderState::Int(v, ok), Value::Int(x)) => {
+                v.push(*x);
+                ok.push(true);
+                return;
+            }
+            (BuilderState::Int(v, ok), Value::Null) => {
+                v.push(0);
+                ok.push(false);
+                return;
+            }
+            (BuilderState::Float(v, ok), Value::Float(x)) => {
+                v.push(*x);
+                ok.push(true);
+                return;
+            }
+            (BuilderState::Float(v, ok), Value::Null) => {
+                v.push(0.0);
+                ok.push(false);
+                return;
+            }
+            (BuilderState::Timestamp(v, ok), Value::Timestamp(x)) => {
+                v.push(*x);
+                ok.push(true);
+                return;
+            }
+            (BuilderState::Timestamp(v, ok), Value::Null) => {
+                v.push(0);
+                ok.push(false);
+                return;
+            }
+            (BuilderState::Bool(v, ok), Value::Bool(x)) => {
+                v.push(*x);
+                ok.push(true);
+                return;
+            }
+            (BuilderState::Bool(v, ok), Value::Null) => {
+                v.push(false);
+                ok.push(false);
+                return;
+            }
+            (BuilderState::Str(v), Value::Str(s)) => {
+                v.push(Some(Arc::clone(s)));
+                return;
+            }
+            (BuilderState::Str(v), Value::Null) => {
+                v.push(None);
+                return;
+            }
+            (BuilderState::Any(v), _) => {
+                v.push(value.clone());
+                return;
+            }
+            _ => {}
+        }
+        // Type decision: first non-null value in an untyped column.
+        if let BuilderState::Empty(n) = self.state {
+            self.state = match value {
+                Value::Int(x) => {
+                    let mut v = vec![0i64; n];
+                    v.push(*x);
+                    let mut ok = vec![false; n];
+                    ok.push(true);
+                    BuilderState::Int(v, ok)
+                }
+                Value::Float(x) => {
+                    let mut v = vec![0f64; n];
+                    v.push(*x);
+                    let mut ok = vec![false; n];
+                    ok.push(true);
+                    BuilderState::Float(v, ok)
+                }
+                Value::Timestamp(x) => {
+                    let mut v = vec![0i64; n];
+                    v.push(*x);
+                    let mut ok = vec![false; n];
+                    ok.push(true);
+                    BuilderState::Timestamp(v, ok)
+                }
+                Value::Bool(x) => {
+                    let mut v = vec![false; n];
+                    v.push(*x);
+                    let mut ok = vec![false; n];
+                    ok.push(true);
+                    BuilderState::Bool(v, ok)
+                }
+                Value::Str(s) => {
+                    let mut v: Vec<Option<Arc<str>>> = vec![None; n];
+                    v.push(Some(Arc::clone(s)));
+                    BuilderState::Str(v)
+                }
+                _ => {
+                    let mut v = vec![Value::Null; n];
+                    v.push(value.clone());
+                    BuilderState::Any(v)
+                }
+            };
+            return;
+        }
+        // Type mismatch: degrade the whole column to boxed values.
+        let len = self.len();
+        let mut any: Vec<Value> = Vec::with_capacity(len + 1);
+        for i in 0..len {
+            any.push(self.finished_value_at(i));
+        }
+        any.push(value.clone());
+        self.state = BuilderState::Any(any);
+    }
+
+    fn finished_value_at(&self, row: usize) -> Value {
+        match &self.state {
+            BuilderState::Empty(_) => Value::Null,
+            BuilderState::Int(v, ok) => {
+                if ok[row] {
+                    Value::Int(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            BuilderState::Float(v, ok) => {
+                if ok[row] {
+                    Value::Float(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            BuilderState::Timestamp(v, ok) => {
+                if ok[row] {
+                    Value::Timestamp(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            BuilderState::Bool(v, ok) => {
+                if ok[row] {
+                    Value::Bool(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            BuilderState::Str(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Str(Arc::clone(s))),
+            BuilderState::Any(v) => v[row].clone(),
+        }
+    }
+
+    /// Consume the builder into a column.
+    pub fn finish(self) -> Column {
+        match self.state {
+            // All-null columns carry no type information; keep them boxed
+            // so kernels fall back rather than guess a type.
+            BuilderState::Empty(n) => Column::Any(vec![Value::Null; n]),
+            BuilderState::Int(v, ok) => Column::Int(v, ok),
+            BuilderState::Float(v, ok) => Column::Float(v, ok),
+            BuilderState::Timestamp(v, ok) => Column::Timestamp(v, ok),
+            BuilderState::Bool(v, ok) => Column::Bool(v, ok),
+            BuilderState::Str(v) => Column::Str(v),
+            BuilderState::Any(v) => Column::Any(v),
+        }
+    }
+}
+
+/// A batch of rows in columnar layout. All columns have length `len`.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    cols: Vec<Column>,
+    len: usize,
+}
+
+impl ColumnarBatch {
+    /// Build from columns; panics if lengths disagree (programming error).
+    pub fn new(cols: Vec<Column>) -> ColumnarBatch {
+        let len = cols.first().map_or(0, Column::len);
+        for c in &cols {
+            assert_eq!(c.len(), len, "batch columns must have equal length");
+        }
+        ColumnarBatch { cols, len }
+    }
+
+    /// Convert a row slice into one batch (all rows, no chunking).
+    pub fn from_rows(rows: &[Vec<Value>]) -> ColumnarBatch {
+        let width = rows.first().map_or(0, Vec::len);
+        let mut builders: Vec<ColumnBuilder> = (0..width).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        ColumnarBatch {
+            cols: builders.into_iter().map(ColumnBuilder::finish).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Convert a row slice into batches of at most [`BATCH_ROWS`] rows.
+    /// Concatenating the batches reproduces `rows` exactly, in order.
+    pub fn from_rows_chunked(rows: &[Vec<Value>]) -> Vec<ColumnarBatch> {
+        rows.chunks(BATCH_ROWS)
+            .map(ColumnarBatch::from_rows)
+            .collect()
+    }
+
+    /// Like [`ColumnarBatch::from_rows`], but materializing only the listed
+    /// columns, in `cols` order (the scan-boundary column pruning).
+    pub fn from_rows_cols(rows: &[Vec<Value>], cols: &[usize]) -> ColumnarBatch {
+        let mut builders: Vec<ColumnBuilder> =
+            (0..cols.len()).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            for (b, &c) in builders.iter_mut().zip(cols) {
+                b.push(&row[c]);
+            }
+        }
+        ColumnarBatch {
+            cols: builders.into_iter().map(ColumnBuilder::finish).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Column-pruned [`ColumnarBatch::from_rows_chunked`]: batch `i`'s rows
+    /// are the corresponding input rows projected to `cols`.
+    pub fn from_rows_chunked_cols(rows: &[Vec<Value>], cols: &[usize]) -> Vec<ColumnarBatch> {
+        rows.chunks(BATCH_ROWS)
+            .map(|c| ColumnarBatch::from_rows_cols(c, cols))
+            .collect()
+    }
+
+    /// Rows in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The batch's columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// One column.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.cols[col].value_at(row)
+    }
+
+    /// Reconstruct one row, exactly as it was pushed.
+    pub fn row_at(&self, row: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value_at(row)).collect()
+    }
+
+    /// Materialize every row (the boundary into the row engine).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.row_at(i)).collect()
+    }
+
+    /// A new batch holding the given rows of this batch, in `idx` order.
+    pub fn gather(&self, idx: &[u32]) -> ColumnarBatch {
+        ColumnarBatch {
+            cols: self.cols.iter().map(|c| c.gather(idx)).collect(),
+            len: idx.len(),
+        }
+    }
+
+    /// Consume the batch into its columns (for rebuilding wider batches,
+    /// e.g. the join probe's `[left…, kept right…]` output).
+    pub fn into_columns(self) -> Vec<Column> {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Value {
+        Value::Str(Arc::from(x))
+    }
+
+    #[test]
+    fn round_trips_typed_rows() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.5), s("a"), Value::Bool(true)],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null],
+            vec![Value::Int(3), Value::Float(2.5), s("b"), Value::Bool(false)],
+        ];
+        let b = ColumnarBatch::from_rows(&rows);
+        assert_eq!(b.len(), 3);
+        assert!(matches!(b.column(0), Column::Int(_, _)));
+        assert!(matches!(b.column(1), Column::Float(_, _)));
+        assert!(matches!(b.column(2), Column::Str(_)));
+        assert!(matches!(b.column(3), Column::Bool(_, _)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn leading_nulls_backfill_when_type_appears() {
+        let rows = vec![
+            vec![Value::Null],
+            vec![Value::Null],
+            vec![Value::Timestamp(42)],
+        ];
+        let b = ColumnarBatch::from_rows(&rows);
+        assert!(matches!(b.column(0), Column::Timestamp(_, _)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_any_and_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.5)],
+            vec![Value::Int(3)],
+        ];
+        let b = ColumnarBatch::from_rows(&rows);
+        assert!(matches!(b.column(0), Column::Any(_)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn all_null_column_stays_untyped() {
+        let rows = vec![vec![Value::Null], vec![Value::Null]];
+        let b = ColumnarBatch::from_rows(&rows);
+        assert!(matches!(b.column(0), Column::Any(_)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn chunking_concatenates_to_the_input() {
+        let rows: Vec<Vec<Value>> = (0..(BATCH_ROWS as i64 * 2 + 7))
+            .map(|i| vec![Value::Int(i)])
+            .collect();
+        let batches = ColumnarBatch::from_rows_chunked(&rows);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), BATCH_ROWS);
+        assert_eq!(batches[2].len(), 7);
+        let glued: Vec<Vec<Value>> = batches.iter().flat_map(|b| b.to_rows()).collect();
+        assert_eq!(glued, rows);
+    }
+
+    #[test]
+    fn gather_reorders_and_clones() {
+        let rows = vec![
+            vec![Value::Int(10), s("x")],
+            vec![Value::Int(20), s("y")],
+            vec![Value::Null, Value::Null],
+        ];
+        let b = ColumnarBatch::from_rows(&rows);
+        let g = b.gather(&[2, 0, 0]);
+        assert_eq!(
+            g.to_rows(),
+            vec![
+                vec![Value::Null, Value::Null],
+                vec![Value::Int(10), s("x")],
+                vec![Value::Int(10), s("x")],
+            ]
+        );
+    }
+
+    #[test]
+    fn kleene_mask_ops() {
+        use Tri::*;
+        let mut a = Mask(vec![True, True, True, False, False, Null, Null]);
+        let b = Mask(vec![True, False, Null, False, Null, False, Null]);
+        let mut and = a.clone();
+        and.and(&b);
+        assert_eq!(and.0, vec![True, False, Null, False, False, False, Null]);
+        a.or(&b);
+        assert_eq!(a.0, vec![True, True, True, False, Null, Null, Null]);
+        let mut n = b.clone();
+        n.not();
+        assert_eq!(n.0, vec![False, True, Null, True, Null, True, Null]);
+        assert_eq!(Mask(vec![False, True, Null, True]).selected(), vec![1, 3]);
+    }
+}

@@ -72,6 +72,11 @@ pub struct ExecContext {
     /// Span/per-node-statistics sink, present when the query is traced
     /// (collector enabled) or profiled (`EXPLAIN ANALYZE`).
     pub trace: Option<ExecTrace>,
+    /// Whether the executor may use the columnar batch kernels for plan
+    /// shapes they cover. `false` forces the row engine everywhere —
+    /// the fallback path, and the baseline of the equivalence tests and
+    /// the vectorized-vs-row benchmarks.
+    pub vectorized: bool,
 }
 
 impl ExecContext {
@@ -85,12 +90,19 @@ impl ExecContext {
             parallelism: Parallelism::sequential(),
             worker_scan_us: None,
             trace: None,
+            vectorized: true,
         }
     }
 
     /// The same context with a different degree of parallelism.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> ExecContext {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// The same context with the columnar kernels enabled or disabled.
+    pub fn with_vectorized(mut self, vectorized: bool) -> ExecContext {
+        self.vectorized = vectorized;
         self
     }
 }
@@ -215,6 +227,77 @@ pub trait ScanSlices: Send + Sync {
 
     /// Materialize one slice's rows.
     fn scan_slice(&self, slice: u32) -> SqResult<Vec<Vec<Value>>>;
+
+    /// Materialize one slice as columnar batches (the vectorized scan
+    /// boundary), restricted to the given schema columns. `cols` is a
+    /// strictly ascending subset of the table's column indices; batch
+    /// column `j` holds schema column `cols[j]`. Concatenating the batches
+    /// row-wise must equal [`ScanSlices::scan_slice`] projected to `cols`.
+    /// The default converts the row scan; partitioned tables override it to
+    /// build typed columns directly from storage without materializing the
+    /// pruned cells at all.
+    fn scan_slice_batches(
+        &self,
+        slice: u32,
+        cols: &[usize],
+    ) -> SqResult<Vec<crate::batch::ColumnarBatch>> {
+        Ok(crate::batch::ColumnarBatch::from_rows_chunked_cols(
+            &self.scan_slice(slice)?,
+            cols,
+        ))
+    }
+
+    /// Look up a memoized executor structure for `(kind, slice, cols)`.
+    ///
+    /// Sources whose scanned state is immutable (committed snapshots) may
+    /// memoize derived read-only structures — decoded column batches, frozen
+    /// join tables — across queries. `slice` is a slice index for per-slice
+    /// structures or `u32::MAX` for whole-scan ones; `cols` is whatever
+    /// column fingerprint the structure was derived under. Mutable sources
+    /// keep the default no-op, which disables caching entirely.
+    fn cache_get(
+        &self,
+        kind: &str,
+        slice: u32,
+        cols: &[usize],
+    ) -> Option<Arc<dyn std::any::Any + Send + Sync>> {
+        let _ = (kind, slice, cols);
+        None
+    }
+
+    /// Store a memoized executor structure; see [`ScanSlices::cache_get`].
+    fn cache_put(
+        &self,
+        kind: &str,
+        slice: u32,
+        cols: &[usize],
+        value: Arc<dyn std::any::Any + Send + Sync>,
+    ) {
+        let _ = (kind, slice, cols, value);
+    }
+}
+
+/// One slice's decoded column batches, shared via the slice source's
+/// executor cache when the underlying state is immutable. Cache misses
+/// decode through [`ScanSlices::scan_slice_batches`] and populate the cache;
+/// sources without caching (the default hooks) just decode every time.
+pub(crate) fn slice_batches_cached(
+    sl: &dyn ScanSlices,
+    slice: u32,
+    cols: &[usize],
+) -> SqResult<Vec<Arc<crate::batch::ColumnarBatch>>> {
+    if let Some(hit) = sl.cache_get("batches", slice, cols) {
+        if let Ok(batches) = hit.downcast::<Vec<Arc<crate::batch::ColumnarBatch>>>() {
+            return Ok((*batches).clone());
+        }
+    }
+    let batches: Vec<Arc<crate::batch::ColumnarBatch>> = sl
+        .scan_slice_batches(slice, cols)?
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    sl.cache_put("batches", slice, cols, Arc::new(batches.clone()));
+    Ok(batches)
 }
 
 /// A queryable table.

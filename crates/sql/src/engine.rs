@@ -211,6 +211,7 @@ pub struct SqlEngine<C: Catalog> {
     telemetry: Option<EngineTelemetry>,
     parallelism: Parallelism,
     query_log: Option<QueryLog>,
+    vectorized: bool,
 }
 
 impl<C: Catalog> SqlEngine<C> {
@@ -222,6 +223,7 @@ impl<C: Catalog> SqlEngine<C> {
             telemetry: None,
             parallelism: Parallelism::sequential(),
             query_log: None,
+            vectorized: true,
         }
     }
 
@@ -233,7 +235,16 @@ impl<C: Catalog> SqlEngine<C> {
             telemetry: None,
             parallelism: Parallelism::sequential(),
             query_log: None,
+            vectorized: true,
         }
+    }
+
+    /// Enable or disable the columnar batch kernels for every query this
+    /// engine runs (default enabled; plan shapes the kernels don't cover
+    /// fall back to the row engine either way).
+    pub fn with_vectorized(mut self, vectorized: bool) -> SqlEngine<C> {
+        self.vectorized = vectorized;
+        self
     }
 
     /// Record every query (including failures) into `log`.
@@ -284,7 +295,7 @@ impl<C: Catalog> SqlEngine<C> {
     /// `LOCALTIMESTAMP` are captured once, before execution, so every table
     /// in the query reads one consistent snapshot.
     pub fn query(&self, sql: &str) -> SqResult<ResultSet> {
-        self.query_at(sql, self.parallelism)
+        self.query_at(sql, self.parallelism, self.vectorized)
     }
 
     /// Run one `SELECT` with an explicit degree of parallelism, overriding
@@ -297,19 +308,40 @@ impl<C: Catalog> SqlEngine<C> {
                 degree: dop.max(1),
                 ..self.parallelism
             },
+            self.vectorized,
         )
     }
 
-    fn query_at(&self, sql: &str, parallelism: Parallelism) -> SqResult<ResultSet> {
+    /// Run one `SELECT` with both the degree of parallelism and the
+    /// vectorized-execution toggle chosen per query. `vectorized: false`
+    /// forces the row engine even where the batch kernels would apply —
+    /// used by the equivalence tests and the bench gate to compare paths.
+    pub fn query_with_opts(&self, sql: &str, dop: usize, vectorized: bool) -> SqResult<ResultSet> {
+        self.query_at(
+            sql,
+            Parallelism {
+                degree: dop.max(1),
+                ..self.parallelism
+            },
+            vectorized,
+        )
+    }
+
+    fn query_at(
+        &self,
+        sql: &str,
+        parallelism: Parallelism,
+        vectorized: bool,
+    ) -> SqResult<ResultSet> {
         match &self.telemetry {
-            None => self.run(sql, None, parallelism),
+            None => self.run(sql, None, parallelism, vectorized),
             Some(tel) => {
                 tel.queries.inc();
                 tel.parallel_workers.record(parallelism.degree as u64);
                 tel.registry
                     .event(EventKind::QueryStarted, None, None, None, sql_prefix(sql));
                 let started = Instant::now();
-                let result = self.run(sql, Some(tel), parallelism);
+                let result = self.run(sql, Some(tel), parallelism, vectorized);
                 let elapsed = started.elapsed().as_micros() as u64;
                 match &result {
                     Ok(rs) => {
@@ -343,11 +375,12 @@ impl<C: Catalog> SqlEngine<C> {
         sql: &str,
         tel: Option<&EngineTelemetry>,
         parallelism: Parallelism,
+        vectorized: bool,
     ) -> SqResult<ResultSet> {
         let started_at_us = self.clock.now_micros();
         let t0 = Instant::now();
         let mut phases = Phases::default();
-        let result = self.run_statement(sql, tel, parallelism, &mut phases);
+        let result = self.run_statement(sql, tel, parallelism, vectorized, &mut phases);
         if let Some(log) = &self.query_log {
             let (status, rows) = match &result {
                 Ok(rs) => ("ok".to_string(), rs.len() as u64),
@@ -374,6 +407,7 @@ impl<C: Catalog> SqlEngine<C> {
         sql: &str,
         tel: Option<&EngineTelemetry>,
         parallelism: Parallelism,
+        vectorized: bool,
         phases: &mut Phases,
     ) -> SqResult<ResultSet> {
         let t0 = Instant::now();
@@ -431,6 +465,7 @@ impl<C: Catalog> SqlEngine<C> {
             parallelism,
             worker_scan_us: tel.map(|t| t.worker_scan_us.clone()),
             trace: trace_root.as_ref().map(|(t, _)| t.clone()),
+            vectorized,
         };
         let exec_result = execute(&physical, &ctx);
         phases.exec_us = t2.elapsed().as_micros() as u64;

@@ -15,6 +15,7 @@
 //!   (see DESIGN.md §5).
 
 use crate::ast::AggregateFunc;
+use crate::batch::ColumnarBatch;
 use crate::catalog::{ExecContext, ExecTrace, TableSlices};
 use crate::plan::{AggregateNode, JoinNode, PhysicalPlan};
 use parking_lot::Mutex;
@@ -25,27 +26,32 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An open span + statistics slot for one plan node. `None` when the query
 /// is untraced, so the instrumentation below is a single `Option` check.
-struct NodeTimer<'a> {
+pub(crate) struct NodeTimer<'a> {
     trace: &'a ExecTrace,
     key: String,
-    guard: SpanGuard,
+    pub(crate) guard: SpanGuard,
 }
 
 impl NodeTimer<'_> {
     /// Close the node's span and fold `rows`/`slices` plus the span's own
     /// duration into the node's statistics.
-    fn close(self, rows: u64, slices: u64) {
+    pub(crate) fn close(self, rows: u64, slices: u64) {
         self.trace.close_node(&self.key, self.guard, rows, slices);
     }
 }
 
 /// Open a `kind` span for plan node `key` (labelled with the key), if the
 /// query is traced.
-fn start_node<'a>(ctx: &'a ExecContext, kind: &'static str, key: String) -> Option<NodeTimer<'a>> {
+pub(crate) fn start_node<'a>(
+    ctx: &'a ExecContext,
+    kind: &'static str,
+    key: String,
+) -> Option<NodeTimer<'a>> {
     ctx.trace.as_ref().map(|trace| {
         let mut guard = trace.span(kind);
         guard.label("node", &key);
@@ -55,6 +61,11 @@ fn start_node<'a>(ctx: &'a ExecContext, kind: &'static str, key: String) -> Opti
 
 /// Execute a plan, producing output rows matching `plan.output_schema`.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
+    if ctx.vectorized {
+        if let Some(result) = crate::vectorized::try_execute(plan, ctx) {
+            return result;
+        }
+    }
     if ctx.parallelism.is_parallel() {
         execute_parallel(plan, ctx)
     } else {
@@ -118,7 +129,7 @@ fn execute_sequential(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Ve
 
 /// Project each row (plus HAVING and ORDER BY key evaluation on the same
 /// source row) into `(order keys, output row)` pairs.
-fn project_rows(
+pub(crate) fn project_rows(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     rows: &[Vec<Value>],
@@ -145,7 +156,7 @@ fn project_rows(
 
 /// Sort + limit the merged projection, timing the `sort` node when the plan
 /// orders.
-fn finish_output(
+pub(crate) fn finish_output(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     projected: Vec<(Vec<Value>, Vec<Value>)>,
@@ -194,26 +205,44 @@ fn sort_and_limit(
 fn execute_parallel(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<Value>>> {
     // Resolve every scan's slices up front: snapshot tables capture their
     // resolved ssids here, from the one pinned query context, so all workers
-    // read the same committed version(s).
-    let base = plan.scans[0]
-        .table
-        .scan_partitions(&plan.scans[0].hints, ctx)?;
+    // read the same committed version(s). With the cost model's build side
+    // flipped (`build_left`, single-join plans only), the *right* scan
+    // becomes the morsel base and the left scan feeds the hash build.
+    let flipped = plan.joins.len() == 1 && plan.joins[0].build_left;
+    let (base_scan, base_node) = if flipped {
+        (&plan.scans[1], "scan1")
+    } else {
+        (&plan.scans[0], "scan0")
+    };
+    let base = base_scan.table.scan_partitions(&base_scan.hints, ctx)?;
     let mut join_tables = Vec::with_capacity(plan.joins.len());
-    for (i, (scan, join)) in plan.scans[1..].iter().zip(plan.joins.iter()).enumerate() {
+    if flipped {
+        let scan = &plan.scans[0];
         let slices = scan.table.scan_partitions(&scan.hints, ctx)?;
-        let timer = start_node(ctx, "join_build", format!("join{i}"));
-        let table = build_join_table(&slices, join, ctx, &format!("scan{}", i + 1))?;
+        let timer = start_node(ctx, "join_build", "join0".into());
+        let (table, _, _) = build_join_table(&slices, &plan.joins[0].left_keys, ctx, "scan0")?;
         if let Some(t) = timer {
             t.close(0, 0);
         }
         join_tables.push(table);
+    } else {
+        for (i, (scan, join)) in plan.scans[1..].iter().zip(plan.joins.iter()).enumerate() {
+            let slices = scan.table.scan_partitions(&scan.hints, ctx)?;
+            let timer = start_node(ctx, "join_build", format!("join{i}"));
+            let (table, _, _) =
+                build_join_table(&slices, &join.right_keys, ctx, &format!("scan{}", i + 1))?;
+            if let Some(t) = timer {
+                t.close(0, 0);
+            }
+            join_tables.push(table);
+        }
     }
 
     match &plan.aggregate {
         Some(node) => {
             // Per-worker partial aggregation; coordinator merges in slice
             // order so first-seen group order matches the sequential fold.
-            let partials = parallel_scan(&base, ctx, "scan0", |rows, _unit| {
+            let partials = parallel_scan(&base, ctx, base_node, |rows, _unit| {
                 let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
                 let mut partial = PartialAgg::new();
                 accumulate(&joined, node, ctx, &mut partial)?;
@@ -234,7 +263,7 @@ fn execute_parallel(plan: &PhysicalPlan, ctx: &ExecContext) -> SqResult<Vec<Vec<
         None => {
             // Filter + projection run per slice; the coordinator only
             // concatenates, sorts (stable, post-merge), and limits.
-            let chunks = parallel_scan(&base, ctx, "scan0", |rows, _unit| {
+            let chunks = parallel_scan(&base, ctx, base_node, |rows, _unit| {
                 let joined = probe_and_filter(plan, &join_tables, ctx, rows)?;
                 project_rows(plan, ctx, &joined)
             })?;
@@ -258,7 +287,7 @@ enum Unit {
 ///
 /// Traced queries open one `slice` span per claimed unit, folding the slice's
 /// scanned rows (and one claimed slice) into plan node `node`'s statistics.
-fn parallel_scan<R: Send>(
+pub(crate) fn parallel_scan<R: Send>(
     slices: &TableSlices,
     ctx: &ExecContext,
     node: &str,
@@ -361,20 +390,146 @@ fn parallel_scan<R: Send>(
         .collect())
 }
 
+/// The batch twin of [`parallel_scan`]: the same unit claiming, ordering,
+/// error, and tracing contract, but each unit materializes as columnar
+/// batches restricted to the `cols` schema columns — sliced scans go
+/// through [`crate::catalog::slice_batches_cached`] (typed extraction
+/// straight from storage, pruned columns never touched, memoized across
+/// queries for immutable snapshot sources), whole scans chunk their
+/// projected rows into `BATCH_ROWS`-sized batches.
+pub(crate) fn parallel_scan_batches<R: Send>(
+    slices: &TableSlices,
+    ctx: &ExecContext,
+    node: &str,
+    cols: &[usize],
+    f: impl Fn(&[Arc<ColumnarBatch>], usize) -> SqResult<R> + Sync,
+) -> SqResult<Vec<R>> {
+    let dop = ctx.parallelism.degree;
+    let (units, whole_rows): (Vec<Unit>, Option<&Vec<Vec<Value>>>) = match slices {
+        TableSlices::Sliced(s) => ((0..s.slice_count()).map(Unit::Slice).collect(), None),
+        TableSlices::Whole(rows) => {
+            let n = rows.len();
+            let chunk = ctx
+                .parallelism
+                .min_morsel_rows
+                .max(n.div_ceil(dop * 4))
+                .max(1);
+            let mut units = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                units.push(Unit::Range(start, end));
+                start = end;
+            }
+            (units, Some(rows))
+        }
+    };
+    let n_units = units.len();
+    if n_units == 0 {
+        return Ok(Vec::new());
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<SqError>> = Mutex::new(None);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n_units).map(|_| None).collect());
+    let workers = dop.min(n_units);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(AtomicOrdering::Relaxed) {
+                    return;
+                }
+                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= n_units {
+                    return;
+                }
+                let out = (|| -> SqResult<R> {
+                    let timer = start_node(ctx, "slice", node.to_string());
+                    let scanned;
+                    let result = match units[i] {
+                        Unit::Slice(s) => {
+                            let TableSlices::Sliced(sl) = slices else {
+                                unreachable!("slice units imply sliced scan")
+                            };
+                            let started = ctx.worker_scan_us.as_ref().map(|_| Instant::now());
+                            let batches = crate::catalog::slice_batches_cached(&**sl, s, cols)?;
+                            if let (Some(h), Some(t0)) = (&ctx.worker_scan_us, started) {
+                                h.record(t0.elapsed().as_micros() as u64);
+                            }
+                            let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+                            if let Some(c) = &ctx.rows_scanned {
+                                c.add(rows);
+                            }
+                            scanned = rows;
+                            f(&batches, i)
+                        }
+                        Unit::Range(a, b) => {
+                            let rows = &whole_rows.expect("range units imply whole rows")[a..b];
+                            if let Some(c) = &ctx.rows_scanned {
+                                c.add(rows.len() as u64);
+                            }
+                            scanned = rows.len() as u64;
+                            let batches: Vec<Arc<ColumnarBatch>> =
+                                ColumnarBatch::from_rows_chunked_cols(rows, cols)
+                                    .into_iter()
+                                    .map(Arc::new)
+                                    .collect();
+                            f(&batches, i)
+                        }
+                    };
+                    if let Some(mut t) = timer {
+                        t.guard.label("unit", i);
+                        t.close(scanned, 1);
+                    }
+                    result
+                })();
+                match out {
+                    Ok(r) => results.lock()[i] = Some(r),
+                    Err(e) => {
+                        failed.store(true, AtomicOrdering::Relaxed);
+                        let mut g = first_error.lock();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every unit completed"))
+        .collect())
+}
+
 /// One shard of the in-progress join build: key → `(row seq, row)` matches.
 type BuildShard = Mutex<HashMap<Vec<Value>, Vec<(u64, Vec<Value>)>>>;
 /// `(key, global row sequence, row)` bucketed locally before shard insertion.
 type BuildEntry = (Vec<Value>, u64, Vec<Value>);
 
 /// A frozen, shard-partitioned join build table.
-struct FrozenJoinTable {
+pub(crate) struct FrozenJoinTable {
     shards: Vec<HashMap<Vec<Value>, Vec<Vec<Value>>>>,
     mask: u64,
 }
 
 impl FrozenJoinTable {
-    fn get(&self, key: &[Value]) -> Option<&Vec<Vec<Value>>> {
+    pub(crate) fn get(&self, key: &[Value]) -> Option<&Vec<Vec<Value>>> {
         self.shards[(shard_hash(key) & self.mask) as usize].get(key)
+    }
+
+    /// A single-shard table from an already-ordered build map (sequential
+    /// vectorized execution builds in row order, so no seq-sort is needed).
+    pub(crate) fn from_single(map: HashMap<Vec<Value>, Vec<Vec<Value>>>) -> FrozenJoinTable {
+        FrozenJoinTable {
+            shards: vec![map],
+            mask: 0,
+        }
     }
 }
 
@@ -389,25 +544,27 @@ fn shard_hash(key: &[Value]) -> u64 {
 /// Build one join's hash table in parallel: workers insert into key-sharded
 /// mutexed maps; after the scan barrier the shards are frozen and each key's
 /// match list is ordered by global row sequence, so probe output order is
-/// identical to the sequential single-threaded build.
-fn build_join_table(
+/// identical to the sequential single-threaded build. `keys` are the build
+/// side's join-key column indexes (`right_keys` normally, `left_keys` when
+/// the cost model flipped the build side).
+pub(crate) fn build_join_table(
     slices: &TableSlices,
-    join: &JoinNode,
+    keys: &[usize],
     ctx: &ExecContext,
     scan_key: &str,
-) -> SqResult<FrozenJoinTable> {
+) -> SqResult<(FrozenJoinTable, u64, u64)> {
     let shard_count = (ctx.parallelism.degree * 4).next_power_of_two();
     let mask = shard_count as u64 - 1;
     let shards: Vec<BuildShard> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
-    parallel_scan(slices, ctx, scan_key, |rows, unit| {
+    let unit_rows = parallel_scan(slices, ctx, scan_key, |rows, unit| {
         // Bucket locally first so each shard lock is taken at most once per
         // unit.
         let mut local: Vec<Vec<BuildEntry>> = vec![Vec::new(); shard_count];
         'rows: for (i, row) in rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(join.right_keys.len());
-            for &k in &join.right_keys {
+            let mut key = Vec::with_capacity(keys.len());
+            for &k in keys {
                 let v = row
                     .get(k)
                     .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
@@ -429,8 +586,10 @@ fn build_join_table(
                 guard.entry(key).or_default().push((seq, row));
             }
         }
-        Ok(())
+        Ok(rows.len() as u64)
     })?;
+    let scanned: u64 = unit_rows.iter().sum();
+    let units = unit_rows.len() as u64;
     let shards = shards
         .into_iter()
         .map(|m| {
@@ -443,7 +602,7 @@ fn build_join_table(
                 .collect()
         })
         .collect();
-    Ok(FrozenJoinTable { shards, mask })
+    Ok((FrozenJoinTable { shards, mask }, scanned, units))
 }
 
 /// Probe one slice's rows through every join table, then apply the filter.
@@ -484,17 +643,25 @@ fn probe_and_filter(
 }
 
 /// One probe pass; same semantics as [`hash_join`]'s probe (NULL keys never
-/// match, `right_drop` columns dropped).
-fn probe_step(
-    left: &[Vec<Value>],
+/// match, `right_drop` columns dropped). `probe` holds the probe side's rows:
+/// the left scan normally, the right scan when `join.build_left` flipped the
+/// build side — output columns stay `[left…, kept right…]` either way, only
+/// the row order becomes probe-major.
+pub(crate) fn probe_step(
+    probe: &[Vec<Value>],
     table: &FrozenJoinTable,
     join: &JoinNode,
 ) -> SqResult<Vec<Vec<Value>>> {
+    let probe_keys = if join.build_left {
+        &join.right_keys
+    } else {
+        &join.left_keys
+    };
     let mut out = Vec::new();
-    'probe: for lrow in left {
-        let mut key = Vec::with_capacity(join.left_keys.len());
-        for &i in &join.left_keys {
-            let v = lrow
+    'probe: for prow in probe {
+        let mut key = Vec::with_capacity(probe_keys.len());
+        for &i in probe_keys {
+            let v = prow
                 .get(i)
                 .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
             if v.is_null() {
@@ -503,11 +670,21 @@ fn probe_step(
             key.push(v.clone());
         }
         if let Some(matches) = table.get(&key) {
-            for rrow in matches {
-                let mut combined = lrow.clone();
-                for (i, v) in rrow.iter().enumerate() {
-                    if !join.right_drop.contains(&i) {
-                        combined.push(v.clone());
+            for mrow in matches {
+                let mut combined;
+                if join.build_left {
+                    combined = mrow.clone();
+                    for (i, v) in prow.iter().enumerate() {
+                        if !join.right_drop.contains(&i) {
+                            combined.push(v.clone());
+                        }
+                    }
+                } else {
+                    combined = prow.clone();
+                    for (i, v) in mrow.iter().enumerate() {
+                        if !join.right_drop.contains(&i) {
+                            combined.push(v.clone());
+                        }
                     }
                 }
                 out.push(combined);
@@ -518,11 +695,57 @@ fn probe_step(
 }
 
 /// Inner hash join. NULL keys never match (SQL semantics).
+///
+/// With `join.build_left` (the cost model judged the left side smaller) the
+/// hash table is built over the left rows and the right rows probe it;
+/// output columns stay `[left…, kept right…]` but row order becomes
+/// right-major.
 fn hash_join(
     left: Vec<Vec<Value>>,
     right: Vec<Vec<Value>>,
     join: &JoinNode,
 ) -> SqResult<Vec<Vec<Value>>> {
+    if join.build_left {
+        let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::with_capacity(left.len());
+        'rows: for row in &left {
+            let mut key = Vec::with_capacity(join.left_keys.len());
+            for &i in &join.left_keys {
+                let v = row
+                    .get(i)
+                    .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
+            }
+            table.entry(key).or_default().push(row);
+        }
+        let mut out = Vec::new();
+        'probe: for rrow in &right {
+            let mut key = Vec::with_capacity(join.right_keys.len());
+            for &i in &join.right_keys {
+                let v = rrow
+                    .get(i)
+                    .ok_or_else(|| SqError::Exec("join key out of range".into()))?;
+                if v.is_null() {
+                    continue 'probe;
+                }
+                key.push(v.clone());
+            }
+            if let Some(matches) = table.get(&key) {
+                for lrow in matches {
+                    let mut combined = (*lrow).clone();
+                    for (i, v) in rrow.iter().enumerate() {
+                        if !join.right_drop.contains(&i) {
+                            combined.push(v.clone());
+                        }
+                    }
+                    out.push(combined);
+                }
+            }
+        }
+        return Ok(out);
+    }
     // Build on the right side.
     let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::with_capacity(right.len());
     'rows: for row in &right {
@@ -566,7 +789,7 @@ fn hash_join(
 }
 
 /// One aggregate accumulator.
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum(Option<Value>),
     Avg { sum: f64, n: i64 },
@@ -575,7 +798,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggregateFunc) -> Acc {
+    pub(crate) fn new(func: AggregateFunc) -> Acc {
         match func {
             AggregateFunc::Count => Acc::Count(0),
             AggregateFunc::Sum => Acc::Sum(None),
@@ -586,7 +809,7 @@ impl Acc {
     }
 
     /// Update with one input. `None` means COUNT(*) (count the row itself).
-    fn update(&mut self, value: Option<&Value>) -> SqResult<()> {
+    pub(crate) fn update(&mut self, value: Option<&Value>) -> SqResult<()> {
         match self {
             Acc::Count(n) => match value {
                 None => *n += 1,
@@ -655,12 +878,84 @@ impl Acc {
         Ok(())
     }
 
+    /// Typed fast path for an `Int` column entry, mirroring
+    /// [`Acc::update`]`(Some(&Value::Int(v)))` exactly. Callers must have
+    /// skipped NULL entries already.
+    pub(crate) fn update_i64(&mut self, v: i64) -> SqResult<()> {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(acc) => {
+                let next = match acc.as_ref() {
+                    None => Value::Int(v),
+                    Some(Value::Int(a)) => Value::Int(a.wrapping_add(v)),
+                    Some(cur) => {
+                        Value::Float(cur.as_f64().expect("accumulator is numeric") + v as f64)
+                    }
+                };
+                *acc = Some(next);
+            }
+            Acc::Avg { sum, n } => {
+                *sum += v as f64;
+                *n += 1;
+            }
+            acc => acc.update(Some(&Value::Int(v)))?,
+        }
+        Ok(())
+    }
+
+    /// Typed fast path for a `Float` column entry, mirroring
+    /// [`Acc::update`]`(Some(&Value::Float(v)))` exactly.
+    pub(crate) fn update_f64(&mut self, v: f64) -> SqResult<()> {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(acc) => {
+                let next = match acc.as_ref() {
+                    None => Value::Float(v),
+                    Some(cur) => Value::Float(cur.as_f64().expect("accumulator is numeric") + v),
+                };
+                *acc = Some(next);
+            }
+            Acc::Avg { sum, n } => {
+                *sum += v;
+                *n += 1;
+            }
+            acc => acc.update(Some(&Value::Float(v)))?,
+        }
+        Ok(())
+    }
+
+    /// Typed fast path for a `Timestamp` column entry, mirroring
+    /// [`Acc::update`]`(Some(&Value::Timestamp(v)))` exactly — including
+    /// SUM rejecting a timestamp as its *first* input while accepting one
+    /// into an already-numeric accumulator (the row engine's `as_f64`
+    /// coercion).
+    pub(crate) fn update_ts(&mut self, v: i64) -> SqResult<()> {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Sum(acc) => {
+                let next = match acc.as_ref() {
+                    None => return Err(non_numeric("SUM", &Value::Timestamp(v))),
+                    Some(cur) => {
+                        Value::Float(cur.as_f64().expect("accumulator is numeric") + v as f64)
+                    }
+                };
+                *acc = Some(next);
+            }
+            Acc::Avg { sum, n } => {
+                *sum += v as f64;
+                *n += 1;
+            }
+            acc => acc.update(Some(&Value::Timestamp(v)))?,
+        }
+        Ok(())
+    }
+
     /// Fold another partial accumulator of the same shape into this one.
     ///
     /// Merge order follows slice order, mirroring the row order the
     /// sequential fold sees, so type promotion (Int→Float SUM) and
     /// incomparable-type MIN/MAX tie-breaks resolve identically.
-    fn merge(&mut self, other: Acc) -> SqResult<()> {
+    pub(crate) fn merge(&mut self, other: Acc) -> SqResult<()> {
         match (self, other) {
             (Acc::Count(a), Acc::Count(b)) => *a += b,
             (Acc::Sum(a), Acc::Sum(b)) => {
@@ -717,7 +1012,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
             Acc::Sum(v) => v.unwrap_or(Value::Null),
@@ -746,13 +1041,13 @@ fn non_numeric(func: &str, v: &Value) -> SqError {
 
 /// A partial (unfinished) aggregation state: per-group accumulators plus the
 /// first-seen order of groups for stable output.
-struct PartialAgg {
-    groups: HashMap<Vec<Value>, Vec<Acc>>,
-    order: Vec<Vec<Value>>,
+pub(crate) struct PartialAgg {
+    pub(crate) groups: HashMap<Vec<Value>, Vec<Acc>>,
+    pub(crate) order: Vec<Vec<Value>>,
 }
 
 impl PartialAgg {
-    fn new() -> PartialAgg {
+    pub(crate) fn new() -> PartialAgg {
         PartialAgg {
             groups: HashMap::new(),
             order: Vec::new(),
@@ -761,7 +1056,7 @@ impl PartialAgg {
 
     /// Fold another partial state into this one, preserving first-seen group
     /// order across the two (self's groups first, then other's new groups).
-    fn merge(&mut self, mut other: PartialAgg) -> SqResult<()> {
+    pub(crate) fn merge(&mut self, mut other: PartialAgg) -> SqResult<()> {
         for key in other.order {
             let accs = other.groups.remove(&key).expect("group recorded");
             match self.groups.get_mut(&key) {
@@ -781,7 +1076,7 @@ impl PartialAgg {
 }
 
 /// Fold rows into the partial aggregation state.
-fn accumulate(
+pub(crate) fn accumulate(
     rows: &[Vec<Value>],
     node: &AggregateNode,
     ctx: &ExecContext,
@@ -817,7 +1112,7 @@ fn accumulate(
 
 /// Finish accumulators into output rows `[group keys…, aggregate results…]`
 /// in first-seen group order.
-fn finish_groups(mut partial: PartialAgg, node: &AggregateNode) -> Vec<Vec<Value>> {
+pub(crate) fn finish_groups(mut partial: PartialAgg, node: &AggregateNode) -> Vec<Vec<Value>> {
     // A global aggregate (no GROUP BY) over zero rows yields one row.
     if node.group_exprs.is_empty() && partial.groups.is_empty() {
         let accs: Vec<Acc> = node.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();

@@ -34,30 +34,46 @@ fn build_tree(plan: &PhysicalPlan) -> Node {
     // Scans and joins form a left-deep chain: scans[0] ⨝ scans[1] ⨝ ….
     let mut current = scan_node(plan, 0);
     for (i, join) in plan.joins.iter().enumerate() {
-        let mut node = Node::new(
-            format!("HashJoin (keys: {})", join.left_keys.len()),
-            Some(format!("join{i}")),
-        );
+        let mut label = format!("HashJoin (keys: {})", join.left_keys.len());
+        // The cost model's decision: which side feeds the build table, and
+        // the estimated row counts it compared (left, right).
+        if let Some((l, r)) = join.build_est {
+            let (side, est) = if join.build_left {
+                ("left", l)
+            } else {
+                ("right", r)
+            };
+            label.push_str(&format!(" [build={side} est_rows={est}]"));
+        }
+        let mut node = Node::new(label, Some(format!("join{i}")));
         node.children.push(current);
         node.children.push(scan_node(plan, i + 1));
         current = node;
     }
 
-    if plan.filter.is_some() {
-        let mut node = Node::new("Filter".into(), Some("filter".into()));
+    if let Some(f) = &plan.filter {
+        let mut label = String::from("Filter");
+        // A filter the batch kernels cover runs columnar (with per-batch
+        // row fallback); compile with a zeroed clock — coverage does not
+        // depend on the timestamp value.
+        if crate::vectorized::compile_pred(f, 0).is_some() {
+            label.push_str(" [vectorized]");
+        }
+        let mut node = Node::new(label, Some("filter".into()));
         node.children.push(current);
         current = node;
     }
 
     if let Some(agg) = &plan.aggregate {
-        let mut node = Node::new(
-            format!(
-                "Aggregate (groups: {}, aggs: {})",
-                agg.group_exprs.len(),
-                agg.aggs.len()
-            ),
-            Some("aggregate".into()),
+        let mut label = format!(
+            "Aggregate (groups: {}, aggs: {})",
+            agg.group_exprs.len(),
+            agg.aggs.len()
         );
+        if crate::vectorized::agg_shape(agg).is_some() {
+            label.push_str(" [vectorized]");
+        }
+        let mut node = Node::new(label, Some("aggregate".into()));
         node.children.push(current);
         current = node;
     }
@@ -218,8 +234,8 @@ mod tests {
                 "Sort (keys: 1, limit: 5)",
                 "└─ Project [zone, n]",
                 "   └─ Having",
-                "      └─ Aggregate (groups: 1, aggs: 1)",
-                "         └─ Filter",
+                "      └─ Aggregate (groups: 1, aggs: 1) [vectorized]",
+                "         └─ Filter [vectorized]",
                 "            └─ HashJoin (keys: 1)",
                 "               ├─ Scan orders",
                 "               └─ Scan info",
@@ -271,8 +287,58 @@ mod tests {
         );
         // Un-measured instrumented nodes still render, with zero stats.
         assert!(
-            lines.iter().any(|l| l.contains("Filter (rows=0 wall=0us)")),
+            lines
+                .iter()
+                .any(|l| l.contains("Filter [vectorized] (rows=0 wall=0us)")),
             "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn uncovered_filter_renders_without_vectorized_tag() {
+        // Scalar functions are outside the kernel subset: the row engine
+        // runs the whole query, and EXPLAIN must not claim otherwise.
+        let lines = explain("SELECT zone FROM orders WHERE LENGTH(zone) > 4");
+        assert!(
+            lines.iter().any(|l| l.trim_start() == "└─ Filter"),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn join_build_side_annotation_follows_cost_model() {
+        let c = catalog();
+        let mut p = plan(
+            &parse("SELECT total FROM orders JOIN info USING(partitionKey)").unwrap(),
+            &c,
+        )
+        .unwrap();
+        // MemTables carry no estimates: no annotation.
+        assert!(
+            render_plan(&p)
+                .iter()
+                .any(|l| l.contains("HashJoin (keys: 1)") && !l.contains("build=")),
+            "{:?}",
+            render_plan(&p)
+        );
+        // With estimates the decision and the build side's estimate render.
+        p.joins[0].build_est = Some((100, 7));
+        p.joins[0].build_left = false;
+        assert!(
+            render_plan(&p)
+                .iter()
+                .any(|l| l.contains("HashJoin (keys: 1) [build=right est_rows=7]")),
+            "{:?}",
+            render_plan(&p)
+        );
+        p.joins[0].build_est = Some((3, 50));
+        p.joins[0].build_left = true;
+        assert!(
+            render_plan(&p)
+                .iter()
+                .any(|l| l.contains("HashJoin (keys: 1) [build=left est_rows=3]")),
+            "{:?}",
+            render_plan(&p)
         );
     }
 }

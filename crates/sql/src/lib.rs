@@ -30,6 +30,7 @@
 //! annotates each node with measured rows, wall time, and claimed slices.
 
 pub mod ast;
+pub mod batch;
 pub mod catalog;
 pub mod display;
 pub mod engine;
@@ -41,7 +42,9 @@ pub mod parser;
 pub mod plan;
 pub mod systables;
 pub mod tables;
+pub mod vectorized;
 
+pub use batch::{ColumnarBatch, BATCH_ROWS};
 pub use catalog::{
     Catalog, ExecContext, ExecTrace, NodeStat, ScanHints, ScanSlices, SsidMode, Table, TableSlices,
 };

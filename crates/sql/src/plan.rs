@@ -39,6 +39,17 @@ pub struct JoinNode {
     pub right_keys: Vec<usize>,
     /// Right columns dropped from the output (the `USING` columns), sorted.
     pub right_drop: Vec<usize>,
+    /// Cost-model decision: build the hash table on the *left* scan and
+    /// probe with the right one. `false` (the default, and the only choice
+    /// when no statistics exist) keeps query-text order: build right,
+    /// probe left. Either way the output row layout is
+    /// `[left columns… , kept right columns…]`; only the *order of output
+    /// rows* follows the probe side.
+    pub build_left: bool,
+    /// The `(left, right)` row estimates the decision was made from;
+    /// `None` when either side has no statistics (decision defaulted).
+    /// Rendered by `EXPLAIN` as `[build=… est_rows=N]`.
+    pub build_est: Option<(u64, u64)>,
 }
 
 /// Grouping and aggregate evaluation.
@@ -250,6 +261,18 @@ pub fn plan(query: &Query, catalog: &dyn Catalog) -> SqResult<PhysicalPlan> {
         scan.est_rows = scan.table.estimated_rows(&scan.hints);
     }
 
+    // --- join build-side cost model --------------------------------------
+    // With statistics on both sides of a single join, build the hash table
+    // on the smaller scan instead of blindly following query-text order
+    // (build right). Restricted to single-join plans: in a chain the left
+    // input of later joins is an intermediate whose size we do not estimate.
+    if joins.len() == 1 {
+        if let (Some(l), Some(r)) = (scans[0].est_rows, scans[1].est_rows) {
+            joins[0].build_left = l < r;
+            joins[0].build_est = Some((l, r));
+        }
+    }
+
     // --- filter ----------------------------------------------------------
     let filter = query
         .where_clause
@@ -389,6 +412,8 @@ fn build_join(join: &Join, left: &Binder, right: &Binder) -> SqResult<JoinNode> 
                 left_keys,
                 right_keys,
                 right_drop,
+                build_left: false,
+                build_est: None,
             })
         }
         JoinCondition::On(expr) => {
@@ -399,6 +424,8 @@ fn build_join(join: &Join, left: &Binder, right: &Binder) -> SqResult<JoinNode> 
                 left_keys,
                 right_keys,
                 right_drop: Vec::new(),
+                build_left: false,
+                build_est: None,
             })
         }
     }

@@ -11,6 +11,7 @@
 //! schema) expose a single `this` column holding the raw value, mirroring
 //! how IMDG exposes non-decomposable values.
 
+use crate::batch::{ColumnBuilder, ColumnarBatch, BATCH_ROWS};
 use crate::catalog::{Catalog, ExecContext, ScanHints, ScanSlices, SsidMode, Table, TableSlices};
 use parking_lot::RwLock;
 use squery_common::schema::{Field, Schema, KEY_COLUMN, SSID_COLUMN};
@@ -46,6 +47,99 @@ fn explode(value: &Value, value_schema: Option<&Arc<Schema>>) -> Vec<Value> {
             None if schema.len() == 1 => vec![value.clone()],
             None => vec![Value::Null; schema.len()],
         },
+    }
+}
+
+/// Like [`explode`] but streaming and column-pruned: hands only the value
+/// columns whose indices appear in `fields` (ascending indices into the
+/// value schema) to `f`, in that order. Each handed value is exactly what
+/// [`explode`] would produce at that position — typed columnar scans rely
+/// on it.
+fn explode_cols(
+    value: &Value,
+    value_schema: Option<&Arc<Schema>>,
+    fields: &[usize],
+    mut f: impl FnMut(&Value),
+) {
+    match value_schema {
+        // Schemaless state exposes the single `this` column (index 0).
+        None => {
+            for _ in fields {
+                f(value);
+            }
+        }
+        Some(schema) => match value.as_struct() {
+            Some(sv) => {
+                for &i in fields {
+                    f(sv.field(&schema.fields()[i].name).unwrap_or(&Value::Null));
+                }
+            }
+            None if schema.len() == 1 => {
+                for _ in fields {
+                    f(value);
+                }
+            }
+            None => {
+                for _ in fields {
+                    f(&Value::Null);
+                }
+            }
+        },
+    }
+}
+
+/// Builds [`ColumnarBatch`]es of at most [`BATCH_ROWS`] rows straight from
+/// scanned cell values — the typed extraction at the scan boundary. Cells
+/// arrive row-major (each row's columns in order); batches are cut on row
+/// boundaries, so concatenating the batches' rows reproduces the row scan.
+struct BatchWriter {
+    builders: Vec<ColumnBuilder>,
+    col: usize,
+    rows: usize,
+    out: Vec<ColumnarBatch>,
+}
+
+impl BatchWriter {
+    fn new(width: usize) -> BatchWriter {
+        BatchWriter {
+            builders: (0..width).map(|_| ColumnBuilder::new()).collect(),
+            col: 0,
+            rows: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        self.builders[self.col].push(v);
+        self.col += 1;
+        if self.col == self.builders.len() {
+            self.col = 0;
+            self.rows += 1;
+            if self.rows == BATCH_ROWS {
+                self.flush();
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        debug_assert_eq!(self.col, 0, "flush mid-row");
+        if self.rows == 0 {
+            return;
+        }
+        let width = self.builders.len();
+        let done = std::mem::replace(
+            &mut self.builders,
+            (0..width).map(|_| ColumnBuilder::new()).collect(),
+        );
+        self.out.push(ColumnarBatch::new(
+            done.into_iter().map(ColumnBuilder::finish).collect(),
+        ));
+        self.rows = 0;
+    }
+
+    fn finish(mut self) -> Vec<ColumnarBatch> {
+        self.flush();
+        self.out
     }
 }
 
@@ -145,6 +239,23 @@ impl ScanSlices for LiveSlices {
             rows.push(row);
         });
         Ok(rows)
+    }
+
+    fn scan_slice_batches(&self, slice: u32, cols: &[usize]) -> SqResult<Vec<ColumnarBatch>> {
+        // Typed extraction: cells go straight from the map into column
+        // vectors, skipping the per-row Vec<Value> of `scan_slice` and
+        // never touching pruned columns. Layout: column 0 is the key, the
+        // rest are value-schema fields.
+        let want_key = cols.first() == Some(&0);
+        let fields: Vec<usize> = cols.iter().filter(|&&c| c > 0).map(|&c| c - 1).collect();
+        let mut w = BatchWriter::new(cols.len());
+        self.map.for_each_in_partition(PartitionId(slice), |k, v| {
+            if want_key {
+                w.push(k);
+            }
+            explode_cols(v, self.value_schema.as_ref(), &fields, |x| w.push(x));
+        });
+        Ok(w.finish())
     }
 }
 
@@ -302,6 +413,53 @@ impl ScanSlices for SnapshotSlices {
             rows.push(row);
         }
         Ok(rows)
+    }
+
+    fn scan_slice_batches(&self, slice: u32, cols: &[usize]) -> SqResult<Vec<ColumnarBatch>> {
+        let ssid = self.ssids[(slice / self.parts) as usize];
+        let pid = PartitionId(slice % self.parts);
+        let ssid_cell = Value::Int(ssid.0 as i64);
+        // Layout: column 0 is the key, column 1 the ssid, the rest are
+        // value-schema fields.
+        let want_key = cols.contains(&0);
+        let want_ssid = cols.contains(&1);
+        let fields: Vec<usize> = cols.iter().filter(|&&c| c > 1).map(|&c| c - 2).collect();
+        let mut w = BatchWriter::new(cols.len());
+        // Streams the resolved partition view in `scan_partition_at` order,
+        // so batch rows concatenate to the (projected) row slice exactly.
+        self.store.for_each_partition_at(ssid, pid, |k, v| {
+            if want_key {
+                w.push(k);
+            }
+            if want_ssid {
+                w.push(&ssid_cell);
+            }
+            explode_cols(v, self.value_schema.as_ref(), &fields, |x| w.push(x));
+        })?;
+        Ok(w.finish())
+    }
+
+    // Committed snapshots are immutable, so derived executor structures are
+    // safe to memoize in the store, keyed by this scan's pinned snapshot
+    // ids. The store purges entries when ids are pruned/discarded/erased.
+    fn cache_get(
+        &self,
+        kind: &str,
+        slice: u32,
+        cols: &[usize],
+    ) -> Option<Arc<dyn std::any::Any + Send + Sync>> {
+        self.store.exec_cache_get(kind, &self.ssids, slice, cols)
+    }
+
+    fn cache_put(
+        &self,
+        kind: &str,
+        slice: u32,
+        cols: &[usize],
+        value: Arc<dyn std::any::Any + Send + Sync>,
+    ) {
+        self.store
+            .exec_cache_put(kind, &self.ssids, slice, cols, value)
     }
 }
 

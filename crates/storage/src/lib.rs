@@ -42,5 +42,5 @@ pub mod stats;
 pub use grid::Grid;
 pub use imap::{IMap, PartitionStats};
 pub use registry::SnapshotRegistry;
-pub use snapshot::{SnapshotMode, SnapshotStore};
+pub use snapshot::{ExecCached, SnapshotMode, SnapshotStore};
 pub use stats::{StateStats, TableStats};

@@ -18,17 +18,35 @@
 //! registry decides which ids are committed/queryable; aborted checkpoint
 //! attempts are erased with [`SnapshotStore::discard`].
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use squery_common::codec::encoded_len;
 use squery_common::lockorder::{self, LockClass};
 use squery_common::metrics::SharedHistogram;
 use squery_common::schema::Schema;
 use squery_common::telemetry::{Counter, MetricsRegistry};
 use squery_common::{PartitionId, Partitioner, SnapshotId, SqError, SqResult, Value};
+use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// An opaque executor-cache value: a derived read-only structure (decoded
+/// column batches, a frozen join table) memoized over committed — hence
+/// immutable — snapshot state. The store is deliberately type-agnostic; the
+/// query layer downcasts.
+pub type ExecCached = Arc<dyn Any + Send + Sync>;
+
+/// Cache key: what was derived (`kind`), from which pinned snapshot ids,
+/// which slice (or `u32::MAX` for whole-scan structures), and which schema
+/// columns it covers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ExecCacheKey {
+    kind: String,
+    ssids: Vec<SnapshotId>,
+    slice: u32,
+    cols: Vec<usize>,
+}
 
 /// Per-store handles into the engine-wide [`MetricsRegistry`].
 struct StoreTelemetry {
@@ -83,6 +101,11 @@ pub struct SnapshotStore {
     pruned_below: AtomicU64,
     approx_bytes: AtomicU64,
     telemetry: RwLock<Option<Arc<StoreTelemetry>>>,
+    /// Memoized executor structures over committed snapshots. Entries for
+    /// snapshot ids older than the newest inserted one are evicted on
+    /// insert, bounding the cache to roughly one snapshot's worth of
+    /// derived state per store.
+    exec_cache: Mutex<HashMap<ExecCacheKey, ExecCached>>,
 }
 
 impl SnapshotStore {
@@ -98,7 +121,63 @@ impl SnapshotStore {
             pruned_below: AtomicU64::new(0),
             approx_bytes: AtomicU64::new(0),
             telemetry: RwLock::new(None),
+            exec_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Look up a memoized executor structure. Returns a clone of the `Arc`
+    /// slot; the caller downcasts to the concrete type it stored.
+    pub fn exec_cache_get(
+        &self,
+        kind: &str,
+        ssids: &[SnapshotId],
+        slice: u32,
+        cols: &[usize],
+    ) -> Option<ExecCached> {
+        let key = ExecCacheKey {
+            kind: kind.to_string(),
+            ssids: ssids.to_vec(),
+            slice,
+            cols: cols.to_vec(),
+        };
+        let _lo = lockorder::acquired(LockClass::ExecCache);
+        self.exec_cache.lock().get(&key).cloned()
+    }
+
+    /// Memoize an executor structure derived from the given committed
+    /// snapshots. Inserting a structure for a newer snapshot evicts every
+    /// entry that only covers older ones.
+    pub fn exec_cache_put(
+        &self,
+        kind: &str,
+        ssids: &[SnapshotId],
+        slice: u32,
+        cols: &[usize],
+        value: ExecCached,
+    ) {
+        let key = ExecCacheKey {
+            kind: kind.to_string(),
+            ssids: ssids.to_vec(),
+            slice,
+            cols: cols.to_vec(),
+        };
+        let newest = ssids.iter().copied().max();
+        let _lo = lockorder::acquired(LockClass::ExecCache);
+        let mut cache = self.exec_cache.lock();
+        if let Some(newest) = newest {
+            cache.retain(|k, _| k.ssids.iter().copied().max() >= Some(newest));
+        }
+        cache.insert(key, value);
+    }
+
+    /// Drop every memoized structure derived from a snapshot id for which
+    /// `dead` holds — called when those ids stop being readable (prune,
+    /// discard) so the cache can never outlive the data it mirrors.
+    fn exec_cache_purge(&self, dead: impl Fn(SnapshotId) -> bool) {
+        let _lo = lockorder::acquired(LockClass::ExecCache);
+        self.exec_cache
+            .lock()
+            .retain(|k, _| !k.ssids.iter().any(|&s| dead(s)));
     }
 
     /// Wire this store into `registry`: operation counters and latency
@@ -191,6 +270,7 @@ impl SnapshotStore {
                     .fetch_sub(version_bytes(&old), Ordering::Relaxed);
             }
         }
+        self.exec_cache_purge(|s| s == ssid);
     }
 
     /// Point read of `key` as of snapshot `ssid`.
@@ -290,6 +370,38 @@ impl SnapshotStore {
         Ok(out)
     }
 
+    /// Streaming variant of [`scan_partition_at`](Self::scan_partition_at):
+    /// resolves the partition's view as of `ssid` and hands each live
+    /// `(key, value)` to `f` by reference, without materializing an entry
+    /// vector. Visit order is identical to `scan_partition_at` on the same
+    /// store (the version walk and per-version entry iteration are the
+    /// same), which columnar scans rely on for row-order equivalence.
+    pub fn for_each_partition_at(
+        &self,
+        ssid: SnapshotId,
+        pid: PartitionId,
+        mut f: impl FnMut(&Value, &Value),
+    ) -> SqResult<()> {
+        self.check_not_pruned(ssid)?;
+        let guard = self.parts[pid.0 as usize].read();
+        let mut seen: HashMap<&Value, ()> = HashMap::new();
+        for (_, vm) in guard.versions.range(..=ssid.0).rev() {
+            for (k, v) in vm.entries.iter() {
+                if seen.contains_key(k) {
+                    continue;
+                }
+                seen.insert(k, ());
+                if let Some(value) = v {
+                    f(k, value);
+                }
+            }
+            if vm.full {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Every `(ssid, key, value)` across a set of committed snapshot ids,
     /// each id fully resolved. Powers SQL scans of `snapshot_<op>` without an
     /// `ssid` predicate ("a result set can integrate the state of multiple
@@ -370,6 +482,7 @@ impl SnapshotStore {
         }
         self.pruned_below
             .fetch_max(oldest_retained.0, Ordering::AcqRel);
+        self.exec_cache_purge(|s| s < oldest_retained);
     }
 
     /// Physically remove every stored version of `key` (right-to-erasure
@@ -386,6 +499,12 @@ impl SnapshotStore {
                     .fetch_sub(entry_bytes(key, old.as_ref()), Ordering::Relaxed);
                 removed += 1;
             }
+        }
+        drop(part);
+        // Erasure rewrites history in place, so every memoized structure may
+        // still carry the key — drop them all.
+        if removed > 0 {
+            self.exec_cache_purge(|_| true);
         }
         removed
     }
@@ -859,5 +978,59 @@ mod tests {
             Some(Value::Int(77))
         );
         assert_eq!(s.stats().stored_entries, 1);
+    }
+
+    #[test]
+    fn exec_cache_roundtrip_and_newer_snapshot_evicts() {
+        let s = store();
+        let v1: ExecCached = Arc::new(vec![1u64, 2, 3]);
+        s.exec_cache_put("batches", &[SnapshotId(1)], 0, &[0, 2], v1);
+        let hit = s
+            .exec_cache_get("batches", &[SnapshotId(1)], 0, &[0, 2])
+            .expect("cached");
+        assert_eq!(*hit.downcast::<Vec<u64>>().unwrap(), vec![1, 2, 3]);
+        // Different kind / slice / cols are distinct entries.
+        assert!(s
+            .exec_cache_get("join", &[SnapshotId(1)], 0, &[0, 2])
+            .is_none());
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(1)], 1, &[0, 2])
+            .is_none());
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(1)], 0, &[0])
+            .is_none());
+        // A newer snapshot's insert evicts the older snapshot's entries.
+        s.exec_cache_put("batches", &[SnapshotId(2)], 0, &[0, 2], Arc::new(0u8));
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(1)], 0, &[0, 2])
+            .is_none());
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(2)], 0, &[0, 2])
+            .is_some());
+    }
+
+    #[test]
+    fn exec_cache_purged_by_prune_discard_and_erase() {
+        let s = store();
+        s.exec_cache_put("batches", &[SnapshotId(3)], 0, &[0], Arc::new(0u8));
+        s.exec_cache_put("batches", &[SnapshotId(5)], 0, &[0], Arc::new(0u8));
+        s.prune_below(SnapshotId(5));
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(3)], 0, &[0])
+            .is_none());
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(5)], 0, &[0])
+            .is_some());
+        s.discard(SnapshotId(5));
+        assert!(s
+            .exec_cache_get("batches", &[SnapshotId(5)], 0, &[0])
+            .is_none());
+
+        write_all(&s, 7, vec![(Value::Int(1), Some(Value::Int(10)))], true);
+        s.exec_cache_put("join", &[SnapshotId(7)], u32::MAX, &[0], Arc::new(0u8));
+        assert_eq!(s.erase_key(&Value::Int(1)), 1);
+        assert!(s
+            .exec_cache_get("join", &[SnapshotId(7)], u32::MAX, &[0])
+            .is_none());
     }
 }

@@ -1,27 +1,42 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, static analysis, the full test suite,
-# the chaos soak, the trace-export smoke, and the state-statistics smoke.
-# Usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace|stats]
+# the chaos soak, the trace-export smoke, the state-statistics smoke, and
+# the SQL benchmark-regression gate.
+# Usage: scripts/check.sh [--fix] [--list] [--only STEP]
 #   --fix         apply rustfmt instead of only checking
+#   --list        print the runnable step names, one per line, and exit
 #   --only STEP   run a single step (what the CI jobs call)
-set -euo pipefail
-cd "$(dirname "$0")/.."
+#
+# Exit-code contract: there is deliberately no `set -e`. Every step function
+# chains its commands with `&&` so the function's status is the first
+# failing command's status, and the dispatcher captures that status and
+# exits with it verbatim. CI proves the plumbing with the hidden
+# `selftest-fail` step, which must make this script exit 42.
+set -uo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+steps="fmt clippy lint test chaos trace stats bench"
 
 fix=0
 only=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --fix) fix=1; shift ;;
+        --list)
+            # shellcheck disable=SC2086
+            printf '%s\n' $steps
+            exit 0
+            ;;
         --only)
             only="${2:-}"
             if [[ -z "$only" ]]; then
-                echo "--only requires an argument: fmt|clippy|lint|test|chaos|trace|stats" >&2
+                echo "--only requires an argument: ${steps// /|}" >&2
                 exit 2
             fi
             shift 2
             ;;
         *)
-            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--only fmt|clippy|lint|test|chaos|trace|stats])" >&2
+            echo "unknown argument '$1' (usage: scripts/check.sh [--fix] [--list] [--only ${steps// /|}])" >&2
             exit 2
             ;;
     esac
@@ -29,40 +44,40 @@ done
 
 run_fmt() {
     if [[ "$fix" == 1 ]]; then
-        echo "==> cargo fmt"
-        cargo fmt --all
+        echo "==> cargo fmt" &&
+            cargo fmt --all
     else
-        echo "==> cargo fmt --check"
-        cargo fmt --all -- --check
+        echo "==> cargo fmt --check" &&
+            cargo fmt --all -- --check
     fi
 }
 
 run_clippy() {
-    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings" &&
+        cargo clippy --workspace --all-targets -- -D warnings
 }
 
 run_lint() {
     # squery-lint: the workspace's own static analysis (SQ001 lock-order
     # cycles, SQ002 panic hygiene, SQ003 telemetry-name registry, SQ004
     # unsafe audit). Gate is zero findings.
-    echo "==> squery-lint"
-    cargo run --release -q -p squery-lint --bin squery-lint -- --root .
+    echo "==> squery-lint" &&
+        cargo run --release -q -p squery-lint --bin squery-lint -- --root .
 }
 
 run_test() {
-    echo "==> cargo test --workspace -q"
-    cargo test --workspace -q
+    echo "==> cargo test --workspace -q" &&
+        cargo test --workspace -q
 }
 
 run_chaos() {
     # Fixed seed range inside a fixed time budget: a deterministic soak of
     # the fault-injection + supervised-recovery path (~60 s ceiling).
-    echo "==> chaos soak (100 seeds, 60 s budget)"
     # SQUERY_LOCK_ORDER=1 arms the runtime lock-order tracker (DESIGN.md
     # §9): any rank inversion fails the seed via check_lock_order_clean.
-    SQUERY_LOCK_ORDER=1 cargo run --release -q -p squery-bench --bin chaos -- \
-        --seeds 100 --base-seed 1 --time-budget-secs 60
+    echo "==> chaos soak (100 seeds, 60 s budget)" &&
+        SQUERY_LOCK_ORDER=1 cargo run --release -q -p squery-bench --bin chaos -- \
+            --seeds 100 --base-seed 1 --time-budget-secs 60
 }
 
 run_trace() {
@@ -71,11 +86,11 @@ run_trace() {
     # file parses and the checkpoint phase-1/phase-2 spans nest under their
     # round's root span.
     local out="${TRACE_JSON:-target/trace.json}"
-    echo "==> trace smoke (fig13 workload, dop 4, -> $out)"
-    mkdir -p "$(dirname "$out")"
-    cargo run --release -q -p squery-bench --bin paper-figures -- \
-        --quick --dop 4 --trace-json "$out"
-    python3 - "$out" <<'EOF'
+    echo "==> trace smoke (fig13 workload, dop 4, -> $out)" &&
+        mkdir -p "$(dirname "$out")" &&
+        cargo run --release -q -p squery-bench --bin paper-figures -- \
+            --quick --dop 4 --trace-json "$out" &&
+        python3 - "$out" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
@@ -111,24 +126,53 @@ run_stats() {
     # DOP 1/4, the planted hot key surfaces, EXPLAIN carries est_rows,
     # and the JSON dump is well-formed.
     local out="${STATS_JSON:-target/stats.json}"
-    echo "==> stats smoke (-> $out)"
-    cargo run --release -q -p squery-bench --bin stats-watch -- \
-        --smoke --json "$out"
+    echo "==> stats smoke (-> $out)" &&
+        cargo run --release -q -p squery-bench --bin stats-watch -- \
+            --smoke --json "$out"
 }
 
+run_bench() {
+    # SQL benchmark-regression gate: Q1-Q4 + NEXMark q6 at DOP 4 on both
+    # engines, compared against the committed BENCH_sql.json baseline. The
+    # gate is row-engine-normalized: each query's columnar-vs-row speedup
+    # (both engines timed interleaved on this host) must stay within 15% of
+    # its baseline speedup, so machine speed cancels out. Writes the fresh
+    # report to $BENCH_JSON (default: overwrite the baseline path so an
+    # intentional perf change is a one-line `git add`).
+    local out="${BENCH_JSON:-BENCH_sql.json}"
+    echo "==> bench gate (Q1-Q4 + NEXMark q6, dop 4, row vs columnar, -> $out)" &&
+        cargo run --release -q -p squery-bench --bin bench-gate -- \
+            --check --baseline BENCH_sql.json --out "$out" \
+            ${BENCH_SUMMARY:+--summary "$BENCH_SUMMARY"}
+}
+
+run_selftest_fail() {
+    # Hidden step, not in --list: CI's negative test that a failing step's
+    # exit code really reaches the caller. Must exit 42.
+    echo "==> selftest-fail (this step always fails with exit 42)" &&
+        return 42
+}
+
+rc=0
 case "$only" in
-    "") run_fmt; run_clippy; run_lint; run_test ;;
-    fmt) run_fmt ;;
-    clippy) run_clippy ;;
-    lint) run_lint ;;
-    test) run_test ;;
-    chaos) run_chaos ;;
-    trace) run_trace ;;
-    stats) run_stats ;;
+    "") run_fmt && run_clippy && run_lint && run_test; rc=$? ;;
+    fmt) run_fmt; rc=$? ;;
+    clippy) run_clippy; rc=$? ;;
+    lint) run_lint; rc=$? ;;
+    test) run_test; rc=$? ;;
+    chaos) run_chaos; rc=$? ;;
+    trace) run_trace; rc=$? ;;
+    stats) run_stats; rc=$? ;;
+    bench) run_bench; rc=$? ;;
+    selftest-fail) run_selftest_fail; rc=$? ;;
     *)
-        echo "unknown step '$only' (known: fmt, clippy, lint, test, chaos, trace, stats)" >&2
+        echo "unknown step '$only' (known: ${steps// /, })" >&2
         exit 2
         ;;
 esac
 
+if [[ "$rc" -ne 0 ]]; then
+    echo "check failed with exit $rc" >&2
+    exit "$rc"
+fi
 echo "All checks passed."
