@@ -92,7 +92,7 @@ fn stats_sampler_overhead(c: &mut Criterion) {
         ("sampler-off", None),
         ("sampler-on-10ms", Some(Duration::from_millis(10))),
     ] {
-        let system = populated_system_with(100_000, base.with_stats_interval(interval));
+        let system = populated_system_with(100_000, base.clone().with_stats_interval(interval));
         // Live writes on the side so the armed run exercises the ring.
         let map = system.grid().map("orderinfo");
         group.bench_function(BenchmarkId::from_parameter(label), |b| {

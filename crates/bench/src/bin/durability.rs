@@ -1,0 +1,161 @@
+//! Durability soak driver: run the kill-restart harness over a range of
+//! seeds, each in its own throwaway WAL directory, and record the recovered
+//! state fingerprints as a JSON artifact. Exits non-zero on any failure.
+//! Wired into CI as `scripts/check.sh --only durability`.
+//!
+//! Each seed picks one of four kill shapes (`seed % 4`): freeze after the
+//! seal record, tear a phase-1 delta, freeze before the seal, or freeze
+//! mid-compaction — then cold-starts a fresh system from the WAL alone and
+//! checks the recovered snapshot byte-for-byte against the pre-kill one.
+//!
+//! ```text
+//! cargo run -p squery-bench --release --bin durability
+//! cargo run -p squery-bench --release --bin durability -- --seeds 50 --time-budget-secs 300
+//! DURABILITY_JSON=out.json cargo run -p squery-bench --release --bin durability
+//! ```
+
+use squery::durability::{run_durability_seed, DurabilityConfig, DurabilityReport};
+use squery_bench::workload_durability::run_workload_kill_restart;
+use std::time::{Duration, Instant};
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn artifact(
+    reports: &[DurabilityReport],
+    workload: &str,
+    failures: u64,
+    elapsed: Duration,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"seeds_run\": {},\n", reports.len()));
+    out.push_str(&format!("  \"failures\": {failures},\n"));
+    out.push_str(&format!(
+        "  \"workload_fingerprint\": \"{}\",\n",
+        json_escape(workload)
+    ));
+    out.push_str(&format!(
+        "  \"elapsed_secs\": {:.1},\n",
+        elapsed.as_secs_f64()
+    ));
+    out.push_str("  \"seeds\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"seed\": {}, \"shape\": {}, \"recovered\": {}, \
+             \"torn_truncations\": {}, \"faults\": {}, \"fingerprint\": \"{}\"}}{}\n",
+            r.seed,
+            r.shape,
+            r.recovered.0,
+            r.torn_truncations,
+            r.faults.len(),
+            json_escape(&r.fingerprint),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut seeds = 25u64;
+    let mut base_seed = 1u64;
+    let mut budget = Duration::from_secs(120);
+    while let Some(a) = args.next() {
+        let mut num = |flag: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires a non-negative integer");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--seeds" => seeds = num("--seeds"),
+            "--base-seed" => base_seed = num("--base-seed"),
+            "--time-budget-secs" => budget = Duration::from_secs(num("--time-budget-secs")),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: durability [--seeds N] [--base-seed S] [--time-budget-secs T]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let wal_root = std::env::temp_dir().join(format!("squery-durability-{}", std::process::id()));
+    let start = Instant::now();
+    let mut ran = 0u64;
+    let mut failures = 0u64;
+    let mut torn = 0i64;
+    let mut reports = Vec::new();
+    for seed in base_seed..base_seed + seeds {
+        if start.elapsed() > budget {
+            println!("time budget exhausted after {ran}/{seeds} seeds");
+            break;
+        }
+        let cfg = DurabilityConfig::new(wal_root.join(format!("seed-{seed}")));
+        match run_durability_seed(&cfg, seed) {
+            Ok(report) => {
+                ran += 1;
+                torn += report.torn_truncations;
+                println!(
+                    "seed {seed}: ok (shape {}, recovered v{}, {} torn, {} faults)",
+                    report.shape,
+                    report.recovered.0,
+                    report.torn_truncations,
+                    report.faults.len()
+                );
+                reports.push(report);
+            }
+            Err(e) => {
+                ran += 1;
+                failures += 1;
+                eprintln!("seed {seed}: FAILED: {e}");
+            }
+        }
+    }
+    // The acceptance shape: the full SQL workload (Q1–Q4 + NEXMark q6 +
+    // direct get_many) must survive a kill-after-commit byte-identically.
+    let workload = match run_workload_kill_restart(&wal_root.join("workload")) {
+        Ok(fp) => {
+            println!("workload kill-restart: ok (Q1-Q4 + q6 + get_many byte-identical)");
+            fp
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("workload kill-restart: FAILED: {e}");
+            String::from("FAILED")
+        }
+    };
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let path = std::env::var("DURABILITY_JSON").unwrap_or_else(|_| "target/durability.json".into());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let body = artifact(&reports, &workload, failures, start.elapsed());
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("fingerprint artifact written to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            failures += 1;
+        }
+    }
+
+    println!(
+        "durability soak: {ran} seeds in {:.1}s — {torn} torn tails truncated, {failures} failures",
+        start.elapsed().as_secs_f64()
+    );
+    if failures > 0 || ran == 0 {
+        std::process::exit(1);
+    }
+}

@@ -28,6 +28,7 @@
 pub mod figures;
 pub mod scale;
 pub mod util;
+pub mod workload_durability;
 
 pub use figures::FigureResult;
 pub use scale::Scale;

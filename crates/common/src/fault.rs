@@ -87,6 +87,16 @@ pub enum InjectionPoint {
     Replication,
     /// A whole node failing with backup promotion (`Grid::fail_node`).
     NodeLoss,
+    /// A WAL delta append during checkpoint phase 1 (kill-during-write).
+    WalAppend,
+    /// The coordinator about to seal the round's WAL records with commit
+    /// markers (kill-before-commit-marker).
+    WalSeal,
+    /// The coordinator just sealed the round on disk but has not yet run
+    /// the in-memory registry commit (kill-after-commit-marker).
+    WalSealed,
+    /// WAL segment compaction after `prune_below` (kill-mid-compaction).
+    WalCompact,
 }
 
 impl InjectionPoint {
@@ -99,6 +109,10 @@ impl InjectionPoint {
             InjectionPoint::Phase2Commit => "phase2_commit",
             InjectionPoint::Replication => "replication",
             InjectionPoint::NodeLoss => "node_loss",
+            InjectionPoint::WalAppend => "wal_append",
+            InjectionPoint::WalSeal => "wal_seal",
+            InjectionPoint::WalSealed => "wal_sealed",
+            InjectionPoint::WalCompact => "wal_compact",
         }
     }
 }
@@ -131,6 +145,18 @@ pub enum FaultAction {
         /// Delay in microseconds.
         micros: u64,
     },
+    /// Simulate a process kill mid-write: persist only the first
+    /// `keep_bytes` of the record being appended, then freeze the WAL (all
+    /// later disk writes silently vanish, as after a real kill).
+    TornWrite {
+        /// Bytes of the in-flight record that reach the disk.
+        keep_bytes: u32,
+    },
+    /// Simulate a clean process kill: freeze the WAL so no later append,
+    /// seal, truncate, or compaction reaches the disk. The in-memory system
+    /// keeps running; recovery is validated by a cold start from the
+    /// directory.
+    FreezeWal,
 }
 
 impl FaultAction {
@@ -144,6 +170,8 @@ impl FaultAction {
             FaultAction::FailCommit => "fail_commit",
             FaultAction::KillCoordinator => "kill_coordinator",
             FaultAction::DelayReplication { .. } => "delay_replication",
+            FaultAction::TornWrite { .. } => "torn_write",
+            FaultAction::FreezeWal => "freeze_wal",
         }
     }
 
@@ -156,6 +184,8 @@ impl FaultAction {
                 | FaultAction::DropAck
                 | FaultAction::FailCommit
                 | FaultAction::KillCoordinator
+                | FaultAction::TornWrite { .. }
+                | FaultAction::FreezeWal
         )
     }
 }
@@ -499,6 +529,86 @@ impl FaultInjector {
                 None,
                 Some(partition),
                 "while applying backup write".into(),
+            );
+        })
+    }
+
+    /// WAL hook: `store` is about to append a phase-1 delta record for
+    /// partition `partition` of round `ssid`.
+    pub fn on_wal_append(&self, store: &str, ssid: u64, partition: u32) -> Option<FaultAction> {
+        self.fire(InjectionPoint::WalAppend, |t| {
+            t.at_ssid.is_none_or(|s| s == ssid)
+                && t.operator.as_deref().is_none_or(|o| o == store)
+                && t.partition.is_none_or(|p| p == partition)
+        })
+        .inspect(|&action| {
+            self.record(
+                action,
+                InjectionPoint::WalAppend,
+                Some(store),
+                None,
+                Some(ssid),
+                Some(partition),
+                "during phase-1 WAL append".into(),
+            );
+        })
+    }
+
+    /// WAL hook: the coordinator is about to seal round `ssid` on disk
+    /// (write commit markers to every touched segment).
+    pub fn on_wal_seal(&self, ssid: u64) -> Option<FaultAction> {
+        self.fire(InjectionPoint::WalSeal, |t| {
+            t.at_ssid.is_none_or(|s| s == ssid)
+        })
+        .inspect(|&action| {
+            self.record(
+                action,
+                InjectionPoint::WalSeal,
+                None,
+                None,
+                Some(ssid),
+                None,
+                "before WAL commit markers".into(),
+            );
+        })
+    }
+
+    /// WAL hook: round `ssid` is sealed on disk; the in-memory registry
+    /// commit has not run yet.
+    pub fn on_wal_sealed(&self, ssid: u64) -> Option<FaultAction> {
+        self.fire(InjectionPoint::WalSealed, |t| {
+            t.at_ssid.is_none_or(|s| s == ssid)
+        })
+        .inspect(|&action| {
+            self.record(
+                action,
+                InjectionPoint::WalSealed,
+                None,
+                None,
+                Some(ssid),
+                None,
+                "after WAL commit markers, before registry commit".into(),
+            );
+        })
+    }
+
+    /// WAL hook: segment compaction is rewriting `store` partition
+    /// `partition` (fires between writing the replacement file and the
+    /// atomic rename).
+    pub fn on_wal_compact(&self, store: &str, partition: u32) -> Option<FaultAction> {
+        self.fire(InjectionPoint::WalCompact, |t| {
+            t.operator.as_deref().is_none_or(|o| o == store)
+                && t.partition.is_none_or(|p| p == partition)
+        })
+        .inspect(|&action| {
+            self.record(
+                action,
+                InjectionPoint::WalCompact,
+                Some(store),
+                None,
+                None,
+                Some(partition),
+                "mid-compaction, before rename".into(),
             );
         })
     }

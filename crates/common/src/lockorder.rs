@@ -46,6 +46,11 @@ pub enum LockClass {
     PartitionTable,
     /// Replicator backup store and fault hook.
     Replication,
+    /// A per-partition WAL segment file (appends, seals, truncation, and
+    /// compaction all serialize on it). Acquired *before* the partition's
+    /// in-memory snapshot data so the durable record always lands ahead of
+    /// the version map it describes.
+    WalSegment,
     /// Per-partition snapshot store data.
     SnapshotPartition,
     /// `SnapshotStore.exec_cache` — memoized executor structures (decoded
@@ -91,19 +96,20 @@ impl LockClass {
             LockClass::GridCatalog => 5,
             LockClass::PartitionTable => 6,
             LockClass::Replication => 7,
-            LockClass::SnapshotPartition => 8,
-            LockClass::ExecCache => 9,
-            LockClass::KeyStripe => 10,
-            LockClass::PartitionMap => 11,
-            LockClass::MapMeta => 12,
-            LockClass::StatsRing => 13,
-            LockClass::SketchState => 14,
-            LockClass::CheckpointStats => 15,
-            LockClass::Telemetry => 16,
-            LockClass::EventRing => 17,
-            LockClass::SpanShard => 18,
-            LockClass::Histogram => 19,
-            LockClass::FaultState => 20,
+            LockClass::WalSegment => 8,
+            LockClass::SnapshotPartition => 9,
+            LockClass::ExecCache => 10,
+            LockClass::KeyStripe => 11,
+            LockClass::PartitionMap => 12,
+            LockClass::MapMeta => 13,
+            LockClass::StatsRing => 14,
+            LockClass::SketchState => 15,
+            LockClass::CheckpointStats => 16,
+            LockClass::Telemetry => 17,
+            LockClass::EventRing => 18,
+            LockClass::SpanShard => 19,
+            LockClass::Histogram => 20,
+            LockClass::FaultState => 21,
         }
     }
 
@@ -117,6 +123,7 @@ impl LockClass {
             LockClass::GridCatalog => "GridCatalog",
             LockClass::PartitionTable => "PartitionTable",
             LockClass::Replication => "Replication",
+            LockClass::WalSegment => "WalSegment",
             LockClass::SnapshotPartition => "SnapshotPartition",
             LockClass::ExecCache => "ExecCache",
             LockClass::KeyStripe => "KeyStripe",

@@ -53,6 +53,13 @@ pub const METRIC_NAMES: &[&str] = &[
     "stats_skew_milli",
     "stats_write_rate_milli",
     "supervisor_restarts_total",
+    "wal_appends_total",
+    "wal_bytes_written_total",
+    "wal_compactions_total",
+    "wal_fsyncs_total",
+    "wal_recover_us",
+    "wal_seals_total",
+    "wal_torn_truncations_total",
     "worker_panics_total",
 ];
 
@@ -79,6 +86,9 @@ pub const SPAN_KINDS: &[&str] = &[
     "sort",
     "stats_sample",
     "supervisor_restart",
+    "wal_compact",
+    "wal_recover",
+    "wal_seal",
 ];
 
 /// Event kinds surfaced through `sys_events`; must stay a superset of
@@ -99,6 +109,8 @@ pub const EVENT_KINDS: &[&str] = &[
     "recovery",
     "supervisor_gave_up",
     "supervisor_restart",
+    "wal_recovered",
+    "wal_torn_tail",
     "worker_panicked",
     "worker_started",
     "worker_stopped",
@@ -163,6 +175,8 @@ mod tests {
             EventKind::CheckpointRetried,
             EventKind::SupervisorRestart,
             EventKind::SupervisorGaveUp,
+            EventKind::WalRecovered,
+            EventKind::WalTornTail,
         ];
         for v in variants {
             assert!(

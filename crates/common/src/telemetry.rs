@@ -192,6 +192,10 @@ pub enum EventKind {
     SupervisorRestart,
     /// The supervisor exhausted its restart budget and gave up.
     SupervisorGaveUp,
+    /// Cold-start recovery rebuilt snapshot state from the WAL.
+    WalRecovered,
+    /// Recovery discarded a torn (unsealed) WAL tail.
+    WalTornTail,
 }
 
 impl EventKind {
@@ -216,6 +220,8 @@ impl EventKind {
             EventKind::CheckpointRetried => "checkpoint_retried",
             EventKind::SupervisorRestart => "supervisor_restart",
             EventKind::SupervisorGaveUp => "supervisor_gave_up",
+            EventKind::WalRecovered => "wal_recovered",
+            EventKind::WalTornTail => "wal_torn_tail",
         }
     }
 }

@@ -109,7 +109,7 @@ pub struct ChaosReport {
 }
 
 /// Shared gate: the source produces `index` while `index < allowance`.
-struct GatedSource {
+pub(crate) struct GatedSource {
     index: u64,
     keys: i64,
     allowance: Arc<AtomicU64>,
@@ -138,9 +138,9 @@ impl Source for GatedSource {
     }
 }
 
-struct GatedFactory {
-    keys: i64,
-    allowance: Arc<AtomicU64>,
+pub(crate) struct GatedFactory {
+    pub(crate) keys: i64,
+    pub(crate) allowance: Arc<AtomicU64>,
 }
 
 impl SourceFactory for GatedFactory {
@@ -153,7 +153,8 @@ impl SourceFactory for GatedFactory {
     }
 }
 
-fn counting_factory() -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>> {
+pub(crate) fn counting_factory(
+) -> Arc<FnStateful<impl Fn(u32, u32) -> Box<dyn Stateful> + Send + Sync>> {
     Arc::new(FnStateful(|_, _| {
         Box::new(FnStatefulOp(
             |r: Record, state: &mut dyn KeyedState, out: &mut Vec<Record>| {
@@ -208,7 +209,7 @@ pub fn expected_counts(events: u64, keys: i64) -> Vec<(Value, Value)> {
 
 /// Sum of the live per-key counts — the number of *distinct* input records
 /// whose effect is currently in state (replays don't inflate it).
-fn live_progress(system: &SQuery) -> i64 {
+pub(crate) fn live_progress(system: &SQuery) -> i64 {
     system
         .grid()
         .get_map("count")

@@ -2,13 +2,15 @@
 
 use squery_common::config::{ClusterConfig, Parallelism};
 use squery_common::{SqError, SqResult};
-use squery_storage::SnapshotMode;
+use squery_storage::{FsyncMode, SnapshotMode};
 use squery_streaming::{EngineConfig, StateConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration of a whole S-QUERY deployment: the simulated cluster, the
-/// state mechanisms, checkpointing cadence, and snapshot retention.
-#[derive(Debug, Clone, Copy)]
+/// state mechanisms, checkpointing cadence, snapshot retention, and (when a
+/// WAL directory is set) crash durability.
+#[derive(Debug, Clone)]
 pub struct SQueryConfig {
     /// Cluster topology (nodes, partitions, replication, network model).
     pub cluster: ClusterConfig,
@@ -48,6 +50,16 @@ pub struct SQueryConfig {
     /// Heavy-hitter slots tracked per table by the SpaceSaving sketch
     /// (`sys_hot_keys` rows per table, ≥ 1).
     pub stats_hot_keys: usize,
+    /// Write-ahead-log root directory for durable snapshots. `None`
+    /// (default) keeps everything in memory — no disk I/O, no recovery.
+    /// When set, [`crate::SQuery::new`] replays any sealed rounds found
+    /// there before serving queries (cold-start recovery).
+    pub wal_dir: Option<PathBuf>,
+    /// When to fsync WAL writes (only meaningful with `wal_dir` set).
+    pub wal_fsync: FsyncMode,
+    /// Sealed rounds a WAL segment may accumulate below the prune horizon
+    /// before compaction rewrites it (≥ 1).
+    pub wal_retention: usize,
 }
 
 impl SQueryConfig {
@@ -69,6 +81,9 @@ impl SQueryConfig {
             tracing: false,
             stats_interval: None,
             stats_hot_keys: squery_common::sketch::DEFAULT_TOP_K,
+            wal_dir: None,
+            wal_fsync: FsyncMode::Never,
+            wal_retention: 4,
         }
     }
 
@@ -162,6 +177,26 @@ impl SQueryConfig {
         self
     }
 
+    /// Persist snapshots to a write-ahead log rooted at `path`, and replay
+    /// any sealed rounds found there at startup (cold-start recovery).
+    pub fn with_wal_dir(mut self, path: impl Into<PathBuf>) -> SQueryConfig {
+        self.wal_dir = Some(path.into());
+        self
+    }
+
+    /// When to fsync WAL writes (only meaningful with a WAL directory set).
+    pub fn with_fsync(mut self, mode: FsyncMode) -> SQueryConfig {
+        self.wal_fsync = mode;
+        self
+    }
+
+    /// Compact a WAL segment once `rounds` sealed rounds fall below the
+    /// prune horizon (≥ 1).
+    pub fn with_wal_retention(mut self, rounds: usize) -> SQueryConfig {
+        self.wal_retention = rounds;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> SqResult<()> {
         self.cluster.validate()?;
@@ -181,6 +216,9 @@ impl SQueryConfig {
             return Err(SqError::Config(
                 "stats hot-key capacity must be at least 1".into(),
             ));
+        }
+        if self.wal_retention == 0 {
+            return Err(SqError::Config("WAL retention must be at least 1".into()));
         }
         self.query_parallelism.validate()?;
         Ok(())
@@ -293,6 +331,27 @@ mod tests {
             Some(Duration::from_millis(100))
         );
         let c = c.with_stats_hot_keys(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn wal_builders_and_validation() {
+        let c = SQueryConfig::default();
+        assert!(c.wal_dir.is_none(), "WAL is off by default");
+        assert_eq!(c.wal_fsync, FsyncMode::Never);
+        assert_eq!(c.wal_retention, 4);
+        let c = c
+            .with_wal_dir("/tmp/squery-wal")
+            .with_fsync(FsyncMode::OnCommit)
+            .with_wal_retention(2);
+        c.validate().unwrap();
+        assert_eq!(
+            c.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/squery-wal"))
+        );
+        assert_eq!(c.wal_fsync, FsyncMode::OnCommit);
+        assert_eq!(c.wal_retention, 2);
+        let c = c.with_wal_retention(0);
         assert!(c.validate().is_err());
     }
 

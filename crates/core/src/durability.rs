@@ -1,0 +1,402 @@
+//! Durability chaos harness: process-kill shapes against the write-ahead
+//! log, each followed by a *real* cold start from the WAL directory alone.
+//!
+//! One [`run_durability_seed`] call is one soak iteration:
+//!
+//! 1. Bring up a WAL-backed deployment and run the counting workload in
+//!    checkpointed slices, so round `i` seals snapshot `i` on disk.
+//! 2. Fire one durability fault chosen by `seed % 4` — the WAL freezes at
+//!    that point ("dead disk"), modelling a process kill whose in-memory
+//!    side may be ahead of the durable one:
+//!    * shape 0 — freeze **after** round 3's commit record (kill after the
+//!      phase-2 seal): disk holds rounds 1–3 sealed;
+//!    * shape 1 — tear a phase-1 delta record of round 3 mid-write: the
+//!      round's tail is unsealed garbage recovery must truncate;
+//!    * shape 2 — freeze **before** round 3's commit record (kill between
+//!      phase 1 and the seal): rounds 1–2 sealed, round 3 an unsealed tail;
+//!    * shape 3 — freeze mid-compaction, after the replacement segment was
+//!      written but before the rename: the stray `.wal.tmp` must be ignored
+//!      and cleaned up, the original segment still authoritative.
+//! 3. Kill the process (drop every in-memory structure) and cold-start a
+//!    brand-new deployment from the WAL directory. Verify the recovered
+//!    version is exactly the shape's expected one, that queries against it
+//!    (scan, SQL, direct `get_many`) are byte-identical to the same queries
+//!    against the pre-kill committed snapshot, then resume the job with
+//!    [`SQuery::submit_recovered`] and drain — the final state must equal a
+//!    fault-free pass (exactly-once across the kill), with the monotonicity,
+//!    live≡snapshot, fault-resolution, and lock-order invariants all clean.
+
+use crate::chaos::{counting_factory, expected_counts, live_progress, GatedFactory};
+use crate::config::SQueryConfig;
+use crate::direct::StateView;
+use crate::invariants;
+use crate::system::SQuery;
+use squery_common::fault::{
+    FaultAction, FaultPlan, FaultRecord, FaultSpec, FaultTrigger, InjectionPoint,
+};
+use squery_common::schema::schema;
+use squery_common::{DataType, SnapshotId, SqError, SqResult, Value};
+use squery_storage::FsyncMode;
+use squery_streaming::dag::adapters::NullSinkFactory;
+use squery_streaming::{EdgeKind, JobSpec, StateConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workload shape for one durability iteration.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory for this iteration's WAL (created, then removed).
+    pub wal_dir: PathBuf,
+    /// Total records the source produces.
+    pub events: u64,
+    /// Distinct keys (record `i` gets key `i % keys`).
+    pub keys: i64,
+    /// Parallelism of the counting operator.
+    pub parallelism: u32,
+    /// Per-phase wait budget.
+    pub timeout: Duration,
+}
+
+impl DurabilityConfig {
+    /// The default workload rooted at `wal_dir`.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            wal_dir: wal_dir.into(),
+            events: 120,
+            keys: 6,
+            parallelism: 2,
+            timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Outcome of one durability iteration (invariants already passed if this
+/// is returned at all — violations surface as `Err`).
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// The seed (shape = `seed % 4`).
+    pub seed: u64,
+    /// Which kill shape ran (0–3, see module docs).
+    pub shape: u64,
+    /// The version the cold start recovered.
+    pub recovered: SnapshotId,
+    /// Torn tails recovery truncated (shapes 1–2 produce at least one).
+    pub torn_truncations: i64,
+    /// Faults that fired, with resolved outcomes.
+    pub faults: Vec<FaultRecord>,
+    /// Canonical digest of the recovered snapshot + final state: identical
+    /// across runs of the same seed.
+    pub fingerprint: String,
+}
+
+fn counting_job(keys: i64, parallelism: u32, allowance: &Arc<AtomicU64>) -> JobSpec {
+    let mut b = JobSpec::builder("durability-count");
+    let src = b.source(
+        "src",
+        1,
+        Arc::new(GatedFactory {
+            keys,
+            allowance: Arc::clone(allowance),
+        }),
+    );
+    let op = b.stateful_with_schema(
+        "count",
+        parallelism,
+        counting_factory(),
+        schema(vec![("this", DataType::Int)]),
+    );
+    let sink = b.sink("sink", 1, Arc::new(NullSinkFactory));
+    b.edge(src, op, EdgeKind::Keyed);
+    b.edge(op, sink, EdgeKind::Forward);
+    b.build().expect("valid durability job")
+}
+
+/// The fault plan for `seed`: one durability fault at round 3, per shape.
+fn shape_plan(seed: u64) -> FaultPlan {
+    let at_round_3 = FaultTrigger {
+        at_ssid: Some(3),
+        ..FaultTrigger::default()
+    };
+    let (point, action, trigger) = match seed % 4 {
+        0 => (
+            InjectionPoint::WalSealed,
+            FaultAction::FreezeWal,
+            at_round_3,
+        ),
+        1 => (
+            InjectionPoint::WalAppend,
+            FaultAction::TornWrite { keep_bytes: 7 },
+            at_round_3,
+        ),
+        2 => (InjectionPoint::WalSeal, FaultAction::FreezeWal, at_round_3),
+        // Compaction carries no snapshot id: with WAL retention 1 the first
+        // compaction runs during round 3's pruning, right where we want it.
+        _ => (
+            InjectionPoint::WalCompact,
+            FaultAction::FreezeWal,
+            FaultTrigger::default(),
+        ),
+    };
+    FaultPlan::new(seed).with(FaultSpec {
+        point,
+        action,
+        trigger,
+        once: true,
+    })
+}
+
+/// The snapshot version each shape must recover (checkpoint `i` = ssid `i`).
+fn expected_recovered(shape: u64) -> u64 {
+    match shape {
+        // Sealed through round 3 (kill after the commit record / after a
+        // crash-consistent compaction attempt).
+        0 | 3 => 3,
+        // Round 3 torn or never sealed: the previous version wins.
+        _ => 2,
+    }
+}
+
+/// Canonical digest of the committed snapshot at `ssid`, read through all
+/// three query surfaces: sorted store scan, SQL over the snapshot table, and
+/// the direct multi-key interface.
+fn snapshot_fingerprint(system: &SQuery, ssid: SnapshotId, keys: i64) -> SqResult<String> {
+    let store = system
+        .grid()
+        .get_snapshot_store("count")
+        .ok_or_else(|| SqError::NotFound("no snapshot store for count".into()))?;
+    let (mut scan, _) = store.scan_at(ssid)?;
+    scan.sort();
+    let sql = system.query(&format!(
+        "SELECT partitionKey, this FROM snapshot_count WHERE ssid = {} \
+         ORDER BY partitionKey",
+        ssid.0
+    ))?;
+    let key_list: Vec<Value> = (0..keys).map(Value::Int).collect();
+    let direct = system
+        .direct()
+        .get_many("count", &key_list, StateView::Snapshot(ssid))?;
+    Ok(format!(
+        "scan:{scan:?}|sql:{:?}|direct:{direct:?}",
+        sql.rows()
+    ))
+}
+
+/// Wait until the live per-key counts reflect `target` distinct records,
+/// then trigger a checkpoint (the gated source is never "exhausted", so the
+/// drain barrier is progress-based).
+fn settle_and_checkpoint(
+    system: &SQuery,
+    job: &squery_streaming::JobHandle,
+    target: i64,
+    timeout: Duration,
+) -> SqResult<SnapshotId> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if let Some(msg) = job.worker_failure() {
+            return Err(SqError::WorkerDied(msg));
+        }
+        if live_progress(system) >= target {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(SqError::Runtime(format!(
+                "durability run stalled at {}/{target} records",
+                live_progress(system)
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    job.checkpoint_now()
+}
+
+fn tmp_files_under(root: &Path) -> usize {
+    let mut n = 0;
+    let Ok(stores) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    for store in stores.flatten() {
+        let Ok(files) = std::fs::read_dir(store.path()) else {
+            continue;
+        };
+        n += files
+            .flatten()
+            .filter(|f| f.path().extension().is_some_and(|e| e == "tmp"))
+            .count();
+    }
+    n
+}
+
+/// Run one kill-and-cold-start iteration — see the module docs for the four
+/// shapes and what each must prove.
+pub fn run_durability_seed(cfg: &DurabilityConfig, seed: u64) -> SqResult<DurabilityReport> {
+    let shape = seed % 4;
+    let _ = std::fs::remove_dir_all(&cfg.wal_dir);
+    let base_config = || {
+        SQueryConfig::default()
+            .with_state(StateConfig::live_and_snapshot())
+            .with_wal_dir(&cfg.wal_dir)
+            .with_fsync(FsyncMode::OnCommit)
+            // Retention 1 compacts eagerly, so shape 3's fault has a
+            // compaction to interrupt within three rounds.
+            .with_wal_retention(1)
+    };
+
+    // ── Incarnation 1: run in 3 checkpointed slices; the fault fires in
+    // round 3 and freezes the WAL (the "kill point" for the durable state).
+    let system = SQuery::new(base_config())?;
+    let injector = system.inject_faults(shape_plan(seed));
+    let allowance = Arc::new(AtomicU64::new(0));
+    let mut job = system.submit(counting_job(cfg.keys, cfg.parallelism, &allowance))?;
+    let slice = cfg.events / 3;
+    for round in 1..=3u64 {
+        let released = if round == 3 {
+            cfg.events
+        } else {
+            round * slice
+        };
+        allowance.store(released, Ordering::Release);
+        let ssid = settle_and_checkpoint(&system, &job, released as i64, cfg.timeout)?;
+        if ssid.0 != round {
+            return Err(SqError::Runtime(format!(
+                "checkpoint {round} committed as snapshot {ssid} — aborted rounds skew \
+                 the shape's expected recovery point"
+            )));
+        }
+    }
+    let expected_ssid = SnapshotId(expected_recovered(shape));
+    // What the recovered snapshot must answer, captured pre-kill.
+    let pre_kill = snapshot_fingerprint(&system, expected_ssid, cfg.keys)?;
+    if shape == 3 && tmp_files_under(&cfg.wal_dir) == 0 {
+        return Err(SqError::Runtime(
+            "shape 3 expected a stray .wal.tmp from the interrupted compaction".into(),
+        ));
+    }
+
+    // ── The kill: workers die, every in-memory structure is dropped. The
+    // WAL directory is all that survives.
+    job.crash();
+    drop(job);
+    drop(system);
+    injector.resolve_pending("recovered");
+
+    // ── Incarnation 2: cold start from the WAL directory alone.
+    let system = SQuery::new(base_config())?;
+    let recovered = system
+        .latest_snapshot()
+        .ok_or_else(|| SqError::Runtime("cold start recovered nothing from the WAL".into()))?;
+    if recovered != expected_ssid {
+        return Err(SqError::Runtime(format!(
+            "shape {shape} recovered snapshot {recovered}, expected {expected_ssid}"
+        )));
+    }
+    if tmp_files_under(&cfg.wal_dir) != 0 {
+        return Err(SqError::Runtime(
+            "recovery left stray .wal.tmp files behind".into(),
+        ));
+    }
+    let post_kill = snapshot_fingerprint(&system, expected_ssid, cfg.keys)?;
+    if post_kill != pre_kill {
+        return Err(SqError::Runtime(format!(
+            "recovered snapshot diverges from the pre-kill one:\n pre: {pre_kill}\npost: {post_kill}"
+        )));
+    }
+    let torn = system
+        .query("SELECT SUM(torn_truncations) AS t FROM sys_wal")?
+        .scalar("t")
+        .and_then(Value::as_int)
+        .unwrap_or(0);
+    if matches!(shape, 1 | 2) && torn == 0 {
+        return Err(SqError::Runtime(format!(
+            "shape {shape} left an unsealed tail but recovery truncated nothing"
+        )));
+    }
+
+    // ── Resume: sources rewind to the recovered offsets; draining the rest
+    // of the input must land on exactly the fault-free counts.
+    let allowance = Arc::new(AtomicU64::new(cfg.events));
+    let job = system.submit_recovered(counting_job(cfg.keys, cfg.parallelism, &allowance))?;
+    settle_and_checkpoint(&system, &job, cfg.events as i64, cfg.timeout)?;
+    let grid = system.grid();
+    invariants::check_exactly_once(grid, "count", &expected_counts(cfg.events, cfg.keys))?;
+    invariants::check_live_matches_snapshot(grid, "count", grid.registry().latest_committed())?;
+    invariants::check_snapshot_monotonic(grid.telemetry())?;
+    invariants::check_faults_resolved(&injector)?;
+    invariants::check_lock_order_clean()?;
+    job.stop();
+
+    let faults = injector.records();
+    if faults.is_empty() {
+        return Err(SqError::Runtime(format!(
+            "shape {shape} fault never fired — the soak proved nothing"
+        )));
+    }
+    let mut final_state = grid
+        .get_map("count")
+        .map(|m| m.entries())
+        .unwrap_or_default();
+    final_state.sort();
+    let fingerprint = format!(
+        "recovered:{}|{post_kill}|final:{final_state:?}",
+        recovered.0
+    );
+    let _ = std::fs::remove_dir_all(&cfg.wal_dir);
+    Ok(DurabilityReport {
+        seed,
+        shape,
+        recovered,
+        torn_truncations: torn,
+        faults,
+        fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(tag: &str) -> DurabilityConfig {
+        DurabilityConfig::new(std::env::temp_dir().join(format!(
+            "squery-durability-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )))
+    }
+
+    #[test]
+    fn shape0_kill_after_seal_recovers_the_sealed_round() {
+        let report = run_durability_seed(&cfg("s0"), 0).unwrap();
+        assert_eq!(report.shape, 0);
+        assert_eq!(report.recovered, SnapshotId(3));
+        assert_eq!(report.faults.len(), 1);
+        assert_eq!(report.faults[0].outcome, "recovered");
+    }
+
+    #[test]
+    fn shape1_torn_append_truncates_and_recovers_previous_round() {
+        let report = run_durability_seed(&cfg("s1"), 1).unwrap();
+        assert_eq!(report.recovered, SnapshotId(2));
+        assert!(report.torn_truncations >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn shape2_kill_before_seal_recovers_previous_round() {
+        let report = run_durability_seed(&cfg("s2"), 2).unwrap();
+        assert_eq!(report.recovered, SnapshotId(2));
+        assert!(report.torn_truncations >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn shape3_kill_mid_compaction_keeps_the_original_segment() {
+        let report = run_durability_seed(&cfg("s3"), 3).unwrap();
+        assert_eq!(report.recovered, SnapshotId(3));
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fingerprint() {
+        let a = run_durability_seed(&cfg("fp-a"), 5).unwrap();
+        let b = run_durability_seed(&cfg("fp-b"), 5).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -41,6 +41,7 @@ pub mod audit;
 pub mod chaos;
 pub mod config;
 pub mod direct;
+pub mod durability;
 pub mod invariants;
 pub mod isolation;
 pub mod overview;
@@ -52,6 +53,7 @@ pub use audit::{ErasureReceipt, SubjectReport};
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use config::SQueryConfig;
 pub use direct::{DirectQuery, StateView};
+pub use durability::{DurabilityConfig, DurabilityReport};
 pub use isolation::IsolationLevel;
 pub use overview::SystemOverview;
 pub use stats::StatsCatalog;
@@ -60,7 +62,9 @@ pub use system::SQuery;
 // Re-export the substrate surface a user programs against.
 pub use squery_common::config::Parallelism;
 pub use squery_sql::{ResultSet, SqlEngine};
-pub use squery_storage::{Grid, PartitionStats, SnapshotMode, StateStats, TableStats};
+pub use squery_storage::{
+    FsyncMode, Grid, PartitionStats, SnapshotMode, StateStats, TableStats, WalManager,
+};
 pub use squery_streaming::{
     EdgeKind, EngineConfig, JobHandle, JobReport, JobSpec, RestartPolicy, StateConfig, StreamEnv,
     SupervisedJob, SupervisorStatus,

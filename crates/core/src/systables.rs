@@ -1,7 +1,7 @@
 //! The `sys_*` tables: engine internals exposed through the SQL surface.
 //!
 //! The paper opens operator *state* to queries; this module applies the same
-//! idea to the engine's own telemetry. Eleven virtual tables are registered
+//! idea to the engine's own telemetry. Twelve virtual tables are registered
 //! in every [`SQuery`](crate::SQuery) deployment's catalog and recompute
 //! their rows on every scan:
 //!
@@ -18,6 +18,7 @@
 //! | `sys_partitions`  | non-empty partition, live or snapshot |
 //! | `sys_state_stats` | table's state-statistics summary      |
 //! | `sys_hot_keys`    | heavy-hitter key, per table           |
+//! | `sys_wal`         | operator's write-ahead-log footprint  |
 //!
 //! Because they are ordinary [`Table`]s, sys tables compose with the full
 //! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
@@ -487,6 +488,44 @@ fn sys_hot_keys_rows(stats: &crate::stats::StatsCatalog) -> Vec<Vec<Value>> {
     rows
 }
 
+fn sys_wal_schema() -> Arc<Schema> {
+    schema(vec![
+        ("store", DataType::Str),
+        ("segments", DataType::Int),
+        ("bytes", DataType::Int),
+        ("sealed_min", DataType::Int),
+        ("sealed_max", DataType::Int),
+        ("last_compaction_us", DataType::Int),
+        ("torn_truncations", DataType::Int),
+    ])
+}
+
+/// One row per store with a WAL footprint; empty when the deployment runs
+/// without a WAL directory. `store` joins with `sys_snapshots` through
+/// `'snapshot_' || store`, and `sealed_min`/`sealed_max` bound the versions a
+/// cold start could replay. `last_compaction_us` is 0 until a compaction has
+/// rewritten one of the store's segments.
+fn sys_wal_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let Some(manager) = grid.wal() else {
+        return Vec::new();
+    };
+    manager
+        .store_stats()
+        .into_iter()
+        .map(|s| {
+            vec![
+                Value::str(&s.store),
+                Value::Int(s.segments as i64),
+                Value::Int(s.bytes as i64),
+                opt_u64(s.sealed_min),
+                opt_u64(s.sealed_max),
+                Value::Int(s.last_compaction_us as i64),
+                Value::Int(s.torn_truncations as i64),
+            ]
+        })
+        .collect()
+}
+
 fn sys_query_log_schema() -> Arc<Schema> {
     schema(vec![
         ("seq", DataType::Int),
@@ -522,7 +561,7 @@ fn sys_query_log_rows(log: &QueryLog) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// Register the eleven `sys_*` tables in `catalog`.
+/// Register the twelve `sys_*` tables in `catalog`.
 pub(crate) fn register_sys_tables(
     catalog: &GridCatalog,
     grid: Arc<Grid>,
@@ -586,6 +625,12 @@ pub(crate) fn register_sys_tables(
         "sys_hot_keys",
         sys_hot_keys_schema(),
         Arc::new(move || sys_hot_keys_rows(&hot_stats)),
+    )));
+    let wal_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_wal",
+        sys_wal_schema(),
+        Arc::new(move || sys_wal_rows(&wal_grid)),
     )));
     catalog.register(Arc::new(SysTable::new(
         "sys_snapshots",
@@ -802,6 +847,68 @@ mod tests {
             .unwrap();
         assert_eq!(rs.rows()[0][0], Value::str("orders"));
         assert!(rs.rows()[0][1].as_int().unwrap() >= 5);
+    }
+
+    #[test]
+    fn sys_wal_is_empty_without_a_wal_directory() {
+        let system = SQuery::new(SQueryConfig::default()).unwrap();
+        let rs = system.query("SELECT COUNT(*) AS n FROM sys_wal").unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn sys_wal_reports_segments_and_joins_sys_snapshots() {
+        let dir = std::env::temp_dir().join(format!(
+            "squery-syswal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let system = SQuery::new(SQueryConfig::default().with_wal_dir(&dir)).unwrap();
+        let grid = system.grid();
+        let store = grid.snapshot_store("orders");
+        let ssid = grid.registry().begin().unwrap();
+        store.write_partition(
+            ssid,
+            store.partition_of(&Value::Int(1)),
+            vec![(Value::Int(1), Some(Value::str("x")))],
+            true,
+        );
+        grid.wal_seal(ssid).unwrap();
+        grid.registry().commit(ssid).unwrap();
+        let rs = system
+            .query(
+                "SELECT segments, sealed_min, sealed_max, torn_truncations \
+                 FROM sys_wal WHERE store = 'orders'",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(0)
+            ]]
+        );
+        assert!(
+            rs.rows()[0][0].as_int().unwrap() >= 1,
+            "one partition segment on disk"
+        );
+        // Joinable with sys_snapshots: the sealed range bounds the versions
+        // a cold start replays, which are exactly the retained ones.
+        let rs = system
+            .query(
+                "SELECT s.store, s.entries FROM sys_wal w \
+                 JOIN sys_snapshots s ON s.ssid = w.sealed_max \
+                 WHERE w.store = 'orders'",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[vec![Value::str("snapshot_orders"), Value::Int(1)]]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

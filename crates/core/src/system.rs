@@ -11,7 +11,7 @@ use squery_common::telemetry::MetricsRegistry;
 use squery_common::time::Clock;
 use squery_common::{SnapshotId, SqResult};
 use squery_sql::{GridCatalog, QueryLog, ResultSet, SqlEngine};
-use squery_storage::Grid;
+use squery_storage::{Grid, WalManager};
 use squery_streaming::{JobHandle, JobSpec, RestartPolicy, StreamEnv, SupervisedJob};
 use std::sync::Arc;
 
@@ -38,6 +38,17 @@ impl SQuery {
         grid.registry()
             .set_retained_versions(config.retained_versions);
         grid.stats().set_hot_key_capacity(config.stats_hot_keys);
+        if let Some(wal_dir) = &config.wal_dir {
+            // Durable snapshots: every checkpoint's phase-1 writes land in
+            // the WAL and phase 2 seals them; any sealed rounds already on
+            // disk are replayed now, before the first query can run.
+            grid.attach_wal(Arc::new(WalManager::new(
+                wal_dir,
+                config.wal_fsync,
+                config.wal_retention,
+            )));
+            grid.recover_from_wal()?;
+        }
         let env = StreamEnv::new(Arc::clone(&grid), config.engine_config());
         let jobs: JobLog = Arc::new(Mutex::new(Vec::new()));
         let query_log = QueryLog::default();
@@ -101,6 +112,19 @@ impl SQuery {
     pub fn submit(&self, spec: JobSpec) -> SqResult<JobHandle> {
         let name = spec.name.clone();
         let handle = self.env.submit(spec)?;
+        let _lo = lockorder::acquired(LockClass::CoreJobs);
+        self.jobs.lock().push((name, handle.checkpoint_stats()));
+        Ok(handle)
+    }
+
+    /// Submit a streaming job resuming from the latest committed snapshot —
+    /// used after a cold start whose WAL recovery restored one ([`SQuery::new`]
+    /// with a WAL directory): operator state is restored and sources rewind
+    /// to their recovered offsets, so exactly-once holds across the process
+    /// kill. Falls back to a plain submit when nothing was recovered.
+    pub fn submit_recovered(&self, spec: JobSpec) -> SqResult<JobHandle> {
+        let name = spec.name.clone();
+        let handle = self.env.submit_restored(spec)?;
         let _lo = lockorder::acquired(LockClass::CoreJobs);
         self.jobs.lock().push((name, handle.checkpoint_stats()));
         Ok(handle)

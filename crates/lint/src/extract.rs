@@ -132,6 +132,11 @@ pub fn lock_class_of(file_basename: &str, receiver: &str) -> Option<LockClass> {
         ("imap.rs", "recent_keys", LockClass::StatsRing),
         ("snapshot.rs", "exec_cache", LockClass::ExecCache),
         ("stats.rs", "sketches", LockClass::SketchState),
+        // wal.rs: per-partition segment files and the manager commit log
+        // share one class; "stores" keeps its unqualified GridCatalog
+        // meaning (the manager's store-WAL map mirrors the grid catalog).
+        ("wal.rs", "segs", LockClass::WalSegment),
+        ("wal.rs", "commit", LockClass::WalSegment),
     ];
     for (f, r, c) in qualified {
         if *f == file_basename && *r == receiver {

@@ -12,14 +12,15 @@ use crate::registry::SnapshotRegistry;
 use crate::replication::{ReplOp, Replicator};
 use crate::snapshot::SnapshotStore;
 use crate::stats::StateStats;
+use crate::wal::{StoreWal, WalManager};
 use parking_lot::RwLock;
 use squery_common::config::ClusterConfig;
 use squery_common::fault::FaultInjector;
 use squery_common::lockorder::{self, LockClass};
-use squery_common::telemetry::MetricsRegistry;
-use squery_common::{NodeId, Partitioner, SqError, SqResult, Value};
+use squery_common::telemetry::{EventKind, MetricsRegistry};
+use squery_common::{NodeId, Partitioner, SnapshotId, SqError, SqResult, Value};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Prefix distinguishing snapshot tables from live tables (paper §V-B).
 pub const SNAPSHOT_TABLE_PREFIX: &str = "snapshot_";
@@ -36,6 +37,9 @@ pub struct Grid {
     telemetry: MetricsRegistry,
     faults: RwLock<Option<Arc<FaultInjector>>>,
     stats: StateStats,
+    /// Durable snapshot WAL, when the deployment configured one (first
+    /// attach wins; absent by default so in-memory deployments pay nothing).
+    wal: OnceLock<Arc<WalManager>>,
 }
 
 impl Grid {
@@ -71,6 +75,7 @@ impl Grid {
             telemetry,
             faults: RwLock::new(None),
             stats: StateStats::new(),
+            wal: OnceLock::new(),
         }))
     }
 
@@ -113,6 +118,9 @@ impl Grid {
         if let Some(r) = &self.replicator {
             r.set_fault_injector(Arc::clone(&injector));
         }
+        if let Some(wal) = self.wal.get() {
+            wal.attach_fault_injector(Arc::clone(&injector));
+        }
         let _lo = lockorder::acquired(LockClass::GridCatalog);
         *self.faults.write() = Some(injector);
     }
@@ -121,6 +129,104 @@ impl Grid {
     pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
         let _lo = lockorder::acquired(LockClass::GridCatalog);
         self.faults.read().clone()
+    }
+
+    /// Attach the durable snapshot WAL (first attach wins). Wires telemetry
+    /// and any already-attached fault injector into the manager, and hooks
+    /// every existing snapshot store; stores created later hook on creation.
+    pub fn attach_wal(&self, manager: Arc<WalManager>) {
+        manager.attach_telemetry(&self.telemetry);
+        if let Some(injector) = self.fault_injector() {
+            manager.attach_fault_injector(injector);
+        }
+        if self.wal.set(Arc::clone(&manager)).is_err() {
+            return;
+        }
+        let stores: Vec<(String, Arc<SnapshotStore>)> = {
+            let _lo = lockorder::acquired(LockClass::GridCatalog);
+            self.snapshots
+                .read()
+                .iter()
+                .map(|(op, s)| (op.clone(), Arc::clone(s)))
+                .collect()
+        };
+        let partitions = self.partitioner.partition_count() as usize;
+        for (op, store) in stores {
+            store.attach_wal(manager.store_wal(&op, partitions));
+        }
+    }
+
+    /// The attached WAL manager, if any.
+    pub fn wal(&self) -> Option<&Arc<WalManager>> {
+        self.wal.get()
+    }
+
+    /// Durably seal checkpoint round `ssid` in the WAL (no-op when no WAL
+    /// is attached). The checkpoint coordinator calls this between phase-1
+    /// completion and the registry's in-memory commit, so the on-disk and
+    /// in-memory commit points coincide.
+    pub fn wal_seal(&self, ssid: SnapshotId) -> SqResult<()> {
+        match self.wal.get() {
+            Some(wal) => wal.seal_round(ssid.0),
+            None => Ok(()),
+        }
+    }
+
+    /// Cold-start recovery: rebuild every snapshot store from the attached
+    /// WAL directory and seed the registry with the sealed rounds, so
+    /// queries answer from the restored committed version immediately.
+    ///
+    /// Returns the latest recovered snapshot id, or `None` when the log
+    /// holds no sealed rounds (fresh directory, or every round was torn).
+    pub fn recover_from_wal(&self) -> SqResult<Option<SnapshotId>> {
+        let Some(manager) = self.wal.get() else {
+            return Ok(None);
+        };
+        let mut span = self.telemetry.spans().start("wal_recover");
+        let recovery = manager.recover(self.partitioner.partition_count() as usize)?;
+        let partitions = self.partitioner.partition_count() as usize;
+        let mut restored_stores = 0u64;
+        for (op, store_rec) in &recovery.stores {
+            // Segment directories are named by operator, so recovery can
+            // recreate the store exactly as a live deployment would.
+            let store = self.snapshot_store(op);
+            store.attach_wal(manager.store_wal(op, partitions));
+            StoreWal::apply_recovery(&store, store_rec);
+            restored_stores += 1;
+        }
+        let sealed: Vec<SnapshotId> = recovery.sealed.iter().map(|&s| SnapshotId(s)).collect();
+        self.registry.restore_committed(&sealed);
+        span.label("stores", restored_stores);
+        span.label("sealed_rounds", sealed.len() as u64);
+        if recovery.torn_truncations > 0 {
+            self.telemetry.event(
+                EventKind::WalTornTail,
+                None,
+                sealed.last().map(|s| s.0),
+                None,
+                format!(
+                    "discarded {} torn WAL tail(s) during recovery",
+                    recovery.torn_truncations
+                ),
+            );
+        }
+        let latest = sealed.last().copied();
+        self.telemetry.event(
+            EventKind::WalRecovered,
+            None,
+            latest.map(|s| s.0),
+            Some(recovery.elapsed_us),
+            format!(
+                "rebuilt {restored_stores} store(s), {} sealed round(s)",
+                sealed.len()
+            ),
+        );
+        if latest.is_some() {
+            // Re-anchor the continuous statistics baselines on the restored
+            // state, exactly as a supervisor restart does.
+            self.stats.note_recovery(self);
+        }
+        Ok(latest)
     }
 
     /// Continuous state statistics: always-on accounting rollups plus the
@@ -205,6 +311,11 @@ impl Grid {
         }
         let store = Arc::new(SnapshotStore::new(operator_name, self.partitioner));
         store.attach_telemetry(&self.telemetry);
+        if let Some(wal) = self.wal.get() {
+            store.attach_wal(
+                wal.store_wal(operator_name, self.partitioner.partition_count() as usize),
+            );
+        }
         stores.insert(operator_name.to_string(), Arc::clone(&store));
         store
     }
@@ -431,5 +542,61 @@ mod tests {
         let s = g.registry().begin().unwrap();
         g.registry().commit(s).unwrap();
         assert_eq!(g.registry().latest_committed(), s);
+    }
+
+    #[test]
+    fn wal_round_trip_through_grid_cold_start() {
+        use crate::wal::{FsyncMode, WalManager};
+        let dir = std::env::temp_dir().join(format!("squery-grid-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First incarnation: two committed rounds, one unsealed attempt.
+        {
+            let g = Grid::single_node();
+            g.attach_wal(Arc::new(WalManager::new(&dir, FsyncMode::Never, 4)));
+            let store = g.snapshot_store("counts");
+            for round in 1..=2u64 {
+                let ssid = g.registry().begin().unwrap();
+                assert_eq!(ssid.0, round);
+                let key = Value::Int(7);
+                store.write_partition(
+                    ssid,
+                    store.partition_of(&key),
+                    vec![(key, Some(Value::Int(round as i64 * 10)))],
+                    round == 1,
+                );
+                g.wal_seal(ssid).unwrap();
+                g.registry().commit(ssid).unwrap();
+            }
+            // Phase-1 of round 3 reaches the disk but never seals.
+            let ssid = g.registry().begin().unwrap();
+            let key = Value::Int(7);
+            store.write_partition(
+                ssid,
+                store.partition_of(&key),
+                vec![(key, Some(Value::Int(999)))],
+                false,
+            );
+        }
+
+        // Cold start: a brand-new grid over the same directory.
+        let g2 = Grid::single_node();
+        g2.attach_wal(Arc::new(WalManager::new(&dir, FsyncMode::Never, 4)));
+        let latest = g2.recover_from_wal().unwrap();
+        assert_eq!(latest, Some(squery_common::SnapshotId(2)));
+        assert_eq!(g2.registry().latest_committed().0, 2);
+        let store = g2.get_snapshot_store("counts").expect("store recovered");
+        assert_eq!(
+            store
+                .read_at(squery_common::SnapshotId(2), &Value::Int(7))
+                .unwrap(),
+            Some(Value::Int(20)),
+            "recovered state must answer from the last sealed round"
+        );
+        // The unsealed round-3 write is gone.
+        assert_eq!(store.stored_ssids().len(), 2);
+        // Post-restart checkpoints continue past recovered history.
+        assert_eq!(g2.registry().begin().unwrap().0, 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

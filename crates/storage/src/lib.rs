@@ -25,6 +25,11 @@
 //!   across the distributed system", §VI-A).
 //! * **Key-level locks** ([`locks::LockStripes`]) — the mechanism behind the
 //!   read-committed guarantee for live queries absent failures (§VII-B).
+//! * **The write-ahead log** ([`wal::WalManager`], optional) — CRC-checked
+//!   per-partition segment files plus a store-spanning commit log that give
+//!   snapshot state a crash-consistent disk footprint: phase-1 writes append
+//!   delta records, phase 2 seals the round with one commit record, and a
+//!   cold start replays sealed rounds back into the snapshot stores.
 //! * **Replication** ([`replication::Replicator`]) — asynchronous backup
 //!   copies per partition; on node failure the backup is promoted, mirroring
 //!   "if a node fails, the respective operator can be scheduled on the node
@@ -38,9 +43,11 @@ pub mod registry;
 pub mod replication;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use grid::Grid;
 pub use imap::{IMap, PartitionStats};
 pub use registry::SnapshotRegistry;
 pub use snapshot::{ExecCached, SnapshotMode, SnapshotStore};
 pub use stats::{StateStats, TableStats};
+pub use wal::{FsyncMode, StoreWal, WalManager, WalStoreStats};

@@ -28,6 +28,61 @@ pub struct StripeGuard<'a> {
     _order: LockOrderGuard,
 }
 
+/// A mutex whose every acquisition registers with the runtime lock-order
+/// tracker under a fixed [`LockClass`].
+///
+/// [`StripeGuard`] bakes its class in because key stripes are the hot
+/// path; everything else that wants tracked locking without repeating the
+/// `lockorder::acquired` + `lock` pair wraps its state in one of these.
+/// The WAL uses it for segment files and the commit log (class
+/// [`LockClass::WalSegment`]) and its store catalog
+/// ([`LockClass::GridCatalog`]).
+pub struct ClassedMutex<T> {
+    class: LockClass,
+    inner: Mutex<T>,
+}
+
+/// Guard for a [`ClassedMutex`]; derefs to the protected value.
+#[must_use = "the lock releases immediately if the guard is dropped"]
+pub struct ClassedGuard<'a, T> {
+    // Field order is drop order: release the mutex before retiring its
+    // lock-order entry (same invariant as StripeGuard).
+    guard: MutexGuard<'a, T>,
+    _order: LockOrderGuard,
+}
+
+impl<T> std::ops::Deref for ClassedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for ClassedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> ClassedMutex<T> {
+    /// Wrap `value` in a mutex tracked under `class`.
+    pub fn new(class: LockClass, value: T) -> ClassedMutex<T> {
+        ClassedMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquire, registering the acquisition with the lock-order tracker.
+    pub fn lock(&self) -> ClassedGuard<'_, T> {
+        let order = lockorder::acquired(self.class);
+        ClassedGuard {
+            guard: self.inner.lock(),
+            _order: order,
+        }
+    }
+}
+
 /// A pool of striped key-level locks.
 pub struct LockStripes {
     stripes: Vec<Mutex<()>>,
@@ -132,6 +187,13 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn classed_mutex_locks_and_derefs() {
+        let m = ClassedMutex::new(LockClass::WalSegment, 41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
 
     #[test]
     fn stripe_count_rounds_to_power_of_two() {

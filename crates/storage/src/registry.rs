@@ -138,6 +138,31 @@ impl SnapshotRegistry {
         Ok(horizon)
     }
 
+    /// Cold-start restore: seed the registry with snapshot ids recovered
+    /// from the WAL, as if each had been committed in order. `ssids` must
+    /// be ascending; only the newest `retained_versions` are kept. The next
+    /// allocated id continues past the newest recovered one, so post-restart
+    /// checkpoints never reuse a sealed id.
+    pub fn restore_committed(&self, ssids: &[SnapshotId]) {
+        if ssids.is_empty() {
+            return;
+        }
+        let _lo = lockorder::acquired(LockClass::RegistryInProgress);
+        let mut in_progress = self.in_progress.lock();
+        *in_progress = None;
+        // Canonical order: `committed` nests inside `in_progress` (§9).
+        let _co = lockorder::acquired(LockClass::RegistryCommitted);
+        let mut committed = self.committed.lock();
+        committed.clear();
+        let retain = self.retained_versions();
+        for &ssid in &ssids[ssids.len().saturating_sub(retain)..] {
+            committed.push_back(ssid);
+        }
+        let newest = *committed.back().expect("ssids non-empty");
+        self.latest_committed.store(newest.0, Ordering::Release);
+        self.next_ssid.fetch_max(newest.0 + 1, Ordering::AcqRel);
+    }
+
     /// Abort the in-progress checkpoint (coordinator decided to give up;
     /// callers must also `discard` the stores' phase-1 writes).
     pub fn abort(&self, ssid: SnapshotId) -> SqResult<()> {
@@ -201,6 +226,23 @@ mod tests {
         assert_eq!(horizon, s1);
         assert_eq!(r.latest_committed(), s1);
         assert_eq!(r.in_progress(), None);
+    }
+
+    #[test]
+    fn restore_committed_seeds_registry_and_advances_ids() {
+        let r = SnapshotRegistry::new();
+        r.restore_committed(&[SnapshotId(3), SnapshotId(5), SnapshotId(6)]);
+        // Default retention of two keeps only the newest two ids.
+        assert_eq!(r.committed_ssids(), vec![SnapshotId(5), SnapshotId(6)]);
+        assert_eq!(r.latest_committed(), SnapshotId(6));
+        assert_eq!(r.in_progress(), None);
+        // The next checkpoint continues past the recovered history.
+        assert_eq!(r.begin().unwrap(), SnapshotId(7));
+        // Restoring nothing is a no-op.
+        let r2 = SnapshotRegistry::new();
+        r2.restore_committed(&[]);
+        assert_eq!(r2.latest_committed(), SnapshotId::NONE);
+        assert_eq!(r2.begin().unwrap(), SnapshotId(1));
     }
 
     #[test]

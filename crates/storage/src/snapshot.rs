@@ -18,6 +18,7 @@
 //! registry decides which ids are committed/queryable; aborted checkpoint
 //! attempts are erased with [`SnapshotStore::discard`].
 
+use crate::wal::StoreWal;
 use parking_lot::{Mutex, RwLock};
 use squery_common::codec::encoded_len;
 use squery_common::lockorder::{self, LockClass};
@@ -28,7 +29,7 @@ use squery_common::{PartitionId, Partitioner, SnapshotId, SqError, SqResult, Val
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// An opaque executor-cache value: a derived read-only structure (decoded
@@ -106,6 +107,10 @@ pub struct SnapshotStore {
     /// insert, bounding the cache to roughly one snapshot's worth of
     /// derived state per store.
     exec_cache: Mutex<HashMap<ExecCacheKey, ExecCached>>,
+    /// Durable WAL for this store, when the deployment enabled one
+    /// (first attach wins). Phase-1 writes append here *before* touching
+    /// the in-memory partition, aborts truncate, prunes compact.
+    wal: OnceLock<Arc<StoreWal>>,
 }
 
 impl SnapshotStore {
@@ -122,7 +127,13 @@ impl SnapshotStore {
             approx_bytes: AtomicU64::new(0),
             telemetry: RwLock::new(None),
             exec_cache: Mutex::new(HashMap::new()),
+            wal: OnceLock::new(),
         }
+    }
+
+    /// Attach the durable WAL this store appends to (first attach wins).
+    pub fn attach_wal(&self, wal: Arc<StoreWal>) {
+        let _ = self.wal.set(wal);
     }
 
     /// Look up a memoized executor structure. Returns a clone of the `Arc`
@@ -238,6 +249,14 @@ impl SnapshotStore {
     ) {
         let tel = self.telemetry();
         let start = tel.as_ref().map(|_| Instant::now());
+        if let Some(wal) = self.wal.get() {
+            // Durable record first, in-memory version map second: a kill
+            // between the two costs nothing (the round is unsealed either
+            // way). A WAL write error is fail-stop — continuing would let
+            // the disk silently fall behind the commit point.
+            wal.append(ssid.0, pid.0, full, &entries)
+                .expect("WAL phase-1 append failed");
+        }
         let mut bytes = 0u64;
         let mut map = HashMap::with_capacity(entries.len());
         for (k, v) in entries {
@@ -270,7 +289,43 @@ impl SnapshotStore {
                     .fetch_sub(version_bytes(&old), Ordering::Relaxed);
             }
         }
+        if let Some(wal) = self.wal.get() {
+            wal.discard(ssid.0);
+        }
         self.exec_cache_purge(|s| s == ssid);
+    }
+
+    /// Load one recovered version directly into the partition map,
+    /// bypassing the WAL (the record being loaded came *from* the WAL).
+    pub fn load_recovered(
+        &self,
+        ssid: u64,
+        pid: u32,
+        full: bool,
+        entries: Vec<(Value, Option<Value>)>,
+    ) {
+        let mut bytes = 0u64;
+        let mut map = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            bytes += entry_bytes(&k, v.as_ref());
+            map.insert(k, v);
+        }
+        let _lo = lockorder::acquired(LockClass::SnapshotPartition);
+        let mut part = self.parts[pid as usize].write();
+        if let Some(old) = part
+            .versions
+            .insert(ssid, VersionMap { full, entries: map })
+        {
+            self.approx_bytes
+                .fetch_sub(version_bytes(&old), Ordering::Relaxed);
+        }
+        self.approx_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record that recovery restored nothing below `min_sealed`: reads
+    /// under it report the same pruned error a live prune would produce.
+    pub fn note_recovered_floor(&self, min_sealed: u64) {
+        self.pruned_below.fetch_max(min_sealed, Ordering::AcqRel);
     }
 
     /// Point read of `key` as of snapshot `ssid`.
@@ -482,6 +537,12 @@ impl SnapshotStore {
         }
         self.pruned_below
             .fetch_max(oldest_retained.0, Ordering::AcqRel);
+        if let Some(wal) = self.wal.get() {
+            // Retention on disk follows retention in memory: fold segments
+            // whose stale-version count passed the configured threshold.
+            wal.maybe_compact(oldest_retained.0)
+                .expect("WAL compaction failed");
+        }
         self.exec_cache_purge(|s| s < oldest_retained);
     }
 

@@ -292,6 +292,20 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
             _ => {}
         }
     }
+    // Durable seal first: the WAL's commit record lands *before* the
+    // in-memory publication. A kill between the two leaves a sealed round
+    // the in-memory side was about to publish anyway — recovery restores
+    // it, and snapshot monotonicity holds. The reverse order would publish
+    // a round a crash could then lose. A seal failure aborts like any
+    // other phase-2 failure (phase-1 WAL deltas become an unsealed tail).
+    if ctx.grid.wal().is_some() {
+        let mut seal_span = round.child("wal_seal");
+        seal_span.label("ssid", ssid.0);
+        if let Err(e) = ctx.grid.wal_seal(ssid) {
+            drop(seal_span);
+            return Err(abort_round(ctx, ssid, &format!("WAL seal failed: {e}")));
+        }
+    }
     // Phase 2: atomic publication + retention pruning.
     let horizon = match registry.commit(ssid) {
         Ok(h) => h,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, static analysis, the full test suite,
-# the chaos soak, the trace-export smoke, the state-statistics smoke, and
-# the SQL benchmark-regression gate.
+# the chaos soak, the trace-export smoke, the state-statistics smoke, the
+# SQL benchmark-regression gate, and the WAL kill-restart durability soak.
 # Usage: scripts/check.sh [--fix] [--list] [--only STEP]
 #   --fix         apply rustfmt instead of only checking
 #   --list        print the runnable step names, one per line, and exit
@@ -15,7 +15,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-steps="fmt clippy lint test chaos trace stats bench"
+steps="fmt clippy lint test chaos trace stats bench durability"
 
 fix=0
 only=""
@@ -146,6 +146,22 @@ run_bench() {
             ${BENCH_SUMMARY:+--summary "$BENCH_SUMMARY"}
 }
 
+run_durability() {
+    # WAL kill-restart soak: 25 seeds, each crashing a WAL-backed job at a
+    # seeded fault point (after seal / torn delta / before seal / mid-
+    # compaction), cold-starting a fresh system from the log alone, and
+    # comparing the recovered snapshot byte-for-byte against the pre-kill
+    # fingerprint. Writes per-seed fingerprints to $DURABILITY_JSON for the
+    # CI artifact. SQUERY_LOCK_ORDER=1 arms the lock-order tracker so the
+    # WalSegment rank is checked under real recovery traffic.
+    local out="${DURABILITY_JSON:-target/durability.json}"
+    echo "==> durability soak (25 seeds, kill + cold restart, -> $out)" &&
+        mkdir -p "$(dirname "$out")" &&
+        SQUERY_LOCK_ORDER=1 DURABILITY_JSON="$out" \
+            cargo run --release -q -p squery-bench --bin durability -- \
+            --seeds 25 --base-seed 1 --time-budget-secs 120
+}
+
 run_selftest_fail() {
     # Hidden step, not in --list: CI's negative test that a failing step's
     # exit code really reaches the caller. Must exit 42.
@@ -164,6 +180,7 @@ case "$only" in
     trace) run_trace; rc=$? ;;
     stats) run_stats; rc=$? ;;
     bench) run_bench; rc=$? ;;
+    durability) run_durability; rc=$? ;;
     selftest-fail) run_selftest_fail; rc=$? ;;
     *)
         echo "unknown step '$only' (known: ${steps// /, })" >&2
