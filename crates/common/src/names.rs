@@ -15,6 +15,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "checkpoint_phase1_us",
     "checkpoint_retries_total",
     "checkpoint_total_us",
+    "e2e_lag_us",
     "map_bytes",
     "map_entries",
     "map_lock_wait_us",
@@ -38,6 +39,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "snapshot_reads_total",
     "snapshot_scan_us",
     "snapshot_scans_total",
+    "snapshot_staleness_us",
     "snapshot_write_us",
     "snapshot_writes_total",
     "sql_parallel_workers",
@@ -60,6 +62,8 @@ pub const METRIC_NAMES: &[&str] = &[
     "wal_recover_us",
     "wal_seals_total",
     "wal_torn_truncations_total",
+    "watermark_lag_us",
+    "watermark_us",
     "worker_panics_total",
 ];
 

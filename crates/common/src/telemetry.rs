@@ -811,6 +811,34 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_text_format_is_pinned_verbatim() {
+        // Scrapers parse this grammar byte-for-byte; a drift in label order,
+        // quantile set, or line layout is a breaking change, so the full
+        // exposition is pinned. Values 1..=4 sit in the histogram's exact
+        // buckets, making every quantile deterministic.
+        let reg = MetricsRegistry::new();
+        reg.counter("records_in", &[("operator", "maxbid")]).add(7);
+        reg.gauge("watermark_us", &[("instance", "0"), ("operator", "maxbid")])
+            .set(42);
+        let h = reg.histogram("watermark_lag_us", &[("operator", "maxbid")]);
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(
+            reg.render_prometheus(),
+            "records_in{operator=\"maxbid\"} 7\n\
+             watermark_us{instance=\"0\",operator=\"maxbid\"} 42\n\
+             watermark_lag_us_count{operator=\"maxbid\"} 4\n\
+             watermark_lag_us_sum{operator=\"maxbid\"} 10\n\
+             watermark_lag_us{operator=\"maxbid\",quantile=\"0.5\"} 2\n\
+             watermark_lag_us{operator=\"maxbid\",quantile=\"0.9\"} 4\n\
+             watermark_lag_us{operator=\"maxbid\",quantile=\"0.95\"} 4\n\
+             watermark_lag_us{operator=\"maxbid\",quantile=\"0.99\"} 4\n\
+             watermark_lag_us{operator=\"maxbid\",quantile=\"0.999\"} 4\n"
+        );
+    }
+
+    #[test]
     fn registry_exposes_a_shared_span_collector() {
         let reg = MetricsRegistry::with_clock(Clock::manual());
         assert!(!reg.spans().is_enabled(), "disabled by default");

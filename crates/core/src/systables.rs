@@ -1,7 +1,7 @@
 //! The `sys_*` tables: engine internals exposed through the SQL surface.
 //!
 //! The paper opens operator *state* to queries; this module applies the same
-//! idea to the engine's own telemetry. Twelve virtual tables are registered
+//! idea to the engine's own telemetry. Fourteen virtual tables are registered
 //! in every [`SQuery`](crate::SQuery) deployment's catalog and recompute
 //! their rows on every scan:
 //!
@@ -19,6 +19,8 @@
 //! | `sys_state_stats` | table's state-statistics summary      |
 //! | `sys_hot_keys`    | heavy-hitter key, per table           |
 //! | `sys_wal`         | operator's write-ahead-log footprint  |
+//! | `sys_watermarks`  | operator instance's event-time frontier |
+//! | `sys_freshness`   | committed snapshot's staleness bound  |
 //!
 //! Because they are ordinary [`Table`]s, sys tables compose with the full
 //! dialect — joins (including self-joins), aggregation, `ORDER BY` — and
@@ -212,6 +214,7 @@ fn sys_checkpoints_schema() -> Arc<Schema> {
         ("began_at_us", DataType::Int),
         ("phase1_us", DataType::Int),
         ("total_us", DataType::Int),
+        ("watermark_us", DataType::Int),
     ])
 }
 
@@ -226,6 +229,11 @@ fn sys_checkpoints_rows(jobs: &JobLog) -> Vec<Vec<Value>> {
                 Value::Int(r.began_at_us as i64),
                 Value::Int(r.phase1_us as i64),
                 Value::Int(r.total_us as i64),
+                if r.watermark_us > 0 {
+                    Value::Int(r.watermark_us as i64)
+                } else {
+                    Value::Null
+                },
             ]);
         }
     }
@@ -526,6 +534,108 @@ fn sys_wal_rows(grid: &Grid) -> Vec<Vec<Value>> {
         .collect()
 }
 
+fn sys_watermarks_schema() -> Arc<Schema> {
+    schema(vec![
+        ("operator", DataType::Str),
+        ("instance", DataType::Int),
+        ("watermark_us", DataType::Int),
+        ("lag_us", DataType::Int),
+    ])
+}
+
+/// One row per operator instance that has advanced its event-time frontier:
+/// `watermark_us` is the low watermark (every record the instance will ever
+/// see carries `src_ts` at or above it), `lag_us` its distance behind the
+/// wall clock. Instances that never saw a timestamped record have no row.
+fn sys_watermarks_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
+    let now = registry.clock().now_micros();
+    let mut rows: Vec<(String, i64, u64)> = registry
+        .gauges()
+        .into_iter()
+        .filter(|(key, value)| key.name == "watermark_us" && *value > 0)
+        .map(|(key, value)| {
+            (
+                key.label("operator").unwrap_or("").to_string(),
+                key.label("instance")
+                    .and_then(|i| i.parse().ok())
+                    .unwrap_or(0),
+                value as u64,
+            )
+        })
+        .collect();
+    rows.sort();
+    rows.into_iter()
+        .map(|(operator, instance, wm)| {
+            vec![
+                Value::str(&operator),
+                Value::Int(instance),
+                Value::Int(wm as i64),
+                Value::Int(now.saturating_sub(wm) as i64),
+            ]
+        })
+        .collect()
+}
+
+fn sys_freshness_schema() -> Arc<Schema> {
+    schema(vec![
+        ("ssid", DataType::Int),
+        ("watermark_us", DataType::Int),
+        ("sealed_at_us", DataType::Int),
+        ("staleness_us", DataType::Int),
+        ("lag_vs_live_us", DataType::Int),
+    ])
+}
+
+/// One row per retained committed snapshot. `staleness_us` bounds how far
+/// behind real time a query pinned to the snapshot reads: wall clock minus
+/// the snapshot's global low watermark (falling back to seal time when the
+/// round carried no watermark, NULL when neither is known — pre-watermark
+/// WAL history recovers that way). `lag_vs_live_us` compares against the
+/// slowest *live* frontier instead, so it stays meaningful while ingestion
+/// is paused.
+fn sys_freshness_rows(grid: &Grid) -> Vec<Vec<Value>> {
+    let registry = grid.telemetry();
+    let now = registry.clock().now_micros();
+    let live_frontier = registry
+        .gauges()
+        .into_iter()
+        .filter(|(key, value)| key.name == "watermark_us" && *value > 0)
+        .map(|(_, value)| value as u64)
+        .min();
+    grid.registry()
+        .freshness_all()
+        .into_iter()
+        .map(|(ssid, f)| {
+            let staleness = if f.watermark_us > 0 {
+                Some(now.saturating_sub(f.watermark_us))
+            } else if f.sealed_at_us > 0 {
+                Some(now.saturating_sub(f.sealed_at_us))
+            } else {
+                None
+            };
+            let lag_vs_live = match live_frontier {
+                Some(live) if f.watermark_us > 0 => Some(live.saturating_sub(f.watermark_us)),
+                _ => None,
+            };
+            vec![
+                Value::Int(ssid.0 as i64),
+                if f.watermark_us > 0 {
+                    Value::Int(f.watermark_us as i64)
+                } else {
+                    Value::Null
+                },
+                if f.sealed_at_us > 0 {
+                    Value::Int(f.sealed_at_us as i64)
+                } else {
+                    Value::Null
+                },
+                opt_u64(staleness),
+                opt_u64(lag_vs_live),
+            ]
+        })
+        .collect()
+}
+
 fn sys_query_log_schema() -> Arc<Schema> {
     schema(vec![
         ("seq", DataType::Int),
@@ -561,7 +671,7 @@ fn sys_query_log_rows(log: &QueryLog) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// Register the twelve `sys_*` tables in `catalog`.
+/// Register the fourteen `sys_*` tables in `catalog`.
 pub(crate) fn register_sys_tables(
     catalog: &GridCatalog,
     grid: Arc<Grid>,
@@ -631,6 +741,18 @@ pub(crate) fn register_sys_tables(
         "sys_wal",
         sys_wal_schema(),
         Arc::new(move || sys_wal_rows(&wal_grid)),
+    )));
+    let wm_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_watermarks",
+        sys_watermarks_schema(),
+        Arc::new(move || sys_watermarks_rows(wm_grid.telemetry())),
+    )));
+    let fresh_grid = Arc::clone(&grid);
+    catalog.register(Arc::new(SysTable::new(
+        "sys_freshness",
+        sys_freshness_schema(),
+        Arc::new(move || sys_freshness_rows(&fresh_grid)),
     )));
     catalog.register(Arc::new(SysTable::new(
         "sys_snapshots",
@@ -909,6 +1031,102 @@ mod tests {
             &[vec![Value::str("snapshot_orders"), Value::Int(1)]]
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sys_watermarks_reports_instance_frontiers_and_lag() {
+        let system = populated_system();
+        let tel = system.grid().telemetry();
+        // The registry clock's zero is system creation, so tiny frontiers
+        // are guaranteed to sit behind "now".
+        tel.gauge("watermark_us", &[("instance", "0"), ("operator", "bids")])
+            .set(10);
+        tel.gauge("watermark_us", &[("instance", "1"), ("operator", "bids")])
+            .set(20);
+        let rs = system
+            .query(
+                "SELECT operator, instance, watermark_us FROM sys_watermarks \
+                 ORDER BY instance",
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[
+                vec![Value::str("bids"), Value::Int(0), Value::Int(10)],
+                vec![Value::str("bids"), Value::Int(1), Value::Int(20)],
+            ]
+        );
+        // Lag is measured against the registry's own clock, so it is always
+        // at least wall-now minus the frontier.
+        let rs = system
+            .query("SELECT COUNT(*) AS n FROM sys_watermarks WHERE lag_us > 0")
+            .unwrap();
+        assert_eq!(rs.scalar("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn sys_freshness_bounds_committed_snapshot_staleness() {
+        let system = populated_system();
+        let grid = system.grid();
+        // The registry clock's zero is system creation; sleep past the 5 ms
+        // lag we are about to fabricate so the watermark stays positive.
+        std::thread::sleep(std::time::Duration::from_millis(6));
+        let now = grid.telemetry().clock().now_micros();
+        let ssid = grid.registry().begin().unwrap();
+        grid.registry()
+            .commit_with_freshness(
+                ssid,
+                squery_storage::SnapshotFreshness {
+                    watermark_us: now.saturating_sub(5_000),
+                    sealed_at_us: now,
+                },
+            )
+            .unwrap();
+        let rs = system
+            .query(
+                "SELECT ssid, staleness_us, lag_vs_live_us FROM sys_freshness \
+                 ORDER BY ssid",
+            )
+            .unwrap();
+        // Two committed rounds: the helper's (pre-watermark, all-zero
+        // freshness → NULL staleness) and ours, at least 5 ms stale.
+        assert_eq!(rs.rows().len(), 2);
+        assert_eq!(rs.rows()[0][1], Value::Null);
+        assert!(rs.rows()[1][1].as_int().unwrap() >= 5_000, "{rs}");
+        // No live frontier gauges in this deployment → NULL lag_vs_live.
+        assert_eq!(rs.rows()[1][2], Value::Null);
+        // With a live frontier published, the snapshot's lag against it is
+        // the frontier delta, independent of the wall clock.
+        grid.telemetry()
+            .gauge("watermark_us", &[("instance", "0"), ("operator", "bids")])
+            .set(now as i64);
+        let rs = system
+            .query("SELECT lag_vs_live_us FROM sys_freshness WHERE staleness_us >= 0")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Int(5_000)]]);
+    }
+
+    #[test]
+    fn sys_events_ring_stays_bounded_at_event_capacity() {
+        let system = SQuery::new(SQueryConfig::default().with_event_capacity(4)).unwrap();
+        for _ in 0..6 {
+            system
+                .query("SELECT name FROM sys_metrics LIMIT 1")
+                .unwrap();
+        }
+        let rs = system
+            .query("SELECT COUNT(*) AS n, MIN(seq) AS oldest FROM sys_events")
+            .unwrap();
+        assert!(
+            rs.scalar("n").unwrap().as_int().unwrap() <= 4,
+            "ring bounded: {rs}"
+        );
+        // More events were recorded than retained, so the oldest surviving
+        // sequence number has moved past the first few.
+        assert!(
+            rs.scalar("oldest").unwrap().as_int().unwrap() > 1,
+            "oldest events dropped: {rs}"
+        );
     }
 
     #[test]

@@ -327,6 +327,13 @@ pub trait Table: Send + Sync {
     fn estimated_rows(&self, _hints: &ScanHints) -> Option<u64> {
         None
     }
+
+    /// Whether this table reads pinned snapshot versions (so its scans can
+    /// carry a per-snapshot staleness bound). Live and sys tables keep the
+    /// default.
+    fn is_snapshot(&self) -> bool {
+        false
+    }
 }
 
 /// A source of tables plus the snapshot metadata queries need.
@@ -341,6 +348,14 @@ pub trait Catalog: Send + Sync {
     /// an empty context.
     fn snapshot_context(&self) -> (Option<SnapshotId>, Vec<SnapshotId>) {
         (None, Vec::new())
+    }
+
+    /// Event-time staleness bound of a committed snapshot, in microseconds:
+    /// how far behind real time a scan pinned to `ssid` reads. `None` (the
+    /// default, and the answer for unknown or pre-watermark snapshots)
+    /// omits the `EXPLAIN ANALYZE` annotation.
+    fn snapshot_staleness_us(&self, _ssid: SnapshotId) -> Option<u64> {
+        None
     }
 }
 

@@ -1,7 +1,7 @@
 //! The SQL entry point and result sets.
 
 use crate::ast::Statement;
-use crate::catalog::{Catalog, ExecContext, ExecTrace};
+use crate::catalog::{Catalog, ExecContext, ExecTrace, SsidMode};
 use crate::exec::execute;
 use crate::explain::{render_plan, render_plan_analyzed};
 use crate::parser::parse_statement;
@@ -487,7 +487,28 @@ impl<C: Catalog> SqlEngine<C> {
             root.label("rows", rows.len());
             drop(root);
             if analyze {
-                return Ok(plan_result(render_plan_analyzed(&physical, &trace.stats())));
+                // Per-scan staleness bounds: every snapshot scan reports how
+                // far behind real time the version it pinned reads. An
+                // ssid-range scan reads several versions; its result is as
+                // fresh as the latest one, so that bound annotates it.
+                let mut staleness = std::collections::BTreeMap::new();
+                for (i, scan) in physical.scans.iter().enumerate() {
+                    if !scan.table.is_snapshot() {
+                        continue;
+                    }
+                    let ssid = match scan.hints.ssid {
+                        SsidMode::Exact(s) => Some(s),
+                        SsidMode::Latest | SsidMode::AllRetained => ctx.query_ssid,
+                    };
+                    if let Some(st) = ssid.and_then(|s| self.catalog.snapshot_staleness_us(s)) {
+                        staleness.insert(format!("scan{i}"), st);
+                    }
+                }
+                return Ok(plan_result(render_plan_analyzed(
+                    &physical,
+                    &trace.stats(),
+                    &staleness,
+                )));
             }
         }
         Ok(ResultSet::new(Arc::clone(&physical.output_schema), rows))

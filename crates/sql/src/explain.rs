@@ -132,10 +132,13 @@ pub fn render_plan(plan: &PhysicalPlan) -> Vec<String> {
 }
 
 /// Render the plan tree annotated with measured per-node statistics
-/// (`EXPLAIN ANALYZE` output lines).
+/// (`EXPLAIN ANALYZE` output lines). `staleness` carries per-scan-key
+/// event-time staleness bounds for snapshot scans; nodes without an entry
+/// render without the annotation.
 pub fn render_plan_analyzed(
     plan: &PhysicalPlan,
     stats: &BTreeMap<String, NodeStat>,
+    staleness: &BTreeMap<String, u64>,
 ) -> Vec<String> {
     let tree = build_tree(plan);
     let mut out = Vec::new();
@@ -146,6 +149,9 @@ pub fn render_plan_analyzed(
             note.push_str(&format!(" slices={}", s.slices));
         }
         note.push(')');
+        if let Some(st) = staleness.get(key) {
+            note.push_str(&format!(" [staleness={st}us]"));
+        }
         Some(note)
     });
     out
@@ -278,11 +284,13 @@ mod tests {
                 slices: 4,
             },
         );
-        let lines = render_plan_analyzed(&p, &stats);
+        let mut staleness = BTreeMap::new();
+        staleness.insert("scan0".to_string(), 2_500u64);
+        let lines = render_plan_analyzed(&p, &stats, &staleness);
         assert!(
             lines
                 .iter()
-                .any(|l| l.contains("Scan orders (rows=42 wall=17us slices=4)")),
+                .any(|l| l.contains("Scan orders (rows=42 wall=17us slices=4) [staleness=2500us]")),
             "{lines:?}"
         );
         // Un-measured instrumented nodes still render, with zero stats.

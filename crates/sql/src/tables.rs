@@ -381,6 +381,10 @@ impl Table for SnapshotTable {
             }
         }
     }
+
+    fn is_snapshot(&self) -> bool {
+        true
+    }
 }
 
 /// Slices of a snapshot scan: ssid-major, partition-minor — the same
@@ -517,6 +521,21 @@ impl Catalog for GridCatalog {
         // `committed_ssids()` separately would let a checkpoint commit in
         // between, handing joined scans of one query different ssids.
         self.grid.registry().query_context()
+    }
+
+    fn snapshot_staleness_us(&self, ssid: SnapshotId) -> Option<u64> {
+        // Measured against the grid telemetry clock — the same clock that
+        // stamped the snapshot's seal, so the bound is internally
+        // consistent (the SQL engine's own clock has a different zero).
+        let f = self.grid.registry().freshness(ssid)?;
+        let now = self.grid.telemetry().clock().now_micros();
+        if f.watermark_us > 0 {
+            Some(now.saturating_sub(f.watermark_us))
+        } else if f.sealed_at_us > 0 {
+            Some(now.saturating_sub(f.sealed_at_us))
+        } else {
+            None
+        }
     }
 }
 
@@ -797,6 +816,60 @@ mod tests {
             rs.rows()
                 .iter()
                 .any(|r| r[0].to_string().contains("[ssid=all] [est_rows=2]")),
+            "{rs}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_annotates_snapshot_scan_staleness() {
+        use squery_storage::SnapshotFreshness;
+        let grid = Grid::single_node();
+        let store = grid.snapshot_store("average");
+        store.set_value_schema(avg_schema());
+        let ssid = grid.registry().begin().unwrap();
+        store.write_partition(
+            ssid,
+            store.partition_of(&Value::Int(1)),
+            vec![(
+                Value::Int(1),
+                Some(Value::record(
+                    &avg_schema(),
+                    vec![Value::Int(2), Value::Int(30)],
+                )),
+            )],
+            true,
+        );
+        // A tiny positive watermark sits firmly behind the telemetry clock,
+        // so the staleness bound is a positive microsecond count.
+        grid.registry()
+            .commit_with_freshness(
+                ssid,
+                SnapshotFreshness {
+                    watermark_us: 1,
+                    sealed_at_us: 2,
+                },
+            )
+            .unwrap();
+        let engine = SqlEngine::new(GridCatalog::new(Arc::clone(&grid)));
+        let rs = engine
+            .query("EXPLAIN ANALYZE SELECT count FROM snapshot_average")
+            .unwrap();
+        assert!(
+            rs.rows()
+                .iter()
+                .any(|r| r[0].to_string().contains("Scan snapshot_average")
+                    && r[0].to_string().contains("[staleness=")),
+            "{rs}"
+        );
+        // Live scans never carry the annotation.
+        grid.map("average").put(Value::Int(1), Value::Int(1));
+        let rs = engine
+            .query("EXPLAIN ANALYZE SELECT partitionKey FROM average")
+            .unwrap();
+        assert!(
+            !rs.rows()
+                .iter()
+                .any(|r| r[0].to_string().contains("[staleness=")),
             "{rs}"
         );
     }

@@ -8,7 +8,7 @@
 
 use crate::imap::IMap;
 use crate::partition_table::PartitionTable;
-use crate::registry::SnapshotRegistry;
+use crate::registry::{SnapshotFreshness, SnapshotRegistry};
 use crate::replication::{ReplOp, Replicator};
 use crate::snapshot::SnapshotStore;
 use crate::stats::StateStats;
@@ -172,6 +172,21 @@ impl Grid {
         }
     }
 
+    /// [`wal_seal`](Self::wal_seal), stamping the commit record with the
+    /// round's global low watermark and wall-clock seal time so the
+    /// snapshot's freshness survives a cold start.
+    pub fn wal_seal_with(
+        &self,
+        ssid: SnapshotId,
+        watermark_us: u64,
+        sealed_at_us: u64,
+    ) -> SqResult<()> {
+        match self.wal.get() {
+            Some(wal) => wal.seal_round_with(ssid.0, watermark_us, sealed_at_us),
+            None => Ok(()),
+        }
+    }
+
     /// Cold-start recovery: rebuild every snapshot store from the attached
     /// WAL directory and seed the registry with the sealed rounds, so
     /// queries answer from the restored committed version immediately.
@@ -195,7 +210,26 @@ impl Grid {
             restored_stores += 1;
         }
         let sealed: Vec<SnapshotId> = recovery.sealed.iter().map(|&s| SnapshotId(s)).collect();
-        self.registry.restore_committed(&sealed);
+        // Each sealed round restores with the freshness its seal record
+        // carried (zeros for pre-freshness history).
+        let fresh_by_ssid: HashMap<u64, SnapshotFreshness> = recovery
+            .freshness
+            .iter()
+            .map(|&(ssid, wm, at)| {
+                (
+                    ssid,
+                    SnapshotFreshness {
+                        watermark_us: wm,
+                        sealed_at_us: at,
+                    },
+                )
+            })
+            .collect();
+        let restored: Vec<(SnapshotId, SnapshotFreshness)> = sealed
+            .iter()
+            .map(|&s| (s, fresh_by_ssid.get(&s.0).copied().unwrap_or_default()))
+            .collect();
+        self.registry.restore_committed_with_freshness(&restored);
         span.label("stores", restored_stores);
         span.label("sealed_rounds", sealed.len() as u64);
         if recovery.torn_truncations > 0 {

@@ -47,7 +47,7 @@ pub mod wal;
 
 pub use grid::Grid;
 pub use imap::{IMap, PartitionStats};
-pub use registry::SnapshotRegistry;
+pub use registry::{SnapshotFreshness, SnapshotRegistry};
 pub use snapshot::{ExecCached, SnapshotMode, SnapshotStore};
 pub use stats::{StateStats, TableStats};
 pub use wal::{FsyncMode, StoreWal, WalManager, WalStoreStats};

@@ -21,12 +21,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Default number of committed snapshot versions to retain.
 pub const DEFAULT_RETAINED_VERSIONS: usize = 2;
 
+/// Event-time freshness of one committed snapshot: the global low watermark
+/// of the consistent cut (minimum over the acks that sealed it) and the
+/// wall-clock microsecond stamp of the phase-2 seal. Either field may be 0
+/// when unknown — pre-watermark WAL history recovers as all-zero freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotFreshness {
+    /// Global low watermark (µs, from `Record::src_ts`); 0 = unknown.
+    pub watermark_us: u64,
+    /// Wall-clock seal time (µs since the unix epoch); 0 = unknown.
+    pub sealed_at_us: u64,
+}
+
 /// Lifecycle and retention authority for snapshot ids.
 pub struct SnapshotRegistry {
     latest_committed: AtomicU64,
     next_ssid: AtomicU64,
     in_progress: Mutex<Option<SnapshotId>>,
-    committed: Mutex<VecDeque<SnapshotId>>,
+    committed: Mutex<VecDeque<(SnapshotId, SnapshotFreshness)>>,
     retained_versions: AtomicU64,
 }
 
@@ -73,6 +85,24 @@ impl SnapshotRegistry {
     /// All currently retained committed ids, oldest first.
     pub fn committed_ssids(&self) -> Vec<SnapshotId> {
         let _lo = lockorder::acquired(LockClass::RegistryCommitted);
+        self.committed.lock().iter().map(|(s, _)| *s).collect()
+    }
+
+    /// The freshness recorded for a retained committed snapshot, or `None`
+    /// if `ssid` is not committed/retained.
+    pub fn freshness(&self, ssid: SnapshotId) -> Option<SnapshotFreshness> {
+        let _lo = lockorder::acquired(LockClass::RegistryCommitted);
+        self.committed
+            .lock()
+            .iter()
+            .find(|(s, _)| *s == ssid)
+            .map(|(_, f)| *f)
+    }
+
+    /// Freshness of every retained committed snapshot, oldest first — one
+    /// lock acquisition, so the set is a consistent cut of the registry.
+    pub fn freshness_all(&self) -> Vec<(SnapshotId, SnapshotFreshness)> {
+        let _lo = lockorder::acquired(LockClass::RegistryCommitted);
         self.committed.lock().iter().copied().collect()
     }
 
@@ -88,8 +118,8 @@ impl SnapshotRegistry {
         let _lo = lockorder::acquired(LockClass::RegistryCommitted);
         let committed = self.committed.lock();
         (
-            committed.back().copied(),
-            committed.iter().copied().collect(),
+            committed.back().map(|(s, _)| *s),
+            committed.iter().map(|(s, _)| *s).collect(),
         )
     }
 
@@ -115,6 +145,17 @@ impl SnapshotRegistry {
     /// caller applies to every snapshot store (`prune_below`). Fails if
     /// `ssid` is not the in-progress checkpoint.
     pub fn commit(&self, ssid: SnapshotId) -> SqResult<SnapshotId> {
+        self.commit_with_freshness(ssid, SnapshotFreshness::default())
+    }
+
+    /// [`commit`](Self::commit), also recording the round's event-time
+    /// freshness so `sys_freshness` can bound the staleness of every query
+    /// answered from this snapshot.
+    pub fn commit_with_freshness(
+        &self,
+        ssid: SnapshotId,
+        freshness: SnapshotFreshness,
+    ) -> SqResult<SnapshotId> {
         let _lo = lockorder::acquired(LockClass::RegistryInProgress);
         let mut in_progress = self.in_progress.lock();
         if *in_progress != Some(ssid) {
@@ -126,12 +167,12 @@ impl SnapshotRegistry {
         // Canonical order: `committed` nests inside `in_progress` (§9).
         let _co = lockorder::acquired(LockClass::RegistryCommitted);
         let mut committed = self.committed.lock();
-        committed.push_back(ssid);
+        committed.push_back((ssid, freshness));
         let retain = self.retained_versions();
         while committed.len() > retain {
             committed.pop_front();
         }
-        let horizon = *committed.front().expect("just pushed");
+        let horizon = committed.front().expect("just pushed").0;
         // The atomic flip: concurrent readers see either the previous id or
         // this one, never a partial state.
         self.latest_committed.store(ssid.0, Ordering::Release);
@@ -144,6 +185,16 @@ impl SnapshotRegistry {
     /// allocated id continues past the newest recovered one, so post-restart
     /// checkpoints never reuse a sealed id.
     pub fn restore_committed(&self, ssids: &[SnapshotId]) {
+        let with_freshness: Vec<(SnapshotId, SnapshotFreshness)> = ssids
+            .iter()
+            .map(|&s| (s, SnapshotFreshness::default()))
+            .collect();
+        self.restore_committed_with_freshness(&with_freshness);
+    }
+
+    /// [`restore_committed`](Self::restore_committed), also restoring each
+    /// round's freshness as recovered from the WAL seal records.
+    pub fn restore_committed_with_freshness(&self, ssids: &[(SnapshotId, SnapshotFreshness)]) {
         if ssids.is_empty() {
             return;
         }
@@ -155,10 +206,10 @@ impl SnapshotRegistry {
         let mut committed = self.committed.lock();
         committed.clear();
         let retain = self.retained_versions();
-        for &ssid in &ssids[ssids.len().saturating_sub(retain)..] {
-            committed.push_back(ssid);
+        for &entry in &ssids[ssids.len().saturating_sub(retain)..] {
+            committed.push_back(entry);
         }
-        let newest = *committed.back().expect("ssids non-empty");
+        let newest = committed.back().expect("ssids non-empty").0;
         self.latest_committed.store(newest.0, Ordering::Release);
         self.next_ssid.fetch_max(newest.0 + 1, Ordering::AcqRel);
     }
@@ -190,7 +241,7 @@ impl SnapshotRegistry {
             }
             Some(ssid) => {
                 let _lo = lockorder::acquired(LockClass::RegistryCommitted);
-                if self.committed.lock().contains(&ssid) {
+                if self.committed.lock().iter().any(|(s, _)| *s == ssid) {
                     Ok(ssid)
                 } else {
                     Err(SqError::NotFound(format!(
@@ -400,5 +451,78 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         reader.join().unwrap();
         assert_eq!(r.latest_committed(), SnapshotId(100));
+    }
+
+    #[test]
+    fn commit_records_freshness_and_retention_prunes_it() {
+        let r = SnapshotRegistry::new();
+        let s1 = r.begin().unwrap();
+        r.commit_with_freshness(
+            s1,
+            SnapshotFreshness {
+                watermark_us: 1_000,
+                sealed_at_us: 2_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            r.freshness(s1),
+            Some(SnapshotFreshness {
+                watermark_us: 1_000,
+                sealed_at_us: 2_000,
+            })
+        );
+        // Plain commit records unknown (zero) freshness.
+        let s2 = r.begin().unwrap();
+        r.commit(s2).unwrap();
+        assert_eq!(r.freshness(s2), Some(SnapshotFreshness::default()));
+        // Default retention of two prunes s1's freshness with its id.
+        let s3 = r.begin().unwrap();
+        r.commit_with_freshness(
+            s3,
+            SnapshotFreshness {
+                watermark_us: 3_000,
+                sealed_at_us: 4_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.freshness(s1), None);
+        let all = r.freshness_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, s2);
+        assert_eq!(all[1], (s3, r.freshness(s3).unwrap()));
+    }
+
+    #[test]
+    fn restore_with_freshness_round_trips() {
+        let r = SnapshotRegistry::new();
+        r.restore_committed_with_freshness(&[
+            (SnapshotId(3), SnapshotFreshness::default()),
+            (
+                SnapshotId(5),
+                SnapshotFreshness {
+                    watermark_us: 50,
+                    sealed_at_us: 55,
+                },
+            ),
+            (
+                SnapshotId(6),
+                SnapshotFreshness {
+                    watermark_us: 60,
+                    sealed_at_us: 66,
+                },
+            ),
+        ]);
+        // Retention 2 keeps the newest two freshness entries.
+        assert_eq!(r.freshness(SnapshotId(3)), None);
+        assert_eq!(
+            r.freshness(SnapshotId(5)),
+            Some(SnapshotFreshness {
+                watermark_us: 50,
+                sealed_at_us: 55,
+            })
+        );
+        assert_eq!(r.freshness(SnapshotId(6)).unwrap().watermark_us, 60);
+        assert_eq!(r.latest_committed(), SnapshotId(6));
     }
 }

@@ -56,7 +56,7 @@ use squery_common::lockorder::LockClass;
 use squery_common::metrics::SharedHistogram;
 use squery_common::telemetry::{Counter, MetricsRegistry};
 use squery_common::{SqError, SqResult, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -171,10 +171,16 @@ fn delta_body(ssid: u64, full: bool, entries: &[(Value, Option<Value>)]) -> Vec<
     body
 }
 
-fn seal_body(ssid: u64) -> Vec<u8> {
-    let mut body = Vec::with_capacity(9);
+/// Seal-record body. The original format was 9 bytes `[tag, ssid]`; the
+/// watermark and wall-clock seal stamp extend it to 25 bytes. Recovery
+/// reads only the prefix it understands, so old logs replay under new code
+/// (freshness recovers as zero = unknown) and vice versa.
+fn seal_body(ssid: u64, watermark_us: u64, sealed_at_us: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(25);
     body.push(REC_SEAL);
     body.extend_from_slice(&ssid.to_le_bytes());
+    body.extend_from_slice(&watermark_us.to_le_bytes());
+    body.extend_from_slice(&sealed_at_us.to_le_bytes());
     body
 }
 
@@ -817,11 +823,20 @@ struct CommitLog {
     sealed: BTreeSet<u64>,
 }
 
+/// What replaying the manager commit log yields: the sealed ssid set, the
+/// per-round `(watermark_us, sealed_at_us)` freshness, and the torn-tail
+/// truncation count.
+type CommitLogRecovery = (BTreeSet<u64>, BTreeMap<u64, (u64, u64)>, u64);
+
 /// What a full-directory recovery found.
 #[derive(Debug)]
 pub struct WalRecovery {
     /// Sealed round ids, ascending.
     pub sealed: Vec<u64>,
+    /// Per-round freshness from the seal records, ascending by round:
+    /// `(ssid, watermark_us, sealed_at_us)`. Zero fields mean the seal
+    /// predates freshness stamping (the original 9-byte record format).
+    pub freshness: Vec<(u64, u64, u64)>,
     /// Per-store recovered versions, keyed by operator name.
     pub stores: Vec<(String, StoreRecovery)>,
     /// Torn tails truncated across all files (commit log included).
@@ -950,6 +965,13 @@ impl WalManager {
     /// Consults the `wal_seal` / `wal_sealed` injection points around the
     /// commit record.
     pub fn seal_round(&self, ssid: u64) -> SqResult<()> {
+        self.seal_round_with(ssid, 0, 0)
+    }
+
+    /// [`seal_round`](Self::seal_round), stamping the commit record with the
+    /// round's global low watermark and wall-clock seal time so cold-start
+    /// recovery can rebuild `sys_freshness` for every surviving snapshot.
+    pub fn seal_round_with(&self, ssid: u64, watermark_us: u64, sealed_at_us: u64) -> SqResult<()> {
         if self.shared.is_frozen() {
             return Ok(());
         }
@@ -969,7 +991,7 @@ impl WalManager {
                 store.mark_sealed(ssid)?;
             }
         }
-        let rec = frame(&seal_body(ssid));
+        let rec = frame(&seal_body(ssid, watermark_us, sealed_at_us));
         {
             let mut log = self.commit.lock();
             self.open_commit_log(&mut log)?;
@@ -1010,12 +1032,13 @@ impl WalManager {
         self.commit.lock().sealed.iter().copied().collect()
     }
 
-    fn recover_commit_log(&self) -> SqResult<(BTreeSet<u64>, u64)> {
+    fn recover_commit_log(&self) -> SqResult<CommitLogRecovery> {
         let path = self.shared.root.join(COMMIT_LOG);
         let mut sealed = BTreeSet::new();
+        let mut freshness: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
         let mut torn = 0u64;
         if !path.exists() {
-            return Ok((sealed, torn));
+            return Ok((sealed, freshness, torn));
         }
         let mut bytes = Vec::new();
         File::open(&path)
@@ -1043,6 +1066,16 @@ impl WalManager {
             } else if body[0] == REC_SEAL && body.len() >= 9 {
                 let ssid = u64::from_le_bytes(body[1..9].try_into().unwrap_or([0; 8]));
                 sealed.insert(ssid);
+                // 25-byte seals carry freshness; 9-byte legacy seals do not.
+                let fresh = if body.len() >= 25 {
+                    (
+                        u64::from_le_bytes(body[9..17].try_into().unwrap_or([0; 8])),
+                        u64::from_le_bytes(body[17..25].try_into().unwrap_or([0; 8])),
+                    )
+                } else {
+                    (0, 0)
+                };
+                freshness.insert(ssid, fresh);
             }
             off += used;
             keep_len = off as u64;
@@ -1063,7 +1096,7 @@ impl WalManager {
         log.file = None;
         log.len = keep_len;
         log.sealed = sealed.clone();
-        Ok((sealed, torn))
+        Ok((sealed, freshness, torn))
     }
 
     /// Cold-start recovery: replay the whole directory. Store WALs are
@@ -1072,7 +1105,7 @@ impl WalManager {
     /// registry with the sealed rounds.
     pub fn recover(&self, partitions: usize) -> SqResult<WalRecovery> {
         let start = Instant::now();
-        let (sealed, mut torn) = self.recover_commit_log()?;
+        let (sealed, freshness, mut torn) = self.recover_commit_log()?;
         let mut stores_out = Vec::new();
         if self.shared.root.exists() {
             let mut names: Vec<String> = std::fs::read_dir(&self.shared.root)
@@ -1097,6 +1130,10 @@ impl WalManager {
         }
         Ok(WalRecovery {
             sealed: sealed.into_iter().collect(),
+            freshness: freshness
+                .into_iter()
+                .map(|(ssid, (wm, at))| (ssid, wm, at))
+                .collect(),
             stores: stores_out,
             torn_truncations: torn,
             elapsed_us,
@@ -1194,6 +1231,52 @@ mod tests {
         assert!(v.contains(&(1, 0, true, 2)));
         assert!(v.contains(&(1, 3, true, 1)));
         assert!(v.contains(&(2, 0, false, 1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_freshness_survives_recovery() {
+        let dir = tmpdir("freshness");
+        {
+            let mgr = WalManager::new(&dir, FsyncMode::Never, 4);
+            let wal = mgr.store_wal("count", 1);
+            wal.append(1, 0, true, &entries(&[(1, 10)])).unwrap();
+            mgr.seal_round_with(1, 111_000, 222_000).unwrap();
+            wal.append(2, 0, false, &entries(&[(1, 11)])).unwrap();
+            // A plain seal records unknown (zero) freshness.
+            mgr.seal_round(2).unwrap();
+        }
+        let mgr2 = WalManager::new(&dir, FsyncMode::Never, 4);
+        let rec = mgr2.recover(1).unwrap();
+        assert_eq!(rec.sealed, vec![1, 2]);
+        assert_eq!(rec.freshness, vec![(1, 111_000, 222_000), (2, 0, 0)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_nine_byte_seal_records_still_recover() {
+        let dir = tmpdir("legacy-seal");
+        {
+            let mgr = WalManager::new(&dir, FsyncMode::Never, 4);
+            let wal = mgr.store_wal("count", 1);
+            wal.append(1, 0, true, &entries(&[(1, 10)])).unwrap();
+            mgr.seal_round_with(1, 5, 6).unwrap();
+        }
+        // Append a pre-freshness 9-byte seal for round 7 by hand, exactly
+        // as the original format wrote it.
+        let mut body = vec![REC_SEAL];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(COMMIT_LOG))
+            .unwrap();
+        f.write_all(&frame(&body)).unwrap();
+        drop(f);
+
+        let mgr2 = WalManager::new(&dir, FsyncMode::Never, 4);
+        let rec = mgr2.recover(1).unwrap();
+        assert_eq!(rec.sealed, vec![1, 7]);
+        assert_eq!(rec.freshness, vec![(1, 5, 6), (7, 0, 0)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

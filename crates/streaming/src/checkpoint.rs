@@ -26,7 +26,7 @@ use squery_common::lockorder::{self, LockClass};
 use squery_common::telemetry::EventKind;
 use squery_common::trace::{SpanCollector, SpanGuard};
 use squery_common::{SnapshotId, SqError, SqResult};
-use squery_storage::{Grid, SnapshotStore};
+use squery_storage::{Grid, SnapshotFreshness, SnapshotStore};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -43,6 +43,11 @@ pub struct CheckpointRecord {
     pub phase1_us: u64,
     /// t₂−t₀: full 2PC duration including commit + pruning, in µs.
     pub total_us: u64,
+    /// The round's global low watermark: the minimum event-time frontier
+    /// over all phase-1 acks (0 = no instance reported one).
+    pub watermark_us: u64,
+    /// Wall-clock stamp taken immediately before the durable seal, in µs.
+    pub sealed_at_us: u64,
 }
 
 /// Shared, append-only log of committed checkpoints.
@@ -202,6 +207,10 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     let expected = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
     let mut acked = 0usize;
     let mut ack_ordinal = 0u32;
+    // Global low watermark of the consistent cut: min over the frontiers
+    // the acks carry. Zero frontiers (instance saw no event time yet) are
+    // excluded so one cold instance doesn't erase the known bound.
+    let mut low_wm = u64::MAX;
     let deadline = std::time::Instant::now() + ctx.ack_timeout;
     while acked < expected {
         let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -226,6 +235,9 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
                         acked += 1;
                     }
                     _ => acked += 1,
+                }
+                if ack.watermark_us > 0 {
+                    low_wm = low_wm.min(ack.watermark_us);
                 }
             }
             Ok(_) => {} // stale ack from an aborted round
@@ -292,22 +304,32 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
             _ => {}
         }
     }
+    let watermark_us = if low_wm == u64::MAX { 0 } else { low_wm };
+    let sealed_at_us = ctx.shared.clock.now_micros();
     // Durable seal first: the WAL's commit record lands *before* the
     // in-memory publication. A kill between the two leaves a sealed round
     // the in-memory side was about to publish anyway — recovery restores
     // it, and snapshot monotonicity holds. The reverse order would publish
     // a round a crash could then lose. A seal failure aborts like any
     // other phase-2 failure (phase-1 WAL deltas become an unsealed tail).
+    // The seal record carries the round's freshness so it survives a cold
+    // start alongside the state it bounds.
     if ctx.grid.wal().is_some() {
         let mut seal_span = round.child("wal_seal");
         seal_span.label("ssid", ssid.0);
-        if let Err(e) = ctx.grid.wal_seal(ssid) {
+        if let Err(e) = ctx.grid.wal_seal_with(ssid, watermark_us, sealed_at_us) {
             drop(seal_span);
             return Err(abort_round(ctx, ssid, &format!("WAL seal failed: {e}")));
         }
     }
     // Phase 2: atomic publication + retention pruning.
-    let horizon = match registry.commit(ssid) {
+    let horizon = match registry.commit_with_freshness(
+        ssid,
+        SnapshotFreshness {
+            watermark_us,
+            sealed_at_us,
+        },
+    ) {
         Ok(h) => h,
         Err(e) => return Err(abort_round(ctx, ssid, &format!("commit failed: {e}"))),
     };
@@ -330,11 +352,19 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     telemetry
         .histogram("checkpoint_total_us", &[])
         .record(t2 - t0);
+    if watermark_us > 0 {
+        // How stale this snapshot already was at its own seal instant.
+        telemetry
+            .histogram("snapshot_staleness_us", &[])
+            .record(sealed_at_us.saturating_sub(watermark_us));
+    }
     ctx.stats.push(CheckpointRecord {
         ssid,
         began_at_us: t0,
         phase1_us: t1 - t0,
         total_us: t2 - t0,
+        watermark_us,
+        sealed_at_us,
     });
     Ok(ssid)
 }
@@ -543,8 +573,18 @@ mod tests {
             let SourceCommand::Marker(ssid) = cmd else {
                 panic!("expected marker")
             };
-            ack_tx.send(Ack { ssid }).unwrap();
-            ack_tx.send(Ack { ssid }).unwrap();
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 0,
+                })
+                .unwrap();
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 0,
+                })
+                .unwrap();
         });
         let ssid = run_checkpoint(&ctx).unwrap();
         responder.join().unwrap();
@@ -584,7 +624,12 @@ mod tests {
             let SourceCommand::Marker(ssid) = control_rxs[0].recv().unwrap() else {
                 panic!("expected marker")
             };
-            ack_tx.send(Ack { ssid }).unwrap();
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 0,
+                })
+                .unwrap();
         });
         run_checkpoint(&ctx).unwrap();
         responder.join().unwrap();
@@ -650,7 +695,10 @@ mod tests {
         let responder = std::thread::spawn(move || {
             while let Ok(cmd) = control_rxs[0].recv() {
                 if let SourceCommand::Marker(ssid) = cmd {
-                    let _ = ack_tx.send(Ack { ssid });
+                    let _ = ack_tx.send(Ack {
+                        ssid,
+                        watermark_us: 0,
+                    });
                 }
             }
         });
@@ -709,7 +757,12 @@ mod tests {
             };
             // The source acks (and saves a partial phase-1 write), then
             // panics; everything downstream tears down without acking.
-            ack_tx.send(Ack { ssid }).unwrap();
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 0,
+                })
+                .unwrap();
             shared.dead_workers.fetch_add(1, Ordering::AcqRel);
             shared.live_instances.store(0, Ordering::Release);
         });
@@ -725,13 +778,66 @@ mod tests {
         assert_eq!(ctx.stats.aborted(), 1);
     }
 
+    /// The committed round's freshness is the min over the acks' nonzero
+    /// frontiers, recorded both in the registry and the checkpoint log.
+    #[test]
+    fn commit_records_min_watermark_over_acks() {
+        let (ctx, control_rxs, ack_tx) = context(1, 3);
+        let responder = std::thread::spawn(move || {
+            let SourceCommand::Marker(ssid) = control_rxs[0].recv().unwrap() else {
+                panic!("expected marker")
+            };
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 500,
+                })
+                .unwrap();
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 300,
+                })
+                .unwrap();
+            // A zero frontier is "unknown", not "behind": excluded from min.
+            ack_tx
+                .send(Ack {
+                    ssid,
+                    watermark_us: 0,
+                })
+                .unwrap();
+        });
+        let ssid = run_checkpoint(&ctx).unwrap();
+        responder.join().unwrap();
+        let fresh = ctx.grid.registry().freshness(ssid).expect("recorded");
+        assert_eq!(fresh.watermark_us, 300);
+        assert!(fresh.sealed_at_us > 0, "seal wall time stamped");
+        let rec = ctx.stats.records()[0];
+        assert_eq!(rec.watermark_us, 300);
+        assert_eq!(rec.sealed_at_us, fresh.sealed_at_us);
+        let staleness = ctx
+            .grid
+            .telemetry()
+            .histograms()
+            .into_iter()
+            .find(|(k, _)| k.name == "snapshot_staleness_us")
+            .expect("staleness histogram fed at commit")
+            .1;
+        assert_eq!(staleness.count(), 1);
+    }
+
     #[test]
     fn commit_prunes_to_retention_horizon() {
         let (ctx, control_rxs, ack_tx) = context(1, 1);
         let responder = std::thread::spawn(move || {
             for _ in 0..3 {
                 if let Ok(SourceCommand::Marker(ssid)) = control_rxs[0].recv() {
-                    ack_tx.send(Ack { ssid }).unwrap();
+                    ack_tx
+                        .send(Ack {
+                            ssid,
+                            watermark_us: 0,
+                        })
+                        .unwrap();
                 }
             }
         });
@@ -754,7 +860,10 @@ mod tests {
         let responder = std::thread::spawn(move || {
             while let Ok(cmd) = control_rxs[0].recv() {
                 if let SourceCommand::Marker(ssid) = cmd {
-                    let _ = ack_tx.send(Ack { ssid });
+                    let _ = ack_tx.send(Ack {
+                        ssid,
+                        watermark_us: 0,
+                    });
                 }
             }
         });
@@ -807,7 +916,10 @@ mod tests {
         let responder = std::thread::spawn(move || {
             while let Ok(cmd) = control_rxs[0].recv() {
                 if let SourceCommand::Marker(ssid) = cmd {
-                    let _ = ack_tx.send(Ack { ssid });
+                    let _ = ack_tx.send(Ack {
+                        ssid,
+                        watermark_us: 0,
+                    });
                 }
             }
         });
@@ -846,7 +958,10 @@ mod tests {
         let responder = std::thread::spawn(move || {
             while let Ok(cmd) = control_rxs[0].recv() {
                 if let SourceCommand::Marker(ssid) = cmd {
-                    let _ = ack_tx.send(Ack { ssid });
+                    let _ = ack_tx.send(Ack {
+                        ssid,
+                        watermark_us: 0,
+                    });
                 }
             }
         });
@@ -874,7 +989,10 @@ mod tests {
         let responder = std::thread::spawn(move || {
             while let Ok(cmd) = control_rxs[0].recv() {
                 if let SourceCommand::Marker(ssid) = cmd {
-                    let _ = ack_tx.send(Ack { ssid });
+                    let _ = ack_tx.send(Ack {
+                        ssid,
+                        watermark_us: 0,
+                    });
                 }
             }
         });

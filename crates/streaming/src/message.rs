@@ -44,6 +44,10 @@ pub enum Item {
     Record(Record),
     /// A checkpoint marker (the red squares of the paper's Figure 3).
     Marker(SnapshotId),
+    /// A low-watermark advance: every record the sender will ever emit on
+    /// this edge carries `src_ts` at or above this microsecond stamp.
+    /// Piggybacked in-band so downstream frontiers need no side channel.
+    Watermark(u64),
     /// End of stream: the upstream instance will send nothing further.
     Eos,
 }

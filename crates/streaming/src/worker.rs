@@ -19,7 +19,7 @@ use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use squery_common::fault::{FaultAction, FaultInjector};
 use squery_common::metrics::SharedHistogram;
-use squery_common::telemetry::{Counter, EventKind, MetricsRegistry};
+use squery_common::telemetry::{Counter, EventKind, Gauge, MetricsRegistry};
 use squery_common::time::Clock;
 use squery_common::trace::SpanGuard;
 use squery_common::{Partitioner, SnapshotId, Value};
@@ -46,6 +46,12 @@ pub struct WorkerTelemetry {
     pub records_out: Counter,
     /// Time from the first marker of a checkpoint round to full alignment.
     pub align_stall_us: SharedHistogram,
+    /// Wall-clock minus event-time frontier, sampled at each frontier
+    /// advance (how far behind real time this vertex's watermark runs).
+    pub watermark_lag: SharedHistogram,
+    /// Wall-clock minus `src_ts` per sink record (end-to-end event-time
+    /// lag; only sinks feed it).
+    pub e2e_lag: SharedHistogram,
     /// The registry, for lifecycle/stall events.
     pub registry: MetricsRegistry,
 }
@@ -59,8 +65,20 @@ impl WorkerTelemetry {
             records_in: registry.counter("operator_records_in_total", &labels),
             records_out: registry.counter("operator_records_out_total", &labels),
             align_stall_us: registry.histogram("operator_align_stall_us", &labels),
+            watermark_lag: registry.histogram("watermark_lag_us", &labels),
+            e2e_lag: registry.histogram("e2e_lag_us", &labels),
             registry: registry.clone(),
         }
+    }
+
+    /// The live event-time frontier gauge for one instance of this vertex
+    /// (`sys_watermarks` reads these back out of the registry).
+    pub fn watermark_gauge(&self, instance: u32) -> Gauge {
+        let instance = instance.to_string();
+        self.registry.gauge(
+            "watermark_us",
+            &[("instance", &instance), ("operator", &self.operator)],
+        )
     }
 
     fn started(&self, instance: u32) {
@@ -102,6 +120,10 @@ impl WorkerTelemetry {
 pub struct Ack {
     /// The checkpoint being acknowledged.
     pub ssid: SnapshotId,
+    /// The acking instance's event-time frontier at its snapshot point
+    /// (0 = unknown). The coordinator's minimum over all acks is the
+    /// consistent cut's global low watermark.
+    pub watermark_us: u64,
 }
 
 /// Commands the coordinator/runtime sends to source instances.
@@ -148,8 +170,8 @@ pub struct Shared {
 }
 
 impl Shared {
-    fn ack(&self, ssid: SnapshotId) {
-        let _ = self.ack_tx.send(Ack { ssid });
+    fn ack(&self, ssid: SnapshotId, watermark_us: u64) {
+        let _ = self.ack_tx.send(Ack { ssid, watermark_us });
     }
 
     fn poisoned(&self) -> bool {
@@ -304,7 +326,8 @@ fn route_record(
     true
 }
 
-/// Broadcast a marker or Eos to every downstream instance of every port.
+/// Broadcast a marker, watermark, or Eos to every downstream instance of
+/// every port.
 fn broadcast(item: &Item, outs: &[OutputPort]) {
     for out in outs {
         for sender in &out.senders {
@@ -313,6 +336,28 @@ fn broadcast(item: &Item, outs: &[OutputPort]) {
                 item: item.clone(),
             });
         }
+    }
+}
+
+/// Advance an operator's event-time frontier to the minimum of its input
+/// channels' watermarks (an Eos channel holds `u64::MAX` so it stops
+/// gating the min). The frontier is monotonic; on advance it is published
+/// to the instance gauge, sampled into the lag histogram, and forwarded.
+fn advance_frontier(
+    channel_wm: &[u64],
+    frontier: &mut u64,
+    wm_gauge: &Gauge,
+    tel: &WorkerTelemetry,
+    shared: &Shared,
+    outs: &[OutputPort],
+) {
+    let min = channel_wm.iter().copied().min().unwrap_or(0);
+    if min != u64::MAX && min > *frontier {
+        *frontier = min;
+        wm_gauge.set(min as i64);
+        tel.watermark_lag
+            .record(shared.clock.now_micros().saturating_sub(min));
+        broadcast(&Item::Watermark(min), outs);
     }
 }
 
@@ -366,6 +411,11 @@ fn source_loop(
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut exhausted = false;
     let mut produced: u64 = 0;
+    // Source frontier: the max `src_ts` emitted so far. Sources stamp
+    // monotonically under offered load, so this is the exact low watermark
+    // of everything still to come.
+    let mut frontier: u64 = 0;
+    let wm_gauge = tel.watermark_gauge(my_instance);
     loop {
         if shared.poisoned() {
             break;
@@ -374,7 +424,7 @@ fn source_loop(
         match control.try_recv() {
             Ok(SourceCommand::Marker(ssid)) => {
                 offsets.save(ssid, source.offset());
-                shared.ack(ssid);
+                shared.ack(ssid, frontier);
                 shared.post_ack_fault(&tel.operator, my_instance, ssid);
                 broadcast(&Item::Marker(ssid), &outs);
                 continue;
@@ -391,7 +441,7 @@ fn source_loop(
             match control.recv_timeout(Duration::from_millis(20)) {
                 Ok(SourceCommand::Marker(ssid)) => {
                     offsets.save(ssid, source.offset());
-                    shared.ack(ssid);
+                    shared.ack(ssid, frontier);
                     shared.post_ack_fault(&tel.operator, my_instance, ssid);
                     broadcast(&Item::Marker(ssid), &outs);
                 }
@@ -419,14 +469,26 @@ fn source_loop(
             batch_span.label("instance", my_instance);
             batch_span.label("records", batch.len());
         }
+        let mut batch_max_ts = 0u64;
         for record in &batch {
             produced += 1;
             shared.worker_record_fault(&tel.operator, my_instance, produced);
+            batch_max_ts = batch_max_ts.max(record.src_ts);
             if !route_record(record, &outs, my_instance, &partitioner) {
                 return;
             }
         }
         drop(batch_span);
+        if batch_max_ts > frontier {
+            // One watermark per advancing batch, after its records: the
+            // promise "nothing below this comes later" holds because the
+            // source stamps monotonically.
+            frontier = batch_max_ts;
+            wm_gauge.set(frontier as i64);
+            tel.watermark_lag
+                .record(shared.clock.now_micros().saturating_sub(frontier));
+            broadcast(&Item::Watermark(frontier), &outs);
+        }
         match status {
             SourceStatus::Exhausted => {
                 // Stay alive and keep serving checkpoints: Eos flows only on
@@ -503,6 +565,10 @@ fn operator_loop(
     let mut buffer: Vec<Record> = Vec::new();
     let mut out_buf: Vec<Record> = Vec::new();
     let mut received: u64 = 0;
+    // Per-input-channel watermark; the operator frontier is their min.
+    let mut channel_wm: Vec<u64> = vec![0; n_channels as usize];
+    let mut frontier: u64 = 0;
+    let wm_gauge = tel.watermark_gauge(my_instance);
 
     let tel_ref = tel;
     let process = |record: Record,
@@ -516,7 +582,9 @@ fn operator_loop(
             OperatorKind::Stateful { op, state } => op.process(record, state, out_buf),
             OperatorKind::Sink(sink) => {
                 let now = shared.clock.now_micros();
-                shared.latency.record(now.saturating_sub(record.src_ts));
+                let lag = now.saturating_sub(record.src_ts);
+                shared.latency.record(lag);
+                tel_ref.e2e_lag.record(lag);
                 shared.sink_count.fetch_add(1, Ordering::Relaxed);
                 sink.consume(record);
             }
@@ -580,7 +648,7 @@ fn operator_loop(
                             break;
                         }
                     }
-                    shared.ack(ssid);
+                    shared.ack(ssid, frontier);
                     shared.post_ack_fault(&tel.operator, my_instance, ssid);
                     broadcast(&Item::Marker(ssid), &outs);
                     pending_marker = None;
@@ -592,8 +660,21 @@ fn operator_loop(
                     }
                 }
             }
+            Item::Watermark(wm) => {
+                // Watermarks carry no state effects, so they bypass marker
+                // alignment: applying one early only tightens the min.
+                if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
+                    *slot = (*slot).max(wm);
+                }
+                advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
+            }
             Item::Eos => {
                 eos.insert(tagged.from);
+                // A finished channel stops gating the watermark min.
+                if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
+                    *slot = u64::MAX;
+                }
+                advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
                 // An Eos channel counts as aligned for any pending marker.
                 if let Some(ssid) = pending_marker {
                     if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
@@ -611,7 +692,7 @@ fn operator_loop(
                                 break;
                             }
                         }
-                        shared.ack(ssid);
+                        shared.ack(ssid, frontier);
                         shared.post_ack_fault(&tel.operator, my_instance, ssid);
                         broadcast(&Item::Marker(ssid), &outs);
                         pending_marker = None;
@@ -918,6 +999,84 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].point, InjectionPoint::WorkerRecord);
         assert_eq!(records[0].operator.as_deref(), Some("victim"));
+    }
+
+    /// The operator frontier is the min across input channels, monotonic,
+    /// released by Eos, published to the instance gauge, and carried on the
+    /// phase-1 ack.
+    #[test]
+    fn watermark_frontier_is_min_across_channels() {
+        let (shared, ack_rx) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "wm");
+            std::thread::spawn(move || {
+                run_operator(
+                    rx,
+                    2,
+                    OperatorKind::Sink(Box::new(Null)),
+                    vec![],
+                    0,
+                    shared,
+                    tel,
+                )
+            })
+        };
+        let wm = |from: u32, w: u64| Tagged {
+            from,
+            item: Item::Watermark(w),
+        };
+        // Channel 0 at 100, channel 1 at 50 → frontier 50.
+        tx.send(wm(0, 100)).unwrap();
+        tx.send(wm(1, 50)).unwrap();
+        // Channel 1 jumps to 200 → frontier min(100, 200) = 100; the marker
+        // ack then carries that frontier.
+        tx.send(wm(1, 200)).unwrap();
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Marker(SnapshotId(3)),
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Marker(SnapshotId(3)),
+        })
+        .unwrap();
+        // Channel 0 finishes → it stops gating the min → frontier 200.
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Eos,
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Eos,
+        })
+        .unwrap();
+        worker.join().unwrap();
+        let ack = ack_rx.try_recv().unwrap();
+        assert_eq!(ack.ssid, SnapshotId(3));
+        assert_eq!(ack.watermark_us, 100, "ack carries the frontier at align");
+        let gauge = shared
+            .telemetry
+            .gauges()
+            .into_iter()
+            .find(|(k, _)| k.name == "watermark_us")
+            .expect("instance frontier gauge exists");
+        assert_eq!(gauge.1, 200, "Eos releases the finished channel");
+        let lag_samples = shared
+            .telemetry
+            .histograms()
+            .into_iter()
+            .find(|(k, _)| k.name == "watermark_lag_us")
+            .expect("lag histogram exists")
+            .1;
+        assert_eq!(lag_samples.count(), 3, "one sample per frontier advance");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, static analysis, the full test suite,
 # the chaos soak, the trace-export smoke, the state-statistics smoke, the
-# SQL benchmark-regression gate, and the WAL kill-restart durability soak.
+# SQL benchmark-regression gate, the WAL kill-restart durability soak, and
+# the watermark/freshness smoke.
 # Usage: scripts/check.sh [--fix] [--list] [--only STEP]
 #   --fix         apply rustfmt instead of only checking
 #   --list        print the runnable step names, one per line, and exit
@@ -15,7 +16,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-steps="fmt clippy lint test chaos trace stats bench durability"
+steps="fmt clippy lint test chaos trace stats bench durability freshness"
 
 fix=0
 only=""
@@ -162,6 +163,19 @@ run_durability() {
             --seeds 25 --base-seed 1 --time-budget-secs 120
 }
 
+run_freshness() {
+    # Watermark/freshness smoke: NEXMark q6 under paced load, three explicit
+    # checkpoint rounds, asserting non-decreasing sealed watermarks,
+    # sys_freshness consistent with the committed sys_snapshots set, live
+    # frontiers at or ahead of the seal, and the EXPLAIN ANALYZE staleness
+    # annotation. Writes the per-round lag report to $LAG_JSON for the CI
+    # artifact.
+    local out="${LAG_JSON:-target/lag.json}"
+    echo "==> freshness smoke (NEXMark q6, 3 checkpoint rounds, -> $out)" &&
+        cargo run --release -q -p squery-bench --bin lag-watch -- \
+            --smoke --json "$out"
+}
+
 run_selftest_fail() {
     # Hidden step, not in --list: CI's negative test that a failing step's
     # exit code really reaches the caller. Must exit 42.
@@ -181,6 +195,7 @@ case "$only" in
     stats) run_stats; rc=$? ;;
     bench) run_bench; rc=$? ;;
     durability) run_durability; rc=$? ;;
+    freshness) run_freshness; rc=$? ;;
     selftest-fail) run_selftest_fail; rc=$? ;;
     *)
         echo "unknown step '$only' (known: ${steps// /, })" >&2
