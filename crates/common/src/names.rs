@@ -64,6 +64,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "wal_torn_truncations_total",
     "watermark_lag_us",
     "watermark_us",
+    "watermark_violations_total",
     "worker_panics_total",
 ];
 
@@ -115,6 +116,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "supervisor_restart",
     "wal_recovered",
     "wal_torn_tail",
+    "watermark_regressed",
     "worker_panicked",
     "worker_started",
     "worker_stopped",
@@ -181,6 +183,7 @@ mod tests {
             EventKind::SupervisorGaveUp,
             EventKind::WalRecovered,
             EventKind::WalTornTail,
+            EventKind::WatermarkRegressed,
         ];
         for v in variants {
             assert!(

@@ -196,6 +196,9 @@ pub enum EventKind {
     WalRecovered,
     /// Recovery discarded a torn (unsealed) WAL tail.
     WalTornTail,
+    /// A source emitted a record with `src_ts` below an earlier record's,
+    /// so its watermark promise no longer holds; emission is suspended.
+    WatermarkRegressed,
 }
 
 impl EventKind {
@@ -222,6 +225,7 @@ impl EventKind {
             EventKind::SupervisorGaveUp => "supervisor_gave_up",
             EventKind::WalRecovered => "wal_recovered",
             EventKind::WalTornTail => "wal_torn_tail",
+            EventKind::WatermarkRegressed => "watermark_regressed",
         }
     }
 }

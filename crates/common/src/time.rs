@@ -4,10 +4,20 @@
 //! sink; checkpoint 2PC latency is probed at three points (§IX-A). Benches
 //! need wall time; integration tests need reproducibility — [`Clock`] serves
 //! both: a wall clock anchored at creation, or a manually advanced clock.
+//!
+//! A wall clock's zero is its creation instant, so raw [`Clock::now_micros`]
+//! readings are process-relative and mean nothing to another process (or to
+//! the same deployment after a restart). For values that must survive a cold
+//! start or be compared across clock instances — snapshot seal times,
+//! persisted watermarks — each wall clock also records the unix-epoch
+//! microsecond count at its zero point: [`Clock::to_epoch_micros`] rebases a
+//! process-relative reading into that shared epoch domain, and
+//! [`Clock::epoch_micros`] reads "epoch now". Manual clocks use a zero
+//! anchor, so in tests the two domains coincide and stay deterministic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// A monotonic microsecond clock.
 #[derive(Debug, Clone)]
@@ -17,15 +27,27 @@ pub struct Clock {
 
 #[derive(Debug, Clone)]
 enum ClockKind {
-    Wall(Instant),
+    Wall {
+        start: Instant,
+        /// µs since the unix epoch at `start`; rebases process-relative
+        /// readings into the restart-surviving epoch domain.
+        epoch_anchor_us: u64,
+    },
     Manual(Arc<AtomicU64>),
 }
 
 impl Clock {
     /// A wall clock whose zero is "now".
     pub fn wall() -> Clock {
+        let epoch_anchor_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         Clock {
-            kind: ClockKind::Wall(Instant::now()),
+            kind: ClockKind::Wall {
+                start: Instant::now(),
+                epoch_anchor_us,
+            },
         }
     }
 
@@ -39,16 +61,42 @@ impl Clock {
     /// Microseconds since this clock's zero point.
     pub fn now_micros(&self) -> u64 {
         match &self.kind {
-            ClockKind::Wall(start) => start.elapsed().as_micros() as u64,
+            ClockKind::Wall { start, .. } => start.elapsed().as_micros() as u64,
             ClockKind::Manual(t) => t.load(Ordering::Acquire),
         }
+    }
+
+    /// µs since the unix epoch at this clock's zero point (0 for manual
+    /// clocks, whose domains coincide).
+    pub fn epoch_anchor_micros(&self) -> u64 {
+        match &self.kind {
+            ClockKind::Wall {
+                epoch_anchor_us, ..
+            } => *epoch_anchor_us,
+            ClockKind::Manual(_) => 0,
+        }
+    }
+
+    /// Rebase a reading of *this* clock into the unix-epoch domain. Epoch
+    /// values from different clocks (or different processes) are mutually
+    /// comparable, which process-relative readings are not.
+    pub fn to_epoch_micros(&self, clock_us: u64) -> u64 {
+        clock_us.saturating_add(self.epoch_anchor_micros())
+    }
+
+    /// "Now" in the unix-epoch domain: [`Clock::now_micros`] rebased through
+    /// [`Clock::to_epoch_micros`]. Monotonic within a process (it advances
+    /// with the `Instant`, not with a settable system clock), and roughly
+    /// continuous across restarts.
+    pub fn epoch_micros(&self) -> u64 {
+        self.to_epoch_micros(self.now_micros())
     }
 
     /// Advance a manual clock; panics on a wall clock (advancing wall time is
     /// always a bug).
     pub fn advance(&self, micros: u64) {
         match &self.kind {
-            ClockKind::Wall(_) => panic!("cannot advance a wall clock"),
+            ClockKind::Wall { .. } => panic!("cannot advance a wall clock"),
             ClockKind::Manual(t) => {
                 t.fetch_add(micros, Ordering::AcqRel);
             }
@@ -103,5 +151,30 @@ mod tests {
     #[should_panic(expected = "cannot advance")]
     fn advancing_wall_clock_panics() {
         Clock::wall().advance(1);
+    }
+
+    #[test]
+    fn wall_clock_epoch_domain_is_anchored_at_creation() {
+        let c = Clock::wall();
+        let anchor = c.epoch_anchor_micros();
+        // The anchor is real unix time, not process-relative: well past
+        // 2020-01-01 (1.577e15 µs) on any sanely-clocked host.
+        assert!(anchor > 1_577_000_000_000_000, "anchor {anchor}");
+        assert_eq!(c.to_epoch_micros(250), anchor + 250);
+        assert!(c.epoch_micros() >= anchor);
+        // Two wall clocks created in sequence agree on the epoch domain even
+        // though their process-relative zeros differ.
+        let c2 = Clock::wall();
+        let (a, b) = (c.epoch_micros(), c2.epoch_micros());
+        assert!(a.abs_diff(b) < 5_000_000, "epoch domains agree: {a} vs {b}");
+    }
+
+    #[test]
+    fn manual_clock_epoch_domain_is_the_clock_domain() {
+        let c = Clock::manual();
+        assert_eq!(c.epoch_anchor_micros(), 0);
+        c.advance(42);
+        assert_eq!(c.epoch_micros(), 42);
+        assert_eq!(c.to_epoch_micros(7), 7);
     }
 }

@@ -545,10 +545,12 @@ fn sys_watermarks_schema() -> Arc<Schema> {
 
 /// One row per operator instance that has advanced its event-time frontier:
 /// `watermark_us` is the low watermark (every record the instance will ever
-/// see carries `src_ts` at or above it), `lag_us` its distance behind the
-/// wall clock. Instances that never saw a timestamped record have no row.
+/// see carries `src_ts` at or above it) in µs since the unix epoch — the
+/// workers rebase the gauge so it is comparable to persisted seal stamps —
+/// and `lag_us` its distance behind epoch "now". Instances that never saw
+/// a timestamped record have no row.
 fn sys_watermarks_rows(registry: &MetricsRegistry) -> Vec<Vec<Value>> {
-    let now = registry.clock().now_micros();
+    let now = registry.clock().epoch_micros();
     let mut rows: Vec<(String, i64, u64)> = registry
         .gauges()
         .into_iter()
@@ -587,15 +589,17 @@ fn sys_freshness_schema() -> Arc<Schema> {
 }
 
 /// One row per retained committed snapshot. `staleness_us` bounds how far
-/// behind real time a query pinned to the snapshot reads: wall clock minus
+/// behind real time a query pinned to the snapshot reads: epoch "now" minus
 /// the snapshot's global low watermark (falling back to seal time when the
 /// round carried no watermark, NULL when neither is known — pre-watermark
-/// WAL history recovers that way). `lag_vs_live_us` compares against the
-/// slowest *live* frontier instead, so it stays meaningful while ingestion
-/// is paused.
+/// WAL history recovers that way). Freshness stamps are persisted in the
+/// unix-epoch domain, so this subtraction stays a true age even for
+/// snapshots recovered from a previous process. `lag_vs_live_us` compares
+/// against the slowest *live* frontier instead, so it stays meaningful
+/// while ingestion is paused.
 fn sys_freshness_rows(grid: &Grid) -> Vec<Vec<Value>> {
     let registry = grid.telemetry();
-    let now = registry.clock().now_micros();
+    let now = registry.clock().epoch_micros();
     let live_frontier = registry
         .gauges()
         .into_iter()
@@ -1068,10 +1072,9 @@ mod tests {
     fn sys_freshness_bounds_committed_snapshot_staleness() {
         let system = populated_system();
         let grid = system.grid();
-        // The registry clock's zero is system creation; sleep past the 5 ms
-        // lag we are about to fabricate so the watermark stays positive.
-        std::thread::sleep(std::time::Duration::from_millis(6));
-        let now = grid.telemetry().clock().now_micros();
+        // Freshness stamps live in the unix-epoch domain; fabricate a seal
+        // 5 ms stale against epoch "now".
+        let now = grid.telemetry().clock().epoch_micros();
         let ssid = grid.registry().begin().unwrap();
         grid.registry()
             .commit_with_freshness(
@@ -1104,6 +1107,56 @@ mod tests {
             .query("SELECT lag_vs_live_us FROM sys_freshness WHERE staleness_us >= 0")
             .unwrap();
         assert_eq!(rs.rows(), &[vec![Value::Int(5_000)]]);
+    }
+
+    /// The review's cold-start failure mode: freshness stamps must be
+    /// unix-epoch values, so a restarted process reports a recovered
+    /// snapshot's *true* age — not ~0 against its own freshly-zeroed clock.
+    #[test]
+    fn sys_freshness_staleness_survives_cold_start_as_true_age() {
+        let dir = std::env::temp_dir().join(format!(
+            "squery-coldfresh-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (ssid, sealed_wm) = {
+            // Incarnation 1: seal a round whose watermark already lags epoch
+            // "now" by 10 ms, exactly as the coordinator stamps it.
+            let system = SQuery::new(SQueryConfig::default().with_wal_dir(&dir)).unwrap();
+            let grid = system.grid();
+            let store = grid.snapshot_store("orders");
+            let ssid = grid.registry().begin().unwrap();
+            store.write_partition(
+                ssid,
+                store.partition_of(&Value::Int(1)),
+                vec![(Value::Int(1), Some(Value::str("x")))],
+                true,
+            );
+            let now = grid.telemetry().clock().epoch_micros();
+            let wm = now.saturating_sub(10_000);
+            grid.wal_seal_with(ssid, wm, now).unwrap();
+            grid.registry().commit(ssid).unwrap();
+            (ssid, wm)
+        };
+        // Incarnation 2: a brand-new process-equivalent (fresh clocks) whose
+        // cold start recovers the sealed round from the WAL.
+        let system = SQuery::new(SQueryConfig::default().with_wal_dir(&dir)).unwrap();
+        let rs = system
+            .query("SELECT ssid, watermark_us, staleness_us FROM sys_freshness")
+            .unwrap();
+        assert_eq!(rs.rows().len(), 1);
+        assert_eq!(rs.rows()[0][0], Value::Int(ssid.0 as i64));
+        // The persisted watermark survives verbatim…
+        assert_eq!(rs.rows()[0][1], Value::Int(sealed_wm as i64));
+        // …and its staleness reads as at least the age it had at the seal,
+        // not the near-zero a process-relative stamp would produce (small
+        // slack for the two incarnations' epoch-anchor sampling).
+        assert!(
+            rs.rows()[0][2].as_int().unwrap() >= 9_000,
+            "recovered staleness is a true age: {rs}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

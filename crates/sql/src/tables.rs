@@ -524,11 +524,11 @@ impl Catalog for GridCatalog {
     }
 
     fn snapshot_staleness_us(&self, ssid: SnapshotId) -> Option<u64> {
-        // Measured against the grid telemetry clock — the same clock that
-        // stamped the snapshot's seal, so the bound is internally
-        // consistent (the SQL engine's own clock has a different zero).
+        // Freshness stamps are persisted in the unix-epoch domain, so any
+        // clock's epoch "now" yields a valid age — including for snapshots
+        // sealed by a previous process and recovered from the WAL.
         let f = self.grid.registry().freshness(ssid)?;
-        let now = self.grid.telemetry().clock().now_micros();
+        let now = self.grid.telemetry().clock().epoch_micros();
         if f.watermark_us > 0 {
             Some(now.saturating_sub(f.watermark_us))
         } else if f.sealed_at_us > 0 {

@@ -173,8 +173,9 @@ impl Grid {
     }
 
     /// [`wal_seal`](Self::wal_seal), stamping the commit record with the
-    /// round's global low watermark and wall-clock seal time so the
-    /// snapshot's freshness survives a cold start.
+    /// round's global low watermark and seal time — both in µs since the
+    /// unix epoch, so the snapshot's freshness survives a cold start as a
+    /// true age rather than a process-relative reading.
     pub fn wal_seal_with(
         &self,
         ssid: SnapshotId,

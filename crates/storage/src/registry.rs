@@ -23,13 +23,17 @@ pub const DEFAULT_RETAINED_VERSIONS: usize = 2;
 
 /// Event-time freshness of one committed snapshot: the global low watermark
 /// of the consistent cut (minimum over the acks that sealed it) and the
-/// wall-clock microsecond stamp of the phase-2 seal. Either field may be 0
-/// when unknown — pre-watermark WAL history recovers as all-zero freshness.
+/// stamp of the phase-2 seal. Both fields are µs since the unix epoch —
+/// the sealing coordinator rebases its engine-clock values before they are
+/// persisted, so they remain comparable after a cold-start recovery and
+/// across independent clock instances. Either field may be 0 when unknown —
+/// pre-watermark WAL history recovers as all-zero freshness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SnapshotFreshness {
-    /// Global low watermark (µs, from `Record::src_ts`); 0 = unknown.
+    /// Global low watermark (µs since the unix epoch, rebased from the
+    /// `Record::src_ts` frontier by the sealing coordinator); 0 = unknown.
     pub watermark_us: u64,
-    /// Wall-clock seal time (µs since the unix epoch); 0 = unknown.
+    /// Seal time (µs since the unix epoch); 0 = unknown.
     pub sealed_at_us: u64,
 }
 

@@ -969,8 +969,9 @@ impl WalManager {
     }
 
     /// [`seal_round`](Self::seal_round), stamping the commit record with the
-    /// round's global low watermark and wall-clock seal time so cold-start
-    /// recovery can rebuild `sys_freshness` for every surviving snapshot.
+    /// round's global low watermark and seal time (µs since the unix epoch,
+    /// per the caller's rebasing) so cold-start recovery can rebuild
+    /// `sys_freshness` for every surviving snapshot.
     pub fn seal_round_with(&self, ssid: u64, watermark_us: u64, sealed_at_us: u64) -> SqResult<()> {
         if self.shared.is_frozen() {
             return Ok(());

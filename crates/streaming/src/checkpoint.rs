@@ -43,10 +43,13 @@ pub struct CheckpointRecord {
     pub phase1_us: u64,
     /// t₂−t₀: full 2PC duration including commit + pruning, in µs.
     pub total_us: u64,
-    /// The round's global low watermark: the minimum event-time frontier
-    /// over all phase-1 acks (0 = no instance reported one).
+    /// The round's global low watermark — the minimum event-time frontier
+    /// over all phase-1 acks — rebased into µs since the unix epoch so it
+    /// stays meaningful after recovery (0 = no instance reported one).
     pub watermark_us: u64,
-    /// Wall-clock stamp taken immediately before the durable seal, in µs.
+    /// Seal stamp in µs since the unix epoch, taken immediately before the
+    /// durable seal. Epoch-domain so a restarted process can still bound
+    /// the snapshot's age.
     pub sealed_at_us: u64,
 }
 
@@ -198,13 +201,19 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
     let round = RoundSpan::begin(telemetry.spans(), ssid);
     let mut phase1_span = round.child("checkpoint_phase1");
     telemetry.event(EventKind::CheckpointBegin, None, Some(ssid.0), None, "");
+    // Read the ack quota *before* injecting markers: a worker that acks and
+    // then dies in reaction to the marker must not deflate `expected` first,
+    // or the wait loop and the dead-worker abort guard (both conditioned on
+    // `acked < expected`) are skipped and the torn round commits. Graceful
+    // exits in the window are still handled by the in-loop `acked >= live`
+    // re-check.
+    let expected = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
     for ctl in &ctx.source_controls {
         // A dropped source control means the job is shutting down.
         if ctl.send(SourceCommand::Marker(ssid)).is_err() {
             return Err(abort_round(ctx, ssid, "job is shutting down"));
         }
     }
-    let expected = ctx.shared.live_instances.load(Ordering::Acquire) as usize;
     let mut acked = 0usize;
     let mut ack_ordinal = 0u32;
     // Global low watermark of the consistent cut: min over the frontiers
@@ -304,8 +313,17 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
             _ => {}
         }
     }
-    let watermark_us = if low_wm == u64::MAX { 0 } else { low_wm };
-    let sealed_at_us = ctx.shared.clock.now_micros();
+    // Freshness stamps are persisted (WAL seal) to outlive this process, so
+    // they are rebased from the engine clock into the unix-epoch domain
+    // here, at the durability boundary. A recovered process's own epoch
+    // "now" is then directly comparable: staleness of an old snapshot reads
+    // as its true age, not ~0 against a freshly-zeroed clock.
+    let watermark_us = if low_wm == u64::MAX {
+        0
+    } else {
+        ctx.shared.clock.to_epoch_micros(low_wm)
+    };
+    let sealed_at_us = ctx.shared.clock.epoch_micros();
     // Durable seal first: the WAL's commit record lands *before* the
     // in-memory publication. A kill between the two leaves a sealed round
     // the in-memory side was about to publish anyway — recovery restores
@@ -810,10 +828,15 @@ mod tests {
         let ssid = run_checkpoint(&ctx).unwrap();
         responder.join().unwrap();
         let fresh = ctx.grid.registry().freshness(ssid).expect("recorded");
-        assert_eq!(fresh.watermark_us, 300);
-        assert!(fresh.sealed_at_us > 0, "seal wall time stamped");
+        // Stamps are rebased into the unix-epoch domain at the seal.
+        let expected_wm = ctx.shared.clock.to_epoch_micros(300);
+        assert_eq!(fresh.watermark_us, expected_wm);
+        assert!(
+            fresh.sealed_at_us >= ctx.shared.clock.epoch_anchor_micros(),
+            "seal stamp is epoch-domain"
+        );
         let rec = ctx.stats.records()[0];
-        assert_eq!(rec.watermark_us, 300);
+        assert_eq!(rec.watermark_us, expected_wm);
         assert_eq!(rec.sealed_at_us, fresh.sealed_at_us);
         let staleness = ctx
             .grid

@@ -26,6 +26,14 @@ pub enum SourceStatus {
 }
 
 /// A replayable event producer (one instance of a source vertex).
+///
+/// Records are expected to carry non-decreasing `src_ts`: the worker emits
+/// watermarks from the max stamp seen, which is a valid low-watermark
+/// promise only under monotone stamping (the in-tree sources stamp
+/// emission time, which is monotone). The worker *checks* this per record —
+/// a regression increments `watermark_violations_total`, logs a
+/// `watermark_regressed` event, and permanently suspends watermark emission
+/// for that instance rather than over-promise.
 pub trait Source: Send {
     /// Produce up to `max` records into `out`. `now_us` is the engine clock.
     fn next_batch(&mut self, max: usize, now_us: u64, out: &mut Vec<Record>) -> SourceStatus;

@@ -121,8 +121,10 @@ pub struct Ack {
     /// The checkpoint being acknowledged.
     pub ssid: SnapshotId,
     /// The acking instance's event-time frontier at its snapshot point
-    /// (0 = unknown). The coordinator's minimum over all acks is the
-    /// consistent cut's global low watermark.
+    /// (0 = unknown), on the engine clock that stamped `Record::src_ts`.
+    /// The coordinator's minimum over all acks is the consistent cut's
+    /// global low watermark; it rebases the min into the unix-epoch domain
+    /// before sealing it, so the persisted bound survives a restart.
     pub watermark_us: u64,
 }
 
@@ -342,7 +344,9 @@ fn broadcast(item: &Item, outs: &[OutputPort]) {
 /// Advance an operator's event-time frontier to the minimum of its input
 /// channels' watermarks (an Eos channel holds `u64::MAX` so it stops
 /// gating the min). The frontier is monotonic; on advance it is published
-/// to the instance gauge, sampled into the lag histogram, and forwarded.
+/// to the instance gauge (rebased into the unix-epoch domain so sys tables
+/// can compare it against persisted seal stamps and across clocks), sampled
+/// into the lag histogram, and forwarded on the engine clock.
 fn advance_frontier(
     channel_wm: &[u64],
     frontier: &mut u64,
@@ -354,10 +358,39 @@ fn advance_frontier(
     let min = channel_wm.iter().copied().min().unwrap_or(0);
     if min != u64::MAX && min > *frontier {
         *frontier = min;
-        wm_gauge.set(min as i64);
+        wm_gauge.set(shared.clock.to_epoch_micros(min) as i64);
         tel.watermark_lag
             .record(shared.clock.now_micros().saturating_sub(min));
         broadcast(&Item::Watermark(min), outs);
+    }
+}
+
+/// Fold watermarks (and Eos releases, `u64::MAX`) parked during marker
+/// alignment into the live per-channel watermarks and re-derive the
+/// frontier. Runs after the snapshot ack and buffer replay, so the frontier
+/// only ever claims completeness for records that have actually been
+/// processed — and any resulting downstream watermark follows the records
+/// it promises about.
+#[allow(clippy::too_many_arguments)]
+fn apply_deferred_watermarks(
+    deferred_wm: &mut [u64],
+    channel_wm: &mut [u64],
+    frontier: &mut u64,
+    wm_gauge: &Gauge,
+    tel: &WorkerTelemetry,
+    shared: &Shared,
+    outs: &[OutputPort],
+) {
+    let mut any = false;
+    for (slot, d) in channel_wm.iter_mut().zip(deferred_wm.iter_mut()) {
+        if *d > 0 {
+            *slot = (*slot).max(*d);
+            *d = 0;
+            any = true;
+        }
+    }
+    if any {
+        advance_frontier(channel_wm, frontier, wm_gauge, tel, shared, outs);
     }
 }
 
@@ -411,11 +444,22 @@ fn source_loop(
     let mut batch: Vec<Record> = Vec::with_capacity(batch_size);
     let mut exhausted = false;
     let mut produced: u64 = 0;
-    // Source frontier: the max `src_ts` emitted so far. Sources stamp
-    // monotonically under offered load, so this is the exact low watermark
-    // of everything still to come.
+    // Source frontier: the max `src_ts` emitted so far. The in-tree sources
+    // stamp monotonically (scheduled emission time under offered load, `now`
+    // otherwise), making this the exact low watermark of everything still to
+    // come. A user `Source` may supply its own, possibly out-of-order event
+    // times — for which "max emitted" over-promises — so monotonicity is
+    // *checked* per record below: the first regression freezes watermark
+    // emission and demotes the acked frontier to unknown, every regression
+    // is counted, and downstream freshness degrades to "no bound" instead of
+    // an invalid one. (A bounded-lateness policy is the eventual refinement.)
     let mut frontier: u64 = 0;
+    let mut last_ts: u64 = 0;
+    let mut unordered = false;
     let wm_gauge = tel.watermark_gauge(my_instance);
+    let wm_violations = tel
+        .registry
+        .counter("watermark_violations_total", &[("operator", &tel.operator)]);
     loop {
         if shared.poisoned() {
             break;
@@ -424,7 +468,7 @@ fn source_loop(
         match control.try_recv() {
             Ok(SourceCommand::Marker(ssid)) => {
                 offsets.save(ssid, source.offset());
-                shared.ack(ssid, frontier);
+                shared.ack(ssid, if unordered { 0 } else { frontier });
                 shared.post_ack_fault(&tel.operator, my_instance, ssid);
                 broadcast(&Item::Marker(ssid), &outs);
                 continue;
@@ -441,7 +485,7 @@ fn source_loop(
             match control.recv_timeout(Duration::from_millis(20)) {
                 Ok(SourceCommand::Marker(ssid)) => {
                     offsets.save(ssid, source.offset());
-                    shared.ack(ssid, frontier);
+                    shared.ack(ssid, if unordered { 0 } else { frontier });
                     shared.post_ack_fault(&tel.operator, my_instance, ssid);
                     broadcast(&Item::Marker(ssid), &outs);
                 }
@@ -473,18 +517,39 @@ fn source_loop(
         for record in &batch {
             produced += 1;
             shared.worker_record_fault(&tel.operator, my_instance, produced);
+            if record.src_ts < last_ts {
+                // Out-of-order stamping: the already-emitted watermark's
+                // promise just broke. Surface every violation, note the
+                // breach once, and stop promising below.
+                wm_violations.inc();
+                if !unordered {
+                    unordered = true;
+                    shared.telemetry.event(
+                        EventKind::WatermarkRegressed,
+                        Some(&tel.operator),
+                        None,
+                        None,
+                        format!(
+                            "instance {my_instance}: src_ts {} below {} — \
+                             watermark emission suspended",
+                            record.src_ts, last_ts
+                        ),
+                    );
+                }
+            }
+            last_ts = last_ts.max(record.src_ts);
             batch_max_ts = batch_max_ts.max(record.src_ts);
             if !route_record(record, &outs, my_instance, &partitioner) {
                 return;
             }
         }
         drop(batch_span);
-        if batch_max_ts > frontier {
+        if !unordered && batch_max_ts > frontier {
             // One watermark per advancing batch, after its records: the
-            // promise "nothing below this comes later" holds because the
-            // source stamps monotonically.
+            // promise "nothing below this comes later" holds only while the
+            // source has stamped monotonically (checked above).
             frontier = batch_max_ts;
-            wm_gauge.set(frontier as i64);
+            wm_gauge.set(shared.clock.to_epoch_micros(frontier) as i64);
             tel.watermark_lag
                 .record(shared.clock.now_micros().saturating_sub(frontier));
             broadcast(&Item::Watermark(frontier), &outs);
@@ -567,6 +632,13 @@ fn operator_loop(
     let mut received: u64 = 0;
     // Per-input-channel watermark; the operator frontier is their min.
     let mut channel_wm: Vec<u64> = vec![0; n_channels as usize];
+    // Watermarks (and Eos releases) arriving on an already-aligned channel
+    // while a marker round is open: like post-marker records, they belong to
+    // the next checkpoint epoch, so they park here (u64::MAX = deferred Eos
+    // release) and apply only after the snapshot ack — otherwise the acked
+    // frontier would claim event-time completeness for records that are
+    // merely buffered, and a watermark could overtake them downstream.
+    let mut deferred_wm: Vec<u64> = vec![0; n_channels as usize];
     let mut frontier: u64 = 0;
     let wm_gauge = tel.watermark_gauge(my_instance);
 
@@ -658,23 +730,54 @@ fn operator_loop(
                             break 'outer;
                         }
                     }
+                    // Next epoch begins: watermarks deferred during the
+                    // round apply after the replayed records they followed.
+                    apply_deferred_watermarks(
+                        &mut deferred_wm,
+                        &mut channel_wm,
+                        &mut frontier,
+                        &wm_gauge,
+                        tel,
+                        shared,
+                        &outs,
+                    );
                 }
             }
             Item::Watermark(wm) => {
-                // Watermarks carry no state effects, so they bypass marker
-                // alignment: applying one early only tightens the min.
-                if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
-                    *slot = (*slot).max(wm);
+                if pending_marker.is_some() && aligned.contains(&tagged.from) {
+                    // Post-marker watermark on an aligned channel: its
+                    // records are buffered out of the cut, so its promise
+                    // must not raise the acked frontier (nor overtake the
+                    // buffered records downstream). Park it until alignment
+                    // completes — deferring a watermark only loosens it,
+                    // which is always sound.
+                    if let Some(slot) = deferred_wm.get_mut(tagged.from as usize) {
+                        *slot = (*slot).max(wm);
+                    }
+                } else {
+                    if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
+                        *slot = (*slot).max(wm);
+                    }
+                    advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
                 }
-                advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
             }
             Item::Eos => {
+                let was_aligned = pending_marker.is_some() && aligned.contains(&tagged.from);
                 eos.insert(tagged.from);
-                // A finished channel stops gating the watermark min.
-                if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
-                    *slot = u64::MAX;
+                // A finished channel stops gating the watermark min — but if
+                // it already delivered this round's marker, its buffered
+                // post-marker records are outside the cut, so the release is
+                // deferred with the rest of its next-epoch watermarks.
+                if was_aligned {
+                    if let Some(slot) = deferred_wm.get_mut(tagged.from as usize) {
+                        *slot = u64::MAX;
+                    }
+                } else {
+                    if let Some(slot) = channel_wm.get_mut(tagged.from as usize) {
+                        *slot = u64::MAX;
+                    }
+                    advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
                 }
-                advance_frontier(&channel_wm, &mut frontier, &wm_gauge, tel, shared, &outs);
                 // An Eos channel counts as aligned for any pending marker.
                 if let Some(ssid) = pending_marker {
                     if aligned.len() + eos.iter().filter(|c| !aligned.contains(c)).count()
@@ -702,6 +805,15 @@ fn operator_loop(
                                 break 'outer;
                             }
                         }
+                        apply_deferred_watermarks(
+                            &mut deferred_wm,
+                            &mut channel_wm,
+                            &mut frontier,
+                            &wm_gauge,
+                            tel,
+                            shared,
+                            &outs,
+                        );
                     }
                 }
                 if eos.len() >= n_channels as usize {
@@ -1077,6 +1189,231 @@ mod tests {
             .expect("lag histogram exists")
             .1;
         assert_eq!(lag_samples.count(), 3, "one sample per frontier advance");
+    }
+
+    /// Post-marker watermarks from an already-aligned channel must not raise
+    /// the frontier the snapshot ack carries: like post-marker records they
+    /// belong to the next epoch, and apply only after alignment completes.
+    #[test]
+    fn post_marker_watermarks_defer_until_alignment() {
+        let (shared, ack_rx) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "defer");
+            std::thread::spawn(move || {
+                run_operator(
+                    rx,
+                    2,
+                    OperatorKind::Sink(Box::new(Null)),
+                    vec![],
+                    0,
+                    shared,
+                    tel,
+                )
+            })
+        };
+        let wm = |from: u32, w: u64| Tagged {
+            from,
+            item: Item::Watermark(w),
+        };
+        tx.send(wm(0, 100)).unwrap();
+        tx.send(wm(1, 200)).unwrap(); // frontier = min(100, 200) = 100
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Marker(SnapshotId(7)),
+        })
+        .unwrap();
+        // Channel 0 races ahead of the open round: a record (buffered out of
+        // the cut) and a watermark promising event-time past it.
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Record(Record::new(1i64, 1i64).at(450)),
+        })
+        .unwrap();
+        tx.send(wm(0, 500)).unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Marker(SnapshotId(7)),
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Eos,
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Eos,
+        })
+        .unwrap();
+        worker.join().unwrap();
+        let ack = ack_rx.try_recv().unwrap();
+        // The snapshot excludes the buffered record, so the ack must not
+        // carry channel 0's post-marker promise (applying it eagerly would
+        // ack min(500, 200) = 200).
+        assert_eq!(ack.watermark_us, 100, "acked frontier predates the marker");
+        // Once the round sealed, the deferred watermark applied: min(500, 200).
+        let gauge = shared
+            .telemetry
+            .gauges()
+            .into_iter()
+            .find(|(k, _)| k.name == "watermark_us")
+            .expect("instance frontier gauge exists");
+        assert_eq!(gauge.1, 200, "deferred watermark applies after the ack");
+        assert_eq!(
+            shared.sink_count.load(Ordering::Relaxed),
+            1,
+            "buffered record replayed"
+        );
+    }
+
+    /// Eos arriving on a channel that already delivered this round's marker
+    /// must not release that channel's watermark gate before the ack — the
+    /// release is next-epoch, exactly like a deferred watermark.
+    #[test]
+    fn eos_on_aligned_channel_defers_release_until_alignment() {
+        let (shared, ack_rx) = shared();
+        let (tx, rx) = unbounded::<Tagged>();
+        struct Null;
+        impl Sink for Null {
+            fn consume(&mut self, _r: Record) {}
+        }
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "eosdefer");
+            std::thread::spawn(move || {
+                run_operator(
+                    rx,
+                    2,
+                    OperatorKind::Sink(Box::new(Null)),
+                    vec![],
+                    0,
+                    shared,
+                    tel,
+                )
+            })
+        };
+        let wm = |from: u32, w: u64| Tagged {
+            from,
+            item: Item::Watermark(w),
+        };
+        tx.send(wm(0, 100)).unwrap();
+        tx.send(wm(1, 200)).unwrap(); // frontier 100, gated by channel 0
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Marker(SnapshotId(9)),
+        })
+        .unwrap();
+        // Aligned channel finishes mid-round: an eager release would lift
+        // channel 0's gate and ack 200.
+        tx.send(Tagged {
+            from: 0,
+            item: Item::Eos,
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Marker(SnapshotId(9)),
+        })
+        .unwrap();
+        tx.send(Tagged {
+            from: 1,
+            item: Item::Eos,
+        })
+        .unwrap();
+        worker.join().unwrap();
+        let ack = ack_rx.try_recv().unwrap();
+        assert_eq!(ack.ssid, SnapshotId(9));
+        assert_eq!(ack.watermark_us, 100, "Eos release deferred past the ack");
+    }
+
+    /// A source stamping out-of-order `src_ts` breaks the max-based
+    /// watermark promise: emission is suspended, every violation counted,
+    /// and the marker ack demotes its frontier to unknown (0).
+    #[test]
+    fn unordered_source_suspends_watermarks_and_acks_unknown() {
+        struct Unordered {
+            batches: usize,
+        }
+        impl Source for Unordered {
+            fn next_batch(
+                &mut self,
+                _max: usize,
+                _now: u64,
+                out: &mut Vec<Record>,
+            ) -> SourceStatus {
+                self.batches += 1;
+                match self.batches {
+                    1 => {
+                        out.push(Record::new(1i64, 1i64).at(100));
+                        SourceStatus::Active
+                    }
+                    2 => {
+                        // Regression: below the already-promised 100.
+                        out.push(Record::new(2i64, 2i64).at(50));
+                        SourceStatus::Exhausted
+                    }
+                    _ => SourceStatus::Exhausted,
+                }
+            }
+            fn offset(&self) -> Value {
+                Value::Int(self.batches as i64)
+            }
+            fn rewind(&mut self, _offset: &Value) {}
+        }
+        let (shared, ack_rx) = shared();
+        let grid = squery_storage::Grid::single_node();
+        let saver = OffsetSaver {
+            store: grid.snapshot_store("__offsets"),
+            key: Value::str("src#0"),
+        };
+        let (ctl_tx, ctl_rx) = unbounded();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let tel = tel(&shared, "unordered");
+            std::thread::spawn(move || {
+                run_source(
+                    Box::new(Unordered { batches: 0 }),
+                    ctl_rx,
+                    vec![],
+                    0,
+                    8,
+                    shared,
+                    saver,
+                    tel,
+                )
+            })
+        };
+        // Both records (and thus the regression) must land before the marker.
+        while shared.source_count.load(Ordering::Relaxed) < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ctl_tx.send(SourceCommand::Marker(SnapshotId(1))).unwrap();
+        let ack = ack_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            ack.watermark_us, 0,
+            "regressed source acks an unknown frontier, not the stale max"
+        );
+        ctl_tx.send(SourceCommand::Stop).unwrap();
+        worker.join().unwrap();
+        let violations = shared
+            .telemetry
+            .counter_value("watermark_violations_total", &[("operator", "unordered")])
+            .expect("violation counter exists");
+        assert_eq!(violations, 1);
+        let kinds: Vec<_> = shared
+            .telemetry
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.as_str().to_string())
+            .collect();
+        assert!(kinds.contains(&"watermark_regressed".to_string()));
     }
 
     #[test]
