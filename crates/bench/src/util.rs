@@ -261,7 +261,7 @@ impl QueryLoad {
                 let run_query = Arc::clone(&run_query);
                 std::thread::spawn(move || {
                     let mut hist = Histogram::new();
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(Ordering::Acquire) {
                         let t0 = Instant::now();
                         run_query();
                         hist.record(t0.elapsed().as_micros() as u64);
@@ -282,7 +282,7 @@ impl QueryLoad {
     /// Stop and report `(queries_per_sec, latency_histogram)`.
     pub fn finish(self) -> (f64, Histogram) {
         let elapsed = self.started.elapsed().as_secs_f64();
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         let mut hist = Histogram::new();
         for h in self.handles {
             // A client thread that panicked contributes no samples; the run

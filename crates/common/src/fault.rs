@@ -408,9 +408,39 @@ pub struct FaultInjector {
     seed: u64,
 }
 
+/// Panic messages raised by injected faults start with this prefix, so the
+/// process-wide hook below can tell a *planned* crash from a real bug.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault: ";
+
+/// Install (once per process) a panic hook that swallows the default stderr
+/// report for panics whose message starts with [`INJECTED_PANIC_PREFIX`].
+/// Those panics are raised on purpose by the injector and caught by the
+/// supervisor's unwind path; printing them only buries real failures in
+/// expected noise (and, under ThreadSanitizer, two workers panicking at once
+/// trip false races inside std's uninstrumented stderr serialization). Every
+/// other panic still goes through the previously installed hook.
+fn silence_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.starts_with(INJECTED_PANIC_PREFIX)) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
 impl FaultInjector {
     /// An injector driving `plan`.
     pub fn new(plan: FaultPlan) -> FaultInjector {
+        silence_injected_panics();
         FaultInjector {
             seed: plan.seed,
             armed: Mutex::new(

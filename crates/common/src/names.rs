@@ -122,6 +122,183 @@ pub const EVENT_KINDS: &[&str] = &[
     "worker_stopped",
 ];
 
+// ---------------------------------------------------------------------------
+// Clock-domain registry (squery-lint SQ006)
+// ---------------------------------------------------------------------------
+//
+// The engine stamps time in two incompatible domains (see `time.rs`):
+// *Instant-domain* micros are process-relative (`Clock::now_micros`, zero at
+// clock creation) and mean nothing to another process; *epoch-domain* micros
+// are µs since the unix epoch (`Clock::epoch_micros`) and survive restarts.
+// PR 9 shipped Instant-domain seal stamps into the epoch-domain WAL SEAL
+// record, so recovered snapshots read ~0 staleness against a restarted
+// clock. SQ006 taints values by the producer/field that created them and
+// flags cross-domain comparisons, arithmetic, and persistence sinks.
+
+/// Functions returning Instant-domain (process-relative) microseconds.
+pub const INSTANT_DOMAIN_PRODUCERS: &[&str] = &["now_micros"];
+
+/// Functions returning epoch-domain (unix-epoch) microseconds.
+pub const EPOCH_DOMAIN_PRODUCERS: &[&str] = &["epoch_anchor_micros", "epoch_micros"];
+
+/// The blessed Instant→epoch rebase: the argument must be Instant-domain
+/// (rebasing an epoch value again double-counts the anchor) and the result
+/// is epoch-domain.
+pub const EPOCH_CONVERSION_FNS: &[&str] = &["to_epoch_micros"];
+
+/// Struct fields holding Instant-domain stamps.
+pub const INSTANT_DOMAIN_FIELDS: &[&str] = &[
+    "at_us",
+    "began_at_us",
+    "end_us",
+    "start_us",
+    "started_at_us",
+];
+
+/// Struct fields holding epoch-domain stamps.
+pub const EPOCH_DOMAIN_FIELDS: &[&str] = &["epoch_anchor_us", "sealed_at_us"];
+
+/// Persistence sinks whose time-valued arguments must be epoch-domain:
+/// WAL seal encoding and the registry freshness commit/restore paths. An
+/// Instant-domain value reaching one of these is exactly the PR 9 bug.
+pub const EPOCH_SINK_FNS: &[&str] = &[
+    "commit_with_freshness",
+    "restore_committed_with_freshness",
+    "wal_seal_with",
+];
+
+// ---------------------------------------------------------------------------
+// Atomics registry (squery-lint SQ007)
+// ---------------------------------------------------------------------------
+
+/// Ordering disciplines a registered atomic may declare:
+///
+/// * `"counter"` — statistics, quotas, monotone version counters. The value
+///   is self-contained (no other memory is published through it), so
+///   `Relaxed` is fine.
+/// * `"flag"` — publication/poison/stop flags whose observation gates
+///   control flow on another thread. Stores must be `Release` (or stronger)
+///   and loads `Acquire` (or stronger); SQ007 flags any `Relaxed` access.
+/// * `"gate"` — advisory enable bits (telemetry arming, lock-order tracker)
+///   where a stale read only delays arming; `Relaxed` is the point (one
+///   relaxed load on the hot path when disabled).
+/// * `"seqlock"` — version counters paired with data and explicit fences.
+///   Reserved: no current member; adding one should come with its own rule.
+pub const ATOMIC_DISCIPLINES: &[&str] = &["counter", "flag", "gate", "seqlock"];
+
+/// Every cross-thread atomic in the workspace, by field/binding name, with
+/// its intended discipline. Entries are either file-qualified
+/// (`"file.rs::name"`) when the same identifier means different things in
+/// different files, or bare (`"name"`). Sorted by key and duplicate-free
+/// (binary-searched by SQ007; enforced by a unit test). An atomic declared
+/// in non-test code but absent here is an SQ007 finding: undeclared
+/// cross-thread handoff is how the PR 3 / PR 9 coordinator races shipped.
+pub const ATOMIC_REGISTRY: &[(&str, &str)] = &[
+    ("ENABLED", "gate"),
+    ("allowance", "counter"),
+    ("approx_bytes", "counter"),
+    ("armed", "gate"),
+    ("bytes", "counter"),
+    ("coordinator_dead", "flag"),
+    ("count", "counter"),
+    ("current_round", "gate"),
+    ("cursor", "counter"),
+    ("dead_workers", "counter"),
+    ("dropped", "counter"),
+    ("enabled", "gate"),
+    ("exhausted_sources", "counter"),
+    ("failed", "flag"),
+    ("frozen", "flag"),
+    ("last_compaction_us", "counter"),
+    ("latest_committed", "counter"),
+    ("live_instances", "counter"),
+    ("monitor_stop", "flag"),
+    ("next_id", "counter"),
+    ("next_ssid", "counter"),
+    ("pending", "counter"),
+    ("poison", "flag"),
+    ("pruned_below", "counter"),
+    ("removes", "counter"),
+    ("retained_versions", "gate"),
+    ("rows", "counter"),
+    ("samples_total", "counter"),
+    ("seq", "counter"),
+    ("sink_count", "counter"),
+    ("source_count", "counter"),
+    ("stats_armed", "gate"),
+    ("stop", "flag"),
+    ("stop_flag", "flag"),
+    // The manual Clock's tick counter lives in an unnamed tuple variant;
+    // the declaration site the lint sees is the `kind:` struct-literal
+    // init in `Clock::manual()`.
+    ("time.rs::kind", "counter"),
+    ("topk_capacity", "gate"),
+    ("torn_truncations", "counter"),
+    ("value", "counter"),
+    ("writes", "counter"),
+];
+
+/// Clock domain of a tracked value (SQ006).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Process-relative micros (`Clock::now_micros`).
+    Instant,
+    /// Unix-epoch micros (`Clock::epoch_micros` and persisted stamps).
+    Epoch,
+}
+
+impl ClockDomain {
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockDomain::Instant => "Instant-domain",
+            ClockDomain::Epoch => "epoch-domain",
+        }
+    }
+}
+
+/// Domain produced by calling `function`, if registered.
+pub fn domain_of_producer(function: &str) -> Option<ClockDomain> {
+    if INSTANT_DOMAIN_PRODUCERS.binary_search(&function).is_ok() {
+        Some(ClockDomain::Instant)
+    } else if EPOCH_DOMAIN_PRODUCERS.binary_search(&function).is_ok() {
+        Some(ClockDomain::Epoch)
+    } else {
+        None
+    }
+}
+
+/// Domain stored in `field`, if registered.
+pub fn domain_of_field(field: &str) -> Option<ClockDomain> {
+    if INSTANT_DOMAIN_FIELDS.binary_search(&field).is_ok() {
+        Some(ClockDomain::Instant)
+    } else if EPOCH_DOMAIN_FIELDS.binary_search(&field).is_ok() {
+        Some(ClockDomain::Epoch)
+    } else {
+        None
+    }
+}
+
+/// True if `function` is the Instant→epoch conversion.
+pub fn is_epoch_conversion(function: &str) -> bool {
+    EPOCH_CONVERSION_FNS.binary_search(&function).is_ok()
+}
+
+/// True if `function` is an epoch-domain persistence sink.
+pub fn is_epoch_sink(function: &str) -> bool {
+    EPOCH_SINK_FNS.binary_search(&function).is_ok()
+}
+
+/// Declared discipline of the atomic named `name` in `file_basename`:
+/// the file-qualified entry wins, then the bare name.
+pub fn atomic_discipline(file_basename: &str, name: &str) -> Option<&'static str> {
+    let qualified = format!("{file_basename}::{name}");
+    ATOMIC_REGISTRY
+        .binary_search_by(|(k, _)| (*k).cmp(qualified.as_str()))
+        .or_else(|_| ATOMIC_REGISTRY.binary_search_by(|(k, _)| (*k).cmp(name)))
+        .ok()
+        .map(|i| ATOMIC_REGISTRY[i].1)
+}
+
 /// True if `name` is a registered metric name.
 pub fn is_metric(name: &str) -> bool {
     METRIC_NAMES.binary_search(&name).is_ok()
@@ -158,6 +335,59 @@ mod tests {
         assert_sorted_unique(METRIC_NAMES, "METRIC_NAMES");
         assert_sorted_unique(SPAN_KINDS, "SPAN_KINDS");
         assert_sorted_unique(EVENT_KINDS, "EVENT_KINDS");
+        assert_sorted_unique(INSTANT_DOMAIN_PRODUCERS, "INSTANT_DOMAIN_PRODUCERS");
+        assert_sorted_unique(EPOCH_DOMAIN_PRODUCERS, "EPOCH_DOMAIN_PRODUCERS");
+        assert_sorted_unique(EPOCH_CONVERSION_FNS, "EPOCH_CONVERSION_FNS");
+        assert_sorted_unique(INSTANT_DOMAIN_FIELDS, "INSTANT_DOMAIN_FIELDS");
+        assert_sorted_unique(EPOCH_DOMAIN_FIELDS, "EPOCH_DOMAIN_FIELDS");
+        assert_sorted_unique(EPOCH_SINK_FNS, "EPOCH_SINK_FNS");
+        assert_sorted_unique(ATOMIC_DISCIPLINES, "ATOMIC_DISCIPLINES");
+        for pair in ATOMIC_REGISTRY.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "ATOMIC_REGISTRY must be sorted by name and duplicate-free: {:?} >= {:?}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        for (name, discipline) in ATOMIC_REGISTRY {
+            assert!(
+                ATOMIC_DISCIPLINES.contains(discipline),
+                "ATOMIC_REGISTRY entry {name:?} has unknown discipline {discipline:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_tables_do_not_overlap() {
+        for p in INSTANT_DOMAIN_PRODUCERS {
+            assert!(
+                !EPOCH_DOMAIN_PRODUCERS.contains(p),
+                "{p:?} registered as both instant- and epoch-domain producer"
+            );
+        }
+        for f in INSTANT_DOMAIN_FIELDS {
+            assert!(
+                !EPOCH_DOMAIN_FIELDS.contains(f),
+                "{f:?} registered as both instant- and epoch-domain field"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_and_atomic_lookups() {
+        assert_eq!(domain_of_producer("now_micros"), Some(ClockDomain::Instant));
+        assert_eq!(domain_of_producer("epoch_micros"), Some(ClockDomain::Epoch));
+        assert_eq!(domain_of_producer("len"), None);
+        assert_eq!(domain_of_field("sealed_at_us"), Some(ClockDomain::Epoch));
+        assert_eq!(domain_of_field("began_at_us"), Some(ClockDomain::Instant));
+        assert!(is_epoch_conversion("to_epoch_micros"));
+        assert!(is_epoch_sink("wal_seal_with"));
+        // Qualified `file::name` entries take precedence over bare names.
+        assert_eq!(atomic_discipline("time.rs", "kind"), Some("counter"));
+        assert_eq!(atomic_discipline("other.rs", "kind"), None);
+        assert_eq!(atomic_discipline("worker.rs", "poison"), Some("flag"));
+        assert_eq!(atomic_discipline("worker.rs", "unregistered"), None);
     }
 
     #[test]

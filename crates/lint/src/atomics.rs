@@ -1,0 +1,225 @@
+//! SQ007: atomics handoff audit.
+//!
+//! Every cross-thread atomic in the workspace must be declared in
+//! `crates/common/src/names.rs::ATOMIC_REGISTRY` with an intended ordering
+//! discipline (`counter` / `flag` / `gate` / `seqlock`). The registry makes
+//! the handoff protocol reviewable: PR 3 and PR 9 both closed coordinator
+//! races that entered through an undeclared atomic whose ordering nobody
+//! had thought about.
+//!
+//! Two rules:
+//!
+//! * **Undeclared atomic**: an `AtomicBool`/`AtomicU64`/… declaration
+//!   (struct field, static, or `let` binding) in non-test code whose name
+//!   has no registry entry.
+//! * **Relaxed on a flag**: a `Relaxed` memory ordering in an atomic access
+//!   whose receiver is registered as `flag`-class (publication/poison/stop
+//!   flags gate control flow on other threads: stores must be `Release`+,
+//!   loads `Acquire`+), or whose receiver is not registered at all — an
+//!   alias (`let stop2 = flag.clone()`) would otherwise dodge the audit.
+//!
+//! Counter- and gate-class atomics may use `Relaxed` freely; that is what
+//! the discipline declares.
+
+use crate::checks::LintedFile;
+use crate::diag::{Code, Diagnostic};
+use crate::extract::{in_test_region, receiver_ident};
+use crate::scanner::Token;
+use squery_common::names::atomic_discipline;
+use std::collections::BTreeSet;
+
+const ALLOW_ATOMICS: &str = "lint:allow(atomics_handoff)";
+
+/// The atomic types the audit tracks.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicI8",
+    "AtomicIsize",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicU8",
+    "AtomicUsize",
+];
+
+/// Methods that take a memory-ordering argument.
+const ATOMIC_METHODS: &[&str] = &[
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+    "load",
+    "store",
+    "swap",
+];
+
+const ORDERINGS: &[&str] = &["AcqRel", "Acquire", "Relaxed", "Release", "SeqCst"];
+
+pub fn check_atomics(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        let basename = f
+            .path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let suppressed = |line: u32| {
+            f.scanned
+                .comments
+                .get(&line)
+                .is_some_and(|c| c.contains(ALLOW_ATOMICS))
+        };
+        let toks = &f.scanned.tokens;
+
+        // Rule 1: undeclared atomic declarations. One report per name.
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            if !ATOMIC_TYPES.contains(&id)
+                || in_test_region(&f.test_ranges, t.line)
+                || suppressed(t.line)
+            {
+                continue;
+            }
+            let Some(name) = decl_name(toks, i) else {
+                continue;
+            };
+            if atomic_discipline(&basename, name).is_none() && reported.insert(name.to_string()) {
+                diags.push(Diagnostic {
+                    code: Code::Sq007,
+                    file: f.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "atomic `{name}` ({id}) is not declared in \
+                         crates/common/src/names.rs::ATOMIC_REGISTRY; register it with \
+                         its ordering discipline (counter/flag/gate/seqlock) or \
+                         annotate with `// {ALLOW_ATOMICS}`"
+                    ),
+                });
+            }
+        }
+
+        // Rule 2: Relaxed orderings in accesses on flag-class (or
+        // unregistered) receivers.
+        for (i, t) in toks.iter().enumerate() {
+            let Some(m) = t.ident() else { continue };
+            if !ATOMIC_METHODS.contains(&m)
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                || i == 0
+                || !toks[i - 1].is_punct('.')
+                || in_test_region(&f.test_ranges, t.line)
+                || suppressed(t.line)
+            {
+                continue;
+            }
+            // Scan the argument list for ordering idents; a call that names
+            // no ordering is not an atomic op (just a method sharing the
+            // name, e.g. a custom `load`).
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut orders: Vec<&str> = Vec::new();
+            while j < toks.len() {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(o) = toks[j].ident() {
+                    if ORDERINGS.contains(&o) {
+                        orders.push(o);
+                    }
+                }
+                j += 1;
+            }
+            if !orders.contains(&"Relaxed") {
+                continue;
+            }
+            let receiver = receiver_ident(toks, i - 1);
+            match receiver.and_then(|r| atomic_discipline(&basename, r)) {
+                Some("flag") => {
+                    diags.push(Diagnostic {
+                        code: Code::Sq007,
+                        file: f.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "Relaxed ordering in .{m}() on flag-class atomic `{}`: \
+                             publication flags gate control flow on other threads — \
+                             stores need Release (or stronger), loads Acquire",
+                            receiver.unwrap_or("?")
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    diags.push(Diagnostic {
+                        code: Code::Sq007,
+                        file: f.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "Relaxed atomic access through `{}`, which is not in \
+                             crates/common/src/names.rs::ATOMIC_REGISTRY; register the \
+                             name (aliases of registered atomics should reuse the \
+                             registered name) or annotate with `// {}`",
+                            receiver.unwrap_or("<expr>"),
+                            ALLOW_ATOMICS
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Resolve the declared name for an atomic-type token at `toks[i]`: walks
+/// left over path segments (`sync::atomic::AtomicU64`), generic wrappers
+/// (`Arc<AtomicBool`), constructor calls (`Arc::new(AtomicBool`), and `&`,
+/// then accepts `name: …` (field, static, struct-literal init) or
+/// `name = …` (`let` binding). Returns `None` for imports, return types,
+/// and the constructor repetition in `static X: AtomicU8 = AtomicU8::new(…)`.
+fn decl_name(toks: &[Token], i: usize) -> Option<&str> {
+    let mut j = i;
+    loop {
+        if j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].ident().is_some()
+        {
+            j -= 3; // path segment `seg::`
+        } else if j >= 2
+            && (toks[j - 1].is_punct('<') || toks[j - 1].is_punct('('))
+            && toks[j - 2].ident().is_some()
+        {
+            j -= 2; // wrapper `Arc<` or `Arc::new(`
+        } else if j >= 1 && toks[j - 1].is_punct('&') {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j < 2 {
+        return None;
+    }
+    let name = toks[j - 2].ident()?;
+    if ATOMIC_TYPES.contains(&name) || name == "Ordering" {
+        return None;
+    }
+    let colon_decl = toks[j - 1].is_punct(':') && !(j >= 3 && toks[j - 3].is_punct(':'));
+    let eq_decl = toks[j - 1].is_punct('=');
+    if colon_decl || eq_decl {
+        Some(name)
+    } else {
+        None
+    }
+}

@@ -29,6 +29,9 @@ pub fn run_all(files: &[LintedFile]) -> Vec<Diagnostic> {
     diags.extend(check_panic_hygiene(files));
     diags.extend(check_telemetry_names(files));
     diags.extend(check_unsafe_audit(files));
+    diags.extend(check_blocking_under_lock(files));
+    diags.extend(crate::domains::check_clock_domains(files));
+    diags.extend(crate::atomics::check_atomics(files));
     diags.sort_by(|a, b| {
         (a.code, &a.file, a.line, &a.message).cmp(&(b.code, &b.file, b.line, &b.message))
     });
@@ -307,6 +310,204 @@ fn find_cycles(
 
 fn class_name(c: LockClass) -> &'static str {
     c.name()
+}
+
+// ---------------------------------------------------------------------------
+// SQ005: blocking operations under a named lock guard
+// ---------------------------------------------------------------------------
+
+const ALLOW_BLOCKING: &str = "lint:allow(blocking_under_lock)";
+
+/// How a function comes to block (for SQ005 evidence paths).
+#[derive(Debug, Clone)]
+enum BlockReach {
+    Direct {
+        op: String,
+        file: PathBuf,
+        line: u32,
+    },
+    Via {
+        callee: String,
+        line: u32,
+        file: PathBuf,
+    },
+}
+
+/// A blocking op (channel recv/send, `Condvar` wait, thread join, fsync)
+/// while a named lock guard is live starves every thread queued on that
+/// lock for as long as the op takes — and a bounded-channel send under the
+/// checkpoint or registry locks is one slow consumer away from deadlock.
+/// Reuses SQ001's guard-lifetime model for "is a guard live" and its
+/// call-resolution rule (unambiguous names only) to follow blocking calls
+/// inter-procedurally.
+pub fn check_blocking_under_lock(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let funcs: Vec<(&LintedFile, &FunctionInfo)> = files
+        .iter()
+        .flat_map(|f| {
+            f.info
+                .functions
+                .iter()
+                .filter(move |func| !f.in_tests(func.line))
+                .map(move |func| (f, func))
+        })
+        .collect();
+
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, (_, func)) in funcs.iter().enumerate() {
+        by_name.entry(func.name.as_str()).or_default().push(idx);
+    }
+    let resolve = |name: &str| -> Option<usize> {
+        match by_name.get(name) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    };
+
+    // Fixpoint: which functions may block, directly or transitively. A
+    // suppressed op site does not seed may-block: the author vouched for it.
+    let suppressed = |f: &LintedFile, line: u32| {
+        f.scanned
+            .comments
+            .get(&line)
+            .is_some_and(|c| c.contains(ALLOW_BLOCKING))
+    };
+    let mut may_block: Vec<Option<BlockReach>> = funcs
+        .iter()
+        .map(|(file, func)| {
+            func.blocking
+                .iter()
+                .find(|(_, line)| !suppressed(file, *line))
+                .map(|(op, line)| BlockReach::Direct {
+                    op: op.clone(),
+                    file: file.path.clone(),
+                    line: *line,
+                })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..funcs.len() {
+            if may_block[i].is_some() {
+                continue;
+            }
+            let (file, func) = &funcs[i];
+            for (callee, line) in &func.calls {
+                if let Some(j) = resolve(callee) {
+                    if j != i && may_block[j].is_some() && !suppressed(file, *line) {
+                        may_block[i] = Some(BlockReach::Via {
+                            callee: callee.clone(),
+                            line: *line,
+                            file: file.path.clone(),
+                        });
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Evidence chain from function `idx` to a concrete blocking op.
+    let describe = |idx: usize| -> String {
+        let mut out = String::new();
+        let mut cur = idx;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 32 {
+                out.push_str(" …");
+                break;
+            }
+            match &may_block[cur] {
+                Some(BlockReach::Direct { op, file, line }) => {
+                    out.push_str(&format!(
+                        "blocks in .{}() at {}:{}",
+                        op,
+                        file.display(),
+                        line
+                    ));
+                    break;
+                }
+                Some(BlockReach::Via { callee, line, file }) => {
+                    out.push_str(&format!(
+                        "calls {}() at {}:{} which ",
+                        callee,
+                        file.display(),
+                        line
+                    ));
+                    match resolve(callee) {
+                        Some(next) => cur = next,
+                        None => {
+                            out.push_str("(unresolved)");
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    out.push_str("(no path)");
+                    break;
+                }
+            }
+        }
+        out
+    };
+
+    let mut diags = Vec::new();
+    for (i, (file, func)) in funcs.iter().enumerate() {
+        // Direct: a blocking op at a site where a guard is live.
+        for hb in &func.held_blocking {
+            if suppressed(file, hb.op_line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                code: Code::Sq005,
+                file: file.path.clone(),
+                line: hb.op_line,
+                message: format!(
+                    "blocking .{}() while holding {} (acquired at {}:{}): the lock is \
+                     pinned for the full wait; move the blocking op outside the guard \
+                     or annotate with `// {}`",
+                    hb.op,
+                    class_name(hb.held),
+                    file.path.display(),
+                    hb.held_line,
+                    ALLOW_BLOCKING
+                ),
+            });
+        }
+        // Inter-procedural: a call under a guard into a may-block function.
+        for hc in &func.held_calls {
+            if suppressed(file, hc.call_line) {
+                continue;
+            }
+            if let Some(j) = resolve(&hc.callee) {
+                if j == i || may_block[j].is_none() {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    code: Code::Sq005,
+                    file: file.path.clone(),
+                    line: hc.call_line,
+                    message: format!(
+                        "call to {}() while holding {} (acquired at {}:{}) may block: \
+                         {}() {}; move the call outside the guard or annotate with \
+                         `// {}`",
+                        hc.callee,
+                        class_name(hc.held),
+                        file.path.display(),
+                        hc.held_line,
+                        hc.callee,
+                        describe(j),
+                        ALLOW_BLOCKING
+                    ),
+                });
+            }
+        }
+    }
+    diags
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,18 @@ pub enum Code {
     Sq003,
     /// `unsafe` block without a `// SAFETY:` comment.
     Sq004,
+    /// Blocking operation (`recv`, `join`, `Condvar::wait`, fsync, bounded
+    /// `send`) while a named lock guard is live, outside the
+    /// `// lint:allow(blocking_under_lock)` allowlist.
+    Sq005,
+    /// Clock-domain confusion: Instant-domain and epoch-domain micros mixed
+    /// in one expression, or an Instant-domain value reaching an epoch
+    /// persistence sink (the PR 9 freshness bug class).
+    Sq006,
+    /// Atomics handoff audit: cross-thread atomic not declared in the
+    /// `names.rs` atomics registry, or a `Relaxed` access on a flag-class
+    /// atomic (the PR 3 / PR 9 coordinator-race shape).
+    Sq007,
 }
 
 impl Code {
@@ -25,6 +37,34 @@ impl Code {
             Code::Sq002 => "SQ002",
             Code::Sq003 => "SQ003",
             Code::Sq004 => "SQ004",
+            Code::Sq005 => "SQ005",
+            Code::Sq006 => "SQ006",
+            Code::Sq007 => "SQ007",
+        }
+    }
+
+    /// Every pass, in report order (per-pass counts enumerate all of these,
+    /// including zero-count passes, so report consumers see each pass ran).
+    pub const ALL: &'static [Code] = &[
+        Code::Sq001,
+        Code::Sq002,
+        Code::Sq003,
+        Code::Sq004,
+        Code::Sq005,
+        Code::Sq006,
+        Code::Sq007,
+    ];
+
+    /// One-line pass description for summaries.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Sq001 => "lock-order cycles",
+            Code::Sq002 => "panic hygiene",
+            Code::Sq003 => "telemetry-name registry",
+            Code::Sq004 => "unsafe audit",
+            Code::Sq005 => "blocking under lock",
+            Code::Sq006 => "clock-domain taint",
+            Code::Sq007 => "atomics handoff audit",
         }
     }
 }
@@ -57,12 +97,29 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Finding count per pass, covering every pass (zero-count passes included).
+pub fn pass_counts(diags: &[Diagnostic]) -> Vec<(Code, usize)> {
+    Code::ALL
+        .iter()
+        .map(|&c| (c, diags.iter().filter(|d| d.code == c).count()))
+        .collect()
+}
+
 /// Render findings as a JSON report (hand-rolled, like the telemetry JSON
 /// export — no serde in the workspace).
 pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     let mut out = String::from("{\n  \"files_scanned\": ");
     out.push_str(&files_scanned.to_string());
-    out.push_str(",\n  \"findings\": [");
+    out.push_str(",\n  \"passes\": {");
+    for (i, (code, n)) in pass_counts(diags).into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(code.as_str()));
+        out.push_str(": ");
+        out.push_str(&n.to_string());
+    }
+    out.push_str("},\n  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -129,5 +186,26 @@ mod tests {
         assert!(j.contains("\\\"x\\\""));
         assert!(j.contains("\\n"));
         assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn pass_counts_cover_every_pass() {
+        let d = Diagnostic {
+            code: Code::Sq006,
+            file: PathBuf::from("a.rs"),
+            line: 1,
+            message: "mixed domains".into(),
+        };
+        let counts = pass_counts(&[d.clone(), d]);
+        assert_eq!(counts.len(), Code::ALL.len());
+        for (code, n) in &counts {
+            let want = if *code == Code::Sq006 { 2 } else { 0 };
+            assert_eq!(*n, want, "{code}");
+        }
+        let j = render_json(&[], 0);
+        for code in Code::ALL {
+            assert!(j.contains(code.as_str()), "missing {code} in {j}");
+        }
+        assert!(j.contains("\"SQ006\": 0"));
     }
 }

@@ -1,0 +1,457 @@
+//! SQ006: clock-domain taint.
+//!
+//! The engine stamps time in two incompatible domains (`common::time`):
+//! *Instant-domain* micros are process-relative (`Clock::now_micros`) and
+//! *epoch-domain* micros are µs since the unix epoch (`Clock::epoch_micros`).
+//! PR 9 shipped an Instant-domain seal stamp into the epoch-domain WAL SEAL
+//! record; every recovered snapshot then read ~0 staleness against a
+//! restarted clock. The registries in `crates/common/src/names.rs` declare
+//! which producers, fields, conversions, and persistence sinks belong to
+//! which domain; this pass propagates those tags through let-bindings,
+//! local reassignments, and field reads within each function body and flags:
+//!
+//! * Instant- and epoch-domain values mixed in one comparison or arithmetic
+//!   expression;
+//! * an Instant-domain value reaching an epoch persistence sink (the PR 9
+//!   shape);
+//! * an already-epoch value passed through `to_epoch_micros` (double
+//!   rebase — the anchor is added twice);
+//! * a store of one domain into a struct field registered as the other.
+//!
+//! The analysis is function-local and statement-segmented: bodies are split
+//! at `;`/`{`/`}`, each segment is scanned for domain-tagged atoms, and a
+//! `to_epoch_micros(..)` call consumes the atoms of its argument (its job is
+//! to cross the domains). Values of unknown domain never conflict with
+//! anything, so the pass under-approximates and stays zero-false-positive —
+//! the SQ001 house rule.
+
+use crate::checks::LintedFile;
+use crate::diag::{Code, Diagnostic};
+use crate::scanner::Token;
+use squery_common::names::{
+    domain_of_field, domain_of_producer, is_epoch_conversion, is_epoch_sink, ClockDomain,
+};
+use std::collections::{BTreeSet, HashMap};
+
+const ALLOW_CLOCK: &str = "lint:allow(clock_domain)";
+
+/// Methods that combine two time values (beyond the `+ - < > == !=` operator
+/// tokens): mixing domains through any of these is flagged.
+const MIXING_METHODS: &[&str] = &[
+    "abs_diff",
+    "checked_sub",
+    "cmp",
+    "max",
+    "min",
+    "saturating_add",
+    "saturating_sub",
+    "wrapping_sub",
+];
+
+/// A domain-tagged value occurrence inside one statement segment.
+#[derive(Debug, Clone)]
+struct Atom {
+    pos: usize,
+    line: u32,
+    domain: ClockDomain,
+    desc: String,
+}
+
+pub fn check_clock_domains(files: &[LintedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        let suppressed = |line: u32| {
+            f.scanned
+                .comments
+                .get(&line)
+                .is_some_and(|c| c.contains(ALLOW_CLOCK))
+        };
+        let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+        for func in &f.info.functions {
+            if crate::extract::in_test_region(&f.test_ranges, func.line) {
+                continue;
+            }
+            let toks = &f.scanned.tokens;
+            let (open, end) = func.body;
+            let end = end.min(toks.len());
+            // Domains of let-bound locals, accumulated across segments.
+            let mut vars: HashMap<String, ClockDomain> = HashMap::new();
+            let mut seg_start = open;
+            let mut i = open;
+            while i <= end {
+                let boundary = i == end
+                    || toks[i].is_punct(';')
+                    || toks[i].is_punct('{')
+                    || toks[i].is_punct('}');
+                if boundary {
+                    check_segment(toks, seg_start, i, &mut vars, &mut |line, msg| {
+                        if !suppressed(line) && seen.insert((line, msg.clone())) {
+                            diags.push(Diagnostic {
+                                code: Code::Sq006,
+                                file: f.path.clone(),
+                                line,
+                                message: msg,
+                            });
+                        }
+                    });
+                    seg_start = i + 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    diags
+}
+
+/// Analyze one statement segment `toks[s..e)`.
+///
+/// Top-level commas (struct-literal field inits, closure params) split the
+/// segment further: sibling struct fields may legitimately hold different
+/// domains (`CheckpointRecord` carries a process-relative `began_at_us`
+/// next to a persisted epoch `sealed_at_us`), and no comparison or
+/// arithmetic can span a comma. Commas nested in parens/brackets stay
+/// inside their expression, so `a.max(b)` is still one unit.
+fn check_segment(
+    toks: &[Token],
+    s: usize,
+    e: usize,
+    vars: &mut HashMap<String, ClockDomain>,
+    report: &mut impl FnMut(u32, String),
+) {
+    if s >= e {
+        return;
+    }
+    let mut depth = 0i32;
+    let mut sub_start = s;
+    for j in s..e {
+        if toks[j].is_punct('(') || toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(')') || toks[j].is_punct(']') {
+            depth -= 1;
+        } else if toks[j].is_punct(',') && depth <= 0 {
+            check_unit(toks, sub_start, j, vars, report);
+            sub_start = j + 1;
+        }
+    }
+    if sub_start > s {
+        check_unit(toks, sub_start, e, vars, report);
+        return;
+    }
+    check_unit(toks, s, e, vars, report);
+}
+
+/// Analyze one comma-free expression unit `toks[s..e)`.
+fn check_unit(
+    toks: &[Token],
+    s: usize,
+    e: usize,
+    vars: &mut HashMap<String, ClockDomain>,
+    report: &mut impl FnMut(u32, String),
+) {
+    if s >= e {
+        return;
+    }
+    let mut atoms = collect_atoms(toks, s, e, vars);
+
+    // `to_epoch_micros(..)` consumes its argument's atoms: an Instant atom
+    // inside is the blessed rebase; an epoch atom inside is a double rebase.
+    for (call, args_s, args_e) in call_spans(toks, s, e, is_epoch_conversion) {
+        for a in atoms.iter().filter(|a| a.pos >= args_s && a.pos < args_e) {
+            if a.domain == ClockDomain::Epoch {
+                report(
+                    a.line,
+                    format!(
+                        "{} ({}) passed to to_epoch_micros(): the value is already \
+                         epoch-domain, rebasing adds the clock anchor twice",
+                        a.desc,
+                        a.domain.name()
+                    ),
+                );
+            }
+        }
+        atoms.retain(|a| !(a.pos >= args_s && a.pos < args_e));
+        atoms.push(Atom {
+            pos: call,
+            line: toks[call].line,
+            domain: ClockDomain::Epoch,
+            desc: "to_epoch_micros(..)".into(),
+        });
+    }
+
+    // Epoch persistence sinks must not see Instant-domain values: this is
+    // the exact PR 9 bug (Instant seal stamp into the epoch WAL record).
+    for (_call, args_s, args_e) in call_spans(toks, s, e, is_epoch_sink) {
+        for a in atoms.iter().filter(|a| a.pos >= args_s && a.pos < args_e) {
+            if a.domain == ClockDomain::Instant {
+                report(
+                    a.line,
+                    format!(
+                        "{} (Instant-domain, process-relative) passed to epoch-domain \
+                         sink {}(): persisted stamps must be rebased with \
+                         to_epoch_micros() first",
+                        a.desc,
+                        toks[_call].ident().unwrap_or("?")
+                    ),
+                );
+            }
+        }
+        atoms.retain(|a| !(a.pos >= args_s && a.pos < args_e));
+    }
+
+    // Field stores: `.field = expr` where the field is domain-registered.
+    for k in s..e {
+        let Some(field) = toks[k].ident() else {
+            continue;
+        };
+        let Some(fdom) = domain_of_field(field) else {
+            continue;
+        };
+        if k == 0 || !toks[k - 1].is_punct('.') {
+            continue;
+        }
+        let is_store = toks.get(k + 1).is_some_and(|t| t.is_punct('='))
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct('='));
+        if !is_store {
+            continue;
+        }
+        for a in atoms.iter().filter(|a| a.pos > k + 1 && a.domain != fdom) {
+            report(
+                a.line,
+                format!(
+                    "{} ({}) stored into {} field .{}",
+                    a.desc,
+                    a.domain.name(),
+                    fdom.name(),
+                    field
+                ),
+            );
+        }
+    }
+
+    // Struct-literal field inits: `field: expr,` for registered fields.
+    for k in s..e {
+        let Some(field) = toks[k].ident() else {
+            continue;
+        };
+        let Some(fdom) = domain_of_field(field) else {
+            continue;
+        };
+        let colon = toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && (k == 0 || !(toks[k - 1].is_punct(':') || toks[k - 1].is_punct('.')));
+        if !colon {
+            continue;
+        }
+        // Expression runs to the next top-level `,` (or segment end).
+        let mut depth = 0i32;
+        let mut stop = e;
+        for (j, t) in toks.iter().enumerate().take(e).skip(k + 2) {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth <= 0 {
+                stop = j;
+                break;
+            }
+        }
+        for a in atoms
+            .iter()
+            .filter(|a| a.pos > k + 1 && a.pos < stop && a.domain != fdom)
+        {
+            report(
+                a.line,
+                format!(
+                    "{} ({}) used to initialize {} field {}:",
+                    a.desc,
+                    a.domain.name(),
+                    fdom.name(),
+                    field
+                ),
+            );
+        }
+    }
+
+    // Cross-domain mixing: both domains present in one segment that also
+    // compares or combines values.
+    let instant = atoms.iter().find(|a| a.domain == ClockDomain::Instant);
+    let epoch = atoms.iter().find(|a| a.domain == ClockDomain::Epoch);
+    if let (Some(ia), Some(ea)) = (instant, epoch) {
+        if has_mixing_op(toks, s, e) {
+            let line = ia.line.max(ea.line);
+            report(
+                line,
+                format!(
+                    "Instant-domain {} mixed with epoch-domain {} in one expression: \
+                     the domains differ by the clock's epoch anchor, comparing or \
+                     combining them is meaningless; rebase with to_epoch_micros()",
+                    ia.desc, ea.desc
+                ),
+            );
+        }
+    }
+
+    // Taint propagation: `let name = expr;` and `name = expr;` bind the
+    // name to the expression's domain (or clear it when indeterminate).
+    let binding = let_binding(toks, s, e).or_else(|| plain_assign(toks, s, e));
+    if let Some((name, rhs_from)) = binding {
+        let rhs: Vec<&Atom> = atoms.iter().filter(|a| a.pos >= rhs_from).collect();
+        let dom = match rhs.split_first() {
+            Some((first, rest)) if rest.iter().all(|a| a.domain == first.domain) => {
+                Some(first.domain)
+            }
+            _ => None,
+        };
+        match dom {
+            Some(d) => {
+                vars.insert(name, d);
+            }
+            None => {
+                vars.remove(&name);
+            }
+        }
+    }
+}
+
+/// Collect the domain-tagged atoms of `toks[s..e)`.
+fn collect_atoms(
+    toks: &[Token],
+    s: usize,
+    e: usize,
+    vars: &HashMap<String, ClockDomain>,
+) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for i in s..e {
+        let Some(id) = toks[i].ident() else { continue };
+        let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let dotted = i > 0 && toks[i - 1].is_punct('.');
+        if called {
+            if let Some(d) = domain_of_producer(id) {
+                atoms.push(Atom {
+                    pos: i,
+                    line: toks[i].line,
+                    domain: d,
+                    desc: format!("{id}()"),
+                });
+            }
+        } else if dotted {
+            if let Some(d) = domain_of_field(id) {
+                atoms.push(Atom {
+                    pos: i,
+                    line: toks[i].line,
+                    domain: d,
+                    desc: format!(".{id}"),
+                });
+            }
+        } else if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || (i > 0 && toks[i - 1].is_punct(':')))
+        {
+            // Bare local read (not a struct-field label, not a path segment).
+            if let Some(d) = vars.get(id) {
+                atoms.push(Atom {
+                    pos: i,
+                    line: toks[i].line,
+                    domain: *d,
+                    desc: format!("`{id}`"),
+                });
+            }
+        }
+    }
+    atoms
+}
+
+/// Spans of calls `f(args)` in `toks[s..e)` where `pred(f)`; returns
+/// `(call_pos, args_start, args_end)` with args exclusive of the parens.
+fn call_spans(
+    toks: &[Token],
+    s: usize,
+    e: usize,
+    pred: impl Fn(&str) -> bool,
+) -> Vec<(usize, usize, usize)> {
+    let mut spans = Vec::new();
+    for i in s..e {
+        let Some(id) = toks[i].ident() else { continue };
+        if !pred(id) || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut close = e;
+        for (j, t) in toks.iter().enumerate().take(e).skip(i + 1) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        spans.push((i, i + 2, close));
+    }
+    spans
+}
+
+/// Does the segment compare or arithmetically combine values? (`+ - < > %`,
+/// `==`/`!=`, or a combining method like `saturating_sub`/`min`.)
+fn has_mixing_op(toks: &[Token], s: usize, e: usize) -> bool {
+    for i in s..e {
+        if toks[i].is_punct('+') || toks[i].is_punct('-') || toks[i].is_punct('%') {
+            return true;
+        }
+        if (toks[i].is_punct('<') || toks[i].is_punct('>'))
+            && !toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('<') || t.is_punct('>'))
+        {
+            // Best-effort: single < or > (shift/generic brackets come in
+            // type positions, which carry no domain atoms anyway).
+            return true;
+        }
+        if toks[i].is_punct('=') && toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+            return true;
+        }
+        if toks[i].is_punct('!') && toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+            return true;
+        }
+        if let Some(id) = toks[i].ident() {
+            if MIXING_METHODS.contains(&id) && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `let NAME = …` in this segment: the binding name and the token index the
+/// RHS starts at.
+fn let_binding(toks: &[Token], s: usize, e: usize) -> Option<(String, usize)> {
+    if s >= e || !toks[s].is_ident("let") {
+        return None;
+    }
+    let mut name = None;
+    for (j, t) in toks.iter().enumerate().take(e).skip(s + 1) {
+        if t.is_punct('=') {
+            return name.map(|n| (n, j + 1));
+        }
+        if let Some(b) = t.ident() {
+            if name.is_none() && b != "mut" && b != "ref" && b != "_" {
+                name = Some(b.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// `name = …` local reassignment (not `==`, not a field store).
+fn plain_assign(toks: &[Token], s: usize, e: usize) -> Option<(String, usize)> {
+    if s + 2 >= e {
+        return None;
+    }
+    let name = toks[s].ident()?;
+    if toks[s + 1].is_punct('=') && !toks[s + 2].is_punct('=') {
+        Some((name.to_string(), s + 2))
+    } else {
+        None
+    }
+}

@@ -43,6 +43,22 @@ pub const PANIC_SOURCE_METHODS: &[&str] = &[
     "join",
 ];
 
+/// Methods whose call can block the current thread indefinitely (or for an
+/// externally-controlled time): channel receives, `Condvar` waits, thread
+/// joins, file syncs (the WAL fsync path), and channel sends — the vendored
+/// channel's bounded `send` blocks when the buffer is full. `join` counts
+/// only with no arguments (`Vec::join(sep)` / `Path::join(p)` take one).
+pub const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "join",
+    "send",
+    "sync_data",
+    "sync_all",
+];
+
 /// One lock acquisition while another class was held: a lock-order edge.
 #[derive(Debug, Clone)]
 pub struct HeldEdge {
@@ -61,6 +77,16 @@ pub struct HeldCall {
     pub call_line: u32,
 }
 
+/// A blocking operation executed while a lock class was held (SQ005 site).
+#[derive(Debug, Clone)]
+pub struct HeldBlock {
+    pub held: LockClass,
+    pub held_line: u32,
+    /// The blocking method (`recv`, `join`, `wait`, `sync_data`, …).
+    pub op: String,
+    pub op_line: u32,
+}
+
 /// Everything extracted from one function body.
 #[derive(Debug, Clone)]
 pub struct FunctionInfo {
@@ -74,6 +100,13 @@ pub struct FunctionInfo {
     pub edges: Vec<HeldEdge>,
     /// Calls made while a class was held (inter-procedural edge seeds).
     pub held_calls: Vec<HeldCall>,
+    /// Blocking operations anywhere in the body (SQ005 may-block seeds).
+    pub blocking: Vec<(String, u32)>,
+    /// Blocking operations executed while a class was held (SQ005 sites).
+    pub held_blocking: Vec<HeldBlock>,
+    /// Token-index range of the body (`tokens[open..end]`), for passes that
+    /// re-walk the body (SQ006's taint scan).
+    pub body: (usize, usize),
 }
 
 /// An `.unwrap()`/`.expect(` on a lock/channel/join result (SQ002 site).
@@ -293,8 +326,9 @@ pub fn extract(file_basename: &str, scanned: &Scanned) -> FileInfo {
                     j += 1;
                 }
                 if let Some(open) = opened {
-                    let (func, end) =
+                    let (mut func, end) =
                         extract_function(file_basename, toks, name.to_string(), fn_line, open);
+                    func.body = (open, end.min(toks.len()));
                     collect_flat_sites(&toks[open..end.min(toks.len())], &mut info);
                     info.functions.push(func);
                     i = end;
@@ -335,6 +369,9 @@ fn extract_function(
         calls: Vec::new(),
         edges: Vec::new(),
         held_calls: Vec::new(),
+        blocking: Vec::new(),
+        held_blocking: Vec::new(),
+        body: (open, open),
     };
     let mut holds: Vec<Hold> = Vec::new();
     let mut depth = 0i32;
@@ -433,6 +470,25 @@ fn extract_function(
                     i += 1;
                     continue;
                 }
+                if is_call && is_method && BLOCKING_METHODS.contains(&id.as_str()) {
+                    // `join` blocks only as a thread join — no arguments.
+                    // (`Vec::join(sep)`, `Path::join(p)` take one and don't.)
+                    let is_blocking =
+                        id != "join" || toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+                    if is_blocking {
+                        func.blocking.push((id.clone(), t.line));
+                        for h in &holds {
+                            func.held_blocking.push(HeldBlock {
+                                held: h.class,
+                                held_line: h.line,
+                                op: id.clone(),
+                                op_line: t.line,
+                            });
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
                 if is_call && !KEYWORDS.contains(&id.as_str()) {
                     // Only calls whose target is resolvable by name alone
                     // propagate: `self.method()`, `Path::func()`, and bare
@@ -469,7 +525,7 @@ fn extract_function(
 /// Given the index of the `.` before an acquire method, find the receiver's
 /// field identifier, walking back over one `[…]` index expression
 /// (`stripes[i].lock()` → `stripes`, `self.parts[p].read()` → `parts`).
-fn receiver_ident(toks: &[Token], dot: usize) -> Option<&str> {
+pub(crate) fn receiver_ident(toks: &[Token], dot: usize) -> Option<&str> {
     if dot == 0 {
         return None;
     }

@@ -9,14 +9,24 @@
 //!   `// lint:allow(panic_on_poison)` allowlist
 //! - **SQ003** telemetry names missing from `crates/common/src/names.rs`
 //! - **SQ004** `unsafe` without a `// SAFETY:` justification
+//! - **SQ005** blocking ops (channel recv/send, `Condvar` waits, thread
+//!   joins, fsync) while a named lock guard is live, inter-procedural
+//!   through the SQ001 call-resolution rule ([`checks`])
+//! - **SQ006** clock-domain taint: Instant-domain vs epoch-domain micros
+//!   mixed in one expression or leaked into an epoch persistence sink
+//!   ([`domains`])
+//! - **SQ007** atomics handoff audit: undeclared cross-thread atomics and
+//!   `Relaxed` accesses on flag-class atomics ([`atomics`])
 
+pub mod atomics;
 pub mod checks;
 pub mod diag;
+pub mod domains;
 pub mod extract;
 pub mod scanner;
 
 pub use checks::LintedFile;
-pub use diag::{render_json, Code, Diagnostic};
+pub use diag::{pass_counts, render_json, Code, Diagnostic};
 
 use std::path::{Path, PathBuf};
 
@@ -212,6 +222,226 @@ mod tests {
 
         let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
         let diags = lint_sources(&[(PathBuf::from("a.rs"), good.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn blocking_under_lock_direct_and_suppressed() {
+        let bad = r#"
+            fn drain(&self) {
+                let g = self.in_progress.lock();
+                let _ = self.rx.recv();
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), bad.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq005);
+        assert!(diags[0].message.contains("recv"));
+        assert!(diags[0].message.contains("RegistryInProgress"));
+
+        let ok = r#"
+            fn drain(&self) {
+                let g = self.in_progress.lock();
+                let _ = self.rx.recv(); // lint:allow(blocking_under_lock)
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), ok.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn blocking_after_guard_release_is_clean() {
+        let src = r#"
+            fn drain(&self) {
+                let g = self.in_progress.lock();
+                drop(g);
+                let _ = self.rx.recv();
+            }
+            fn labels(&self) -> String {
+                let g = self.committed.lock();
+                g.names.join(", ")
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn blocking_under_lock_interprocedural() {
+        let src = r#"
+            fn commit(&self) {
+                let g = self.in_progress.lock();
+                self.wait_for_acks();
+            }
+            fn wait_for_acks(&self) {
+                let _ = self.ack_rx.recv_timeout(t);
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq005);
+        assert!(diags[0].message.contains("wait_for_acks"));
+        assert!(diags[0].message.contains("recv_timeout"));
+    }
+
+    #[test]
+    fn instant_value_into_epoch_sink_is_flagged() {
+        // The minimized PR 9 freshness bug: a process-relative seal stamp
+        // persisted into the epoch-domain WAL seal record.
+        let bad = r#"
+            fn seal(&self, ssid: u64, low_wm: u64) {
+                let sealed_at_us = self.clock.now_micros();
+                let _ = self.wal_seal_with(ssid, low_wm, sealed_at_us);
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), bad.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq006);
+        assert!(diags[0].message.contains("wal_seal_with"));
+
+        let ok = r#"
+            fn seal(&self, ssid: u64, low_wm: u64) {
+                let watermark_us = self.clock.to_epoch_micros(low_wm);
+                let sealed_at_us = self.clock.epoch_micros();
+                let _ = self.wal_seal_with(ssid, watermark_us, sealed_at_us);
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), ok.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn cross_domain_compare_and_double_rebase_are_flagged() {
+        let src = r#"
+            fn stale(&self) -> bool {
+                let sealed = self.clock.now_micros();
+                let now = self.clock.epoch_micros();
+                now.saturating_sub(sealed) > 1000
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert!(
+            diags.iter().any(|d| d.code == Code::Sq006),
+            "unexpected: {diags:?}"
+        );
+
+        let rebase = r#"
+            fn anchor(&self) -> u64 {
+                let e = self.clock.epoch_micros();
+                self.clock.to_epoch_micros(e)
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), rebase.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert!(diags[0].message.contains("twice"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn sibling_struct_fields_of_different_domains_are_clean() {
+        // CheckpointRecord carries a process-relative began_at_us next to a
+        // persisted epoch sealed_at_us; field inits are independent units.
+        let src = r#"
+            fn record(&self) -> CheckpointRecord {
+                let t0 = self.clock.now_micros();
+                let t1 = self.clock.now_micros();
+                let sealed_at_us = self.clock.epoch_micros();
+                CheckpointRecord {
+                    began_at_us: t0,
+                    phase1_us: t1 - t0,
+                    sealed_at_us,
+                }
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn wrong_domain_field_store_is_flagged() {
+        let src = r#"
+            fn stamp(&mut self) {
+                self.sealed_at_us = self.clock.now_micros();
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq006);
+        assert!(diags[0].message.contains("sealed_at_us"));
+    }
+
+    #[test]
+    fn undeclared_atomic_is_flagged_once() {
+        let src = r#"
+            struct S {
+                mystery_bit: AtomicBool,
+            }
+            fn mk() -> S {
+                S { mystery_bit: AtomicBool::new(false) }
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq007);
+        assert!(diags[0].message.contains("mystery_bit"));
+    }
+
+    #[test]
+    fn relaxed_on_flag_class_is_flagged_counters_are_not() {
+        let bad = r#"
+            fn poisoned(&self) -> bool {
+                self.poison.load(Ordering::Relaxed)
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), bad.to_string())]);
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].code, Code::Sq007);
+        assert!(diags[0].message.contains("flag-class"));
+
+        let ok = r#"
+            fn poisoned(&self) -> bool {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.poison.load(Ordering::Acquire)
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), ok.to_string())]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn relaxed_through_unregistered_alias_is_flagged() {
+        let src = r#"
+            fn spin(stop2: &AtomicBool) {
+                while !stop2.load(Ordering::Relaxed) {}
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
+        // Both the undeclared parameter name and the Relaxed access through
+        // it are findings: aliases must reuse the registered name.
+        assert!(
+            diags.iter().all(|d| d.code == Code::Sq007) && !diags.is_empty(),
+            "unexpected: {diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.message.contains("stop2")));
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_new_passes() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let g = self.in_progress.lock();
+                    let _ = rx.recv();
+                    let bogus = AtomicBool::new(false);
+                    bogus.store(true, Ordering::Relaxed);
+                    let a = clock.now_micros();
+                    let b = clock.epoch_micros();
+                    assert!(b > a);
+                }
+            }
+        "#;
+        let diags = lint_sources(&[(PathBuf::from("a.rs"), src.to_string())]);
         assert!(diags.is_empty(), "unexpected: {diags:?}");
     }
 

@@ -1,5 +1,5 @@
 //! `squery-lint` binary: scan the workspace's own Rust sources and report
-//! SQ001–SQ004 findings. Exit code 1 when anything is found, 2 on usage or
+//! SQ001–SQ007 findings. Exit code 1 when anything is found, 2 on usage or
 //! I/O errors.
 
 use std::path::PathBuf;
@@ -17,6 +17,12 @@ fn usage() -> ! {
                   the // lint:allow(panic_on_poison) allowlist\n\
            SQ003  telemetry names missing from crates/common/src/names.rs\n\
            SQ004  unsafe without a // SAFETY: comment\n\
+           SQ005  blocking ops (recv/send/wait/join/fsync) under a named\n\
+                  lock guard, outside // lint:allow(blocking_under_lock)\n\
+           SQ006  Instant-domain vs epoch-domain micros mixed or leaked\n\
+                  into an epoch persistence sink\n\
+           SQ007  cross-thread atomics missing from the names.rs atomics\n\
+                  registry, or Relaxed accesses on flag-class atomics\n\
          \n\
            --root <dir>  workspace root to scan (default: .)\n\
            --json        machine-readable report on stdout"
@@ -56,6 +62,9 @@ fn main() -> ExitCode {
     } else {
         for d in &diags {
             println!("{d}");
+        }
+        for (code, n) in squery_lint::pass_counts(&diags) {
+            eprintln!("squery-lint: {code} {:<24} {n} finding(s)", code.summary());
         }
         eprintln!(
             "squery-lint: {} file(s) scanned, {} finding(s)",

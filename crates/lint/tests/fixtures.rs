@@ -118,8 +118,41 @@ fn json_report_is_well_formed() {
     let diags = squery_lint::lint_sources(&sources);
     let json = squery_lint::render_json(&diags, sources.len());
     assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-    assert!(json.contains("\"files_scanned\": 4"));
-    for code in ["SQ001", "SQ002", "SQ003", "SQ004"] {
+    assert!(json.contains("\"files_scanned\": 7"));
+    for code in [
+        "SQ001", "SQ002", "SQ003", "SQ004", "SQ005", "SQ006", "SQ007",
+    ] {
         assert!(json.contains(code), "missing {code} in {json}");
     }
+    assert!(
+        json.contains("\"passes\""),
+        "missing per-pass counts: {json}"
+    );
+}
+
+#[test]
+fn seal_fixture_reproduces_the_pr9_freshness_bug() {
+    // Before SQ006 existed, the Instant-domain seal stamp flowed into the
+    // epoch-domain WAL seal record unnoticed and shipped. The pass must
+    // catch the minimized repro.
+    let sources = fixture_sources("bad");
+    let seal = sources
+        .iter()
+        .find(|(p, _)| p.ends_with("clock_domain_seal.rs"))
+        .expect("clock_domain_seal.rs fixture");
+    let diags = squery_lint::lint_sources(std::slice::from_ref(seal));
+    let sq006: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == squery_lint::Code::Sq006)
+        .collect();
+    assert!(
+        sq006
+            .iter()
+            .any(|d| d.message.contains("wal_seal_with") && d.message.contains("sealed_at_us")),
+        "SQ006 must flag the seal sink: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.code == squery_lint::Code::Sq006),
+        "only SQ006 should fire on this fixture: {diags:?}"
+    );
 }

@@ -1,0 +1,10 @@
+// SQ007 fixture: an undeclared cross-thread atomic, plus a Relaxed load
+// on a flag-class atomic that needs Acquire to pair with its publisher.
+
+pub struct Shared {
+    mystery_bit: AtomicBool,
+}
+
+pub fn poisoned(shared: &Shared) -> bool {
+    shared.poison.load(Ordering::Relaxed)
+}

@@ -1,0 +1,26 @@
+// SQ005 fixture: blocking operations while a named lock guard is live,
+// both directly and through a resolved callee.
+
+pub struct Coordinator {
+    in_progress: Mutex<Option<u64>>,
+    committed: Mutex<Vec<u64>>,
+    ack_rx: Receiver<u64>,
+}
+
+impl Coordinator {
+    pub fn commit(&self) {
+        let guard = self.in_progress.lock();
+        let _ = self.ack_rx.recv();
+        drop(guard);
+    }
+
+    pub fn rotate(&self) {
+        let committed = self.committed.lock();
+        self.wait_for_acks();
+        let _ = committed.len();
+    }
+
+    fn wait_for_acks(&self) {
+        let _ = self.ack_rx.recv_timeout(ACK_TIMEOUT);
+    }
+}

@@ -1,0 +1,18 @@
+// SQ006 fixture: the PR 9 freshness bug, minimized. The seal stamp comes
+// from the process-relative Instant clock but is persisted through the
+// epoch-domain WAL seal sink, and a staleness check compares across
+// domains.
+
+impl Coordinator {
+    pub fn seal(&mut self, ssid: u64, low_wm: u64) {
+        let watermark_us = self.clock.to_epoch_micros(low_wm);
+        let sealed_at_us = self.clock.now_micros();
+        let _ = self.grid.wal_seal_with(ssid, watermark_us, sealed_at_us);
+    }
+
+    pub fn stale_secs(&self) -> u64 {
+        let sealed = self.clock.now_micros();
+        let now = self.clock.epoch_micros();
+        now.saturating_sub(sealed) / 1_000_000
+    }
+}

@@ -1,0 +1,16 @@
+// Clean fixture: atomics use registered names; flag-class handoffs use
+// Acquire/Release (or SeqCst), counters may be Relaxed.
+
+pub struct Shared {
+    poison: AtomicBool,
+    dropped: AtomicU64,
+}
+
+pub fn crash(shared: &Shared) {
+    shared.poison.store(true, Ordering::SeqCst);
+}
+
+pub fn poisoned(shared: &Shared) -> bool {
+    shared.dropped.fetch_add(1, Ordering::Relaxed);
+    shared.poison.load(Ordering::Acquire)
+}

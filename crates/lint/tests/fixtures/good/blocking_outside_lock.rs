@@ -1,0 +1,24 @@
+// Clean fixture: blocking ops happen after guard release, `join(", ")`
+// is string joining rather than thread join, and an annotated wait under
+// lock is allowed.
+
+impl Coordinator {
+    pub fn drain(&self) {
+        let guard = self.in_progress.lock();
+        let pending = guard.len();
+        drop(guard);
+        let _ = self.ack_rx.recv();
+        let _ = pending;
+    }
+
+    pub fn labels(&self) -> String {
+        let committed = self.committed.lock();
+        committed.names.join(", ")
+    }
+
+    pub fn flush(&self) {
+        let guard = self.in_progress.lock();
+        let _ = self.ack_rx.recv(); // lint:allow(blocking_under_lock)
+        drop(guard);
+    }
+}

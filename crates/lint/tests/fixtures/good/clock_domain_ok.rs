@@ -1,0 +1,23 @@
+// Clean fixture: instant readings are rebased through `to_epoch_micros`
+// before hitting epoch-domain sinks, and sibling struct fields may carry
+// different domains (process-relative began_at_us next to the persisted
+// epoch sealed_at_us).
+
+impl Coordinator {
+    pub fn seal(&mut self, ssid: u64, low_wm: u64) {
+        let watermark_us = self.clock.to_epoch_micros(low_wm);
+        let sealed_at_us = self.clock.epoch_micros();
+        let _ = self.grid.wal_seal_with(ssid, watermark_us, sealed_at_us);
+    }
+
+    pub fn record(&self) -> CheckpointRecord {
+        let t0 = self.clock.now_micros();
+        let t1 = self.clock.now_micros();
+        let sealed_at_us = self.clock.epoch_micros();
+        CheckpointRecord {
+            began_at_us: t0,
+            phase1_us: t1 - t0,
+            sealed_at_us,
+        }
+    }
+}

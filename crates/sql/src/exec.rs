@@ -325,7 +325,7 @@ pub(crate) fn parallel_scan<R: Send>(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                if failed.load(AtomicOrdering::Relaxed) {
+                if failed.load(AtomicOrdering::Acquire) {
                     return;
                 }
                 let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
@@ -369,7 +369,7 @@ pub(crate) fn parallel_scan<R: Send>(
                 match out {
                     Ok(r) => results.lock()[i] = Some(r),
                     Err(e) => {
-                        failed.store(true, AtomicOrdering::Relaxed);
+                        failed.store(true, AtomicOrdering::Release);
                         let mut g = first_error.lock();
                         if g.is_none() {
                             *g = Some(e);
@@ -436,7 +436,7 @@ pub(crate) fn parallel_scan_batches<R: Send>(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                if failed.load(AtomicOrdering::Relaxed) {
+                if failed.load(AtomicOrdering::Acquire) {
                     return;
                 }
                 let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
@@ -486,7 +486,7 @@ pub(crate) fn parallel_scan_batches<R: Send>(
                 match out {
                     Ok(r) => results.lock()[i] = Some(r),
                     Err(e) => {
-                        failed.store(true, AtomicOrdering::Relaxed);
+                        failed.store(true, AtomicOrdering::Release);
                         let mut g = first_error.lock();
                         if g.is_none() {
                             *g = Some(e);

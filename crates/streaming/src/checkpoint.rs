@@ -260,7 +260,7 @@ pub fn run_checkpoint(ctx: &CoordinatorContext) -> SqResult<SnapshotId> {
                 if acked >= live {
                     break;
                 }
-                if ctx.shared.poison.load(Ordering::Relaxed) {
+                if ctx.shared.poison.load(Ordering::Acquire) {
                     break;
                 }
             }
@@ -408,7 +408,7 @@ pub fn run_checkpoint_with_retry(ctx: &CoordinatorContext) -> SqResult<SnapshotI
                 return Ok(ssid);
             }
             Err(e) => {
-                let unrecoverable = ctx.shared.poison.load(Ordering::Relaxed)
+                let unrecoverable = ctx.shared.poison.load(Ordering::Acquire)
                     || ctx.shared.coordinator_dead.load(Ordering::SeqCst)
                     || ctx.shared.dead_workers.load(Ordering::Acquire) > 0;
                 if unrecoverable || attempt >= ctx.retries {
@@ -476,7 +476,7 @@ impl Coordinator {
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                             if interval.is_some()
-                                && !ctx.shared.poison.load(Ordering::Relaxed)
+                                && !ctx.shared.poison.load(Ordering::Acquire)
                                 && !ctx.shared.coordinator_dead.load(Ordering::SeqCst)
                                 && ctx.shared.live_instances.load(Ordering::Acquire) > 0
                             {

@@ -158,17 +158,19 @@ impl StatsSampler {
     fn start(grid: Arc<Grid>, interval: Duration) -> StatsSampler {
         grid.arm_stats(true);
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let thread = spawn_named("stats-sampler".to_string(), move || {
-            let tick = Duration::from_millis(10).min(interval);
-            let mut last = Instant::now();
-            while !stop2.load(Ordering::Relaxed) {
-                // Sleep in short slices so a dropping StreamEnv never waits
-                // a whole interval for the join.
-                std::thread::sleep(tick);
-                if last.elapsed() >= interval {
-                    grid.stats().sample(&grid);
-                    last = Instant::now();
+        let thread = spawn_named("stats-sampler".to_string(), {
+            let stop = Arc::clone(&stop);
+            move || {
+                let tick = Duration::from_millis(10).min(interval);
+                let mut last = Instant::now();
+                while !stop.load(Ordering::Acquire) {
+                    // Sleep in short slices so a dropping StreamEnv never
+                    // waits a whole interval for the join.
+                    std::thread::sleep(tick);
+                    if last.elapsed() >= interval {
+                        grid.stats().sample(&grid);
+                        last = Instant::now();
+                    }
                 }
             }
         });
@@ -181,7 +183,7 @@ impl StatsSampler {
 
 impl Drop for StatsSampler {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -737,14 +739,6 @@ impl SupervisedJob {
                         monitor_status.lock().restarts
                     };
                     if attempt >= policy.max_restarts {
-                        {
-                            let _lo = lockorder::acquired(LockClass::SupervisorStatus);
-                            let mut st = monitor_status.lock();
-                            st.gave_up = true;
-                            if st.last_error.is_none() {
-                                st.last_error = failure;
-                            }
-                        }
                         grid.telemetry().event(
                             EventKind::SupervisorGaveUp,
                             None,
@@ -753,13 +747,24 @@ impl SupervisedJob {
                             format!("restart budget of {} exhausted", policy.max_restarts),
                         );
                         // Take the job fully down (joins every remaining
-                        // worker) before resolving its faults.
+                        // worker) and stamp its fault records BEFORE
+                        // publishing the terminal status: an observer that
+                        // sees `gave_up` must also see the resolved
+                        // outcome, never a `pending` record.
                         {
                             let _lo = lockorder::acquired(LockClass::SupervisorJob);
                             monitor_job.lock().crash();
                         }
                         if let Some(injector) = grid.fault_injector() {
                             injector.resolve_pending("gave_up");
+                        }
+                        {
+                            let _lo = lockorder::acquired(LockClass::SupervisorStatus);
+                            let mut st = monitor_status.lock();
+                            st.gave_up = true;
+                            if st.last_error.is_none() {
+                                st.last_error = failure;
+                            }
                         }
                         break;
                     }

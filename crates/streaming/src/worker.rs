@@ -17,7 +17,7 @@ use crate::source::{Source, SourceStatus};
 use crate::state::StateBackend;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
-use squery_common::fault::{FaultAction, FaultInjector};
+use squery_common::fault::{FaultAction, FaultInjector, INJECTED_PANIC_PREFIX};
 use squery_common::metrics::SharedHistogram;
 use squery_common::telemetry::{Counter, EventKind, Gauge, MetricsRegistry};
 use squery_common::time::Clock;
@@ -177,7 +177,10 @@ impl Shared {
     }
 
     fn poisoned(&self) -> bool {
-        self.poison.load(Ordering::Relaxed)
+        // Acquire pairs with the SeqCst store in `crash()`: a worker that
+        // observes the poison flag also observes the failure record that
+        // was published before it.
+        self.poison.load(Ordering::Acquire)
     }
 
     /// Record a caught worker panic. Key locks and channel senders were
@@ -214,7 +217,7 @@ impl Shared {
         match injector.on_worker_record(operator, instance, nth) {
             Some(FaultAction::PanicWorker) => {
                 self.fault_event(operator, None, format!("panic at record {nth}"));
-                panic!("injected fault: worker panic at record {nth}");
+                panic!("{INJECTED_PANIC_PREFIX}worker panic at record {nth}");
             }
             Some(FaultAction::StallWorker { micros }) => {
                 self.fault_event(operator, None, format!("stall {micros}us at record {nth}"));
@@ -232,7 +235,7 @@ impl Shared {
             injector.on_worker_post_ack(operator, instance, ssid.0)
         {
             self.fault_event(operator, Some(ssid.0), "killed after phase-1 ack".into());
-            panic!("injected fault: worker killed between phases of checkpoint {ssid}");
+            panic!("{INJECTED_PANIC_PREFIX}worker killed between phases of checkpoint {ssid}");
         }
     }
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, static analysis, the full test suite,
 # the chaos soak, the trace-export smoke, the state-statistics smoke, the
-# SQL benchmark-regression gate, the WAL kill-restart durability soak, and
-# the watermark/freshness smoke.
+# SQL benchmark-regression gate, the WAL kill-restart durability soak, the
+# watermark/freshness smoke, and the ThreadSanitizer pass.
 # Usage: scripts/check.sh [--fix] [--list] [--only STEP]
 #   --fix         apply rustfmt instead of only checking
 #   --list        print the runnable step names, one per line, and exit
@@ -16,7 +16,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-steps="fmt clippy lint test chaos trace stats bench durability freshness"
+steps="fmt clippy lint test chaos trace stats bench durability freshness tsan"
 
 fix=0
 only=""
@@ -61,7 +61,9 @@ run_clippy() {
 run_lint() {
     # squery-lint: the workspace's own static analysis (SQ001 lock-order
     # cycles, SQ002 panic hygiene, SQ003 telemetry-name registry, SQ004
-    # unsafe audit). Gate is zero findings.
+    # unsafe audit, SQ005 blocking-under-lock, SQ006 clock-domain taint,
+    # SQ007 atomics handoff audit). Gate is zero findings; the binary
+    # prints a pass-by-pass summary before the total.
     echo "==> squery-lint" &&
         cargo run --release -q -p squery-lint --bin squery-lint -- --root .
 }
@@ -176,6 +178,35 @@ run_freshness() {
             --smoke --json "$out"
 }
 
+run_tsan() {
+    # ThreadSanitizer pass (DESIGN.md §9): the streaming crate's unit tests
+    # (checkpoint + worker handoffs) and a short chaos seed slice compiled
+    # with -Zsanitizer=thread. The prebuilt std is uninstrumented — hence
+    # -Cunsafe-allow-abi-mismatch and the libtest-channel suppressions in
+    # scripts/tsan.supp; every squery crate IS instrumented and never
+    # suppressed. Builds into target/tsan so sanitized artifacts don't mix
+    # with the normal cache. Skips (exit 0) when no nightly toolchain is
+    # installed, since -Zsanitizer is nightly-only.
+    local log="${TSAN_LOG:-target/tsan/tsan.log}"
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "==> tsan: no nightly toolchain installed, skipping (-Zsanitizer is nightly-only)"
+        return 0
+    fi
+    local rustflags="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer"
+    local topts="suppressions=$PWD/scripts/tsan.supp"
+    local host
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    echo "==> tsan (streaming unit tests + chaos slice, -> $log)" &&
+        mkdir -p "$(dirname "$log")" &&
+        RUSTFLAGS="$rustflags" CARGO_TARGET_DIR=target/tsan TSAN_OPTIONS="$topts" \
+            cargo +nightly test --offline -q -p squery-streaming --lib \
+            --target "$host" -- --nocapture 2>&1 | tee "$log" &&
+        RUSTFLAGS="$rustflags" CARGO_TARGET_DIR=target/tsan TSAN_OPTIONS="$topts" \
+            cargo +nightly run --offline -q -p squery-bench --bin chaos \
+            --target "$host" -- --seeds 3 --base-seed 1 --time-budget-secs 120 \
+            2>&1 | tee -a "$log"
+}
+
 run_selftest_fail() {
     # Hidden step, not in --list: CI's negative test that a failing step's
     # exit code really reaches the caller. Must exit 42.
@@ -196,6 +227,7 @@ case "$only" in
     bench) run_bench; rc=$? ;;
     durability) run_durability; rc=$? ;;
     freshness) run_freshness; rc=$? ;;
+    tsan) run_tsan; rc=$? ;;
     selftest-fail) run_selftest_fail; rc=$? ;;
     *)
         echo "unknown step '$only' (known: ${steps// /, })" >&2

@@ -4,12 +4,21 @@
 //! receives. Implemented over `Mutex<VecDeque>` + `Condvar`; correctness
 //! over raw speed — the engine's hot paths batch work per message, so
 //! channel overhead is not the bottleneck at this scale.
+//!
+//! Like the parking_lot shim, the channel carries a ThreadSanitizer-visible
+//! happens-before token (`Inner::hb`): the std mutex/condvar synchronize
+//! through futexes TSan cannot intercept, so without it every message
+//! handoff under `-Zsanitizer=thread` reports as a false race. Every path
+//! `Acquire`-loads the token right after taking the queue lock (and after a
+//! condvar wait reacquires it) and `Release`-bumps it just before the lock
+//! is released (including into a wait) — the same unlock→lock edge the real
+//! mutex provides, so no genuine race is masked.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
     use std::time::{Duration, Instant};
 
     struct Inner<T> {
@@ -21,6 +30,42 @@ pub mod channel {
         capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// TSan happens-before token for the futex-backed queue mutex.
+        hb: AtomicUsize,
+    }
+
+    impl<T> Inner<T> {
+        fn lock_queue(&self) -> MutexGuard<'_, VecDeque<T>> {
+            let queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            self.hb.load(Ordering::Acquire);
+            queue
+        }
+
+        fn unlock_queue(&self, queue: MutexGuard<'_, VecDeque<T>>) {
+            self.hb.fetch_add(1, Ordering::Release);
+            drop(queue);
+        }
+
+        /// Wait on `cv`, keeping the hb token consistent across the
+        /// release/reacquire the wait performs internally.
+        fn wait_on<'a>(
+            &self,
+            cv: &Condvar,
+            queue: MutexGuard<'a, VecDeque<T>>,
+            timeout: Option<Duration>,
+        ) -> MutexGuard<'a, VecDeque<T>> {
+            self.hb.fetch_add(1, Ordering::Release);
+            let queue = match timeout {
+                None => cv.wait(queue).unwrap_or_else(|p| p.into_inner()),
+                Some(t) => {
+                    cv.wait_timeout(queue, t)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+            };
+            self.hb.load(Ordering::Acquire);
+            queue
+        }
     }
 
     /// The sending half; cloneable.
@@ -86,6 +131,7 @@ pub mod channel {
             capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            hb: AtomicUsize::new(0),
         });
         (
             Sender {
@@ -133,26 +179,26 @@ pub mod channel {
         /// Send `msg`, blocking while a bounded channel is full. Errors only
         /// when every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = self.inner.lock_queue();
             if let Some(cap) = self.inner.capacity {
                 while queue.len() >= cap {
                     if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                        self.inner.unlock_queue(queue);
                         return Err(SendError(msg));
                     }
-                    let (q, timeout) = self
-                        .inner
-                        .send_ready
-                        .wait_timeout(queue, Duration::from_millis(50))
-                        .unwrap_or_else(|p| p.into_inner());
-                    queue = q;
-                    let _ = timeout;
+                    queue = self.inner.wait_on(
+                        &self.inner.send_ready,
+                        queue,
+                        Some(Duration::from_millis(50)),
+                    );
                 }
             }
             if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                self.inner.unlock_queue(queue);
                 return Err(SendError(msg));
             }
             queue.push_back(msg);
-            drop(queue);
+            self.inner.unlock_queue(queue);
             self.inner.recv_ready.notify_one();
             Ok(())
         }
@@ -161,62 +207,60 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Receive, blocking until a message arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = self.inner.lock_queue();
             loop {
                 if let Some(msg) = queue.pop_front() {
-                    drop(queue);
+                    self.inner.unlock_queue(queue);
                     self.inner.send_ready.notify_one();
                     return Ok(msg);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    self.inner.unlock_queue(queue);
                     return Err(RecvError);
                 }
-                queue = self
-                    .inner
-                    .recv_ready
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                queue = self.inner.wait_on(&self.inner.recv_ready, queue, None);
             }
         }
 
         /// Receive without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = self.inner.lock_queue();
             if let Some(msg) = queue.pop_front() {
-                drop(queue);
+                self.inner.unlock_queue(queue);
                 self.inner.send_ready.notify_one();
                 return Ok(msg);
             }
-            if self.inner.senders.load(Ordering::SeqCst) == 0 {
-                Err(TryRecvError::Disconnected)
+            let err = if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                TryRecvError::Disconnected
             } else {
-                Err(TryRecvError::Empty)
-            }
+                TryRecvError::Empty
+            };
+            self.inner.unlock_queue(queue);
+            Err(err)
         }
 
         /// Receive, blocking at most `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = self.inner.lock_queue();
             loop {
                 if let Some(msg) = queue.pop_front() {
-                    drop(queue);
+                    self.inner.unlock_queue(queue);
                     self.inner.send_ready.notify_one();
                     return Ok(msg);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    self.inner.unlock_queue(queue);
                     return Err(RecvTimeoutError::Disconnected);
                 }
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
+                    self.inner.unlock_queue(queue);
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (q, _timeout) = self
+                queue = self
                     .inner
-                    .recv_ready
-                    .wait_timeout(queue, remaining)
-                    .unwrap_or_else(|p| p.into_inner());
-                queue = q;
+                    .wait_on(&self.inner.recv_ready, queue, Some(remaining));
             }
         }
 
@@ -227,11 +271,10 @@ pub mod channel {
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.inner
-                .queue
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .len()
+            let queue = self.inner.lock_queue();
+            let n = queue.len();
+            self.inner.unlock_queue(queue);
+            n
         }
 
         /// Whether no messages are queued.

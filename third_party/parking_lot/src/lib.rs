@@ -8,22 +8,65 @@
 //!   a poisoned std lock is transparently recovered, matching parking_lot's
 //!   behaviour of never poisoning).
 //! * `try_lock()` returns `Option<MutexGuard>`.
+//!
+//! Each lock also carries a ThreadSanitizer-visible happens-before token:
+//! the prebuilt std synchronizes through futexes TSan cannot intercept, so
+//! under `-Zsanitizer=thread` (scripts/check.sh --only tsan) every
+//! lock-protected access would otherwise report as a false race. Guards bump
+//! an instrumented atomic with `Release` just before unlocking and every
+//! acquisition `Acquire`-loads it, recreating exactly the unlock→lock edge
+//! the real lock provides. Real implementations establish the same edge
+//! through their own (instrumented) state word, so this masks nothing TSan
+//! would otherwise catch; the uncontended atomic is noise next to the futex.
 
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::PoisonError;
 
 /// A mutex whose `lock()` never fails (parking_lot-style, no poisoning).
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    hb: AtomicUsize,
     inner: std::sync::Mutex<T>,
 }
 
 /// Guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Publish before the inner guard (dropped after this body) unlocks.
+        self.hb.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a mutex holding `value`.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            hb: AtomicUsize::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -39,16 +82,26 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.hb.load(Ordering::Acquire);
+        MutexGuard {
+            hb: &self.hb,
+            inner,
+        }
     }
 
     /// Acquire the lock only if it is free right now.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        self.hb.load(Ordering::Acquire);
+        Some(MutexGuard {
+            hb: &self.hb,
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -60,18 +113,71 @@ impl<T: ?Sized> Mutex<T> {
 /// A reader-writer lock whose `read()`/`write()` never fail.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    hb: AtomicUsize,
     inner: std::sync::RwLock<T>,
 }
 
 /// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
 /// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.hb.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.hb.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a lock holding `value`.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            hb: AtomicUsize::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -87,12 +193,22 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.hb.load(Ordering::Acquire);
+        RwLockReadGuard {
+            hb: &self.hb,
+            inner,
+        }
     }
 
     /// Acquire exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        self.hb.load(Ordering::Acquire);
+        RwLockWriteGuard {
+            hb: &self.hb,
+            inner,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
